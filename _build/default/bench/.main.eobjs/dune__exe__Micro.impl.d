@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Glauber Hashtbl Inference Instance List Ls_core Ls_gibbs Ls_graph Ls_local Ls_rng Measure Printf Sequential_sampler Staged Table Test Time Toolkit

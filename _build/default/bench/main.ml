@@ -1,0 +1,44 @@
+(* Benchmark harness entry point.
+
+   `dune exec bench/main.exe` prints every experiment table (E1-E10, the
+   paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
+   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e10,
+   micro) to run a subset. *)
+
+let sections =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e3", Experiments.e3);
+    ("e4", Experiments.e4);
+    ("e5", Experiments.e5);
+    ("e6", Experiments.e6);
+    ("e7", Experiments.e7);
+    ("e8", Experiments.e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("e11", Experiments.e11);
+    ("decomp", Experiments.decomp_ablation);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst sections
+  in
+  print_endline
+    "locsample benchmark harness -- reproduction of Feng & Yin, PODC 2018";
+  List.iter
+    (fun id ->
+      match List.assoc_opt id sections with
+      | Some run ->
+          let t0 = Sys.time () in
+          run ();
+          Printf.printf "[%s finished in %.1fs cpu]\n%!" id (Sys.time () -. t0)
+      | None ->
+          Printf.eprintf "unknown section %S (known: %s)\n" id
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    requested

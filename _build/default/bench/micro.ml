@@ -1,0 +1,110 @@
+(* Bechamel timing benches for the core primitives, including the
+   engine and scheduling ablations called out in DESIGN.md. *)
+
+open Bechamel
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Line_graph = Ls_graph.Line_graph
+module Rng = Ls_rng.Rng
+module Config = Ls_gibbs.Config
+module Models = Ls_gibbs.Models
+module Enumerate = Ls_gibbs.Enumerate
+module Forest_dp = Ls_gibbs.Forest_dp
+module Matching_dp = Ls_gibbs.Matching_dp
+module Decomposition = Ls_local.Decomposition
+open Ls_core
+
+let tests () =
+  (* Shared inputs, allocated once. *)
+  let cycle64 = Generators.cycle 64 in
+  let hardcore64 = Models.hardcore cycle64 ~lambda:1. in
+  let inst64 = Instance.unpinned hardcore64 in
+  let ball9 = Graph.ball cycle64 0 4 in
+  let empty64 = Config.empty 64 in
+  let tree10 = Generators.complete_tree ~branching:2 ~depth:10 in
+  let reg_graph =
+    Generators.random_regular (Rng.create 1L) ~n:64 ~d:4
+  in
+  let glauber_inst = Instance.unpinned (Models.hardcore cycle64 ~lambda:1.) in
+  let glauber_state = Glauber.init glauber_inst in
+  let glauber_rng = Rng.create 2L in
+  let decomposition_rng = Rng.create 3L in
+  let oracle = Inference.ssm_oracle ~t:2 inst64 in
+  [
+    (* Ablation 1: enumeration vs forest DP on the same radius-4 ball. *)
+    Test.make ~name:"ball_marginal/enumeration"
+      (Staged.stage (fun () ->
+           ignore (Enumerate.ball_marginal hardcore64 ~ball:ball9 empty64 0)));
+    Test.make ~name:"ball_marginal/forest_dp"
+      (Staged.stage (fun () ->
+           ignore (Forest_dp.ball_marginal hardcore64 ~ball:ball9 empty64 0)));
+    Test.make ~name:"ssm_infer/t=2 (C64 hardcore)"
+      (Staged.stage (fun () -> ignore (Inference.ssm_infer ~t:2 inst64 0)));
+    Test.make ~name:"chain_dp/exact marginal (C64)"
+      (Staged.stage (fun () ->
+           ignore (Ls_gibbs.Chain_dp.marginal hardcore64 empty64 0)));
+    (* SAW tree on a 4-regular graph: a radius-3 ball there has ~50
+       vertices, so the enumeration engine cannot even enter this row. *)
+    Test.make ~name:"saw/depth=3 (4-regular n=64 hardcore)"
+      (Staged.stage
+         (let spec4 = Models.hardcore reg_graph ~lambda:0.5 in
+          let tau = Config.empty 64 in
+          fun () -> ignore (Ls_gibbs.Saw.marginal ~depth:3 spec4 tau 0)));
+    Test.make ~name:"oracle.infer via ssm_oracle"
+      (Staged.stage (fun () -> ignore (oracle.Inference.infer inst64 17)));
+    Test.make ~name:"glauber/sweep (C64)"
+      (Staged.stage (fun () -> Glauber.sweep glauber_state glauber_rng));
+    Test.make ~name:"decomposition/linial_saks (C64)"
+      (Staged.stage (fun () ->
+           ignore (Decomposition.linial_saks cycle64 decomposition_rng)));
+    Test.make ~name:"line_graph/make (4-regular n=64)"
+      (Staged.stage (fun () -> ignore (Line_graph.make reg_graph)));
+    Test.make ~name:"matching_dp/edge_marginal (tree depth 10)"
+      (Staged.stage (fun () ->
+           ignore (Matching_dp.edge_marginal tree10 ~lambda:1. ~pins:[] (0, 1))));
+    Test.make ~name:"graph/power^3 (C64)"
+      (Staged.stage (fun () -> ignore (Graph.power cycle64 3)));
+    Test.make ~name:"sequential_sample (C64, t=2 oracle)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sequential_sampler.sample oracle inst64
+                ~order:(Array.init 64 (fun i -> i))
+                ~rng:glauber_rng)));
+  ]
+
+let run () =
+  let grouped = Test.make_grouped ~name:"locsample" (tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows =
+    List.sort compare !rows
+    |> List.map (fun (name, ns, r2) ->
+           [
+             name;
+             Printf.sprintf "%12.1f" ns;
+             Printf.sprintf "%8.2f" (ns /. 1e6);
+             Printf.sprintf "%.4f" r2;
+           ])
+  in
+  Table.print ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
+    ~note:"One row per primitive; time per call estimated by OLS on run count."
+    ~header:[ "benchmark"; "ns/run"; "ms/run"; "r^2" ]
+    rows

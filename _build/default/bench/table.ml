@@ -1,0 +1,32 @@
+(* Minimal fixed-width ASCII table printer for the experiment harness. *)
+
+let print ~title ?note ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let render row =
+    String.concat "  " (List.mapi (fun c cell -> pad cell (List.nth widths c)) row)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  (match note with Some n -> Printf.printf "%s\n" n | None -> ());
+  print_endline (render header);
+  print_endline rule;
+  List.iter (fun row -> print_endline (render row)) rows
+
+let f ?(digits = 4) x = Printf.sprintf "%.*f" digits x
+
+let e x = Printf.sprintf "%.3e" x
+
+let i = string_of_int

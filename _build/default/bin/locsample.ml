@@ -1,0 +1,276 @@
+(* Command-line interface to the locsample library.
+
+   Subcommands:
+     sample  — draw a configuration in the LOCAL model (chain-rule or JVV)
+     infer   — approximate marginal inference at a vertex
+     ssm     — measure the strong-spatial-mixing decay curve
+     phase   — hardcore phase-transition scan on complete trees
+     count   — estimate ln Z via local inference and self-reduction
+
+   Graphs are described as "cycle:24", "path:16", "grid:4x6", "tree:2x5"
+   (branching x depth), "regular:16x3" (n x degree, random),
+   "tree-rand:20" (uniform random tree).  Models as "hardcore:LAMBDA",
+   "ising:BETA[:FIELD]", "potts:Q:BETA", "coloring:Q", "matching:LAMBDA"
+   (hardcore on the line graph).  Inference runs either the Theorem 5.1
+   ball algorithm (--engine ball) or Weitz's SAW tree (--engine saw);
+   --verbosity debug traces the decomposition and the scheduler. *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+module Rng = Ls_rng.Rng
+module Models = Ls_gibbs.Models
+module Matching = Ls_gibbs.Matching
+open Ls_core
+
+let parse_graph rng spec =
+  match String.split_on_char ':' spec with
+  | [ "cycle"; n ] -> Generators.cycle (int_of_string n)
+  | [ "path"; n ] -> Generators.path (int_of_string n)
+  | [ "tree-rand"; n ] -> Generators.random_tree rng (int_of_string n)
+  | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ r; c ] -> Generators.grid (int_of_string r) (int_of_string c)
+      | _ -> failwith "grid wants ROWSxCOLS")
+  | [ "tree"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ b; d ] ->
+          Generators.complete_tree ~branching:(int_of_string b)
+            ~depth:(int_of_string d)
+      | _ -> failwith "tree wants BRANCHINGxDEPTH")
+  | [ "regular"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ n; d ] ->
+          Generators.random_regular rng ~n:(int_of_string n) ~d:(int_of_string d)
+      | _ -> failwith "regular wants NxDEGREE")
+  | _ -> failwith (Printf.sprintf "cannot parse graph %S" spec)
+
+type model_instance = {
+  spec : Ls_gibbs.Spec.t;
+  describe : string;
+  render : int array -> string;
+}
+
+let parse_model g spec =
+  let render_binary sigma =
+    String.concat ""
+      (List.map string_of_int (Array.to_list sigma |> List.map (fun c -> c)))
+  in
+  match String.split_on_char ':' spec with
+  | [ "hardcore"; l ] ->
+      let lambda = float_of_string l in
+      {
+        spec = Models.hardcore g ~lambda;
+        describe = Printf.sprintf "hardcore(lambda=%g)" lambda;
+        render = render_binary;
+      }
+  | [ "ising"; b ] | [ "ising"; b; _ ] ->
+      let beta = float_of_string b in
+      let field =
+        match String.split_on_char ':' spec with
+        | [ _; _; f ] -> float_of_string f
+        | _ -> 1.
+      in
+      {
+        spec = Models.ising g ~beta ~field;
+        describe = Printf.sprintf "ising(beta=%g, field=%g)" beta field;
+        render = render_binary;
+      }
+  | [ "potts"; q; b ] ->
+      let q = int_of_string q and beta = float_of_string b in
+      {
+        spec = Models.potts g ~q ~beta;
+        describe = Printf.sprintf "potts(q=%d, beta=%g)" q beta;
+        render =
+          (fun sigma ->
+            String.concat "," (List.map string_of_int (Array.to_list sigma)));
+      }
+  | [ "coloring"; q ] ->
+      let q = int_of_string q in
+      {
+        spec = Models.coloring g ~q;
+        describe = Printf.sprintf "coloring(q=%d)" q;
+        render =
+          (fun sigma ->
+            String.concat ","
+              (List.map string_of_int (Array.to_list sigma)));
+      }
+  | [ "matching"; l ] ->
+      let lambda = float_of_string l in
+      let m = Matching.make g ~lambda in
+      {
+        spec = m.Matching.spec;
+        describe = Printf.sprintf "matching(lambda=%g) [on the line graph]" lambda;
+        render =
+          (fun sigma ->
+            String.concat " "
+              (List.map
+                 (fun (u, v) -> Printf.sprintf "%d-%d" u v)
+                 (Matching.matching_of_config m sigma)));
+      }
+  | _ -> failwith (Printf.sprintf "cannot parse model %S" spec)
+
+let make_instance ~graph ~model ~seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let g = parse_graph rng graph in
+  let m = parse_model g model in
+  (g, m, Instance.unpinned m.spec)
+
+let make_oracle ~engine ~t inst =
+  match engine with
+  | "ball" -> Inference.ssm_oracle ~t inst
+  | "saw" -> Inference.saw_oracle ~depth:t inst
+  | other -> failwith (Printf.sprintf "unknown engine %S (ball|saw)" other)
+
+(* --- commands ------------------------------------------------------- *)
+
+let sample graph model t seed engine exact_jvv epsilon =
+  let g, m, inst = make_instance ~graph ~model ~seed in
+  Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
+    m.describe;
+  let oracle = make_oracle ~engine ~t inst in
+  if exact_jvv then begin
+    let epsilon =
+      match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
+    in
+    let result, stats =
+      Jvv.run_local oracle ~epsilon inst ~seed:(Int64.of_int seed)
+    in
+    Printf.printf "JVV exact sampler: %s (%d clamps), %d LOCAL rounds\n"
+      (if result.Jvv.success then "success" else "LOCAL FAILURE (retry with another seed)")
+      result.Jvv.clamped stats.Ls_local.Scheduler.rounds;
+    Printf.printf "sample: %s\n" (m.render result.Jvv.y)
+  end
+  else begin
+    let result = Local_sampler.sample oracle inst ~seed:(Int64.of_int seed) in
+    Printf.printf "chain-rule sampler: %s, %d LOCAL rounds (%d colors)\n"
+      (if result.Local_sampler.success then "success" else "partial failure")
+      result.Local_sampler.rounds
+      result.Local_sampler.stats.Ls_local.Scheduler.colors;
+    Printf.printf "sample: %s\n" (m.render result.Local_sampler.sigma)
+  end;
+  0
+
+let infer graph model t seed engine vertex boosted =
+  let g, m, inst = make_instance ~graph ~model ~seed in
+  if vertex < 0 || vertex >= Graph.n g then failwith "vertex out of range";
+  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.describe;
+  let oracle = make_oracle ~engine ~t inst in
+  let oracle = if boosted then Boosting.boost oracle inst else oracle in
+  let d = oracle.Inference.infer inst vertex in
+  Printf.printf "marginal at %d (radius %d%s): %s\n" vertex oracle.Inference.radius
+    (if boosted then ", boosted" else "")
+    (Format.asprintf "%a" Dist.pp d);
+  0
+
+let ssm graph model seed max_d =
+  let g, m, inst = make_instance ~graph ~model ~seed in
+  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.describe;
+  let rng = Rng.create (Int64.of_int (seed + 1)) in
+  let curve = Ssm.decay_curve ~rng inst ~v:0 ~max_d in
+  Printf.printf "%-4s %-12s %-12s %s\n" "d" "tv" "mult_err" "boundaries";
+  List.iter
+    (fun p ->
+      Printf.printf "%-4d %-12.6f %-12.6f %d%s\n" p.Ssm.distance p.Ssm.tv
+        (if p.Ssm.mult = infinity then nan else p.Ssm.mult)
+        p.Ssm.boundary_configs
+        (if p.Ssm.exhaustive then "" else " (sampled)"))
+    curve;
+  (match Ssm.fit_exponential_rate curve with
+  | Some alpha -> Printf.printf "fitted decay rate alpha = %.4f\n" alpha
+  | None -> print_endline "no fit (influence vanished)");
+  0
+
+let phase branching depth lambdas =
+  let lambda_c = Phase_transition.critical_lambda ~branching in
+  Printf.printf "lambda_c(Delta=%d) = %.4f\n" (branching + 1) lambda_c;
+  List.iter
+    (fun lambda ->
+      let i = Phase_transition.tree_root_influence ~branching ~depth ~lambda in
+      Printf.printf "lambda=%-8.3f influence@%d = %.6f  [%s]\n" lambda depth i
+        (if lambda < lambda_c then "uniqueness" else "non-uniqueness"))
+    lambdas;
+  0
+
+let count graph model t seed =
+  let g, m, inst = make_instance ~graph ~model ~seed in
+  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.describe;
+  let oracle = Inference.ssm_oracle ~t inst in
+  let order = Array.init (Instance.n inst) (fun i -> i) in
+  let log_z = Reductions.estimate_log_partition oracle inst ~order in
+  Printf.printf "ln Z ~ %.6f   (Z ~ %.6e)\n" log_z (exp log_z);
+  0
+
+(* --- cmdliner wiring -------------------------------------------------- *)
+
+open Cmdliner
+
+let setup_log style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let setup_log_term =
+  Term.(const setup_log $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let graph_arg =
+  Arg.(value & opt string "cycle:16" & info [ "g"; "graph" ] ~docv:"GRAPH"
+       ~doc:"Graph: cycle:N, path:N, grid:RxC, tree:BxD, regular:NxD, tree-rand:N.")
+
+let model_arg =
+  Arg.(value & opt string "hardcore:1.0" & info [ "m"; "model" ] ~docv:"MODEL"
+       ~doc:"Model: hardcore:L, ising:B[:F], coloring:Q, matching:L.")
+
+let t_arg =
+  Arg.(value & opt int 2 & info [ "t"; "radius" ] ~docv:"T"
+       ~doc:"Ball radius of the inference oracle (Theorem 5.1 algorithm).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let engine_arg =
+  Arg.(value & opt string "ball" & info [ "engine" ] ~docv:"ENGINE"
+       ~doc:"Inference engine: 'ball' (Theorem 5.1 annulus algorithm) or \
+             'saw' (Weitz's self-avoiding-walk tree; binary models only).")
+
+let sample_cmd =
+  let jvv = Arg.(value & flag & info [ "exact"; "jvv" ] ~doc:"Use the exact JVV sampler.") in
+  let eps =
+    Arg.(value & opt (some float) None & info [ "epsilon" ] ~docv:"EPS"
+         ~doc:"JVV slack parameter (default: 1/n^3).")
+  in
+  Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
+    Term.(const (fun () a b c d e f g -> sample a b c d e f g) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps)
+
+let infer_cmd =
+  let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in
+  let boosted = Arg.(value & flag & info [ "boosted" ] ~doc:"Apply the Lemma 4.1 boosting.") in
+  Cmd.v (Cmd.info "infer" ~doc:"Approximate marginal inference at a vertex")
+    Term.(const (fun () a b c d e f g -> infer a b c d e f g) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ vertex $ boosted)
+
+let ssm_cmd =
+  let max_d = Arg.(value & opt int 5 & info [ "max-d" ] ~docv:"D" ~doc:"Max distance.") in
+  Cmd.v (Cmd.info "ssm" ~doc:"Measure strong spatial mixing")
+    Term.(const (fun () a b c d -> ssm a b c d) $ setup_log_term $ graph_arg $ model_arg $ seed_arg $ max_d)
+
+let phase_cmd =
+  let branching = Arg.(value & opt int 2 & info [ "b"; "branching" ] ~docv:"B" ~doc:"Tree branching.") in
+  let depth = Arg.(value & opt int 8 & info [ "d"; "depth" ] ~docv:"D" ~doc:"Tree depth.") in
+  let lambdas =
+    Arg.(value & opt (list float) [ 1.; 2.; 4.; 8. ] & info [ "lambdas" ] ~docv:"L,L,..."
+         ~doc:"Fugacities to scan.")
+  in
+  Cmd.v (Cmd.info "phase" ~doc:"Hardcore phase-transition scan on complete trees")
+    Term.(const (fun () a b c -> phase a b c) $ setup_log_term $ branching $ depth $ lambdas)
+
+let count_cmd =
+  Cmd.v (Cmd.info "count" ~doc:"Estimate ln Z via local inference (self-reduction)")
+    Term.(const (fun () a b c d -> count a b c d) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "locsample" ~version:"1.0.0"
+       ~doc:"Local distributed sampling and counting (Feng & Yin, PODC 2018)")
+    [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/colorings_demo.ml: Array Boosting Exact Format Inference Instance Local_sampler Ls_core Ls_dist Ls_gibbs Ls_graph Option Printf Reductions

@@ -1,0 +1,1 @@
+examples/colorings_demo.mli:

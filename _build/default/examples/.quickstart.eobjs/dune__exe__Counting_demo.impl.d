@@ -1,0 +1,1 @@
+examples/counting_demo.ml: Counting Inference Instance List Ls_core Ls_gibbs Ls_graph Printf

@@ -1,0 +1,1 @@
+examples/counting_demo.mli:

@@ -1,0 +1,1 @@
+examples/ising_demo.ml: Array Glauber Inference Instance List Local_sampler Ls_core Ls_dist Ls_gibbs Ls_graph Ls_rng Option Printf

@@ -1,0 +1,1 @@
+examples/matchings_demo.ml: Array Float Inference Instance List Local_sampler Ls_core Ls_gibbs Ls_graph Ls_rng Option Printf

@@ -1,0 +1,1 @@
+examples/matchings_demo.mli:

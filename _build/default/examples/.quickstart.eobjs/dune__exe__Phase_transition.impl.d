@@ -1,0 +1,1 @@
+examples/phase_transition.ml: List Ls_core Phase_transition Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Exact Inference Instance Int64 Jvv List Local_sampler Ls_core Ls_dist Ls_gibbs Ls_graph Ls_local Option Printf Reductions String

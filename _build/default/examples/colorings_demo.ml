@@ -1,0 +1,73 @@
+(* List-colorings with pinned vertices: self-reducibility in action.
+
+   We pin a few vertices of a complete binary tree to fixed colors
+   (producing a list-coloring instance on the rest, exactly as Remark 2.2
+   describes), sample the remaining colors in the LOCAL model, and use the
+   boosting lemma to get multiplicatively accurate marginals.
+
+   Run with:  dune exec examples/colorings_demo.exe *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+module Models = Ls_gibbs.Models
+open Ls_core
+
+let color_name = [| "red"; "green"; "blue"; "yellow" |]
+
+let () =
+  let depth = 4 in
+  let g = Generators.complete_tree ~branching:2 ~depth in
+  let n = Graph.n g in
+  let q = 4 in
+  let spec = Models.coloring g ~q in
+  (* Pin the root and the last leaf: the conditional distribution is a
+     uniform list-coloring of the rest. *)
+  let inst = Instance.of_pins spec [ (0, 0); (n - 1, 1) ] in
+  Printf.printf
+    "uniform %d-colorings of the depth-%d binary tree (%d vertices),\n\
+     root pinned %s, last leaf pinned %s\n\n"
+    q depth n color_name.(0) color_name.(1);
+
+  (* LOCAL sampling. *)
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let result = Local_sampler.sample oracle inst ~seed:3L in
+  Printf.printf "sampled in %d LOCAL rounds (%s):\n" result.Local_sampler.rounds
+    (if result.Local_sampler.success then "no failures" else "with local failures");
+  let dist0 = Graph.bfs_distances g 0 in
+  for level = 0 to depth do
+    Printf.printf "  level %d: " level;
+    for v = 0 to n - 1 do
+      if dist0.(v) = level then
+        Printf.printf "%s " color_name.(result.Local_sampler.sigma.(v))
+    done;
+    print_newline ()
+  done;
+  assert (Ls_gibbs.Spec.weight spec result.Local_sampler.sigma > 0.);
+
+  (* Marginal inference at an internal vertex, plain vs boosted
+     (Lemma 4.1). *)
+  let v = 1 (* child of the root *) in
+  let exact = Option.get (Exact.marginal inst v) in
+  let aplus = Inference.ssm_oracle ~t:1 inst in
+  let boosted = Boosting.boost aplus inst in
+  let plain = aplus.Inference.infer inst v in
+  let b = boosted.Inference.infer inst v in
+  Printf.printf "\nmarginal color distribution at vertex %d:\n" v;
+  Printf.printf "  exact:   %s\n" (Format.asprintf "%a" Dist.pp exact);
+  Printf.printf "  plain (t=1):          tv=%.5f  mult_err=%.5f\n"
+    (Dist.tv plain exact) (Dist.mult_err plain exact);
+  Printf.printf "  boosted (Lemma 4.1):  tv=%.5f  mult_err=%.5f\n" (Dist.tv b exact)
+    (Dist.mult_err b exact);
+
+  (* Counting: the number of proper colorings consistent with the pins,
+     recovered from local marginals by the chain rule. *)
+  let order = Array.init n (fun i -> i) in
+  let log_z = Reductions.estimate_log_partition oracle inst ~order in
+  (* The exact value via the same chain rule driven by exact (forest-DP)
+     marginals — brute-force enumeration would be hopeless at q=4, n=31. *)
+  let log_z_exact =
+    Reductions.estimate_log_partition (Inference.exact inst) inst ~order
+  in
+  Printf.printf "\n#colorings consistent with pins: exp(%.4f) ~ %.3e (exact %.3e)\n"
+    log_z (exp log_z) (exp log_z_exact)

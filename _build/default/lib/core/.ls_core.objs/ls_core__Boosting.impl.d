@@ -1,0 +1,1 @@
+lib/core/boosting.ml: Array Exact Inference Instance Ls_dist Ls_gibbs Ls_graph

@@ -1,0 +1,1 @@
+lib/core/boosting.mli: Inference Instance Ls_dist

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Instance Ls_gibbs Ls_graph

@@ -1,0 +1,1 @@
+lib/core/glauber.ml: Array Instance List Ls_dist Ls_gibbs Ls_rng

@@ -1,0 +1,1 @@
+lib/core/glauber.mli: Instance Ls_rng

@@ -1,0 +1,1 @@
+lib/core/inference.ml: Array Exact Instance Ls_dist Ls_gibbs Ls_graph

@@ -1,0 +1,1 @@
+lib/core/inference.mli: Instance Ls_dist Ls_gibbs

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array List Ls_gibbs Ls_graph

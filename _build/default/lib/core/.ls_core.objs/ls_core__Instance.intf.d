@@ -1,0 +1,1 @@
+lib/core/instance.mli: Ls_gibbs Ls_graph

@@ -1,0 +1,1 @@
+lib/core/jvv.ml: Array Float Inference Instance Int64 List Ls_dist Ls_gibbs Ls_graph Ls_local Ls_rng Option Sequential_sampler

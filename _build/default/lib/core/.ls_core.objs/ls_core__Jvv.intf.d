@@ -1,0 +1,1 @@
+lib/core/jvv.mli: Inference Instance Ls_local Ls_rng

@@ -1,0 +1,1 @@
+lib/core/local_sampler.ml: Array Inference Instance Ls_dist Ls_local Ls_rng

@@ -1,0 +1,1 @@
+lib/core/local_sampler.mli: Inference Instance Ls_local

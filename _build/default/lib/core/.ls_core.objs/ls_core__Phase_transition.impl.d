@@ -1,0 +1,1 @@
+lib/core/phase_transition.ml: Array Exact Instance List Ls_dist Ls_gibbs Ls_graph

@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Array Inference Instance List Ls_dist Ls_gibbs Ls_rng Sequential_sampler

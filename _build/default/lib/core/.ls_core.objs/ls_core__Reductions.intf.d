@@ -1,0 +1,1 @@
+lib/core/reductions.mli: Inference Instance Ls_dist Ls_rng

@@ -1,0 +1,1 @@
+lib/core/sequential_sampler.ml: Array Inference Instance List Ls_dist Ls_gibbs Ls_local

@@ -1,0 +1,1 @@
+lib/core/sequential_sampler.mli: Inference Instance Ls_rng

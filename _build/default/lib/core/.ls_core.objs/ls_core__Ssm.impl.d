@@ -1,0 +1,1 @@
+lib/core/ssm.ml: Array Exact Float Instance List Ls_dist Ls_gibbs Ls_graph Ls_rng

@@ -1,0 +1,53 @@
+(** Global counting — the classical face of the paper's inference problem.
+
+    The paper studies inference (per-node marginals) as the local
+    counterpart of counting because, for self-reducible problems, the
+    global count decomposes through the chain rule into exactly those
+    marginals (§1, citing Jerrum).  This module packages that link:
+
+    - {!log_z_exact} dispatches to the fastest exact engine (transfer
+      matrices on paths/cycles, forest DP on trees, monomer–dimer DP via
+      {!Ls_gibbs.Matching_dp}, pruned enumeration otherwise);
+    - {!log_z_local} is the distributed estimate: the chain rule evaluated
+      with a {e local} inference oracle, so the global count is assembled
+      from radius-[t] information only;
+    - the [closed_form_*] values are textbook combinatorial identities
+      (Lucas/Fibonacci/chromatic-polynomial) used by the tests and the
+      counting example to validate the engines end to end. *)
+
+val log_z_exact : Instance.t -> float
+(** [ln Z(τ)]; [neg_infinity] when infeasible.  Engine dispatch is
+    exactness-preserving; the enumeration fallback is exponential, so keep
+    general graphs small. *)
+
+val log_z_local : Inference.oracle -> Instance.t -> float
+(** Chain-rule estimate using the oracle's marginals along the identity
+    order ({!Reductions.estimate_log_partition}); error ≤ n·ε for
+    per-site multiplicative error ε. *)
+
+val count_independent_sets : Ls_graph.Graph.t -> float
+(** Number of independent sets (hardcore λ=1 partition function). *)
+
+val count_matchings : Ls_graph.Graph.t -> float
+(** Number of matchings (monomer–dimer λ=1; exact DP on forests, line-graph
+    dispatch otherwise). *)
+
+val count_proper_colorings : Ls_graph.Graph.t -> q:int -> float
+
+(** {1 Closed forms (for validation)} *)
+
+val closed_form_independent_sets_cycle : int -> float
+(** Lucas number [L_n]: independent sets of the cycle [C_n] ([n ≥ 3]). *)
+
+val closed_form_independent_sets_path : int -> float
+(** Fibonacci [F_{n+2}]: independent sets of the path [P_n]. *)
+
+val closed_form_matchings_path : int -> float
+(** The [n]-vertex path has [F_{n+1}] matchings, with the standard
+    indexing [F_1 = F_2 = 1] (e.g. [P_3] has [F_4 = 3]). *)
+
+val closed_form_colorings_cycle : n:int -> q:int -> float
+(** Chromatic polynomial of the cycle: [(q−1)^n + (−1)^n (q−1)]. *)
+
+val closed_form_colorings_tree : n:int -> q:int -> float
+(** [q · (q−1)^{n−1}] for any tree on [n ≥ 1] vertices. *)

@@ -1,0 +1,21 @@
+module Gibbs = Ls_gibbs
+module Graph = Ls_graph.Graph
+
+let whole_graph_ball inst =
+  Array.init (Instance.n inst) (fun v -> v)
+
+let ball_marginal inst ~ball v =
+  if Gibbs.Forest_dp.supported inst.Instance.spec ~ball then
+    Gibbs.Forest_dp.ball_marginal inst.Instance.spec ~ball inst.Instance.pinned v
+  else Gibbs.Enumerate.ball_marginal inst.Instance.spec ~ball inst.Instance.pinned v
+
+let marginal inst v =
+  (* Whole-graph queries admit one more exact engine than ball queries:
+     the transfer-matrix DP for paths and cycles. *)
+  if Gibbs.Chain_dp.supported inst.Instance.spec then
+    Gibbs.Chain_dp.marginal inst.Instance.spec inst.Instance.pinned v
+  else ball_marginal inst ~ball:(whole_graph_ball inst) v
+
+let joint inst = Gibbs.Enumerate.distribution inst.Instance.spec inst.Instance.pinned
+
+let partition inst = Gibbs.Enumerate.partition inst.Instance.spec inst.Instance.pinned

@@ -1,0 +1,134 @@
+module Gibbs = Ls_gibbs
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+module Config = Gibbs.Config
+
+type oracle = { radius : int; infer : Instance.t -> int -> Dist.t }
+
+let exact inst0 =
+  let radius = Instance.n inst0 in
+  let infer inst v =
+    match Exact.marginal inst v with
+    | Some d -> d
+    | None -> failwith "Inference.exact: infeasible instance"
+  in
+  { radius; infer }
+
+let annulus inst ~v ~t =
+  let g = Instance.graph inst in
+  let ell = Instance.locality inst in
+  let d = Graph.bfs_distances g v in
+  let acc = ref [] in
+  for u = Graph.n g - 1 downto 0 do
+    if d.(u) > t && d.(u) <= t + ell && not (Instance.is_pinned inst u) then
+      acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+let locally_feasible_extension inst ~vertices =
+  let spec = inst.Instance.spec in
+  let q = Gibbs.Spec.q spec in
+  let sigma = Array.copy inst.Instance.pinned in
+  let k = Array.length vertices in
+  (* Oblivious pass first; full backtracking only if it gets stuck, so the
+     common (locally admissible) case costs O(k·q) feasibility checks. *)
+  let rec oblivious i =
+    if i = k then true
+    else begin
+      let v = vertices.(i) in
+      let rec first c =
+        if c = q then false
+        else begin
+          sigma.(v) <- c;
+          if Gibbs.Spec.locally_feasible spec sigma then true
+          else begin
+            sigma.(v) <- Config.unassigned;
+            first (c + 1)
+          end
+        end
+      in
+      first 0 && oblivious (i + 1)
+    end
+  in
+  if oblivious 0 then Some sigma
+  else begin
+    Array.iter (fun v -> sigma.(v) <- Config.unassigned) vertices;
+    let rec backtrack i =
+      if i = k then true
+      else begin
+        let v = vertices.(i) in
+        let rec try_value c =
+          if c = q then false
+          else begin
+            sigma.(v) <- c;
+            if Gibbs.Spec.locally_feasible spec sigma && backtrack (i + 1) then
+              true
+            else begin
+              sigma.(v) <- Config.unassigned;
+              try_value (c + 1)
+            end
+          end
+        in
+        try_value 0
+      end
+    in
+    if backtrack 0 then Some sigma else None
+  end
+
+let ssm_infer ~t inst v =
+  let q = Instance.q inst in
+  if Instance.is_pinned inst v then Dist.point q inst.Instance.pinned.(v)
+  else begin
+    let g = Instance.graph inst in
+    let ell = Instance.locality inst in
+    let ball = Graph.ball g v (t + ell) in
+    let gamma = annulus inst ~v ~t in
+    let pinned =
+      match locally_feasible_extension inst ~vertices:gamma with
+      | Some sigma -> sigma
+      | None -> inst.Instance.pinned
+    in
+    let inst' = Instance.create inst.Instance.spec ~pinned in
+    match Exact.ball_marginal inst' ~ball v with
+    | Some d -> d
+    | None -> (
+        (* The locally feasible extension was not feasible for the ball
+           measure (the spec is not locally admissible here).  Search for
+           any annulus assignment giving a usable ball measure; as a last
+           resort answer uniform — failures of this branch are visible in
+           the E5/E8 error curves. *)
+        let found = ref None in
+        let rec search i inst_acc =
+          if !found <> None then ()
+          else if i = Array.length gamma then begin
+            match Exact.ball_marginal inst_acc ~ball v with
+            | Some d -> found := Some d
+            | None -> ()
+          end
+          else
+            for c = 0 to q - 1 do
+              if !found = None then
+                let u = gamma.(i) in
+                let pinned' = Config.extend inst_acc.Instance.pinned u c in
+                if Gibbs.Spec.locally_feasible inst.Instance.spec pinned' then
+                  search (i + 1)
+                    (Instance.create inst.Instance.spec ~pinned:pinned')
+            done
+        in
+        search 0 inst;
+        match !found with Some d -> d | None -> Dist.uniform q)
+  end
+
+let ssm_oracle ~t inst0 =
+  let ell = Instance.locality inst0 in
+  { radius = t + (2 * ell); infer = (fun inst v -> ssm_infer ~t inst v) }
+
+let saw_oracle ~depth inst0 =
+  if not (Gibbs.Saw.supported inst0.Instance.spec) then
+    invalid_arg "Inference.saw_oracle: binary pairwise spec required";
+  let infer inst v =
+    match Gibbs.Saw.marginal ~depth inst.Instance.spec inst.Instance.pinned v with
+    | Some d -> d
+    | None -> Dist.uniform (Instance.q inst)
+  in
+  { radius = depth; infer }

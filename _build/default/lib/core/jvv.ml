@@ -1,0 +1,453 @@
+module Gibbs = Ls_gibbs
+module Config = Gibbs.Config
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+module Rng = Ls_rng.Rng
+module Scheduler = Ls_local.Scheduler
+
+type result = {
+  y : int array;
+  ground : int array;
+  failed : bool array;
+  success : bool;
+  clamped : int;
+  acceptance_product : float;
+}
+
+let theory_epsilon inst =
+  let n = float_of_int (Instance.n inst) in
+  1. /. (n *. n *. n)
+
+(* Pass 1/2 share their shape: extend the pinning vertex by vertex, choosing
+   each value by [choose] from the approximate marginal. *)
+let chain_pass (oracle : Inference.oracle) inst ~order ~choose =
+  let current = ref inst in
+  Array.iter
+    (fun v ->
+      if not (Instance.is_pinned !current v) then begin
+        let mu_hat = oracle.Inference.infer !current v in
+        current := Instance.pin !current v (choose v mu_hat)
+      end)
+    order;
+  Array.copy !current.Instance.pinned
+
+(* Prefix pinning tau ∧ sigma^{j-1}: the instance pinning plus sigma's values
+   on the first j-1 order positions.  [support] restricts which vertices the
+   prefix may mention — the certified-locality run passes the gathered
+   radius; by the oracle's radius contract the answers are unchanged. *)
+let prefix_instance ?(support = fun _ -> true) inst ~order ~upto sigma =
+  let pinned = Array.copy inst.Instance.pinned in
+  for j = 0 to upto - 1 do
+    let v = order.(j) in
+    if support v && pinned.(v) = Config.unassigned then pinned.(v) <- sigma.(v)
+  done;
+  Instance.create inst.Instance.spec ~pinned
+
+(* mu_hat^tau(sigma) restricted to the order positions in [positions]:
+   the partial chain-rule product Π_j mu_hat^{sigma^{j-1}}_{v_j}(sigma_{v_j}).
+   Positions at pinned vertices contribute factor 1. *)
+let windowed_chain_product ?support (oracle : Inference.oracle) inst ~order
+    ~positions sigma =
+  List.fold_left
+    (fun acc j ->
+      let v = order.(j) in
+      if Instance.is_pinned inst v then acc
+      else begin
+        let inst_j = prefix_instance ?support inst ~order ~upto:j sigma in
+        let mu_hat = oracle.Inference.infer inst_j v in
+        acc *. Dist.prob mu_hat sigma.(v)
+      end)
+    1. positions
+
+exception Found_patch of int array
+
+(* Find sigma_i: equal to sigma_prev outside B_t(v_i), equal to Y on
+   processed vertices and tau on pinned ones inside, globally feasible.
+   Returns None when no such configuration exists (Claim 4.6 says it does
+   when the oracle error is small; a None is a certifiable local failure). *)
+let find_patch inst ~ball ~frozen ~sigma_prev =
+  let spec = inst.Instance.spec in
+  let n = Instance.n inst in
+  let in_ball = Array.make n false in
+  Array.iter (fun u -> in_ball.(u) <- true) ball;
+  (* Closure: the ball plus every vertex sharing a factor with it, so that
+     positivity over the closure certifies global feasibility given that
+     sigma_prev is feasible. *)
+  let in_closure = Array.copy in_ball in
+  Array.iter
+    (fun f ->
+      if Array.exists (fun u -> in_ball.(u)) f.Gibbs.Spec.scope then
+        Array.iter (fun u -> in_closure.(u) <- true) f.Gibbs.Spec.scope)
+    (Gibbs.Spec.factors spec);
+  let tau = Config.empty n in
+  for u = 0 to n - 1 do
+    if in_closure.(u) then
+      if not in_ball.(u) then tau.(u) <- sigma_prev.(u)
+      else
+        match frozen u with Some c -> tau.(u) <- c | None -> ()
+  done;
+  match
+    Gibbs.Enumerate.fold_completions spec
+      ~member:(fun u -> in_closure.(u))
+      tau ~init:()
+      ~f:(fun () sigma w ->
+        if w > 0. then raise (Found_patch (Array.copy sigma)))
+  with
+  | () -> None
+  | exception Found_patch sigma ->
+      let patched = Array.copy sigma_prev in
+      Array.iter (fun u -> patched.(u) <- sigma.(u)) ball;
+      Some patched
+
+(* w(sigma_i)/w(sigma_prev), over the factors whose scope meets the ball
+   (eq. 12) — all other factors are evaluated identically. *)
+let weight_ratio inst ~ball sigma_i sigma_prev =
+  let spec = inst.Instance.spec in
+  let n = Instance.n inst in
+  let in_ball = Array.make n false in
+  Array.iter (fun u -> in_ball.(u) <- true) ball;
+  let num = ref 1. and den = ref 1. in
+  Array.iteri
+    (fun idx f ->
+      if Array.exists (fun u -> in_ball.(u)) f.Gibbs.Spec.scope then begin
+        (match Gibbs.Spec.factor_value spec idx sigma_i with
+        | Some x -> num := !num *. x
+        | None -> assert false);
+        match Gibbs.Spec.factor_value spec idx sigma_prev with
+        | Some x -> den := !den *. x
+        | None -> assert false
+      end)
+    (Gibbs.Spec.factors spec);
+  if !den <= 0. then infinity else !num /. !den
+
+type acceptance = {
+  qs : (int * float) list;  (** [(vertex, q_{v_i})] for the free vertices. *)
+  patch_failed : int list;  (** Vertices where no interpolation patch exists. *)
+  clamps : int;
+}
+
+let clamp_tolerance = 1e-9
+
+let acceptances (oracle : Inference.oracle) ~epsilon ?(adaptive = false) inst
+    ~order ~ground ~y =
+  let n = Instance.n inst in
+  let g = Instance.graph inst in
+  let t = oracle.Inference.radius in
+  let position = Array.make n 0 in
+  Array.iteri (fun j v -> position.(v) <- j) order;
+  let qs = ref [] in
+  let patch_failed = ref [] in
+  let clamps = ref 0 in
+  let sigma_prev = ref (Array.copy ground) in
+  Array.iteri
+    (fun i v ->
+      if not (Instance.is_pinned inst v) then begin
+        let ball = Graph.ball g v t in
+        let frozen u =
+          if Instance.is_pinned inst u then Some inst.Instance.pinned.(u)
+          else if position.(u) <= i then Some y.(u)
+          else None
+        in
+        match find_patch inst ~ball ~frozen ~sigma_prev:!sigma_prev with
+        | None -> patch_failed := v :: !patch_failed
+        | Some sigma_i ->
+            (* Acceptance probability q_{v_i}, eq. (9) via the window of
+               eq. (11): only order positions within distance 2t of v_i can
+               have differing prefix marginals. *)
+            let window = Graph.ball g v (2 * t) in
+            let positions =
+              List.sort compare
+                (Array.to_list (Array.map (fun u -> position.(u)) window))
+            in
+            let p_prev =
+              windowed_chain_product oracle inst ~order ~positions !sigma_prev
+            in
+            let p_i = windowed_chain_product oracle inst ~order ~positions sigma_i in
+            if not (p_prev > 0.) || not (p_i > 0.) then
+              patch_failed := v :: !patch_failed
+            else begin
+              (* The slack only needs to dominate the mu-hat ratio's
+                 deviation from 1; the paper's bound uses all n sites, the
+                 adaptive variant only the window that actually enters the
+                 ratio (a sigma-independent quantity, so exactness is
+                 unaffected — ablated in the benches). *)
+              let sites =
+                if adaptive then Array.length window else n
+              in
+              let slack = exp (-3. *. float_of_int sites *. epsilon) in
+              let q = p_prev /. p_i *. weight_ratio inst ~ball sigma_i !sigma_prev *. slack in
+              let q =
+                if q > 1. +. clamp_tolerance then begin
+                  incr clamps;
+                  1.
+                end
+                else Float.min q 1.
+              in
+              qs := (v, q) :: !qs;
+              sigma_prev := sigma_i
+            end
+      end)
+    order;
+  ( { qs = List.rev !qs; patch_failed = List.rev !patch_failed; clamps = !clamps },
+    !sigma_prev )
+
+let run (oracle : Inference.oracle) ~epsilon ?adaptive inst ~order ~rng =
+  let n = Instance.n inst in
+  let failed = Array.make n false in
+  (* Pass 1: the ground state. *)
+  let ground = chain_pass oracle inst ~order ~choose:(fun _ mu -> Dist.argmax mu) in
+  (* Pass 2: the chain-rule sample Y. *)
+  let y = chain_pass oracle inst ~order ~choose:(fun _ mu -> Dist.sample rng mu) in
+  (* Pass 3: interpolate sigma_0 -> Y with local patches and acceptance. *)
+  let acc, final = acceptances oracle ~epsilon ?adaptive inst ~order ~ground ~y in
+  List.iter (fun v -> failed.(v) <- true) acc.patch_failed;
+  let acceptance_product = ref 1. in
+  List.iter
+    (fun (v, q) ->
+      acceptance_product := !acceptance_product *. q;
+      if not (Rng.bernoulli rng q) then failed.(v) <- true)
+    acc.qs;
+  let success = Array.for_all not failed in
+  (* Sanity: the interpolation must have arrived at Y. *)
+  if success && final <> y then failwith "Jvv.run: interpolation did not reach Y";
+  {
+    y;
+    ground;
+    failed;
+    success;
+    clamped = acc.clamps;
+    acceptance_product = !acceptance_product;
+  }
+
+type exact_output = {
+  conditional : (int array * float) list;
+      (** The exact law of [Y] conditioned on success. *)
+  success_probability : float;
+  total_clamps : int;
+}
+
+let output_distribution (oracle : Inference.oracle) ~epsilon ?adaptive inst
+    ~order =
+  let ground = chain_pass oracle inst ~order ~choose:(fun _ mu -> Dist.argmax mu) in
+  let mu_hat = Sequential_sampler.output_distribution oracle inst ~order in
+  let total_clamps = ref 0 in
+  let weighted =
+    List.map
+      (fun (sigma, p) ->
+        let acc, _ = acceptances oracle ~epsilon ?adaptive inst ~order ~ground ~y:sigma in
+        total_clamps := !total_clamps + acc.clamps;
+        let accept =
+          if acc.patch_failed <> [] then 0.
+          else List.fold_left (fun a (_, q) -> a *. q) 1. acc.qs
+        in
+        (sigma, p *. accept))
+      mu_hat
+  in
+  let success_probability = List.fold_left (fun a (_, w) -> a +. w) 0. weighted in
+  let conditional =
+    if success_probability > 0. then
+      List.filter_map
+        (fun (sigma, w) ->
+          if w > 0. then Some (sigma, w /. success_probability) else None)
+        weighted
+    else []
+  in
+  { conditional; success_probability; total_clamps = !total_clamps }
+
+(* ------------------------------------------------------------------ *)
+(* Certified-locality execution: the same three passes, but every state
+   access goes through the locality-enforcing SLOCAL runtime, so a
+   completed run has PROVED the localities (t, t, 3t+l) claimed in the
+   paper (Claims 4.6/4.7), rather than having them asserted. *)
+
+module Slocal = Ls_local.Slocal
+
+type node_state = { ground : int; y : int; cur : int }
+
+type certified = {
+  result : result;
+  pass_localities : int list;  (** Measured per pass: [t; t; 0; 3t+l]. *)
+  certified_locality : int;  (** The Lemma 4.4 single-pass bound. *)
+}
+
+let run_certified (oracle : Inference.oracle) ~epsilon ?(adaptive = false) inst
+    ~order ~seed =
+  let n = Instance.n inst in
+  let g = Instance.graph inst in
+  let spec = inst.Instance.spec in
+  let t = oracle.Inference.radius in
+  let ell = Instance.locality inst in
+  let big_r = (3 * t) + ell in
+  let position = Array.make n 0 in
+  Array.iteri (fun j v -> position.(v) <- j) order;
+  let init v =
+    let c =
+      if Instance.is_pinned inst v then inst.Instance.pinned.(v)
+      else Config.unassigned
+    in
+    { ground = c; y = c; cur = Config.unassigned }
+  in
+  let rt = Slocal.create g ~seed ~init in
+  (* A chain pass through the runtime: read the relevant field of every
+     node within radius t, rebuild the prefix instance, infer, choose. *)
+  let chain_pass_certified ~field ~store ~choose =
+    Slocal.run_pass rt ~order ~radius:t (fun ctx ->
+        let v = Slocal.center ctx in
+        if not (Instance.is_pinned inst v) then begin
+          let pinned = Array.copy inst.Instance.pinned in
+          for u = 0 to n - 1 do
+            if Slocal.dist ctx u <= t then begin
+              let c = field (Slocal.read ctx u) in
+              if c <> Config.unassigned && pinned.(u) = Config.unassigned then
+                pinned.(u) <- c
+            end
+          done;
+          let inst' = Instance.create spec ~pinned in
+          let mu_hat = oracle.Inference.infer inst' v in
+          let c = choose ctx mu_hat in
+          Slocal.write ctx v (store (Slocal.read ctx v) c)
+        end)
+  in
+  (* Pass 1: ground state. *)
+  chain_pass_certified
+    ~field:(fun s -> s.ground)
+    ~store:(fun s c -> { s with ground = c })
+    ~choose:(fun _ mu -> Dist.argmax mu);
+  (* Pass 2: the sample Y, drawn from each node's own stream. *)
+  chain_pass_certified
+    ~field:(fun s -> s.y)
+    ~store:(fun s c -> { s with y = c })
+    ~choose:(fun ctx mu -> Dist.sample (Slocal.rng ctx) mu);
+  (* Pass 2b (radius 0): initialize the interpolation at the ground state. *)
+  Slocal.run_pass rt ~order ~radius:0 (fun ctx ->
+      let v = Slocal.center ctx in
+      let s = Slocal.read ctx v in
+      Slocal.write ctx v { s with cur = s.ground });
+  (* Pass 3: local patches and rejection, radius 3t + l. *)
+  let failed = Array.make n false in
+  let clamps = ref 0 in
+  let acceptance_product = ref 1. in
+  Slocal.run_pass rt ~order ~radius:big_r (fun ctx ->
+      let v = Slocal.center ctx in
+      if not (Instance.is_pinned inst v) then begin
+        let i = position.(v) in
+        let visible u = Slocal.dist ctx u <= big_r in
+        (* Local views of the interpolation state and of Y. *)
+        let sigma_prev = Config.empty n in
+        let y_local = Config.empty n in
+        for u = 0 to n - 1 do
+          if visible u then begin
+            let s = Slocal.read ctx u in
+            sigma_prev.(u) <- s.cur;
+            y_local.(u) <- s.y
+          end
+        done;
+        let ball = Graph.ball g v t in
+        let frozen u =
+          if Instance.is_pinned inst u then Some inst.Instance.pinned.(u)
+          else if position.(u) <= i then Some y_local.(u)
+          else None
+        in
+        match find_patch inst ~ball ~frozen ~sigma_prev with
+        | None -> failed.(v) <- true
+        | Some sigma_i ->
+            let window = Graph.ball g v (2 * t) in
+            let positions =
+              List.sort compare
+                (Array.to_list (Array.map (fun u -> position.(u)) window))
+            in
+            let p_prev =
+              windowed_chain_product ~support:visible oracle inst ~order
+                ~positions sigma_prev
+            in
+            let p_i =
+              windowed_chain_product ~support:visible oracle inst ~order
+                ~positions sigma_i
+            in
+            if not (p_prev > 0.) || not (p_i > 0.) then failed.(v) <- true
+            else begin
+              let sites = if adaptive then Array.length window else n in
+              let slack = exp (-3. *. float_of_int sites *. epsilon) in
+              let q =
+                p_prev /. p_i *. weight_ratio inst ~ball sigma_i sigma_prev *. slack
+              in
+              let q =
+                if q > 1. +. clamp_tolerance then begin
+                  incr clamps;
+                  1.
+                end
+                else Float.min q 1.
+              in
+              acceptance_product := !acceptance_product *. q;
+              if not (Rng.bernoulli (Slocal.rng ctx) q) then failed.(v) <- true;
+              (* Commit the patch — writes stay within the t-ball. *)
+              Array.iter
+                (fun u ->
+                  let s = Slocal.read ctx u in
+                  Slocal.write ctx u { s with cur = sigma_i.(u) })
+                ball
+            end
+      end);
+  let states = Slocal.states rt in
+  let y = Array.map (fun s -> s.y) states in
+  let ground = Array.map (fun s -> s.ground) states in
+  let success = Array.for_all not failed in
+  if success && Array.exists (fun s -> s.cur <> s.y) states then
+    failwith "Jvv.run_certified: interpolation did not reach Y";
+  {
+    result =
+      {
+        y;
+        ground;
+        failed;
+        success;
+        clamped = !clamps;
+        acceptance_product = !acceptance_product;
+      };
+    pass_localities = Slocal.pass_localities rt;
+    certified_locality = Slocal.single_pass_locality rt;
+  }
+
+let jvv_locality (oracle : Inference.oracle) inst =
+  (* Lemma 4.4: passes of locality t, t, 3t+ℓ collapse to a single pass of
+     locality r1 + 2(r2 + r3). *)
+  let t = oracle.Inference.radius in
+  let ell = Instance.locality inst in
+  t + (2 * (t + (3 * t) + ell))
+
+let finish_local stats (result : result) =
+  let failed =
+    Array.mapi (fun v f -> f || stats.Scheduler.failed.(v)) result.failed
+  in
+  ({ result with failed; success = Array.for_all not failed }, stats)
+
+let run_local (oracle : Inference.oracle) ~epsilon inst ~seed =
+  let streams = Rng.streams seed 2 in
+  let out = ref None in
+  let run ~order = out := Some (run oracle ~epsilon inst ~order ~rng:streams.(1)) in
+  let stats =
+    Scheduler.compile ~graph:(Instance.graph inst)
+      ~locality:(jvv_locality oracle inst) ~rng:streams.(0) ~run ()
+  in
+  finish_local stats (Option.get !out)
+
+let run_local_certified (oracle : Inference.oracle) ~epsilon inst ~seed =
+  (* Composition of the two guarantees: the payload certifies its pass
+     localities against the SLOCAL runtime, and the scheduler's same-color
+     clusters are more than [locality] apart, so the simulated parallel
+     execution is sound end to end. *)
+  let streams = Rng.streams seed 2 in
+  let payload_seed =
+    Int64.of_int (Ls_rng.Rng.int streams.(1) 0x3FFFFFFF)
+  in
+  let out = ref None in
+  let run ~order =
+    out := Some (run_certified oracle ~epsilon inst ~order ~seed:payload_seed)
+  in
+  let stats =
+    Scheduler.compile ~graph:(Instance.graph inst)
+      ~locality:(jvv_locality oracle inst) ~rng:streams.(0) ~run ()
+  in
+  let certified = Option.get !out in
+  let result, stats = finish_local stats certified.result in
+  ({ certified with result }, stats)

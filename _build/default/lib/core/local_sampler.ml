@@ -1,0 +1,44 @@
+module Rng = Ls_rng.Rng
+module Dist = Ls_dist.Dist
+module Scheduler = Ls_local.Scheduler
+
+type result = {
+  sigma : int array;
+  failed : bool array;
+  success : bool;
+  rounds : int;
+  stats : Scheduler.stats;
+}
+
+let sample (oracle : Inference.oracle) inst ~seed =
+  let n = Instance.n inst in
+  (* Independent randomness: stream 0 drives the decomposition, streams
+     1..n drive the nodes — so failures are independent of the payload
+     output, as Lemma 3.1 requires. *)
+  let streams = Rng.streams seed (n + 1) in
+  let decomposition_rng = streams.(0) in
+  let node_rng v = streams.(v + 1) in
+  let sigma = ref [||] in
+  let run ~order =
+    let current = ref inst in
+    Array.iter
+      (fun v ->
+        if not (Instance.is_pinned !current v) then begin
+          let mu_hat = oracle.Inference.infer !current v in
+          let c = Dist.sample (node_rng v) mu_hat in
+          current := Instance.pin !current v c
+        end)
+      order;
+    sigma := Array.copy !current.Instance.pinned
+  in
+  let stats =
+    Scheduler.compile ~graph:(Instance.graph inst)
+      ~locality:oracle.Inference.radius ~rng:decomposition_rng ~run ()
+  in
+  {
+    sigma = !sigma;
+    failed = stats.Scheduler.failed;
+    success = stats.Scheduler.failures = 0;
+    rounds = stats.Scheduler.rounds;
+    stats;
+  }

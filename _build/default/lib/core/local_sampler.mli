@@ -1,0 +1,30 @@
+(** Approximate sampling in the LOCAL model (Theorem 3.2).
+
+    The chain-rule SLOCAL sampler compiled through the network-decomposition
+    scheduler of Lemma 3.1: the realized ordering [π] comes from the
+    Linial–Saks decomposition of [G^{r+1}] ([r] = oracle radius), every node
+    draws from its own random stream, and nodes the truncated decomposition
+    failed to cluster report [F_v = 1].  Conditioned on no failure the
+    output follows exactly the SLOCAL sampler's distribution [μ̂_{I,π}],
+    whose total-variation distance to [μ^τ] is at most [n] times the
+    oracle's per-site error.
+
+    Round complexity (charged, not just claimed):
+    [O(r log² n)] — decomposition plus [Σ_colors 2(R_c (r+1) + r)]. *)
+
+type result = {
+  sigma : int array;  (** The sample (defined even at failed nodes). *)
+  failed : bool array;  (** [F_v]: decomposition failures. *)
+  success : bool;  (** No node failed. *)
+  rounds : int;  (** LOCAL rounds charged. *)
+  stats : Ls_local.Scheduler.stats;
+}
+
+val sample :
+  Inference.oracle ->
+  Instance.t ->
+  seed:int64 ->
+  result
+(** One LOCAL execution: fresh decomposition randomness and fresh per-node
+    sampling streams, both derived from [seed] but independent of each
+    other. *)

@@ -1,0 +1,36 @@
+module Gibbs = Ls_gibbs
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+
+let critical_lambda ~branching =
+  Gibbs.Models.hardcore_uniqueness_threshold (branching + 1)
+
+let tree_root_influence ~branching ~depth ~lambda =
+  let g = Generators.complete_tree ~branching ~depth in
+  let spec = Gibbs.Models.hardcore g ~lambda in
+  let dist_from_root = Graph.bfs_distances g 0 in
+  let leaves = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if dist_from_root.(v) = depth then leaves := v :: !leaves
+  done;
+  let marginal_with value =
+    let pinned =
+      Gibbs.Config.of_pinning (Graph.n g) (List.map (fun v -> (v, value)) !leaves)
+    in
+    let inst = Instance.create spec ~pinned in
+    match Exact.marginal inst 0 with
+    | Some d -> d
+    | None -> failwith "Phase_transition.tree_root_influence: infeasible boundary"
+  in
+  Dist.tv (marginal_with 1) (marginal_with 0)
+
+let influence_profile ~branching ~max_depth ~lambda =
+  List.init max_depth (fun i ->
+      let depth = i + 1 in
+      (depth, tree_root_influence ~branching ~depth ~lambda))
+
+let lambda_sweep ~branching ~depth ~lambdas =
+  List.map
+    (fun lambda -> (lambda, tree_root_influence ~branching ~depth ~lambda))
+    lambdas

@@ -1,0 +1,34 @@
+(** The computational phase transition for distributed sampling (§5).
+
+    For the hardcore model with fugacity [λ] on graphs of max degree [Δ]:
+
+    - [λ < λ_c(Δ)] (uniqueness): SSM holds, so Theorem 5.1 + the JVV
+      sampler give [O(log³ n)]-round exact sampling;
+    - [λ > λ_c(Δ)] (non-uniqueness): boundary-to-center correlations do not
+      decay (on the Δ-regular tree), which is the mechanism behind the
+      [Ω(diam)] lower bound of Feng–Sun–Yin the paper invokes.
+
+    These helpers quantify both sides on complete [b]-ary trees, where the
+    exact forest DP makes deep instances cheap: {!tree_root_influence} is
+    the exact total-variation influence of the worst boundary pair
+    (all-occupied vs all-unoccupied leaves — the extremal pair for the
+    monotone hardcore model) on the root marginal. *)
+
+val tree_root_influence :
+  branching:int -> depth:int -> lambda:float -> float
+(** [d_TV(μ^{leaves=1}_root, μ^{leaves=0}_root)] on the complete
+    [branching]-ary tree of the given depth, hardcore([λ]).  (Leaves all
+    occupied is feasible there because leaves are pairwise non-adjacent.) *)
+
+val influence_profile :
+  branching:int -> max_depth:int -> lambda:float -> (int * float) list
+(** [tree_root_influence] for each depth [1..max_depth]. *)
+
+val lambda_sweep :
+  branching:int -> depth:int -> lambdas:float list -> (float * float) list
+(** Root influence at fixed depth across fugacities — the experiment that
+    exhibits the transition at [λ_c(Δ)], [Δ = branching + 1]. *)
+
+val critical_lambda : branching:int -> float
+(** [λ_c(branching + 1)] — the tree uniqueness threshold for the complete
+    [b]-ary tree (vertex degree [b + 1]). *)

@@ -1,0 +1,76 @@
+module Gibbs = Ls_gibbs
+module Dist = Ls_dist.Dist
+module Rng = Ls_rng.Rng
+
+let marginal_of_chain_sampler oracle inst ~order v =
+  let q = Instance.q inst in
+  let weights = Array.make q 0. in
+  List.iter
+    (fun (sigma, p) -> weights.(sigma.(v)) <- weights.(sigma.(v)) +. p)
+    (Sequential_sampler.output_distribution oracle inst ~order);
+  Dist.of_weights weights
+
+let monte_carlo_marginal ~sample ~q ~samples ~rng v =
+  let counts = Array.make q 0. in
+  let kept = ref 0 in
+  for _i = 1 to samples do
+    match sample rng with
+    | Some sigma ->
+        incr kept;
+        counts.(sigma.(v)) <- counts.(sigma.(v)) +. 1.
+    | None -> ()
+  done;
+  if !kept = 0 then None else Some (Dist.of_weights counts)
+
+let log_partition_via_sampling ~sample inst ~order ~samples ~rng =
+  let sigma =
+    match Gibbs.Admissible.greedy_extension inst.Instance.spec inst.Instance.pinned with
+    | Some sigma -> sigma
+    | None -> failwith "Reductions.log_partition_via_sampling: no greedy completion"
+  in
+  let log_p = ref 0. in
+  let current = ref inst in
+  Array.iter
+    (fun v ->
+      if not (Instance.is_pinned !current v) then begin
+        let hits = ref 0 and kept = ref 0 in
+        for _i = 1 to samples do
+          match sample !current rng with
+          | Some y ->
+              incr kept;
+              if y.(v) = sigma.(v) then incr hits
+          | None -> ()
+        done;
+        if !hits = 0 then
+          failwith
+            "Reductions.log_partition_via_sampling: zero marginal estimate \
+             (increase samples)";
+        log_p := !log_p +. log (float_of_int !hits /. float_of_int !kept);
+        current := Instance.pin !current v sigma.(v)
+      end)
+    order;
+  log (Gibbs.Spec.weight inst.Instance.spec sigma) -. !log_p
+
+let estimate_log_partition (oracle : Inference.oracle) inst ~order =
+  (* A feasible completion to evaluate the chain rule on: greedy local
+     extension (exactness of the estimate does not depend on which sigma is
+     chosen — only numerical conditioning does). *)
+  let sigma =
+    match Gibbs.Admissible.greedy_extension inst.Instance.spec inst.Instance.pinned with
+    | Some sigma -> sigma
+    | None -> failwith "Reductions.estimate_log_partition: no greedy completion"
+  in
+  let log_p = ref 0. in
+  let current = ref inst in
+  Array.iter
+    (fun v ->
+      if not (Instance.is_pinned !current v) then begin
+        let mu_hat = oracle.Inference.infer !current v in
+        let p = Dist.prob mu_hat sigma.(v) in
+        if not (p > 0.) then
+          failwith "Reductions.estimate_log_partition: zero marginal on completion";
+        log_p := !log_p +. log p;
+        current := Instance.pin !current v sigma.(v)
+      end)
+    order;
+  log (Gibbs.Spec.weight inst.Instance.spec sigma) -. !log_p

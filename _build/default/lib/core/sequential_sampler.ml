@@ -1,0 +1,108 @@
+module Gibbs = Ls_gibbs
+module Config = Gibbs.Config
+module Dist = Ls_dist.Dist
+module Slocal = Ls_local.Slocal
+
+let check_order inst order =
+  let n = Instance.n inst in
+  if Array.length order <> n then
+    invalid_arg "Sequential_sampler: order must list every vertex";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg "Sequential_sampler: order is not a permutation";
+      seen.(v) <- true)
+    order
+
+let sample (oracle : Inference.oracle) inst ~order ~rng =
+  check_order inst order;
+  let current = ref inst in
+  Array.iter
+    (fun v ->
+      if not (Instance.is_pinned !current v) then begin
+        let mu_hat = oracle.Inference.infer !current v in
+        let c = Dist.sample rng mu_hat in
+        current := Instance.pin !current v c
+      end)
+    order;
+  Array.copy !current.Instance.pinned
+
+let sample_slocal (oracle : Inference.oracle) inst ~order ~seed =
+  check_order inst order;
+  let g = Instance.graph inst in
+  let rt =
+    Slocal.create g ~seed ~init:(fun v ->
+        if Instance.is_pinned inst v then Some inst.Instance.pinned.(v) else None)
+  in
+  let radius = oracle.Inference.radius in
+  Slocal.run_pass rt ~order ~radius (fun ctx ->
+      let v = Slocal.center ctx in
+      match Slocal.read ctx v with
+      | Some _ -> ()
+      | None ->
+          (* Rebuild the partially-sampled instance from the states within
+             the locality radius: values sampled outside the radius cannot
+             influence the oracle (its answers depend on B_radius(v) only),
+             so this reconstruction is faithful. *)
+          let pinned = Array.copy inst.Instance.pinned in
+          for u = 0 to Slocal.n rt - 1 do
+            if Slocal.dist ctx u <= radius then
+              match Slocal.read ctx u with
+              | Some c -> pinned.(u) <- c
+              | None -> ()
+          done;
+          let inst' = Instance.create inst.Instance.spec ~pinned in
+          let mu_hat = oracle.Inference.infer inst' v in
+          let c = Dist.sample (Slocal.rng ctx) mu_hat in
+          Slocal.write ctx v (Some c));
+  let sigma =
+    Array.map
+      (function Some c -> c | None -> assert false)
+      (Slocal.states rt)
+  in
+  (sigma, Slocal.single_pass_locality rt)
+
+let output_distribution (oracle : Inference.oracle) inst ~order =
+  check_order inst order;
+  let acc = ref [] in
+  let rec go i current p =
+    if p <= 0. then ()
+    else if i = Array.length order then
+      acc := (Array.copy current.Instance.pinned, p) :: !acc
+    else begin
+      let v = order.(i) in
+      if Instance.is_pinned current v then go (i + 1) current p
+      else begin
+        let mu_hat = oracle.Inference.infer current v in
+        for c = 0 to Instance.q inst - 1 do
+          let pc = Dist.prob mu_hat c in
+          if pc > 0. then go (i + 1) (Instance.pin current v c) (p *. pc)
+        done
+      end
+    end
+  in
+  go 0 inst 1.;
+  List.rev !acc
+
+let chain_rule_probability (oracle : Inference.oracle) inst ~order sigma =
+  check_order inst order;
+  if not (Config.is_total sigma) then
+    invalid_arg "Sequential_sampler.chain_rule_probability: sigma not total";
+  let p = ref 1. in
+  let current = ref inst in
+  Array.iter
+    (fun v ->
+      (* Once the probability hits 0 the remaining prefix instances may be
+         infeasible; stop extending. *)
+      if !p > 0. then
+        if Instance.is_pinned !current v then begin
+          if !current.Instance.pinned.(v) <> sigma.(v) then p := 0.
+        end
+        else begin
+          let mu_hat = oracle.Inference.infer !current v in
+          p := !p *. Dist.prob mu_hat sigma.(v);
+          current := Instance.pin !current v sigma.(v)
+        end)
+    order;
+  !p

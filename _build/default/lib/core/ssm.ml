@@ -1,0 +1,139 @@
+module Gibbs = Ls_gibbs
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+module Rng = Ls_rng.Rng
+
+type point = {
+  distance : int;
+  tv : float;
+  mult : float;
+  boundary_configs : int;
+  exhaustive : bool;
+}
+
+let pin_sphere inst sphere values =
+  let pins = Array.to_list (Array.mapi (fun i u -> (u, values.(i))) sphere) in
+  List.fold_left
+    (fun acc (u, c) ->
+      match acc with
+      | None -> None
+      | Some inst' ->
+          if Instance.is_pinned inst' u then
+            if inst'.Instance.pinned.(u) = c then Some inst' else None
+          else Some (Instance.pin inst' u c))
+    (Some inst) pins
+
+(* Marginal at v under a candidate boundary; None when the combined pinning
+   is infeasible. *)
+let marginal_under inst sphere values v =
+  match pin_sphere inst sphere values with
+  | None -> None
+  | Some inst' -> Exact.marginal inst' v
+
+let exhaustive_boundaries q k =
+  (* All q^k value tuples. *)
+  let rec go i acc =
+    if i = k then List.rev_map (fun l -> Array.of_list (List.rev l)) acc
+    else
+      go (i + 1)
+        (List.concat_map (fun prefix -> List.init q (fun c -> c :: prefix)) acc)
+  in
+  go 0 [ [] ]
+
+(* One feasible boundary drawn from the true conditional distribution on
+   the sphere (chain rule with exact marginals): guaranteed feasible. *)
+let random_boundary ~rng inst sphere =
+  let current = ref inst in
+  let values = Array.make (Array.length sphere) 0 in
+  try
+    Array.iteri
+      (fun i u ->
+        if Instance.is_pinned !current u then
+          values.(i) <- !current.Instance.pinned.(u)
+        else begin
+          match Exact.marginal !current u with
+          | None -> raise Exit
+          | Some m ->
+              let c = Dist.sample rng m in
+              values.(i) <- c;
+              current := Instance.pin !current u c
+        end)
+      sphere;
+    Some values
+  with Exit -> None
+
+let influence_at ?(max_exhaustive = 512) ?(samples = 64) ~rng inst ~v ~d =
+  let g = Instance.graph inst in
+  let q = Instance.q inst in
+  let sphere =
+    Array.of_list
+      (List.filter
+         (fun u -> not (Instance.is_pinned inst u))
+         (Array.to_list (Graph.sphere g v d)))
+  in
+  let k = Array.length sphere in
+  if k = 0 then { distance = d; tv = 0.; mult = 0.; boundary_configs = 0; exhaustive = true }
+  else begin
+    let total = float_of_int q ** float_of_int k in
+    let exhaustive = total <= float_of_int max_exhaustive in
+    let candidates =
+      if exhaustive then exhaustive_boundaries q k
+      else begin
+        let constants = List.init q (fun c -> Array.make k c) in
+        let sampled =
+          List.filter_map
+            (fun _ -> random_boundary ~rng inst sphere)
+            (List.init samples (fun i -> i))
+        in
+        constants @ sampled
+      end
+    in
+    let marginals =
+      List.filter_map (fun values -> marginal_under inst sphere values v) candidates
+    in
+    let worst_tv = ref 0. and worst_mult = ref 0. in
+    let arr = Array.of_list marginals in
+    let kk = Array.length arr in
+    for i = 0 to kk - 1 do
+      for j = i + 1 to kk - 1 do
+        worst_tv := max !worst_tv (Dist.tv arr.(i) arr.(j));
+        worst_mult := max !worst_mult (Dist.mult_err arr.(i) arr.(j))
+      done
+    done;
+    {
+      distance = d;
+      tv = !worst_tv;
+      mult = !worst_mult;
+      boundary_configs = kk;
+      exhaustive;
+    }
+  end
+
+let decay_curve ?max_exhaustive ?samples ~rng inst ~v ~max_d =
+  let g = Instance.graph inst in
+  let points = ref [] in
+  for d = 1 to max_d do
+    if Array.length (Graph.sphere g v d) > 0 then
+      points := influence_at ?max_exhaustive ?samples ~rng inst ~v ~d :: !points
+  done;
+  List.rev !points
+
+let fit_exponential_rate points =
+  let usable =
+    List.filter_map
+      (fun p -> if p.tv > 0. then Some (float_of_int p.distance, log p.tv) else None)
+      points
+  in
+  match usable with
+  | [] | [ _ ] -> None
+  | _ ->
+      let n = float_of_int (List.length usable) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0. usable in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0. usable in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. usable in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. usable in
+      let denom = (n *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-12 then None
+      else
+        let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+        Some (exp slope)

@@ -1,0 +1,1 @@
+lib/dist/dist.mli: Format Ls_rng

@@ -1,0 +1,78 @@
+type t = float array
+
+let of_weights w =
+  Array.iter
+    (fun x ->
+      if x < 0. || Float.is_nan x then
+        invalid_arg "Dist.of_weights: negative or NaN weight")
+    w;
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Dist.of_weights: weights sum to zero";
+  Array.map (fun x -> x /. total) w
+
+let make q f = of_weights (Array.init q f)
+
+let uniform q =
+  if q <= 0 then invalid_arg "Dist.uniform: q must be positive";
+  Array.make q (1. /. float_of_int q)
+
+let point q c =
+  if c < 0 || c >= q then invalid_arg "Dist.point: value out of range";
+  let a = Array.make q 0. in
+  a.(c) <- 1.;
+  a
+
+let support_size mu =
+  Array.fold_left (fun acc p -> if p > 0. then acc + 1 else acc) 0 mu
+
+let size = Array.length
+
+let prob mu c = mu.(c)
+
+let tv mu nu =
+  if Array.length mu <> Array.length nu then
+    invalid_arg "Dist.tv: size mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. Float.abs (p -. nu.(i))) mu;
+  0.5 *. !acc
+
+let mult_err mu nu =
+  if Array.length mu <> Array.length nu then
+    invalid_arg "Dist.mult_err: size mismatch";
+  let worst = ref 0. in
+  Array.iteri
+    (fun i p ->
+      let q = nu.(i) in
+      let e =
+        if p = 0. && q = 0. then 0.
+        else if p = 0. || q = 0. then infinity
+        else Float.abs (log p -. log q)
+      in
+      if e > !worst then worst := e)
+    mu;
+  !worst
+
+let sample rng mu = Ls_rng.Rng.discrete rng (Array.copy mu)
+
+let argmax mu =
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p > mu.(!best) then best := i) mu;
+  !best
+
+let mix a mu nu =
+  if a < 0. || a > 1. then invalid_arg "Dist.mix: coefficient out of [0,1]";
+  if Array.length mu <> Array.length nu then
+    invalid_arg "Dist.mix: size mismatch";
+  Array.mapi (fun i p -> (a *. p) +. ((1. -. a) *. nu.(i))) mu
+
+let is_normalized mu =
+  Float.abs (Array.fold_left ( +. ) 0. mu -. 1.) < 1e-9
+
+let pp fmt mu =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%.4f" p)
+    mu;
+  Format.fprintf fmt "]"

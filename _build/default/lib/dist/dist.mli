@@ -1,0 +1,51 @@
+(** Finite probability distributions over the alphabet [0 .. q-1].
+
+    These are the marginal distributions exchanged by the paper's inference
+    algorithms: a vector [mu] with [mu.(c) = Pr(Y_v = c)].  The module also
+    implements the two error measures the paper uses — total variation
+    distance, and the multiplicative error [err(mu, nu) = max_c |ln mu(c) −
+    ln nu(c)|] of eq. (2) (with the paper's convention [ln 0 − ln 0 = 0]). *)
+
+type t = private float array
+(** Normalized probability vector.  The representation is exposed read-only
+    so callers can index [mu.(c)] directly. *)
+
+val of_weights : float array -> t
+(** Normalize a non-negative weight vector with positive sum. *)
+
+val make : int -> (int -> float) -> t
+(** [make q f] normalizes [\[| f 0; ...; f (q-1) |\]]. *)
+
+val uniform : int -> t
+(** Uniform distribution over [0..q-1]. *)
+
+val point : int -> int -> t
+(** [point q c]: Dirac mass at [c]. *)
+
+val support_size : t -> int
+val size : t -> int
+(** Alphabet size [q]. *)
+
+val prob : t -> int -> float
+
+val tv : t -> t -> float
+(** Total variation distance [1/2 · Σ_c |mu(c) − nu(c)|]. *)
+
+val mult_err : t -> t -> float
+(** Multiplicative error of eq. (2): [max_c |ln mu(c) − ln nu(c)|], where
+    [ln 0 − ln 0 = 0] and a zero against a non-zero is [infinity]. *)
+
+val sample : Ls_rng.Rng.t -> t -> int
+(** Draw one value. *)
+
+val argmax : t -> int
+(** Most probable value (ties → smallest index), used by the boosting
+    construction of Lemma 4.1 to pin annulus vertices. *)
+
+val mix : float -> t -> t -> t
+(** [mix a mu nu] is [a·mu + (1−a)·nu] (requires [0 ≤ a ≤ 1]). *)
+
+val is_normalized : t -> bool
+(** True when the entries sum to 1 within 1e-9. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+module Key = struct
+  type t = int array
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = { counts : int Tbl.t; mutable total : int }
+
+let create () = { counts = Tbl.create 64; total = 0 }
+
+let add e sigma =
+  let sigma = Array.copy sigma in
+  let c = try Tbl.find e.counts sigma with Not_found -> 0 in
+  Tbl.replace e.counts sigma (c + 1);
+  e.total <- e.total + 1
+
+let total e = e.total
+
+let count e sigma = try Tbl.find e.counts sigma with Not_found -> 0
+
+let freq e sigma =
+  if e.total = 0 then 0. else float_of_int (count e sigma) /. float_of_int e.total
+
+let distinct e = Tbl.length e.counts
+
+let iter e f = Tbl.iter f e.counts
+
+let tv_against e exact =
+  let n = float_of_int (max e.total 1) in
+  let acc = ref 0. in
+  let seen = Tbl.create 64 in
+  List.iter
+    (fun (sigma, p) ->
+      Tbl.replace seen sigma ();
+      let f = float_of_int (count e sigma) /. n in
+      acc := !acc +. Float.abs (f -. p))
+    exact;
+  (* Mass outside the exact support. *)
+  Tbl.iter
+    (fun sigma c ->
+      if not (Tbl.mem seen sigma) then acc := !acc +. (float_of_int c /. n))
+    e.counts;
+  0.5 *. !acc
+
+let chi_square e exact =
+  let n = float_of_int e.total in
+  let acc = ref 0. in
+  let seen = Tbl.create 64 in
+  List.iter
+    (fun (sigma, p) ->
+      Tbl.replace seen sigma ();
+      let expected = n *. p in
+      let observed = float_of_int (count e sigma) in
+      if expected > 0. then
+        acc := !acc +. (((observed -. expected) ** 2.) /. expected)
+      else if observed > 0. then acc := infinity)
+    exact;
+  Tbl.iter
+    (fun sigma c -> if not (Tbl.mem seen sigma) && c > 0 then acc := infinity)
+    e.counts;
+  !acc

@@ -1,0 +1,39 @@
+(** Empirical distributions over configurations.
+
+    Used to validate samplers: accumulate the configurations a sampler
+    outputs, then compare the resulting empirical distribution with the exact
+    target distribution (computed by brute-force enumeration on small
+    instances). *)
+
+type t
+(** A multiset of configurations [σ ∈ Σ^V], represented as [int array]s. *)
+
+val create : unit -> t
+
+val add : t -> int array -> unit
+(** Record one sample.  The array is copied. *)
+
+val total : t -> int
+(** Number of samples recorded. *)
+
+val count : t -> int array -> int
+(** Occurrences of one configuration. *)
+
+val freq : t -> int array -> float
+(** [count / total] (0 when empty). *)
+
+val distinct : t -> int
+(** Number of distinct configurations seen. *)
+
+val iter : t -> (int array -> int -> unit) -> unit
+
+val tv_against : t -> (int array * float) list -> float
+(** [tv_against e exact] is the total variation distance between the
+    empirical distribution and the exact distribution given as a support
+    list [(σ, μ(σ))].  Mass the sampler put on configurations outside the
+    support list is counted in full (such mass certifies a bug). *)
+
+val chi_square : t -> (int array * float) list -> float
+(** Pearson χ² statistic of the empirical counts against expected counts
+    [total · μ(σ)]; cells with expected count 0 contribute [infinity] when
+    observed, 0 otherwise. *)

@@ -1,0 +1,1 @@
+lib/gibbs/admissible.ml: Array Config Enumerate Ls_graph Spec

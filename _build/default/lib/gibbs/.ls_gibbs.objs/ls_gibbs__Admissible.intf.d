@@ -1,0 +1,1 @@
+lib/gibbs/admissible.mli: Config Spec

@@ -1,0 +1,1 @@
+lib/gibbs/chain_dp.ml: Array Config Float Hashtbl List Ls_dist Ls_graph Option Spec

@@ -1,0 +1,1 @@
+lib/gibbs/chain_dp.mli: Config Ls_dist Spec

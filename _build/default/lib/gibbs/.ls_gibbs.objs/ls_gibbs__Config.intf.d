@@ -1,0 +1,1 @@
+lib/gibbs/config.mli: Format

@@ -1,0 +1,1 @@
+lib/gibbs/enumerate.ml: Array Config List Ls_dist Ls_graph Spec

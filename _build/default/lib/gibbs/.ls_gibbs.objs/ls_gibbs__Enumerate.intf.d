@@ -1,0 +1,1 @@
+lib/gibbs/enumerate.mli: Config Ls_dist Spec

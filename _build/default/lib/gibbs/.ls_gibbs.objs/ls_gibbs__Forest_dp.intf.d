@@ -1,0 +1,1 @@
+lib/gibbs/forest_dp.mli: Config Ls_dist Spec

@@ -1,0 +1,1 @@
+lib/gibbs/hypergraph_matching.ml: Array List Ls_graph Models Spec

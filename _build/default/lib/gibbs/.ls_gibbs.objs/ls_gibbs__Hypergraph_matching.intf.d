@@ -1,0 +1,1 @@
+lib/gibbs/hypergraph_matching.mli: Ls_graph Spec

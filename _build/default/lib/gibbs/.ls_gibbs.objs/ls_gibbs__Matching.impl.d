@@ -1,0 +1,1 @@
+lib/gibbs/matching.ml: Array List Ls_graph Models Spec

@@ -1,0 +1,1 @@
+lib/gibbs/matching.mli: Ls_graph Spec

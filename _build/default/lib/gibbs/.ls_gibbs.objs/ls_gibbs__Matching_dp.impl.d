@@ -1,0 +1,1 @@
+lib/gibbs/matching_dp.ml: Array Float Hashtbl List Ls_graph Queue

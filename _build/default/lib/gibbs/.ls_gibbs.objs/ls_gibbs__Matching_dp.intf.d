@@ -1,0 +1,1 @@
+lib/gibbs/matching_dp.mli: Ls_graph

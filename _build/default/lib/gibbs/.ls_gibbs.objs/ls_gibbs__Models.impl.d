@@ -1,0 +1,1 @@
+lib/gibbs/models.ml: Array List Ls_graph Spec

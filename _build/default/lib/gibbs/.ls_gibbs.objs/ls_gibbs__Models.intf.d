@@ -1,0 +1,1 @@
+lib/gibbs/models.mli: Ls_graph Spec

@@ -1,0 +1,1 @@
+lib/gibbs/saw.ml: Array Config Float Ls_dist Ls_graph Option Spec

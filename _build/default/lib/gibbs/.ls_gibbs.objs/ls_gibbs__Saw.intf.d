@@ -1,0 +1,1 @@
+lib/gibbs/saw.mli: Config Ls_dist Spec

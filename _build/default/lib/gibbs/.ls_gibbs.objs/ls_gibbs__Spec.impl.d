@@ -1,0 +1,1 @@
+lib/gibbs/spec.ml: Array Config List Ls_dist Ls_graph

@@ -1,0 +1,1 @@
+lib/gibbs/spec.mli: Config Ls_dist Ls_graph

@@ -1,0 +1,58 @@
+module Graph = Ls_graph.Graph
+
+let rec enum_partial spec tau v stop =
+  (* Enumerate partial configurations over vertices >= v; call [stop] on
+     each; short-circuit when it returns Some. *)
+  let n = Graph.n (Spec.graph spec) in
+  if v = n then stop tau
+  else
+    let q = Spec.q spec in
+    let rec try_value c =
+      if c > q then None
+      else begin
+        tau.(v) <- (if c = q then Config.unassigned else c);
+        match enum_partial spec tau (v + 1) stop with
+        | Some _ as r ->
+            tau.(v) <- Config.unassigned;
+            r
+        | None ->
+            tau.(v) <- Config.unassigned;
+            try_value (c + 1)
+      end
+    in
+    try_value 0
+
+let counterexample spec =
+  let n = Graph.n (Spec.graph spec) in
+  let tau = Config.empty n in
+  enum_partial spec tau 0 (fun tau ->
+      if Spec.locally_feasible spec tau && not (Enumerate.feasible spec tau)
+      then Some (Array.copy tau)
+      else None)
+
+let is_locally_admissible spec = counterexample spec = None
+
+let greedy_extension spec tau =
+  let n = Graph.n (Spec.graph spec) in
+  let q = Spec.q spec in
+  let sigma = Array.copy tau in
+  (* Strictly oblivious: commit to the first locally feasible value at each
+     vertex, never backtrack. *)
+  let rec first_value v c =
+    if c = q then None
+    else begin
+      sigma.(v) <- c;
+      if Spec.locally_feasible spec sigma then Some c
+      else begin
+        sigma.(v) <- Config.unassigned;
+        first_value v (c + 1)
+      end
+    end
+  in
+  let rec fill v =
+    if v = n then Some sigma
+    else if Config.is_assigned sigma v then fill (v + 1)
+    else
+      match first_value v 0 with None -> None | Some _ -> fill (v + 1)
+  in
+  fill 0

@@ -1,0 +1,27 @@
+(** Local admissibility (Definition 2.5).
+
+    A Gibbs distribution is locally admissible when every locally feasible
+    partial configuration (one violating no fully-contained constraint) is
+    globally feasible (extends to a positive-weight total configuration).
+    This is property (⋆⋆) of the paper: it makes sequential local oblivious
+    construction trivial and is the precondition of Theorem 5.1's converse
+    direction and of Corollaries 5.2–5.3.
+
+    The checks here are exhaustive and meant for validation on small
+    instances, e.g. confirming that (Δ+1)-colorings are locally admissible
+    while Δ-colorings are not. *)
+
+val is_locally_admissible : Spec.t -> bool
+(** Exhaustive check over all partial configurations — [O((q+1)^n)];
+    only for tiny instances. *)
+
+val counterexample : Spec.t -> Config.t option
+(** A locally feasible but infeasible partial configuration, if any. *)
+
+val greedy_extension : Spec.t -> Config.t -> Config.t option
+(** Sequential local oblivious construction (Remark 2.3): extend [tau]
+    vertex by vertex, each step choosing a value that keeps the
+    configuration locally feasible.  Returns a total configuration, or
+    [None] if some step has no locally feasible value.  For locally
+    admissible specs this never fails on feasible [tau] and the result is
+    feasible. *)

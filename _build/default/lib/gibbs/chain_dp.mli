@@ -1,0 +1,24 @@
+(** Exact transfer-matrix computations for pairwise specs on paths and
+    cycles (max degree ≤ 2).
+
+    Cycles are the one workload class the forest DP cannot touch, yet the
+    paper's cycle experiments want exact whole-graph marginals at sizes far
+    beyond enumeration.  A configuration weight along a cycle
+    [u₀ u₁ … u_{k−1} u₀] factorizes into [q × q] transfer matrices, so
+
+    [Z = tr(D₀ E₀ D₁ E₁ ⋯ D_{k−1} E_{k−1})]
+
+    with [D_i] the (pin-filtered) vertex-weight diagonal and [E_i] the edge
+    matrix, and the marginal at [u₀] is the normalized diagonal of the
+    cyclic product.  Paths are the open-boundary analogue.  Everything is
+    rescaled per step, so million-vertex chains are fine. *)
+
+val supported : Spec.t -> bool
+(** Pairwise spec and every vertex has degree ≤ 2. *)
+
+val marginal : Spec.t -> Config.t -> int -> Ls_dist.Dist.t option
+(** Exact conditional marginal [μ^τ_v]; [None] when [τ] is infeasible.
+    Same contract as {!Enumerate.marginal}; requires {!supported}. *)
+
+val log_partition : Spec.t -> Config.t -> float
+(** [ln Z(τ)]; [neg_infinity] when infeasible.  Requires {!supported}. *)

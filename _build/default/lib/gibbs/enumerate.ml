@@ -1,0 +1,134 @@
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+
+let fold_completions spec ~member tau ~init ~f =
+  let n = Graph.n (Spec.graph spec) in
+  let q = Spec.q spec in
+  let factors = Spec.factors spec in
+  let nf = Array.length factors in
+  (* Track, per relevant factor, how many of its scope vertices are still
+     unassigned; a factor becomes evaluable exactly when this hits 0. *)
+  let relevant = Array.make nf false in
+  let remaining = Array.make nf 0 in
+  let scratch = Array.copy tau in
+  Array.iteri
+    (fun i fa ->
+      if Array.for_all member fa.Spec.scope then begin
+        relevant.(i) <- true;
+        remaining.(i) <-
+          Array.fold_left
+            (fun acc v -> if scratch.(v) = Config.unassigned then acc + 1 else acc)
+            0 fa.Spec.scope
+      end)
+    factors;
+  (* Prefix weight: factors already fully assigned by tau. *)
+  let prefix = ref 1. in
+  Array.iteri
+    (fun i _ ->
+      if relevant.(i) && remaining.(i) = 0 then
+        match Spec.factor_value spec i scratch with
+        | Some w -> prefix := !prefix *. w
+        | None -> assert false)
+    factors;
+  if !prefix <= 0. then init
+  else begin
+    let free = ref [] in
+    for v = n - 1 downto 0 do
+      if member v && scratch.(v) = Config.unassigned then free := v :: !free
+    done;
+    let free = Array.of_list !free in
+    let k = Array.length free in
+    let acc = ref init in
+    let rec go idx w =
+      if w <= 0. then ()
+      else if idx = k then acc := f !acc scratch w
+      else begin
+        let v = free.(idx) in
+        for c = 0 to q - 1 do
+          scratch.(v) <- c;
+          (* Multiply in the factors completed by this assignment. *)
+          let dw = ref 1. in
+          let touched = Spec.factors_of_vertex spec v in
+          Array.iter
+            (fun i ->
+              if relevant.(i) then begin
+                remaining.(i) <- remaining.(i) - 1;
+                if remaining.(i) = 0 then
+                  match Spec.factor_value spec i scratch with
+                  | Some x -> dw := !dw *. x
+                  | None -> assert false
+              end)
+            touched;
+          go (idx + 1) (w *. !dw);
+          Array.iter
+            (fun i -> if relevant.(i) then remaining.(i) <- remaining.(i) + 1)
+            touched;
+          scratch.(v) <- Config.unassigned
+        done
+      end
+    in
+    go 0 !prefix;
+    !acc
+  end
+
+let all_members _ = true
+
+let partition spec tau =
+  fold_completions spec ~member:all_members tau ~init:0. ~f:(fun acc _ w ->
+      acc +. w)
+
+let feasible spec tau = partition spec tau > 0.
+
+let distribution spec tau =
+  let support =
+    fold_completions spec ~member:all_members tau ~init:[] ~f:(fun acc sigma w ->
+        (Array.copy sigma, w) :: acc)
+  in
+  let z = List.fold_left (fun acc (_, w) -> acc +. w) 0. support in
+  if not (z > 0.) then failwith "Enumerate.distribution: infeasible pinning";
+  List.rev_map (fun (sigma, w) -> (sigma, w /. z)) support
+
+let marginal spec tau v =
+  let q = Spec.q spec in
+  if Config.is_assigned tau v then
+    if feasible spec tau then Some (Dist.point q tau.(v)) else None
+  else begin
+    let weights = Array.make q 0. in
+    let (_ : unit) =
+      fold_completions spec ~member:all_members tau ~init:() ~f:(fun () sigma w ->
+          weights.(sigma.(v)) <- weights.(sigma.(v)) +. w)
+    in
+    if Array.for_all (fun w -> w <= 0.) weights then None
+    else Some (Dist.of_weights weights)
+  end
+
+let ball_marginal spec ~ball tau v =
+  if not (Array.exists (( = ) v) ball) then
+    invalid_arg "Enumerate.ball_marginal: v not in ball";
+  let n = Graph.n (Spec.graph spec) in
+  let in_ball = Array.make n false in
+  Array.iter (fun u -> in_ball.(u) <- true) ball;
+  let member u = in_ball.(u) in
+  let q = Spec.q spec in
+  if Config.is_assigned tau v then Some (Dist.point q tau.(v))
+  else begin
+    let weights = Array.make q 0. in
+    let (_ : unit) =
+      fold_completions spec ~member tau ~init:() ~f:(fun () sigma w ->
+          weights.(sigma.(v)) <- weights.(sigma.(v)) +. w)
+    in
+    if Array.for_all (fun w -> w <= 0.) weights then None
+    else Some (Dist.of_weights weights)
+  end
+
+let ball_partition spec ~ball tau =
+  let n = Graph.n (Spec.graph spec) in
+  let in_ball = Array.make n false in
+  Array.iter (fun u -> in_ball.(u) <- true) ball;
+  fold_completions spec ~member:(fun u -> in_ball.(u)) tau ~init:0.
+    ~f:(fun acc _ w -> acc +. w)
+
+let count_feasible spec =
+  let n = Graph.n (Spec.graph spec) in
+  fold_completions spec ~member:all_members (Config.empty n) ~init:0
+    ~f:(fun acc _ _ -> acc + 1)

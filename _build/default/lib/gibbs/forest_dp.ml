@@ -1,0 +1,151 @@
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+
+let supported spec ~ball =
+  match Spec.as_pairwise spec with
+  | None -> false
+  | Some _ ->
+      let sub, _ = Graph.induced (Spec.graph spec) ball in
+      Graph.is_forest sub
+
+(* Bottom-up sum-product over one tree component of [sub], rooted at local
+   vertex [root].  Returns the unnormalized weight vector at the root:
+   up.(root).(c) = Σ over assignments of the component with root = c of the
+   product of vertex and edge weights, respecting the pinning [tau] (given
+   on original ids, [orig] maps local -> original). *)
+let component_weights ?logscale (pw : Spec.pairwise) q sub orig tau root =
+  let nloc = Graph.n sub in
+  let parent = Array.make nloc (-1) in
+  let order = ref [] in
+  let visited = Array.make nloc false in
+  let queue = Queue.create () in
+  visited.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    Array.iter
+      (fun w ->
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          parent.(w) <- u;
+          Queue.add w queue
+        end)
+      (Graph.neighbors sub u)
+  done;
+  (* !order is reverse BFS: children come before parents. *)
+  let up = Array.make nloc [||] in
+  let edge_w a b ca cb =
+    (* Evaluate the pairwise edge factor on original ids with the
+       smaller-endpoint-first convention of Spec. *)
+    if a < b then pw.Spec.edge_weight a b ca cb else pw.Spec.edge_weight b a cb ca
+  in
+  List.iter
+    (fun u ->
+      let ou = orig.(u) in
+      let pinned = tau.(ou) in
+      let w =
+        Array.init q (fun c ->
+            if pinned <> Config.unassigned && pinned <> c then 0.
+            else begin
+              let acc = ref (pw.Spec.vertex_weight ou c) in
+              Array.iter
+                (fun child ->
+                  if parent.(child) = u then begin
+                    let oc = orig.(child) in
+                    let msg = ref 0. in
+                    for cc = 0 to q - 1 do
+                      msg := !msg +. (up.(child).(cc) *. edge_w oc ou cc c)
+                    done;
+                    acc := !acc *. !msg
+                  end)
+                (Graph.neighbors sub u);
+              !acc
+            end)
+      in
+      (* Rescale to dodge over/underflow on deep trees: marginals are
+         invariant under positive scaling of a whole message. *)
+      let peak = Array.fold_left Float.max 0. w in
+      if peak > 0. then begin
+        up.(u) <- Array.map (fun x -> x /. peak) w;
+        match logscale with
+        | Some acc -> acc := !acc +. log peak
+        | None -> ()
+      end
+      else up.(u) <- w)
+    !order;
+  up.(root)
+
+let ball_marginal spec ~ball tau v =
+  match Spec.as_pairwise spec with
+  | None -> invalid_arg "Forest_dp.ball_marginal: spec is not pairwise"
+  | Some pw ->
+      let q = Spec.q spec in
+      if Config.is_assigned tau v then Some (Dist.point q tau.(v))
+      else begin
+        let sub, orig = Graph.induced (Spec.graph spec) ball in
+        if not (Graph.is_forest sub) then
+          invalid_arg "Forest_dp.ball_marginal: induced ball is not a forest";
+        let nloc = Graph.n sub in
+        let local_of_orig = Hashtbl.create (2 * nloc) in
+        Array.iteri (fun i o -> Hashtbl.replace local_of_orig o i) orig;
+        let vloc =
+          match Hashtbl.find_opt local_of_orig v with
+          | Some i -> i
+          | None -> invalid_arg "Forest_dp.ball_marginal: v not in ball"
+        in
+        let comp = Graph.components sub in
+        (* Other components contribute a constant factor; it cancels in the
+           normalization unless it is zero, in which case the whole measure
+           vanishes and the marginal is undefined. *)
+        let seen_roots = Hashtbl.create 8 in
+        let others_positive = ref true in
+        for u = 0 to nloc - 1 do
+          let c = comp.(u) in
+          if c <> comp.(vloc) && not (Hashtbl.mem seen_roots c) then begin
+            Hashtbl.replace seen_roots c ();
+            let w = component_weights pw q sub orig tau u in
+            if Array.for_all (fun x -> x <= 0.) w then others_positive := false
+          end
+        done;
+        if not !others_positive then None
+        else begin
+          let weights = component_weights pw q sub orig tau vloc in
+          if Array.for_all (fun x -> x <= 0.) weights then None
+          else Some (Dist.of_weights weights)
+        end
+      end
+
+let marginal spec tau v =
+  let n = Graph.n (Spec.graph spec) in
+  let ball = Array.init n (fun i -> i) in
+  ball_marginal spec ~ball tau v
+
+let log_partition spec tau =
+  match Spec.as_pairwise spec with
+  | None -> invalid_arg "Forest_dp.log_partition: spec is not pairwise"
+  | Some pw ->
+      let g = Spec.graph spec in
+      if not (Graph.is_forest g) then
+        invalid_arg "Forest_dp.log_partition: graph is not a forest";
+      let n = Graph.n g in
+      let orig = Array.init n (fun i -> i) in
+      let comp = Graph.components g in
+      let seen = Hashtbl.create 8 in
+      let total = ref 0. in
+      (try
+         for u = 0 to n - 1 do
+           if not (Hashtbl.mem seen comp.(u)) then begin
+             Hashtbl.replace seen comp.(u) ();
+             let logscale = ref 0. in
+             let w = component_weights ~logscale pw (Spec.q spec) g orig tau u in
+             let z = Array.fold_left ( +. ) 0. w in
+             if z > 0. then total := !total +. log z +. !logscale
+             else begin
+               total := neg_infinity;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      !total

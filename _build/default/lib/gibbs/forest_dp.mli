@@ -1,0 +1,23 @@
+(** Exact marginals for pairwise specs on forests, by dynamic programming.
+
+    When the subgraph induced by a gathered ball is a forest (always true on
+    trees, and true on cycles for radii below half the girth), the
+    ball-restricted marginal of {!Enumerate.ball_marginal} can be computed
+    in [O(|B| · q²)] instead of [O(q^{|B|})] by bottom-up message passing.
+    This is an exactness-preserving speedup — the two engines agree bit-for-
+    bit up to floating-point rounding (property-tested) — and it is what
+    makes the large-[n] round-complexity sweeps (E5–E9) feasible. *)
+
+val supported : Spec.t -> ball:int array -> bool
+(** True when the spec is pairwise and the induced ball is a forest. *)
+
+val ball_marginal :
+  Spec.t -> ball:int array -> Config.t -> int -> Ls_dist.Dist.t option
+(** Same contract as {!Enumerate.ball_marginal}; requires {!supported}. *)
+
+val marginal : Spec.t -> Config.t -> int -> Ls_dist.Dist.t option
+(** Whole-graph marginal when the whole graph is a forest. *)
+
+val log_partition : Spec.t -> Config.t -> float
+(** [ln Z(τ)] for a pairwise spec on a forest; [neg_infinity] when [τ] is
+    infeasible.  Rescaled per node, so deep trees are safe. *)

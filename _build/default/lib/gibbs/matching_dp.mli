@@ -1,0 +1,45 @@
+(** Exact monomer–dimer (matching) computations on forests.
+
+    The matchings application (E7) needs edge-occupancy marginals on trees
+    far too deep for enumeration, and the line-graph duality does not help
+    there: line graphs of trees contain triangles, so {!Forest_dp} does not
+    apply.  This module implements the classical matching recursion
+    directly on the base forest: for a rooted subtree, [free] is the total
+    weight of matchings leaving the root unmatched and [matched] the weight
+    of those matching the root inside the subtree, with
+
+    [free(u)  = Π_c (free(c) + matched(c))]
+    [matched(u) = Σ_j λ_{u c_j} · free(c_j) · Π_{i≠j} (free(c_i) + matched(c_i))]
+
+    Edge pinnings (forced in / forced out) implement the boundary
+    conditions of the SSM measurements; messages are rescaled to stay in
+    floating-point range on deep trees. *)
+
+type constraint_ = In | Out
+
+val log_partition :
+  Ls_graph.Graph.t ->
+  lambda:float ->
+  pins:(int * int * constraint_) list ->
+  float
+(** [ln Σ_M λ^{|M|}] over matchings respecting the pins; [neg_infinity]
+    when the pins are unsatisfiable (e.g. two adjacent edges forced [In]).
+    The graph must be a forest.  Computed with per-node rescaling, so it is
+    safe on deep trees. *)
+
+val partition :
+  Ls_graph.Graph.t ->
+  lambda:float ->
+  pins:(int * int * constraint_) list ->
+  float
+(** [exp (log_partition ...)]; overflows for very large forests — prefer
+    {!log_partition} there. *)
+
+val edge_marginal :
+  Ls_graph.Graph.t ->
+  lambda:float ->
+  pins:(int * int * constraint_) list ->
+  int * int ->
+  float option
+(** [Pr(e ∈ M)] under the constrained monomer–dimer distribution; [None]
+    when the pins are unsatisfiable.  Exact (up to rounding), O(n·Δ). *)

@@ -1,0 +1,84 @@
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+
+let supported spec = Spec.q spec = 2 && Spec.as_pairwise spec <> None
+
+(* Position of [w] in the sorted adjacency array of [u] — the local edge
+   order used by the cycle-closing rule. *)
+let edge_rank g u w =
+  let a = Graph.neighbors g u in
+  let rec bin lo hi =
+    if lo >= hi then invalid_arg "Saw.edge_rank: not a neighbor"
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = w then mid else if a.(mid) < w then bin (mid + 1) hi else bin lo mid
+  in
+  bin 0 (Array.length a)
+
+let marginal ~depth spec tau v =
+  if not (supported spec) then
+    invalid_arg "Saw.marginal: spec must be pairwise with a binary alphabet";
+  let pw = Option.get (Spec.as_pairwise spec) in
+  let g = Spec.graph spec in
+  let n = Graph.n g in
+  if depth < 0 then invalid_arg "Saw.marginal: negative depth";
+  let vw u c = pw.Spec.vertex_weight u c in
+  (* Edge matrix oriented from [u] to [w]: [a u w su sw]. *)
+  let a u w su sw =
+    if u < w then pw.Spec.edge_weight u w su sw else pw.Spec.edge_weight w u sw su
+  in
+  if Config.is_assigned tau v then Some (Dist.point 2 tau.(v))
+  else begin
+    let on_path = Array.make n false in
+    let exit_rank = Array.make n (-1) in
+    (* [pair u ~parent budget] = unnormalized (p0, p1) at the SAW-tree node
+       for vertex [u], reached from [parent] (-1 at the root).  The walk
+       may not reverse through its entry edge, so [parent] is skipped; in
+       a simple graph no other edge leads back to it. *)
+    let rec pair u ~parent budget =
+      let p0 = ref (vw u 0) and p1 = ref (vw u 1) in
+      if budget > 0 then begin
+        on_path.(u) <- true;
+        Array.iter
+          (fun w ->
+            if w <> parent && (!p0 > 0. || !p1 > 0.) then begin
+              let m0, m1 =
+                if Config.is_assigned tau w then
+                  (* Conditioned leaf: a sigma_u-dependent constant. *)
+                  let c = tau.(w) in
+                  (a u w 0 c, a u w 1 c)
+                else if on_path.(w) then begin
+                  (* Cycle closure: a leaf pinned by Weitz's edge-order
+                     rule at the revisited vertex [w]. *)
+                  let closing = edge_rank g w u in
+                  let pinned = if closing > exit_rank.(w) then 1 else 0 in
+                  (a u w 0 pinned, a u w 1 pinned)
+                end
+                else begin
+                  exit_rank.(u) <- edge_rank g u w;
+                  let q0, q1 = pair w ~parent:u (budget - 1) in
+                  ( (a u w 0 0 *. q0) +. (a u w 0 1 *. q1),
+                    (a u w 1 0 *. q0) +. (a u w 1 1 *. q1) )
+                end
+              in
+              p0 := !p0 *. m0;
+              p1 := !p1 *. m1;
+              (* Rescale to dodge under/overflow on deep recursions. *)
+              let peak = Float.max !p0 !p1 in
+              if peak > 0. && (peak > 1e150 || peak < 1e-150) then begin
+                p0 := !p0 /. peak;
+                p1 := !p1 /. peak
+              end
+            end)
+          (Graph.neighbors g u);
+        on_path.(u) <- false;
+        exit_rank.(u) <- -1
+      end;
+      (* With the budget exhausted, [u] is a free leaf: vertex weight only
+         (any fixed truncation works; the error is the SSM rate at the
+         truncation distance). *)
+      (!p0, !p1)
+    in
+    let p0, p1 = pair v ~parent:(-1) depth in
+    if p0 <= 0. && p1 <= 0. then None else Some (Dist.of_weights [| p0; p1 |])
+  end

@@ -1,0 +1,155 @@
+module Graph = Ls_graph.Graph
+module Dist = Ls_dist.Dist
+
+type factor = { scope : int array; table : int array -> float }
+
+type pairwise = {
+  vertex_weight : int -> int -> float;
+  edge_weight : int -> int -> int -> int -> float;
+}
+
+type t = {
+  graph : Graph.t;
+  q : int;
+  factors : factor array;
+  factors_of_vertex : int array array;
+  locality : int;
+  pairwise : pairwise option;
+}
+
+let scope_diameter g scope =
+  if Array.length scope <= 1 then 0
+  else begin
+    let worst = ref 0 in
+    Array.iter
+      (fun u ->
+        let d = Graph.bfs_distances g u in
+        Array.iter
+          (fun v ->
+            if d.(v) = max_int then
+              invalid_arg "Spec.create: scope spans disconnected vertices";
+            worst := max !worst d.(v))
+          scope)
+      scope;
+    !worst
+  end
+
+let build graph ~q ~factors ~pairwise =
+  if q < 1 then invalid_arg "Spec: alphabet must be non-empty";
+  let factors = Array.of_list factors in
+  let n = Graph.n graph in
+  Array.iter
+    (fun f ->
+      Array.iteri
+        (fun i v ->
+          if v < 0 || v >= n then invalid_arg "Spec: scope vertex out of range";
+          if i > 0 && f.scope.(i - 1) >= v then
+            invalid_arg "Spec: scope must be sorted and distinct")
+        f.scope;
+      if Array.length f.scope = 0 then invalid_arg "Spec: empty scope")
+    factors;
+  let per_vertex = Array.make n [] in
+  Array.iteri
+    (fun i f ->
+      Array.iter (fun v -> per_vertex.(v) <- i :: per_vertex.(v)) f.scope)
+    factors;
+  let factors_of_vertex = Array.map (fun l -> Array.of_list (List.rev l)) per_vertex in
+  let locality =
+    Array.fold_left (fun acc f -> max acc (scope_diameter graph f.scope)) 0 factors
+  in
+  { graph; q; factors; factors_of_vertex; locality; pairwise }
+
+let create graph ~q ~factors = build graph ~q ~factors ~pairwise:None
+
+let create_pairwise graph ~q pw =
+  let vertex_factor v =
+    { scope = [| v |]; table = (fun vals -> pw.vertex_weight v vals.(0)) }
+  in
+  let edge_factor u v =
+    (* scope sorted, so vals.(0) belongs to the smaller endpoint. *)
+    { scope = [| u; v |]; table = (fun vals -> pw.edge_weight u v vals.(0) vals.(1)) }
+  in
+  let factors = ref [] in
+  for v = Graph.n graph - 1 downto 0 do
+    factors := vertex_factor v :: !factors
+  done;
+  let edge_factors = ref [] in
+  Graph.iter_edges graph (fun u v -> edge_factors := edge_factor u v :: !edge_factors);
+  build graph ~q ~factors:(!factors @ !edge_factors) ~pairwise:(Some pw)
+
+let graph s = s.graph
+let q s = s.q
+let locality s = s.locality
+let factors s = s.factors
+let factors_of_vertex s v = s.factors_of_vertex.(v)
+let as_pairwise s = s.pairwise
+
+let factor_value s i tau =
+  let f = s.factors.(i) in
+  let k = Array.length f.scope in
+  let vals = Array.make k 0 in
+  let rec fill j =
+    if j = k then Some (f.table vals)
+    else
+      let c = tau.(f.scope.(j)) in
+      if c = Config.unassigned then None
+      else begin
+        vals.(j) <- c;
+        fill (j + 1)
+      end
+  in
+  fill 0
+
+let weight s tau =
+  if not (Config.is_total tau) then
+    invalid_arg "Spec.weight: configuration not total";
+  let w = ref 1. in
+  Array.iteri
+    (fun i _ ->
+      match factor_value s i tau with
+      | Some x -> w := !w *. x
+      | None -> assert false)
+    s.factors;
+  !w
+
+let weight_in s ~member tau =
+  let w = ref 1. in
+  Array.iteri
+    (fun i f ->
+      if Array.for_all member f.scope then
+        match factor_value s i tau with
+        | Some x -> w := !w *. x
+        | None -> invalid_arg "Spec.weight_in: unassigned vertex inside the set")
+    s.factors;
+  !w
+
+let locally_feasible s tau =
+  let ok = ref true in
+  Array.iteri
+    (fun i _ ->
+      if !ok then
+        match factor_value s i tau with
+        | Some x -> if x <= 0. then ok := false
+        | None -> ())
+    s.factors;
+  !ok
+
+let conditional s tau v =
+  let scratch = Array.copy tau in
+  let weights =
+    Array.init s.q (fun c ->
+        scratch.(v) <- c;
+        let w = ref 1. in
+        Array.iter
+          (fun i ->
+            match factor_value s i scratch with
+            | Some x -> w := !w *. x
+            | None ->
+                invalid_arg
+                  "Spec.conditional: a scope containing v has another \
+                   unassigned vertex")
+          s.factors_of_vertex.(v);
+        !w)
+  in
+  if Array.for_all (fun w -> w <= 0.) weights then None
+  else Some (Dist.of_weights weights)

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Graph Hashtbl Int List Ls_rng Set

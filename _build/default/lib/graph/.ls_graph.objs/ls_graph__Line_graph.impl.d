@@ -1,0 +1,1 @@
+lib/graph/line_graph.ml: Array Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/graph/line_graph.mli: Graph

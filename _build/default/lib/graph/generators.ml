@@ -1,0 +1,189 @@
+module Rng = Ls_rng.Rng
+
+let empty n = Graph.create ~n ~edges:[]
+
+let path n =
+  let edges = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) in
+  Graph.create ~n ~edges
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Graph.create ~n ~edges
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let star n =
+  let edges = List.init (max 0 (n - 1)) (fun i -> (0, i + 1)) in
+  Graph.create ~n ~edges
+
+let complete_bipartite a b =
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n:(a + b) ~edges:!edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid: empty side";
+  let id i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then edges := (id i j, id i (j + 1)) :: !edges;
+      if i + 1 < rows then edges := (id i j, id (i + 1) j) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) ~edges:!edges
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus: sides must be >= 3";
+  let id i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      edges := (id i j, id i ((j + 1) mod cols)) :: !edges;
+      edges := (id i j, id ((i + 1) mod rows) j) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) ~edges:!edges
+
+let hypercube d =
+  if d < 0 then invalid_arg "Generators.hypercube: negative dimension";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let u = v lxor (1 lsl bit) in
+      if u > v then edges := (v, u) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let complete_tree ~branching ~depth =
+  if branching < 1 then invalid_arg "Generators.complete_tree: branching >= 1";
+  if depth < 0 then invalid_arg "Generators.complete_tree: negative depth";
+  (* BFS numbering: node count per level is branching^level. *)
+  let edges = ref [] in
+  let next = ref 1 in
+  let frontier = ref [ 0 ] in
+  for _level = 1 to depth do
+    let new_frontier = ref [] in
+    List.iter
+      (fun parent ->
+        for _child = 1 to branching do
+          let c = !next in
+          incr next;
+          edges := (parent, c) :: !edges;
+          new_frontier := c :: !new_frontier
+        done)
+      !frontier;
+    frontier := List.rev !new_frontier
+  done;
+  Graph.create ~n:!next ~edges:!edges
+
+let erdos_renyi rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Generators.erdos_renyi: p out of [0,1]";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Generators.random_tree: need n >= 1";
+  if n <= 2 then path n
+  else begin
+    (* Decode a uniform Prüfer sequence of length n-2. *)
+    let prufer = Array.init (n - 2) (fun _ -> Rng.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) prufer;
+    let module Iset = Set.Make (Int) in
+    let leaves = ref Iset.empty in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then leaves := Iset.add v !leaves
+    done;
+    let edges = ref [] in
+    Array.iter
+      (fun v ->
+        let leaf = Iset.min_elt !leaves in
+        leaves := Iset.remove leaf !leaves;
+        edges := (leaf, v) :: !edges;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then leaves := Iset.add v !leaves)
+      prufer;
+    (match Iset.elements !leaves with
+    | [ a; b ] -> edges := (a, b) :: !edges
+    | _ -> assert false);
+    Graph.create ~n ~edges:!edges
+  end
+
+let random_regular rng ~n ~d =
+  if d < 0 || d >= n then invalid_arg "Generators.random_regular: need 0 <= d < n";
+  if n * d mod 2 <> 0 then
+    invalid_arg "Generators.random_regular: n*d must be even";
+  if d = 0 then empty n
+  else begin
+    (* Configuration model: pair up n*d stubs uniformly; restart whenever a
+       self-loop or duplicate edge appears.  For the small d used in the
+       experiments the expected number of restarts is O(e^{d^2/4}). *)
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    let rec attempt tries =
+      if tries > 10_000 then
+        failwith "Generators.random_regular: too many restarts";
+      Rng.shuffle rng stubs;
+      let seen = Hashtbl.create (n * d) in
+      let ok = ref true in
+      let edges = ref [] in
+      let i = ref 0 in
+      while !ok && !i < n * d do
+        let u = stubs.(!i) and v = stubs.(!i + 1) in
+        let key = if u < v then (u, v) else (v, u) in
+        if u = v || Hashtbl.mem seen key then ok := false
+        else begin
+          Hashtbl.replace seen key ();
+          edges := key :: !edges
+        end;
+        i := !i + 2
+      done;
+      if !ok then Graph.create ~n ~edges:!edges else attempt (tries + 1)
+    in
+    attempt 0
+  end
+
+let random_bipartite_regular rng ~n ~d =
+  if n < 1 then invalid_arg "Generators.random_bipartite_regular: n >= 1";
+  if d < 0 || d > n then
+    invalid_arg "Generators.random_bipartite_regular: need 0 <= d <= n";
+  let rec attempt tries =
+    if tries > 10_000 then
+      failwith "Generators.random_bipartite_regular: too many restarts";
+    let seen = Hashtbl.create (n * d) in
+    let edges = ref [] in
+    let ok = ref true in
+    for _round = 1 to d do
+      let pi = Rng.permutation rng n in
+      Array.iteri
+        (fun left right_off ->
+          let right = n + right_off in
+          if Hashtbl.mem seen (left, right) then ok := false
+          else begin
+            Hashtbl.replace seen (left, right) ();
+            edges := (left, right) :: !edges
+          end)
+        pi
+    done;
+    if !ok then Graph.create ~n:(2 * n) ~edges:!edges else attempt (tries + 1)
+  in
+  attempt 0

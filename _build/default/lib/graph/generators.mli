@@ -1,0 +1,50 @@
+(** Graph families used as workloads by the experiments.
+
+    Deterministic families (paths, cycles, grids, tori, trees, hypercubes)
+    and random families (Erdős–Rényi, random regular via the configuration
+    model, uniform random trees via Prüfer sequences).  Random generators
+    take an explicit {!Ls_rng.Rng.t} so every experiment is reproducible. *)
+
+val empty : int -> Graph.t
+(** [n] isolated vertices. *)
+
+val path : int -> Graph.t
+(** Path [0 - 1 - ... - (n-1)]. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n ≥ 3] vertices. *)
+
+val complete : int -> Graph.t
+
+val star : int -> Graph.t
+(** Vertex 0 joined to [1..n-1]. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [K_{a,b}]: parts [0..a-1] and [a..a+b-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [rows × cols] grid; vertex [(i,j)] has index [i·cols + j]. *)
+
+val torus : int -> int -> Graph.t
+(** Grid with wrap-around edges; both sides must be [≥ 3] to stay simple. *)
+
+val hypercube : int -> Graph.t
+(** [d]-dimensional hypercube on [2^d] vertices. *)
+
+val complete_tree : branching:int -> depth:int -> Graph.t
+(** Rooted complete [branching]-ary tree (root = 0, BFS numbering); every
+    internal vertex has exactly [branching] children. *)
+
+val erdos_renyi : Ls_rng.Rng.t -> n:int -> p:float -> Graph.t
+(** G(n, p). *)
+
+val random_tree : Ls_rng.Rng.t -> int -> Graph.t
+(** Uniform labelled tree via a random Prüfer sequence ([n ≥ 1]). *)
+
+val random_regular : Ls_rng.Rng.t -> n:int -> d:int -> Graph.t
+(** Random [d]-regular simple graph by the configuration model with
+    restart-on-collision; requires [n·d] even and [d < n]. *)
+
+val random_bipartite_regular : Ls_rng.Rng.t -> n:int -> d:int -> Graph.t
+(** Bipartite graph on parts of size [n] where both sides are [d]-regular
+    (union of [d] random perfect matchings; multi-edges retried). *)

@@ -1,0 +1,220 @@
+type t = { n : int; adj : int array array; m : int }
+
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let normalize_edge u v = if u < v then (u, v) else (v, u)
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  let set =
+    List.fold_left
+      (fun acc (u, v) ->
+        if u < 0 || u >= n || v < 0 || v >= n then
+          invalid_arg "Graph.create: endpoint out of range";
+        if u = v then invalid_arg "Graph.create: self-loop";
+        Edge_set.add (normalize_edge u v) acc)
+      Edge_set.empty edges
+  in
+  let deg = Array.make n 0 in
+  Edge_set.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    set;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Edge_set.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    set;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; adj; m = Edge_set.cardinal set }
+
+let n g = g.n
+
+let m g = g.m
+
+let neighbors g v = g.adj.(v)
+
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let mem_edge g u v =
+  let a = g.adj.(u) in
+  let rec bin lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bin (mid + 1) hi
+      else bin lo mid
+  in
+  bin 0 (Array.length a)
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let distances_from_set g sources =
+  let dist = Array.make g.n max_int in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  dist
+
+let bfs_distances g v = distances_from_set g [ v ]
+
+let dist g u v = (bfs_distances g u).(v)
+
+let ball g v r =
+  let d = bfs_distances g v in
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if d.(u) <= r then acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+let sphere g v r =
+  let d = bfs_distances g v in
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if d.(u) = r then acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+let eccentricity g v =
+  let d = bfs_distances g v in
+  Array.fold_left (fun acc x -> if x = max_int then acc else max acc x) 0 d
+
+let connected g =
+  if g.n = 0 then true
+  else
+    let d = bfs_distances g 0 in
+    Array.for_all (fun x -> x <> max_int) d
+
+let diameter g =
+  if g.n <= 1 then 0
+  else if not (connected g) then max_int
+  else
+    let best = ref 0 in
+    for v = 0 to g.n - 1 do
+      best := max !best (eccentricity g v)
+    done;
+    !best
+
+let components g =
+  let comp = Array.make g.n (-1) in
+  let next = ref 0 in
+  for v = 0 to g.n - 1 do
+    if comp.(v) = -1 then begin
+      let id = !next in
+      incr next;
+      let queue = Queue.create () in
+      comp.(v) <- id;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Array.iter
+          (fun w ->
+            if comp.(w) = -1 then begin
+              comp.(w) <- id;
+              Queue.add w queue
+            end)
+          g.adj.(u)
+      done
+    end
+  done;
+  comp
+
+let induced g vs =
+  let vs = Array.copy vs in
+  Array.sort compare vs;
+  let k = Array.length vs in
+  for i = 1 to k - 1 do
+    if vs.(i) = vs.(i - 1) then invalid_arg "Graph.induced: duplicate vertex"
+  done;
+  let index = Hashtbl.create (2 * k) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun u ->
+          if u > v then
+            match Hashtbl.find_opt index u with
+            | Some j -> edges := (i, j) :: !edges
+            | None -> ())
+        g.adj.(v))
+    vs;
+  (create ~n:k ~edges:!edges, vs)
+
+let power g k =
+  if k < 1 then invalid_arg "Graph.power: exponent must be >= 1";
+  let edges = ref [] in
+  for v = 0 to g.n - 1 do
+    let d = bfs_distances g v in
+    for u = v + 1 to g.n - 1 do
+      if d.(u) <= k then edges := (v, u) :: !edges
+    done
+  done;
+  create ~n:g.n ~edges:!edges
+
+let is_triangle_free g =
+  try
+    iter_edges g (fun u v ->
+        Array.iter (fun w -> if w <> u && mem_edge g u w then raise Exit) g.adj.(v));
+    true
+  with Exit -> false
+
+let is_forest g =
+  (* A graph is a forest iff every component has |E| = |V| - 1, i.e.
+     m = n - #components. *)
+  let comp = components g in
+  let k = Array.fold_left (fun acc c -> max acc (c + 1)) 0 comp in
+  g.m = g.n - k
+
+let complement g =
+  let edges = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (mem_edge g u v) then edges := (u, v) :: !edges
+    done
+  done;
+  create ~n:g.n ~edges:!edges
+
+let union g1 g2 =
+  if g1.n <> g2.n then invalid_arg "Graph.union: vertex count mismatch";
+  create ~n:g1.n ~edges:(edges g1 @ edges g2)
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d)" g.n g.m

@@ -1,0 +1,85 @@
+(** Simple undirected graphs.
+
+    Vertices are [0 .. n-1].  The representation is adjacency arrays with
+    sorted neighbor lists, built once from an edge list; all algorithms in
+    the repository treat graphs as immutable.  This module provides the
+    graph-theoretic vocabulary of the paper: distances [dist_G(u,v)], balls
+    [B_r(v)], power graphs [G^k] (used by the network decomposition of
+    Lemma 3.1), induced subgraphs (used by ball enumeration), and the
+    structural predicates the applications need (max degree, triangle-
+    freeness, forest test). *)
+
+type t
+
+val create : n:int -> edges:(int * int) list -> t
+(** Build a simple graph: self-loops rejected, duplicate edges collapsed,
+    endpoints must lie in [0..n-1]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val edges : t -> (int * int) list
+(** Edge list with [u < v], sorted. *)
+
+val neighbors : t -> int -> int array
+(** Sorted neighbor array.  Do not mutate. *)
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** Adjacency test in O(log degree). *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Iterate each undirected edge once, as [u < v]. *)
+
+val bfs_distances : t -> int -> int array
+(** [bfs_distances g v] gives [dist_G(v, u)] for all [u]; unreachable
+    vertices get [max_int]. *)
+
+val distances_from_set : t -> int list -> int array
+(** Multi-source BFS: [dist_G(u, S)] for every [u]. *)
+
+val dist : t -> int -> int -> int
+(** Pairwise distance ([max_int] when disconnected). *)
+
+val ball : t -> int -> int -> int array
+(** [ball g v r] is [B_r(v) = { u | dist(u,v) ≤ r }], sorted. *)
+
+val sphere : t -> int -> int -> int array
+(** [sphere g v r = { u | dist(u,v) = r }], sorted. *)
+
+val eccentricity : t -> int -> int
+(** Max distance from a vertex to any reachable vertex. *)
+
+val diameter : t -> int
+(** Max eccentricity over all vertices ([0] for [n ≤ 1]); [max_int] if the
+    graph is disconnected. *)
+
+val connected : t -> bool
+
+val components : t -> int array
+(** Component id per vertex, ids are [0..k-1] in order of discovery. *)
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the subgraph induced by the vertex set [vs]
+    (duplicates rejected) together with the map from new indices to
+    original vertex ids (i.e. [vs] itself, sorted). *)
+
+val power : t -> int -> t
+(** [power g k] is [G^k]: [u ~ v] iff [1 ≤ dist_G(u,v) ≤ k]. *)
+
+val is_triangle_free : t -> bool
+
+val is_forest : t -> bool
+
+val complement : t -> t
+
+val union : t -> t -> t
+(** Union of edge sets; both graphs must have the same vertex count. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Rng = Ls_rng.Rng
+
+type t = { n : int; hyperedges : int array array }
+
+let create ~n ~hyperedges =
+  let hyperedges =
+    Array.of_list
+      (List.map
+         (fun he ->
+           if he = [] then invalid_arg "Hypergraph.create: empty hyperedge";
+           let a = Array.of_list he in
+           Array.sort compare a;
+           Array.iteri
+             (fun i v ->
+               if v < 0 || v >= n then
+                 invalid_arg "Hypergraph.create: vertex out of range";
+               if i > 0 && a.(i - 1) = v then
+                 invalid_arg "Hypergraph.create: duplicate vertex in hyperedge")
+             a;
+           a)
+         hyperedges)
+  in
+  { n; hyperedges }
+
+let n h = h.n
+
+let num_hyperedges h = Array.length h.hyperedges
+
+let hyperedge h i = h.hyperedges.(i)
+
+let rank h =
+  Array.fold_left (fun acc e -> max acc (Array.length e)) 0 h.hyperedges
+
+let vertex_degree h v =
+  Array.fold_left
+    (fun acc e -> if Array.exists (( = ) v) e then acc + 1 else acc)
+    0 h.hyperedges
+
+let max_vertex_degree h =
+  let deg = Array.make h.n 0 in
+  Array.iter (fun e -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) e) h.hyperedges;
+  Array.fold_left max 0 deg
+
+let intersection_graph h =
+  let k = Array.length h.hyperedges in
+  (* Bucket hyperedges by vertex, then join all pairs within a bucket. *)
+  let buckets = Array.make h.n [] in
+  Array.iteri
+    (fun i e -> Array.iter (fun v -> buckets.(v) <- i :: buckets.(v)) e)
+    h.hyperedges;
+  let edges = ref [] in
+  Array.iter
+    (fun bucket ->
+      let a = Array.of_list bucket in
+      let d = Array.length a in
+      for i = 0 to d - 1 do
+        for j = i + 1 to d - 1 do
+          edges := (a.(i), a.(j)) :: !edges
+        done
+      done)
+    buckets;
+  Graph.create ~n:k ~edges:!edges
+
+let random_linear rng ~n ~k ~rank =
+  if rank > n then invalid_arg "Hypergraph.random_linear: rank > n";
+  if rank < 1 then invalid_arg "Hypergraph.random_linear: rank < 1";
+  let chosen = ref [] in
+  let shares_two e1 e2 =
+    let common = ref 0 in
+    Array.iter (fun v -> if Array.exists (( = ) v) e2 then incr common) e1;
+    !common >= 2
+  in
+  let sample_subset () =
+    let pool = Rng.permutation rng n in
+    Array.sub pool 0 rank
+  in
+  let tries = ref 0 in
+  while List.length !chosen < k do
+    incr tries;
+    if !tries > 100_000 then
+      failwith "Hypergraph.random_linear: could not place hyperedges";
+    let e = sample_subset () in
+    Array.sort compare e;
+    let clash =
+      List.exists (fun e' -> e = e' || shares_two e e') !chosen
+    in
+    if not clash then chosen := e :: !chosen
+  done;
+  { n; hyperedges = Array.of_list (List.rev !chosen) }

@@ -1,0 +1,41 @@
+(** Hypergraphs and the intersection-graph duality for hypergraph matchings.
+
+    A matching of a hypergraph [H] is a set of pairwise-disjoint hyperedges,
+    i.e. an independent set of the {e intersection graph} whose vertices are
+    the hyperedges of [H] and whose edges join intersecting hyperedges.  The
+    weighted-hypergraph-matching application of the paper (§5) is the
+    hardcore model on that intersection graph; the duality preserves
+    distances up to constants.  The rank [r] of [H] (max hyperedge size) and
+    the max vertex degree [Δ] control the uniqueness threshold
+    [λ_c(r, Δ)]. *)
+
+type t
+
+val create : n:int -> hyperedges:int list list -> t
+(** [n] vertices; each hyperedge is a non-empty list of distinct vertices
+    in [0..n-1]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val num_hyperedges : t -> int
+
+val hyperedge : t -> int -> int array
+(** Vertices of hyperedge [i], sorted. *)
+
+val rank : t -> int
+(** Max hyperedge size (0 when there are no hyperedges). *)
+
+val vertex_degree : t -> int -> int
+(** Number of hyperedges containing a vertex. *)
+
+val max_vertex_degree : t -> int
+
+val intersection_graph : t -> Graph.t
+(** Vertices = hyperedges of [t]; edges join hyperedges sharing a vertex. *)
+
+val random_linear : Ls_rng.Rng.t -> n:int -> k:int -> rank:int -> t
+(** [random_linear rng ~n ~k ~rank] samples [k] hyperedges of size [rank],
+    each a uniform vertex subset, retrying any hyperedge that shares [≥ 2]
+    vertices with an existing one (so the result is a {e linear}
+    hypergraph).  Requires [rank ≤ n]. *)

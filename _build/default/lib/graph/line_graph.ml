@@ -1,0 +1,38 @@
+type t = {
+  line : Graph.t;
+  base : Graph.t;
+  edge_of_vertex : (int * int) array;
+}
+
+let make base =
+  let edge_of_vertex = Array.of_list (Graph.edges base) in
+  let k = Array.length edge_of_vertex in
+  let index = Hashtbl.create (2 * k) in
+  Array.iteri (fun i e -> Hashtbl.replace index e i) edge_of_vertex;
+  let line_edges = ref [] in
+  (* Two edges of the base are adjacent in L(G) iff they share an endpoint:
+     enumerate, per base vertex, all pairs of incident edges. *)
+  for v = 0 to Graph.n base - 1 do
+    let inc =
+      Array.map
+        (fun u -> Hashtbl.find index (if v < u then (v, u) else (u, v)))
+        (Graph.neighbors base v)
+    in
+    let d = Array.length inc in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        line_edges := (inc.(i), inc.(j)) :: !line_edges
+      done
+    done
+  done;
+  { line = Graph.create ~n:k ~edges:!line_edges; base; edge_of_vertex }
+
+let vertex_of_edge lg u v =
+  let key = if u < v then (u, v) else (v, u) in
+  let k = Array.length lg.edge_of_vertex in
+  let rec search i =
+    if i >= k then raise Not_found
+    else if lg.edge_of_vertex.(i) = key then i
+    else search (i + 1)
+  in
+  search 0

@@ -1,0 +1,22 @@
+(** Line graphs, the duality behind matching distributions.
+
+    A matching of [G] is exactly an independent set of the line graph
+    [L(G)], so the monomer–dimer model on [G] equals the hardcore model on
+    [L(G)].  The paper (§5, applications) uses this duality and notes that it
+    preserves distances up to a constant factor; [dist_{L(G)}(e, f)] differs
+    from the [G]-distance between the edges [e, f] by at most 1.  This module
+    builds [L(G)] together with the edge↔vertex correspondence. *)
+
+type t = {
+  line : Graph.t;  (** The line graph: one vertex per edge of the base. *)
+  base : Graph.t;  (** The original graph. *)
+  edge_of_vertex : (int * int) array;
+      (** [edge_of_vertex.(i)] is the base edge (u, v), u < v, represented
+          by line-graph vertex [i]. *)
+}
+
+val make : Graph.t -> t
+
+val vertex_of_edge : t -> int -> int -> int
+(** [vertex_of_edge lg u v] is the line-graph vertex for base edge
+    [{u,v}]; raises [Not_found] if absent. *)

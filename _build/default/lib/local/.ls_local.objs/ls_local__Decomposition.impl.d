@@ -1,0 +1,1 @@
+lib/local/decomposition.ml: Array Hashtbl List Logs Ls_graph Ls_rng Option

@@ -1,0 +1,1 @@
+lib/local/decomposition.mli: Ls_graph Ls_rng

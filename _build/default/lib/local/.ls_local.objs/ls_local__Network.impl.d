@@ -1,0 +1,1 @@
+lib/local/network.ml: Array Hashtbl Int List Ls_graph Ls_rng Map Queue

@@ -1,0 +1,1 @@
+lib/local/network.mli: Hashtbl Ls_graph Ls_rng

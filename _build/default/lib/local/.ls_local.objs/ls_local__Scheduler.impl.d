@@ -1,0 +1,1 @@
+lib/local/scheduler.ml: Array Decomposition List Logs Ls_graph

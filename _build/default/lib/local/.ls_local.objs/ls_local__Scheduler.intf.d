@@ -1,0 +1,1 @@
+lib/local/scheduler.mli: Ls_graph Ls_rng

@@ -1,0 +1,1 @@
+lib/local/slocal.ml: Array List Ls_graph Ls_rng Printf

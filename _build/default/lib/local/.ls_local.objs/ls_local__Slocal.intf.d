@@ -1,0 +1,1 @@
+lib/local/slocal.mli: Ls_graph Ls_rng

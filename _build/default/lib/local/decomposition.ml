@@ -1,0 +1,139 @@
+module Graph = Ls_graph.Graph
+module Rng = Ls_rng.Rng
+
+let src = Logs.Src.create "locsample.decomposition" ~doc:"Linial-Saks network decomposition"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type cluster = { center : int; color : int; members : int array; radius : int }
+
+type t = {
+  clusters : cluster array;
+  cluster_of : int array;
+  color_of : int array;
+  num_colors : int;
+  failed : bool array;
+  radius_cap : int;
+  phase_cap : int;
+}
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (2 * p) in
+  go 0 1
+
+let default_radius_cap n = (2 * log2_ceil (max 2 n)) + 2
+let default_phase_cap n = (4 * log2_ceil (max 2 n)) + 4
+
+let linial_saks ?radius_cap ?phase_cap g rng =
+  let n = Graph.n g in
+  let radius_cap = Option.value radius_cap ~default:(default_radius_cap n) in
+  let phase_cap = Option.value phase_cap ~default:(default_phase_cap n) in
+  let cluster_of = Array.make n (-1) in
+  let color_of = Array.make n (-1) in
+  let clusters = ref [] in
+  let num_clusters = ref 0 in
+  let unclustered v = cluster_of.(v) = -1 in
+  let phases_used = ref 0 in
+  let phase = ref 0 in
+  while !phase < phase_cap && Array.exists (fun c -> c = -1) cluster_of do
+    incr phases_used;
+    (* Draw truncated geometric radii for the still-unclustered vertices. *)
+    let radii = Array.make n (-1) in
+    for v = 0 to n - 1 do
+      if unclustered v then radii.(v) <- min (Rng.geometric rng 0.5) radius_cap
+    done;
+    (* Candidate election: per vertex, the best (r_u, u) with d(u,v) <= r_u
+       among unclustered u.  BFS from each candidate center u up to r_u. *)
+    let best_key = Array.make n (-1, -1) in
+    let best_dist = Array.make n max_int in
+    for u = 0 to n - 1 do
+      if unclustered u then begin
+        let key = (radii.(u), u) in
+        let d = Graph.bfs_distances g u in
+        for v = 0 to n - 1 do
+          if unclustered v && d.(v) <= radii.(u) && key > best_key.(v) then begin
+            best_key.(v) <- key;
+            best_dist.(v) <- d.(v)
+          end
+        done
+      end
+    done;
+    (* Strict-interior vertices join their winner's cluster this phase. *)
+    let members_of = Hashtbl.create 16 in
+    for v = 0 to n - 1 do
+      if unclustered v then begin
+        let r_u, u = best_key.(v) in
+        if u >= 0 && best_dist.(v) < r_u then begin
+          let prev = try Hashtbl.find members_of u with Not_found -> [] in
+          Hashtbl.replace members_of u ((v, best_dist.(v)) :: prev)
+        end
+      end
+    done;
+    Hashtbl.iter
+      (fun u members ->
+        let id = !num_clusters in
+        incr num_clusters;
+        let vs = Array.of_list (List.map fst members) in
+        Array.sort compare vs;
+        let radius = List.fold_left (fun acc (_, d) -> max acc d) 0 members in
+        Array.iter
+          (fun v ->
+            cluster_of.(v) <- id;
+            color_of.(v) <- !phase)
+          vs;
+        clusters := { center = u; color = !phase; members = vs; radius } :: !clusters)
+      members_of;
+    incr phase
+  done;
+  let failed = Array.map (fun c -> c = -1) cluster_of in
+  Log.debug (fun m ->
+      m "linial-saks: n=%d phases=%d clusters=%d failed=%d (caps: radius=%d phases=%d)"
+        n !phases_used !num_clusters
+        (Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed)
+        radius_cap phase_cap);
+  {
+    clusters = Array.of_list (List.rev !clusters);
+    cluster_of;
+    color_of;
+    num_colors = !phases_used;
+    failed;
+    radius_cap;
+    phase_cap;
+  }
+
+let is_valid g d =
+  let n = Graph.n g in
+  let ok = ref true in
+  (* Membership consistency. *)
+  let seen = Array.make n false in
+  Array.iteri
+    (fun idx cl ->
+      Array.iter
+        (fun v ->
+          if seen.(v) then ok := false;
+          seen.(v) <- true;
+          if d.cluster_of.(v) <> idx then ok := false;
+          if d.color_of.(v) <> cl.color then ok := false)
+        cl.members;
+      if cl.radius > d.radius_cap then ok := false;
+      (* Weak-diameter check: member distances to the center. *)
+      let dists = Graph.bfs_distances g cl.center in
+      Array.iter (fun v -> if dists.(v) > cl.radius then ok := false) cl.members)
+    d.clusters;
+  for v = 0 to n - 1 do
+    if d.failed.(v) then begin
+      if seen.(v) then ok := false
+    end
+    else if not seen.(v) then ok := false
+  done;
+  (* Same-color clusters must be non-adjacent. *)
+  Graph.iter_edges g (fun u v ->
+      let cu = d.cluster_of.(u) and cv = d.cluster_of.(v) in
+      if cu >= 0 && cv >= 0 && cu <> cv && d.color_of.(u) = d.color_of.(v) then
+        ok := false);
+  !ok
+
+let max_radius_of_color d color =
+  Array.fold_left
+    (fun acc cl -> if cl.color = color then max acc cl.radius else acc)
+    0 d.clusters

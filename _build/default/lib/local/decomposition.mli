@@ -1,0 +1,54 @@
+(** Randomized [(O(log n), O(log n))] network decomposition (Linial–Saks).
+
+    A [(C, D)] decomposition partitions (most of) the vertices into
+    clusters of weak diameter [≤ D], colored with [C] colors so that
+    same-colored clusters are non-adjacent.  Lemma 3.1 compiles SLOCAL
+    algorithms to LOCAL by computing such a decomposition on the power
+    graph [G^{r+1}] and scheduling color classes sequentially.
+
+    This is the classic construction: per phase, every still-unclustered
+    vertex [u] draws a truncated geometric radius [r_u]; vertex [v] elects
+    the candidate [u] (with [dist(u,v) ≤ r_u]) maximizing [(r_u, id_u)]
+    and joins its cluster iff [dist(u,v) < r_u] (strict interior).  Clusters
+    formed in one phase are pairwise non-adjacent; each phase clusters every
+    vertex with probability [≥ 1/2], so [O(log n)] phases suffice whp.
+    Truncation makes the algorithm terminate in a fixed number of rounds at
+    the price of {e locally certifiable failures}: vertices still
+    unclustered when the phase budget runs out are flagged, exactly the
+    [F''] failures of Lemma 3.1 with [Σ_v E\[F''_v\] = O(1/n²)] for the
+    default budgets. *)
+
+type cluster = {
+  center : int;
+  color : int;  (** Phase that formed the cluster. *)
+  members : int array;  (** Sorted; may exclude the center itself. *)
+  radius : int;  (** Max member distance to center (weak, in the host graph). *)
+}
+
+type t = {
+  clusters : cluster array;
+  cluster_of : int array;  (** Cluster index per vertex; [-1] = failed. *)
+  color_of : int array;  (** Color per vertex; [-1] = failed. *)
+  num_colors : int;
+  failed : bool array;
+  radius_cap : int;
+  phase_cap : int;
+}
+
+val default_radius_cap : int -> int
+(** [⌈2·log₂ n⌉ + 2] — makes a truncation event [n^{-2}]-unlikely. *)
+
+val default_phase_cap : int -> int
+(** [⌈4·log₂ n⌉ + 4]. *)
+
+val linial_saks :
+  ?radius_cap:int -> ?phase_cap:int -> Ls_graph.Graph.t -> Ls_rng.Rng.t -> t
+
+val is_valid : Ls_graph.Graph.t -> t -> bool
+(** Check the invariants: every non-failed vertex is in exactly one
+    cluster, member radii are within the cap, and same-color clusters are
+    non-adjacent in the host graph. *)
+
+val max_radius_of_color : t -> int -> int
+(** Largest cluster radius within one color class (0 if the class is
+    empty). *)

@@ -1,0 +1,142 @@
+module Graph = Ls_graph.Graph
+module Rng = Ls_rng.Rng
+
+type 'input t = {
+  graph : Graph.t;
+  inputs : 'input array;
+  rngs : Rng.t array;
+  mutable rounds : int;
+  mutable bits : int;
+}
+
+let create graph ~inputs ~seed =
+  if Array.length inputs <> Graph.n graph then
+    invalid_arg "Network.create: one input per vertex required";
+  { graph; inputs; rngs = Rng.streams seed (Graph.n graph); rounds = 0; bits = 0 }
+
+let graph t = t.graph
+let input t v = t.inputs.(v)
+let rng t v = t.rngs.(v)
+let rounds t = t.rounds
+
+let charge t r =
+  if r < 0 then invalid_arg "Network.charge: negative rounds";
+  t.rounds <- t.rounds + r
+
+let reset_rounds t = t.rounds <- 0
+
+let bits t = t.bits
+
+type 'input view = {
+  center : int;
+  radius : int;
+  vertices : int array;
+  subgraph : Graph.t;
+  local_of_orig : (int, int) Hashtbl.t;
+  view_inputs : 'input array;
+  center_local : int;
+  dist_center : int array;
+}
+
+let view_of_ball t ~v ~radius ~ball ~dist =
+  let subgraph, vertices = Graph.induced t.graph ball in
+  let local_of_orig = Hashtbl.create (2 * Array.length vertices) in
+  Array.iteri (fun i o -> Hashtbl.replace local_of_orig o i) vertices;
+  {
+    center = v;
+    radius;
+    vertices;
+    subgraph;
+    local_of_orig;
+    view_inputs = Array.map (fun o -> t.inputs.(o)) vertices;
+    center_local = Hashtbl.find local_of_orig v;
+    dist_center = Array.map (fun o -> dist.(o)) vertices;
+  }
+
+let gather t ~v ~radius =
+  if radius < 0 then invalid_arg "Network.gather: negative radius";
+  let dist = Graph.bfs_distances t.graph v in
+  let ball = Graph.ball t.graph v radius in
+  view_of_ball t ~v ~radius ~ball ~dist
+
+let in_view view orig = Hashtbl.mem view.local_of_orig orig
+
+let local view orig = Hashtbl.find view.local_of_orig orig
+
+let run_broadcast t ~rounds ?size ~init ~emit ~merge () =
+  let n = Graph.n t.graph in
+  let states = Array.init n init in
+  for _round = 1 to rounds do
+    (* All sends use this round's pre-merge states: synchronous semantics. *)
+    let outgoing = Array.mapi (fun v s -> emit v s) states in
+    (match size with
+    | None -> ()
+    | Some size ->
+        for v = 0 to n - 1 do
+          t.bits <- t.bits + (Graph.degree t.graph v * size outgoing.(v))
+        done);
+    for v = 0 to n - 1 do
+      let inbox =
+        Array.to_list (Array.map (fun u -> outgoing.(u)) (Graph.neighbors t.graph v))
+      in
+      states.(v) <- merge v states.(v) inbox
+    done
+  done;
+  charge t rounds;
+  states
+
+(* Flooding state: everything a node has learned — for each known original
+   vertex, its input and its full neighbor list. *)
+module Imap = Map.Make (Int)
+
+let flood_views t ~radius =
+  let n = Graph.n t.graph in
+  let record v = (t.inputs.(v), Array.to_list (Graph.neighbors t.graph v)) in
+  (* Message size: 64 bits per id (the vertex and each of its neighbors);
+     inputs are not counted, being of caller-chosen type. *)
+  let size m =
+    Imap.fold (fun _ (_, nbrs) acc -> acc + (64 * (1 + List.length nbrs))) m 0
+  in
+  let states =
+    run_broadcast t ~rounds:radius ~size
+      ~init:(fun v -> Imap.singleton v (record v))
+      ~emit:(fun _ s -> s)
+      ~merge:(fun _ s inbox ->
+        List.fold_left
+          (fun acc m -> Imap.union (fun _ a _ -> Some a) acc m)
+          s inbox)
+      ()
+  in
+  Array.init n (fun v ->
+      let known = states.(v) in
+      (* Distances from the flooded adjacency data only. *)
+      let ids = Array.of_list (List.map fst (Imap.bindings known)) in
+      let dist = Hashtbl.create (2 * Array.length ids) in
+      let queue = Queue.create () in
+      Hashtbl.replace dist v 0;
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let d = Hashtbl.find dist u in
+        if d < radius then
+          match Imap.find_opt u known with
+          | None -> ()
+          | Some (_, nbrs) ->
+              List.iter
+                (fun w ->
+                  if Imap.mem w known && not (Hashtbl.mem dist w) then begin
+                    Hashtbl.replace dist w (d + 1);
+                    Queue.add w queue
+                  end)
+                nbrs
+      done;
+      (* The ball is exactly the vertices reached within [radius]; flooding
+         may also have leaked ids at distance radius+... no: a record takes
+         dist(u,v) rounds to arrive, so everything known is within radius. *)
+      let ball =
+        Array.of_list
+          (List.filter (fun u -> Hashtbl.mem dist u) (List.map fst (Imap.bindings known)))
+      in
+      let dist_arr = Array.make n max_int in
+      Hashtbl.iter (fun u d -> dist_arr.(u) <- d) dist;
+      view_of_ball t ~v ~radius ~ball ~dist:dist_arr)

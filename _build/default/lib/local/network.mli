@@ -1,0 +1,87 @@
+(** The LOCAL model runtime.
+
+    A network is a graph whose nodes each own a unique id, a private input,
+    and an independent random stream (exactly the initial knowledge granted
+    by the LOCAL model, §2).  Algorithms access the network through
+    {!gather}: in [t] communication rounds a node learns precisely its
+    radius-[t] ball — topology, inputs, ids — which is the information-
+    theoretic characterization of the model.  The runtime meters cost in
+    rounds: {!charge} accumulates the cost of a parallel step (all nodes
+    acting at once cost the maximum radius used, not the sum).
+
+    For fidelity, {!run_broadcast} executes genuine synchronous message
+    passing; {!flood_views} implements ball-collection on top of it, and the
+    test suite checks it reconstructs the same views as {!gather}. *)
+
+type 'input t
+
+val create : Ls_graph.Graph.t -> inputs:'input array -> seed:int64 -> 'input t
+(** One input per vertex; node [v]'s random stream is derived from [seed]
+    and [v]. *)
+
+val graph : _ t -> Ls_graph.Graph.t
+val input : 'i t -> int -> 'i
+val rng : _ t -> int -> Ls_rng.Rng.t
+(** Node [v]'s private stream (the same object on every call). *)
+
+(** {1 Round accounting} *)
+
+val rounds : _ t -> int
+(** Total rounds charged so far. *)
+
+val charge : _ t -> int -> unit
+(** Charge the cost of one parallel phase in which every node communicated
+    up to the given radius. *)
+
+val reset_rounds : _ t -> unit
+
+val bits : _ t -> int
+(** Total message bits sent so far over all {!run_broadcast} calls whose
+    [size] callback was provided.  The paper leaves CONGEST-style bounded
+    messages as an open problem (§6); this meter quantifies how far the
+    simulated algorithms are from that regime. *)
+
+(** {1 Local views} *)
+
+type 'input view = {
+  center : int;  (** Original id of the gathering node. *)
+  radius : int;
+  vertices : int array;  (** Original ids of [B_radius(center)], sorted. *)
+  subgraph : Ls_graph.Graph.t;  (** Induced subgraph on local ids. *)
+  local_of_orig : (int, int) Hashtbl.t;
+  view_inputs : 'input array;  (** Indexed by local id. *)
+  center_local : int;
+  dist_center : int array;  (** Graph distance from center, by local id. *)
+}
+
+val gather : 'i t -> v:int -> radius:int -> 'i view
+(** The view of node [v] after [radius] rounds.  Does {e not} charge
+    rounds — callers charge once per parallel phase via {!charge}. *)
+
+val in_view : _ view -> int -> bool
+(** Is an original vertex id inside the view? *)
+
+val local : _ view -> int -> int
+(** Local id of an original vertex; raises [Not_found] outside the view. *)
+
+(** {1 Genuine synchronous message passing} *)
+
+val run_broadcast :
+  'i t ->
+  rounds:int ->
+  ?size:('m -> int) ->
+  init:(int -> 's) ->
+  emit:(int -> 's -> 'm) ->
+  merge:(int -> 's -> 'm list -> 's) ->
+  unit ->
+  's array
+(** Execute [rounds] synchronous rounds: each round, every node [v]
+    broadcasts [emit v state] to all neighbors, then folds the received
+    messages (in neighbor order) with [merge].  Charges [rounds] rounds;
+    when [size] is given, each message's bit count is charged per
+    receiving edge endpoint (see {!bits}). *)
+
+val flood_views : 'i t -> radius:int -> 'i view array
+(** Build every node's radius-[t] view using only {!run_broadcast} — the
+    executable proof that [gather] grants no more information than [t]
+    rounds of real communication. *)

@@ -1,0 +1,83 @@
+module Graph = Ls_graph.Graph
+
+let src = Logs.Src.create "locsample.scheduler" ~doc:"SLOCAL-to-LOCAL compiler (Lemma 3.1)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  rounds : int;
+  decomposition_rounds : int;
+  colors : int;
+  clusters : int;
+  max_cluster_radius : int;
+  failures : int;
+  order : int array;
+  failed : bool array;
+}
+
+let compile ~graph ~locality ~rng ?radius_cap ?phase_cap ~run () =
+  let power = Graph.power graph (locality + 1) in
+  let d = Decomposition.linial_saks ?radius_cap ?phase_cap power rng in
+  (* Global order: colors in increasing order; within a color, clusters in
+     index order; within a cluster, members by distance from the center
+     (BFS order), ties by id — any fixed rule yields a valid adversarial
+     ordering pi. *)
+  let order = ref [] in
+  let by_color = Array.make d.Decomposition.num_colors [] in
+  Array.iteri
+    (fun idx cl ->
+      by_color.(cl.Decomposition.color) <- idx :: by_color.(cl.Decomposition.color))
+    d.Decomposition.clusters;
+  Array.iteri
+    (fun _color idxs ->
+      List.iter
+        (fun idx ->
+          let cl = d.Decomposition.clusters.(idx) in
+          let dist = Graph.bfs_distances power cl.Decomposition.center in
+          let members = Array.copy cl.Decomposition.members in
+          Array.sort
+            (fun a b -> compare (dist.(a), a) (dist.(b), b))
+            members;
+          Array.iter (fun v -> order := v :: !order) members)
+        (List.rev idxs))
+    by_color;
+  let failed_vertices = ref [] in
+  Array.iteri
+    (fun v is_failed -> if is_failed then failed_vertices := v :: !failed_vertices)
+    d.Decomposition.failed;
+  let order =
+    Array.of_list (List.rev_append !order (List.rev !failed_vertices))
+  in
+  run ~order;
+  (* Round accounting (documented in the interface). *)
+  let decomposition_rounds =
+    d.Decomposition.phase_cap * d.Decomposition.radius_cap * (locality + 1)
+  in
+  let sim_rounds = ref 0 in
+  for c = 0 to d.Decomposition.num_colors - 1 do
+    let r_c = Decomposition.max_radius_of_color d c in
+    sim_rounds := !sim_rounds + (2 * ((r_c * (locality + 1)) + locality))
+  done;
+  let max_cluster_radius =
+    Array.fold_left
+      (fun acc cl -> max acc cl.Decomposition.radius)
+      0 d.Decomposition.clusters
+  in
+  Log.debug (fun m ->
+      m "compile: locality=%d colors=%d clusters=%d rounds=%d (decomposition %d)"
+        locality d.Decomposition.num_colors
+        (Array.length d.Decomposition.clusters)
+        (decomposition_rounds + !sim_rounds)
+        decomposition_rounds);
+  {
+    rounds = decomposition_rounds + !sim_rounds;
+    decomposition_rounds;
+    colors = d.Decomposition.num_colors;
+    clusters = Array.length d.Decomposition.clusters;
+    max_cluster_radius;
+    failures =
+      Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0
+        d.Decomposition.failed;
+    order;
+    failed = Array.copy d.Decomposition.failed;
+  }

@@ -1,0 +1,51 @@
+(** The SLOCAL → LOCAL compiler (Lemma 3.1, after Ghaffari–Kuhn–Maus).
+
+    Given an SLOCAL algorithm with locality [r], compute a Linial–Saks
+    decomposition of the power graph [G^{r+1}] and process color classes
+    sequentially; within a color class all clusters run in parallel (they
+    are [> r]-separated in [G], so concurrent steps cannot interact), and
+    within a cluster the nodes are processed sequentially by the cluster
+    center.  The resulting global order [π] is (color, cluster, BFS-from-
+    center position); the payload runs exactly as the sequential algorithm
+    would on [π], so conditioned on no failure the output distribution is
+    [μ̂_{I,π}] — the property Lemma 3.1 needs.
+
+    Failures: vertices left unclustered by the truncated decomposition get
+    [F''_v = 1].  The decomposition uses its own random stream, independent
+    of the payload's node streams, so [F''] is independent of the payload
+    output, again as in Lemma 3.1.
+
+    Round accounting, charged to the network: color class [c] costs
+    [2·(R_c·(r+1) + r)] rounds — the center collects the states in its
+    cluster plus the radius-[r] halo ([R_c] hops in [G^{r+1}], each worth
+    [r+1] rounds in [G], plus [r]), computes, and ships results back — plus
+    the decomposition itself, charged [phase_cap · radius_cap · (r+1)]
+    rounds (each phase is one candidate election of depth [radius_cap] in
+    [G^{r+1}]). *)
+
+type stats = {
+  rounds : int;  (** Total LOCAL rounds charged (decomposition + simulation). *)
+  decomposition_rounds : int;
+  colors : int;
+  clusters : int;
+  max_cluster_radius : int;  (** In power-graph hops. *)
+  failures : int;  (** Number of [F''_v = 1] vertices. *)
+  order : int array;  (** The realized global ordering [π] (failed vertices appended last). *)
+  failed : bool array;
+}
+
+val compile :
+  graph:Ls_graph.Graph.t ->
+  locality:int ->
+  rng:Ls_rng.Rng.t ->
+  ?radius_cap:int ->
+  ?phase_cap:int ->
+  run:(order:int array -> unit) ->
+  unit ->
+  stats
+(** [compile ~graph ~locality ~rng ~run ()] builds the schedule and invokes
+    [run ~order] once with the realized ordering; the caller's closure
+    executes its SLOCAL payload on that order.  Failed vertices appear at
+    the end of [order] so the payload still produces a total output (their
+    outputs are discarded by the failure flags, as in the paper's model
+    where failures only gate the conditional guarantee). *)

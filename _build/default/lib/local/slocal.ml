@@ -1,0 +1,75 @@
+module Graph = Ls_graph.Graph
+module Rng = Ls_rng.Rng
+
+type 's t = {
+  graph : Graph.t;
+  states : 's array;
+  rngs : Rng.t array;
+  mutable current_pass_radius : int;
+  mutable closed_passes : int list;  (* reversed *)
+}
+
+let create graph ~seed ~init =
+  {
+    graph;
+    states = Array.init (Graph.n graph) init;
+    rngs = Rng.streams seed (Graph.n graph);
+    current_pass_radius = 0;
+    closed_passes = [];
+  }
+
+let graph t = t.graph
+let n t = Graph.n t.graph
+let state t v = t.states.(v)
+let states t = Array.copy t.states
+
+type 's ctx = {
+  runtime : 's t;
+  v : int;
+  radius : int;
+  distances : int array;
+}
+
+let center ctx = ctx.v
+let rng ctx = ctx.runtime.rngs.(ctx.v)
+
+let check ctx u op =
+  if ctx.distances.(u) > ctx.radius then
+    invalid_arg
+      (Printf.sprintf "Slocal.%s: node %d is at distance %d > radius %d from %d"
+         op u
+         (if ctx.distances.(u) = max_int then -1 else ctx.distances.(u))
+         ctx.radius ctx.v)
+
+let read ctx u =
+  check ctx u "read";
+  ctx.runtime.states.(u)
+
+let write ctx u s =
+  check ctx u "write";
+  ctx.runtime.states.(u) <- s
+
+let dist ctx u = ctx.distances.(u)
+
+let process t ~v ~radius f =
+  if radius < 0 then invalid_arg "Slocal.process: negative radius";
+  t.current_pass_radius <- max t.current_pass_radius radius;
+  let ctx = { runtime = t; v; radius; distances = Graph.bfs_distances t.graph v } in
+  f ctx
+
+let new_pass t =
+  t.closed_passes <- t.current_pass_radius :: t.closed_passes;
+  t.current_pass_radius <- 0
+
+let run_pass t ~order ~radius f =
+  Array.iter (fun v -> process t ~v ~radius (fun ctx -> f ctx)) order;
+  new_pass t
+
+let pass_localities t =
+  let closed = List.rev t.closed_passes in
+  if t.current_pass_radius > 0 then closed @ [ t.current_pass_radius ] else closed
+
+let single_pass_locality t =
+  match pass_localities t with
+  | [] -> 0
+  | r1 :: rest -> r1 + (2 * List.fold_left ( + ) 0 rest)

@@ -1,0 +1,61 @@
+(** The SLOCAL model runtime (Ghaffari–Kuhn–Maus, restated in §3).
+
+    An SLOCAL algorithm scans the nodes in an adversarial order; when
+    processing node [v] it reads the states of nodes within some radius
+    [r_v], performs unbounded computation, and updates states.  This runtime
+    {e enforces} locality: every read or write outside the radius declared
+    for the current step raises, so an algorithm that runs to completion has
+    certified its locality.  The runtime records, per pass, the maximum
+    radius used, and converts multi-pass / nearby-write algorithms to the
+    single-pass locality bound of Lemma 4.4:
+    [r₁ + 2·Σ_{i≥2} r_i], with writes at distance [w] folded into the
+    pass radius ([r + w], Observation 2.1 of GKM). *)
+
+type 's t
+
+val create : Ls_graph.Graph.t -> seed:int64 -> init:(int -> 's) -> 's t
+
+val graph : _ t -> Ls_graph.Graph.t
+val n : _ t -> int
+
+val state : 's t -> int -> 's
+(** Unrestricted read, for inspecting results {e after} the run. *)
+
+val states : 's t -> 's array
+
+(** {1 Processing steps} *)
+
+type 's ctx
+(** Capability handed to the algorithm while it processes one node. *)
+
+val center : _ ctx -> int
+val rng : _ ctx -> Ls_rng.Rng.t
+(** The processed node's private stream. *)
+
+val read : 's ctx -> int -> 's
+(** Read a state within the declared radius (else [Invalid_argument]). *)
+
+val write : 's ctx -> int -> 's -> unit
+(** Write a state within the declared radius (else [Invalid_argument]). *)
+
+val dist : _ ctx -> int -> int
+(** Distance from the processed node. *)
+
+val process : 's t -> v:int -> radius:int -> ('s ctx -> 'a) -> 'a
+(** Execute one step at node [v] with locality budget [radius]. *)
+
+val run_pass : 's t -> order:int array -> radius:int -> ('s ctx -> unit) -> unit
+(** Process every node of [order] once with the same locality budget, then
+    close the pass (see {!new_pass}). *)
+
+(** {1 Locality accounting} *)
+
+val new_pass : _ t -> unit
+(** Close the current pass; subsequent steps count toward the next one. *)
+
+val pass_localities : _ t -> int list
+(** Max radius used in each completed-or-current pass, oldest first. *)
+
+val single_pass_locality : _ t -> int
+(** Lemma 4.4 bound for the equivalent single-pass SLOCAL algorithm:
+    [r₁ + 2·Σ_{i≥2} r_i]. *)

@@ -1,0 +1,59 @@
+type t = Splitmix.t
+
+let create seed = Splitmix.create seed
+
+let of_int seed = create (Int64.of_int seed)
+
+let split = Splitmix.split
+
+let copy = Splitmix.copy
+
+let streams seed n =
+  let master = create seed in
+  Array.init n (fun _ -> split master)
+
+let float = Splitmix.float
+
+let int = Splitmix.int
+
+let bool = Splitmix.bool
+
+let bernoulli r p = float r < p
+
+let geometric r p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p >= 1. then 0
+  else
+    (* Inversion: floor(ln U / ln(1-p)) is Geometric(p) on {0,1,...}. *)
+    let u = 1. -. float r in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let exponential r rate =
+  if not (rate > 0.) then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1. -. float r) /. rate
+
+let discrete r w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Rng.discrete: weights sum to zero";
+  let x = float r *. total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation r n =
+  let a = Array.init n (fun i -> i) in
+  shuffle r a;
+  a

@@ -1,0 +1,53 @@
+(** Random sources for the simulated LOCAL network.
+
+    A [Rng.t] wraps a splittable SplitMix64 stream and adds the sampling
+    primitives the algorithms in this repository need.  [streams seed n]
+    derives [n] mutually independent per-node streams — the "arbitrarily long
+    random bit string sampled independently at [v]" that the LOCAL model
+    grants every node. *)
+
+type t
+
+val create : int64 -> t
+(** Fresh source from a master seed. *)
+
+val of_int : int -> t
+(** Convenience: seed from an OCaml [int]. *)
+
+val split : t -> t
+(** Independent child stream (see {!Splitmix.split}). *)
+
+val copy : t -> t
+
+val streams : int64 -> int -> t array
+(** [streams seed n] is an array of [n] independent sources derived
+    deterministically from [seed]; element [v] belongs to node [v]. *)
+
+val float : t -> float
+(** Uniform in [\[0,1)]. *)
+
+val int : t -> int -> int
+(** [int r bound]: uniform in [\[0, bound)], unbiased. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli r p] is [true] with probability [p]. *)
+
+val geometric : t -> float -> int
+(** [geometric r p] counts the failures before the first success of a
+    Bernoulli([p]) sequence; support [{0, 1, 2, ...}].  Requires
+    [0 < p <= 1]. *)
+
+val exponential : t -> float -> float
+(** [exponential r rate] samples Exp([rate]). *)
+
+val discrete : t -> float array -> int
+(** [discrete r w] samples index [i] with probability [w.(i) / sum w].
+    Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation r n] is a uniform permutation of [0..n-1]. *)

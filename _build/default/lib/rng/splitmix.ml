@@ -1,0 +1,58 @@
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The mix functions of SplitMix64 (variant 13 of Stafford's MurmurHash3
+   finalizer study). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let mix_gamma z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L) in
+  let z = Int64.logor z 1L in
+  (* Ensure the gamma has enough bit transitions to be a good increment. *)
+  let n = Int64.(logxor z (shift_right_logical z 1)) in
+  let popcount x =
+    let c = ref 0 in
+    for i = 0 to 63 do
+      if Int64.(logand (shift_right_logical x i) 1L) = 1L then incr c
+    done;
+    !c
+  in
+  if popcount n < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = seed; gamma = golden_gamma }
+
+let copy g = { state = g.state; gamma = g.gamma }
+
+let next_raw g =
+  g.state <- Int64.add g.state g.gamma;
+  g.state
+
+let next_int64 g = mix64 (next_raw g)
+
+let split g =
+  let s = next_raw g in
+  let s' = next_raw g in
+  { state = mix64 s; gamma = mix_gamma s' }
+
+let bits62 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let float g =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  x *. 0x1.0p-53
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection sampling over the top multiple of [bound] below 2^62. *)
+  let limit = 0x3FFFFFFFFFFFFFFF / bound * bound in
+  let rec loop () =
+    let x = bits62 g in
+    if x < limit then x mod bound else loop ()
+  in
+  loop ()
+
+let bool g = Int64.(logand (next_int64 g) 1L) = 1L

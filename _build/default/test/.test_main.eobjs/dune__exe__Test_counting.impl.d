@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Counting Float Inference Instance List Ls_core Ls_gibbs Ls_graph Ls_rng Printf QCheck QCheck_alcotest

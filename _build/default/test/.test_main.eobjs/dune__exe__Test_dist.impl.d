@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Gen List Ls_dist Ls_rng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Exact Float Inference Instance List Ls_core Ls_dist Ls_gibbs Ls_graph Ls_rng Option QCheck QCheck_alcotest Sequential_sampler

@@ -1,0 +1,1 @@
+test/test_gibbs.ml: Alcotest Array Float List Ls_dist Ls_gibbs Ls_graph Ls_rng Option QCheck QCheck_alcotest

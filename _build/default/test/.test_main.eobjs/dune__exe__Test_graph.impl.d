@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Ls_graph Ls_rng QCheck QCheck_alcotest

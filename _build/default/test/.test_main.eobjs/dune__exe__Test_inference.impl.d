@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Boosting Exact Float Inference Instance List Ls_core Ls_dist Ls_gibbs Ls_graph Ls_rng Option QCheck QCheck_alcotest Reductions

@@ -1,0 +1,1 @@
+test/test_jvv.ml: Alcotest Array Exact Float Inference Instance Int64 Jvv List Ls_core Ls_dist Ls_gibbs Ls_graph Ls_local Ls_rng QCheck QCheck_alcotest Sequential_sampler

@@ -1,0 +1,1 @@
+test/test_local.ml: Alcotest Array List Ls_graph Ls_local Ls_rng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Gen Hashtbl List Ls_rng QCheck QCheck_alcotest

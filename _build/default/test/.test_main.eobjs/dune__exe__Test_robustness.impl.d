@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Boosting Exact Float Glauber Inference Instance Jvv List Ls_core Ls_dist Ls_gibbs Ls_graph Ls_rng Option Sequential_sampler

@@ -1,0 +1,1 @@
+test/test_ssm.ml: Alcotest Exact Float Inference Instance List Ls_core Ls_dist Ls_gibbs Ls_graph Ls_rng Option Phase_transition QCheck QCheck_alcotest Ssm

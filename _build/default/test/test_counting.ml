@@ -1,0 +1,151 @@
+(* Counting tests: the exact engines against closed-form combinatorial
+   identities, and the local (chain-rule) counting of the paper against
+   the exact values. *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Rng = Ls_rng.Rng
+module Models = Ls_gibbs.Models
+
+open Ls_core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let close ?(rel = 1e-9) a b = Float.abs (a -. b) <= rel *. Float.max 1. (Float.abs b)
+
+let test_independent_sets_closed_forms () =
+  (* Paths: Fibonacci.  Cycles: Lucas.  Large n exercises the DP engines,
+     small n the closed forms themselves. *)
+  List.iter
+    (fun n ->
+      checkb
+        (Printf.sprintf "path %d" n)
+        true
+        (close
+           (Counting.count_independent_sets (Generators.path n))
+           (Counting.closed_form_independent_sets_path n)))
+    [ 1; 2; 3; 5; 10; 30; 60 ];
+  List.iter
+    (fun n ->
+      checkb
+        (Printf.sprintf "cycle %d" n)
+        true
+        (close
+           (Counting.count_independent_sets (Generators.cycle n))
+           (Counting.closed_form_independent_sets_cycle n)))
+    [ 3; 4; 5; 8; 20; 50 ]
+
+let test_matchings_closed_forms () =
+  List.iter
+    (fun n ->
+      checkb
+        (Printf.sprintf "matchings path %d" n)
+        true
+        (close
+           (Counting.count_matchings (Generators.path n))
+           (Counting.closed_form_matchings_path n)))
+    [ 1; 2; 3; 4; 6; 10; 25 ];
+  (* Matchings of C_n = Lucas number L_n. *)
+  List.iter
+    (fun n ->
+      checkb
+        (Printf.sprintf "matchings cycle %d" n)
+        true
+        (close
+           (Counting.count_matchings (Generators.cycle n))
+           (Counting.closed_form_independent_sets_cycle n)))
+    [ 3; 4; 5; 7 ]
+
+let test_colorings_closed_forms () =
+  List.iter
+    (fun (n, q) ->
+      checkb
+        (Printf.sprintf "colorings C%d q=%d" n q)
+        true
+        (close
+           (Counting.count_proper_colorings (Generators.cycle n) ~q)
+           (Counting.closed_form_colorings_cycle ~n ~q)))
+    [ (3, 3); (4, 3); (5, 4); (12, 3); (40, 5) ];
+  let rng = Rng.create 91L in
+  for _trial = 1 to 10 do
+    let n = 2 + Rng.int rng 30 in
+    let g = Generators.random_tree rng n in
+    let q = 2 + Rng.int rng 4 in
+    checkb "colorings of random trees" true
+      (close
+         (Counting.count_proper_colorings g ~q)
+         (Counting.closed_form_colorings_tree ~n ~q))
+  done
+
+let test_star_independent_sets () =
+  (* Star K_{1,k}: 2^k + 1 independent sets. *)
+  List.iter
+    (fun k ->
+      checkb "star" true
+        (close
+           (Counting.count_independent_sets (Generators.star (k + 1)))
+           ((2. ** float_of_int k) +. 1.)))
+    [ 1; 3; 5; 10 ]
+
+let test_log_z_exact_infeasible () =
+  let spec = Models.hardcore (Generators.path 2) ~lambda:1. in
+  let inst = Instance.of_pins spec [ (0, 1); (1, 1) ] in
+  checkb "infeasible" true (Counting.log_z_exact inst = neg_infinity)
+
+let test_local_counting_tracks_exact () =
+  (* The paper's point: global counts assembled from radius-t marginals.
+     Error shrinks with the oracle radius. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 20) ~lambda:1.) in
+  let truth = Counting.log_z_exact inst in
+  let err t =
+    Float.abs (Counting.log_z_local (Inference.ssm_oracle ~t inst) inst -. truth)
+  in
+  let e1 = err 1 and e3 = err 3 and e6 = err 6 in
+  checkb "decreasing" true (e6 <= e3 && e3 <= e1);
+  checkb "accurate at t=6" true (e6 < 0.01);
+  (* Relative accuracy statement: the count itself, not just its log. *)
+  checkb "count within 1%" true
+    (close ~rel:0.01
+       (exp (Counting.log_z_local (Inference.ssm_oracle ~t:6 inst) inst))
+       (Counting.closed_form_independent_sets_cycle 20))
+
+let test_conditional_counting () =
+  (* Self-reducibility: Z(tau) for a pinned instance. *)
+  let spec = Models.hardcore (Generators.cycle 6) ~lambda:1. in
+  let inst = Instance.of_pins spec [ (0, 1) ] in
+  (* Pinning v0 occupied forces both neighbors out: remaining free path of
+     3 vertices (2,3,4) -> F_5 = 5 independent sets. *)
+  checkb "conditional count" true (close (exp (Counting.log_z_exact inst)) 5.)
+
+let qcheck_engines_agree_on_log_z =
+  QCheck.Test.make ~name:"logZ: chain/forest/enumeration engines agree" ~count:40
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let shape = Rng.int rng 3 in
+      let g =
+        match shape with
+        | 0 -> Generators.path n
+        | 1 -> if n >= 3 then Generators.cycle n else Generators.path n
+        | _ -> Generators.random_tree rng n
+      in
+      let lambda = 0.3 +. Rng.float rng in
+      let inst = Instance.unpinned (Models.hardcore g ~lambda) in
+      let fast = Counting.log_z_exact inst in
+      let slow = log (Ls_gibbs.Enumerate.partition inst.Instance.spec inst.Instance.pinned) in
+      Float.abs (fast -. slow) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "independent sets: Fibonacci/Lucas" `Quick
+      test_independent_sets_closed_forms;
+    Alcotest.test_case "matchings: Fibonacci/Lucas" `Quick test_matchings_closed_forms;
+    Alcotest.test_case "colorings: chromatic polynomials" `Quick
+      test_colorings_closed_forms;
+    Alcotest.test_case "star independent sets" `Quick test_star_independent_sets;
+    Alcotest.test_case "infeasible logZ" `Quick test_log_z_exact_infeasible;
+    Alcotest.test_case "local counting tracks exact" `Quick
+      test_local_counting_tracks_exact;
+    Alcotest.test_case "conditional counting" `Quick test_conditional_counting;
+    QCheck_alcotest.to_alcotest qcheck_engines_agree_on_log_z;
+  ]

@@ -1,0 +1,181 @@
+(* Tests for finite distributions, TV distance, multiplicative error, and
+   empirical distributions. *)
+
+module Dist = Ls_dist.Dist
+module Empirical = Ls_dist.Empirical
+module Rng = Ls_rng.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-12) msg
+
+let test_of_weights () =
+  let d = Dist.of_weights [| 1.; 3. |] in
+  checkf "p0" 0.25 (Dist.prob d 0);
+  checkf "p1" 0.75 (Dist.prob d 1);
+  checkb "normalized" true (Dist.is_normalized d)
+
+let test_of_weights_invalid () =
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.of_weights: weights sum to zero") (fun () ->
+      ignore (Dist.of_weights [| 0.; 0. |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dist.of_weights: negative or NaN weight") (fun () ->
+      ignore (Dist.of_weights [| 1.; -1. |]))
+
+let test_uniform_point () =
+  let u = Dist.uniform 4 in
+  for c = 0 to 3 do
+    checkf "uniform" 0.25 (Dist.prob u c)
+  done;
+  let p = Dist.point 4 2 in
+  checkf "point mass" 1. (Dist.prob p 2);
+  checkf "elsewhere" 0. (Dist.prob p 0);
+  Alcotest.check Alcotest.int "support" 1 (Dist.support_size p)
+
+let test_tv_basic () =
+  let a = Dist.of_weights [| 1.; 1. |] and b = Dist.of_weights [| 1.; 0. |] in
+  checkf "tv half" 0.5 (Dist.tv a b);
+  checkf "tv self" 0. (Dist.tv a a);
+  let p0 = Dist.point 2 0 and p1 = Dist.point 2 1 in
+  checkf "tv disjoint" 1. (Dist.tv p0 p1)
+
+let test_tv_symmetry_triangle () =
+  let rng = Rng.create 7L in
+  for _i = 1 to 200 do
+    let mk () = Dist.of_weights (Array.init 5 (fun _ -> Rng.float rng +. 0.01)) in
+    let a = mk () and b = mk () and c = mk () in
+    checkb "symmetry" true (Float.abs (Dist.tv a b -. Dist.tv b a) < 1e-12);
+    checkb "triangle" true (Dist.tv a c <= Dist.tv a b +. Dist.tv b c +. 1e-12);
+    checkb "range" true (Dist.tv a b >= 0. && Dist.tv a b <= 1.)
+  done
+
+let test_mult_err () =
+  let a = Dist.of_weights [| 1.; 1. |] in
+  let b = Dist.of_weights [| 1.; Float.exp 0.1 |] in
+  (* b = (1/(1+e^.1), e^.1/(1+e^.1)); ratios: ln differences bounded. *)
+  checkb "finite" true (Dist.mult_err a b < 0.2);
+  checkf "self" 0. (Dist.mult_err a a);
+  let p = Dist.point 2 0 and u = Dist.uniform 2 in
+  checkb "zero vs nonzero is infinite" true (Dist.mult_err p u = infinity);
+  let q = Dist.point 2 0 in
+  checkb "matching zeros are fine (0/0 = 1)" true (Dist.mult_err p q = 0.)
+
+let test_mult_err_dominates_tv () =
+  (* err <= eps implies tv <= (e^eps - 1)/2-ish; sanity: small err, small tv. *)
+  let a = Dist.of_weights [| 0.5; 0.5 |] in
+  let b = Dist.of_weights [| 0.5 *. exp 0.01; 0.5 |] in
+  checkb "small" true (Dist.tv a b <= Dist.mult_err a b)
+
+let test_argmax () =
+  Alcotest.check Alcotest.int "argmax" 1 (Dist.argmax (Dist.of_weights [| 1.; 5.; 3. |]));
+  Alcotest.check Alcotest.int "ties smallest" 0
+    (Dist.argmax (Dist.of_weights [| 2.; 2. |]))
+
+let test_mix () =
+  let a = Dist.point 2 0 and b = Dist.point 2 1 in
+  let m = Dist.mix 0.25 a b in
+  checkf "mix0" 0.25 (Dist.prob m 0);
+  checkf "mix1" 0.75 (Dist.prob m 1)
+
+let test_sample_frequencies () =
+  let rng = Rng.create 13L in
+  let d = Dist.of_weights [| 0.2; 0.5; 0.3 |] in
+  let counts = Array.make 3 0 in
+  let n = 60_000 in
+  for _i = 1 to n do
+    let c = Dist.sample rng d in
+    counts.(c) <- counts.(c) + 1
+  done;
+  Array.iteri
+    (fun c k ->
+      let f = float_of_int k /. float_of_int n in
+      checkb "frequency" true (Float.abs (f -. Dist.prob d c) < 0.01))
+    counts
+
+let test_empirical_basic () =
+  let e = Empirical.create () in
+  Empirical.add e [| 0; 1 |];
+  Empirical.add e [| 0; 1 |];
+  Empirical.add e [| 1; 0 |];
+  Alcotest.check Alcotest.int "total" 3 (Empirical.total e);
+  Alcotest.check Alcotest.int "count" 2 (Empirical.count e [| 0; 1 |]);
+  Alcotest.check Alcotest.int "distinct" 2 (Empirical.distinct e);
+  checkb "freq" true (Float.abs (Empirical.freq e [| 1; 0 |] -. (1. /. 3.)) < 1e-12)
+
+let test_empirical_copies () =
+  let e = Empirical.create () in
+  let a = [| 0; 0 |] in
+  Empirical.add e a;
+  a.(0) <- 1;
+  Alcotest.check Alcotest.int "copied on add" 1 (Empirical.count e [| 0; 0 |])
+
+let test_empirical_tv () =
+  let e = Empirical.create () in
+  Empirical.add e [| 0 |];
+  Empirical.add e [| 1 |];
+  let exact = [ ([| 0 |], 0.5); ([| 1 |], 0.5) ] in
+  checkb "tv zero" true (Empirical.tv_against e exact < 1e-12);
+  let skewed = [ ([| 0 |], 1.0); ([| 1 |], 0.0) ] in
+  checkb "tv half" true (Float.abs (Empirical.tv_against e skewed -. 0.5) < 1e-12)
+
+let test_empirical_off_support () =
+  let e = Empirical.create () in
+  Empirical.add e [| 7 |];
+  let exact = [ ([| 0 |], 1.0) ] in
+  checkb "full mass off support" true
+    (Float.abs (Empirical.tv_against e exact -. 1.0) < 1e-12);
+  checkb "chi-square infinite" true (Empirical.chi_square e exact = infinity)
+
+let test_empirical_converges () =
+  let rng = Rng.create 21L in
+  let d = Dist.of_weights [| 1.; 2.; 3. |] in
+  let e = Empirical.create () in
+  for _i = 1 to 30_000 do
+    Empirical.add e [| Dist.sample rng d |]
+  done;
+  let exact = List.init 3 (fun c -> ([| c |], Dist.prob d c)) in
+  checkb "empirical close to exact" true (Empirical.tv_against e exact < 0.01)
+
+let qcheck_tv_bounds =
+  QCheck.Test.make ~name:"tv in [0,1]" ~count:500
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 4) (float_range 0.001 10.))
+        (array_of_size (Gen.return 4) (float_range 0.001 10.)))
+    (fun (wa, wb) ->
+      let a = Dist.of_weights wa and b = Dist.of_weights wb in
+      let t = Dist.tv a b in
+      t >= 0. && t <= 1. +. 1e-12)
+
+let qcheck_mult_err_vs_tv =
+  QCheck.Test.make ~name:"tv <= (e^err - 1) when err finite" ~count:500
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 3) (float_range 0.01 10.))
+        (array_of_size (Gen.return 3) (float_range 0.01 10.)))
+    (fun (wa, wb) ->
+      let a = Dist.of_weights wa and b = Dist.of_weights wb in
+      let e = Dist.mult_err a b in
+      (* |a(c)-b(c)| <= b(c)(e^err - 1), summing: 2 tv <= e^err - 1. *)
+      2. *. Dist.tv a b <= exp e -. 1. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "of_weights" `Quick test_of_weights;
+    Alcotest.test_case "of_weights invalid" `Quick test_of_weights_invalid;
+    Alcotest.test_case "uniform and point" `Quick test_uniform_point;
+    Alcotest.test_case "tv basics" `Quick test_tv_basic;
+    Alcotest.test_case "tv symmetry+triangle" `Quick test_tv_symmetry_triangle;
+    Alcotest.test_case "mult_err" `Quick test_mult_err;
+    Alcotest.test_case "mult_err dominates tv" `Quick test_mult_err_dominates_tv;
+    Alcotest.test_case "argmax" `Quick test_argmax;
+    Alcotest.test_case "mix" `Quick test_mix;
+    Alcotest.test_case "sample frequencies" `Quick test_sample_frequencies;
+    Alcotest.test_case "empirical basics" `Quick test_empirical_basic;
+    Alcotest.test_case "empirical copies keys" `Quick test_empirical_copies;
+    Alcotest.test_case "empirical tv" `Quick test_empirical_tv;
+    Alcotest.test_case "empirical off-support" `Quick test_empirical_off_support;
+    Alcotest.test_case "empirical converges" `Quick test_empirical_converges;
+    QCheck_alcotest.to_alcotest qcheck_tv_bounds;
+    QCheck_alcotest.to_alcotest qcheck_mult_err_vs_tv;
+  ]

@@ -1,0 +1,298 @@
+(* Tests for the additional exact/approximate inference engines: the
+   transfer-matrix DP on paths/cycles (Chain_dp) and Weitz's SAW-tree
+   algorithm (Saw).  Both are validated against brute-force enumeration —
+   for the SAW tree this in particular certifies the cycle-closing rule. *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+module Rng = Ls_rng.Rng
+module Config = Ls_gibbs.Config
+module Spec = Ls_gibbs.Spec
+module Models = Ls_gibbs.Models
+module Enumerate = Ls_gibbs.Enumerate
+module Chain_dp = Ls_gibbs.Chain_dp
+module Saw = Ls_gibbs.Saw
+
+open Ls_core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let random_two_spin rng g =
+  Models.two_spin g ~beta:(Rng.float rng *. 2.) ~gamma:(Rng.float rng *. 2.)
+    ~lambda:(0.1 +. (Rng.float rng *. 2.))
+
+let random_pinning rng n q =
+  let tau = Config.empty n in
+  for v = 0 to n - 1 do
+    if Rng.bernoulli rng 0.25 then tau.(v) <- Rng.int rng q
+  done;
+  tau
+
+let agree msg a b =
+  match (a, b) with
+  | None, None -> ()
+  | Some da, Some db -> checkb msg true (Dist.tv da db < 1e-9)
+  | Some _, None | None, Some _ -> Alcotest.fail (msg ^ ": feasibility disagreement")
+
+(* --- Chain_dp --- *)
+
+let test_chain_supported () =
+  checkb "cycle" true (Chain_dp.supported (Models.hardcore (Generators.cycle 5) ~lambda:1.));
+  checkb "path" true (Chain_dp.supported (Models.coloring (Generators.path 4) ~q:3));
+  checkb "star rejected" false
+    (Chain_dp.supported (Models.hardcore (Generators.star 5) ~lambda:1.))
+
+let test_chain_vs_enumeration_cycles () =
+  let rng = Rng.create 71L in
+  for _trial = 1 to 25 do
+    let n = 3 + Rng.int rng 8 in
+    let g = Generators.cycle n in
+    let spec =
+      if Rng.bool rng then random_two_spin rng g else Models.coloring g ~q:3
+    in
+    let q = Spec.q spec in
+    let tau = random_pinning rng n q in
+    for v = 0 to n - 1 do
+      agree "cycle marginal" (Chain_dp.marginal spec tau v)
+        (Enumerate.marginal spec tau v)
+    done
+  done
+
+let test_chain_vs_enumeration_paths () =
+  let rng = Rng.create 72L in
+  for _trial = 1 to 25 do
+    let n = 1 + Rng.int rng 8 in
+    let g = Generators.path n in
+    let spec =
+      if Rng.bool rng then random_two_spin rng g else Models.coloring g ~q:3
+    in
+    let q = Spec.q spec in
+    let tau = random_pinning rng n q in
+    for v = 0 to n - 1 do
+      agree "path marginal" (Chain_dp.marginal spec tau v)
+        (Enumerate.marginal spec tau v)
+    done
+  done
+
+let test_chain_log_partition () =
+  let rng = Rng.create 73L in
+  for _trial = 1 to 20 do
+    let n = 3 + Rng.int rng 7 in
+    let g = if Rng.bool rng then Generators.cycle n else Generators.path n in
+    let spec = random_two_spin rng g in
+    let tau = random_pinning rng n 2 in
+    let z = Enumerate.partition spec tau in
+    let lz = Chain_dp.log_partition spec tau in
+    if z > 0. then
+      checkb "logZ agrees" true (Float.abs (lz -. log z) < 1e-9)
+    else checkb "infeasible logZ" true (lz = neg_infinity)
+  done
+
+let test_chain_disconnected () =
+  (* Cycle + isolated path in one graph. *)
+  let g = Graph.create ~n:8 ~edges:[ (0, 1); (1, 2); (2, 0); (4, 5); (5, 6) ] in
+  let spec = Models.hardcore g ~lambda:1.3 in
+  let tau = Config.of_pinning 8 [ (5, 1) ] in
+  for v = 0 to 7 do
+    agree "mixed components" (Chain_dp.marginal spec tau v)
+      (Enumerate.marginal spec tau v)
+  done;
+  (* Infeasible pinning in a far component must kill every marginal. *)
+  let bad = Config.of_pinning 8 [ (4, 1); (5, 1) ] in
+  checkb "far infeasibility" true (Chain_dp.marginal spec bad 0 = None)
+
+let test_chain_large_cycle_stable () =
+  let n = 2000 in
+  let spec = Models.hardcore (Generators.cycle n) ~lambda:1. in
+  let tau = Config.empty n in
+  let d = Option.get (Chain_dp.marginal spec tau 0) in
+  checkb "normalized" true (Dist.is_normalized d);
+  (* On an unpinned cycle every vertex has the same marginal; the
+     occupation probability tends to the infinite-path value
+     (1 - 1/sqrt(5))/2 ~ 0.2764 for lambda = 1. *)
+  let d' = Option.get (Chain_dp.marginal spec tau (n / 2)) in
+  checkb "translation invariant" true (Dist.tv d d' < 1e-12);
+  checkb "thermodynamic limit" true
+    (Float.abs (Dist.prob d 1 -. ((1. -. (1. /. sqrt 5.)) /. 2.)) < 1e-3);
+  let lz = Chain_dp.log_partition spec tau in
+  checkb "logZ finite and linear in n" true
+    (Float.is_finite lz && lz > 0.4 *. float_of_int n && lz < 0.5 *. float_of_int n)
+
+let test_exact_dispatcher_uses_chain () =
+  (* Exact.marginal on a 60-cycle must terminate fast (enumeration would
+     take ~2^60 steps) and agree with a deep ssm ball estimate. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 60) ~lambda:1.) in
+  let d = Option.get (Exact.marginal inst 0) in
+  let approx = Inference.ssm_infer ~t:25 inst 0 in
+  checkb "chain engine plugged in" true (Dist.tv d approx < 1e-6)
+
+(* --- Saw --- *)
+
+let test_saw_supported () =
+  checkb "hardcore yes" true (Saw.supported (Models.hardcore (Generators.cycle 4) ~lambda:1.));
+  checkb "coloring q=3 no" false (Saw.supported (Models.coloring (Generators.cycle 4) ~q:3))
+
+let test_saw_exact_on_trees () =
+  let rng = Rng.create 81L in
+  for _trial = 1 to 25 do
+    let n = 2 + Rng.int rng 8 in
+    let g = Generators.random_tree rng n in
+    let spec = random_two_spin rng g in
+    let tau = random_pinning rng n 2 in
+    for v = 0 to n - 1 do
+      agree "saw on tree" (Saw.marginal ~depth:n spec tau v)
+        (Enumerate.marginal spec tau v)
+    done
+  done
+
+let test_saw_exact_on_cycles () =
+  (* The cycle-closing rule at work: exactness on graphs with cycles. *)
+  let rng = Rng.create 82L in
+  for _trial = 1 to 25 do
+    let n = 3 + Rng.int rng 6 in
+    let g = Generators.cycle n in
+    let spec =
+      if Rng.bool rng then Models.hardcore g ~lambda:(0.3 +. Rng.float rng)
+      else random_two_spin rng g
+    in
+    let tau = random_pinning rng n 2 in
+    if Enumerate.feasible spec tau then
+      for v = 0 to n - 1 do
+        agree "saw on cycle" (Saw.marginal ~depth:(n + 1) spec tau v)
+          (Enumerate.marginal spec tau v)
+      done
+  done
+
+let test_saw_exact_on_dense_graphs () =
+  (* The SAW tree computes conditional marginals of a FEASIBLE instance
+     (Definition 2.2 demands tau feasible): constraints between two pinned
+     vertices are never walked, so infeasible pinnings are out of its
+     contract — skip them, as the paper's model does. *)
+  let rng = Rng.create 83L in
+  for _trial = 1 to 15 do
+    let n = 4 + Rng.int rng 4 in
+    let g = Generators.erdos_renyi rng ~n ~p:0.5 in
+    let spec = Models.hardcore g ~lambda:(0.3 +. Rng.float rng) in
+    let tau = random_pinning rng n 2 in
+    if Enumerate.feasible spec tau then
+      for v = 0 to n - 1 do
+        agree "saw on ER graph" (Saw.marginal ~depth:(n + 1) spec tau v)
+          (Enumerate.marginal spec tau v)
+      done
+  done
+
+let test_saw_complete_graph () =
+  (* K5: heavily cyclic, the sharpest test of the ordering rule. *)
+  let g = Generators.complete 5 in
+  let spec = Models.hardcore g ~lambda:0.9 in
+  let tau = Config.empty 5 in
+  for v = 0 to 4 do
+    agree "saw on K5" (Saw.marginal ~depth:6 spec tau v) (Enumerate.marginal spec tau v)
+  done
+
+let test_saw_truncation_error_decays () =
+  let n = 18 in
+  let spec = Models.hardcore (Generators.cycle n) ~lambda:1. in
+  let tau = Config.empty n in
+  let exact = Option.get (Chain_dp.marginal spec tau 0) in
+  let err depth = Dist.tv (Option.get (Saw.marginal ~depth spec tau 0)) exact in
+  let e2 = err 2 and e4 = err 4 and e8 = err 8 in
+  checkb "monotone-ish decay" true (e8 <= e4 && e4 <= e2);
+  checkb "deep truncation accurate" true (e8 < 1e-3)
+
+let test_saw_pinned_root_and_infeasible () =
+  let spec = Models.hardcore (Generators.path 3) ~lambda:1. in
+  let tau = Config.of_pinning 3 [ (1, 1) ] in
+  let d = Option.get (Saw.marginal ~depth:3 spec tau 1) in
+  checkb "pinned root point mass" true (Dist.prob d 1 = 1.);
+  let d0 = Option.get (Saw.marginal ~depth:3 spec tau 0) in
+  checkb "forced out by pinned neighbor" true (Dist.prob d0 0 = 1.);
+  (* Infeasible: hard field forbidding both values. *)
+  let dead =
+    Spec.create_pairwise (Generators.path 2) ~q:2
+      {
+        Spec.vertex_weight = (fun v _ -> if v = 0 then 0. else 1.);
+        edge_weight = (fun _ _ _ _ -> 1.);
+      }
+  in
+  checkb "all-zero root" true (Saw.marginal ~depth:2 dead (Config.empty 2) 0 = None)
+
+let test_saw_oracle_in_pipeline () =
+  (* Drive the chain-rule sampler with the SAW oracle and check the output
+     law symbolically. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 7) ~lambda:1.2) in
+  let oracle = Inference.saw_oracle ~depth:8 inst in
+  let out =
+    Sequential_sampler.output_distribution oracle inst
+      ~order:(Array.init 7 (fun i -> i))
+  in
+  let exact = Exact.joint inst in
+  let tv =
+    0.5
+    *. List.fold_left
+         (fun acc (sigma, p) ->
+           let p' = try List.assoc sigma out with Not_found -> 0. in
+           acc +. Float.abs (p -. p'))
+         0. exact
+  in
+  checkb "saw-driven sampler is exact at full depth" true (tv < 1e-9)
+
+let qcheck_saw_matches_enumeration =
+  QCheck.Test.make ~name:"SAW tree = enumeration on random graphs (full depth)"
+    ~count:30
+    QCheck.(pair small_int (int_range 3 7))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.erdos_renyi rng ~n ~p:0.45 in
+      let spec = random_two_spin rng g in
+      let tau = random_pinning rng n 2 in
+      QCheck.assume (Enumerate.feasible spec tau);
+      List.for_all
+        (fun v ->
+          match (Saw.marginal ~depth:(n + 1) spec tau v, Enumerate.marginal spec tau v) with
+          | None, None -> true
+          | Some a, Some b -> Dist.tv a b < 1e-9
+          | _ -> false)
+        (List.init n (fun v -> v)))
+
+let qcheck_chain_matches_enumeration =
+  QCheck.Test.make ~name:"Chain DP = enumeration on cycles" ~count:30
+    QCheck.(pair small_int (int_range 3 9))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.cycle n in
+      let spec = random_two_spin rng g in
+      let tau = random_pinning rng n 2 in
+      List.for_all
+        (fun v ->
+          match (Chain_dp.marginal spec tau v, Enumerate.marginal spec tau v) with
+          | None, None -> true
+          | Some a, Some b -> Dist.tv a b < 1e-9
+          | _ -> false)
+        (List.init n (fun v -> v)))
+
+let suite =
+  [
+    Alcotest.test_case "chain supported" `Quick test_chain_supported;
+    Alcotest.test_case "chain vs enumeration (cycles)" `Quick
+      test_chain_vs_enumeration_cycles;
+    Alcotest.test_case "chain vs enumeration (paths)" `Quick
+      test_chain_vs_enumeration_paths;
+    Alcotest.test_case "chain log partition" `Quick test_chain_log_partition;
+    Alcotest.test_case "chain disconnected" `Quick test_chain_disconnected;
+    Alcotest.test_case "chain large cycle" `Quick test_chain_large_cycle_stable;
+    Alcotest.test_case "exact dispatcher uses chain" `Quick
+      test_exact_dispatcher_uses_chain;
+    Alcotest.test_case "saw supported" `Quick test_saw_supported;
+    Alcotest.test_case "saw exact on trees" `Quick test_saw_exact_on_trees;
+    Alcotest.test_case "saw exact on cycles" `Quick test_saw_exact_on_cycles;
+    Alcotest.test_case "saw exact on dense graphs" `Quick test_saw_exact_on_dense_graphs;
+    Alcotest.test_case "saw on K5" `Quick test_saw_complete_graph;
+    Alcotest.test_case "saw truncation decay" `Quick test_saw_truncation_error_decays;
+    Alcotest.test_case "saw pinning and infeasibility" `Quick
+      test_saw_pinned_root_and_infeasible;
+    Alcotest.test_case "saw oracle drives the sampler" `Quick test_saw_oracle_in_pipeline;
+    QCheck_alcotest.to_alcotest qcheck_saw_matches_enumeration;
+    QCheck_alcotest.to_alcotest qcheck_chain_matches_enumeration;
+  ]

@@ -1,0 +1,302 @@
+(* Tests for the distributed JVV exact sampler (Theorem 4.2 / Prop. 4.3).
+
+   The sharpest checks here are symbolic: [Jvv.output_distribution] replays
+   the deterministic rejection pass on every possible chain-rule sample and
+   returns the exact conditional law of the output, which Lemma 4.8 says
+   must equal the target mu^tau whenever no acceptance probability clamps. *)
+
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+module Empirical = Ls_dist.Empirical
+module Rng = Ls_rng.Rng
+module Models = Ls_gibbs.Models
+
+open Ls_core
+
+let checkb = Alcotest.check Alcotest.bool
+let ident_order n = Array.init n (fun i -> i)
+
+let hardcore_inst n lambda =
+  Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda)
+
+let tv_vs_exact conditional exact =
+  let lookup sigma l = try List.assoc sigma l with Not_found -> 0. in
+  0.5
+  *. (List.fold_left
+        (fun acc (sigma, p) -> acc +. Float.abs (p -. lookup sigma conditional))
+        0. exact
+     +. List.fold_left
+          (fun acc (sigma, p) ->
+            if List.mem_assoc sigma exact then acc else acc +. p)
+          0. conditional)
+
+let test_exact_oracle_never_rejects () =
+  (* With exact marginals and epsilon = 0 the acceptance ratio telescopes
+     to exactly 1: no rejection, no clamping, output = chain-rule = exact. *)
+  let inst = hardcore_inst 6 1.2 in
+  let oracle = Inference.exact inst in
+  let rng = Rng.create 1L in
+  for _i = 1 to 50 do
+    let r = Jvv.run oracle ~epsilon:0. inst ~order:(ident_order 6) ~rng in
+    checkb "success" true r.Jvv.success;
+    checkb "no clamps" true (r.Jvv.clamped = 0);
+    checkb "acceptance exactly 1" true (Float.abs (r.Jvv.acceptance_product -. 1.) < 1e-6);
+    checkb "feasible" true (Ls_gibbs.Spec.weight inst.Instance.spec r.Jvv.y > 0.)
+  done
+
+let test_ground_state_feasible () =
+  let inst = hardcore_inst 8 1. in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let r = Jvv.run oracle ~epsilon:0.01 inst ~order:(ident_order 8) ~rng:(Rng.create 2L) in
+  checkb "ground feasible" true (Ls_gibbs.Spec.weight inst.Instance.spec r.Jvv.ground > 0.)
+
+let test_symbolic_exactness_exact_oracle () =
+  let inst = hardcore_inst 6 1.7 in
+  let oracle = Inference.exact inst in
+  let out = Jvv.output_distribution oracle ~epsilon:1e-6 inst ~order:(ident_order 6) in
+  checkb "no clamps" true (out.Jvv.total_clamps = 0);
+  checkb "success probability high" true (out.Jvv.success_probability > 0.9);
+  checkb "conditional law is exactly mu^tau" true
+    (tv_vs_exact out.Jvv.conditional (Exact.joint inst) < 1e-9)
+
+let test_symbolic_exactness_coarse_oracle () =
+  (* The whole point of Theorem 4.2: even a visibly biased approximate
+     inference oracle yields an EXACTLY correct conditional law, as long as
+     the slack absorbs the error (no clamps). *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 9) ~lambda:2.5) in
+  let oracle = Inference.ssm_oracle ~t:1 inst in
+  let order = ident_order 9 in
+  (* First certify that the raw chain-rule output is measurably biased. *)
+  let mu_hat = Sequential_sampler.output_distribution oracle inst ~order in
+  let raw_bias = tv_vs_exact mu_hat (Exact.joint inst) in
+  checkb "raw chain rule is biased" true (raw_bias > 1e-3);
+  (* Now the rejection-corrected law. *)
+  let out = Jvv.output_distribution oracle ~epsilon:0.1 inst ~order in
+  checkb "no clamps at this slack" true (out.Jvv.total_clamps = 0);
+  checkb "conditional law exact despite oracle bias" true
+    (tv_vs_exact out.Jvv.conditional (Exact.joint inst) < 1e-9);
+  checkb "rejection pays in success probability" true
+    (out.Jvv.success_probability < 0.9)
+
+let test_symbolic_exactness_colorings () =
+  (* q = 3 on C4 has weak spatial mixing only; give the oracle a radius
+     covering the cycle so its error, and hence the needed slack, is tiny. *)
+  let inst = Instance.unpinned (Models.coloring (Generators.cycle 4) ~q:3) in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let out = Jvv.output_distribution oracle ~epsilon:1e-6 inst ~order:(ident_order 4) in
+  checkb "no clamps" true (out.Jvv.total_clamps = 0);
+  checkb "success probability high" true (out.Jvv.success_probability > 0.9);
+  checkb "uniform over proper colorings" true
+    (tv_vs_exact out.Jvv.conditional (Exact.joint inst) < 1e-9)
+
+let test_symbolic_exactness_matchings () =
+  let m = Ls_gibbs.Matching.make (Generators.cycle 5) ~lambda:1.3 in
+  let inst = Instance.unpinned m.Ls_gibbs.Matching.spec in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let out = Jvv.output_distribution oracle ~epsilon:1e-6 inst ~order:(ident_order 5) in
+  checkb "no clamps" true (out.Jvv.total_clamps = 0);
+  checkb "law over matchings exact" true
+    (tv_vs_exact out.Jvv.conditional (Exact.joint inst) < 1e-9);
+  List.iter
+    (fun (sigma, _) ->
+      checkb "support is matchings" true (Ls_gibbs.Matching.is_matching m sigma))
+    out.Jvv.conditional
+
+let test_symbolic_exactness_pinned () =
+  let inst =
+    Instance.of_pins (Models.hardcore (Generators.cycle 6) ~lambda:1.) [ (0, 1) ]
+  in
+  let oracle = Inference.ssm_oracle ~t:1 inst in
+  let out = Jvv.output_distribution oracle ~epsilon:0.05 inst ~order:(ident_order 6) in
+  checkb "no clamps" true (out.Jvv.total_clamps = 0);
+  checkb "conditional target hit" true
+    (tv_vs_exact out.Jvv.conditional (Exact.joint inst) < 1e-9);
+  List.iter
+    (fun (sigma, _) -> checkb "pin in support" true (sigma.(0) = 1))
+    out.Jvv.conditional
+
+let test_adaptive_slack_improves_success () =
+  (* Ablation: window-sized slack keeps exactness and raises the success
+     probability.  On a path, windows near the endpoints are strictly
+     smaller than n, so the improvement is strict. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.path 12) ~lambda:1.) in
+  let oracle = Inference.ssm_oracle ~t:1 inst in
+  let order = ident_order 12 in
+  let epsilon = 0.2 in
+  let plain = Jvv.output_distribution oracle ~epsilon inst ~order in
+  let adaptive = Jvv.output_distribution oracle ~epsilon ~adaptive:true inst ~order in
+  checkb "plain no clamps" true (plain.Jvv.total_clamps = 0);
+  checkb "adaptive no clamps" true (adaptive.Jvv.total_clamps = 0);
+  checkb "plain exact" true (tv_vs_exact plain.Jvv.conditional (Exact.joint inst) < 1e-9);
+  checkb "adaptive exact" true
+    (tv_vs_exact adaptive.Jvv.conditional (Exact.joint inst) < 1e-9);
+  checkb "adaptive succeeds strictly more" true
+    (adaptive.Jvv.success_probability > plain.Jvv.success_probability)
+
+let test_success_probability_telescopes () =
+  (* With an exact oracle the acceptance products telescope so that
+     Pr(success) = slack^k exactly, k the number of free vertices —
+     a sharp closed-form invariant of the rejection scheme. *)
+  let inst =
+    Instance.of_pins (Models.hardcore (Generators.cycle 6) ~lambda:1.4) [ (2, 0) ]
+  in
+  let oracle = Inference.exact inst in
+  let epsilon = 0.003 in
+  let k = List.length (Instance.free_vertices inst) in
+  let out = Jvv.output_distribution oracle ~epsilon inst ~order:(ident_order 6) in
+  let predicted = exp (-3. *. 6. *. epsilon *. float_of_int k) in
+  checkb "success = slack^k" true
+    (Float.abs (out.Jvv.success_probability -. predicted) < 1e-9)
+
+let test_monte_carlo_agrees_with_symbolic () =
+  (* Cross-check the sampling path against the symbolic law. *)
+  let inst = hardcore_inst 5 1. in
+  let oracle = Inference.exact inst in
+  let order = ident_order 5 in
+  let rng = Rng.create 3L in
+  let emp = Empirical.create () in
+  let successes = ref 0 in
+  let runs = 20_000 in
+  for _i = 1 to runs do
+    let r = Jvv.run oracle ~epsilon:1e-6 inst ~order ~rng in
+    if r.Jvv.success then begin
+      incr successes;
+      Empirical.add emp r.Jvv.y
+    end
+  done;
+  let out = Jvv.output_distribution oracle ~epsilon:1e-6 inst ~order in
+  checkb "empirical success rate near symbolic" true
+    (Float.abs
+       ((float_of_int !successes /. float_of_int runs)
+       -. out.Jvv.success_probability)
+    < 0.02);
+  checkb "empirical law near symbolic" true
+    (Empirical.tv_against emp out.Jvv.conditional < 0.02)
+
+let test_certified_localities () =
+  (* The locality-enforcing run must complete (thereby PROVING the claimed
+     per-pass localities t, t, 3t+l) and report them. *)
+  let inst = hardcore_inst 8 1. in
+  let oracle = Inference.ssm_oracle ~t:1 inst in
+  let t = oracle.Inference.radius in
+  let c =
+    Jvv.run_certified oracle ~epsilon:0.05 inst ~order:(ident_order 8) ~seed:5L
+  in
+  Alcotest.check (Alcotest.list Alcotest.int) "pass localities"
+    [ t; t; (3 * t) + 1 ]
+    (List.filter (fun r -> r > 0) c.Jvv.pass_localities);
+  checkb "single-pass bound 9t+2l" true
+    (c.Jvv.certified_locality = (9 * t) + 2);
+  checkb "feasible output" true
+    (Ls_gibbs.Spec.weight inst.Instance.spec c.Jvv.result.Jvv.y > 0.)
+
+let test_certified_exactness () =
+  (* Conditioned on success, the certified run follows the target too:
+     empirical check with an exact oracle (no rejections, no clamps). *)
+  let inst = hardcore_inst 5 1.3 in
+  let oracle = Inference.exact inst in
+  let emp = Empirical.create () in
+  let runs = 8_000 in
+  let successes = ref 0 in
+  for i = 1 to runs do
+    let c =
+      Jvv.run_certified oracle ~epsilon:1e-9 inst ~order:(ident_order 5)
+        ~seed:(Int64.of_int i)
+    in
+    checkb "no clamps" true (c.Jvv.result.Jvv.clamped = 0);
+    if c.Jvv.result.Jvv.success then begin
+      incr successes;
+      Empirical.add emp c.Jvv.result.Jvv.y
+    end
+  done;
+  checkb "near-certain success" true (!successes > runs - 10);
+  checkb "conditional law correct" true
+    (Empirical.tv_against emp (Exact.joint inst) < 0.03)
+
+let test_run_local_compiles () =
+  let inst = hardcore_inst 8 1. in
+  let oracle = Inference.ssm_oracle ~t:1 inst in
+  let r, stats = Jvv.run_local oracle ~epsilon:0.05 inst ~seed:17L in
+  checkb "rounds charged" true (stats.Ls_local.Scheduler.rounds > 0);
+  checkb "feasible output" true (Ls_gibbs.Spec.weight inst.Instance.spec r.Jvv.y > 0.)
+
+let test_run_local_certified () =
+  (* End-to-end: scheduler ordering + locality-enforced passes. *)
+  let inst = hardcore_inst 8 1. in
+  let oracle = Inference.ssm_oracle ~t:1 inst in
+  let t = oracle.Inference.radius in
+  let c, stats = Jvv.run_local_certified oracle ~epsilon:0.05 inst ~seed:19L in
+  checkb "rounds charged" true (stats.Ls_local.Scheduler.rounds > 0);
+  checkb "certified 9t+2l" true (c.Jvv.certified_locality = (9 * t) + 2);
+  checkb "feasible output" true
+    (Ls_gibbs.Spec.weight inst.Instance.spec c.Jvv.result.Jvv.y > 0.)
+
+let test_theory_epsilon () =
+  let inst = hardcore_inst 10 1. in
+  checkb "1/n^3" true (Float.abs (Jvv.theory_epsilon inst -. 1e-3) < 1e-12)
+
+let test_acceptance_bounds () =
+  let inst = hardcore_inst 6 1. in
+  let oracle = Inference.exact inst in
+  let epsilon = 0.01 in
+  let rng = Rng.create 19L in
+  let r = Jvv.run oracle ~epsilon inst ~order:(ident_order 6) ~rng in
+  let lower = exp (-5. *. 6. *. 6. *. epsilon) in
+  checkb "acceptance product lower bound" true (r.Jvv.acceptance_product >= lower -. 1e-12);
+  checkb "acceptance product at most 1" true (r.Jvv.acceptance_product <= 1. +. 1e-12)
+
+let qcheck_jvv_outputs_feasible =
+  QCheck.Test.make ~name:"JVV outputs are always feasible configurations" ~count:25
+    QCheck.(pair small_int (int_range 4 8))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.random_tree rng n in
+      let inst = Instance.unpinned (Models.hardcore g ~lambda:(0.5 +. Rng.float rng)) in
+      let oracle = Inference.ssm_oracle ~t:2 inst in
+      let r = Jvv.run oracle ~epsilon:0.05 inst ~order:(Rng.permutation rng n) ~rng in
+      Ls_gibbs.Spec.weight inst.Instance.spec r.Jvv.y > 0.
+      && Ls_gibbs.Spec.weight inst.Instance.spec r.Jvv.ground > 0.)
+
+let qcheck_symbolic_exactness_random_trees =
+  QCheck.Test.make ~name:"symbolic JVV law = mu^tau on random trees" ~count:12
+    QCheck.(pair small_int (int_range 3 6))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.random_tree rng n in
+      let inst = Instance.unpinned (Models.hardcore g ~lambda:(0.5 +. Rng.float rng)) in
+      let oracle = Inference.ssm_oracle ~t:1 inst in
+      let out =
+        Jvv.output_distribution oracle ~epsilon:0.1 inst ~order:(ident_order n)
+      in
+      out.Jvv.total_clamps > 0
+      || tv_vs_exact out.Jvv.conditional (Exact.joint inst) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "exact oracle never rejects" `Quick test_exact_oracle_never_rejects;
+    Alcotest.test_case "ground state feasible" `Quick test_ground_state_feasible;
+    Alcotest.test_case "symbolic exactness (exact oracle)" `Quick
+      test_symbolic_exactness_exact_oracle;
+    Alcotest.test_case "symbolic exactness (coarse oracle)" `Slow
+      test_symbolic_exactness_coarse_oracle;
+    Alcotest.test_case "symbolic exactness (colorings)" `Quick
+      test_symbolic_exactness_colorings;
+    Alcotest.test_case "symbolic exactness (matchings)" `Quick
+      test_symbolic_exactness_matchings;
+    Alcotest.test_case "symbolic exactness (pinned)" `Quick
+      test_symbolic_exactness_pinned;
+    Alcotest.test_case "adaptive slack ablation" `Quick
+      test_adaptive_slack_improves_success;
+    Alcotest.test_case "success probability telescopes" `Quick
+      test_success_probability_telescopes;
+    Alcotest.test_case "monte carlo vs symbolic" `Slow
+      test_monte_carlo_agrees_with_symbolic;
+    Alcotest.test_case "certified localities" `Quick test_certified_localities;
+    Alcotest.test_case "certified exactness" `Slow test_certified_exactness;
+    Alcotest.test_case "LOCAL compilation" `Quick test_run_local_compiles;
+    Alcotest.test_case "LOCAL compilation (certified)" `Quick test_run_local_certified;
+    Alcotest.test_case "theory epsilon" `Quick test_theory_epsilon;
+    Alcotest.test_case "acceptance bounds" `Quick test_acceptance_bounds;
+    QCheck_alcotest.to_alcotest qcheck_jvv_outputs_feasible;
+    QCheck_alcotest.to_alcotest qcheck_symbolic_exactness_random_trees;
+  ]

@@ -1,0 +1,310 @@
+(* Tests for the LOCAL/SLOCAL runtimes, network decomposition and the
+   SLOCAL->LOCAL scheduler. *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Rng = Ls_rng.Rng
+module Network = Ls_local.Network
+module Slocal = Ls_local.Slocal
+module Decomposition = Ls_local.Decomposition
+module Scheduler = Ls_local.Scheduler
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Network: gather --- *)
+
+let test_gather_basic () =
+  let g = Generators.path 5 in
+  let net = Network.create g ~inputs:[| 10; 11; 12; 13; 14 |] ~seed:1L in
+  let view = Network.gather net ~v:2 ~radius:1 in
+  Alcotest.check (Alcotest.array Alcotest.int) "vertices" [| 1; 2; 3 |]
+    view.Network.vertices;
+  checki "center local" 1 view.Network.center_local;
+  checki "input of center" 12 view.Network.view_inputs.(view.Network.center_local);
+  checkb "in view" true (Network.in_view view 1);
+  checkb "not in view" false (Network.in_view view 4);
+  checki "subgraph edges" 2 (Graph.m view.Network.subgraph)
+
+let test_gather_radius_zero () =
+  let g = Generators.cycle 4 in
+  let net = Network.create g ~inputs:(Array.make 4 ()) ~seed:2L in
+  let view = Network.gather net ~v:0 ~radius:0 in
+  checki "only self" 1 (Array.length view.Network.vertices)
+
+let test_rounds_accounting () =
+  let g = Generators.cycle 4 in
+  let net = Network.create g ~inputs:(Array.make 4 ()) ~seed:3L in
+  checki "zero initially" 0 (Network.rounds net);
+  Network.charge net 3;
+  Network.charge net 2;
+  checki "accumulates" 5 (Network.rounds net);
+  Network.reset_rounds net;
+  checki "reset" 0 (Network.rounds net)
+
+let test_node_rngs_independent () =
+  let g = Generators.path 3 in
+  let net = Network.create g ~inputs:(Array.make 3 ()) ~seed:4L in
+  let a = Rng.float (Network.rng net 0) and b = Rng.float (Network.rng net 1) in
+  checkb "different streams" true (a <> b)
+
+(* --- Network: genuine message passing vs gather --- *)
+
+let views_equal (a : 'i Network.view) (b : 'i Network.view) =
+  a.Network.vertices = b.Network.vertices
+  && Graph.edges a.Network.subgraph = Graph.edges b.Network.subgraph
+  && a.Network.view_inputs = b.Network.view_inputs
+  && a.Network.dist_center = b.Network.dist_center
+  && a.Network.center_local = b.Network.center_local
+
+let test_flood_matches_gather () =
+  let rng = Rng.create 5L in
+  List.iter
+    (fun g ->
+      let n = Graph.n g in
+      let inputs = Array.init n (fun v -> v * 7) in
+      let net = Network.create g ~inputs ~seed:6L in
+      List.iter
+        (fun radius ->
+          let flooded = Network.flood_views net ~radius in
+          for v = 0 to n - 1 do
+            let direct = Network.gather net ~v ~radius in
+            checkb "flooded view equals direct gather" true
+              (views_equal flooded.(v) direct)
+          done)
+        [ 0; 1; 2; 3 ])
+    [
+      Generators.path 6;
+      Generators.cycle 7;
+      Generators.grid 3 3;
+      Generators.erdos_renyi rng ~n:10 ~p:0.3;
+    ]
+
+let test_broadcast_counts_rounds () =
+  let g = Generators.cycle 5 in
+  let net = Network.create g ~inputs:(Array.make 5 ()) ~seed:7L in
+  let (_ : int array) =
+    Network.run_broadcast net ~rounds:4
+      ~size:(fun _ -> 64)
+      ~init:(fun v -> v)
+      ~emit:(fun _ s -> s)
+      ~merge:(fun _ s inbox -> List.fold_left min s inbox)
+      ()
+  in
+  checki "charged" 4 (Network.rounds net);
+  (* 5 nodes x degree 2 x 64 bits x 4 rounds. *)
+  checki "bits metered" (5 * 2 * 64 * 4) (Network.bits net)
+
+let test_broadcast_min_propagation () =
+  (* After r rounds, each node knows the min id within distance r. *)
+  let g = Generators.path 6 in
+  let net = Network.create g ~inputs:(Array.make 6 ()) ~seed:8L in
+  let states =
+    Network.run_broadcast net ~rounds:2
+      ~init:(fun v -> v)
+      ~emit:(fun _ s -> s)
+      ~merge:(fun _ s inbox -> List.fold_left min s inbox)
+      ()
+  in
+  Alcotest.check (Alcotest.array Alcotest.int) "min within distance 2"
+    [| 0; 0; 0; 1; 2; 3 |] states
+
+(* --- SLOCAL --- *)
+
+let test_slocal_locality_enforced () =
+  let g = Generators.path 5 in
+  let rt = Slocal.create g ~seed:9L ~init:(fun _ -> 0) in
+  Slocal.process rt ~v:0 ~radius:1 (fun ctx ->
+      ignore (Slocal.read ctx 1);
+      Alcotest.check_raises "read beyond radius"
+        (Invalid_argument
+           "Slocal.read: node 2 is at distance 2 > radius 1 from 0") (fun () ->
+          ignore (Slocal.read ctx 2)))
+
+let test_slocal_write_and_passes () =
+  let g = Generators.path 4 in
+  let rt = Slocal.create g ~seed:10L ~init:(fun _ -> 0) in
+  Slocal.run_pass rt ~order:[| 0; 1; 2; 3 |] ~radius:1 (fun ctx ->
+      Slocal.write ctx (Slocal.center ctx) (Slocal.center ctx * 2));
+  Alcotest.check (Alcotest.array Alcotest.int) "writes" [| 0; 2; 4; 6 |]
+    (Slocal.states rt);
+  Slocal.run_pass rt ~order:[| 3; 2; 1; 0 |] ~radius:2 (fun ctx ->
+      ignore (Slocal.read ctx (Slocal.center ctx)));
+  Alcotest.check (Alcotest.list Alcotest.int) "pass localities" [ 1; 2 ]
+    (Slocal.pass_localities rt);
+  checki "single-pass bound (Lemma 4.4)" (1 + (2 * 2)) (Slocal.single_pass_locality rt)
+
+let test_slocal_sequential_dependency () =
+  (* Each node copies its predecessor's value + 1: order matters and reads
+     must see earlier writes. *)
+  let g = Generators.path 4 in
+  let rt = Slocal.create g ~seed:11L ~init:(fun _ -> 0) in
+  Slocal.run_pass rt ~order:[| 0; 1; 2; 3 |] ~radius:1 (fun ctx ->
+      let v = Slocal.center ctx in
+      let prev = if v = 0 then 0 else Slocal.read ctx (v - 1) in
+      Slocal.write ctx v (prev + 1));
+  Alcotest.check (Alcotest.array Alcotest.int) "prefix sums" [| 1; 2; 3; 4 |]
+    (Slocal.states rt)
+
+(* --- decomposition --- *)
+
+let test_decomposition_valid_many () =
+  let rng = Rng.create 12L in
+  List.iter
+    (fun g ->
+      for _trial = 1 to 5 do
+        let d = Decomposition.linial_saks g rng in
+        checkb "valid decomposition" true (Decomposition.is_valid g d)
+      done)
+    [
+      Generators.path 20;
+      Generators.cycle 25;
+      Generators.grid 5 6;
+      Generators.erdos_renyi rng ~n:30 ~p:0.15;
+      Generators.complete 8;
+      Generators.random_tree rng 40;
+    ]
+
+let test_decomposition_covers_whp () =
+  (* With default caps, failures should be rare; over several runs on a
+     40-vertex graph, demand at least one full cover. *)
+  let rng = Rng.create 13L in
+  let g = Generators.cycle 40 in
+  let full_covers = ref 0 in
+  for _trial = 1 to 10 do
+    let d = Decomposition.linial_saks g rng in
+    if Array.for_all not d.Decomposition.failed then incr full_covers
+  done;
+  checkb "mostly full covers" true (!full_covers >= 8)
+
+let test_decomposition_tiny_caps_fail () =
+  (* phase_cap 0 clusters nothing: all vertices must be flagged, never
+     silently dropped. *)
+  let rng = Rng.create 14L in
+  let g = Generators.path 10 in
+  let d = Decomposition.linial_saks ~phase_cap:0 g rng in
+  checki "all failed" 10
+    (Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 d.Decomposition.failed)
+
+let test_decomposition_colors_logarithmic () =
+  let rng = Rng.create 15L in
+  let g = Generators.cycle 64 in
+  let d = Decomposition.linial_saks g rng in
+  checkb "colors within cap" true
+    (d.Decomposition.num_colors <= Decomposition.default_phase_cap 64)
+
+(* --- scheduler --- *)
+
+let test_scheduler_order_is_permutation () =
+  let rng = Rng.create 16L in
+  let g = Generators.cycle 15 in
+  let seen_order = ref [||] in
+  let stats =
+    Scheduler.compile ~graph:g ~locality:1 ~rng
+      ~run:(fun ~order -> seen_order := Array.copy order)
+      ()
+  in
+  let sorted = Array.copy !seen_order in
+  Array.sort compare sorted;
+  Alcotest.check (Alcotest.array Alcotest.int) "order is a permutation"
+    (Array.init 15 (fun i -> i))
+    sorted;
+  checkb "rounds positive" true (stats.Scheduler.rounds > 0);
+  checkb "stats order matches" true (stats.Scheduler.order = !seen_order)
+
+let test_scheduler_same_color_clusters_separated () =
+  (* Clusters of one color must be > locality apart in G, so parallel
+     simulation of SLOCAL steps with that read radius is safe. *)
+  let rng = Rng.create 17L in
+  let locality = 2 in
+  let g = Generators.grid 4 6 in
+  let power = Graph.power g (locality + 1) in
+  let d = Decomposition.linial_saks power rng in
+  checkb "decomposition of the power graph is valid" true
+    (Decomposition.is_valid power d);
+  (* Non-adjacency in G^{locality+1} == distance > locality+1 in G. *)
+  Graph.iter_edges g (fun _ _ -> ());
+  Array.iteri
+    (fun i ci ->
+      Array.iteri
+        (fun j cj ->
+          if i < j && ci >= 0 && cj >= 0 && ci <> cj then
+            if d.Decomposition.color_of.(i) = d.Decomposition.color_of.(j) then
+              checkb "separated" true (Graph.dist g i j > locality + 1))
+        d.Decomposition.cluster_of)
+    d.Decomposition.cluster_of
+
+let test_scheduler_rounds_scale () =
+  (* Rounds should grow with locality (both decomposition and simulation
+     parts are multiplied by r+1). *)
+  let g = Generators.cycle 20 in
+  let run ~order:_ = () in
+  let r1 =
+    (Scheduler.compile ~graph:g ~locality:1 ~rng:(Rng.create 18L) ~run ()).Scheduler.rounds
+  in
+  let r4 =
+    (Scheduler.compile ~graph:g ~locality:4 ~rng:(Rng.create 18L) ~run ()).Scheduler.rounds
+  in
+  checkb "more locality, more rounds" true (r4 > r1)
+
+let test_scheduler_failure_path () =
+  (* With a zero phase budget nothing gets clustered: every node must be
+     flagged, yet the order still covers every vertex (failed vertices are
+     appended, their outputs gated by the flags). *)
+  let rng = Rng.create 23L in
+  let g = Generators.cycle 10 in
+  let stats =
+    Scheduler.compile ~graph:g ~locality:1 ~rng ~phase_cap:0
+      ~run:(fun ~order ->
+        let sorted = Array.copy order in
+        Array.sort compare sorted;
+        Alcotest.check (Alcotest.array Alcotest.int) "order still total"
+          (Array.init 10 (fun i -> i))
+          sorted)
+      ()
+  in
+  checki "all failed" 10 stats.Scheduler.failures;
+  checkb "flags set" true (Array.for_all (fun f -> f) stats.Scheduler.failed)
+
+let test_flood_views_meter_bits () =
+  let g = Generators.cycle 6 in
+  let net = Network.create g ~inputs:(Array.make 6 ()) ~seed:29L in
+  let (_ : unit Network.view array) = Network.flood_views net ~radius:2 in
+  checkb "bits metered on flooding" true (Network.bits net > 0)
+
+let qcheck_decomposition_valid =
+  QCheck.Test.make ~name:"Linial-Saks is always a valid decomposition" ~count:30
+    QCheck.(pair small_int (int_range 4 25))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.erdos_renyi rng ~n ~p:0.2 in
+      let d = Decomposition.linial_saks g rng in
+      Decomposition.is_valid g d)
+
+let suite =
+  [
+    Alcotest.test_case "gather basic" `Quick test_gather_basic;
+    Alcotest.test_case "gather radius 0" `Quick test_gather_radius_zero;
+    Alcotest.test_case "round accounting" `Quick test_rounds_accounting;
+    Alcotest.test_case "node rngs independent" `Quick test_node_rngs_independent;
+    Alcotest.test_case "flooding = gather" `Quick test_flood_matches_gather;
+    Alcotest.test_case "broadcast charges rounds" `Quick test_broadcast_counts_rounds;
+    Alcotest.test_case "broadcast min propagation" `Quick test_broadcast_min_propagation;
+    Alcotest.test_case "slocal locality enforced" `Quick test_slocal_locality_enforced;
+    Alcotest.test_case "slocal passes (Lemma 4.4)" `Quick test_slocal_write_and_passes;
+    Alcotest.test_case "slocal sequential dependency" `Quick
+      test_slocal_sequential_dependency;
+    Alcotest.test_case "decomposition validity" `Quick test_decomposition_valid_many;
+    Alcotest.test_case "decomposition covers whp" `Quick test_decomposition_covers_whp;
+    Alcotest.test_case "decomposition certifiable failures" `Quick
+      test_decomposition_tiny_caps_fail;
+    Alcotest.test_case "decomposition color count" `Quick
+      test_decomposition_colors_logarithmic;
+    Alcotest.test_case "scheduler order" `Quick test_scheduler_order_is_permutation;
+    Alcotest.test_case "scheduler separation" `Quick
+      test_scheduler_same_color_clusters_separated;
+    Alcotest.test_case "scheduler rounds scale" `Quick test_scheduler_rounds_scale;
+    Alcotest.test_case "scheduler failure path" `Quick test_scheduler_failure_path;
+    Alcotest.test_case "flooding meters bits" `Quick test_flood_views_meter_bits;
+    QCheck_alcotest.to_alcotest qcheck_decomposition_valid;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "locsample"
+    [
+      ("rng", Test_rng.suite);
+      ("dist", Test_dist.suite);
+      ("graph", Test_graph.suite);
+      ("gibbs", Test_gibbs.suite);
+      ("matching_dp", Test_matching_dp.suite);
+      ("engines", Test_engines.suite);
+      ("counting", Test_counting.suite);
+      ("robustness", Test_robustness.suite);
+      ("local", Test_local.suite);
+      ("inference", Test_inference.suite);
+      ("samplers", Test_samplers.suite);
+      ("jvv", Test_jvv.suite);
+      ("ssm", Test_ssm.suite);
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the monomer-dimer DP on forests, validated against the
+   line-graph + enumeration route. *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Rng = Ls_rng.Rng
+module Config = Ls_gibbs.Config
+module Enumerate = Ls_gibbs.Enumerate
+module Matching = Ls_gibbs.Matching
+module Matching_dp = Ls_gibbs.Matching_dp
+module Line_graph = Ls_graph.Line_graph
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let test_partition_known_values () =
+  (* P3 (2 edges): matchings {}, {e1}, {e2}: Z = 1 + 2λ. *)
+  let lambda = 1.5 in
+  checkf "P3" (1. +. (2. *. lambda))
+    (Matching_dp.partition (Generators.path 3) ~lambda ~pins:[]);
+  (* Star K_{1,3}: Z = 1 + 3λ. *)
+  checkf "star" (1. +. (3. *. lambda))
+    (Matching_dp.partition (Generators.star 4) ~lambda ~pins:[]);
+  (* P4: Z = 1 + 3λ + λ². *)
+  checkf "P4" (1. +. (3. *. lambda) +. (lambda *. lambda))
+    (Matching_dp.partition (Generators.path 4) ~lambda ~pins:[])
+
+let test_partition_with_pins () =
+  let g = Generators.path 4 in
+  let lambda = 2. in
+  (* Force the middle edge in: only the matching {middle}: weight λ. *)
+  checkf "middle in" lambda
+    (Matching_dp.partition g ~lambda ~pins:[ (1, 2, Matching_dp.In) ]);
+  (* Force the middle edge out: matchings over the two end edges: (1+λ)². *)
+  checkf "middle out"
+    ((1. +. lambda) ** 2.)
+    (Matching_dp.partition g ~lambda ~pins:[ (1, 2, Matching_dp.Out) ]);
+  (* Two adjacent edges forced in: impossible. *)
+  checkf "conflict" 0.
+    (Matching_dp.partition g ~lambda
+       ~pins:[ (0, 1, Matching_dp.In); (1, 2, Matching_dp.In) ])
+
+let test_conflicting_pins_rejected () =
+  let g = Generators.path 3 in
+  Alcotest.check_raises "conflict" (Invalid_argument "Matching_dp: conflicting pins")
+    (fun () ->
+      ignore
+        (Matching_dp.partition g ~lambda:1.
+           ~pins:[ (0, 1, Matching_dp.In); (1, 0, Matching_dp.Out) ]))
+
+let test_requires_forest () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Matching_dp: the graph must be a forest") (fun () ->
+      ignore (Matching_dp.partition (Generators.cycle 4) ~lambda:1. ~pins:[]))
+
+let test_edge_marginal_p3 () =
+  (* P3, λ: Pr(e1 in M) = λ / (1 + 2λ). *)
+  let lambda = 0.8 in
+  let m =
+    Option.get
+      (Matching_dp.edge_marginal (Generators.path 3) ~lambda ~pins:[] (0, 1))
+  in
+  checkf "P3 edge" (lambda /. (1. +. (2. *. lambda))) m
+
+let test_edge_marginal_vs_line_graph_enumeration () =
+  (* Cross-engine check: DP on the base tree vs hardcore enumeration on the
+     line graph, with random in/out pins. *)
+  let rng = Rng.create 61L in
+  for _trial = 1 to 30 do
+    let n = 3 + Rng.int rng 6 in
+    let g = Generators.random_tree rng n in
+    let lambda = 0.3 +. (Rng.float rng *. 2.) in
+    let m = Matching.make g ~lambda in
+    let lg = m.Matching.lg in
+    let k = Array.length lg.Line_graph.edge_of_vertex in
+    if k > 0 then begin
+      (* Random pins on some edges. *)
+      let tau = Config.empty k in
+      let pins = ref [] in
+      Array.iteri
+        (fun i (u, v) ->
+          if Rng.bernoulli rng 0.25 then begin
+            let forced_in = Rng.bernoulli rng 0.3 in
+            tau.(i) <- (if forced_in then 1 else 0);
+            pins :=
+              (u, v, if forced_in then Matching_dp.In else Matching_dp.Out)
+              :: !pins
+          end)
+        lg.Line_graph.edge_of_vertex;
+      let e_idx = Rng.int rng k in
+      let u, v = lg.Line_graph.edge_of_vertex.(e_idx) in
+      let dp = Matching_dp.edge_marginal g ~lambda ~pins:!pins (u, v) in
+      let enum =
+        match Enumerate.marginal m.Matching.spec tau e_idx with
+        | Some d -> Some (Ls_dist.Dist.prob d 1)
+        | None -> None
+      in
+      match (dp, enum) with
+      | None, None -> ()
+      | Some a, Some b -> checkb "engines agree" true (Float.abs (a -. b) < 1e-9)
+      | Some _, None | None, Some _ -> Alcotest.fail "feasibility disagreement"
+    end
+  done
+
+let test_log_partition_vs_enumeration () =
+  let rng = Rng.create 62L in
+  for _trial = 1 to 20 do
+    let n = 2 + Rng.int rng 6 in
+    let g = Generators.random_tree rng n in
+    let lambda = 0.5 +. Rng.float rng in
+    let m = Matching.make g ~lambda in
+    let k = Graph.n m.Matching.lg.Line_graph.line in
+    let z_enum = Enumerate.partition m.Matching.spec (Config.empty k) in
+    let z_dp = Matching_dp.partition g ~lambda ~pins:[] in
+    checkb "partitions agree" true
+      (Float.abs (z_enum -. z_dp) < 1e-9 *. Float.max 1. z_enum)
+  done
+
+let test_deep_tree_no_overflow () =
+  let g = Generators.complete_tree ~branching:2 ~depth:14 in
+  let lz = Matching_dp.log_partition g ~lambda:1. ~pins:[] in
+  checkb "finite on deep trees" true (Float.is_finite lz && lz > 0.);
+  let m = Option.get (Matching_dp.edge_marginal g ~lambda:1. ~pins:[] (0, 1)) in
+  checkb "marginal in (0,1)" true (m > 0. && m < 1.)
+
+let qcheck_marginals_sum =
+  QCheck.Test.make ~name:"edge marginals sum to expected matching size" ~count:25
+    QCheck.(pair small_int (int_range 3 8))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.random_tree rng n in
+      let lambda = 0.5 +. Rng.float rng in
+      (* Σ_e Pr(e in M) = E|M|; compare with enumeration over the line
+         graph hardcore model. *)
+      let m = Matching.make g ~lambda in
+      let lg = m.Matching.lg in
+      let k = Graph.n lg.Line_graph.line in
+      let sum_dp =
+        Array.fold_left
+          (fun acc (u, v) ->
+            acc +. Option.get (Matching_dp.edge_marginal g ~lambda ~pins:[] (u, v)))
+          0. lg.Line_graph.edge_of_vertex
+      in
+      let expected_size =
+        List.fold_left
+          (fun acc (sigma, p) ->
+            acc +. (p *. float_of_int (Array.fold_left ( + ) 0 sigma)))
+          0.
+          (Enumerate.distribution m.Matching.spec (Config.empty k))
+      in
+      Float.abs (sum_dp -. expected_size) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "known partition values" `Quick test_partition_known_values;
+    Alcotest.test_case "partition with pins" `Quick test_partition_with_pins;
+    Alcotest.test_case "conflicting pins" `Quick test_conflicting_pins_rejected;
+    Alcotest.test_case "forest required" `Quick test_requires_forest;
+    Alcotest.test_case "edge marginal P3" `Quick test_edge_marginal_p3;
+    Alcotest.test_case "DP vs line-graph enumeration" `Quick
+      test_edge_marginal_vs_line_graph_enumeration;
+    Alcotest.test_case "log partition vs enumeration" `Quick
+      test_log_partition_vs_enumeration;
+    Alcotest.test_case "deep tree stability" `Quick test_deep_tree_no_overflow;
+    QCheck_alcotest.to_alcotest qcheck_marginals_sum;
+  ]

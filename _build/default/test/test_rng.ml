@@ -1,0 +1,222 @@
+(* Tests for the SplitMix64 generator and the sampling primitives. *)
+
+module Rng = Ls_rng.Rng
+module Splitmix = Ls_rng.Splitmix
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _i = 1 to 100 do
+    check (Alcotest.float 0.) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _i = 1 to 64 do
+    if Rng.float a = Rng.float b then incr same
+  done;
+  checkb "different seeds diverge" true (!same < 4)
+
+let test_float_range () =
+  let r = Rng.create 7L in
+  for _i = 1 to 10_000 do
+    let x = Rng.float r in
+    checkb "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_float_mean () =
+  let r = Rng.create 11L in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _i = 1 to n do
+    sum := !sum +. Rng.float r
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_range_and_uniformity () =
+  let r = Rng.create 3L in
+  let bound = 7 in
+  let counts = Array.make bound 0 in
+  let n = 70_000 in
+  for _i = 1 to n do
+    let x = Rng.int r bound in
+    checkb "in range" true (x >= 0 && x < bound);
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      checkb "roughly uniform" true (Float.abs (f -. (1. /. 7.)) < 0.01))
+    counts
+
+let test_int_invalid () =
+  let r = Rng.create 5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_split_independence () =
+  (* Parent and child streams should be decorrelated: crude correlation
+     test on signs. *)
+  let parent = Rng.create 123L in
+  let child = Rng.split parent in
+  let agree = ref 0 in
+  let n = 10_000 in
+  for _i = 1 to n do
+    let a = Rng.float parent > 0.5 and b = Rng.float child > 0.5 in
+    if a = b then incr agree
+  done;
+  let f = float_of_int !agree /. float_of_int n in
+  checkb "sign agreement near 1/2" true (Float.abs (f -. 0.5) < 0.03)
+
+let test_streams_distinct () =
+  let streams = Rng.streams 99L 16 in
+  let firsts = Array.map (fun s -> Rng.float s) streams in
+  Array.iteri
+    (fun i x ->
+      Array.iteri (fun j y -> if i < j then checkb "distinct" true (x <> y)) firsts)
+    firsts
+
+let test_streams_reproducible () =
+  let a = Rng.streams 5L 4 and b = Rng.streams 5L 4 in
+  Array.iteri
+    (fun i s -> check (Alcotest.float 0.) "same" (Rng.float s) (Rng.float b.(i)))
+    a
+
+let test_bernoulli () =
+  let r = Rng.create 17L in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _i = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  checkb "p=0.3" true (Float.abs (f -. 0.3) < 0.01)
+
+let test_geometric_mean () =
+  let r = Rng.create 19L in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _i = 1 to n do
+    sum := !sum + Rng.geometric r 0.5
+  done;
+  (* Mean of Geometric(1/2) on {0,1,...} is 1. *)
+  let mean = float_of_int !sum /. float_of_int n in
+  checkb "mean near 1" true (Float.abs (mean -. 1.) < 0.05)
+
+let test_geometric_p1 () =
+  let r = Rng.create 23L in
+  for _i = 1 to 100 do
+    check Alcotest.int "always 0" 0 (Rng.geometric r 1.)
+  done
+
+let test_exponential_mean () =
+  let r = Rng.create 29L in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _i = 1 to n do
+    sum := !sum +. Rng.exponential r 2.
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_discrete () =
+  let r = Rng.create 31L in
+  let w = [| 1.; 2.; 1. |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _i = 1 to n do
+    let x = Rng.discrete r w in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let f i = float_of_int counts.(i) /. float_of_int n in
+  checkb "w0" true (Float.abs (f 0 -. 0.25) < 0.01);
+  checkb "w1" true (Float.abs (f 1 -. 0.5) < 0.01);
+  checkb "w2" true (Float.abs (f 2 -. 0.25) < 0.01)
+
+let test_discrete_zero_weight () =
+  let r = Rng.create 37L in
+  let w = [| 0.; 1.; 0. |] in
+  for _i = 1 to 200 do
+    check Alcotest.int "only index 1" 1 (Rng.discrete r w)
+  done
+
+let test_permutation () =
+  let r = Rng.create 41L in
+  for _i = 1 to 50 do
+    let p = Rng.permutation r 10 in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    check (Alcotest.array Alcotest.int) "is permutation"
+      (Array.init 10 (fun i -> i))
+      sorted
+  done
+
+let test_shuffle_uniformity () =
+  (* All 6 permutations of 3 elements roughly equally likely. *)
+  let r = Rng.create 43L in
+  let counts = Hashtbl.create 6 in
+  let n = 60_000 in
+  for _i = 1 to n do
+    let a = [| 0; 1; 2 |] in
+    Rng.shuffle r a;
+    let key = (a.(0) * 100) + (a.(1) * 10) + a.(2) in
+    Hashtbl.replace counts key (1 + try Hashtbl.find counts key with Not_found -> 0)
+  done;
+  check Alcotest.int "six permutations" 6 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      let f = float_of_int c /. float_of_int n in
+      checkb "near 1/6" true (Float.abs (f -. (1. /. 6.)) < 0.01))
+    counts
+
+let test_splitmix_mix64_nonzero () =
+  (* Known weakness check: mixing must not fix zero. *)
+  let g = Splitmix.create 0L in
+  checkb "zero seed produces output" true (Splitmix.next_int64 g <> 0L)
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.of_int seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let qcheck_discrete_support =
+  QCheck.Test.make ~name:"Rng.discrete only picks positive-weight indices"
+    ~count:300
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 8) (float_range 0. 10.)))
+    (fun (seed, ws) ->
+      QCheck.assume (List.exists (fun w -> w > 0.) ws);
+      let r = Rng.of_int seed in
+      let w = Array.of_list ws in
+      let i = Rng.discrete r w in
+      w.(i) > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "int range and uniformity" `Quick test_int_range_and_uniformity;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "streams distinct" `Quick test_streams_distinct;
+    Alcotest.test_case "streams reproducible" `Quick test_streams_reproducible;
+    Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "discrete frequencies" `Quick test_discrete;
+    Alcotest.test_case "discrete zero weight" `Quick test_discrete_zero_weight;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "shuffle uniformity" `Quick test_shuffle_uniformity;
+    Alcotest.test_case "splitmix zero seed" `Quick test_splitmix_mix64_nonzero;
+    QCheck_alcotest.to_alcotest qcheck_int_bounds;
+    QCheck_alcotest.to_alcotest qcheck_discrete_support;
+  ]

@@ -1,0 +1,118 @@
+(* Failure injection: feed the reductions a deliberately lying inference
+   oracle and check that the guarantees degrade exactly the way the
+   theorems say — gradually for the chain-rule sampler (Theorem 3.2's
+   n·delta coupling bound), and loudly for JVV (clamps flag the moment the
+   slack stops covering the oracle error, instead of silent bias). *)
+
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+module Models = Ls_gibbs.Models
+
+open Ls_core
+
+let checkb = Alcotest.check Alcotest.bool
+let ident_order n = Array.init n (fun i -> i)
+
+(* An oracle with a controlled, deterministic, SUPPORT-PRESERVING lie:
+   nonzero probabilities get tilted by (1 ± delta) and renormalized, so the
+   per-site TV error is at most delta but the chain rule never steps onto
+   an infeasible value.  Radius n keeps its locality contract honest. *)
+let lying_oracle ~delta inst0 =
+  let exact = Inference.exact inst0 in
+  {
+    Inference.radius = exact.Inference.radius;
+    infer =
+      (fun inst v ->
+        let d = exact.Inference.infer inst v in
+        if Instance.is_pinned inst v then d
+        else
+          Dist.make (Dist.size d) (fun c ->
+              let tilt = if c mod 2 = 0 then 1. +. delta else 1. -. delta in
+              Dist.prob d c *. tilt));
+  }
+
+let tv_support a b =
+  let lookup sigma l = try List.assoc sigma l with Not_found -> 0. in
+  0.5
+  *. (List.fold_left (fun acc (s, p) -> acc +. Float.abs (p -. lookup s a)) 0. b
+     +. List.fold_left
+          (fun acc (s, p) -> if List.mem_assoc s b then acc else acc +. p)
+          0. a)
+
+let test_sampler_degrades_linearly () =
+  let n = 6 in
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.) in
+  let exact = Exact.joint inst in
+  let out delta =
+    tv_support
+      (Sequential_sampler.output_distribution (lying_oracle ~delta inst) inst
+         ~order:(ident_order n))
+      exact
+  in
+  let e0 = out 0. and e1 = out 0.02 and e2 = out 0.08 in
+  checkb "no lie, no error" true (e0 < 1e-12);
+  checkb "monotone in the lie" true (e1 < e2);
+  (* The Theorem 3.2 coupling bound: output TV <= n * per-site TV.  The
+     per-site TV of the mixture is at most delta. *)
+  checkb "within n*delta" true (e1 <= (float_of_int n *. 0.02) +. 1e-9);
+  checkb "within n*delta (larger lie)" true (e2 <= (float_of_int n *. 0.08) +. 1e-9)
+
+let test_jvv_clamps_flag_insufficient_slack () =
+  let n = 6 in
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.) in
+  let delta = 0.1 in
+  let oracle = lying_oracle ~delta inst in
+  let order = ident_order n in
+  (* Slack far below the lie: clamps must fire, and the certificate of
+     exactness (zero clamps) is correctly withheld. *)
+  let tight = Jvv.output_distribution oracle ~epsilon:1e-4 inst ~order in
+  checkb "clamps detected" true (tight.Jvv.total_clamps > 0);
+  (* Slack above the lie: no clamps, and exactness returns despite the
+     biased oracle — the whole point of Theorem 4.2. *)
+  let generous = Jvv.output_distribution oracle ~epsilon:0.12 inst ~order in
+  checkb "no clamps with generous slack" true (generous.Jvv.total_clamps = 0);
+  checkb "exact despite the lie" true
+    (tv_support generous.Jvv.conditional (Exact.joint inst) < 1e-9)
+
+let test_boosting_survives_small_lies () =
+  (* Lemma 4.1 tolerates additive error eps/(5qn): a small lie must still
+     produce finite multiplicative error; zero-probability values exactly. *)
+  let inst =
+    Instance.of_pins (Models.hardcore (Generators.cycle 8) ~lambda:1.) [ (1, 1) ]
+  in
+  let oracle = lying_oracle ~delta:0.005 inst in
+  let exact = Option.get (Exact.marginal inst 0) in
+  let boosted = Boosting.boost oracle inst in
+  let b = boosted.Inference.infer inst 0 in
+  checkb "finite multiplicative error" true (Dist.mult_err b exact < 0.05);
+  checkb "hard zero preserved" true (Dist.prob b 1 = 0.)
+
+let test_glauber_vs_biased_sampler () =
+  (* Sanity for the baseline comparisons: the (unbiased) Glauber chain beats
+     a chain-rule sampler driven by a lying oracle, given enough sweeps. *)
+  let n = 5 in
+  let inst = Instance.unpinned (Models.hardcore (Generators.path n) ~lambda:1.) in
+  let exact = Exact.joint inst in
+  let biased =
+    tv_support
+      (Sequential_sampler.output_distribution (lying_oracle ~delta:0.15 inst) inst
+         ~order:(ident_order n))
+      exact
+  in
+  let rng = Ls_rng.Rng.create 3L in
+  let emp = Ls_dist.Empirical.create () in
+  List.iter (Ls_dist.Empirical.add emp)
+    (Glauber.sample_many inst ~sweeps:50 ~thin:5 ~count:20_000 ~rng);
+  let glauber_err = Ls_dist.Empirical.tv_against emp exact in
+  checkb "biased sampler measurably off" true (biased > 0.05);
+  checkb "glauber below the biased sampler" true (glauber_err < biased)
+
+let suite =
+  [
+    Alcotest.test_case "sampler degrades linearly" `Quick test_sampler_degrades_linearly;
+    Alcotest.test_case "JVV clamps flag bad slack" `Quick
+      test_jvv_clamps_flag_insufficient_slack;
+    Alcotest.test_case "boosting survives small lies" `Quick
+      test_boosting_survives_small_lies;
+    Alcotest.test_case "glauber vs biased sampler" `Slow test_glauber_vs_biased_sampler;
+  ]

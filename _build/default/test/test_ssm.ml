@@ -1,0 +1,187 @@
+(* Tests for strong spatial mixing measurement (Definition 5.1) and the
+   computational phase transition (Section 5). *)
+
+module Generators = Ls_graph.Generators
+module Rng = Ls_rng.Rng
+module Models = Ls_gibbs.Models
+
+open Ls_core
+
+let checkb = Alcotest.check Alcotest.bool
+
+let test_influence_zero_when_independent () =
+  (* Hardcore with lambda on an edgeless graph: boundary cannot matter. *)
+  let g = Generators.empty 5 in
+  let inst = Instance.unpinned (Models.hardcore g ~lambda:1.) in
+  let rng = Rng.create 1L in
+  let p = Ssm.influence_at ~rng inst ~v:0 ~d:1 in
+  checkb "no sphere, no influence" true (p.Ssm.tv = 0.)
+
+let test_hardcore_cycle_decay () =
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 14) ~lambda:0.8) in
+  let rng = Rng.create 2L in
+  let curve = Ssm.decay_curve ~rng inst ~v:0 ~max_d:6 in
+  (* Influence decreases with distance and is small by d = 6. *)
+  let tvs = List.map (fun p -> p.Ssm.tv) curve in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-12 >= b && decreasing rest
+    | _ -> true
+  in
+  checkb "monotone decay" true (decreasing tvs);
+  checkb "decays to small" true (List.nth tvs (List.length tvs - 1) < 0.02);
+  checkb "positive at distance 1" true (List.hd tvs > 0.01)
+
+let test_fit_rate_below_one_in_uniqueness () =
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 16) ~lambda:0.8) in
+  let rng = Rng.create 3L in
+  let curve = Ssm.decay_curve ~rng inst ~v:0 ~max_d:7 in
+  match Ssm.fit_exponential_rate curve with
+  | None -> Alcotest.fail "expected a fit"
+  | Some alpha -> checkb "exponential decay rate < 1" true (alpha < 0.9)
+
+let test_mult_error_decay_cor52 () =
+  (* Corollary 5.2: TV decay and multiplicative-error decay go together for
+     locally admissible local Gibbs distributions. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 14) ~lambda:0.8) in
+  let rng = Rng.create 4L in
+  let p2 = Ssm.influence_at ~rng inst ~v:0 ~d:2 in
+  let p6 = Ssm.influence_at ~rng inst ~v:0 ~d:6 in
+  checkb "mult error finite" true (p2.Ssm.mult < infinity);
+  checkb "mult error decays too" true (p6.Ssm.mult < p2.Ssm.mult /. 4.)
+
+let test_exhaustive_flag () =
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 10) ~lambda:1.) in
+  let rng = Rng.create 5L in
+  let p = Ssm.influence_at ~rng inst ~v:0 ~d:2 in
+  (* Sphere has 2 vertices, q=2 -> 4 candidate boundaries, 3 feasible-or-so:
+     must be exhaustive. *)
+  checkb "exhaustive" true p.Ssm.exhaustive;
+  checkb "several boundaries" true (p.Ssm.boundary_configs >= 3)
+
+let test_sampled_mode () =
+  (* Force sampling with a tiny exhaustive cap; sampled influence is still
+     a lower bound on the worst case, and must be positive at distance 1. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 12) ~lambda:1.5) in
+  let rng = Rng.create 6L in
+  let p = Ssm.influence_at ~max_exhaustive:1 ~samples:16 ~rng inst ~v:0 ~d:1 in
+  checkb "not exhaustive" true (not p.Ssm.exhaustive);
+  checkb "positive influence" true (p.Ssm.tv > 0.)
+
+let test_coloring_ssm () =
+  (* q = 4 >= alpha* * Delta on a cycle (Delta = 2): SSM holds. *)
+  let inst = Instance.unpinned (Models.coloring (Generators.cycle 12) ~q:4) in
+  let rng = Rng.create 7L in
+  let p1 = Ssm.influence_at ~rng inst ~v:0 ~d:1 in
+  let p4 = Ssm.influence_at ~rng inst ~v:0 ~d:4 in
+  checkb "decays" true (p4.Ssm.tv < p1.Ssm.tv /. 4.)
+
+(* --- the phase transition (E6) --- *)
+
+let test_critical_lambda () =
+  checkb "b=2 => Delta=3 => lambda_c=4" true
+    (Float.abs (Phase_transition.critical_lambda ~branching:2 -. 4.) < 1e-9)
+
+let test_tree_influence_subcritical_decays () =
+  let lambda = 0.5 (* << 4 = lambda_c for branching 2 *) in
+  let i3 = Phase_transition.tree_root_influence ~branching:2 ~depth:3 ~lambda in
+  let i8 = Phase_transition.tree_root_influence ~branching:2 ~depth:8 ~lambda in
+  checkb "decays with depth" true (i8 < i3 /. 4.);
+  checkb "small deep influence" true (i8 < 0.01)
+
+let test_tree_influence_supercritical_persists () =
+  let lambda = 8.0 (* > 4 = lambda_c *) in
+  let i3 = Phase_transition.tree_root_influence ~branching:2 ~depth:3 ~lambda in
+  let i9 = Phase_transition.tree_root_influence ~branching:2 ~depth:9 ~lambda in
+  checkb "long-range correlation persists" true (i9 > 0.05);
+  checkb "no fast decay" true (i9 > i3 /. 3.)
+
+let test_lambda_sweep_shape () =
+  (* Influence at fixed depth increases across the threshold. *)
+  let pts =
+    Phase_transition.lambda_sweep ~branching:2 ~depth:6
+      ~lambdas:[ 0.5; 2.0; 4.0; 8.0; 16.0 ]
+  in
+  let influences = List.map snd pts in
+  (match (influences, List.rev influences) with
+  | low :: _, high :: _ -> checkb "transition visible" true (high > 10. *. low)
+  | _ -> Alcotest.fail "sweep empty");
+  List.iter
+    (fun (_, i) -> checkb "in range" true (i >= 0. && i <= 1.))
+    pts
+
+let test_influence_profile_length () =
+  let profile = Phase_transition.influence_profile ~branching:2 ~max_depth:4 ~lambda:1. in
+  Alcotest.check Alcotest.int "4 depths" 4 (List.length profile);
+  List.iteri
+    (fun i (d, _) -> Alcotest.check Alcotest.int "depth ids" (i + 1) d)
+    profile
+
+let test_theorem51_radius_tracks_ssm () =
+  (* Theorem 5.1: inference error at radius t is bounded by the SSM rate at
+     distance t; check it pointwise on a cycle below uniqueness. *)
+  let inst = Instance.unpinned (Models.hardcore (Generators.cycle 16) ~lambda:0.8) in
+  let rng = Rng.create 8L in
+  let exact = Option.get (Exact.marginal inst 0) in
+  List.iter
+    (fun t ->
+      let approx = Inference.ssm_infer ~t inst 0 in
+      let inference_err = Ls_dist.Dist.tv approx exact in
+      let ssm = Ssm.influence_at ~rng inst ~v:0 ~d:t in
+      checkb "inference error <= SSM influence + slack" true
+        (inference_err <= ssm.Ssm.tv +. 0.02))
+    [ 1; 2; 3; 4 ]
+
+let test_theorem51_forward_direction () =
+  (* Inference => SSM (the forward direction of Theorem 5.1, made
+     executable): any oracle of radius < d answers identically on two
+     instances that differ only on the distance-d sphere, so its worst
+     error over the pair is at least half their marginal discrepancy. *)
+  let g = Generators.cycle 12 in
+  let spec = Models.hardcore g ~lambda:2. in
+  let d = 3 in
+  let pin c = Instance.of_pins spec [ (d, c); (12 - d, c) ] in
+  let inst1 = pin 1 and inst0 = pin 0 in
+  let m1 = Option.get (Exact.marginal inst1 0) in
+  let m0 = Option.get (Exact.marginal inst0 0) in
+  let discrepancy = Ls_dist.Dist.tv m1 m0 in
+  checkb "boundary matters" true (discrepancy > 0.05);
+  (* A radius-2 oracle (< d): Weitz tree truncated at depth 2. *)
+  let oracle = Inference.saw_oracle ~depth:(d - 1) inst1 in
+  let a1 = oracle.Inference.infer inst1 0 in
+  let a0 = oracle.Inference.infer inst0 0 in
+  checkb "radius < d => identical answers" true (Ls_dist.Dist.tv a1 a0 < 1e-12);
+  let worst_error =
+    Float.max (Ls_dist.Dist.tv a1 m1) (Ls_dist.Dist.tv a0 m0)
+  in
+  checkb "oracle error >= SSM/2" true (worst_error >= (discrepancy /. 2.) -. 1e-9)
+
+let qcheck_influence_bounded =
+  QCheck.Test.make ~name:"SSM influence lies in [0,1]" ~count:25
+    QCheck.(triple small_int (int_range 4 10) (int_range 1 3))
+    (fun (seed, n, d) ->
+      let rng = Rng.of_int seed in
+      let g = Generators.random_tree rng n in
+      let inst = Instance.unpinned (Models.hardcore g ~lambda:(0.5 +. Rng.float rng)) in
+      let p = Ssm.influence_at ~rng inst ~v:0 ~d in
+      p.Ssm.tv >= 0. && p.Ssm.tv <= 1.)
+
+let suite =
+  [
+    Alcotest.test_case "no sphere, no influence" `Quick test_influence_zero_when_independent;
+    Alcotest.test_case "hardcore cycle decay" `Quick test_hardcore_cycle_decay;
+    Alcotest.test_case "fitted rate < 1" `Quick test_fit_rate_below_one_in_uniqueness;
+    Alcotest.test_case "multiplicative decay (Cor 5.2)" `Quick test_mult_error_decay_cor52;
+    Alcotest.test_case "exhaustive flag" `Quick test_exhaustive_flag;
+    Alcotest.test_case "sampled mode" `Quick test_sampled_mode;
+    Alcotest.test_case "coloring SSM" `Quick test_coloring_ssm;
+    Alcotest.test_case "critical lambda" `Quick test_critical_lambda;
+    Alcotest.test_case "subcritical decay" `Quick test_tree_influence_subcritical_decays;
+    Alcotest.test_case "supercritical persistence" `Quick
+      test_tree_influence_supercritical_persists;
+    Alcotest.test_case "lambda sweep" `Quick test_lambda_sweep_shape;
+    Alcotest.test_case "influence profile" `Quick test_influence_profile_length;
+    Alcotest.test_case "Theorem 5.1 pointwise" `Quick test_theorem51_radius_tracks_ssm;
+    Alcotest.test_case "Theorem 5.1 forward direction" `Quick
+      test_theorem51_forward_direction;
+    QCheck_alcotest.to_alcotest qcheck_influence_bounded;
+  ]
