@@ -1,6 +1,12 @@
 (* The paper-reproduction harness: one section per experiment E1-E10 of
    DESIGN.md.  Each prints the series the corresponding theorem predicts;
-   EXPERIMENTS.md records claim-vs-measurement. *)
+   EXPERIMENTS.md records claim-vs-measurement.
+
+   All row sweeps and Monte-Carlo trial loops fan out over the
+   deterministic domain-parallel engine (Ls_par.Par): rows/trials are
+   computed in parallel under the engine's seed-splitting contract and
+   printed sequentially afterwards, so stdout is bit-for-bit identical at
+   every LOCSAMPLE_DOMAINS setting. *)
 
 module Graph = Ls_graph.Graph
 module Generators = Ls_graph.Generators
@@ -8,6 +14,7 @@ module Hypergraph = Ls_graph.Hypergraph
 module Dist = Ls_dist.Dist
 module Empirical = Ls_dist.Empirical
 module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
 module Config = Ls_gibbs.Config
 module Models = Ls_gibbs.Models
 module Matching = Ls_gibbs.Matching
@@ -41,10 +48,9 @@ let e1 () =
   let n = 10 in
   let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.) in
   let exact = Exact.joint inst in
-  let rng = Rng.create 7L in
   let rows =
-    List.map
-      (fun t ->
+    Par.map_seeded ~seed:7L
+      (fun t rng ->
         let oracle = Inference.ssm_oracle ~t inst in
         let out = Sequential_sampler.output_distribution oracle inst ~order:(ident_order n) in
         let tv = tv_support out exact in
@@ -60,7 +66,7 @@ let e1 () =
     rows;
   (* Part B: LOCAL compilation round complexity, O(r log^2 n). *)
   let rows =
-    List.map
+    Par.map_list
       (fun n ->
         let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.) in
         let oracle = Inference.ssm_oracle ~t:2 inst in
@@ -109,15 +115,19 @@ let e2 () =
       0.
       (List.init n (fun v -> v))
   in
-  (* Monte-Carlo reconstruction from black-box sampler runs. *)
+  (* Monte-Carlo reconstruction from black-box sampler runs: draw the
+     sampler outputs in parallel (one seed-split stream per run), then
+     read every vertex marginal off the same empirical multiset. *)
   let mc samples =
-    let rng = Rng.create 31L in
-    let sample rng = Some (Sequential_sampler.sample oracle inst ~order ~rng) in
+    let emp =
+      Empirical.collect ~n:samples ~seed:31L (fun rng ->
+          Sequential_sampler.sample oracle inst ~order ~rng)
+    in
     List.fold_left
       (fun acc v ->
         Float.max acc
           (Dist.tv
-             (Option.get (Reductions.monte_carlo_marginal ~sample ~q:2 ~samples ~rng v))
+             (Dist.of_weights (Empirical.marginal emp ~v ~q:2))
              (exact_marginal v)))
       0.
       (List.init n (fun v -> v))
@@ -153,7 +163,7 @@ let e3 () =
   in
   let exact = Option.get (Exact.marginal inst 0) in
   let rows =
-    List.map
+    Par.map_list
       (fun t ->
         let aplus = Inference.ssm_oracle ~t inst in
         let boosted = Boosting.boost aplus inst in
@@ -193,7 +203,7 @@ let e4 () =
   Printf.printf "\nE4: raw chain-rule bias of the t=1 oracle on C9: TV = %s\n"
     (Table.e (tv_support raw exact));
   let rows =
-    List.map
+    Par.map_list
       (fun epsilon ->
         let out = Jvv.output_distribution oracle ~epsilon inst ~order in
         [
@@ -214,7 +224,7 @@ let e4 () =
      with an oracle radius covering the instance (the regime Theorem 4.2
      assumes: oracle error below 1/n^3). *)
   let rows =
-    List.map
+    Par.map_list
       (fun n ->
         let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.) in
         let oracle = Inference.ssm_oracle ~t:(n / 2) inst in
@@ -242,7 +252,7 @@ let e4 () =
   let oracle = Inference.ssm_oracle ~t:1 inst in
   let order = ident_order 12 in
   let rows =
-    List.map
+    Par.map_list
       (fun (label, adaptive) ->
         let out = Jvv.output_distribution oracle ~epsilon:0.2 ~adaptive inst ~order in
         [
@@ -268,17 +278,16 @@ let e5 () =
   List.iter
     (fun lambda ->
       let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda) in
-      let rng = Rng.create 5L in
       let exact = Option.get (Exact.marginal inst 0) in
       let rows =
-        List.map
-          (fun d ->
+        Par.map_seeded ~seed:5L
+          (fun d rng ->
             let ssm = (Ssm.influence_at ~rng inst ~v:0 ~d).Ssm.tv in
             let inf_err = Dist.tv (Inference.ssm_infer ~t:d inst 0) exact in
             [ Table.i d; Table.e ssm; Table.e inf_err ])
           [ 1; 2; 3; 4; 6; 8; 10 ]
       in
-      let curve = Ssm.decay_curve ~rng inst ~v:0 ~max_d:8 in
+      let curve = Ssm.decay_curve ~rng:(Rng.create 5L) inst ~v:0 ~max_d:8 in
       let rate =
         match Ssm.fit_exponential_rate curve with
         | Some a -> Table.f ~digits:3 a
@@ -296,7 +305,7 @@ let e5 () =
   let inst = Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.) in
   let exact = Option.get (Exact.marginal inst 0) in
   let rows =
-    List.map
+    Par.map_list
       (fun t ->
         let ball = Dist.tv (Inference.ssm_infer ~t inst 0) exact in
         let saw_oracle = Inference.saw_oracle ~depth:t inst in
@@ -325,7 +334,7 @@ let e6 () =
     lambda_c;
   let lambdas = [ 1.0; 2.0; 4.0; 8.0; 16.0 ] in
   let rows =
-    List.map
+    Par.map_list
       (fun depth ->
         Table.i depth
         :: List.map
@@ -344,7 +353,7 @@ let e6 () =
     rows;
   let depth = 8 in
   let rows =
-    List.map
+    Par.map_list
       (fun ratio ->
         let lambda = ratio *. lambda_c in
         let infl = Phase_transition.tree_root_influence ~branching ~depth ~lambda in
@@ -396,7 +405,7 @@ let e7 () =
     Float.abs (p all_out -. p max_in)
   in
   let rows =
-    List.map
+    Par.map_list
       (fun delta ->
         let branching = delta - 1 in
         let depth = if branching <= 3 then 7 else 6 in
@@ -460,7 +469,7 @@ let e8 () =
     | _ -> nan
   in
   let rows =
-    List.map
+    Par.map_list
       (fun q ->
         let i3 = influence q 3 in
         let i6 = influence q 6 in
@@ -510,7 +519,7 @@ let e9 () =
     Dist.tv (marginal 0) (marginal 1)
   in
   let rows =
-    List.map
+    Par.map_list
       (fun beta ->
         let regime = if beta > beta_c then "uniqueness" else "non-uniqueness" in
         [ Table.f ~digits:3 beta; Table.f ~digits:5 (influence beta); regime ])
@@ -545,7 +554,7 @@ let e9 () =
     Dist.tv (marginal 0) (marginal 1)
   in
   let rows =
-    List.map
+    Par.map_list
       (fun beta ->
         let regime = if beta > beta_c then "uniqueness" else "non-uniqueness" in
         [ Table.f ~digits:3 beta; Table.f ~digits:5 (influence beta); regime ])
@@ -572,7 +581,6 @@ let e9 () =
 (* ------------------------------------------------------------------ *)
 
 let e10 () =
-  let rng = Rng.create 101L in
   (* A "loose cycle": 3-uniform hyperedges e_i = {2i, 2i+1, 2i+2 mod 2k},
      consecutive hyperedges sharing one vertex, so the intersection graph
      is the cycle C_k — long enough to watch the decay over distances. *)
@@ -591,8 +599,8 @@ let e10 () =
      = C%d); reference lambda_c(r=%d, Delta=3) = %.4f\n"
     k k rank lambda_c;
   let rows =
-    List.map
-      (fun ratio ->
+    Par.map_seeded ~seed:101L
+      (fun ratio rng ->
         let lambda = ratio *. lambda_c in
         let hm = Hypergraph_matching.make h ~lambda in
         let inst = Instance.unpinned hm.Hypergraph_matching.spec in
@@ -656,7 +664,7 @@ let e11 () =
   in
   Printf.printf "\nE11: measured SSM rate alpha = %.3f at lambda = %.1f\n" alpha lambda;
   let rows =
-    List.map
+    Par.map_list
       (fun n ->
         let fn = float_of_int n in
         let budget = 5. *. 2. *. (fn ** 4.) in
@@ -708,28 +716,30 @@ let decomp_ablation () =
   let rows =
     List.map
       (fun phase_cap ->
-        let failures = ref 0 and colors = ref 0 and radius = ref 0 in
-        for trial = 1 to trials do
-          let rng = Rng.create (Int64.of_int (1000 + trial)) in
-          let d = Decomposition.linial_saks ~phase_cap g rng in
-          failures :=
-            !failures
-            + Array.fold_left (fun a f -> if f then a + 1 else a) 0
-                d.Decomposition.failed;
-          colors := !colors + d.Decomposition.num_colors;
-          radius :=
-            max !radius
-              (Array.fold_left
-                 (fun a c -> max a c.Decomposition.radius)
-                 0 d.Decomposition.clusters)
-        done;
-        let per_run = float_of_int !failures /. float_of_int trials in
+        (* Same seed for every phase_cap: common random numbers across the
+           sweep, so rows differ only through the budget. *)
+        let per_trial =
+          Par.run_trials ~n:trials ~seed:1000L (fun rng ->
+              let d = Decomposition.linial_saks ~phase_cap g rng in
+              ( Array.fold_left (fun a f -> if f then a + 1 else a) 0
+                  d.Decomposition.failed,
+                d.Decomposition.num_colors,
+                Array.fold_left
+                  (fun a c -> max a c.Decomposition.radius)
+                  0 d.Decomposition.clusters ))
+        in
+        let failures, colors, radius =
+          Array.fold_left
+            (fun (f, c, r) (f', c', r') -> (f + f', c + c', max r r'))
+            (0, 0, 0) per_trial
+        in
+        let per_run = float_of_int failures /. float_of_int trials in
         [
           Table.i phase_cap;
           Table.f ~digits:2 per_run;
           Table.f ~digits:4 (per_run /. 96.);
-          Table.f ~digits:1 (float_of_int !colors /. float_of_int trials);
-          Table.i !radius;
+          Table.f ~digits:1 (float_of_int colors /. float_of_int trials);
+          Table.i radius;
         ])
       [ 1; 2; 3; 4; 6; Decomposition.default_phase_cap 96 ]
   in

@@ -3,7 +3,12 @@
    `dune exec bench/main.exe` prints every experiment table (E1-E10, the
    paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
    by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e10,
-   micro) to run a subset. *)
+   micro) to run a subset; `--domains K` pins the parallel engine's domain
+   count (default: LOCSAMPLE_DOMAINS or the core count).
+
+   Tables go to stdout; timing lines go to stderr, so stdout is bit-for-bit
+   identical at every domain count and can be diffed to check the engine's
+   determinism contract. *)
 
 let sections =
   [
@@ -22,11 +27,33 @@ let sections =
     ("micro", Micro.run);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--domains K] [section ...]\n(known sections: %s)\n"
+    (String.concat ", " (List.map fst sections));
+  exit 2
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--domains" :: k :: rest -> set_domains k; go acc rest
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains=" ->
+        set_domains (String.sub arg 10 (String.length arg - 10));
+        go acc rest
+    | "--help" :: _ -> usage ()
+    | arg :: rest -> go (arg :: acc) rest
+  and set_domains k =
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ls_par.Par.set_domains k
+    | _ ->
+        Printf.eprintf "--domains expects an integer >= 1, got %S\n" k;
+        exit 2
+  in
+  go [] (List.tl (Array.to_list argv))
+
 let () =
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst sections
+    match parse_args Sys.argv with [] -> List.map fst sections | ids -> ids
   in
   print_endline
     "locsample benchmark harness -- reproduction of Feng & Yin, PODC 2018";
@@ -34,9 +61,14 @@ let () =
     (fun id ->
       match List.assoc_opt id sections with
       | Some run ->
-          let t0 = Sys.time () in
+          let w0 = Unix.gettimeofday () and t0 = Sys.time () in
           run ();
-          Printf.printf "[%s finished in %.1fs cpu]\n%!" id (Sys.time () -. t0)
+          Printf.printf "%!";
+          Printf.eprintf "[%s finished in %.1fs wall, %.1fs cpu, %d domains]\n%!"
+            id
+            (Unix.gettimeofday () -. w0)
+            (Sys.time () -. t0)
+            (Ls_par.Par.domains ())
       | None ->
           Printf.eprintf "unknown section %S (known: %s)\n" id
             (String.concat ", " (List.map fst sections));

@@ -12,6 +12,7 @@ module Enumerate = Ls_gibbs.Enumerate
 module Forest_dp = Ls_gibbs.Forest_dp
 module Matching_dp = Ls_gibbs.Matching_dp
 module Decomposition = Ls_local.Decomposition
+module Par = Ls_par.Par
 open Ls_core
 
 let tests () =
@@ -70,6 +71,25 @@ let tests () =
              (Sequential_sampler.sample oracle inst64
                 ~order:(Array.init 64 (fun i -> i))
                 ~rng:glauber_rng)));
+    (* Parallel-engine ablation: the same 32-trial Glauber workload run
+       through the engine at 1 domain vs the configured domain count.
+       The gap is the engine's speedup (or, on one core, its overhead). *)
+    Test.make ~name:"par/32 glauber sweeps, domains=1"
+      (Staged.stage (fun () ->
+           ignore
+             (Par.run_trials ~domains:1 ~n:32 ~seed:11L (fun rng ->
+                  let st = Glauber.init glauber_inst in
+                  for _ = 1 to 4 do
+                    Glauber.sweep st rng
+                  done))));
+    Test.make ~name:(Printf.sprintf "par/32 glauber sweeps, domains=%d" (Par.domains ()))
+      (Staged.stage (fun () ->
+           ignore
+             (Par.run_trials ~n:32 ~seed:11L (fun rng ->
+                  let st = Glauber.init glauber_inst in
+                  for _ = 1 to 4 do
+                    Glauber.sweep st rng
+                  done))));
   ]
 
 let run () =

@@ -18,7 +18,9 @@
 module Graph = Ls_graph.Graph
 module Generators = Ls_graph.Generators
 module Dist = Ls_dist.Dist
+module Empirical = Ls_dist.Empirical
 module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
 module Models = Ls_gibbs.Models
 module Matching = Ls_gibbs.Matching
 open Ls_core
@@ -124,11 +126,54 @@ let make_oracle ~engine ~t inst =
 
 (* --- commands ------------------------------------------------------- *)
 
-let sample graph model t seed engine exact_jvv epsilon =
+let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed trials =
+  let order = Array.init (Instance.n inst) (fun i -> i) in
+  let run_one =
+    if exact_jvv then begin
+      let epsilon =
+        match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
+      in
+      fun rng ->
+        let r = Jvv.run oracle ~epsilon inst ~order ~rng in
+        (r.Jvv.success, r.Jvv.y)
+    end
+    else
+      fun rng ->
+        let r = Local_sampler.sample oracle inst ~seed:(Rng.bits64 rng) in
+        (r.Local_sampler.success, r.Local_sampler.sigma)
+  in
+  let results, timing =
+    Par.run_trials_timed ~n:trials ~seed:(Int64.of_int seed) run_one
+  in
+  let emp = Empirical.create () in
+  Array.iter (fun (ok, y) -> if ok then Empirical.add emp y) results;
+  let successes = Empirical.total emp in
+  Printf.printf "%d/%d trials succeeded; %d distinct configurations\n"
+    successes trials (Empirical.distinct emp);
+  (* Timing is a measurement, not an output: stderr, so stdout diffs clean
+     across domain counts. *)
+  Printf.eprintf "[%.3fs wall on %d domain(s), %.0f trials/s]\n" timing.Par.wall
+    timing.Par.domains
+    (float_of_int trials /. Float.max timing.Par.wall 1e-9);
+  (if successes > 0 then
+     let states =
+       float_of_int (Instance.q inst) ** float_of_int (Instance.n inst)
+     in
+     if states <= 4096. then
+       Printf.printf "empirical TV vs exact joint (successes only): %.4f\n"
+         (Empirical.tv_against emp (Exact.joint inst)));
+  (if successes > 0 then
+     let sigma = snd (Option.get (Array.find_opt fst results)) in
+     Printf.printf "first successful sample: %s\n" (m.render sigma));
+  0
+
+let sample graph model t seed engine exact_jvv epsilon trials =
   let g, m, inst = make_instance ~graph ~model ~seed in
   Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
     m.describe;
   let oracle = make_oracle ~engine ~t inst in
+  if trials > 1 then sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed trials
+  else begin
   if exact_jvv then begin
     let epsilon =
       match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
@@ -150,6 +195,7 @@ let sample graph model t seed engine exact_jvv epsilon =
     Printf.printf "sample: %s\n" (m.render result.Local_sampler.sigma)
   end;
   0
+  end
 
 let infer graph model t seed engine vertex boosted =
   let g, m, inst = make_instance ~graph ~model ~seed in
@@ -205,13 +251,28 @@ let count graph model t seed =
 
 open Cmdliner
 
-let setup_log style_renderer level =
+let setup_log style_renderer level domains =
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
-  Logs.set_reporter (Logs_fmt.reporter ())
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Option.iter
+    (fun k ->
+      if k < 1 then begin
+        Printf.eprintf "locsample: --domains expects an integer >= 1, got %d\n" k;
+        exit 2
+      end;
+      Par.set_domains k)
+    domains
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"K"
+       ~doc:"Domain count for the parallel trial engine (default: the \
+             LOCSAMPLE_DOMAINS environment variable, else the core count). \
+             Results are identical for every value; only speed changes.")
 
 let setup_log_term =
-  Term.(const setup_log $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+  Term.(const setup_log $ Fmt_cli.style_renderer () $ Logs_cli.level ()
+        $ domains_arg)
 
 let graph_arg =
   Arg.(value & opt string "cycle:16" & info [ "g"; "graph" ] ~docv:"GRAPH"
@@ -239,8 +300,15 @@ let sample_cmd =
     Arg.(value & opt (some float) None & info [ "epsilon" ] ~docv:"EPS"
          ~doc:"JVV slack parameter (default: 1/n^3).")
   in
+  let trials =
+    Arg.(value & opt int 1 & info [ "trials" ] ~docv:"N"
+         ~doc:"Draw N samples through the parallel trial engine and report \
+               aggregate statistics (success rate, distinct configurations, \
+               throughput, and — on small state spaces — the empirical TV \
+               against the exact joint distribution).")
+  in
   Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
-    Term.(const (fun () a b c d e f g -> sample a b c d e f g) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps)
+    Term.(const (fun () a b c d e f g h -> sample a b c d e f g h) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials)
 
 let infer_cmd =
   let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in

@@ -6,6 +6,7 @@
 
    Run with:  dune exec examples/phase_transition.exe *)
 
+module Par = Ls_par.Par
 open Ls_core
 
 let () =
@@ -16,22 +17,36 @@ let () =
     lambda_c;
   Printf.printf "%-16s %-12s %-12s %s\n" "lambda/lambda_c" "influence@6"
     "influence@10" "regime";
+  (* Each ratio's two tree evaluations are independent: compute the sweep
+     through the parallel trial engine, print in order afterwards. *)
+  let rows =
+    Par.map_list
+      (fun ratio ->
+        let lambda = ratio *. lambda_c in
+        let i6 = Phase_transition.tree_root_influence ~branching ~depth:6 ~lambda in
+        let i10 = Phase_transition.tree_root_influence ~branching ~depth:10 ~lambda in
+        (ratio, i6, i10))
+      [ 0.125; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 4.0 ]
+  in
   List.iter
-    (fun ratio ->
-      let lambda = ratio *. lambda_c in
-      let i6 = Phase_transition.tree_root_influence ~branching ~depth:6 ~lambda in
-      let i10 = Phase_transition.tree_root_influence ~branching ~depth:10 ~lambda in
+    (fun (ratio, i6, i10) ->
       Printf.printf "%-16.2f %-12.5f %-12.5f %s\n" ratio i6 i10
         (if ratio < 1. then "uniqueness: correlations die out"
          else "non-uniqueness: long-range correlation"))
-    [ 0.125; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 4.0 ];
+    rows;
   print_newline ();
   (* The influence profile at one subcritical and one supercritical
      fugacity, showing the decay-vs-plateau dichotomy depth by depth. *)
+  let profiles =
+    Par.map_list
+      (fun lambda ->
+        (lambda, Phase_transition.influence_profile ~branching ~max_depth:10 ~lambda))
+      [ 0.5 *. lambda_c; 2. *. lambda_c ]
+  in
   List.iter
-    (fun lambda ->
+    (fun (lambda, profile) ->
       Printf.printf "influence profile at lambda = %.1f:\n" lambda;
       List.iter
         (fun (d, i) -> Printf.printf "  depth %2d: %.6f\n" d i)
-        (Phase_transition.influence_profile ~branching ~max_depth:10 ~lambda))
-    [ 0.5 *. lambda_c; 2. *. lambda_c ]
+        profile)
+    profiles

@@ -24,7 +24,22 @@ let count e sigma = try Tbl.find e.counts sigma with Not_found -> 0
 let freq e sigma =
   if e.total = 0 then 0. else float_of_int (count e sigma) /. float_of_int e.total
 
+let add_all e sigmas = Array.iter (add e) sigmas
+
+let collect ?domains ~n ~seed sample =
+  let e = create () in
+  add_all e (Ls_par.Par.run_trials ?domains ~n ~seed sample);
+  e
+
 let distinct e = Tbl.length e.counts
+
+let marginal e ~v ~q =
+  let counts = Array.make q 0. in
+  Tbl.iter
+    (fun sigma c -> counts.(sigma.(v)) <- counts.(sigma.(v)) +. float_of_int c)
+    e.counts;
+  let total = float_of_int (max e.total 1) in
+  Array.map (fun c -> c /. total) counts
 
 let iter e f = Tbl.iter f e.counts
 

@@ -22,8 +22,21 @@ val count : t -> int array -> int
 val freq : t -> int array -> float
 (** [count / total] (0 when empty). *)
 
+val add_all : t -> int array array -> unit
+(** Record a batch of samples, in array order. *)
+
+val collect :
+  ?domains:int -> n:int -> seed:int64 -> (Ls_rng.Rng.t -> int array) -> t
+(** [collect ~n ~seed sample] draws [n] configurations in parallel with
+    {!Ls_par.Par.run_trials} (one seed-split stream per trial) and
+    accumulates them in trial order — the resulting multiset, and even
+    the internal insertion order, are independent of the domain count. *)
+
 val distinct : t -> int
 (** Number of distinct configurations seen. *)
+
+val marginal : t -> v:int -> q:int -> float array
+(** Empirical frequencies of the values [0..q-1] at vertex [v]. *)
 
 val iter : t -> (int array -> int -> unit) -> unit
 

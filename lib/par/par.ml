@@ -1,0 +1,98 @@
+module Rng = Ls_rng.Rng
+
+type timing = { wall : float; per_trial : float array; domains : int }
+
+let default_domains () =
+  match Sys.getenv_opt "LOCSAMPLE_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "LOCSAMPLE_DOMAINS=%S: expected an integer >= 1" s))
+
+let override = Atomic.make None
+
+let domains () =
+  match Atomic.get override with Some k -> k | None -> default_domains ()
+
+let set_domains k =
+  if k < 1 then invalid_arg "Par.set_domains: domain count must be >= 1";
+  Atomic.set override (Some k)
+
+(* The process-global pool, (re)created lazily whenever the requested
+   size changes, and torn down at exit so the runtime can join all
+   domains cleanly. *)
+let global_lock = Mutex.create ()
+let global : Pool.t option ref = ref None
+
+let global_pool () =
+  Mutex.lock global_lock;
+  let want = domains () in
+  let pool =
+    match !global with
+    | Some p when Pool.size p = want -> p
+    | prev ->
+        (match prev with Some p -> Pool.shutdown p | None -> ());
+        let p = Pool.create want in
+        global := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  pool
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock global_lock;
+      (match !global with Some p -> Pool.shutdown p | None -> ());
+      global := None;
+      Mutex.unlock global_lock)
+
+let with_pool ?domains f =
+  match domains with
+  | None -> f (global_pool ())
+  | Some k ->
+      let p = Pool.create k in
+      Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let collect ?domains n body =
+  let out = Array.make n None in
+  let used = ref 1 in
+  with_pool ?domains (fun pool ->
+      used := Pool.size pool;
+      Pool.run pool ~n (fun i -> out.(i) <- Some (body i)));
+  (Array.map (function Some x -> x | None -> assert false) out, !used)
+
+let run_trials ?domains ~n ~seed f =
+  if n < 0 then invalid_arg "Par.run_trials: n must be non-negative";
+  let rngs = Rng.streams seed n in
+  fst (collect ?domains n (fun i -> f rngs.(i)))
+
+let run_trials_timed ?domains ~n ~seed f =
+  if n < 0 then invalid_arg "Par.run_trials_timed: n must be non-negative";
+  let rngs = Rng.streams seed n in
+  let per_trial = Array.make n 0. in
+  let t0 = Unix.gettimeofday () in
+  let results, used =
+    collect ?domains n (fun i ->
+        let s = Unix.gettimeofday () in
+        let r = f rngs.(i) in
+        per_trial.(i) <- Unix.gettimeofday () -. s;
+        r)
+  in
+  (results, { wall = Unix.gettimeofday () -. t0; per_trial; domains = used })
+
+let map ?domains f xs =
+  fst (collect ?domains (Array.length xs) (fun i -> f xs.(i)))
+
+let map_list ?domains f xs = Array.to_list (map ?domains f (Array.of_list xs))
+
+let map_seeded ?domains ~seed f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let rngs = Rng.streams seed n in
+  Array.to_list (fst (collect ?domains n (fun i -> f arr.(i) rngs.(i))))
+
+let map_reduce ?domains ~map:fm ~reduce init xs =
+  Array.fold_left reduce init (map ?domains fm xs)

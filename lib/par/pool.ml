@@ -1,0 +1,130 @@
+(* Each batch carries its own counters so that a worker still draining an
+   old batch can never steal indices from a newer one. *)
+type batch = {
+  body : int -> unit;  (* never raises: Pool.run wraps with a catcher *)
+  limit : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when a new batch is installed *)
+  finished : Condition.t;  (* signalled when a batch's last index completes *)
+  mutable current : batch option;
+  mutable epoch : int;
+  mutable stopped : bool;
+}
+
+(* True on any domain currently executing batch bodies; nested [run]
+   calls fall back to a sequential loop instead of deadlocking. *)
+let in_batch = Domain.DLS.new_key (fun () -> false)
+
+let drain t b =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.limit then begin
+      b.body i;
+      if 1 + Atomic.fetch_and_add b.completed 1 = b.limit then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.m
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker t seen =
+  Mutex.lock t.m;
+  while (not t.stopped) && t.epoch = seen do
+    Condition.wait t.work t.m
+  done;
+  let stopped = t.stopped in
+  let seen = t.epoch in
+  let batch = t.current in
+  Mutex.unlock t.m;
+  if not stopped then begin
+    (match batch with Some b -> drain t b | None -> ());
+    worker t seen
+  end
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      workers = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      epoch = 0;
+      stopped = false;
+    }
+  in
+  if size > 1 then
+    t.workers <-
+      Array.init (size - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_batch true;
+              worker t 0));
+  t
+
+let size t = t.size
+
+let sequentially n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let run t ~n body =
+  if n <= 0 then ()
+  else if t.size = 1 || n = 1 || Domain.DLS.get in_batch then begin
+    if t.stopped then invalid_arg "Pool.run: pool is shut down";
+    sequentially n body
+  end
+  else begin
+    let errors = Array.make n None in
+    let guarded i = try body i with e -> errors.(i) <- Some e in
+    let b =
+      { body = guarded; limit = n; next = Atomic.make 0; completed = Atomic.make 0 }
+    in
+    Mutex.lock t.m;
+    if t.stopped then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    (match t.current with
+    | Some _ ->
+        Mutex.unlock t.m;
+        invalid_arg "Pool.run: concurrent batches on one pool"
+    | None -> ());
+    t.current <- Some b;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Domain.DLS.set in_batch true;
+    drain t b;
+    Domain.DLS.set in_batch false;
+    Mutex.lock t.m;
+    while Atomic.get b.completed < n do
+      Condition.wait t.finished t.m
+    done;
+    t.current <- None;
+    Mutex.unlock t.m;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end

@@ -1,0 +1,37 @@
+(** A small pool of worker domains for deterministic fan-out.
+
+    The pool owns [size - 1] spawned domains; the caller of {!run}
+    participates as the [size]-th worker, so a pool of size 1 spawns
+    nothing and degenerates to a plain sequential loop.  Work is handed
+    out as batches of integer indices claimed through a shared atomic
+    counter (dynamic load balancing), which makes the {e assignment} of
+    indices to domains scheduling-dependent — determinism is recovered one
+    layer up ({!Par}) by making each index's work a pure function of the
+    index. *)
+
+type t
+
+val create : int -> t
+(** [create size] spawns [size - 1] worker domains.  [size] must be at
+    least 1.  Keep pools few and small: the OCaml runtime caps the total
+    number of live domains (128), and oversubscribing cores buys
+    nothing. *)
+
+val size : t -> int
+(** Total parallelism of the pool, counting the calling domain. *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run pool ~n body] evaluates [body i] exactly once for every
+    [i ∈ 0..n-1], distributing indices over the pool's domains, and
+    returns when all are done.  Exceptions raised by [body] are caught
+    per index; after the batch, the exception of the {e smallest} failing
+    index is re-raised in the caller (so failure behaviour is as
+    deterministic as the bodies themselves).
+
+    Calling [run] from inside a [body] (same pool or another) is safe:
+    the nested batch detects it is already on a worker domain and runs
+    sequentially in-place, preserving both progress and determinism. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  Using the pool afterwards
+    raises [Invalid_argument]. *)

@@ -12,6 +12,8 @@ let streams seed n =
   let master = create seed in
   Array.init n (fun _ -> split master)
 
+let bits64 = Splitmix.next_int64
+
 let float = Splitmix.float
 
 let int = Splitmix.int

@@ -23,6 +23,10 @@ val streams : int64 -> int -> t array
 (** [streams seed n] is an array of [n] independent sources derived
     deterministically from [seed]; element [v] belongs to node [v]. *)
 
+val bits64 : t -> int64
+(** Next raw 64-bit output — e.g. to derive a seed for a [~seed:int64]
+    API from a trial's stream. *)
+
 val float : t -> float
 (** Uniform in [\[0,1)]. *)
 

@@ -2,6 +2,8 @@ let () =
   Alcotest.run "locsample"
     [
       ("rng", Test_rng.suite);
+      ("par", Test_par.suite);
+      ("statistics", Test_statistics.suite);
       ("dist", Test_dist.suite);
       ("graph", Test_graph.suite);
       ("gibbs", Test_gibbs.suite);

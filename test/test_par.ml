@@ -1,0 +1,205 @@
+(* Tests for the deterministic domain-parallel trial engine (lib/par):
+   bit-for-bit domain-count invariance, seed-split stream hygiene, the
+   map/map_reduce helpers, timing capture, and failure behaviour. *)
+
+module Par = Ls_par.Par
+module Pool = Ls_par.Pool
+module Rng = Ls_rng.Rng
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* A trial body that consumes a *data-dependent* amount of randomness:
+   if any state leaked between trials or depended on scheduling, the
+   outputs could not stay identical across domain counts. *)
+let trial_body rng =
+  let k = 1 + Rng.int rng 8 in
+  let acc = ref 0. in
+  for _ = 1 to k do
+    acc := !acc +. Rng.float rng
+  done;
+  (k, !acc)
+
+let qcheck_domain_count_invariance =
+  QCheck.Test.make
+    ~name:"run_trials is bit-for-bit invariant in the domain count" ~count:20
+    QCheck.(pair small_int (int_range 0 40))
+    (fun (seed, n) ->
+      let seed = Int64.of_int seed in
+      let reference = Par.run_trials ~domains:1 ~n ~seed trial_body in
+      List.for_all
+        (fun d ->
+          let out = Par.run_trials ~domains:d ~n ~seed trial_body in
+          Array.length out = n
+          && Array.for_all2 (fun a b -> a = b) out reference)
+        [ 2; 4 ])
+
+let qcheck_streams_distinct_and_reproducible =
+  QCheck.Test.make
+    ~name:"seed-split trial streams are pairwise distinct and reproducible"
+    ~count:30
+    QCheck.(pair small_int (int_range 2 64))
+    (fun (seed, n) ->
+      let seed = Int64.of_int seed in
+      let firsts ~domains =
+        Par.run_trials ~domains ~n ~seed (fun rng ->
+            (Rng.bits64 rng, Rng.float rng))
+      in
+      let a = firsts ~domains:2 and b = firsts ~domains:2 in
+      let pairwise_distinct = Hashtbl.create n in
+      Array.for_all
+        (fun x ->
+          if Hashtbl.mem pairwise_distinct x then false
+          else begin
+            Hashtbl.add pairwise_distinct x ();
+            true
+          end)
+        a
+      && a = b)
+
+let qcheck_map_matches_sequential =
+  QCheck.Test.make ~name:"Par.map agrees with Array.map at every domain count"
+    ~count:30
+    QCheck.(list_of_size (Gen.int_range 0 50) int)
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let f x = (x * x) - (3 * x) in
+      let expected = Array.map f xs in
+      List.for_all (fun d -> Par.map ~domains:d f xs = expected) [ 1; 2; 4 ])
+
+let test_map_reduce_deterministic_fold_order () =
+  (* Float addition is not associative: only a fixed fold order makes the
+     reduction reproducible.  Compare against the sequential left fold. *)
+  let xs = Array.init 200 (fun i -> 1. /. float_of_int (i + 1)) in
+  let expected = Array.fold_left ( +. ) 0. xs in
+  List.iter
+    (fun d ->
+      let got = Par.map_reduce ~domains:d ~map:Fun.id ~reduce:( +. ) 0. xs in
+      check (Alcotest.float 0.) "bitwise-equal float sum" expected got)
+    [ 1; 2; 4 ]
+
+let test_map_seeded_invariance () =
+  let items = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let f x rng = (x, Rng.int rng 1000, Rng.float rng) in
+  let reference = Par.map_seeded ~domains:1 ~seed:7L f items in
+  List.iter
+    (fun d ->
+      checkb "map_seeded invariant" true
+        (Par.map_seeded ~domains:d ~seed:7L f items = reference))
+    [ 2; 4 ]
+
+let test_run_trials_matches_streams () =
+  (* The engine's stream derivation is exactly Rng.streams: trial i can be
+     replayed in isolation. *)
+  let n = 10 and seed = 123L in
+  let out = Par.run_trials ~domains:3 ~n ~seed (fun rng -> Rng.float rng) in
+  let streams = Rng.streams seed n in
+  Array.iteri
+    (fun i s -> check (Alcotest.float 0.) "replayable" (Rng.float s) out.(i))
+    streams
+
+let test_timed_results_match_untimed () =
+  let n = 16 and seed = 5L in
+  let plain = Par.run_trials ~domains:2 ~n ~seed trial_body in
+  let timed, t = Par.run_trials_timed ~domains:2 ~n ~seed trial_body in
+  checkb "same results" true (plain = timed);
+  check Alcotest.int "one timing per trial" n (Array.length t.per_trial);
+  check Alcotest.int "domains recorded" 2 t.domains;
+  checkb "wall covers trials" true (t.wall >= 0.);
+  Array.iter (fun d -> checkb "non-negative per-trial time" true (d >= 0.)) t.per_trial
+
+let test_exception_of_smallest_index () =
+  (* Indices 3 and 7 fail; whatever the schedule, the engine must surface
+     index 3. *)
+  let failing i = if i = 3 || i = 7 then failwith (string_of_int i) else i in
+  List.iter
+    (fun d ->
+      Alcotest.check_raises "smallest failing index wins" (Failure "3")
+        (fun () ->
+          ignore
+            (Par.map ~domains:d failing (Array.init 10 (fun i -> i)))))
+    [ 1; 2; 4 ]
+
+let test_nested_calls_fall_back_sequentially () =
+  (* A trial that itself calls the engine must not deadlock; the nested
+     batch runs in-place and the combined output stays deterministic. *)
+  let nested seed =
+    Par.run_trials ~n:4 ~seed (fun rng ->
+        Array.to_list (Par.run_trials ~n:3 ~seed:(Rng.bits64 rng) (fun r -> Rng.float r)))
+  in
+  let a = nested 11L in
+  Par.set_domains 2;
+  let b = nested 11L in
+  Par.set_domains 1;
+  let c = nested 11L in
+  Par.set_domains (Par.default_domains ());
+  checkb "nested deterministic (2 domains)" true (a = b);
+  checkb "nested deterministic (1 domain)" true (a = c)
+
+let test_domains_override () =
+  Par.set_domains 3;
+  check Alcotest.int "override visible" 3 (Par.domains ());
+  Par.set_domains (Par.default_domains ());
+  check Alcotest.int "restored" (Par.default_domains ()) (Par.domains ())
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "domains >= 1"
+    (Invalid_argument "Par.set_domains: domain count must be >= 1") (fun () ->
+      Par.set_domains 0);
+  Alcotest.check_raises "pool size >= 1"
+    (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
+      ignore (Pool.create 0))
+
+let test_pool_direct_use () =
+  let pool = Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      check Alcotest.int "size" 3 (Pool.size pool);
+      let hits = Array.make 100 0 in
+      Pool.run pool ~n:100 (fun i -> hits.(i) <- hits.(i) + 1);
+      checkb "each index exactly once" true (Array.for_all (( = ) 1) hits);
+      (* A pool is reusable batch after batch. *)
+      let sum = Atomic.make 0 in
+      Pool.run pool ~n:50 (fun i -> ignore (Atomic.fetch_and_add sum i));
+      check Alcotest.int "second batch" (50 * 49 / 2) (Atomic.get sum));
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      Pool.run pool ~n:2 (fun _ -> ()))
+
+let test_empirical_collect_invariant () =
+  let sample rng = [| Rng.int rng 3; Rng.int rng 3 |] in
+  let collect domains =
+    Ls_dist.Empirical.collect ~domains ~n:500 ~seed:9L sample
+  in
+  let a = collect 1 and b = collect 4 in
+  check Alcotest.int "same total" (Ls_dist.Empirical.total a)
+    (Ls_dist.Empirical.total b);
+  Ls_dist.Empirical.iter a (fun sigma c ->
+      check Alcotest.int "same multiset" c (Ls_dist.Empirical.count b sigma));
+  let ma = Ls_dist.Empirical.marginal a ~v:0 ~q:3 in
+  check (Alcotest.float 1e-12) "marginal sums to 1" 1.
+    (Array.fold_left ( +. ) 0. ma)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_domain_count_invariance;
+    QCheck_alcotest.to_alcotest qcheck_streams_distinct_and_reproducible;
+    QCheck_alcotest.to_alcotest qcheck_map_matches_sequential;
+    Alcotest.test_case "map_reduce fold order" `Quick
+      test_map_reduce_deterministic_fold_order;
+    Alcotest.test_case "map_seeded invariance" `Quick test_map_seeded_invariance;
+    Alcotest.test_case "trial streams replayable" `Quick
+      test_run_trials_matches_streams;
+    Alcotest.test_case "timed run matches untimed" `Quick
+      test_timed_results_match_untimed;
+    Alcotest.test_case "smallest failing index" `Quick
+      test_exception_of_smallest_index;
+    Alcotest.test_case "nested calls sequential fallback" `Quick
+      test_nested_calls_fall_back_sequentially;
+    Alcotest.test_case "set_domains override" `Quick test_domains_override;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+    Alcotest.test_case "pool direct use" `Quick test_pool_direct_use;
+    Alcotest.test_case "Empirical.collect invariance" `Quick
+      test_empirical_collect_invariant;
+  ]

@@ -6,6 +6,7 @@ module Generators = Ls_graph.Generators
 module Dist = Ls_dist.Dist
 module Empirical = Ls_dist.Empirical
 module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
 module Models = Ls_gibbs.Models
 module Config = Ls_gibbs.Config
 
@@ -59,12 +60,12 @@ let test_sampler_respects_pinning () =
 let test_sampler_empirical_tv () =
   let inst = Instance.unpinned (Models.hardcore (Generators.path 4) ~lambda:1.) in
   let oracle = Inference.exact inst in
-  let rng = Rng.create 5L in
-  let emp = Empirical.create () in
-  for _i = 1 to 20_000 do
-    Empirical.add emp (Sequential_sampler.sample oracle inst ~order:(ident_order 4) ~rng)
-  done;
-  checkb "empirical close to target" true (Empirical.tv_against emp (Exact.joint inst) < 0.02)
+  let emp =
+    Empirical.collect ~n:20_000 ~seed:5L (fun rng ->
+        Sequential_sampler.sample oracle inst ~order:(ident_order 4) ~rng)
+  in
+  Test_statistics.check_gof "chain-rule sampler with the exact oracle"
+    ~significance:0.001 emp (Exact.joint inst)
 
 let test_approx_oracle_sampler_tv_bound () =
   (* Theorem 3.2 coupling: output TV <= n * per-site TV error. *)
@@ -132,18 +133,24 @@ let test_local_sampler_feasible_and_accounted () =
 
 let test_local_sampler_empirical () =
   (* Conditioned on success the LOCAL sampler's output must be close to the
-     target distribution. *)
+     target distribution.  Trials fan out over domains; per-trial seeds come
+     from the engine's seed-split streams, so the verdict is domain-count
+     invariant. *)
   let inst = Instance.unpinned (Models.hardcore (Generators.cycle 5) ~lambda:1.) in
   let oracle = Inference.ssm_oracle ~t:3 inst in
+  let results =
+    Par.run_trials ~n:4_000 ~seed:1000L (fun rng ->
+        Local_sampler.sample oracle inst ~seed:(Rng.bits64 rng))
+  in
   let emp = Empirical.create () in
   let successes = ref 0 in
-  for i = 1 to 4_000 do
-    let r = Local_sampler.sample oracle inst ~seed:(Int64.of_int (1000 + i)) in
-    if r.Local_sampler.success then begin
-      incr successes;
-      Empirical.add emp r.Local_sampler.sigma
-    end
-  done;
+  Array.iter
+    (fun r ->
+      if r.Local_sampler.success then begin
+        incr successes;
+        Empirical.add emp r.Local_sampler.sigma
+      end)
+    results;
   checkb "mostly successful" true (!successes > 3_600);
   checkb "close to target" true (Empirical.tv_against emp (Exact.joint inst) < 0.05)
 
@@ -192,6 +199,38 @@ let test_monte_carlo_all_failures () =
   checkb "none" true
     (Reductions.monte_carlo_marginal ~sample:(fun _ -> None) ~q:2 ~samples:10 ~rng 0
     = None)
+
+(* --- JVV statistical exactness (Theorem 4.2, Monte-Carlo side) --- *)
+
+let test_jvv_empirical_exactness () =
+  (* Lemma 4.8: conditioned on success with zero clamps, the JVV output is
+     exactly mu.  The symbolic machine-precision check lives in
+     test_jvv.ml; here the claim additionally faces a chi-square
+     goodness-of-fit test over 20k domain-parallel trials against the
+     enumerated Gibbs distribution, at an explicit significance level. *)
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle 7) ~lambda:1.3)
+  in
+  let oracle = Inference.exact inst in
+  let order = ident_order 7 in
+  let epsilon = 1e-6 in
+  let trials = 20_000 in
+  let results =
+    Par.run_trials ~n:trials ~seed:97L (fun rng ->
+        Jvv.run oracle ~epsilon inst ~order ~rng)
+  in
+  let emp = Empirical.create () in
+  let clamps = ref 0 in
+  Array.iter
+    (fun r ->
+      clamps := !clamps + r.Jvv.clamped;
+      if r.Jvv.success then Empirical.add emp r.Jvv.y)
+    results;
+  Alcotest.check Alcotest.int "no clamps with the exact oracle" 0 !clamps;
+  checkb "success probability ~1 at epsilon=1e-6" true
+    (Empirical.total emp > trials * 9 / 10);
+  Test_statistics.check_gof "JVV conditional law vs enumerated Gibbs"
+    ~significance:0.001 emp (Exact.joint inst)
 
 (* --- Glauber dynamics baseline --- *)
 
@@ -266,6 +305,8 @@ let suite =
     Alcotest.test_case "sampling->inference monte carlo" `Quick test_monte_carlo_marginal;
     Alcotest.test_case "monte carlo all-failures" `Quick test_monte_carlo_all_failures;
     Alcotest.test_case "counting from sampling" `Slow test_log_partition_via_sampling;
+    Alcotest.test_case "JVV empirical exactness (chi-square)" `Slow
+      test_jvv_empirical_exactness;
     Alcotest.test_case "glauber feasibility" `Quick test_glauber_preserves_feasibility;
     Alcotest.test_case "glauber pins" `Quick test_glauber_respects_pins;
     Alcotest.test_case "glauber converges" `Slow test_glauber_converges;

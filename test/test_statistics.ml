@@ -1,0 +1,202 @@
+(* Shared statistical assertion helpers for sampler exactness tests, plus
+   their own self-tests.
+
+   Ad-hoc "TV < 0.02" thresholds say nothing about how unlikely a false
+   alarm is.  These helpers make both knobs explicit: a chi-square
+   goodness-of-fit test at a stated significance level (critical value by
+   the Wilson-Hilferty approximation) and a TV threshold derived from the
+   expected sampling fluctuation plus a McDiarmid deviation term at the
+   same significance.  Everything runs on fixed seeds, so a failure is a
+   bug, not noise. *)
+
+module Empirical = Ls_dist.Empirical
+module Rng = Ls_rng.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* --- helpers (used by test_samplers.ml) --- *)
+
+(* Upper-tail standard normal quantiles for the significance levels the
+   suite uses.  Listed explicitly so every threshold in a test failure
+   message can be traced to a number in this file. *)
+let z_of_significance = function
+  | 0.05 -> 1.6449
+  | 0.01 -> 2.3263
+  | 0.001 -> 3.0902
+  | 0.0001 -> 3.7190
+  | s ->
+      invalid_arg
+        (Printf.sprintf
+           "Test_statistics: unsupported significance %g (use 0.05, 0.01, \
+            0.001 or 0.0001)"
+           s)
+
+(* z at half the significance, for the exact df=1 case chi2_1 = Z^2. *)
+let z_of_half_significance = function
+  | 0.05 -> 1.95996
+  | 0.01 -> 2.57583
+  | 0.001 -> 3.29053
+  | 0.0001 -> 3.89059
+  | s -> ignore (z_of_significance s) (* uniform error message *); assert false
+
+let chi_square_critical ~df ~significance =
+  if df < 1 then invalid_arg "Test_statistics.chi_square_critical: df >= 1";
+  match df with
+  | 1 ->
+      (* chi2_1 = Z^2, so the upper quantile is z_{s/2}^2 exactly. *)
+      let z = z_of_half_significance significance in
+      z *. z
+  | 2 ->
+      (* chi2_2 = Exp(1/2): P(X > x) = e^{-x/2}, exactly. *)
+      ignore (z_of_significance significance);
+      -2. *. log significance
+  | _ ->
+      (* Wilson-Hilferty: chi2_df ~ df*(1 - 2/(9df) + z*sqrt(2/(9df)))^3;
+         within ~1% for df >= 3 at these significance levels. *)
+      let d = float_of_int df in
+      let z = z_of_significance significance in
+      let c = 1. -. (2. /. (9. *. d)) +. (z *. sqrt (2. /. (9. *. d))) in
+      d *. (c ** 3.)
+
+let tv_threshold ~support ~samples ~significance =
+  (* E[TV] <= 0.5*sqrt(k/m) for k outcomes and m samples (Cauchy-Schwarz on
+     the per-cell binomial deviations); changing one sample moves TV by at
+     most 1/m, so McDiarmid bounds the upward deviation at significance s
+     by sqrt(ln(1/s)/(2m)). *)
+  if support < 1 || samples < 1 then
+    invalid_arg "Test_statistics.tv_threshold: support and samples >= 1";
+  let k = float_of_int support and m = float_of_int samples in
+  let s =
+    (* validate via the same table *)
+    ignore (z_of_significance significance);
+    significance
+  in
+  (0.5 *. sqrt (k /. m)) +. sqrt (log (1. /. s) /. (2. *. m))
+
+let check_chi_square name ~significance emp exact =
+  let stat = Empirical.chi_square emp exact in
+  let df = List.length exact - 1 in
+  let critical = chi_square_critical ~df ~significance in
+  if not (stat <= critical) then
+    Alcotest.failf "%s: chi-square %.2f exceeds critical %.2f (df=%d, alpha=%g)"
+      name stat critical df significance
+
+let check_empirical_tv name ~significance emp exact =
+  let tv = Empirical.tv_against emp exact in
+  let threshold =
+    tv_threshold ~support:(List.length exact) ~samples:(Empirical.total emp)
+      ~significance
+  in
+  if not (tv <= threshold) then
+    Alcotest.failf "%s: empirical TV %.4f exceeds threshold %.4f (alpha=%g)"
+      name tv threshold significance
+
+let check_gof name ~significance emp exact =
+  check_chi_square name ~significance emp exact;
+  check_empirical_tv name ~significance emp exact
+
+(* --- self-tests --- *)
+
+(* A tiny exact distribution over singleton configurations [|i|]. *)
+let simplex weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  Array.to_list (Array.mapi (fun i w -> ([| i |], w /. total)) weights)
+
+let sample_die weights =
+  let n = 40_000 in
+  Empirical.collect ~n ~seed:77L (fun rng -> [| Rng.discrete rng weights |])
+
+let test_fair_die_passes () =
+  let w = Array.make 8 1. in
+  let emp = sample_die w in
+  check_gof "fair die" ~significance:0.001 emp (simplex w)
+
+let test_weighted_die_passes () =
+  let w = [| 1.; 2.; 3.; 4. |] in
+  let emp = sample_die w in
+  check_gof "weighted die" ~significance:0.001 emp (simplex w)
+
+let test_biased_sampler_caught () =
+  (* Sample from (1,2,3,4)/10 but test against uniform: both checks must
+     reject loudly. *)
+  let w = [| 1.; 2.; 3.; 4. |] in
+  let emp = sample_die w in
+  let uniform = simplex (Array.make 4 1.) in
+  let stat = Empirical.chi_square emp uniform in
+  let critical = chi_square_critical ~df:3 ~significance:0.001 in
+  checkb "chi-square rejects a biased sampler" true (stat > critical);
+  let tv = Empirical.tv_against emp uniform in
+  let threshold =
+    tv_threshold ~support:4 ~samples:(Empirical.total emp) ~significance:0.001
+  in
+  checkb "TV rejects a biased sampler" true (tv > threshold)
+
+let test_out_of_support_mass_is_infinite_chi_square () =
+  let emp = Empirical.create () in
+  Empirical.add emp [| 9 |];
+  let stat = Empirical.chi_square emp (simplex [| 1.; 1. |]) in
+  checkb "mass outside the support is an automatic failure" true
+    (stat = infinity)
+
+let test_critical_values_against_tables () =
+  (* Reference quantiles from standard chi-square tables; Wilson-Hilferty
+     should land within ~1.5%. *)
+  List.iter
+    (fun (df, significance, expected) ->
+      let got = chi_square_critical ~df ~significance in
+      checkb
+        (Printf.sprintf "df=%d alpha=%g: got %.3f, table %.3f" df significance
+           got expected)
+        true
+        (Float.abs (got -. expected) /. expected < 0.015))
+    [
+      (1, 0.05, 3.841);
+      (1, 0.001, 10.828);
+      (2, 0.01, 9.210);
+      (3, 0.05, 7.815);
+      (7, 0.05, 14.067);
+      (10, 0.01, 23.209);
+      (28, 0.001, 56.892);
+    ]
+
+let test_tv_threshold_shrinks_with_samples () =
+  let t m = tv_threshold ~support:16 ~samples:m ~significance:0.01 in
+  checkb "more samples, tighter threshold" true
+    (t 1_000 > t 10_000 && t 10_000 > t 100_000)
+
+let test_unsupported_significance_rejected () =
+  Alcotest.check_raises "unsupported alpha"
+    (Invalid_argument
+       "Test_statistics: unsupported significance 0.2 (use 0.05, 0.01, 0.001 \
+        or 0.0001)") (fun () -> ignore (z_of_significance 0.2))
+
+let test_helpers_domain_invariant () =
+  (* The statistical verdict must not depend on the domain count. *)
+  let w = [| 2.; 1.; 1. |] in
+  let stats domains =
+    let emp =
+      Empirical.collect ~domains ~n:5_000 ~seed:13L (fun rng ->
+          [| Rng.discrete rng w |])
+    in
+    ( Empirical.chi_square emp (simplex w),
+      Empirical.tv_against emp (simplex w) )
+  in
+  let s1 = stats 1 and s4 = stats 4 in
+  checkb "identical statistics at 1 and 4 domains" true (s1 = s4)
+
+let suite =
+  [
+    Alcotest.test_case "fair die passes" `Quick test_fair_die_passes;
+    Alcotest.test_case "weighted die passes" `Quick test_weighted_die_passes;
+    Alcotest.test_case "biased sampler caught" `Quick test_biased_sampler_caught;
+    Alcotest.test_case "out-of-support mass fails" `Quick
+      test_out_of_support_mass_is_infinite_chi_square;
+    Alcotest.test_case "critical values vs tables" `Quick
+      test_critical_values_against_tables;
+    Alcotest.test_case "tv threshold monotone" `Quick
+      test_tv_threshold_shrinks_with_samples;
+    Alcotest.test_case "unsupported significance" `Quick
+      test_unsupported_significance_rejected;
+    Alcotest.test_case "verdict domain-invariant" `Quick
+      test_helpers_domain_invariant;
+  ]
