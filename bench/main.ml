@@ -23,30 +23,69 @@ let sections =
     ("e9", Experiments.e9);
     ("e10", Experiments.e10);
     ("e11", Experiments.e11);
+    ("e12", Experiments.e12);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--domains K] [section ...]\n(known sections: %s)\n"
+    "usage: main.exe [--domains K] [--fault-rate P] [--crash-rate P] \
+     [--retry-budget R] [section ...]\n(known sections: %s)\n"
     (String.concat ", " (List.map fst sections));
   exit 2
 
 let parse_args argv =
+  (* Each flag also accepts --flag=VALUE, like --domains. *)
+  let split_eq prefix arg =
+    let p = prefix ^ "=" in
+    let lp = String.length p in
+    if String.length arg > lp && String.sub arg 0 lp = p then
+      Some (String.sub arg lp (String.length arg - lp))
+    else None
+  in
   let rec go acc = function
     | [] -> List.rev acc
     | "--domains" :: k :: rest -> set_domains k; go acc rest
-    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains=" ->
-        set_domains (String.sub arg 10 (String.length arg - 10));
-        go acc rest
+    | "--fault-rate" :: p :: rest -> set_fault_rate p; go acc rest
+    | "--crash-rate" :: p :: rest -> set_crash_rate p; go acc rest
+    | "--retry-budget" :: r :: rest -> set_retry_budget r; go acc rest
     | "--help" :: _ -> usage ()
-    | arg :: rest -> go (arg :: acc) rest
+    | arg :: rest -> (
+        match
+          ( split_eq "--domains" arg,
+            split_eq "--fault-rate" arg,
+            split_eq "--crash-rate" arg,
+            split_eq "--retry-budget" arg )
+        with
+        | Some k, _, _, _ -> set_domains k; go acc rest
+        | _, Some p, _, _ -> set_fault_rate p; go acc rest
+        | _, _, Some p, _ -> set_crash_rate p; go acc rest
+        | _, _, _, Some r -> set_retry_budget r; go acc rest
+        | None, None, None, None -> go (arg :: acc) rest)
   and set_domains k =
     match int_of_string_opt k with
     | Some k when k >= 1 -> Ls_par.Par.set_domains k
     | _ ->
         Printf.eprintf "--domains expects an integer >= 1, got %S\n" k;
+        exit 2
+  and set_fault_rate p =
+    match float_of_string_opt p with
+    | Some x when x >= 0. && x <= 1. -> Experiments.e12_rates := [ x ]
+    | _ ->
+        Printf.eprintf "--fault-rate expects a probability in [0,1], got %S\n" p;
+        exit 2
+  and set_crash_rate p =
+    match float_of_string_opt p with
+    | Some x when x >= 0. && x <= 1. -> Experiments.e12_crash_rate := x
+    | _ ->
+        Printf.eprintf "--crash-rate expects a probability in [0,1], got %S\n" p;
+        exit 2
+  and set_retry_budget r =
+    match int_of_string_opt r with
+    | Some x when x >= 0 -> Experiments.e12_retry_budget := x
+    | _ ->
+        Printf.eprintf "--retry-budget expects an integer >= 0, got %S\n" r;
         exit 2
   in
   go [] (List.tl (Array.to_list argv))

@@ -23,6 +23,8 @@ module Rng = Ls_rng.Rng
 module Par = Ls_par.Par
 module Models = Ls_gibbs.Models
 module Matching = Ls_gibbs.Matching
+module Faults = Ls_local.Faults
+module Resilient = Ls_local.Resilient
 open Ls_core
 
 let parse_graph rng spec =
@@ -124,12 +126,57 @@ let make_oracle ~engine ~t inst =
   | "saw" -> Inference.saw_oracle ~depth:t inst
   | other -> failwith (Printf.sprintf "unknown engine %S (ball|saw)" other)
 
+(* Flag validation funnels through the library constructors so the CLI and
+   the API reject exactly the same values; the rejection path mirrors
+   --domains: named message on stderr, exit 2. *)
+let faults_of_flags ~seed ~fault_rate ~crash_rate =
+  try Faults.make ~seed ~drop:fault_rate ~crash:crash_rate ()
+  with Invalid_argument msg ->
+    Printf.eprintf "locsample: %s\n" msg;
+    exit 2
+
+let policy_of_flags ~retry_budget =
+  try Resilient.policy ~retry_budget ()
+  with Invalid_argument msg ->
+    Printf.eprintf "locsample: %s\n" msg;
+    exit 2
+
 (* --- commands ------------------------------------------------------- *)
 
-let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed trials =
+let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~fault_rate
+    ~crash_rate ~policy trials =
   let order = Array.init (Instance.n inst) (fun i -> i) in
+  let faulty = fault_rate > 0. || crash_rate > 0. in
+  if faulty then
+    Printf.printf "fault plan per trial: drop=%g crash=%g, retry budget %d\n"
+      fault_rate crash_rate policy.Resilient.retry_budget;
   let run_one =
-    if exact_jvv then begin
+    if faulty then begin
+      let epsilon =
+        match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
+      in
+      (* Per-trial fault plan seeded from the trial's own stream, so the
+         sweep stays bit-identical across domain counts. *)
+      fun rng ->
+        let fseed = Rng.bits64 rng in
+        let sseed = Rng.bits64 rng in
+        let faults =
+          Faults.make ~seed:fseed ~drop:fault_rate ~crash:crash_rate ()
+        in
+        if exact_jvv then
+          let s =
+            Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
+              ~seed:sseed
+          in
+          (s.Jvv.sresult.Jvv.success, s.Jvv.sresult.Jvv.y)
+        else
+          let r =
+            Local_sampler.sample_resilient oracle ~policy ~faults inst
+              ~seed:sseed
+          in
+          (r.Local_sampler.success, r.Local_sampler.sigma)
+    end
+    else if exact_jvv then begin
       let epsilon =
         match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
       in
@@ -167,12 +214,53 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed trials =
      Printf.printf "first successful sample: %s\n" (m.render sigma));
   0
 
-let sample graph model t seed engine exact_jvv epsilon trials =
+let sample graph model t seed engine exact_jvv epsilon trials fault_rate
+    crash_rate retry_budget =
+  let policy = policy_of_flags ~retry_budget in
+  let faulty = fault_rate > 0. || crash_rate > 0. in
+  (* Validate the rates up front even when one of them is zero. *)
+  let faults =
+    faults_of_flags ~seed:(Int64.of_int (seed + 1)) ~fault_rate ~crash_rate
+  in
   let g, m, inst = make_instance ~graph ~model ~seed in
   Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
     m.describe;
   let oracle = make_oracle ~engine ~t inst in
-  if trials > 1 then sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed trials
+  if trials > 1 then
+    sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~fault_rate
+      ~crash_rate ~policy trials
+  else if faulty then begin
+    if exact_jvv then begin
+      let epsilon =
+        match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
+      in
+      let s =
+        Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
+          ~seed:(Int64.of_int seed)
+      in
+      Printf.printf "JVV exact sampler under %s\n" (Faults.describe faults);
+      Printf.printf "  %s; %s; %d total rounds\n"
+        (if s.Jvv.sresult.Jvv.success then "success"
+         else "DEGRADED (partial sample)")
+        (Resilient.describe s.Jvv.resilience)
+        s.Jvv.total_rounds;
+      Printf.printf "sample: %s\n" (m.render s.Jvv.sresult.Jvv.y)
+    end
+    else begin
+      let r =
+        Local_sampler.sample_resilient oracle ~policy ~faults inst
+          ~seed:(Int64.of_int seed)
+      in
+      Printf.printf "chain-rule sampler under %s\n" (Faults.describe faults);
+      Printf.printf "  %s; %s; %d total rounds\n"
+        (if r.Local_sampler.success then "success"
+         else "degraded (partial sample)")
+        (Resilient.describe (Option.get r.Local_sampler.resilience))
+        r.Local_sampler.rounds;
+      Printf.printf "sample: %s\n" (m.render r.Local_sampler.sigma)
+    end;
+    0
+  end
   else begin
   if exact_jvv then begin
     let epsilon =
@@ -307,8 +395,23 @@ let sample_cmd =
                throughput, and — on small state spaces — the empirical TV \
                against the exact joint distribution).")
   in
+  let fault_rate =
+    Arg.(value & opt float 0. & info [ "fault-rate" ] ~docv:"P"
+         ~doc:"Per-(round, edge) message drop probability of the injected \
+               fault plan (0 disables fault injection; the zero-fault plan \
+               is bit-identical to the reliable runtime).")
+  in
+  let crash_rate =
+    Arg.(value & opt float 0. & info [ "crash-rate" ] ~docv:"P"
+         ~doc:"Per-node crash-stop probability of the injected fault plan.")
+  in
+  let retry_budget =
+    Arg.(value & opt int 3 & info [ "retry-budget" ] ~docv:"R"
+         ~doc:"Max retries (with exponential backoff, charged to the round \
+               meter) before a faulty run degrades to a partial sample.")
+  in
   Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
-    Term.(const (fun () a b c d e f g h -> sample a b c d e f g h) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials)
+    Term.(const (fun () a b c d e f g h i j k -> sample a b c d e f g h i j k) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ retry_budget)
 
 let infer_cmd =
   let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in

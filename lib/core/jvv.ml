@@ -431,6 +431,79 @@ let run_local (oracle : Inference.oracle) ~epsilon inst ~seed =
   in
   finish_local stats (Option.get !out)
 
+module Network = Ls_local.Network
+module Faults = Ls_local.Faults
+module Resilient = Ls_local.Resilient
+
+type supervised = {
+  sresult : result;
+  sstats : Scheduler.stats;
+  resilience : Resilient.report;
+  total_rounds : int;
+}
+
+let count_failed failed =
+  Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed
+
+let run_local_resilient (oracle : Inference.oracle) ~epsilon
+    ?(policy = Resilient.default) ?(faults = Faults.none) inst ~seed =
+  let g = Instance.graph inst in
+  let n = Instance.n inst in
+  (* Ball collection for JVV happens per pass: radii t, t, 3t + l
+     (Claims 4.6/4.7) — each pass floods its own radius, and a node whose
+     flooded view misses part of that pass's ball cannot evaluate its
+     marginal or acceptance ratio, so it fails.  Flooding a pass for
+     exactly its radius leaves no slack rounds, which is what makes
+     message loss bite (a single 9t+2l flood on a small graph would be
+     epidemically redundant and hide the drops). *)
+  let net = Network.create ~faults g ~inputs:(Array.make n ()) ~seed in
+  let t = oracle.Inference.radius in
+  let ell = Instance.locality inst in
+  let pass_radii = [ t; t; (3 * t) + ell ] in
+  let master = Rng.create seed in
+  let best = ref None in
+  let sampler_rounds = ref 0 in
+  let keep (r, s) =
+    match !best with
+    | Some (b, _) when count_failed b.failed <= count_failed r.failed -> ()
+    | _ -> best := Some (r, s)
+  in
+  let run_attempt ~attempt:_ =
+    let payload_seed = Rng.bits64 master in
+    let comm_failed = Array.make n false in
+    List.iter
+      (fun radius ->
+        let views = Network.flood_views net ~radius in
+        for v = 0 to n - 1 do
+          if
+            Network.crashed net v
+            || not (Network.view_is_complete net views.(v))
+          then comm_failed.(v) <- true
+        done)
+      pass_radii;
+    let result, stats = run_local oracle ~epsilon inst ~seed:payload_seed in
+    sampler_rounds := !sampler_rounds + stats.Scheduler.rounds;
+    let failed = Array.mapi (fun v f -> f || comm_failed.(v)) result.failed in
+    let n_failed = count_failed failed in
+    let result = { result with failed; success = n_failed = 0 } in
+    keep (result, stats);
+    if n_failed = 0 then Ok (result, stats)
+    else
+      Error
+        (Printf.sprintf "%d node(s) failed (crash, stalled view, or rejection)"
+           n_failed)
+  in
+  let ok, report =
+    Resilient.run policy ~charge:(Network.charge net) run_attempt
+  in
+  let sresult, sstats = match ok with Some rs -> rs | None -> Option.get !best in
+  {
+    sresult;
+    sstats;
+    resilience = report;
+    total_rounds = !sampler_rounds + Network.rounds net;
+  }
+
 let run_local_certified (oracle : Inference.oracle) ~epsilon inst ~seed =
   (* Composition of the two guarantees: the payload certifies its pass
      localities against the SLOCAL runtime, and the scheduler's same-color

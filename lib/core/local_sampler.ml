@@ -1,6 +1,9 @@
 module Rng = Ls_rng.Rng
 module Dist = Ls_dist.Dist
 module Scheduler = Ls_local.Scheduler
+module Network = Ls_local.Network
+module Faults = Ls_local.Faults
+module Resilient = Ls_local.Resilient
 
 type result = {
   sigma : int array;
@@ -8,6 +11,7 @@ type result = {
   success : bool;
   rounds : int;
   stats : Scheduler.stats;
+  resilience : Resilient.report option;
 }
 
 let sample (oracle : Inference.oracle) inst ~seed =
@@ -41,4 +45,62 @@ let sample (oracle : Inference.oracle) inst ~seed =
     success = stats.Scheduler.failures = 0;
     rounds = stats.Scheduler.rounds;
     stats;
+    resilience = None;
+  }
+
+let count_failed failed =
+  Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed
+
+let sample_resilient (oracle : Inference.oracle)
+    ?(policy = Resilient.default) ?(faults = Faults.none) inst ~seed =
+  let g = Instance.graph inst in
+  let n = Instance.n inst in
+  (* The physical network carrying the fault plan.  Each attempt first runs
+     genuine ball collection over it at the oracle radius: drops, delays and
+     crashes hit the sampler through the same message-passing layer the
+     flood-vs-gather tests validate, and a node whose flooded view misses
+     part of its true ball cannot evaluate its marginal — it is a
+     communication failure, OR-ed into the Las Vegas failure flags. *)
+  let net = Network.create ~faults g ~inputs:(Array.make n ()) ~seed in
+  let radius = oracle.Inference.radius in
+  let master = Rng.create seed in
+  let best = ref None in
+  let sampler_rounds = ref 0 in
+  let keep r =
+    match !best with
+    | Some b when count_failed b.failed <= count_failed r.failed -> ()
+    | _ -> best := Some r
+  in
+  let run_attempt ~attempt:_ =
+    (* Fresh payload randomness per attempt, deterministically derived:
+       attempts are sequential, so the draw order is reproducible. *)
+    let payload_seed = Rng.bits64 master in
+    let views = Network.flood_views net ~radius in
+    let comm_failed =
+      Array.init n (fun v ->
+          Network.crashed net v
+          || not (Network.view_is_complete net views.(v)))
+    in
+    let r = sample oracle inst ~seed:payload_seed in
+    sampler_rounds := !sampler_rounds + r.rounds;
+    let failed = Array.mapi (fun v f -> f || comm_failed.(v)) r.failed in
+    let n_failed = count_failed failed in
+    let r = { r with failed; success = n_failed = 0 } in
+    keep r;
+    if n_failed = 0 then Ok r
+    else
+      Error
+        (Printf.sprintf "%d node(s) failed (crash, stalled view, or cluster)"
+           n_failed)
+  in
+  let ok, report =
+    Resilient.run policy ~charge:(Network.charge net) run_attempt
+  in
+  let r = match ok with Some r -> r | None -> Option.get !best in
+  (* Honest meter: every attempt's scheduler rounds, every flood, every
+     backoff round — nothing is charged to a discarded attempt for free. *)
+  {
+    r with
+    rounds = !sampler_rounds + Network.rounds net;
+    resilience = Some report;
   }

@@ -14,10 +14,12 @@
 
 type result = {
   sigma : int array;  (** The sample (defined even at failed nodes). *)
-  failed : bool array;  (** [F_v]: decomposition failures. *)
+  failed : bool array;  (** [F_v]: decomposition and communication failures. *)
   success : bool;  (** No node failed. *)
   rounds : int;  (** LOCAL rounds charged. *)
   stats : Ls_local.Scheduler.stats;
+  resilience : Ls_local.Resilient.report option;
+      (** Supervision report of {!sample_resilient}; [None] for {!sample}. *)
 }
 
 val sample :
@@ -28,3 +30,21 @@ val sample :
 (** One LOCAL execution: fresh decomposition randomness and fresh per-node
     sampling streams, both derived from [seed] but independent of each
     other. *)
+
+val sample_resilient :
+  Inference.oracle ->
+  ?policy:Ls_local.Resilient.policy ->
+  ?faults:Ls_local.Faults.t ->
+  Instance.t ->
+  seed:int64 ->
+  result
+(** {!sample} supervised on a faulty network.  Each attempt floods every
+    node's radius-[t] ball over a {!Ls_local.Network} carrying [faults];
+    nodes that crashed or whose flooded view is incomplete are communication
+    failures, OR-ed into [failed].  Failed attempts are retried per
+    [policy] with exponential backoff (charged to [rounds], along with
+    every attempt's scheduler and flooding rounds); when the budget runs
+    out the best partial sample is returned with [resilience] marked
+    degraded — graceful degradation, not an exception.  Under
+    [Faults.none] the attempt succeeds immediately and the output law is
+    that of {!sample}. *)

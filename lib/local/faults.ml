@@ -1,0 +1,119 @@
+(* Deterministic, seed-derived fault plans for the LOCAL runtime.
+
+   Every verdict (drop / duplicate / delay / corrupt a message, crash a
+   node) is a pure function of (plan seed, coordinates) — never of a
+   stream position — so a fault pattern is reproducible from its seed
+   alone and independent of the iteration order, the domain count, and
+   how many unrelated decisions were made before it. *)
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix = Ls_rng.Splitmix.mix64
+
+type t = {
+  seed : int64;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  max_delay : int;
+  crash : float;
+  crash_horizon : int;
+  corrupt : float;
+}
+
+let none =
+  {
+    seed = 0L;
+    drop = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    max_delay = 1;
+    crash = 0.;
+    crash_horizon = 64;
+    corrupt = 0.;
+  }
+
+let is_none t =
+  t.drop = 0. && t.duplicate = 0. && t.delay = 0. && t.crash = 0.
+  && t.corrupt = 0.
+
+let check_rate name x =
+  if not (x >= 0. && x <= 1.) then
+    invalid_arg
+      (Printf.sprintf "Faults.make: %s must be a probability in [0,1], got %g"
+         name x)
+
+let make ?(seed = 1L) ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.)
+    ?(max_delay = 1) ?(crash = 0.) ?(crash_horizon = 64) ?(corrupt = 0.) () =
+  check_rate "drop (--fault-rate)" drop;
+  check_rate "duplicate" duplicate;
+  check_rate "delay" delay;
+  check_rate "crash (--crash-rate)" crash;
+  check_rate "corrupt" corrupt;
+  if max_delay < 1 then
+    invalid_arg
+      (Printf.sprintf "Faults.make: max_delay must be >= 1, got %d" max_delay);
+  if crash_horizon < 1 then
+    invalid_arg
+      (Printf.sprintf "Faults.make: crash_horizon must be >= 1, got %d"
+         crash_horizon);
+  { seed; drop; duplicate; delay; max_delay; crash; crash_horizon; corrupt }
+
+(* Coordinate-indexed uniform variate: chain the bijective finalizer over
+   the coordinates, each offset by the SplitMix golden gamma so that
+   nearby coordinates land in distant states. *)
+let u01 t ~salt ~round ~a ~b =
+  let feed h x = mix (Int64.add h (Int64.mul (Int64.of_int x) gamma)) in
+  let h = mix (Int64.add t.seed (Int64.mul (Int64.of_int salt) gamma)) in
+  let h = feed (feed (feed h round) a) b in
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1.0p-53
+
+(* Salts keep the verdict families independent of each other. *)
+let salt_drop = 1
+let salt_duplicate = 2
+let salt_delay_coin = 3
+let salt_delay_len = 4
+let salt_crash_coin = 5
+let salt_crash_round = 6
+let salt_corrupt = 7
+
+let dropped t ~round ~src ~dst =
+  t.drop > 0. && u01 t ~salt:salt_drop ~round ~a:src ~b:dst < t.drop
+
+let copies t ~round ~src ~dst =
+  if dropped t ~round ~src ~dst then 0
+  else if
+    t.duplicate > 0.
+    && u01 t ~salt:salt_duplicate ~round ~a:src ~b:dst < t.duplicate
+  then 2
+  else 1
+
+let delay_of t ~round ~src ~dst ~copy =
+  if t.delay > 0. && u01 t ~salt:salt_delay_coin ~round ~a:src ~b:(dst + copy) < t.delay
+  then
+    1
+    + int_of_float
+        (u01 t ~salt:salt_delay_len ~round ~a:src ~b:(dst + copy)
+        *. float_of_int t.max_delay)
+  else 0
+
+let corrupted t ~round ~src ~dst =
+  t.corrupt > 0. && u01 t ~salt:salt_corrupt ~round ~a:src ~b:dst < t.corrupt
+
+let crash_round t ~node =
+  if t.crash > 0. && u01 t ~salt:salt_crash_coin ~round:0 ~a:node ~b:0 < t.crash
+  then
+    Some
+      (int_of_float
+         (u01 t ~salt:salt_crash_round ~round:0 ~a:node ~b:0
+         *. float_of_int t.crash_horizon))
+  else None
+
+let describe t =
+  if is_none t then "no faults"
+  else
+    Printf.sprintf
+      "faults(seed=%Ld drop=%g dup=%g delay=%g(max %d) crash=%g(by round %d) \
+       corrupt=%g)"
+      t.seed t.drop t.duplicate t.delay t.max_delay t.crash t.crash_horizon
+      t.corrupt

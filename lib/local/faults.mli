@@ -1,0 +1,71 @@
+(** Deterministic fault plans for the LOCAL runtime.
+
+    A plan describes an adverse network: per-edge message drop, duplication
+    and delay distributions, per-node crash-stop at a sampled round, and an
+    optional payload-corruption rate (the corrupting {e function} is
+    supplied by the caller of {!Network.run_broadcast}, since payloads are
+    polymorphic).  Every verdict is a {b pure function of the plan seed and
+    its coordinates} (round, edge endpoints, copy index) — not of a stream
+    position — so a fault pattern is bit-reproducible from its seed,
+    independent of iteration order and of the {!Ls_par} domain count, and
+    two executions over the same network diverge only through the
+    monotonically advancing fault clock (see {!Network.clock}).
+
+    The zero-fault plan {!none} is special-cased by the runtime: execution
+    under it is {e bit-identical} to the fault-free code path. *)
+
+type t = private {
+  seed : int64;
+  drop : float;  (** Per-(round, directed edge) message loss probability. *)
+  duplicate : float;  (** Probability a surviving message is sent twice. *)
+  delay : float;  (** Probability a copy is delayed by 1..[max_delay] rounds. *)
+  max_delay : int;
+  crash : float;  (** Per-node probability of crash-stop. *)
+  crash_horizon : int;
+      (** Crash rounds are sampled uniformly from [0, crash_horizon). *)
+  corrupt : float;  (** Per-(round, edge) payload-corruption probability. *)
+}
+
+val none : t
+(** The zero-fault plan: perfectly reliable network, nobody crashes. *)
+
+val is_none : t -> bool
+
+val make :
+  ?seed:int64 ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay:float ->
+  ?max_delay:int ->
+  ?crash:float ->
+  ?crash_horizon:int ->
+  ?corrupt:float ->
+  unit ->
+  t
+(** Build a validated plan.  All rates must lie in [\[0,1]] and
+    [max_delay], [crash_horizon] must be ≥ 1, else [Invalid_argument]
+    naming the offending parameter (the CLI flags [--fault-rate] and
+    [--crash-rate] funnel through this check). *)
+
+(** {1 Verdicts}
+
+    [round] is the network's absolute fault clock, so retried phases draw
+    fresh verdicts while remaining deterministic. *)
+
+val dropped : t -> round:int -> src:int -> dst:int -> bool
+
+val copies : t -> round:int -> src:int -> dst:int -> int
+(** 0 (dropped), 1, or 2 (duplicated). *)
+
+val delay_of : t -> round:int -> src:int -> dst:int -> copy:int -> int
+(** Extra rounds before copy [copy] arrives: 0, or 1..[max_delay]. *)
+
+val corrupted : t -> round:int -> src:int -> dst:int -> bool
+
+val crash_round : t -> node:int -> int option
+(** The absolute round at which [node] crash-stops, if it ever does.  A
+    crashed node neither sends nor receives from that round on; its state
+    is frozen. *)
+
+val describe : t -> string
+(** One-line human-readable summary, e.g. for experiment headers. *)

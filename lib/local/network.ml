@@ -7,17 +7,36 @@ type 'input t = {
   rngs : Rng.t array;
   mutable rounds : int;
   mutable bits : int;
+  faults : Faults.t;
+  crash_at : int array;  (* absolute round of crash-stop; max_int = never *)
+  mutable clock : int;  (* absolute broadcast rounds elapsed; never reset *)
 }
 
-let create graph ~inputs ~seed =
+let create ?(faults = Faults.none) graph ~inputs ~seed =
   if Array.length inputs <> Graph.n graph then
     invalid_arg "Network.create: one input per vertex required";
-  { graph; inputs; rngs = Rng.streams seed (Graph.n graph); rounds = 0; bits = 0 }
+  {
+    graph;
+    inputs;
+    rngs = Rng.streams seed (Graph.n graph);
+    rounds = 0;
+    bits = 0;
+    faults;
+    crash_at =
+      Array.init (Graph.n graph) (fun v ->
+          match Faults.crash_round faults ~node:v with
+          | Some r -> r
+          | None -> max_int);
+    clock = 0;
+  }
 
 let graph t = t.graph
 let input t v = t.inputs.(v)
 let rng t v = t.rngs.(v)
 let rounds t = t.rounds
+let faults t = t.faults
+let clock t = t.clock
+let crashed t v = t.crash_at.(v) <= t.clock
 
 let charge t r =
   if r < 0 then invalid_arg "Network.charge: negative rounds";
@@ -26,6 +45,8 @@ let charge t r =
 let reset_rounds t = t.rounds <- 0
 
 let bits t = t.bits
+
+let reset_bits t = t.bits <- 0
 
 type 'input view = {
   center : int;
@@ -63,7 +84,14 @@ let in_view view orig = Hashtbl.mem view.local_of_orig orig
 
 let local view orig = Hashtbl.find view.local_of_orig orig
 
-let run_broadcast t ~rounds ?size ~init ~emit ~merge () =
+let view_is_complete t view =
+  (* Flooded knowledge is always a subset of the true ball (messages carry
+     only true records), so cardinality equality is completeness. *)
+  Array.length view.vertices = Array.length (Graph.ball t.graph view.center view.radius)
+
+(* The fault-free synchronous executor — kept verbatim as its own function
+   so the zero-fault plan is bit-identical to the pre-fault runtime. *)
+let run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge () =
   let n = Graph.n t.graph in
   let states = Array.init n init in
   for _round = 1 to rounds do
@@ -82,6 +110,64 @@ let run_broadcast t ~rounds ?size ~init ~emit ~merge () =
       states.(v) <- merge v states.(v) inbox
     done
   done;
+  states
+
+(* The faulty executor: every directed (round, edge) message is subjected
+   to the plan's drop/duplicate/delay/corrupt verdicts, crashed nodes
+   freeze, and delayed copies are parked in per-arrival-round inboxes.
+   Inbox order is deterministic: (send round, sender id, copy index). *)
+let run_broadcast_faulty t ~rounds ?size ?corrupt ~init ~emit ~merge () =
+  let n = Graph.n t.graph in
+  let fp = t.faults in
+  let states = Array.init n init in
+  let max_delay = if fp.Faults.delay > 0. then fp.Faults.max_delay else 0 in
+  let inboxes = Array.init (rounds + max_delay) (fun _ -> Array.make n []) in
+  for round = 0 to rounds - 1 do
+    let abs = t.clock + round in
+    let alive v = t.crash_at.(v) > abs in
+    let outgoing =
+      Array.mapi (fun v s -> if alive v then Some (emit v s) else None) states
+    in
+    for v = 0 to n - 1 do
+      match outgoing.(v) with
+      | None -> ()
+      | Some msg ->
+          Array.iter
+            (fun u ->
+              let copies = Faults.copies fp ~round:abs ~src:v ~dst:u in
+              for copy = 1 to copies do
+                let d = Faults.delay_of fp ~round:abs ~src:v ~dst:u ~copy in
+                let msg =
+                  match corrupt with
+                  | Some f when Faults.corrupted fp ~round:abs ~src:v ~dst:u ->
+                      f ~round:abs ~src:v ~dst:u msg
+                  | _ -> msg
+                in
+                (* Bits are metered per transmitted copy: dropped messages
+                   never hit the wire, duplicates pay twice. *)
+                (match size with
+                | Some size -> t.bits <- t.bits + size msg
+                | None -> ());
+                let slot = round + d in
+                if slot < Array.length inboxes then
+                  inboxes.(slot).(u) <- msg :: inboxes.(slot).(u)
+              done)
+            (Graph.neighbors t.graph v)
+    done;
+    for v = 0 to n - 1 do
+      if alive v then
+        states.(v) <- merge v states.(v) (List.rev inboxes.(round).(v))
+    done
+  done;
+  states
+
+let run_broadcast t ~rounds ?size ?corrupt ~init ~emit ~merge () =
+  let states =
+    if Faults.is_none t.faults then
+      run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge ()
+    else run_broadcast_faulty t ~rounds ?size ?corrupt ~init ~emit ~merge ()
+  in
+  t.clock <- t.clock + rounds;
   charge t rounds;
   states
 
@@ -132,7 +218,10 @@ let flood_views t ~radius =
       done;
       (* The ball is exactly the vertices reached within [radius]; flooding
          may also have leaked ids at distance radius+... no: a record takes
-         dist(u,v) rounds to arrive, so everything known is within radius. *)
+         dist(u,v) rounds to arrive, so everything known is within radius.
+         Under faults the reachable set can be a strict subset of the true
+         ball (dropped or late records): the view is then partial, which
+         {!view_is_complete} detects. *)
       let ball =
         Array.of_list
           (List.filter (fun u -> Hashtbl.mem dist u) (List.map fst (Imap.bindings known)))

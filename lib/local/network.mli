@@ -11,18 +11,43 @@
 
     For fidelity, {!run_broadcast} executes genuine synchronous message
     passing; {!flood_views} implements ball-collection on top of it, and the
-    test suite checks it reconstructs the same views as {!gather}. *)
+    test suite checks it reconstructs the same views as {!gather}.
+
+    {b Fault injection.}  A network can carry a {!Faults} plan: messages on
+    the {!run_broadcast} path are then dropped, duplicated, delayed or
+    corrupted per the plan's deterministic verdicts, and nodes crash-stop
+    at their sampled rounds.  Verdicts are keyed by the network's
+    monotonically advancing {!clock}, so a retried phase faces fresh faults
+    while the whole execution stays a pure function of the seeds.  The
+    zero-fault plan runs the pre-fault executor verbatim — bit-identical
+    behaviour.  {!gather} is fault-oblivious by design: it is the
+    information-theoretic primitive, whereas faults model the physical
+    message-passing realization. *)
 
 type 'input t
 
-val create : Ls_graph.Graph.t -> inputs:'input array -> seed:int64 -> 'input t
+val create :
+  ?faults:Faults.t -> Ls_graph.Graph.t -> inputs:'input array -> seed:int64 -> 'input t
 (** One input per vertex; node [v]'s random stream is derived from [seed]
-    and [v]. *)
+    and [v].  [faults] (default {!Faults.none}) fixes the fault plan for
+    the network's lifetime; crash rounds are sampled at creation. *)
 
 val graph : _ t -> Ls_graph.Graph.t
 val input : 'i t -> int -> 'i
 val rng : _ t -> int -> Ls_rng.Rng.t
 (** Node [v]'s private stream (the same object on every call). *)
+
+(** {1 Fault state} *)
+
+val faults : _ t -> Faults.t
+
+val clock : _ t -> int
+(** Absolute broadcast rounds executed so far.  Unlike {!rounds} it is
+    never reset: fault verdicts are keyed by it, so repeated phases draw
+    fresh (but deterministic) faults. *)
+
+val crashed : _ t -> int -> bool
+(** Has node [v] crash-stopped by the current {!clock}? *)
 
 (** {1 Round accounting} *)
 
@@ -39,7 +64,14 @@ val bits : _ t -> int
 (** Total message bits sent so far over all {!run_broadcast} calls whose
     [size] callback was provided.  The paper leaves CONGEST-style bounded
     messages as an open problem (§6); this meter quantifies how far the
-    simulated algorithms are from that regime. *)
+    simulated algorithms are from that regime.  Under a fault plan the
+    meter counts transmitted copies: dropped messages never hit the wire,
+    duplicates pay twice. *)
+
+val reset_bits : _ t -> unit
+(** Zero the bit meter (e.g. between fault trials sharing one process, so
+    stale counts don't accumulate).  {!clock} is deliberately not
+    resettable. *)
 
 (** {1 Local views} *)
 
@@ -64,12 +96,19 @@ val in_view : _ view -> int -> bool
 val local : _ view -> int -> int
 (** Local id of an original vertex; raises [Not_found] outside the view. *)
 
+val view_is_complete : 'i t -> 'i view -> bool
+(** Does the view cover the {e true} radius-[t] ball of its center?
+    Always true for {!gather}; a {!flood_views} view under faults may be a
+    strict subset — the detectable signature of stalled ball-collection
+    that {!Resilient} supervises. *)
+
 (** {1 Genuine synchronous message passing} *)
 
 val run_broadcast :
   'i t ->
   rounds:int ->
   ?size:('m -> int) ->
+  ?corrupt:(round:int -> src:int -> dst:int -> 'm -> 'm) ->
   init:(int -> 's) ->
   emit:(int -> 's -> 'm) ->
   merge:(int -> 's -> 'm list -> 's) ->
@@ -77,11 +116,21 @@ val run_broadcast :
   's array
 (** Execute [rounds] synchronous rounds: each round, every node [v]
     broadcasts [emit v state] to all neighbors, then folds the received
-    messages (in neighbor order) with [merge].  Charges [rounds] rounds;
-    when [size] is given, each message's bit count is charged per
-    receiving edge endpoint (see {!bits}). *)
+    messages with [merge].  Charges [rounds] rounds; when [size] is given,
+    message bit counts are metered (see {!bits}).
+
+    Under the network's fault plan, each directed (round, edge) message is
+    subjected to the plan's verdicts: it may be dropped, duplicated,
+    delayed (parked until its arrival round; copies outliving the
+    broadcast are lost), or — when the plan's corrupt rate fires {e and}
+    the caller supplied [corrupt] — rewritten by that hook.  Crashed nodes
+    neither emit nor merge; their states freeze.  Inbox order is
+    deterministic: (send round, sender id, copy index).  Under the
+    zero-fault plan the pre-fault executor runs verbatim (bit-identical
+    inbox order and metering). *)
 
 val flood_views : 'i t -> radius:int -> 'i view array
 (** Build every node's radius-[t] view using only {!run_broadcast} — the
     executable proof that [gather] grants no more information than [t]
-    rounds of real communication. *)
+    rounds of real communication.  Under faults, views may be partial
+    (see {!view_is_complete}). *)

@@ -1,0 +1,145 @@
+(* Bounded retry with exponential backoff for Las Vegas phases running on
+   a faulty network, plus stalled-ball-collection supervision.
+
+   The supervisor never hides cost: every backoff round is charged to the
+   caller's round meter, and every retry re-runs the supervised phase on
+   the live network (whose fault clock has advanced, so the retry faces
+   fresh — but deterministic — fault verdicts).  When the budget runs out
+   the caller gets a structured degradation report instead of an
+   exception: graceful degradation is a result, not a crash. *)
+
+module Graph = Ls_graph.Graph
+
+type policy = {
+  retry_budget : int;
+  backoff_base : int;
+  backoff_factor : int;
+}
+
+let policy ?(retry_budget = 3) ?(backoff_base = 1) ?(backoff_factor = 2) () =
+  if retry_budget < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Resilient.policy: retry_budget (--retry-budget) must be >= 0, got %d"
+         retry_budget);
+  if backoff_base < 1 then
+    invalid_arg
+      (Printf.sprintf "Resilient.policy: backoff_base must be >= 1, got %d"
+         backoff_base);
+  if backoff_factor < 1 then
+    invalid_arg
+      (Printf.sprintf "Resilient.policy: backoff_factor must be >= 1, got %d"
+         backoff_factor);
+  { retry_budget; backoff_base; backoff_factor }
+
+let default = policy ()
+
+type report = {
+  attempts : int;
+  backoff_rounds : int;
+  degraded : bool;
+  reasons : string list;
+}
+
+let clean = { attempts = 1; backoff_rounds = 0; degraded = false; reasons = [] }
+
+let describe r =
+  if not r.degraded then
+    Printf.sprintf "ok after %d attempt(s), %d backoff round(s)" r.attempts
+      r.backoff_rounds
+  else
+    Printf.sprintf "degraded after %d attempt(s), %d backoff round(s): %s"
+      r.attempts r.backoff_rounds
+      (String.concat "; " r.reasons)
+
+let run pol ?(charge = fun _ -> ()) f =
+  let reasons = ref [] in
+  let backoff = ref 0 in
+  let rec go attempt delay =
+    match f ~attempt with
+    | Ok x ->
+        ( Some x,
+          {
+            attempts = attempt + 1;
+            backoff_rounds = !backoff;
+            degraded = false;
+            reasons = List.rev !reasons;
+          } )
+    | Error why ->
+        reasons := Printf.sprintf "attempt %d: %s" (attempt + 1) why :: !reasons;
+        if attempt >= pol.retry_budget then
+          ( None,
+            {
+              attempts = attempt + 1;
+              backoff_rounds = !backoff;
+              degraded = true;
+              reasons = List.rev !reasons;
+            } )
+        else begin
+          (* Exponential backoff, honestly charged to the round meter. *)
+          charge delay;
+          backoff := !backoff + delay;
+          go (attempt + 1) (delay * pol.backoff_factor)
+        end
+  in
+  go 0 pol.backoff_base
+
+let collect_views net ~policy:pol ~radius =
+  let n = Graph.n (Network.graph net) in
+  let better a b =
+    if
+      Array.length b.Network.vertices > Array.length a.Network.vertices
+    then b
+    else a
+  in
+  let best = Network.flood_views net ~radius in
+  let stalled () =
+    (* Crashed nodes are permanent failures, not stalls: no retry can help
+       them, so they never justify burning budget. *)
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if (not (Network.crashed net v)) && not (Network.view_is_complete net best.(v))
+      then incr count
+    done;
+    !count
+  in
+  let reasons = ref [] in
+  let backoff = ref 0 in
+  let attempts = ref 1 in
+  let delay = ref pol.backoff_base in
+  let retries = ref 0 in
+  while stalled () > 0 && !retries < pol.retry_budget do
+    reasons :=
+      Printf.sprintf "attempt %d: %d node(s) stalled on ball collection"
+        !attempts (stalled ())
+      :: !reasons;
+    Network.charge net !delay;
+    backoff := !backoff + !delay;
+    delay := !delay * pol.backoff_factor;
+    incr retries;
+    incr attempts;
+    (* Re-flood on the live network: the fault clock has advanced, so this
+       attempt draws fresh verdicts.  Keep each node's best view so far —
+       flooded knowledge only grows across attempts. *)
+    let again = Network.flood_views net ~radius in
+    Array.iteri (fun v w -> best.(v) <- better best.(v) w) again
+  done;
+  let failed =
+    Array.init n (fun v ->
+        Network.crashed net v || not (Network.view_is_complete net best.(v)))
+  in
+  let n_failed = Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed in
+  if n_failed > 0 then
+    reasons :=
+      Printf.sprintf
+        "budget exhausted with %d node(s) failed (crashed or stalled)" n_failed
+      :: !reasons;
+  let report =
+    {
+      attempts = !attempts;
+      backoff_rounds = !backoff;
+      degraded = n_failed > 0;
+      reasons = List.rev !reasons;
+    }
+  in
+  (best, failed, report)

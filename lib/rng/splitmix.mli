@@ -13,6 +13,13 @@ type t
 val create : int64 -> t
 (** [create seed] makes a fresh generator from a 64-bit seed. *)
 
+val mix64 : int64 -> int64
+(** The stateless SplitMix64 finalizer (Stafford's MurmurHash3 variant 13):
+    a bijective avalanche mix of one 64-bit word.  Exposed for modules that
+    need {e coordinate-indexed} randomness — a decision that is a pure
+    function of [(seed, coordinates)] rather than of a stream position, e.g.
+    the per-(round, edge) verdicts of {!Ls_local.Faults}. *)
+
 val copy : t -> t
 (** [copy g] is an independent clone that will replay [g]'s future output. *)
 

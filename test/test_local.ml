@@ -272,6 +272,20 @@ let test_flood_views_meter_bits () =
   let (_ : unit Network.view array) = Network.flood_views net ~radius:2 in
   checkb "bits metered on flooding" true (Network.bits net > 0)
 
+let test_reset_bits () =
+  (* Repeated trials over one network must not accumulate stale counts:
+     reset_bits re-zeroes the meter, and a fault-free re-flood then meters
+     exactly the first trial's bits again. *)
+  let g = Generators.cycle 6 in
+  let net = Network.create g ~inputs:(Array.make 6 ()) ~seed:30L in
+  let (_ : unit Network.view array) = Network.flood_views net ~radius:2 in
+  let first = Network.bits net in
+  checkb "bits metered" true (first > 0);
+  Network.reset_bits net;
+  checki "meter re-zeroed" 0 (Network.bits net);
+  let (_ : unit Network.view array) = Network.flood_views net ~radius:2 in
+  checki "fresh trial meters the same bits, not 2x" first (Network.bits net)
+
 let qcheck_decomposition_valid =
   QCheck.Test.make ~name:"Linial-Saks is always a valid decomposition" ~count:30
     QCheck.(pair small_int (int_range 4 25))
@@ -306,5 +320,6 @@ let suite =
     Alcotest.test_case "scheduler rounds scale" `Quick test_scheduler_rounds_scale;
     Alcotest.test_case "scheduler failure path" `Quick test_scheduler_failure_path;
     Alcotest.test_case "flooding meters bits" `Quick test_flood_views_meter_bits;
+    Alcotest.test_case "reset_bits re-zeroes the meter" `Quick test_reset_bits;
     QCheck_alcotest.to_alcotest qcheck_decomposition_valid;
   ]

@@ -1,16 +1,33 @@
-(* Failure injection: feed the reductions a deliberately lying inference
-   oracle and check that the guarantees degrade exactly the way the
-   theorems say — gradually for the chain-rule sampler (Theorem 3.2's
-   n·delta coupling bound), and loudly for JVV (clamps flag the moment the
-   slack stops covering the oracle error, instead of silent bias). *)
+(* Failure injection, on two axes.
+
+   Oracle axis: feed the reductions a deliberately lying inference oracle
+   and check that the guarantees degrade exactly the way the theorems say
+   — gradually for the chain-rule sampler (Theorem 3.2's n·delta coupling
+   bound), and loudly for JVV (clamps flag the moment the slack stops
+   covering the oracle error, instead of silent bias).
+
+   Network axis: inject message drops and crash-stops into the LOCAL
+   runtime (Ls_local.Faults) and check the degradation contract — the
+   zero-fault plan is bit-identical to the reliable runtime, faults cost
+   availability but never correctness (conditional exactness survives),
+   and the retry/backoff supervisor (Ls_local.Resilient) recovers what a
+   bounded budget can recover while reporting what it cannot. *)
 
 module Generators = Ls_graph.Generators
 module Dist = Ls_dist.Dist
 module Models = Ls_gibbs.Models
+module Graph = Ls_graph.Graph
+module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
+module Empirical = Ls_dist.Empirical
+module Network = Ls_local.Network
+module Faults = Ls_local.Faults
+module Resilient = Ls_local.Resilient
 
 open Ls_core
 
 let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
 let ident_order n = Array.init n (fun i -> i)
 
 (* An oracle with a controlled, deterministic, SUPPORT-PRESERVING lie:
@@ -107,6 +124,218 @@ let test_glauber_vs_biased_sampler () =
   checkb "biased sampler measurably off" true (biased > 0.05);
   checkb "glauber below the biased sampler" true (glauber_err < biased)
 
+(* --- network-fault axis ------------------------------------------------ *)
+
+let views_equal (a : 'i Network.view) (b : 'i Network.view) =
+  a.Network.vertices = b.Network.vertices
+  && Graph.edges a.Network.subgraph = Graph.edges b.Network.subgraph
+  && a.Network.view_inputs = b.Network.view_inputs
+  && a.Network.dist_center = b.Network.dist_center
+  && a.Network.center_local = b.Network.center_local
+
+let test_zero_fault_flood_matches_gather () =
+  (* Regression for the fault layer's bit-identity contract: under the
+     explicit zero-fault plan, flooding still reconstructs exactly the
+     views gather grants — the plan's presence must not perturb anything. *)
+  let plan = Faults.make ~seed:17L () in
+  checkb "all-zero plan is the zero-fault plan" true (Faults.is_none plan);
+  List.iter
+    (fun g ->
+      let n = Graph.n g in
+      let inputs = Array.init n (fun v -> v * 3) in
+      let net = Network.create ~faults:plan g ~inputs ~seed:18L in
+      List.iter
+        (fun radius ->
+          let flooded = Network.flood_views net ~radius in
+          for v = 0 to n - 1 do
+            checkb "zero-fault flooded view equals gather" true
+              (views_equal flooded.(v) (Network.gather net ~v ~radius));
+            checkb "complete" true (Network.view_is_complete net flooded.(v))
+          done)
+        [ 0; 1; 2; 3 ])
+    [ Generators.path 6; Generators.cycle 7; Generators.grid 3 3 ]
+
+let test_drop_faults_detected () =
+  (* Heavy message loss must leave some flooded ball incomplete, and
+     view_is_complete must say so; gather stays fault-oblivious. *)
+  let g = Generators.cycle 8 in
+  let faults = Faults.make ~seed:5L ~drop:0.5 () in
+  let net = Network.create ~faults g ~inputs:(Array.make 8 ()) ~seed:6L in
+  let flooded = Network.flood_views net ~radius:2 in
+  let incomplete =
+    Array.exists (fun v -> not (Network.view_is_complete net v)) flooded
+  in
+  checkb "drops stall some ball collection" true incomplete;
+  for v = 0 to 7 do
+    checkb "gather is fault-oblivious" true
+      (Network.view_is_complete net (Network.gather net ~v ~radius:2))
+  done
+
+let test_crash_faults_freeze_nodes () =
+  (* crash=1 with horizon 1 crashes everyone at round 0: nobody emits, so
+     every flooded view degenerates to the bare center. *)
+  let g = Generators.cycle 6 in
+  let faults = Faults.make ~seed:7L ~crash:1.0 ~crash_horizon:1 () in
+  let net = Network.create ~faults g ~inputs:(Array.make 6 ()) ~seed:8L in
+  let flooded = Network.flood_views net ~radius:2 in
+  for v = 0 to 5 do
+    checkb "crashed" true (Network.crashed net v);
+    checki "view is the bare center" 1
+      (Array.length flooded.(v).Network.vertices);
+    checkb "incomplete" false (Network.view_is_complete net flooded.(v))
+  done
+
+let test_fault_plan_deterministic () =
+  (* Verdicts are pure functions of (seed, coordinates): two plans with the
+     same seed agree everywhere, a different seed disagrees somewhere. *)
+  let a = Faults.make ~seed:11L ~drop:0.3 () in
+  let b = Faults.make ~seed:11L ~drop:0.3 () in
+  let c = Faults.make ~seed:12L ~drop:0.3 () in
+  let pattern plan =
+    List.init 200 (fun i ->
+        Faults.dropped plan ~round:(i / 20) ~src:(i mod 20) ~dst:(i mod 7))
+  in
+  checkb "same seed, same verdicts" true (pattern a = pattern b);
+  checkb "different seed, different verdicts" true (pattern a <> pattern c)
+
+(* One named-error test per CLI flag, against the library constructor the
+   executables funnel through (same rejection text, library-level). *)
+let test_fault_rate_flag_validated () =
+  Alcotest.check_raises "drop > 1 rejected"
+    (Invalid_argument
+       "Faults.make: drop (--fault-rate) must be a probability in [0,1], got 1.5")
+    (fun () -> ignore (Faults.make ~drop:1.5 ()))
+
+let test_crash_rate_flag_validated () =
+  Alcotest.check_raises "negative crash rejected"
+    (Invalid_argument
+       "Faults.make: crash (--crash-rate) must be a probability in [0,1], got -0.1")
+    (fun () -> ignore (Faults.make ~crash:(-0.1) ()))
+
+let test_retry_budget_flag_validated () =
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument
+       "Resilient.policy: retry_budget (--retry-budget) must be >= 0, got -1")
+    (fun () -> ignore (Resilient.policy ~retry_budget:(-1) ()))
+
+let test_retry_backoff_accounting () =
+  (* Two failures then success: 3 attempts, backoff 1 + 2 = 3 rounds, all
+     charged; a clean report. *)
+  let charged = ref 0 in
+  let calls = ref 0 in
+  let x, report =
+    Resilient.run
+      (Resilient.policy ~retry_budget:3 ~backoff_base:1 ~backoff_factor:2 ())
+      ~charge:(fun r -> charged := !charged + r)
+      (fun ~attempt ->
+        incr calls;
+        if attempt < 2 then Error "transient" else Ok attempt)
+  in
+  checki "succeeded on third attempt" 2 (Option.get x);
+  checki "three calls" 3 !calls;
+  checki "attempts reported" 3 report.Resilient.attempts;
+  checkb "not degraded" false report.Resilient.degraded;
+  checki "backoff 1+2 charged" 3 !charged;
+  checki "backoff recorded" 3 report.Resilient.backoff_rounds;
+  checki "one reason per failure" 2 (List.length report.Resilient.reasons)
+
+let test_budget_exhaustion_degrades () =
+  let x, report =
+    Resilient.run
+      (Resilient.policy ~retry_budget:2 ())
+      (fun ~attempt:_ -> Error "hopeless")
+  in
+  checkb "no value" true (x = None);
+  checkb "degraded" true report.Resilient.degraded;
+  checki "initial try + budget" 3 report.Resilient.attempts;
+  checki "every failure explained" 3 (List.length report.Resilient.reasons)
+
+let test_collect_views_recovers () =
+  (* Supervised ball collection under moderate loss: retries (fresh clock,
+     fresh verdicts) must recover every view no plain flood round got, and
+     the zero-fault plan must succeed on the first attempt. *)
+  let g = Generators.cycle 8 in
+  let policy = Resilient.policy ~retry_budget:8 () in
+  let faults = Faults.make ~seed:21L ~drop:0.3 () in
+  let net = Network.create ~faults g ~inputs:(Array.make 8 ()) ~seed:22L in
+  let views, failed, report = Resilient.collect_views net ~policy ~radius:2 in
+  checkb "recovered within budget" false report.Resilient.degraded;
+  checkb "no failed nodes" true (Array.for_all not failed);
+  Array.iter
+    (fun v -> checkb "complete" true (Network.view_is_complete net v))
+    views;
+  let net0 = Network.create g ~inputs:(Array.make 8 ()) ~seed:23L in
+  let _, failed0, report0 = Resilient.collect_views net0 ~policy ~radius:2 in
+  checki "fault-free: one attempt" 1 report0.Resilient.attempts;
+  checki "fault-free: no backoff" 0 report0.Resilient.backoff_rounds;
+  checkb "fault-free: nobody fails" true (Array.for_all not failed0)
+
+let test_resilient_sampler_degrades_gracefully () =
+  (* Total message loss: no budget can save this, so the supervisor must
+     return a partial result with a degraded report — not raise. *)
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle 8) ~lambda:1.)
+  in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let faults = Faults.make ~seed:31L ~drop:1.0 () in
+  let policy = Resilient.policy ~retry_budget:2 () in
+  let r = Local_sampler.sample_resilient oracle ~policy ~faults inst ~seed:32L in
+  let report = Option.get r.Local_sampler.resilience in
+  checkb "degraded" true report.Resilient.degraded;
+  checkb "not successful" false r.Local_sampler.success;
+  checkb "some nodes flagged" true (Array.exists (fun f -> f) r.Local_sampler.failed);
+  checki "sigma still total" 8 (Array.length r.Local_sampler.sigma);
+  checkb "budget respected" true (report.Resilient.attempts <= 3);
+  checkb "rounds include backoff" true
+    (r.Local_sampler.rounds > report.Resilient.backoff_rounds)
+
+let test_resilient_sampler_reproducible () =
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle 8) ~lambda:1.)
+  in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let faults = Faults.make ~seed:41L ~drop:0.1 ~crash:0.05 () in
+  let run () =
+    let r = Local_sampler.sample_resilient oracle ~faults inst ~seed:42L in
+    (r.Local_sampler.sigma, r.Local_sampler.failed, r.Local_sampler.rounds)
+  in
+  checkb "same seeds, same execution" true (run () = run ())
+
+let test_jvv_exact_under_faults () =
+  (* The acceptance story of the fault layer: message drops depress the
+     JVV success probability, but conditioned on success the output is
+     still exactly mu (the fault plan's randomness is independent of the
+     payload's, so Lemma 4.8 is untouched).  GOF on the successes at the
+     moderate rate; monotone success decay towards the heavy rate. *)
+  let n = 6 in
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.)
+  in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let epsilon = Jvv.theory_epsilon inst in
+  let policy = Resilient.policy ~retry_budget:3 () in
+  let trials = 400 in
+  let run_at drop =
+    Par.run_trials ~n:trials ~seed:900L (fun rng ->
+        let faults = Faults.make ~seed:(Rng.bits64 rng) ~drop () in
+        let s =
+          Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
+            ~seed:(Rng.bits64 rng)
+        in
+        (s.Jvv.sresult.Jvv.success, s.Jvv.sresult.Jvv.y))
+  in
+  let successes results =
+    Array.fold_left (fun a (ok, _) -> if ok then a + 1 else a) 0 results
+  in
+  let moderate = run_at 0.05 and heavy = run_at 0.2 in
+  checkb "drops depress JVV success" true (successes heavy < successes moderate);
+  checkb "moderate rate keeps most runs" true
+    (successes moderate > trials / 2);
+  let emp = Empirical.create () in
+  Array.iter (fun (ok, y) -> if ok then Empirical.add emp y) moderate;
+  Test_statistics.check_gof "JVV successes under faults vs exact mu"
+    ~significance:0.001 emp (Exact.joint inst)
+
 let suite =
   [
     Alcotest.test_case "sampler degrades linearly" `Quick test_sampler_degrades_linearly;
@@ -115,4 +344,28 @@ let suite =
     Alcotest.test_case "boosting survives small lies" `Quick
       test_boosting_survives_small_lies;
     Alcotest.test_case "glauber vs biased sampler" `Slow test_glauber_vs_biased_sampler;
+    Alcotest.test_case "zero-fault flood = gather" `Quick
+      test_zero_fault_flood_matches_gather;
+    Alcotest.test_case "drop faults detected" `Quick test_drop_faults_detected;
+    Alcotest.test_case "crash faults freeze nodes" `Quick
+      test_crash_faults_freeze_nodes;
+    Alcotest.test_case "fault plan deterministic" `Quick
+      test_fault_plan_deterministic;
+    Alcotest.test_case "--fault-rate validated" `Quick
+      test_fault_rate_flag_validated;
+    Alcotest.test_case "--crash-rate validated" `Quick
+      test_crash_rate_flag_validated;
+    Alcotest.test_case "--retry-budget validated" `Quick
+      test_retry_budget_flag_validated;
+    Alcotest.test_case "retry/backoff accounting" `Quick
+      test_retry_backoff_accounting;
+    Alcotest.test_case "budget exhaustion degrades" `Quick
+      test_budget_exhaustion_degrades;
+    Alcotest.test_case "supervised ball collection recovers" `Quick
+      test_collect_views_recovers;
+    Alcotest.test_case "resilient sampler degrades gracefully" `Quick
+      test_resilient_sampler_degrades_gracefully;
+    Alcotest.test_case "resilient sampler reproducible" `Quick
+      test_resilient_sampler_reproducible;
+    Alcotest.test_case "JVV exact under faults" `Slow test_jvv_exact_under_faults;
   ]
