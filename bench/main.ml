@@ -8,7 +8,10 @@
 
    Tables go to stdout; timing lines go to stderr, so stdout is bit-for-bit
    identical at every domain count and can be diffed to check the engine's
-   determinism contract. *)
+   determinism contract.  `--trace FILE` records the runtime's event
+   stream as JSONL (deterministic modulo the leading "ts" field — strip it
+   and the file diffs clean across domain counts too); `--metrics` prints
+   an aggregate counter table after each section. *)
 
 let sections =
   [
@@ -31,9 +34,12 @@ let sections =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--domains K] [--fault-rate P] [--crash-rate P] \
-     [--retry-budget R] [section ...]\n(known sections: %s)\n"
+     [--retry-budget R] [--trace FILE] [--metrics] [section ...]\n\
+     (known sections: %s)\n"
     (String.concat ", " (List.map fst sections));
   exit 2
+
+let metrics_on = ref false
 
 let parse_args argv =
   (* Each flag also accepts --flag=VALUE, like --domains. *)
@@ -50,19 +56,26 @@ let parse_args argv =
     | "--fault-rate" :: p :: rest -> set_fault_rate p; go acc rest
     | "--crash-rate" :: p :: rest -> set_crash_rate p; go acc rest
     | "--retry-budget" :: r :: rest -> set_retry_budget r; go acc rest
+    | "--trace" :: f :: rest -> set_trace f; go acc rest
+    | "--metrics" :: rest ->
+        metrics_on := true;
+        Ls_obs.Metrics.set_enabled true;
+        go acc rest
     | "--help" :: _ -> usage ()
     | arg :: rest -> (
         match
           ( split_eq "--domains" arg,
             split_eq "--fault-rate" arg,
             split_eq "--crash-rate" arg,
-            split_eq "--retry-budget" arg )
+            split_eq "--retry-budget" arg,
+            split_eq "--trace" arg )
         with
-        | Some k, _, _, _ -> set_domains k; go acc rest
-        | _, Some p, _, _ -> set_fault_rate p; go acc rest
-        | _, _, Some p, _ -> set_crash_rate p; go acc rest
-        | _, _, _, Some r -> set_retry_budget r; go acc rest
-        | None, None, None, None -> go (arg :: acc) rest)
+        | Some k, _, _, _, _ -> set_domains k; go acc rest
+        | _, Some p, _, _, _ -> set_fault_rate p; go acc rest
+        | _, _, Some p, _, _ -> set_crash_rate p; go acc rest
+        | _, _, _, Some r, _ -> set_retry_budget r; go acc rest
+        | _, _, _, _, Some f -> set_trace f; go acc rest
+        | None, None, None, None, None -> go (arg :: acc) rest)
   and set_domains k =
     match int_of_string_opt k with
     | Some k when k >= 1 -> Ls_par.Par.set_domains k
@@ -87,6 +100,10 @@ let parse_args argv =
     | _ ->
         Printf.eprintf "--retry-budget expects an integer >= 0, got %S\n" r;
         exit 2
+  and set_trace f =
+    let t = Ls_obs.Trace.make ~path:f () in
+    Ls_obs.Trace.install t;
+    at_exit (fun () -> Ls_obs.Trace.close t)
   in
   go [] (List.tl (Array.to_list argv))
 
@@ -102,6 +119,13 @@ let () =
       | Some run ->
           let w0 = Unix.gettimeofday () and t0 = Sys.time () in
           run ();
+          if !metrics_on then begin
+            (* Per-section counters, reset between sections so each row
+               stands alone. *)
+            Printf.printf "[%s] " id;
+            Ls_obs.Metrics.print stdout (Ls_obs.Metrics.snapshot ());
+            Ls_obs.Metrics.reset ()
+          end;
           Printf.printf "%!";
           Printf.eprintf "[%s finished in %.1fs wall, %.1fs cpu, %d domains]\n%!"
             id

@@ -339,7 +339,7 @@ let count graph model t seed =
 
 open Cmdliner
 
-let setup_log style_renderer level domains =
+let setup_log style_renderer level domains trace metrics =
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -350,7 +350,18 @@ let setup_log style_renderer level domains =
         exit 2
       end;
       Par.set_domains k)
-    domains
+    domains;
+  Option.iter
+    (fun path ->
+      let t = Ls_obs.Trace.make ~path () in
+      Ls_obs.Trace.install t;
+      at_exit (fun () -> Ls_obs.Trace.close t))
+    trace;
+  if metrics then begin
+    Ls_obs.Metrics.set_enabled true;
+    at_exit (fun () ->
+        Ls_obs.Metrics.print stdout (Ls_obs.Metrics.snapshot ()))
+  end
 
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"K"
@@ -358,9 +369,23 @@ let domains_arg =
              LOCSAMPLE_DOMAINS environment variable, else the core count). \
              Results are identical for every value; only speed changes.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+       ~doc:"Record the runtime's structured event stream (broadcast \
+             phases, applied fault verdicts, crashes, retry supervision, \
+             decompositions, parallel batches) to $(docv) as JSON lines. \
+             Deterministic modulo the leading \"ts\" field: strip it and \
+             the file is byte-identical across --domains counts.")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+       ~doc:"Print an aggregate counter summary (phases, rounds, bits, \
+             messages, fault verdicts, supervision, pool utilization) on \
+             exit.")
+
 let setup_log_term =
   Term.(const setup_log $ Fmt_cli.style_renderer () $ Logs_cli.level ()
-        $ domains_arg)
+        $ domains_arg $ trace_arg $ metrics_arg)
 
 let graph_arg =
   Arg.(value & opt string "cycle:16" & info [ "g"; "graph" ] ~docv:"GRAPH"

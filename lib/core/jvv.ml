@@ -421,13 +421,13 @@ let finish_local stats (result : result) =
   in
   ({ result with failed; success = Array.for_all not failed }, stats)
 
-let run_local (oracle : Inference.oracle) ~epsilon inst ~seed =
+let run_local (oracle : Inference.oracle) ~epsilon ?trace inst ~seed =
   let streams = Rng.streams seed 2 in
   let out = ref None in
   let run ~order = out := Some (run oracle ~epsilon inst ~order ~rng:streams.(1)) in
   let stats =
     Scheduler.compile ~graph:(Instance.graph inst)
-      ~locality:(jvv_locality oracle inst) ~rng:streams.(0) ~run ()
+      ~locality:(jvv_locality oracle inst) ~rng:streams.(0) ?trace ~run ()
   in
   finish_local stats (Option.get !out)
 
@@ -446,7 +446,7 @@ let count_failed failed =
   Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed
 
 let run_local_resilient (oracle : Inference.oracle) ~epsilon
-    ?(policy = Resilient.default) ?(faults = Faults.none) inst ~seed =
+    ?(policy = Resilient.default) ?(faults = Faults.none) ?trace inst ~seed =
   let g = Instance.graph inst in
   let n = Instance.n inst in
   (* Ball collection for JVV happens per pass: radii t, t, 3t + l
@@ -456,7 +456,7 @@ let run_local_resilient (oracle : Inference.oracle) ~epsilon
      exactly its radius leaves no slack rounds, which is what makes
      message loss bite (a single 9t+2l flood on a small graph would be
      epidemically redundant and hide the drops). *)
-  let net = Network.create ~faults g ~inputs:(Array.make n ()) ~seed in
+  let net = Network.create ~faults ?trace g ~inputs:(Array.make n ()) ~seed in
   let t = oracle.Inference.radius in
   let ell = Instance.locality inst in
   let pass_radii = [ t; t; (3 * t) + ell ] in
@@ -481,7 +481,7 @@ let run_local_resilient (oracle : Inference.oracle) ~epsilon
           then comm_failed.(v) <- true
         done)
       pass_radii;
-    let result, stats = run_local oracle ~epsilon inst ~seed:payload_seed in
+    let result, stats = run_local oracle ~epsilon ?trace inst ~seed:payload_seed in
     sampler_rounds := !sampler_rounds + stats.Scheduler.rounds;
     let failed = Array.mapi (fun v f -> f || comm_failed.(v)) result.failed in
     let n_failed = count_failed failed in
@@ -494,7 +494,8 @@ let run_local_resilient (oracle : Inference.oracle) ~epsilon
            n_failed)
   in
   let ok, report =
-    Resilient.run policy ~charge:(Network.charge net) run_attempt
+    Resilient.run ?trace ~label:"jvv_resilient" policy
+      ~charge:(Network.charge net) run_attempt
   in
   let sresult, sstats = match ok with Some rs -> rs | None -> Option.get !best in
   {

@@ -99,6 +99,7 @@ val run_certified :
 val run_local :
   Inference.oracle ->
   epsilon:float ->
+  ?trace:Ls_obs.Trace.t ->
   Instance.t ->
   seed:int64 ->
   result * Ls_local.Scheduler.stats
@@ -119,6 +120,7 @@ val run_local_resilient :
   epsilon:float ->
   ?policy:Ls_local.Resilient.policy ->
   ?faults:Ls_local.Faults.t ->
+  ?trace:Ls_obs.Trace.t ->
   Instance.t ->
   seed:int64 ->
   supervised

@@ -14,7 +14,7 @@ type result = {
   resilience : Resilient.report option;
 }
 
-let sample (oracle : Inference.oracle) inst ~seed =
+let sample (oracle : Inference.oracle) ?trace inst ~seed =
   let n = Instance.n inst in
   (* Independent randomness: stream 0 drives the decomposition, streams
      1..n drive the nodes — so failures are independent of the payload
@@ -37,7 +37,7 @@ let sample (oracle : Inference.oracle) inst ~seed =
   in
   let stats =
     Scheduler.compile ~graph:(Instance.graph inst)
-      ~locality:oracle.Inference.radius ~rng:decomposition_rng ~run ()
+      ~locality:oracle.Inference.radius ~rng:decomposition_rng ?trace ~run ()
   in
   {
     sigma = !sigma;
@@ -52,7 +52,7 @@ let count_failed failed =
   Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed
 
 let sample_resilient (oracle : Inference.oracle)
-    ?(policy = Resilient.default) ?(faults = Faults.none) inst ~seed =
+    ?(policy = Resilient.default) ?(faults = Faults.none) ?trace inst ~seed =
   let g = Instance.graph inst in
   let n = Instance.n inst in
   (* The physical network carrying the fault plan.  Each attempt first runs
@@ -61,7 +61,7 @@ let sample_resilient (oracle : Inference.oracle)
      flood-vs-gather tests validate, and a node whose flooded view misses
      part of its true ball cannot evaluate its marginal — it is a
      communication failure, OR-ed into the Las Vegas failure flags. *)
-  let net = Network.create ~faults g ~inputs:(Array.make n ()) ~seed in
+  let net = Network.create ~faults ?trace g ~inputs:(Array.make n ()) ~seed in
   let radius = oracle.Inference.radius in
   let master = Rng.create seed in
   let best = ref None in
@@ -81,7 +81,7 @@ let sample_resilient (oracle : Inference.oracle)
           Network.crashed net v
           || not (Network.view_is_complete net views.(v)))
     in
-    let r = sample oracle inst ~seed:payload_seed in
+    let r = sample oracle ?trace inst ~seed:payload_seed in
     sampler_rounds := !sampler_rounds + r.rounds;
     let failed = Array.mapi (fun v f -> f || comm_failed.(v)) r.failed in
     let n_failed = count_failed failed in
@@ -94,7 +94,8 @@ let sample_resilient (oracle : Inference.oracle)
            n_failed)
   in
   let ok, report =
-    Resilient.run policy ~charge:(Network.charge net) run_attempt
+    Resilient.run ?trace ~label:"sample_resilient" policy
+      ~charge:(Network.charge net) run_attempt
   in
   let r = match ok with Some r -> r | None -> Option.get !best in
   (* Honest meter: every attempt's scheduler rounds, every flood, every

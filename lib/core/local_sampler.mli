@@ -24,17 +24,20 @@ type result = {
 
 val sample :
   Inference.oracle ->
+  ?trace:Ls_obs.Trace.t ->
   Instance.t ->
   seed:int64 ->
   result
 (** One LOCAL execution: fresh decomposition randomness and fresh per-node
     sampling streams, both derived from [seed] but independent of each
-    other. *)
+    other.  Decomposition stats are emitted to [trace] (or the ambient
+    sink, see {!Ls_obs.Trace}). *)
 
 val sample_resilient :
   Inference.oracle ->
   ?policy:Ls_local.Resilient.policy ->
   ?faults:Ls_local.Faults.t ->
+  ?trace:Ls_obs.Trace.t ->
   Instance.t ->
   seed:int64 ->
   result

@@ -97,8 +97,12 @@ let delay_of t ~round ~src ~dst ~copy =
         *. float_of_int t.max_delay)
   else 0
 
-let corrupted t ~round ~src ~dst =
-  t.corrupt > 0. && u01 t ~salt:salt_corrupt ~round ~a:src ~b:dst < t.corrupt
+(* The [dst + copy - 1] offset gives each duplicate copy its own verdict
+   while keeping copy 1 at the historical [~b:dst] coordinate, so every
+   single-copy verdict is unchanged. *)
+let corrupted t ~round ~src ~dst ~copy =
+  t.corrupt > 0.
+  && u01 t ~salt:salt_corrupt ~round ~a:src ~b:(dst + copy - 1) < t.corrupt
 
 let crash_round t ~node =
   if t.crash > 0. && u01 t ~salt:salt_crash_coin ~round:0 ~a:node ~b:0 < t.crash

@@ -60,7 +60,10 @@ val copies : t -> round:int -> src:int -> dst:int -> int
 val delay_of : t -> round:int -> src:int -> dst:int -> copy:int -> int
 (** Extra rounds before copy [copy] arrives: 0, or 1..[max_delay]. *)
 
-val corrupted : t -> round:int -> src:int -> dst:int -> bool
+val corrupted : t -> round:int -> src:int -> dst:int -> copy:int -> bool
+(** Per-copy, like {!delay_of}: duplicated copies draw independent
+    corruption verdicts ([copy] is 1-based; the [copy = 1] verdict
+    coincides with the historical per-edge one). *)
 
 val crash_round : t -> node:int -> int option
 (** The absolute round at which [node] crash-stops, if it ever does.  A

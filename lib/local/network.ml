@@ -1,5 +1,39 @@
 module Graph = Ls_graph.Graph
 module Rng = Ls_rng.Rng
+module Trace = Ls_obs.Trace
+module Metrics = Ls_obs.Metrics
+
+(* Universal payloads: a delayed copy whose arrival round falls past the
+   end of its broadcast phase is parked on the network, keyed by absolute
+   clock round, and re-delivered to a later phase carrying the same
+   message type.  The type is witnessed by the carrier that parked it. *)
+type univ = ..
+
+type 'm carrier = { inj : 'm -> univ; prj : univ -> 'm option }
+
+let carrier (type m) () : m carrier =
+  let module M = struct
+    type univ += C of m
+  end in
+  {
+    inj = (fun x -> M.C x);
+    prj = (function M.C x -> Some x | _ -> None);
+  }
+
+type packet = {
+  sent : int;  (* absolute round the copy was transmitted *)
+  arrive : int;  (* absolute round the copy is due *)
+  p_src : int;
+  p_dst : int;
+  p_copy : int;
+  payload : univ;
+}
+
+(* Flooding state: everything a node has learned — for each known original
+   vertex, its input and its full neighbor list. *)
+module Imap = Map.Make (Int)
+
+type 'i flood_msg = ('i * int list) Imap.t
 
 type 'input t = {
   graph : Graph.t;
@@ -7,12 +41,17 @@ type 'input t = {
   rngs : Rng.t array;
   mutable rounds : int;
   mutable bits : int;
+  mutable msgs : int;  (* transmitted copies, metered like bits *)
   faults : Faults.t;
   crash_at : int array;  (* absolute round of crash-stop; max_int = never *)
+  crash_seen : bool array;  (* crash already reported to trace/metrics *)
   mutable clock : int;  (* absolute broadcast rounds elapsed; never reset *)
+  mutable pending : packet list;  (* delayed copies awaiting a later phase *)
+  mutable flood_carry : 'input flood_msg carrier option;
+  trace : Trace.t option;
 }
 
-let create ?(faults = Faults.none) graph ~inputs ~seed =
+let create ?(faults = Faults.none) ?trace graph ~inputs ~seed =
   if Array.length inputs <> Graph.n graph then
     invalid_arg "Network.create: one input per vertex required";
   {
@@ -21,13 +60,18 @@ let create ?(faults = Faults.none) graph ~inputs ~seed =
     rngs = Rng.streams seed (Graph.n graph);
     rounds = 0;
     bits = 0;
+    msgs = 0;
     faults;
     crash_at =
       Array.init (Graph.n graph) (fun v ->
           match Faults.crash_round faults ~node:v with
           | Some r -> r
           | None -> max_int);
+    crash_seen = Array.make (Graph.n graph) false;
     clock = 0;
+    pending = [];
+    flood_carry = None;
+    trace;
   }
 
 let graph t = t.graph
@@ -47,6 +91,16 @@ let reset_rounds t = t.rounds <- 0
 let bits t = t.bits
 
 let reset_bits t = t.bits <- 0
+
+let messages t = t.msgs
+
+let pending_count t = List.length t.pending
+
+(* Explicit sink wins, then the network's own, then the ambient one. *)
+let sink t trace =
+  match trace with
+  | Some _ -> trace
+  | None -> ( match t.trace with Some _ -> t.trace | None -> Trace.ambient ())
 
 type 'input view = {
   center : int;
@@ -89,6 +143,33 @@ let view_is_complete t view =
      only true records), so cardinality equality is completeness. *)
   Array.length view.vertices = Array.length (Graph.ball t.graph view.center view.radius)
 
+let merge_views t a b =
+  if a.center <> b.center || a.radius <> b.radius then
+    invalid_arg "Network.merge_views: views differ in center or radius";
+  let n = Graph.n t.graph in
+  let dist = Array.make n max_int in
+  let add view =
+    Array.iteri
+      (fun i o -> dist.(o) <- min dist.(o) view.dist_center.(i))
+      view.vertices
+  in
+  add a;
+  add b;
+  let union = ref [] in
+  let count = ref 0 in
+  for o = n - 1 downto 0 do
+    if dist.(o) < max_int then begin
+      union := o :: !union;
+      incr count
+    end
+  done;
+  (* Subset fast paths: the union adds nothing over one operand (distance
+     estimates may still differ — both are upper bounds, membership is
+     what completeness is judged on). *)
+  if !count = Array.length a.vertices then a
+  else if !count = Array.length b.vertices then b
+  else view_of_ball t ~v:a.center ~radius:a.radius ~ball:(Array.of_list !union) ~dist
+
 (* The fault-free synchronous executor — kept verbatim as its own function
    so the zero-fault plan is bit-identical to the pre-fault runtime. *)
 let run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge () =
@@ -115,16 +196,56 @@ let run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge () =
 (* The faulty executor: every directed (round, edge) message is subjected
    to the plan's drop/duplicate/delay/corrupt verdicts, crashed nodes
    freeze, and delayed copies are parked in per-arrival-round inboxes.
-   Inbox order is deterministic: (send round, sender id, copy index). *)
-let run_broadcast_faulty t ~rounds ?size ?corrupt ~init ~emit ~merge () =
+   Inbox order is deterministic: (send round, sender id, copy index).
+   A copy whose arrival round falls past the phase end is parked on
+   [t.pending] (keyed by absolute round) when the caller supplied a
+   [carry] witness, and delivered at the start of a later phase of the
+   same message type; without a witness it is lost, as before (its bits
+   stay billed — it did hit the wire). *)
+let run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init ~emit
+    ~merge () =
   let n = Graph.n t.graph in
   let fp = t.faults in
+  let metrics = Metrics.enabled () in
   let states = Array.init n init in
-  let max_delay = if fp.Faults.delay > 0. then fp.Faults.max_delay else 0 in
-  let inboxes = Array.init (rounds + max_delay) (fun _ -> Array.make n []) in
+  let inboxes = Array.init rounds (fun _ -> Array.make n []) in
+  let base = t.clock in
+  (match carry with
+  | None -> ()
+  | Some c ->
+      (* Deliver previously parked copies of this phase's message type.
+         Order inside a slot follows (send round, sender id, copy index),
+         ahead of this phase's fresh messages. *)
+      let mine, rest =
+        List.partition (fun p -> Option.is_some (c.prj p.payload)) t.pending
+      in
+      let future = ref rest in
+      List.iter
+        (fun p ->
+          let slot = max 0 (p.arrive - base) in
+          if slot < rounds then
+            match c.prj p.payload with
+            | Some m -> inboxes.(slot).(p.p_dst) <- m :: inboxes.(slot).(p.p_dst)
+            | None -> assert false
+          else future := p :: !future)
+        (List.sort
+           (fun a b ->
+             compare (b.sent, b.p_src, b.p_copy) (a.sent, a.p_src, a.p_copy))
+           mine);
+      t.pending <- !future);
   for round = 0 to rounds - 1 do
-    let abs = t.clock + round in
+    let abs = base + round in
     let alive v = t.crash_at.(v) > abs in
+    if tr <> None || metrics then
+      for v = 0 to n - 1 do
+        if (not t.crash_seen.(v)) && t.crash_at.(v) <= abs then begin
+          t.crash_seen.(v) <- true;
+          (match tr with
+          | Some s -> Trace.emit s (Trace.Crash { node = v; round = t.crash_at.(v) })
+          | None -> ());
+          if metrics then Metrics.record_crash ()
+        end
+      done;
     let outgoing =
       Array.mapi (fun v s -> if alive v then Some (emit v s) else None) states
     in
@@ -135,22 +256,64 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ~init ~emit ~merge () =
           Array.iter
             (fun u ->
               let copies = Faults.copies fp ~round:abs ~src:v ~dst:u in
+              (match tr with
+              | Some s when copies = 0 ->
+                  Trace.emit s (Trace.Fault_drop { round = abs; src = v; dst = u })
+              | Some s when copies > 1 ->
+                  Trace.emit s
+                    (Trace.Fault_duplicate { round = abs; src = v; dst = u; copies })
+              | _ -> ());
+              if metrics then
+                if copies = 0 then Metrics.record_drop ()
+                else if copies > 1 then Metrics.record_duplicate ();
               for copy = 1 to copies do
                 let d = Faults.delay_of fp ~round:abs ~src:v ~dst:u ~copy in
+                let corrupted_now =
+                  match corrupt with
+                  | Some _ -> Faults.corrupted fp ~round:abs ~src:v ~dst:u ~copy
+                  | None -> false
+                in
                 let msg =
                   match corrupt with
-                  | Some f when Faults.corrupted fp ~round:abs ~src:v ~dst:u ->
-                      f ~round:abs ~src:v ~dst:u msg
+                  | Some f when corrupted_now -> f ~round:abs ~src:v ~dst:u msg
                   | _ -> msg
                 in
+                (match tr with
+                | Some s ->
+                    if d > 0 then
+                      Trace.emit s
+                        (Trace.Fault_delay
+                           { round = abs; src = v; dst = u; copy; delay = d });
+                    if corrupted_now then
+                      Trace.emit s
+                        (Trace.Fault_corrupt { round = abs; src = v; dst = u; copy })
+                | None -> ());
+                if metrics then begin
+                  if d > 0 then Metrics.record_delay ();
+                  if corrupted_now then Metrics.record_corruption ()
+                end;
                 (* Bits are metered per transmitted copy: dropped messages
                    never hit the wire, duplicates pay twice. *)
                 (match size with
                 | Some size -> t.bits <- t.bits + size msg
                 | None -> ());
+                t.msgs <- t.msgs + 1;
                 let slot = round + d in
-                if slot < Array.length inboxes then
-                  inboxes.(slot).(u) <- msg :: inboxes.(slot).(u)
+                if slot < rounds then inboxes.(slot).(u) <- msg :: inboxes.(slot).(u)
+                else
+                  match carry with
+                  | Some c ->
+                      t.pending <-
+                        {
+                          sent = abs;
+                          arrive = base + slot;
+                          p_src = v;
+                          p_dst = u;
+                          p_copy = copy;
+                          payload = c.inj msg;
+                        }
+                        :: t.pending
+                  | None -> ()
               done)
             (Graph.neighbors t.graph v)
     done;
@@ -161,21 +324,54 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ~init ~emit ~merge () =
   done;
   states
 
-let run_broadcast t ~rounds ?size ?corrupt ~init ~emit ~merge () =
+let run_broadcast t ~rounds ?size ?corrupt ?carry ?(label = "broadcast") ?trace
+    ~init ~emit ~merge () =
+  let tr = sink t trace in
+  let metrics = Metrics.enabled () in
+  let bits0 = t.bits and msgs0 = t.msgs in
+  (match tr with
+  | Some s -> Trace.emit s (Trace.Phase_start { label; clock = t.clock })
+  | None -> ());
   let states =
-    if Faults.is_none t.faults then
-      run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge ()
-    else run_broadcast_faulty t ~rounds ?size ?corrupt ~init ~emit ~merge ()
+    if Faults.is_none t.faults then begin
+      let states = run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge () in
+      (* Fault-free rounds transmit one copy per directed edge. *)
+      t.msgs <- t.msgs + (rounds * 2 * Graph.m t.graph);
+      states
+    end
+    else run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init
+        ~emit ~merge ()
   in
   t.clock <- t.clock + rounds;
   charge t rounds;
+  (match tr with
+  | Some s ->
+      Trace.emit s
+        (Trace.Phase_end
+           {
+             label;
+             clock = t.clock;
+             rounds;
+             bits = t.bits - bits0;
+             messages = t.msgs - msgs0;
+           })
+  | None -> ());
+  if metrics then
+    Metrics.record_phase ~rounds ~bits:(t.bits - bits0)
+      ~messages:(t.msgs - msgs0);
   states
 
-(* Flooding state: everything a node has learned — for each known original
-   vertex, its input and its full neighbor list. *)
-module Imap = Map.Make (Int)
+(* All flood phases over one network share a carrier, so a copy delayed
+   past one flood's end is delivered to the next flood on this network. *)
+let flood_carrier t =
+  match t.flood_carry with
+  | Some c -> c
+  | None ->
+      let c = carrier () in
+      t.flood_carry <- Some c;
+      c
 
-let flood_views t ~radius =
+let flood_views ?trace t ~radius =
   let n = Graph.n t.graph in
   let record v = (t.inputs.(v), Array.to_list (Graph.neighbors t.graph v)) in
   (* Message size: 64 bits per id (the vertex and each of its neighbors);
@@ -184,7 +380,9 @@ let flood_views t ~radius =
     Imap.fold (fun _ (_, nbrs) acc -> acc + (64 * (1 + List.length nbrs))) m 0
   in
   let states =
-    run_broadcast t ~rounds:radius ~size
+    run_broadcast t ~rounds:radius ~size ~carry:(flood_carrier t)
+      ~label:(Printf.sprintf "flood(radius=%d)" radius)
+      ?trace
       ~init:(fun v -> Imap.singleton v (record v))
       ~emit:(fun _ s -> s)
       ~merge:(fun _ s inbox ->

@@ -27,10 +27,17 @@
 type 'input t
 
 val create :
-  ?faults:Faults.t -> Ls_graph.Graph.t -> inputs:'input array -> seed:int64 -> 'input t
+  ?faults:Faults.t ->
+  ?trace:Ls_obs.Trace.t ->
+  Ls_graph.Graph.t ->
+  inputs:'input array ->
+  seed:int64 ->
+  'input t
 (** One input per vertex; node [v]'s random stream is derived from [seed]
     and [v].  [faults] (default {!Faults.none}) fixes the fault plan for
-    the network's lifetime; crash rounds are sampled at creation. *)
+    the network's lifetime; crash rounds are sampled at creation.
+    [trace] attaches an event sink to every broadcast phase (see
+    {!Ls_obs.Trace}); when omitted, phases fall back to the ambient sink. *)
 
 val graph : _ t -> Ls_graph.Graph.t
 val input : 'i t -> int -> 'i
@@ -73,6 +80,15 @@ val reset_bits : _ t -> unit
     stale counts don't accumulate).  {!clock} is deliberately not
     resettable. *)
 
+val messages : _ t -> int
+(** Transmitted message copies over all {!run_broadcast} calls: one per
+    directed edge per fault-free round; under faults, dropped messages
+    count zero and duplicates count twice (same rule as {!bits}). *)
+
+val pending_count : _ t -> int
+(** Delayed copies currently parked across a phase boundary, awaiting a
+    later {!run_broadcast} of their message type (see [carry]). *)
+
 (** {1 Local views} *)
 
 type 'input view = {
@@ -102,13 +118,34 @@ val view_is_complete : 'i t -> 'i view -> bool
     strict subset — the detectable signature of stalled ball-collection
     that {!Resilient} supervises. *)
 
+val merge_views : 'i t -> 'i view -> 'i view -> 'i view
+(** Union of two partial views of the same center and radius: the merged
+    view covers every vertex either operand knew (distance labels take the
+    pointwise minimum of the two estimates).  Raises [Invalid_argument] if
+    centers or radii differ.  This is the accumulation step of
+    {!Resilient.collect_views} — knowledge from distinct flood attempts
+    composes instead of the larger attempt shadowing the smaller. *)
+
 (** {1 Genuine synchronous message passing} *)
+
+type univ
+(** Universal payload wrapper for cross-phase message parking. *)
+
+type 'm carrier
+(** A type witness embedding ['m] into {!univ} and back. *)
+
+val carrier : unit -> 'm carrier
+(** A fresh witness.  Phases sharing one carrier exchange their delayed
+    leftovers; distinct carriers are mutually opaque. *)
 
 val run_broadcast :
   'i t ->
   rounds:int ->
   ?size:('m -> int) ->
   ?corrupt:(round:int -> src:int -> dst:int -> 'm -> 'm) ->
+  ?carry:'m carrier ->
+  ?label:string ->
+  ?trace:Ls_obs.Trace.t ->
   init:(int -> 's) ->
   emit:(int -> 's -> 'm) ->
   merge:(int -> 's -> 'm list -> 's) ->
@@ -121,16 +158,27 @@ val run_broadcast :
 
     Under the network's fault plan, each directed (round, edge) message is
     subjected to the plan's verdicts: it may be dropped, duplicated,
-    delayed (parked until its arrival round; copies outliving the
-    broadcast are lost), or — when the plan's corrupt rate fires {e and}
-    the caller supplied [corrupt] — rewritten by that hook.  Crashed nodes
-    neither emit nor merge; their states freeze.  Inbox order is
-    deterministic: (send round, sender id, copy index).  Under the
-    zero-fault plan the pre-fault executor runs verbatim (bit-identical
-    inbox order and metering). *)
+    delayed (parked until its absolute arrival round), or — when the
+    plan's corrupt rate fires {e and} the caller supplied [corrupt] —
+    rewritten by that hook (corruption verdicts are per copy: duplicates
+    draw independently).  Crashed nodes neither emit nor merge; their
+    states freeze.  Inbox order is deterministic: (send round, sender id,
+    copy index).  Under the zero-fault plan the pre-fault executor runs
+    verbatim (bit-identical inbox order and metering).
 
-val flood_views : 'i t -> radius:int -> 'i view array
+    A delayed copy due {e after} the phase ends is not lost when [carry]
+    is given: it is parked keyed by its absolute round and delivered, in
+    deterministic order ahead of fresh traffic, at the start of the next
+    [run_broadcast] sharing the same carrier (already-due copies arrive in
+    the first round).  Without [carry] such copies are lost (their bits
+    stay billed — they did hit the wire).
+
+    [label] names the phase in trace events; [trace] overrides the
+    network's sink for this phase. *)
+
+val flood_views : ?trace:Ls_obs.Trace.t -> 'i t -> radius:int -> 'i view array
 (** Build every node's radius-[t] view using only {!run_broadcast} — the
     executable proof that [gather] grants no more information than [t]
     rounds of real communication.  Under faults, views may be partial
-    (see {!view_is_complete}). *)
+    (see {!view_is_complete}).  All floods over one network share a
+    carrier, so copies delayed past one flood's end reach the next. *)

@@ -9,6 +9,8 @@
    exception: graceful degradation is a result, not a crash. *)
 
 module Graph = Ls_graph.Graph
+module Trace = Ls_obs.Trace
+module Metrics = Ls_obs.Metrics
 
 type policy = {
   retry_budget : int;
@@ -52,12 +54,21 @@ let describe r =
       r.attempts r.backoff_rounds
       (String.concat "; " r.reasons)
 
-let run pol ?(charge = fun _ -> ()) f =
+let run ?trace ?(label = "resilient") pol ?(charge = fun _ -> ()) f =
+  let tr = Trace.resolve trace in
+  let metrics () = Metrics.enabled () in
+  let emit_attempt attempt ok detail =
+    (match tr with
+    | Some s -> Trace.emit s (Trace.Attempt { label; attempt; ok; detail })
+    | None -> ());
+    if metrics () then Metrics.record_attempt ~retry:(attempt > 0)
+  in
   let reasons = ref [] in
   let backoff = ref 0 in
   let rec go attempt delay =
     match f ~attempt with
     | Ok x ->
+        emit_attempt attempt true "";
         ( Some x,
           {
             attempts = attempt + 1;
@@ -66,8 +77,15 @@ let run pol ?(charge = fun _ -> ()) f =
             reasons = List.rev !reasons;
           } )
     | Error why ->
+        emit_attempt attempt false why;
         reasons := Printf.sprintf "attempt %d: %s" (attempt + 1) why :: !reasons;
-        if attempt >= pol.retry_budget then
+        if attempt >= pol.retry_budget then begin
+          (match tr with
+          | Some s ->
+              Trace.emit s
+                (Trace.Degraded { label; attempts = attempt + 1; detail = why })
+          | None -> ());
+          if metrics () then Metrics.record_degraded ();
           ( None,
             {
               attempts = attempt + 1;
@@ -75,8 +93,15 @@ let run pol ?(charge = fun _ -> ()) f =
               degraded = true;
               reasons = List.rev !reasons;
             } )
+        end
         else begin
           (* Exponential backoff, honestly charged to the round meter. *)
+          (match tr with
+          | Some s ->
+              Trace.emit s
+                (Trace.Backoff { label; attempt = attempt + 1; rounds = delay })
+          | None -> ());
+          if metrics () then Metrics.record_backoff ~rounds:delay;
           charge delay;
           backoff := !backoff + delay;
           go (attempt + 1) (delay * pol.backoff_factor)
@@ -84,15 +109,11 @@ let run pol ?(charge = fun _ -> ()) f =
   in
   go 0 pol.backoff_base
 
-let collect_views net ~policy:pol ~radius =
+let collect_views ?trace ?(label = "collect_views") net ~policy:pol ~radius =
+  let tr = Trace.resolve trace in
+  let metrics = Metrics.enabled () in
   let n = Graph.n (Network.graph net) in
-  let better a b =
-    if
-      Array.length b.Network.vertices > Array.length a.Network.vertices
-    then b
-    else a
-  in
-  let best = Network.flood_views net ~radius in
+  let best = Network.flood_views ?trace net ~radius in
   let stalled () =
     (* Crashed nodes are permanent failures, not stalls: no retry can help
        them, so they never justify burning budget. *)
@@ -103,37 +124,75 @@ let collect_views net ~policy:pol ~radius =
     done;
     !count
   in
+  let emit_attempt attempt stalled_count =
+    (match tr with
+    | Some s ->
+        Trace.emit s
+          (Trace.Attempt
+             {
+               label;
+               attempt;
+               ok = stalled_count = 0;
+               detail = Printf.sprintf "%d node(s) stalled" stalled_count;
+             })
+    | None -> ());
+    if metrics then Metrics.record_attempt ~retry:(attempt > 0)
+  in
   let reasons = ref [] in
   let backoff = ref 0 in
   let attempts = ref 1 in
   let delay = ref pol.backoff_base in
   let retries = ref 0 in
-  while stalled () > 0 && !retries < pol.retry_budget do
+  (* One stall census per iteration: it both gates the loop and feeds the
+     report (the old code recounted inside the body). *)
+  let stalled_now = ref (stalled ()) in
+  emit_attempt 0 !stalled_now;
+  while !stalled_now > 0 && !retries < pol.retry_budget do
     reasons :=
       Printf.sprintf "attempt %d: %d node(s) stalled on ball collection"
-        !attempts (stalled ())
+        !attempts !stalled_now
       :: !reasons;
+    (match tr with
+    | Some s ->
+        Trace.emit s (Trace.Backoff { label; attempt = !attempts; rounds = !delay })
+    | None -> ());
+    if metrics then Metrics.record_backoff ~rounds:!delay;
     Network.charge net !delay;
     backoff := !backoff + !delay;
     delay := !delay * pol.backoff_factor;
     incr retries;
     incr attempts;
     (* Re-flood on the live network: the fault clock has advanced, so this
-       attempt draws fresh verdicts.  Keep each node's best view so far —
-       flooded knowledge only grows across attempts. *)
-    let again = Network.flood_views net ~radius in
-    Array.iteri (fun v w -> best.(v) <- better best.(v) w) again
+       attempt draws fresh verdicts.  Union-merge each node's flooded
+       knowledge across attempts: two incomparable partial views compose
+       instead of the larger one shadowing the smaller. *)
+    let again = Network.flood_views ?trace net ~radius in
+    Array.iteri (fun v w -> best.(v) <- Network.merge_views net best.(v) w) again;
+    stalled_now := stalled ();
+    emit_attempt (!attempts - 1) !stalled_now
   done;
   let failed =
     Array.init n (fun v ->
         Network.crashed net v || not (Network.view_is_complete net best.(v)))
   in
   let n_failed = Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed in
-  if n_failed > 0 then
+  if n_failed > 0 then begin
     reasons :=
       Printf.sprintf
         "budget exhausted with %d node(s) failed (crashed or stalled)" n_failed
       :: !reasons;
+    (match tr with
+    | Some s ->
+        Trace.emit s
+          (Trace.Degraded
+             {
+               label;
+               attempts = !attempts;
+               detail = Printf.sprintf "%d node(s) failed" n_failed;
+             })
+    | None -> ());
+    if metrics then Metrics.record_degraded ()
+  end;
   let report =
     {
       attempts = !attempts;

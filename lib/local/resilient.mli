@@ -38,6 +38,8 @@ val clean : report
 val describe : report -> string
 
 val run :
+  ?trace:Ls_obs.Trace.t ->
+  ?label:string ->
   policy ->
   ?charge:(int -> unit) ->
   (attempt:int -> ('a, string) result) ->
@@ -46,9 +48,12 @@ val run :
     [pol.retry_budget] times with backoff [base], [base*factor], ...
     rounds charged through [charge] before each retry.  Returns the first
     [Ok] (with a non-degraded report) or [None] with a degraded report
-    listing every failure reason. *)
+    listing every failure reason.  Each attempt, backoff and degradation
+    is emitted to [trace] (or the ambient sink) under [label]. *)
 
 val collect_views :
+  ?trace:Ls_obs.Trace.t ->
+  ?label:string ->
   'i Network.t ->
   policy:policy ->
   radius:int ->
@@ -57,7 +62,8 @@ val collect_views :
     whose view misses part of their true ball ({!Network.view_is_complete}),
     and re-flood with backoff while any {e alive} node is stalled and
     budget remains.  Crashed nodes are permanent failures — they never
-    burn retry budget.  Each node keeps its best (largest) view across
-    attempts.  Returns [(views, failed, report)]: [failed.(v)] is set iff
+    burn retry budget.  Flooded knowledge is {e union-merged} across
+    attempts ({!Network.merge_views}), so incomparable partial views
+    compose.  Returns [(views, failed, report)]: [failed.(v)] is set iff
     [v] crashed or its final view is still incomplete; [report.degraded]
     iff any node failed. *)

@@ -15,7 +15,7 @@ type stats = {
   failed : bool array;
 }
 
-let compile ~graph ~locality ~rng ?radius_cap ?phase_cap ~run () =
+let compile ~graph ~locality ~rng ?radius_cap ?phase_cap ?trace ~run () =
   let power = Graph.power graph (locality + 1) in
   let d = Decomposition.linial_saks ?radius_cap ?phase_cap power rng in
   (* Global order: colors in increasing order; within a color, clusters in
@@ -69,15 +69,33 @@ let compile ~graph ~locality ~rng ?radius_cap ?phase_cap ~run () =
         (Array.length d.Decomposition.clusters)
         (decomposition_rounds + !sim_rounds)
         decomposition_rounds);
+  let failures =
+    Array.fold_left
+      (fun acc f -> if f then acc + 1 else acc)
+      0 d.Decomposition.failed
+  in
+  (match Ls_obs.Trace.resolve trace with
+  | Some s ->
+      Ls_obs.Trace.emit s
+        (Ls_obs.Trace.Decomposition
+           {
+             locality;
+             colors = d.Decomposition.num_colors;
+             clusters = Array.length d.Decomposition.clusters;
+             failures;
+             max_cluster_radius;
+             rounds = decomposition_rounds + !sim_rounds;
+             decomposition_rounds;
+           })
+  | None -> ());
+  if Ls_obs.Metrics.enabled () then Ls_obs.Metrics.record_decomposition ~failures;
   {
     rounds = decomposition_rounds + !sim_rounds;
     decomposition_rounds;
     colors = d.Decomposition.num_colors;
     clusters = Array.length d.Decomposition.clusters;
     max_cluster_radius;
-    failures =
-      Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0
-        d.Decomposition.failed;
+    failures;
     order;
     failed = Array.copy d.Decomposition.failed;
   }

@@ -40,6 +40,7 @@ val compile :
   rng:Ls_rng.Rng.t ->
   ?radius_cap:int ->
   ?phase_cap:int ->
+  ?trace:Ls_obs.Trace.t ->
   run:(order:int array -> unit) ->
   unit ->
   stats
@@ -48,4 +49,5 @@ val compile :
     executes its SLOCAL payload on that order.  Failed vertices appear at
     the end of [order] so the payload still produces a total output (their
     outputs are discarded by the failure flags, as in the paper's model
-    where failures only gate the conditional guarantee). *)
+    where failures only gate the conditional guarantee).  The realized
+    decomposition stats are emitted to [trace] (or the ambient sink). *)

@@ -1,0 +1,169 @@
+(* Global counters, enabled-flag guarded.  Sums are order-independent, so
+   every field except [per_domain] is invariant under the domain count. *)
+
+type snapshot = {
+  phases : int;
+  rounds : int;
+  bits : int;
+  messages : int;
+  drops : int;
+  duplicates : int;
+  delays : int;
+  corruptions : int;
+  crashes : int;
+  attempts : int;
+  retries : int;
+  backoff_rounds : int;
+  degradations : int;
+  decompositions : int;
+  decomposition_failures : int;
+  batches : int;
+  items : int;
+  max_queue : int;
+  per_domain : int array;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let phases = Atomic.make 0
+let rounds = Atomic.make 0
+let bits = Atomic.make 0
+let messages = Atomic.make 0
+let drops = Atomic.make 0
+let duplicates = Atomic.make 0
+let delays = Atomic.make 0
+let corruptions = Atomic.make 0
+let crashes = Atomic.make 0
+let attempts = Atomic.make 0
+let retries = Atomic.make 0
+let backoff_rounds = Atomic.make 0
+let degradations = Atomic.make 0
+let decompositions = Atomic.make 0
+let decomposition_failures = Atomic.make 0
+let batches = Atomic.make 0
+let items = Atomic.make 0
+let max_queue = Atomic.make 0
+let per_domain_lock = Mutex.create ()
+let per_domain = ref [||]
+
+let add c k = if enabled () then ignore (Atomic.fetch_and_add c k)
+let bump c = add c 1
+
+let record_phase ~rounds:r ~bits:b ~messages:m =
+  if enabled () then begin
+    bump phases;
+    add rounds r;
+    add bits b;
+    add messages m
+  end
+
+let record_drop () = bump drops
+let record_duplicate () = bump duplicates
+let record_delay () = bump delays
+let record_corruption () = bump corruptions
+let record_crash () = bump crashes
+
+let record_attempt ~retry =
+  if enabled () then begin
+    bump attempts;
+    if retry then bump retries
+  end
+
+let record_backoff ~rounds:r = add backoff_rounds r
+let record_degraded () = bump degradations
+
+let record_decomposition ~failures =
+  if enabled () then begin
+    bump decompositions;
+    add decomposition_failures failures
+  end
+
+let rec raise_max c k =
+  let cur = Atomic.get c in
+  if k > cur && not (Atomic.compare_and_set c cur k) then raise_max c k
+
+let record_batch ~items:n ~per_worker =
+  if enabled () then begin
+    bump batches;
+    add items n;
+    raise_max max_queue n;
+    Mutex.lock per_domain_lock;
+    let need = Array.length per_worker in
+    if Array.length !per_domain < need then begin
+      let grown = Array.make need 0 in
+      Array.blit !per_domain 0 grown 0 (Array.length !per_domain);
+      per_domain := grown
+    end;
+    Array.iteri (fun i k -> !per_domain.(i) <- !per_domain.(i) + k) per_worker;
+    Mutex.unlock per_domain_lock
+  end
+
+let snapshot () =
+  Mutex.lock per_domain_lock;
+  let pd = Array.copy !per_domain in
+  Mutex.unlock per_domain_lock;
+  {
+    phases = Atomic.get phases;
+    rounds = Atomic.get rounds;
+    bits = Atomic.get bits;
+    messages = Atomic.get messages;
+    drops = Atomic.get drops;
+    duplicates = Atomic.get duplicates;
+    delays = Atomic.get delays;
+    corruptions = Atomic.get corruptions;
+    crashes = Atomic.get crashes;
+    attempts = Atomic.get attempts;
+    retries = Atomic.get retries;
+    backoff_rounds = Atomic.get backoff_rounds;
+    degradations = Atomic.get degradations;
+    decompositions = Atomic.get decompositions;
+    decomposition_failures = Atomic.get decomposition_failures;
+    batches = Atomic.get batches;
+    items = Atomic.get items;
+    max_queue = Atomic.get max_queue;
+    per_domain = pd;
+  }
+
+let reset () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      phases;
+      rounds;
+      bits;
+      messages;
+      drops;
+      duplicates;
+      delays;
+      corruptions;
+      crashes;
+      attempts;
+      retries;
+      backoff_rounds;
+      degradations;
+      decompositions;
+      decomposition_failures;
+      batches;
+      items;
+      max_queue;
+    ];
+  Mutex.lock per_domain_lock;
+  per_domain := [||];
+  Mutex.unlock per_domain_lock
+
+let print oc s =
+  let p fmt = Printf.fprintf oc fmt in
+  p "metrics:\n";
+  p "  phases %d  rounds %d  bits %d  messages %d\n" s.phases s.rounds s.bits
+    s.messages;
+  p "  faults: drop %d  duplicate %d  delay %d  corrupt %d  crash %d\n" s.drops
+    s.duplicates s.delays s.corruptions s.crashes;
+  p "  supervision: attempts %d  retries %d  backoff_rounds %d  degraded %d\n"
+    s.attempts s.retries s.backoff_rounds s.degradations;
+  p "  decompositions %d (failures %d)\n" s.decompositions
+    s.decomposition_failures;
+  p "  pool: batches %d  items %d  max_queue %d  per_domain [%s]\n" s.batches
+    s.items s.max_queue
+    (String.concat "; " (Array.to_list (Array.map string_of_int s.per_domain)))

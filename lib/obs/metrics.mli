@@ -1,0 +1,60 @@
+(** Process-global counters for the LOCAL runtime.
+
+    Where {!Trace} records the {e sequence} of events, this module keeps
+    cheap aggregate counters: phases/rounds/bits/messages, applied fault
+    verdicts, supervision attempts and backoff, decompositions, and
+    {!Ls_par} pool utilization (batches, items, per-domain item counts,
+    max queue depth).  All counters are atomics or mutex-guarded sums, so
+    totals are domain-count invariant — only the [per_domain] split
+    depends on scheduling.
+
+    Recording is off by default; every producer guards on {!enabled}, so a
+    disabled run pays one atomic read per phase, nothing per message. *)
+
+type snapshot = {
+  phases : int;
+  rounds : int;  (** Rounds charged by traced broadcast phases. *)
+  bits : int;
+  messages : int;  (** Transmitted copies (duplicates pay twice). *)
+  drops : int;
+  duplicates : int;
+  delays : int;
+  corruptions : int;
+  crashes : int;
+  attempts : int;  (** Supervised attempts, including the first of each run. *)
+  retries : int;
+  backoff_rounds : int;
+  degradations : int;
+  decompositions : int;
+  decomposition_failures : int;
+  batches : int;  (** Parallel fan-outs executed by {!Ls_par}. *)
+  items : int;  (** Work items across all batches. *)
+  max_queue : int;  (** Largest batch installed (initial queue depth). *)
+  per_domain : int array;
+      (** Items executed per domain index (0 = the submitting domain).
+          The only scheduling-dependent field. *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Recording} (no-ops while disabled) *)
+
+val record_phase : rounds:int -> bits:int -> messages:int -> unit
+val record_drop : unit -> unit
+val record_duplicate : unit -> unit
+val record_delay : unit -> unit
+val record_corruption : unit -> unit
+val record_crash : unit -> unit
+val record_attempt : retry:bool -> unit
+val record_backoff : rounds:int -> unit
+val record_degraded : unit -> unit
+val record_decomposition : failures:int -> unit
+val record_batch : items:int -> per_worker:int array -> unit
+
+(** {1 Reading} *)
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+val print : out_channel -> snapshot -> unit
+(** Human-readable summary table (the [--metrics] output). *)

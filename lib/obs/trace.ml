@@ -1,0 +1,205 @@
+(* Event sink: ring buffer + optional JSONL writer.
+
+   Determinism: event payloads carry only seed-derived coordinates, never
+   wall-clock data (the JSONL "ts" field is the one exception and is
+   always first on the line so consumers can strip it).  Parallel
+   producers are made deterministic by task-scoped capture: Ls_par runs
+   each trial body under [capture] and [replay]s the recordings in trial
+   index order, so the written stream never depends on the domain count
+   or on how trials interleaved. *)
+
+type event =
+  | Phase_start of { label : string; clock : int }
+  | Phase_end of {
+      label : string;
+      clock : int;
+      rounds : int;
+      bits : int;
+      messages : int;
+    }
+  | Fault_drop of { round : int; src : int; dst : int }
+  | Fault_duplicate of { round : int; src : int; dst : int; copies : int }
+  | Fault_delay of { round : int; src : int; dst : int; copy : int; delay : int }
+  | Fault_corrupt of { round : int; src : int; dst : int; copy : int }
+  | Crash of { node : int; round : int }
+  | Attempt of { label : string; attempt : int; ok : bool; detail : string }
+  | Backoff of { label : string; attempt : int; rounds : int }
+  | Degraded of { label : string; attempts : int; detail : string }
+  | Decomposition of {
+      locality : int;
+      colors : int;
+      clusters : int;
+      failures : int;
+      max_cluster_radius : int;
+      rounds : int;
+      decomposition_rounds : int;
+    }
+  | Batch of { items : int }
+  | Mark of { label : string }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable head : int;  (* next write slot *)
+  mutable count : int;  (* events ever emitted *)
+  mutable out : out_channel option;
+  m : Mutex.t;
+}
+
+let make ?(capacity = 65536) ?path () =
+  if capacity < 1 then invalid_arg "Trace.make: capacity must be >= 1";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    count = 0;
+    out = Option.map open_out path;
+    m = Mutex.create ();
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* "ts" is deliberately the first field of every line: strip it with
+   [sed -E 's/"ts":[0-9.eE+-]+,//'] and the remainder is deterministic. *)
+let json_of_event ~ts ev =
+  let p = Printf.sprintf in
+  let body =
+    match ev with
+    | Phase_start { label; clock } ->
+        p {|"ev":"phase_start","label":"%s","clock":%d|} (json_escape label)
+          clock
+    | Phase_end { label; clock; rounds; bits; messages } ->
+        p
+          {|"ev":"phase_end","label":"%s","clock":%d,"rounds":%d,"bits":%d,"messages":%d|}
+          (json_escape label) clock rounds bits messages
+    | Fault_drop { round; src; dst } ->
+        p {|"ev":"drop","round":%d,"src":%d,"dst":%d|} round src dst
+    | Fault_duplicate { round; src; dst; copies } ->
+        p {|"ev":"duplicate","round":%d,"src":%d,"dst":%d,"copies":%d|} round
+          src dst copies
+    | Fault_delay { round; src; dst; copy; delay } ->
+        p {|"ev":"delay","round":%d,"src":%d,"dst":%d,"copy":%d,"delay":%d|}
+          round src dst copy delay
+    | Fault_corrupt { round; src; dst; copy } ->
+        p {|"ev":"corrupt","round":%d,"src":%d,"dst":%d,"copy":%d|} round src
+          dst copy
+    | Crash { node; round } -> p {|"ev":"crash","node":%d,"round":%d|} node round
+    | Attempt { label; attempt; ok; detail } ->
+        p {|"ev":"attempt","label":"%s","attempt":%d,"ok":%b,"detail":"%s"|}
+          (json_escape label) attempt ok (json_escape detail)
+    | Backoff { label; attempt; rounds } ->
+        p {|"ev":"backoff","label":"%s","attempt":%d,"rounds":%d|}
+          (json_escape label) attempt rounds
+    | Degraded { label; attempts; detail } ->
+        p {|"ev":"degraded","label":"%s","attempts":%d,"detail":"%s"|}
+          (json_escape label) attempts (json_escape detail)
+    | Decomposition
+        {
+          locality;
+          colors;
+          clusters;
+          failures;
+          max_cluster_radius;
+          rounds;
+          decomposition_rounds;
+        } ->
+        p
+          {|"ev":"decomposition","locality":%d,"colors":%d,"clusters":%d,"failures":%d,"max_cluster_radius":%d,"rounds":%d,"decomposition_rounds":%d|}
+          locality colors clusters failures max_cluster_radius rounds
+          decomposition_rounds
+    | Batch { items } -> p {|"ev":"batch","items":%d|} items
+    | Mark { label } -> p {|"ev":"mark","label":"%s"|} (json_escape label)
+  in
+  p {|{"ts":%.6f,%s}|} ts body
+
+let write t ~ts ev =
+  Mutex.lock t.m;
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.count <- t.count + 1;
+  (match t.out with
+  | Some oc ->
+      output_string oc (json_of_event ~ts ev);
+      output_char oc '\n'
+  | None -> ());
+  Mutex.unlock t.m
+
+(* Capture scope: a per-domain buffer that intercepts every emit made on
+   this domain, whatever its target sink. *)
+type recording = (t * float * event) list
+
+let empty_recording : recording = []
+
+let scope : recording ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let emit t ev =
+  let ts = Unix.gettimeofday () in
+  match Domain.DLS.get scope with
+  | Some buf -> buf := (t, ts, ev) :: !buf
+  | None -> write t ~ts ev
+
+let events t =
+  Mutex.lock t.m;
+  let retained = min t.count t.capacity in
+  let start =
+    if t.count <= t.capacity then 0 else t.head (* oldest surviving slot *)
+  in
+  let out =
+    List.init retained (fun i ->
+        match t.ring.((start + i) mod t.capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+  in
+  Mutex.unlock t.m;
+  out
+
+let total t = t.count
+
+let close t =
+  Mutex.lock t.m;
+  (match t.out with
+  | Some oc ->
+      close_out oc;
+      t.out <- None
+  | None -> ());
+  Mutex.unlock t.m
+
+let ambient_sink : t option Atomic.t = Atomic.make None
+let install t = Atomic.set ambient_sink (Some t)
+let uninstall () = Atomic.set ambient_sink None
+let ambient () = Atomic.get ambient_sink
+let resolve explicit = match explicit with Some _ -> explicit | None -> ambient ()
+let to_ambient ev = match ambient () with Some t -> emit t ev | None -> ()
+
+let buffering_needed () =
+  Option.is_some (ambient ()) || Option.is_some (Domain.DLS.get scope)
+
+let capture f =
+  let prev = Domain.DLS.get scope in
+  let buf = ref [] in
+  Domain.DLS.set scope (Some buf);
+  let r =
+    Fun.protect ~finally:(fun () -> Domain.DLS.set scope prev) (fun () -> f ())
+  in
+  (r, List.rev !buf)
+
+let replay recording =
+  List.iter
+    (fun (t, ts, ev) ->
+      match Domain.DLS.get scope with
+      | Some buf -> buf := (t, ts, ev) :: !buf
+      | None -> write t ~ts ev)
+    recording

@@ -1,0 +1,108 @@
+(** Structured tracing for the LOCAL runtime.
+
+    A {!t} is an event sink: a bounded in-memory ring buffer (for tests and
+    interactive inspection) plus an optional JSONL writer (one event per
+    line, for offline diffing).  Producers — {!Network}, {!Resilient},
+    {!Scheduler}, {!Ls_par} — emit typed {!event}s keyed by {e absolute}
+    coordinates (fault-clock round, edge endpoints, copy index), never by
+    wall-clock position, so two runs of the same seeded workload produce
+    the same event payloads.
+
+    {b Determinism contract.}  The event {e stream} is a pure function of
+    the workload's seeds: byte-identical (timestamps stripped) across
+    domain counts and across machines.  Inside a {!Ls_par} batch, events
+    are buffered per trial index and flushed in index order after the
+    batch, so the interleaving of parallel trials never leaks into the
+    trace.  Only the ["ts"] field of a JSONL line is nondeterministic;
+    strip it before diffing (it is always the first field).
+
+    {b Zero cost when disabled.}  Every producer guards on its resolved
+    sink being [None]; with no sink installed and none passed explicitly,
+    no event value is ever allocated and the hot paths run their pre-trace
+    code verbatim. *)
+
+type event =
+  | Phase_start of { label : string; clock : int }
+  | Phase_end of {
+      label : string;
+      clock : int;
+      rounds : int;
+      bits : int;
+      messages : int;
+    }  (** Deltas of the phase just ended, plus the clock after it. *)
+  | Fault_drop of { round : int; src : int; dst : int }
+  | Fault_duplicate of { round : int; src : int; dst : int; copies : int }
+  | Fault_delay of { round : int; src : int; dst : int; copy : int; delay : int }
+  | Fault_corrupt of { round : int; src : int; dst : int; copy : int }
+  | Crash of { node : int; round : int }
+      (** Emitted once per node, when its crash round is first reached. *)
+  | Attempt of { label : string; attempt : int; ok : bool; detail : string }
+  | Backoff of { label : string; attempt : int; rounds : int }
+  | Degraded of { label : string; attempts : int; detail : string }
+  | Decomposition of {
+      locality : int;
+      colors : int;
+      clusters : int;
+      failures : int;
+      max_cluster_radius : int;
+      rounds : int;
+      decomposition_rounds : int;
+    }
+  | Batch of { items : int }  (** One {!Ls_par} fan-out completed. *)
+  | Mark of { label : string }  (** Free-form deterministic marker. *)
+
+type t
+
+val make : ?capacity:int -> ?path:string -> unit -> t
+(** A sink retaining the last [capacity] (default 65536) events in memory
+    and, when [path] is given, appending every event to that file as JSONL.
+    Close with {!close}. *)
+
+val emit : t -> event -> unit
+(** Thread-safe.  Inside a {!capture} scope the event is buffered instead
+    of written (see the determinism contract above). *)
+
+val events : t -> event list
+(** Retained events, oldest first (at most [capacity]). *)
+
+val total : t -> int
+(** Events ever emitted, including those evicted from the ring. *)
+
+val close : t -> unit
+(** Flush and close the JSONL channel, if any.  The ring stays readable. *)
+
+(** {1 Ambient sink}
+
+    CLI surfaces ([--trace FILE]) install one process-global sink;
+    producers whose [?trace] argument is omitted fall back to it. *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val ambient : unit -> t option
+
+val resolve : t option -> t option
+(** [resolve explicit] is the producers' lookup rule: the explicit sink if
+    given, else the ambient one. *)
+
+val to_ambient : event -> unit
+(** Emit to the ambient sink, if installed (respects capture scopes). *)
+
+(** {1 Deterministic parallel capture}
+
+    {!Ls_par.Par} wraps each trial body in {!capture} and {!replay}s the
+    recordings in trial-index order, making the trace independent of how
+    trials interleaved across domains. *)
+
+type recording
+
+val empty_recording : recording
+
+val buffering_needed : unit -> bool
+(** Is any sink reachable here (ambient installed, or already inside a
+    capture scope)?  When false, parallel runners skip capture entirely. *)
+
+val capture : (unit -> 'a) -> 'a * recording
+(** Run the thunk with all {!emit}s (to any sink) buffered; return them.
+    Scopes nest: a {!replay} inside an enclosing scope re-buffers. *)
+
+val replay : recording -> unit

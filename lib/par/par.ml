@@ -23,45 +23,88 @@ let set_domains k =
 
 (* The process-global pool, (re)created lazily whenever the requested
    size changes, and torn down at exit so the runtime can join all
-   domains cleanly. *)
-let global_lock = Mutex.create ()
-let global : Pool.t option ref = ref None
+   domains cleanly.  Callers hold a refcount on the slot they acquired:
+   a concurrent [set_domains] retires the slot but its pool is only shut
+   down once the last holder releases it, so a pool can never be torn
+   down under a caller mid-[Pool.run]. *)
+type slot = { pool : Pool.t; mutable refs : int; mutable retired : bool }
 
-let global_pool () =
+let global_lock = Mutex.create ()
+let global : slot option ref = ref None
+
+let acquire () =
   Mutex.lock global_lock;
   let want = domains () in
-  let pool =
+  let to_kill = ref None in
+  let s =
     match !global with
-    | Some p when Pool.size p = want -> p
+    | Some s when (not s.retired) && Pool.size s.pool = want ->
+        s.refs <- s.refs + 1;
+        s
     | prev ->
-        (match prev with Some p -> Pool.shutdown p | None -> ());
-        let p = Pool.create want in
-        global := Some p;
-        p
+        (match prev with
+        | Some s ->
+            s.retired <- true;
+            if s.refs = 0 then to_kill := Some s.pool
+        | None -> ());
+        let s = { pool = Pool.create want; refs = 1; retired = false } in
+        global := Some s;
+        s
   in
   Mutex.unlock global_lock;
-  pool
+  (match !to_kill with Some p -> Pool.shutdown p | None -> ());
+  s
+
+let release s =
+  Mutex.lock global_lock;
+  s.refs <- s.refs - 1;
+  let dead = s.retired && s.refs = 0 in
+  Mutex.unlock global_lock;
+  if dead then Pool.shutdown s.pool
 
 let () =
   at_exit (fun () ->
       Mutex.lock global_lock;
-      (match !global with Some p -> Pool.shutdown p | None -> ());
+      let p =
+        match !global with
+        | Some s ->
+            s.retired <- true;
+            Some s.pool
+        | None -> None
+      in
       global := None;
-      Mutex.unlock global_lock)
+      Mutex.unlock global_lock;
+      match p with Some p -> Pool.shutdown p | None -> ())
 
 let with_pool ?domains f =
   match domains with
-  | None -> f (global_pool ())
+  | None ->
+      let s = acquire () in
+      Fun.protect ~finally:(fun () -> release s) (fun () -> f s.pool)
   | Some k ->
       let p = Pool.create k in
       Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+module Trace = Ls_obs.Trace
 
 let collect ?domains n body =
   let out = Array.make n None in
   let used = ref 1 in
   with_pool ?domains (fun pool ->
       used := Pool.size pool;
-      Pool.run pool ~n (fun i -> out.(i) <- Some (body i)));
+      if Trace.buffering_needed () then begin
+        (* Deterministic tracing: buffer each trial's events and flush in
+           trial-index order, so the trace stream never depends on how
+           trials interleaved across domains. *)
+        let recs = Array.make n Trace.empty_recording in
+        Pool.run pool ~n (fun i ->
+            let r, evs = Trace.capture (fun () -> body i) in
+            out.(i) <- Some r;
+            recs.(i) <- evs);
+        Array.iter Trace.replay recs;
+        Trace.to_ambient (Trace.Batch { items = n })
+      end
+      else Pool.run pool ~n (fun i -> out.(i) <- Some (body i)));
   (Array.map (function Some x -> x | None -> assert false) out, !used)
 
 let run_trials ?domains ~n ~seed f =

@@ -5,6 +5,7 @@ type batch = {
   limit : int;
   next : int Atomic.t;
   completed : int Atomic.t;
+  per_worker : int Atomic.t array;  (* items executed, by worker index *)
 }
 
 type t = {
@@ -22,11 +23,12 @@ type t = {
    calls fall back to a sequential loop instead of deadlocking. *)
 let in_batch = Domain.DLS.new_key (fun () -> false)
 
-let drain t b =
+let drain t ~me b =
   let rec loop () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.limit then begin
       b.body i;
+      ignore (Atomic.fetch_and_add b.per_worker.(me) 1);
       if 1 + Atomic.fetch_and_add b.completed 1 = b.limit then begin
         Mutex.lock t.m;
         Condition.broadcast t.finished;
@@ -37,7 +39,7 @@ let drain t b =
   in
   loop ()
 
-let rec worker t seen =
+let rec worker t ~me seen =
   Mutex.lock t.m;
   while (not t.stopped) && t.epoch = seen do
     Condition.wait t.work t.m
@@ -47,8 +49,8 @@ let rec worker t seen =
   let batch = t.current in
   Mutex.unlock t.m;
   if not stopped then begin
-    (match batch with Some b -> drain t b | None -> ());
-    worker t seen
+    (match batch with Some b -> drain t ~me b | None -> ());
+    worker t ~me seen
   end
 
 let create size =
@@ -67,10 +69,10 @@ let create size =
   in
   if size > 1 then
     t.workers <-
-      Array.init (size - 1) (fun _ ->
+      Array.init (size - 1) (fun i ->
           Domain.spawn (fun () ->
               Domain.DLS.set in_batch true;
-              worker t 0));
+              worker t ~me:(i + 1) 0));
   t
 
 let size t = t.size
@@ -80,17 +82,28 @@ let sequentially n body =
     body i
   done
 
+let record ~items ~per_worker =
+  if Ls_obs.Metrics.enabled () then
+    Ls_obs.Metrics.record_batch ~items ~per_worker
+
 let run t ~n body =
   if n <= 0 then ()
   else if t.size = 1 || n = 1 || Domain.DLS.get in_batch then begin
     if t.stopped then invalid_arg "Pool.run: pool is shut down";
-    sequentially n body
+    sequentially n body;
+    record ~items:n ~per_worker:[| n |]
   end
   else begin
     let errors = Array.make n None in
     let guarded i = try body i with e -> errors.(i) <- Some e in
     let b =
-      { body = guarded; limit = n; next = Atomic.make 0; completed = Atomic.make 0 }
+      {
+        body = guarded;
+        limit = n;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+        per_worker = Array.init t.size (fun _ -> Atomic.make 0);
+      }
     in
     Mutex.lock t.m;
     if t.stopped then begin
@@ -107,7 +120,7 @@ let run t ~n body =
     Condition.broadcast t.work;
     Mutex.unlock t.m;
     Domain.DLS.set in_batch true;
-    drain t b;
+    drain t ~me:0 b;
     Domain.DLS.set in_batch false;
     Mutex.lock t.m;
     while Atomic.get b.completed < n do
@@ -115,6 +128,7 @@ let run t ~n body =
     done;
     t.current <- None;
     Mutex.unlock t.m;
+    record ~items:n ~per_worker:(Array.map Atomic.get b.per_worker);
     Array.iter (function Some e -> raise e | None -> ()) errors
   end
 

@@ -3,6 +3,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
       ("statistics", Test_statistics.suite);
       ("dist", Test_dist.suite);
       ("graph", Test_graph.suite);

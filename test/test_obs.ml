@@ -1,0 +1,223 @@
+(* The observability layer's own contracts: ring-buffer retention, JSONL
+   shape, the determinism guarantees (domain-count invariance via
+   capture/replay, fault-seed invariance at zero rates), metrics counter
+   aggregation, and the message meter on the pristine path. *)
+
+module Trace = Ls_obs.Trace
+module Metrics = Ls_obs.Metrics
+module Generators = Ls_graph.Generators
+module Graph = Ls_graph.Graph
+module Network = Ls_local.Network
+module Faults = Ls_local.Faults
+module Par = Ls_par.Par
+module Rng = Ls_rng.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Restore the ambient sink and the domain count whatever a test does. *)
+let with_ambient trace f =
+  Trace.install trace;
+  Fun.protect ~finally:Trace.uninstall f
+
+let with_domains k f =
+  let saved = Par.domains () in
+  Par.set_domains k;
+  Fun.protect ~finally:(fun () -> Par.set_domains saved) f
+
+let mark l = Trace.Mark { label = l }
+
+let test_ring_retention () =
+  let t = Trace.make ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit t (mark (string_of_int i))
+  done;
+  checki "total counts evicted events too" 10 (Trace.total t);
+  checkb "ring keeps the last capacity events, oldest first" true
+    (Trace.events t = List.map (fun i -> mark (string_of_int i)) [ 6; 7; 8; 9 ])
+
+let test_jsonl_shape () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let t = Trace.make ~path () in
+  Trace.emit t (Trace.Phase_start { label = {|flood "q\w|}; clock = 3 });
+  Trace.emit t (Trace.Fault_delay { round = 1; src = 2; dst = 3; copy = 1; delay = 2 });
+  Trace.close t;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let strip line =
+    (* "ts" is always the first field, so dropping up to the first comma
+       is the documented sed recipe. *)
+    checkb "line opens with the ts field" true
+      (String.length line > 6 && String.sub line 0 6 = {|{"ts":|});
+    match String.index_opt line ',' with
+    | Some i -> "{" ^ String.sub line (i + 1) (String.length line - i - 1)
+    | None -> line
+  in
+  match List.rev_map strip !lines with
+  | [ l1; l2 ] ->
+      Alcotest.(check string)
+        "escaped phase_start line"
+        {|{"ev":"phase_start","label":"flood \"q\\w","clock":3}|} l1;
+      Alcotest.(check string)
+        "delay line"
+        {|{"ev":"delay","round":1,"src":2,"dst":3,"copy":1,"delay":2}|} l2
+  | ls -> Alcotest.failf "expected 2 JSONL lines, got %d" (List.length ls)
+
+(* A seeded workload with real parallel structure: each trial floods a
+   faulty network (drops + delays fire trace events from inside the
+   runtime) and stamps a trial-local mark. *)
+let traced_workload () =
+  ignore
+    (Par.run_trials ~n:8 ~seed:77L (fun rng ->
+         let tag = Int64.to_string (Rng.bits64 rng) in
+         Trace.to_ambient (mark tag);
+         let g = Generators.cycle 8 in
+         let faults =
+           Faults.make ~seed:(Rng.bits64 rng) ~drop:0.2 ~delay:0.3
+             ~max_delay:2 ()
+         in
+         let net =
+           Network.create ~faults g ~inputs:(Array.make 8 ()) ~seed:5L
+         in
+         ignore (Network.flood_views net ~radius:2)))
+
+let test_trace_domain_invariant () =
+  (* The determinism contract's core claim: the event stream is a pure
+     function of the seeds, independent of the domain count.  capture +
+     index-ordered replay in Ls_par is what makes this hold. *)
+  let run k =
+    let t = Trace.make () in
+    with_ambient t (fun () -> with_domains k traced_workload);
+    Trace.events t
+  in
+  let e1 = run 1 and e4 = run 4 in
+  checkb "some events were produced" true (List.length e1 > 8);
+  checkb "event streams identical at 1 vs 4 domains" true (e1 = e4)
+
+let test_trace_seed_invariant_without_faults () =
+  (* With every fault rate at zero the plan's seed is inert: no fault
+     event can fire, so traces at different fault seeds coincide (phase
+     events only). *)
+  let run fseed =
+    let t = Trace.make () in
+    let faults = Faults.make ~seed:fseed () in
+    let net =
+      Network.create ~faults ~trace:t (Generators.cycle 8)
+        ~inputs:(Array.make 8 ()) ~seed:6L
+    in
+    ignore (Network.flood_views net ~radius:2);
+    Trace.events t
+  in
+  let a = run 1L and b = run 999L in
+  checkb "zero-rate traces are phase bookends only" true
+    (List.for_all
+       (function Trace.Phase_start _ | Trace.Phase_end _ -> true | _ -> false)
+       a);
+  checkb "fault seed leaves the zero-rate trace unchanged" true (a = b)
+
+let test_pristine_message_meter () =
+  (* Fault-free flood: one copy per directed edge per round, so the meter
+     reads exactly radius * 2m. *)
+  let g = Generators.cycle 9 in
+  let net = Network.create g ~inputs:(Array.make 9 ()) ~seed:7L in
+  ignore (Network.flood_views net ~radius:3);
+  checki "messages = radius * 2m" (3 * 2 * Graph.m g) (Network.messages net)
+
+let test_metrics_aggregation () =
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.reset ();
+      Metrics.set_enabled false)
+  @@ fun () ->
+  Metrics.reset ();
+  Metrics.record_phase ~rounds:3 ~bits:10 ~messages:5;
+  Metrics.record_phase ~rounds:2 ~bits:0 ~messages:7;
+  Metrics.record_drop ();
+  Metrics.record_delay ();
+  Metrics.record_delay ();
+  Metrics.record_attempt ~retry:false;
+  Metrics.record_attempt ~retry:true;
+  Metrics.record_backoff ~rounds:4;
+  Metrics.record_decomposition ~failures:2;
+  Metrics.record_batch ~items:6 ~per_worker:[| 2; 4 |];
+  Metrics.record_batch ~items:3 ~per_worker:[| 3 |];
+  let s = Metrics.snapshot () in
+  checki "phases" 2 s.Metrics.phases;
+  checki "rounds" 5 s.Metrics.rounds;
+  checki "bits" 10 s.Metrics.bits;
+  checki "messages" 12 s.Metrics.messages;
+  checki "drops" 1 s.Metrics.drops;
+  checki "delays" 2 s.Metrics.delays;
+  checki "attempts" 2 s.Metrics.attempts;
+  checki "retries" 1 s.Metrics.retries;
+  checki "backoff rounds" 4 s.Metrics.backoff_rounds;
+  checki "decompositions" 1 s.Metrics.decompositions;
+  checki "decomposition failures" 2 s.Metrics.decomposition_failures;
+  checki "batches" 2 s.Metrics.batches;
+  checki "items" 9 s.Metrics.items;
+  checki "max queue" 6 s.Metrics.max_queue;
+  checkb "per-domain sums to items" true
+    (Array.fold_left ( + ) 0 s.Metrics.per_domain = 9);
+  Metrics.reset ();
+  let z = Metrics.snapshot () in
+  checki "reset zeroes phases" 0 z.Metrics.phases;
+  checki "reset zeroes items" 0 z.Metrics.items
+
+let test_metrics_disabled_is_inert () =
+  Metrics.reset ();
+  checkb "metrics start disabled in tests" false (Metrics.enabled ());
+  Metrics.record_phase ~rounds:9 ~bits:9 ~messages:9;
+  Metrics.record_crash ();
+  checki "disabled recorders do not count" 0 (Metrics.snapshot ()).Metrics.phases
+
+let test_metrics_match_trace_counts () =
+  (* The two observers agree: aggregate counters equal the event tallies
+     of the same run. *)
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Metrics.reset ();
+      Metrics.set_enabled false)
+  @@ fun () ->
+  Metrics.reset ();
+  let t = Trace.make () in
+  let faults = Faults.make ~seed:21L ~drop:0.2 ~delay:0.3 ~max_delay:2 () in
+  let net =
+    Network.create ~faults ~trace:t (Generators.cycle 10)
+      ~inputs:(Array.make 10 ()) ~seed:22L
+  in
+  ignore (Network.flood_views net ~radius:2);
+  let s = Metrics.snapshot () in
+  let count p = List.length (List.filter p (Trace.events t)) in
+  checki "drops agree"
+    (count (function Trace.Fault_drop _ -> true | _ -> false))
+    s.Metrics.drops;
+  checki "delays agree"
+    (count (function Trace.Fault_delay _ -> true | _ -> false))
+    s.Metrics.delays;
+  checki "phases agree"
+    (count (function Trace.Phase_end _ -> true | _ -> false))
+    s.Metrics.phases
+
+let suite =
+  [
+    Alcotest.test_case "ring retention + total" `Quick test_ring_retention;
+    Alcotest.test_case "JSONL shape and escaping" `Quick test_jsonl_shape;
+    Alcotest.test_case "trace invariant across domain counts" `Quick
+      test_trace_domain_invariant;
+    Alcotest.test_case "zero-rate trace ignores fault seed" `Quick
+      test_trace_seed_invariant_without_faults;
+    Alcotest.test_case "pristine message meter" `Quick
+      test_pristine_message_meter;
+    Alcotest.test_case "metrics aggregate and reset" `Quick
+      test_metrics_aggregation;
+    Alcotest.test_case "disabled metrics are inert" `Quick
+      test_metrics_disabled_is_inert;
+    Alcotest.test_case "metrics agree with trace tallies" `Quick
+      test_metrics_match_trace_counts;
+  ]

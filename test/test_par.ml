@@ -181,6 +181,37 @@ let test_empirical_collect_invariant () =
   check (Alcotest.float 1e-12) "marginal sums to 1" 1.
     (Array.fold_left ( +. ) 0. ma)
 
+let test_resize_race_hammer () =
+  (* The global pool is refcounted: a resize retires the old pool but must
+     not tear it down under a caller mid-run.  Hammer run_trials against a
+     domain spawning continuous set_domains flips; every batch must still
+     match the sequential reference bit-for-bit, and nothing may crash. *)
+  let n = 24 in
+  let body = trial_body in
+  let reference = Par.run_trials ~domains:1 ~n ~seed:314L body in
+  let stop = Atomic.make false in
+  let flipper =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          Par.set_domains (1 + (!i mod 3));
+          (* An empty batch still acquires/releases the shared slot. *)
+          ignore (Par.run_trials ~n:0 ~seed:0L (fun _ -> ()));
+          incr i
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join flipper;
+      Par.set_domains (Par.default_domains ()))
+    (fun () ->
+      for _ = 1 to 60 do
+        let got = Par.run_trials ~n ~seed:314L body in
+        checkb "hammered batch matches sequential reference" true
+          (got = reference)
+      done)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_domain_count_invariance;
@@ -202,4 +233,6 @@ let suite =
     Alcotest.test_case "pool direct use" `Quick test_pool_direct_use;
     Alcotest.test_case "Empirical.collect invariance" `Quick
       test_empirical_collect_invariant;
+    Alcotest.test_case "set_domains vs run_trials hammer" `Quick
+      test_resize_race_hammer;
   ]

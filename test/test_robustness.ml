@@ -336,6 +336,158 @@ let test_jvv_exact_under_faults () =
   Test_statistics.check_gof "JVV successes under faults vs exact mu"
     ~significance:0.001 emp (Exact.joint inst)
 
+let test_delay_survives_phase_boundary () =
+  (* Regression: delay=1, max_delay=1 delays EVERY copy by exactly one
+     round, so a radius-1 flood delivers nothing in-phase.  Before the
+     carry fix those copies silently became drops at the phase boundary;
+     now they are parked and delivered to the next flood, whose views
+     become complete purely from last phase's late traffic. *)
+  let n = 6 in
+  let g = Generators.cycle n in
+  let faults = Faults.make ~seed:3L ~delay:1.0 ~max_delay:1 () in
+  let net = Network.create ~faults g ~inputs:(Array.init n Fun.id) ~seed:4L in
+  let v1 = Network.flood_views net ~radius:1 in
+  for v = 0 to n - 1 do
+    checki "phase 1: everything arrives late" 1
+      (Array.length v1.(v).Network.vertices)
+  done;
+  checkb "late copies are parked, not lost" true (Network.pending_count net > 0);
+  let v2 = Network.flood_views net ~radius:1 in
+  for v = 0 to n - 1 do
+    checkb "phase 2: carried copies complete the ball" true
+      (Network.view_is_complete net v2.(v))
+  done
+
+let test_broadcast_carry_conserves_copies () =
+  (* Conservation law for a delay-only plan: every transmitted copy is
+     either delivered to a merge or still parked — never lost.  (Cycle on
+     5 vertices: 10 directed edges per round.) *)
+  let n = 5 in
+  let g = Generators.cycle n in
+  let faults = Faults.make ~seed:9L ~delay:0.7 ~max_delay:3 () in
+  let net = Network.create ~faults g ~inputs:(Array.make n ()) ~seed:10L in
+  let carrier = Network.carrier () in
+  let received = ref 0 in
+  let phase rounds =
+    ignore
+      (Network.run_broadcast net ~rounds ~carry:carrier
+         ~init:(fun _ -> ())
+         ~emit:(fun _ () -> ())
+         ~merge:(fun _ () inbox -> received := !received + List.length inbox)
+         ())
+  in
+  phase 2;
+  phase 4;
+  let sent = Network.messages net in
+  checki "6 rounds x 10 directed edges transmitted" 60 sent;
+  checki "every copy delivered or still parked" sent
+    (!received + Network.pending_count net)
+
+let test_collect_views_merges_partials () =
+  (* Union, not max: knowledge from two flood attempts composes, so the
+     merged view contains every vertex either attempt learned. *)
+  let n = 10 in
+  let g = Generators.cycle n in
+  let faults = Faults.make ~seed:51L ~drop:0.45 () in
+  let net = Network.create ~faults g ~inputs:(Array.make n ()) ~seed:52L in
+  let a = Network.flood_views net ~radius:2 in
+  let b = Network.flood_views net ~radius:2 in
+  let mem view o = Array.exists (( = ) o) view.Network.vertices in
+  let strictly_bigger = ref false in
+  Array.iteri
+    (fun v bv ->
+      let m = Network.merge_views net a.(v) bv in
+      Array.iter
+        (fun o -> checkb "merged contains attempt 1" true (mem m o))
+        a.(v).Network.vertices;
+      Array.iter
+        (fun o -> checkb "merged contains attempt 2" true (mem m o))
+        bv.Network.vertices;
+      if
+        Array.length m.Network.vertices > Array.length a.(v).Network.vertices
+        && Array.length m.Network.vertices > Array.length bv.Network.vertices
+      then strictly_bigger := true)
+    b;
+  (* At drop 0.45 some node's two partial views are incomparable, which is
+     exactly the case the old keep-the-larger rule lost knowledge on. *)
+  checkb "some merge exceeds both operands" true !strictly_bigger;
+  Alcotest.check_raises "mismatched centers rejected"
+    (Invalid_argument "Network.merge_views: views differ in center or radius")
+    (fun () -> ignore (Network.merge_views net a.(0) a.(1)))
+
+let test_corruption_per_copy () =
+  (* Duplicated copies draw independent corruption verdicts (satellite of
+     the per-copy coordinate fix): across many (round, edge) coordinates
+     the two copies must disagree somewhere. *)
+  let plan = Faults.make ~seed:61L ~duplicate:1.0 ~corrupt:0.5 () in
+  let differing = ref false in
+  for round = 0 to 9 do
+    for src = 0 to 9 do
+      let dst = (src + 1) mod 10 in
+      let c1 = Faults.corrupted plan ~round ~src ~dst ~copy:1 in
+      let c2 = Faults.corrupted plan ~round ~src ~dst ~copy:2 in
+      if c1 <> c2 then differing := true
+    done
+  done;
+  checkb "copies draw independent verdicts" true !differing;
+  (* End-to-end through the executor: with dup=1 and corrupt=0.5 some
+     receiver must see one corrupted and one pristine copy of the same
+     message — impossible under the old all-or-none verdict. *)
+  let n = 8 in
+  let g = Generators.cycle n in
+  let net =
+    Network.create ~faults:plan g ~inputs:(Array.make n ()) ~seed:62L
+  in
+  let mixed = ref false in
+  ignore
+    (Network.run_broadcast net ~rounds:3
+       ~corrupt:(fun ~round:_ ~src:_ ~dst:_ m -> m + 1000)
+       ~init:(fun v -> v)
+       ~emit:(fun v _ -> v)
+       ~merge:(fun _ s inbox ->
+         List.iter
+           (fun m ->
+             let src = m mod 1000 in
+             if List.mem src inbox && List.mem (src + 1000) inbox then
+               mixed := true)
+           inbox;
+         s)
+       ());
+  checkb "a duplicate pair split verdicts in flight" true !mixed
+
+let test_jvv_exact_under_delays () =
+  (* Delay-only companion to test_jvv_exact_under_faults: after the
+     boundary fix a delayed record is late, never lost, so availability
+     stays high and — as for drops — conditioned on success the output law
+     is exactly mu. *)
+  let n = 6 in
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.)
+  in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let epsilon = Jvv.theory_epsilon inst in
+  let policy = Resilient.policy ~retry_budget:3 () in
+  let trials = 400 in
+  let results =
+    Par.run_trials ~n:trials ~seed:910L (fun rng ->
+        let faults =
+          Faults.make ~seed:(Rng.bits64 rng) ~delay:0.3 ~max_delay:2 ()
+        in
+        let s =
+          Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
+            ~seed:(Rng.bits64 rng)
+        in
+        (s.Jvv.sresult.Jvv.success, s.Jvv.sresult.Jvv.y))
+  in
+  let successes =
+    Array.fold_left (fun a (ok, _) -> if ok then a + 1 else a) 0 results
+  in
+  checkb "delays cost availability only mildly" true (successes > trials / 2);
+  let emp = Empirical.create () in
+  Array.iter (fun (ok, y) -> if ok then Empirical.add emp y) results;
+  Test_statistics.check_gof "JVV successes under delay-only faults vs exact mu"
+    ~significance:0.001 emp (Exact.joint inst)
+
 let suite =
   [
     Alcotest.test_case "sampler degrades linearly" `Quick test_sampler_degrades_linearly;
@@ -368,4 +520,14 @@ let suite =
     Alcotest.test_case "resilient sampler reproducible" `Quick
       test_resilient_sampler_reproducible;
     Alcotest.test_case "JVV exact under faults" `Slow test_jvv_exact_under_faults;
+    Alcotest.test_case "delay survives phase boundary" `Quick
+      test_delay_survives_phase_boundary;
+    Alcotest.test_case "broadcast carry conserves copies" `Quick
+      test_broadcast_carry_conserves_copies;
+    Alcotest.test_case "collect_views merges partial knowledge" `Quick
+      test_collect_views_merges_partials;
+    Alcotest.test_case "corruption verdicts are per copy" `Quick
+      test_corruption_per_copy;
+    Alcotest.test_case "JVV exact under delay-only faults" `Slow
+      test_jvv_exact_under_delays;
   ]
