@@ -27,6 +27,7 @@ let sections =
     ("e10", Experiments.e10);
     ("e11", Experiments.e11);
     ("e12", Experiments.e12);
+    ("e13", Experiments.e13);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]
@@ -34,7 +35,9 @@ let sections =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--domains K] [--fault-rate P] [--crash-rate P] \
-     [--retry-budget R] [--trace FILE] [--metrics] [section ...]\n\
+     [--retry-budget R] [--max-delay K] [--corrupt-rate P] \
+     [--fault-profile lossy|flaky|partitioned] [--trace FILE] [--metrics] \
+     [section ...]\n\
      (known sections: %s)\n"
     (String.concat ", " (List.map fst sections));
   exit 2
@@ -56,26 +59,36 @@ let parse_args argv =
     | "--fault-rate" :: p :: rest -> set_fault_rate p; go acc rest
     | "--crash-rate" :: p :: rest -> set_crash_rate p; go acc rest
     | "--retry-budget" :: r :: rest -> set_retry_budget r; go acc rest
+    | "--max-delay" :: k :: rest -> set_max_delay k; go acc rest
+    | "--corrupt-rate" :: p :: rest -> set_corrupt_rate p; go acc rest
+    | "--fault-profile" :: name :: rest -> set_fault_profile name; go acc rest
     | "--trace" :: f :: rest -> set_trace f; go acc rest
     | "--metrics" :: rest ->
         metrics_on := true;
         Ls_obs.Metrics.set_enabled true;
         go acc rest
     | "--help" :: _ -> usage ()
-    | arg :: rest -> (
-        match
-          ( split_eq "--domains" arg,
-            split_eq "--fault-rate" arg,
-            split_eq "--crash-rate" arg,
-            split_eq "--retry-budget" arg,
-            split_eq "--trace" arg )
-        with
-        | Some k, _, _, _, _ -> set_domains k; go acc rest
-        | _, Some p, _, _, _ -> set_fault_rate p; go acc rest
-        | _, _, Some p, _, _ -> set_crash_rate p; go acc rest
-        | _, _, _, Some r, _ -> set_retry_budget r; go acc rest
-        | _, _, _, _, Some f -> set_trace f; go acc rest
-        | None, None, None, None, None -> go (arg :: acc) rest)
+    | arg :: rest ->
+        let eq_flags =
+          [
+            ("--domains", set_domains);
+            ("--fault-rate", set_fault_rate);
+            ("--crash-rate", set_crash_rate);
+            ("--retry-budget", set_retry_budget);
+            ("--max-delay", set_max_delay);
+            ("--corrupt-rate", set_corrupt_rate);
+            ("--fault-profile", set_fault_profile);
+            ("--trace", set_trace);
+          ]
+        in
+        let rec try_eq = function
+          | [] -> go (arg :: acc) rest
+          | (p, set) :: more -> (
+              match split_eq p arg with
+              | Some v -> set v; go acc rest
+              | None -> try_eq more)
+        in
+        try_eq eq_flags
   and set_domains k =
     match int_of_string_opt k with
     | Some k when k >= 1 -> Ls_par.Par.set_domains k
@@ -100,6 +113,33 @@ let parse_args argv =
     | _ ->
         Printf.eprintf "--retry-budget expects an integer >= 0, got %S\n" r;
         exit 2
+  and set_max_delay k =
+    (* Validation lives in Faults.make, so the error text matches the
+       locsample CLI's exactly. *)
+    match int_of_string_opt k with
+    | Some x -> (
+        try
+          ignore (Ls_local.Faults.make ~max_delay:x ());
+          Experiments.e12_max_delay := x
+        with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2)
+    | None ->
+        Printf.eprintf "--max-delay expects an integer >= 1, got %S\n" k;
+        exit 2
+  and set_corrupt_rate p =
+    match float_of_string_opt p with
+    | Some x -> (
+        try
+          ignore (Ls_local.Faults.make ~corrupt:x ());
+          Experiments.e12_corrupt_rate := x
+        with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2)
+    | None ->
+        Printf.eprintf "--corrupt-rate expects a probability in [0,1], got %S\n"
+          p;
+        exit 2
+  and set_fault_profile name =
+    (try ignore (Ls_local.Faults.preset name)
+     with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2);
+    Experiments.e12_profile := Some name
   and set_trace f =
     let t = Ls_obs.Trace.make ~path:f () in
     Ls_obs.Trace.install t;

@@ -128,9 +128,29 @@ let make_oracle ~engine ~t inst =
 
 (* Flag validation funnels through the library constructors so the CLI and
    the API reject exactly the same values; the rejection path mirrors
-   --domains: named message on stderr, exit 2. *)
-let faults_of_flags ~seed ~fault_rate ~crash_rate =
-  try Faults.make ~seed ~drop:fault_rate ~crash:crash_rate ()
+   --domains: named message on stderr, exit 2.
+
+   --fault-profile names a preset bundle; explicit flags override the
+   preset field they correspond to (a flag left at its default defers to
+   the preset, and invalid explicit values still reach Faults.make, which
+   rejects them by name). *)
+let faults_of_flags ~seed ~fault_rate ~crash_rate ~max_delay ~corrupt_rate
+    ~profile =
+  try
+    let p =
+      match profile with
+      | Some name -> Faults.preset name
+      | None -> Faults.zero_preset
+    in
+    let over flag dflt preset = if flag <> dflt then flag else preset in
+    Faults.make ~seed
+      ~drop:(over fault_rate 0. p.Faults.pr_drop)
+      ~duplicate:p.Faults.pr_duplicate ~delay:p.Faults.pr_delay
+      ~max_delay:(over max_delay 1 p.Faults.pr_max_delay)
+      ~crash:(over crash_rate 0. p.Faults.pr_crash)
+      ~recovery:p.Faults.pr_recovery ~recovery_delay:p.Faults.pr_recovery_delay
+      ~corrupt:(over corrupt_rate 0. p.Faults.pr_corrupt)
+      ~partitions:p.Faults.pr_partitions ~bursts:p.Faults.pr_bursts ()
   with Invalid_argument msg ->
     Printf.eprintf "locsample: %s\n" msg;
     exit 2
@@ -143,26 +163,25 @@ let policy_of_flags ~retry_budget =
 
 (* --- commands ------------------------------------------------------- *)
 
-let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~fault_rate
-    ~crash_rate ~policy trials =
+let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
+    trials =
   let order = Array.init (Instance.n inst) (fun i -> i) in
-  let faulty = fault_rate > 0. || crash_rate > 0. in
+  let faulty = not (Faults.is_none faults) in
   if faulty then
-    Printf.printf "fault plan per trial: drop=%g crash=%g, retry budget %d\n"
-      fault_rate crash_rate policy.Resilient.retry_budget;
+    Printf.printf "fault plan per trial: %s, retry budget %d\n"
+      (Faults.describe faults) policy.Resilient.retry_budget;
   let run_one =
     if faulty then begin
       let epsilon =
         match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
       in
-      (* Per-trial fault plan seeded from the trial's own stream, so the
-         sweep stays bit-identical across domain counts. *)
+      (* Per-trial fault plan: the same schedule shape reseeded from the
+         trial's own stream, so the sweep stays bit-identical across
+         domain counts. *)
       fun rng ->
         let fseed = Rng.bits64 rng in
         let sseed = Rng.bits64 rng in
-        let faults =
-          Faults.make ~seed:fseed ~drop:fault_rate ~crash:crash_rate ()
-        in
+        let faults = Faults.reseed faults ~seed:fseed in
         if exact_jvv then
           let s =
             Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
@@ -215,20 +234,21 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~fault_rate
   0
 
 let sample graph model t seed engine exact_jvv epsilon trials fault_rate
-    crash_rate retry_budget =
+    crash_rate max_delay corrupt_rate profile retry_budget =
   let policy = policy_of_flags ~retry_budget in
-  let faulty = fault_rate > 0. || crash_rate > 0. in
-  (* Validate the rates up front even when one of them is zero. *)
+  (* Validate the flags up front even when they are all zero. *)
   let faults =
     faults_of_flags ~seed:(Int64.of_int (seed + 1)) ~fault_rate ~crash_rate
+      ~max_delay ~corrupt_rate ~profile
   in
+  let faulty = not (Faults.is_none faults) in
   let g, m, inst = make_instance ~graph ~model ~seed in
   Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
     m.describe;
   let oracle = make_oracle ~engine ~t inst in
   if trials > 1 then
-    sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~fault_rate
-      ~crash_rate ~policy trials
+    sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
+      trials
   else if faulty then begin
     if exact_jvv then begin
       let epsilon =
@@ -335,6 +355,26 @@ let count graph model t seed =
   Printf.printf "ln Z ~ %.6f   (Z ~ %.6e)\n" log_z (exp log_z);
   0
 
+let chaos seed schedules trials reproducer_path =
+  let summary =
+    Ls_chaos.Chaos.run ~schedules ~trials ~seed:(Int64.of_int seed) ()
+  in
+  if Ls_chaos.Chaos.ok summary then begin
+    Printf.printf
+      "chaos: %d schedule(s) x %d trial(s) from seed %d — all invariants held\n"
+      schedules trials seed;
+    0
+  end
+  else begin
+    let text = Ls_chaos.Chaos.reproducer summary in
+    print_string text;
+    let oc = open_out reproducer_path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "reproducer written to %s\n" reproducer_path;
+    1
+  end
+
 (* --- cmdliner wiring -------------------------------------------------- *)
 
 open Cmdliner
@@ -428,7 +468,31 @@ let sample_cmd =
   in
   let crash_rate =
     Arg.(value & opt float 0. & info [ "crash-rate" ] ~docv:"P"
-         ~doc:"Per-node crash-stop probability of the injected fault plan.")
+         ~doc:"Per-node crash probability of the injected fault plan (a \
+               crashed node is gone for good unless the plan grants it a \
+               recovery — see --fault-profile flaky).")
+  in
+  let max_delay =
+    Arg.(value & opt int 1 & info [ "max-delay" ] ~docv:"D"
+         ~doc:"Upper bound (>= 1) on how many rounds a delayed copy can \
+               arrive late.  Only meaningful when the plan has a nonzero \
+               delay rate (e.g. via --fault-profile flaky).")
+  in
+  let corrupt_rate =
+    Arg.(value & opt float 0. & info [ "corrupt-rate" ] ~docv:"P"
+         ~doc:"Per-(round, edge, copy) payload corruption probability.  \
+               Corrupted flood records are detected by an integrity digest \
+               and quarantined — billed but never delivered — so corruption \
+               costs availability, never correctness.")
+  in
+  let profile =
+    Arg.(value & opt (some string) None & info [ "fault-profile" ] ~docv:"NAME"
+         ~doc:"Named fault preset: 'lossy' (pure message loss), 'flaky' \
+               (loss + duplication + delay + crash-recovery + corruption), \
+               or 'partitioned' (a partition interval and a drop burst over \
+               light loss).  Explicit flags override the preset field they \
+               correspond to; everything funnels through the same \
+               validation.")
   in
   let retry_budget =
     Arg.(value & opt int 3 & info [ "retry-budget" ] ~docv:"R"
@@ -436,7 +500,7 @@ let sample_cmd =
                meter) before a faulty run degrades to a partial sample.")
   in
   Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
-    Term.(const (fun () a b c d e f g h i j k -> sample a b c d e f g h i j k) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ retry_budget)
+    Term.(const (fun () a b c d e f g h i j k l m n -> sample a b c d e f g h i j k l m n) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ profile $ retry_budget)
 
 let infer_cmd =
   let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in
@@ -463,10 +527,33 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc:"Estimate ln Z via local inference (self-reduction)")
     Term.(const (fun () a b c d -> count a b c d) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg)
 
+let chaos_cmd =
+  let schedules =
+    Arg.(value & opt int 10 & info [ "schedules" ] ~docv:"N"
+         ~doc:"Random fault schedules to generate and check.")
+  in
+  let trials =
+    Arg.(value & opt int 80 & info [ "chaos-trials" ] ~docv:"N"
+         ~doc:"Sampling trials per schedule.")
+  in
+  let reproducer =
+    Arg.(value & opt string "chaos-reproducer.txt" & info [ "reproducer" ]
+         ~docv:"FILE"
+         ~doc:"Where to write the shrunk reproducer on failure.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the chaos harness: random fault schedules, an invariant \
+             suite (zero-fault bit-identity, message conservation, \
+             domain-count determinism, Las Vegas exactness), and greedy \
+             shrinking of failures to minimal reproducers.  Exits 1 on any \
+             violation, after writing the reproducer file.")
+    Term.(const (fun () a b c d -> chaos a b c d) $ setup_log_term $ seed_arg $ schedules $ trials $ reproducer)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "locsample" ~version:"1.0.0"
        ~doc:"Local distributed sampling and counting (Feng & Yin, PODC 2018)")
-    [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd ]
+    [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,328 @@
+(* Chaos harness for the LOCAL runtime: generate random fault schedules
+   from a seed, run the resilient sampler under each, check a suite of
+   invariants that must hold under EVERY schedule, and shrink failing
+   schedules to minimal reproducers.
+
+   Everything here is a pure function of the harness seed: schedule
+   generation, trial randomness and fault verdicts all derive from it, so
+   a failure printed with its seed replays exactly — on any machine, at
+   any domain count. *)
+
+module Rng = Ls_rng.Rng
+module Dist = Ls_dist.Dist
+module Empirical = Ls_dist.Empirical
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Models = Ls_gibbs.Models
+module Network = Ls_local.Network
+module Faults = Ls_local.Faults
+module Resilient = Ls_local.Resilient
+module Par = Ls_par.Par
+open Ls_core
+
+(* --- schedules -------------------------------------------------------- *)
+
+type spec = {
+  plan_seed : int64;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  max_delay : int;
+  crash : float;
+  recovery : float;
+  recovery_delay : int;
+  corrupt : float;
+  partitions : (int * int * int) list;
+  bursts : (int * int * float) list;
+}
+
+let quiet plan_seed =
+  {
+    plan_seed;
+    drop = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    max_delay = 1;
+    crash = 0.;
+    recovery = 0.;
+    recovery_delay = 1;
+    corrupt = 0.;
+    partitions = [];
+    bursts = [];
+  }
+
+let to_faults s =
+  Faults.make ~seed:s.plan_seed ~drop:s.drop ~duplicate:s.duplicate
+    ~delay:s.delay ~max_delay:s.max_delay ~crash:s.crash ~recovery:s.recovery
+    ~recovery_delay:s.recovery_delay ~corrupt:s.corrupt
+    ~partitions:s.partitions ~bursts:s.bursts ()
+
+let describe s = Faults.describe (to_faults s)
+
+(* Schedule generation: every dimension of the fault space is exercised
+   with positive probability, at rates moderate enough that the workload
+   keeps succeeding often (the exactness invariant needs successes). *)
+let gen rng =
+  let plan_seed = Rng.bits64 rng in
+  let rate p hi = if Rng.bernoulli rng p then Rng.float rng *. hi else 0. in
+  let drop = rate 0.7 0.12 in
+  let duplicate = rate 0.4 0.1 in
+  let delay = rate 0.5 0.3 in
+  let max_delay = 1 + Rng.int rng 3 in
+  let crash = rate 0.5 0.1 in
+  let recovery = if Rng.bernoulli rng 0.6 then 0.5 +. (Rng.float rng *. 0.5) else 0. in
+  let recovery_delay = 1 + Rng.int rng 6 in
+  let corrupt = rate 0.4 0.05 in
+  let intervals k gen_one =
+    List.init (Rng.int rng (k + 1)) (fun _ -> gen_one ())
+  in
+  let partitions =
+    intervals 2 (fun () ->
+        let a = Rng.int rng 8 in
+        (a, a + 1 + Rng.int rng 5, 2 + Rng.int rng 2))
+  in
+  let bursts =
+    intervals 2 (fun () ->
+        let a = Rng.int rng 10 in
+        (a, a + 1 + Rng.int rng 3, 0.3 +. (Rng.float rng *. 0.6)))
+  in
+  {
+    plan_seed;
+    drop;
+    duplicate;
+    delay;
+    max_delay;
+    crash;
+    recovery;
+    recovery_delay;
+    corrupt;
+    partitions;
+    bursts;
+  }
+
+(* --- the workload ----------------------------------------------------- *)
+
+(* Small enough for exact enumeration, large enough that partitions and
+   crashes bite: the hardcore model on C6, sampled by the chain-rule
+   sampler over the supervised message-passing layer. *)
+let workload_n = 6
+
+let workload_instance () =
+  Instance.unpinned (Models.hardcore (Generators.cycle workload_n) ~lambda:1.)
+
+let exact_joint = lazy (Exact.joint (workload_instance ()))
+
+type violation = { invariant : string; detail : string }
+
+let violation invariant fmt = Printf.ksprintf (fun detail -> { invariant; detail }) fmt
+
+(* Wilson-Hilferty chi-square upper quantile at significance 0.001 (the
+   same approximation the test suite's Test_statistics uses). *)
+let chi_square_critical ~df =
+  let d = float_of_int df in
+  let z = 3.0902 in
+  if df = 1 then 3.29053 *. 3.29053
+  else if df = 2 then -2. *. log 0.001
+  else d *. ((1. -. (2. /. (9. *. d)) +. (z *. sqrt (2. /. (9. *. d)))) ** 3.)
+
+(* One supervised sampling trial.  Per-trial fault and payload seeds are
+   split off the trial stream, so trials are independent replicas of the
+   same schedule SHAPE (rates and intervals) — exactly how E12/E13 sample
+   fault space. *)
+let one_trial spec inst oracle policy rng =
+  let faults = to_faults { spec with plan_seed = Rng.bits64 rng } in
+  let r =
+    Local_sampler.sample_resilient oracle ~policy ~faults inst
+      ~seed:(Rng.bits64 rng)
+  in
+  (r.Local_sampler.success, r.Local_sampler.sigma, r.Local_sampler.rounds)
+
+let run_spec ?check ?(trials = 80) spec =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  (match check with Some f -> Option.iter push (f spec) | None -> ());
+  let inst = workload_instance () in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let policy = Resilient.policy ~retry_budget:3 () in
+  let faults = to_faults spec in
+  (* Invariant: conservation.  Drive supervised ball collection directly
+     on a network we hold, then account for every transmitted copy. *)
+  let g = Generators.cycle workload_n in
+  let net =
+    Network.create ~faults g
+      ~inputs:(Array.make workload_n ())
+      ~seed:spec.plan_seed
+  in
+  let _views, _failed, _report =
+    Resilient.collect_views net ~policy ~radius:2
+  in
+  let sent = Network.messages net in
+  let accounted =
+    Network.delivered_count net + Network.pending_count net
+    + Network.quarantined_count net
+    + Network.dead_letter_count net
+  in
+  if sent <> accounted then
+    push
+      (violation "conservation"
+         "sent %d <> delivered %d + pending %d + quarantined %d + dead %d" sent
+         (Network.delivered_count net)
+         (Network.pending_count net)
+         (Network.quarantined_count net)
+         (Network.dead_letter_count net));
+  (* Trial batch, used by the three remaining invariants.  Domain count 1
+     here; the determinism invariant reruns the same batch on 2 domains
+     and demands bit-identical results. *)
+  let batch_seed = Int64.logxor spec.plan_seed 0x5DEECE66DL in
+  let batch ~domains =
+    Par.run_trials ~domains ~n:trials ~seed:batch_seed
+      (one_trial spec inst oracle policy)
+  in
+  let results = batch ~domains:1 in
+  (* Invariant: domain-count invariance (verdicts, outputs and round
+     charges must not depend on scheduling). *)
+  let results2 = batch ~domains:2 in
+  if results <> results2 then
+    push
+      (violation "domain-determinism"
+         "trial batch differs between --domains 1 and --domains 2");
+  (* Invariant: Las Vegas samplers never lie — every success lies in the
+     support of the exact joint distribution. *)
+  let exact = Lazy.force exact_joint in
+  Array.iteri
+    (fun i (ok, sigma, _) ->
+      if ok && not (List.mem_assoc sigma exact) then
+        push
+          (violation "las-vegas" "trial %d: success outside exact support [%s]"
+             i
+             (String.concat ";" (Array.to_list (Array.map string_of_int sigma)))))
+    results;
+  (* Invariant: exactness on successes.  Faults may depress availability
+     but conditioned on success the output is exactly mu — chi-square GOF
+     at significance 0.001, skipped when successes are too few for the
+     expected cell counts to be meaningful. *)
+  let emp = Empirical.create () in
+  Array.iter (fun (ok, sigma, _) -> if ok then Empirical.add emp sigma) results;
+  let support = List.length exact in
+  if Empirical.total emp >= 5 * support then begin
+    let stat = Empirical.chi_square emp exact in
+    let critical = chi_square_critical ~df:(support - 1) in
+    if not (stat <= critical) then
+      push
+        (violation "gof"
+           "chi-square %.2f > critical %.2f on %d successes (df %d)" stat
+           critical (Empirical.total emp) (support - 1))
+  end;
+  List.rev !violations
+
+(* Zero-fault bit-identity: the supervised sampler under [Faults.none]
+   must produce exactly the unsupervised sampler's output (the pristine
+   executor runs verbatim, and attempt 0's payload seed is the first
+   split of the master stream). *)
+let zero_fault_identity ~seed =
+  let inst = workload_instance () in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let resilient =
+    Local_sampler.sample_resilient oracle ~faults:Faults.none inst ~seed
+  in
+  let payload_seed = Rng.bits64 (Rng.create seed) in
+  let plain = Local_sampler.sample oracle inst ~seed:payload_seed in
+  if resilient.Local_sampler.sigma <> plain.Local_sampler.sigma then
+    Some
+      (violation "zero-fault"
+         "supervised sampler under Faults.none diverged from the plain sampler")
+  else None
+
+(* --- shrinking -------------------------------------------------------- *)
+
+let remove_nth i l = List.filteri (fun j _ -> j <> i) l
+
+(* Candidate one-step simplifications, most structural first.  Rates are
+   zeroed outright rather than halved: a minimal reproducer should name
+   the fault DIMENSIONS that matter, not a fine-tuned magnitude. *)
+let shrink_candidates s =
+  List.concat
+    [
+      List.mapi (fun i _ -> { s with partitions = remove_nth i s.partitions }) s.partitions;
+      List.mapi (fun i _ -> { s with bursts = remove_nth i s.bursts }) s.bursts;
+      (if s.crash > 0. then [ { s with crash = 0.; recovery = 0. } ] else []);
+      (if s.recovery > 0. then [ { s with recovery = 0. } ] else []);
+      (if s.corrupt > 0. then [ { s with corrupt = 0. } ] else []);
+      (if s.delay > 0. then [ { s with delay = 0.; max_delay = 1 } ] else []);
+      (if s.duplicate > 0. then [ { s with duplicate = 0. } ] else []);
+      (if s.drop > 0. then [ { s with drop = 0. } ] else []);
+      (if s.max_delay > 1 then [ { s with max_delay = 1 } ] else []);
+      (if s.recovery_delay > 1 then [ { s with recovery_delay = 1 } ] else []);
+    ]
+
+(* Greedy minimization: repeatedly take the first one-step simplification
+   that still violates some invariant, until none does.  Deterministic,
+   and every accepted step strictly shrinks the schedule, so it
+   terminates. *)
+let shrink ?check ?trials s0 =
+  let still_fails c = run_spec ?check ?trials c <> [] in
+  let rec go s =
+    match List.find_opt still_fails (shrink_candidates s) with
+    | Some c -> go c
+    | None -> s
+  in
+  go s0
+
+(* --- top level -------------------------------------------------------- *)
+
+type failure = {
+  index : int;  (** Which generated schedule failed (0-based). *)
+  f_spec : spec;
+  f_violations : violation list;
+  f_shrunk : spec;
+  f_shrunk_violations : violation list;
+}
+
+type summary = {
+  seed : int64;
+  schedules : int;
+  trials : int;
+  zero_fault : violation option;
+  failures : failure list;
+}
+
+let run ?check ?(schedules = 10) ?(trials = 80) ~seed () =
+  let rng = Rng.create seed in
+  let zero_fault = zero_fault_identity ~seed in
+  let failures = ref [] in
+  for index = 0 to schedules - 1 do
+    let s = gen rng in
+    match run_spec ?check ~trials s with
+    | [] -> ()
+    | f_violations ->
+        let f_shrunk = shrink ?check ~trials s in
+        let f_shrunk_violations = run_spec ?check ~trials f_shrunk in
+        failures :=
+          { index; f_spec = s; f_violations; f_shrunk; f_shrunk_violations }
+          :: !failures
+  done;
+  { seed; schedules; trials; zero_fault; failures = List.rev !failures }
+
+let ok summary = summary.zero_fault = None && summary.failures = []
+
+let reproducer summary =
+  let b = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "chaos: seed=%Ld schedules=%d trials=%d\n" summary.seed summary.schedules
+    summary.trials;
+  (match summary.zero_fault with
+  | Some v -> p "zero-fault identity VIOLATED: %s\n" v.detail
+  | None -> ());
+  List.iter
+    (fun f ->
+      p "schedule %d FAILED: %s\n" f.index (describe f.f_spec);
+      List.iter (fun v -> p "  %s: %s\n" v.invariant v.detail) f.f_violations;
+      p "  shrunk to: %s\n" (describe f.f_shrunk);
+      List.iter
+        (fun v -> p "  (shrunk) %s: %s\n" v.invariant v.detail)
+        f.f_shrunk_violations)
+    summary.failures;
+  if ok summary then p "all invariants held\n";
+  p "replay: locsample chaos --seed %Ld --schedules %d --trials %d\n"
+    summary.seed summary.schedules summary.trials;
+  Buffer.contents b

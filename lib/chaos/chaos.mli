@@ -1,0 +1,110 @@
+(** Chaos-testing harness for the LOCAL runtime.
+
+    Generates random fault schedules from a seed, runs the supervised
+    sampler workload under each, checks an invariant suite that must hold
+    under {e every} schedule, and greedily shrinks failing schedules to
+    minimal reproducers.
+
+    {b The invariant suite}, per schedule:
+
+    - {e conservation}: every transmitted copy is accounted for —
+      [messages = delivered + pending + quarantined + dead letters]
+      ({!Ls_local.Network});
+    - {e domain-determinism}: the trial batch is bit-identical at 1 and 2
+      domains (verdicts, outputs, round charges);
+    - {e las-vegas}: every success lies in the support of the exact joint
+      — faults may cost availability, never correctness;
+    - {e gof}: conditioned on success the output is exactly [mu]
+      (chi-square at significance 0.001, skipped when successes are too
+      few for meaningful expected cell counts).
+
+    Once per run, {e zero-fault}: the supervised sampler under
+    {!Ls_local.Faults.none} is bit-identical to the unsupervised one.
+
+    {b Determinism.}  The whole run — generation, trials, verdicts,
+    shrinking — is a pure function of [(seed, schedules, trials)], so the
+    one line printed by {!reproducer} replays a failure exactly. *)
+
+type spec = {
+  plan_seed : int64;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  max_delay : int;
+  crash : float;
+  recovery : float;
+  recovery_delay : int;
+  corrupt : float;
+  partitions : (int * int * int) list;
+  bursts : (int * int * float) list;
+}
+(** A fault schedule in shrinkable form: the arguments of
+    {!Ls_local.Faults.make}, as data. *)
+
+val quiet : int64 -> spec
+(** The zero-fault schedule with the given plan seed (the shrinker's
+    bottom element; useful for building targeted specs in tests). *)
+
+val to_faults : spec -> Ls_local.Faults.t
+(** Validated plan (funnels through [Faults.make]). *)
+
+val describe : spec -> string
+
+val gen : Ls_rng.Rng.t -> spec
+(** Draw a random schedule: moderate i.i.d. rates plus 0–2 partition
+    intervals and 0–2 bursts, every fault dimension exercised with
+    positive probability. *)
+
+type violation = { invariant : string; detail : string }
+
+val run_spec :
+  ?check:(spec -> violation option) -> ?trials:int -> spec -> violation list
+(** Run the workload under one schedule and return every invariant
+    violation (empty = schedule passed).  [check] injects an extra
+    caller-supplied invariant — the hook the shrinker tests (and the CI
+    self-test) use to plant a seeded failure.  Default [trials] is 80. *)
+
+val zero_fault_identity : seed:int64 -> violation option
+(** The once-per-run bit-identity check (see module doc). *)
+
+val shrink :
+  ?check:(spec -> violation option) -> ?trials:int -> spec -> spec
+(** Greedy minimization of a failing schedule: repeatedly apply the first
+    one-step simplification (drop an interval, zero a rate, collapse a
+    bound) that still violates some invariant.  Returns its fixed point —
+    a minimal reproducer under this candidate set.  On a passing schedule
+    it returns the schedule unchanged. *)
+
+type failure = {
+  index : int;  (** Which generated schedule failed (0-based). *)
+  f_spec : spec;
+  f_violations : violation list;
+  f_shrunk : spec;
+  f_shrunk_violations : violation list;
+}
+
+type summary = {
+  seed : int64;
+  schedules : int;
+  trials : int;
+  zero_fault : violation option;
+  failures : failure list;
+}
+
+val run :
+  ?check:(spec -> violation option) ->
+  ?schedules:int ->
+  ?trials:int ->
+  seed:int64 ->
+  unit ->
+  summary
+(** The full harness: zero-fault identity, then [schedules] generated
+    schedules (default 10) of [trials] trials each, shrinking every
+    failure. *)
+
+val ok : summary -> bool
+
+val reproducer : summary -> string
+(** Human-readable run report — violations and shrunk reproducers on
+    failure, ["all invariants held"] otherwise — ending in the exact CLI
+    line that replays the run. *)

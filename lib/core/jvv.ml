@@ -488,13 +488,26 @@ let run_local_resilient (oracle : Inference.oracle) ~epsilon
     let result = { result with failed; success = n_failed = 0 } in
     keep (result, stats);
     if n_failed = 0 then Ok (result, stats)
-    else
+    else begin
+      (* Same classification as [Local_sampler.sample_resilient]: when
+         every failed node is crash-stopped for good, retries are futile. *)
+      let all_permanent = ref true in
+      Array.iteri
+        (fun v f ->
+          if f && not (Network.permanently_crashed net v) then
+            all_permanent := false)
+        failed;
+      let why =
+        Printf.sprintf "%d node(s) failed (crash, stalled view, or rejection)"
+          n_failed
+      in
       Error
-        (Printf.sprintf "%d node(s) failed (crash, stalled view, or rejection)"
-           n_failed)
+        (if !all_permanent then Resilient.Permanent why
+         else Resilient.Transient why)
+    end
   in
   let ok, report =
-    Resilient.run ?trace ~label:"jvv_resilient" policy
+    Resilient.run_classified ?trace ~label:"jvv_resilient" policy
       ~charge:(Network.charge net) run_attempt
   in
   let sresult, sstats = match ok with Some rs -> rs | None -> Option.get !best in

@@ -88,13 +88,29 @@ let sample_resilient (oracle : Inference.oracle)
     let r = { r with failed; success = n_failed = 0 } in
     keep r;
     if n_failed = 0 then Ok r
-    else
+    else begin
+      (* Classification: when every failed node has crash-stopped for
+         good, no retry can ever succeed — stop spending budget.  Any
+         salvageable failure (stalled view, oversized cluster, a node
+         inside its recovery interval) is worth retrying. *)
+      let all_permanent = ref true in
+      Array.iteri
+        (fun v f ->
+          if f && not (Network.permanently_crashed net v) then
+            all_permanent := false)
+        failed;
+      let all_permanent = !all_permanent in
+      let why =
+        Printf.sprintf "%d node(s) failed (crash, stalled view, or cluster)"
+          n_failed
+      in
       Error
-        (Printf.sprintf "%d node(s) failed (crash, stalled view, or cluster)"
-           n_failed)
+        (if all_permanent then Resilient.Permanent why
+         else Resilient.Transient why)
+    end
   in
   let ok, report =
-    Resilient.run ?trace ~label:"sample_resilient" policy
+    Resilient.run_classified ?trace ~label:"sample_resilient" policy
       ~charge:(Network.charge net) run_attempt
   in
   let r = match ok with Some r -> r | None -> Option.get !best in

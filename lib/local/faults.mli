@@ -1,18 +1,36 @@
 (** Deterministic fault plans for the LOCAL runtime.
 
     A plan describes an adverse network: per-edge message drop, duplication
-    and delay distributions, per-node crash-stop at a sampled round, and an
-    optional payload-corruption rate (the corrupting {e function} is
-    supplied by the caller of {!Network.run_broadcast}, since payloads are
-    polymorphic).  Every verdict is a {b pure function of the plan seed and
-    its coordinates} (round, edge endpoints, copy index) — not of a stream
-    position — so a fault pattern is bit-reproducible from its seed,
-    independent of iteration order and of the {!Ls_par} domain count, and
-    two executions over the same network diverge only through the
-    monotonically advancing fault clock (see {!Network.clock}).
+    and delay distributions, per-node crash faults, and an optional
+    payload-corruption rate (the corrupting {e function} is supplied by the
+    caller of {!Network.run_broadcast}, since payloads are polymorphic).
+    Beyond the i.i.d. rates a plan can carry {e schedules} — correlated
+    fault shapes over absolute-round intervals:
+
+    - {b partition intervals}: during [[a, b)] the vertex set is hashed
+      into [parts] sides and every cross-side message is cut; at round [b]
+      the partition heals;
+    - {b fault bursts}: during [[a, b)] an elevated drop rate applies on
+      top of the base rate;
+    - {b crash recovery}: a crashed node may come back at a sampled later
+      round (crash-{e recovery} instead of crash-{e stop}); the runtime
+      restores its last checkpoint when it does (see {!Network}).
+
+    Every verdict is a {b pure function of the plan seed and its
+    coordinates} (round, edge endpoints, copy index, partition-interval
+    index) — not of a stream position — so a fault pattern is
+    bit-reproducible from its seed, independent of iteration order and of
+    the {!Ls_par} domain count, and two executions over the same network
+    diverge only through the monotonically advancing fault clock (see
+    {!Network.clock}).
 
     The zero-fault plan {!none} is special-cased by the runtime: execution
     under it is {e bit-identical} to the fault-free code path. *)
+
+type partition = private { p_from : int; p_until : int; p_parts : int }
+(** The cut is in force for absolute rounds [[p_from, p_until)]. *)
+
+type burst = private { b_from : int; b_until : int; b_drop : float }
 
 type t = private {
   seed : int64;
@@ -20,10 +38,17 @@ type t = private {
   duplicate : float;  (** Probability a surviving message is sent twice. *)
   delay : float;  (** Probability a copy is delayed by 1..[max_delay] rounds. *)
   max_delay : int;
-  crash : float;  (** Per-node probability of crash-stop. *)
+  crash : float;  (** Per-node probability of crashing. *)
   crash_horizon : int;
       (** Crash rounds are sampled uniformly from [0, crash_horizon). *)
-  corrupt : float;  (** Per-(round, edge) payload-corruption probability. *)
+  recovery : float;
+      (** Probability a crashed node recovers (else it is crash-stop). *)
+  recovery_delay : int;
+      (** A recovering node returns 1..[recovery_delay] rounds after its
+          crash. *)
+  corrupt : float;  (** Per-(round, edge, copy) payload-corruption probability. *)
+  partitions : partition list;
+  bursts : burst list;
 }
 
 val none : t
@@ -39,13 +64,20 @@ val make :
   ?max_delay:int ->
   ?crash:float ->
   ?crash_horizon:int ->
+  ?recovery:float ->
+  ?recovery_delay:int ->
   ?corrupt:float ->
+  ?partitions:(int * int * int) list ->
+  ?bursts:(int * int * float) list ->
   unit ->
   t
-(** Build a validated plan.  All rates must lie in [\[0,1]] and
-    [max_delay], [crash_horizon] must be ≥ 1, else [Invalid_argument]
-    naming the offending parameter (the CLI flags [--fault-rate] and
-    [--crash-rate] funnel through this check). *)
+(** Build a validated plan.  All rates must lie in [\[0,1]]; [max_delay],
+    [crash_horizon] and [recovery_delay] must be ≥ 1; partition intervals
+    [(from, until, parts)] need [0 <= from < until] and [parts >= 2];
+    burst intervals [(from, until, rate)] need [0 <= from < until] and a
+    rate in [\[0,1]] — else [Invalid_argument] naming the offending
+    parameter (the CLI flags [--fault-rate], [--crash-rate],
+    [--max-delay] and [--corrupt-rate] funnel through this check). *)
 
 (** {1 Verdicts}
 
@@ -53,6 +85,8 @@ val make :
     fresh verdicts while remaining deterministic. *)
 
 val dropped : t -> round:int -> src:int -> dst:int -> bool
+(** Base rate, active bursts, and partition cuts, combined: a message is
+    dropped if any of the three fires. *)
 
 val copies : t -> round:int -> src:int -> dst:int -> int
 (** 0 (dropped), 1, or 2 (duplicated). *)
@@ -66,9 +100,67 @@ val corrupted : t -> round:int -> src:int -> dst:int -> copy:int -> bool
     coincides with the historical per-edge one). *)
 
 val crash_round : t -> node:int -> int option
-(** The absolute round at which [node] crash-stops, if it ever does.  A
-    crashed node neither sends nor receives from that round on; its state
-    is frozen. *)
+(** The absolute round at which [node] crashes, if it ever does.  A
+    crashed node neither sends nor receives until it recovers (if the
+    plan grants it a recovery — see {!crash_interval}); its state is
+    frozen meanwhile. *)
+
+val crash_interval : t -> node:int -> (int * int option) option
+(** [Some (c, r)]: the node crashes at absolute round [c] and recovers at
+    round [r] (restoring its last checkpoint), or never if [r = None]
+    (crash-stop).  Recovery rounds are strictly after the crash. *)
+
+(** {1 Schedules} *)
+
+val partition_parts : t -> round:int -> (int * int) option
+(** [(interval index, parts)] of the partition in force at [round], if
+    any.  Intervals are consulted in declaration order; the first match
+    wins. *)
+
+val partition_side : t -> index:int -> node:int -> parts:int -> int
+(** Which of the [parts] sides [node] lands on during partition interval
+    [index] — a pure hash of (seed, index, node). *)
+
+val partitioned : t -> round:int -> src:int -> dst:int -> bool
+(** Is the directed edge cut by an active partition at [round]? *)
+
+val burst_rate : t -> round:int -> float
+(** The elevated drop rate in force at [round] (0 outside bursts; the max
+    over overlapping bursts). *)
+
+val reseed : t -> seed:int64 -> t
+(** The same plan shape (rates, bounds, schedules) under a fresh seed —
+    an independent replica of the schedule, used by per-trial sweeps. *)
 
 val describe : t -> string
-(** One-line human-readable summary, e.g. for experiment headers. *)
+(** One-line human-readable summary, e.g. for experiment headers.
+    Mentions {e every} nonzero field — including corrupt, max_delay,
+    recovery, and every scheduled interval. *)
+
+(** {1 Profile presets}
+
+    The CLI's [--fault-profile] shorthand: named parameter bundles that
+    callers merge with their explicit flags and feed through {!make} (so
+    validation is identical either way). *)
+
+type preset = {
+  pr_drop : float;
+  pr_duplicate : float;
+  pr_delay : float;
+  pr_max_delay : int;
+  pr_crash : float;
+  pr_recovery : float;
+  pr_recovery_delay : int;
+  pr_corrupt : float;
+  pr_partitions : (int * int * int) list;
+  pr_bursts : (int * int * float) list;
+}
+
+val zero_preset : preset
+(** All rates zero — the merge identity. *)
+
+val preset : string -> preset
+(** ["lossy"] (pure message loss), ["flaky"] (loss + duplication + delay +
+    crash-recovery + corruption), ["partitioned"] (partition interval +
+    burst over light loss).  Raises [Invalid_argument] naming the flag on
+    any other string. *)

@@ -43,8 +43,14 @@ type 'input t = {
   mutable bits : int;
   mutable msgs : int;  (* transmitted copies, metered like bits *)
   faults : Faults.t;
-  crash_at : int array;  (* absolute round of crash-stop; max_int = never *)
+  crash_at : int array;  (* absolute round of the crash; max_int = never *)
+  recover_at : int array;  (* absolute recovery round; max_int = crash-stop *)
   crash_seen : bool array;  (* crash already reported to trace/metrics *)
+  ckpt_store : univ option array;  (* last checkpoint, per node *)
+  mutable quarantined : int;  (* corrupted copies caught by a digest *)
+  mutable dead_letters : int;  (* undeliverable copies (dead receiver, …) *)
+  mutable delivered : int;  (* copies handed to a live node's merge *)
+  mutable partition_active : int option;  (* interval index in force *)
   mutable clock : int;  (* absolute broadcast rounds elapsed; never reset *)
   mutable pending : packet list;  (* delayed copies awaiting a later phase *)
   mutable flood_carry : 'input flood_msg carrier option;
@@ -54,20 +60,32 @@ type 'input t = {
 let create ?(faults = Faults.none) ?trace graph ~inputs ~seed =
   if Array.length inputs <> Graph.n graph then
     invalid_arg "Network.create: one input per vertex required";
+  let n = Graph.n graph in
+  let crash_at = Array.make n max_int in
+  let recover_at = Array.make n max_int in
+  for v = 0 to n - 1 do
+    match Faults.crash_interval faults ~node:v with
+    | Some (c, r) ->
+        crash_at.(v) <- c;
+        recover_at.(v) <- Option.value r ~default:max_int
+    | None -> ()
+  done;
   {
     graph;
     inputs;
-    rngs = Rng.streams seed (Graph.n graph);
+    rngs = Rng.streams seed n;
     rounds = 0;
     bits = 0;
     msgs = 0;
     faults;
-    crash_at =
-      Array.init (Graph.n graph) (fun v ->
-          match Faults.crash_round faults ~node:v with
-          | Some r -> r
-          | None -> max_int);
-    crash_seen = Array.make (Graph.n graph) false;
+    crash_at;
+    recover_at;
+    crash_seen = Array.make n false;
+    ckpt_store = Array.make n None;
+    quarantined = 0;
+    dead_letters = 0;
+    delivered = 0;
+    partition_active = None;
     clock = 0;
     pending = [];
     flood_carry = None;
@@ -80,7 +98,13 @@ let rng t v = t.rngs.(v)
 let rounds t = t.rounds
 let faults t = t.faults
 let clock t = t.clock
-let crashed t v = t.crash_at.(v) <= t.clock
+
+(* A node is down for the half-open interval [crash_at, recover_at). *)
+let crashed t v = t.crash_at.(v) <= t.clock && t.clock < t.recover_at.(v)
+let permanently_crashed t v = t.crash_at.(v) <= t.clock && t.recover_at.(v) = max_int
+let quarantined_count t = t.quarantined
+let dead_letter_count t = t.dead_letters
+let delivered_count t = t.delivered
 
 let charge t r =
   if r < 0 then invalid_arg "Network.charge: negative rounds";
@@ -200,16 +224,30 @@ let run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge () =
    A copy whose arrival round falls past the phase end is parked on
    [t.pending] (keyed by absolute round) when the caller supplied a
    [carry] witness, and delivered at the start of a later phase of the
-   same message type; without a witness it is lost, as before (its bits
-   stay billed — it did hit the wire). *)
-let run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init ~emit
-    ~merge () =
+   same message type; without a witness it is counted as a dead letter
+   (its bits stay billed — it did hit the wire).
+
+   Crash-recovery: a node is down for [crash_at, recover_at).  At its
+   crash round the runtime snapshots its state into the network's
+   checkpoint store (when the phase supplied a [ckpt] witness); at its
+   recovery round the snapshot is restored and the rounds the node was
+   dark are reported as catch-up (the max over concurrently recovering
+   nodes is returned and charged by the dispatcher).
+
+   Integrity: when both [corrupt] and [digest] are given, a corrupted
+   copy whose digest no longer matches the original's is quarantined —
+   billed but never delivered, surfacing as a drop to the caller.  A
+   corruption the digest misses is delivered silently, as a real
+   collision would be. *)
+let run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
+    ~trace:tr ~init ~emit ~merge () =
   let n = Graph.n t.graph in
   let fp = t.faults in
   let metrics = Metrics.enabled () in
   let states = Array.init n init in
   let inboxes = Array.init rounds (fun _ -> Array.make n []) in
   let base = t.clock in
+  let catchup = ref 0 in
   (match carry with
   | None -> ()
   | Some c ->
@@ -235,17 +273,70 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init ~emit
       t.pending <- !future);
   for round = 0 to rounds - 1 do
     let abs = base + round in
-    let alive v = t.crash_at.(v) > abs in
-    if tr <> None || metrics then
-      for v = 0 to n - 1 do
-        if (not t.crash_seen.(v)) && t.crash_at.(v) <= abs then begin
-          t.crash_seen.(v) <- true;
+    let alive v = abs < t.crash_at.(v) || abs >= t.recover_at.(v) in
+    (* Partition boundary events: emitted when the interval in force at
+       this absolute round differs from the one at the previous round. *)
+    if fp.Faults.partitions <> [] then begin
+      match (Faults.partition_parts fp ~round:abs, t.partition_active) with
+      | Some (idx, parts), active when active <> Some idx ->
+          if active <> None then begin
+            (match tr with
+            | Some s -> Trace.emit s (Trace.Heal { round = abs })
+            | None -> ());
+            if metrics then Metrics.record_heal ()
+          end;
+          t.partition_active <- Some idx;
           (match tr with
-          | Some s -> Trace.emit s (Trace.Crash { node = v; round = t.crash_at.(v) })
+          | Some s -> Trace.emit s (Trace.Partition { round = abs; parts })
           | None -> ());
-          if metrics then Metrics.record_crash ()
-        end
-      done;
+          if metrics then Metrics.record_partition ()
+      | None, Some _ ->
+          t.partition_active <- None;
+          (match tr with
+          | Some s -> Trace.emit s (Trace.Heal { round = abs })
+          | None -> ());
+          if metrics then Metrics.record_heal ()
+      | _ -> ()
+    end;
+    (* Crash/recovery bookkeeping runs unconditionally: checkpoints and
+       restores mutate state, only their events are trace/metrics-gated. *)
+    for v = 0 to n - 1 do
+      if t.crash_at.(v) = abs then begin
+        (match ckpt with
+        | Some c -> t.ckpt_store.(v) <- Some (c.inj states.(v))
+        | None -> ());
+        (match tr with
+        | Some s -> Trace.emit s (Trace.Checkpoint { node = v; round = abs })
+        | None -> ());
+        if metrics then Metrics.record_checkpoint ()
+      end;
+      if (not t.crash_seen.(v)) && t.crash_at.(v) <= abs then begin
+        t.crash_seen.(v) <- true;
+        (match tr with
+        | Some s -> Trace.emit s (Trace.Crash { node = v; round = t.crash_at.(v) })
+        | None -> ());
+        if metrics then Metrics.record_crash ()
+      end;
+      if t.recover_at.(v) = abs then begin
+        (match ckpt with
+        | Some c -> (
+            match t.ckpt_store.(v) with
+            | Some u -> (
+                match c.prj u with
+                | Some st ->
+                    states.(v) <- st;
+                    t.ckpt_store.(v) <- None
+                | None -> ())
+            | None -> ())
+        | None -> ());
+        let missed = abs - t.crash_at.(v) in
+        catchup := max !catchup missed;
+        (match tr with
+        | Some s -> Trace.emit s (Trace.Restore { node = v; round = abs; missed })
+        | None -> ());
+        if metrics then Metrics.record_restore ()
+      end
+    done;
     let outgoing =
       Array.mapi (fun v s -> if alive v then Some (emit v s) else None) states
     in
@@ -273,10 +364,22 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init ~emit
                   | Some _ -> Faults.corrupted fp ~round:abs ~src:v ~dst:u ~copy
                   | None -> false
                 in
+                let original = msg in
                 let msg =
                   match corrupt with
                   | Some f when corrupted_now -> f ~round:abs ~src:v ~dst:u msg
                   | _ -> msg
+                in
+                (* Integrity check at the receiver: a caller-supplied digest
+                   that no longer matches exposes the corruption.  Equal
+                   digests (a genuine collision, or no digest at all) let
+                   the corrupted copy through silently. *)
+                let quarantined_now =
+                  corrupted_now
+                  &&
+                  match digest with
+                  | Some dg -> dg msg <> dg original
+                  | None -> false
                 in
                 (match tr with
                 | Some s ->
@@ -286,64 +389,94 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init ~emit
                            { round = abs; src = v; dst = u; copy; delay = d });
                     if corrupted_now then
                       Trace.emit s
-                        (Trace.Fault_corrupt { round = abs; src = v; dst = u; copy })
+                        (Trace.Fault_corrupt { round = abs; src = v; dst = u; copy });
+                    if quarantined_now then
+                      Trace.emit s
+                        (Trace.Quarantine { round = abs; src = v; dst = u; copy })
                 | None -> ());
                 if metrics then begin
                   if d > 0 then Metrics.record_delay ();
-                  if corrupted_now then Metrics.record_corruption ()
+                  if corrupted_now then Metrics.record_corruption ();
+                  if quarantined_now then Metrics.record_quarantine ()
                 end;
                 (* Bits are metered per transmitted copy: dropped messages
-                   never hit the wire, duplicates pay twice. *)
+                   never hit the wire, duplicates pay twice, and quarantined
+                   copies stay billed — they did hit the wire. *)
                 (match size with
                 | Some size -> t.bits <- t.bits + size msg
                 | None -> ());
                 t.msgs <- t.msgs + 1;
-                let slot = round + d in
-                if slot < rounds then inboxes.(slot).(u) <- msg :: inboxes.(slot).(u)
-                else
-                  match carry with
-                  | Some c ->
-                      t.pending <-
-                        {
-                          sent = abs;
-                          arrive = base + slot;
-                          p_src = v;
-                          p_dst = u;
-                          p_copy = copy;
-                          payload = c.inj msg;
-                        }
-                        :: t.pending
-                  | None -> ()
+                if quarantined_now then t.quarantined <- t.quarantined + 1
+                else begin
+                  let slot = round + d in
+                  if slot < rounds then
+                    inboxes.(slot).(u) <- msg :: inboxes.(slot).(u)
+                  else
+                    match carry with
+                    | Some c ->
+                        t.pending <-
+                          {
+                            sent = abs;
+                            arrive = base + slot;
+                            p_src = v;
+                            p_dst = u;
+                            p_copy = copy;
+                            payload = c.inj msg;
+                          }
+                          :: t.pending
+                    | None ->
+                        (* No carrier to park on: lost in transit. *)
+                        t.dead_letters <- t.dead_letters + 1;
+                        if metrics then Metrics.record_dead_letters 1
+                end
               done)
             (Graph.neighbors t.graph v)
     done;
     for v = 0 to n - 1 do
-      if alive v then
-        states.(v) <- merge v states.(v) (List.rev inboxes.(round).(v))
+      let inbox = inboxes.(round).(v) in
+      if alive v then begin
+        t.delivered <- t.delivered + List.length inbox;
+        states.(v) <- merge v states.(v) (List.rev inbox)
+      end
+      else begin
+        (* Copies arriving at a down node are dead letters, so
+           sent = delivered + pending + quarantined + dead stays exact. *)
+        let k = List.length inbox in
+        if k > 0 then begin
+          t.dead_letters <- t.dead_letters + k;
+          if metrics then Metrics.record_dead_letters k
+        end
+      end
     done
   done;
-  states
+  (states, !catchup)
 
-let run_broadcast t ~rounds ?size ?corrupt ?carry ?(label = "broadcast") ?trace
-    ~init ~emit ~merge () =
+let run_broadcast t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
+    ?(label = "broadcast") ?trace ~init ~emit ~merge () =
   let tr = sink t trace in
   let metrics = Metrics.enabled () in
   let bits0 = t.bits and msgs0 = t.msgs in
   (match tr with
   | Some s -> Trace.emit s (Trace.Phase_start { label; clock = t.clock })
   | None -> ());
-  let states =
+  let states, catchup =
     if Faults.is_none t.faults then begin
       let states = run_broadcast_pristine t ~rounds ?size ~init ~emit ~merge () in
-      (* Fault-free rounds transmit one copy per directed edge. *)
+      (* Fault-free rounds transmit one copy per directed edge, and every
+         copy reaches its merge — conservation holds with zero loss. *)
       t.msgs <- t.msgs + (rounds * 2 * Graph.m t.graph);
-      states
+      t.delivered <- t.delivered + (rounds * 2 * Graph.m t.graph);
+      (states, 0)
     end
-    else run_broadcast_faulty t ~rounds ?size ?corrupt ?carry ~trace:tr ~init
-        ~emit ~merge ()
+    else
+      run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
+        ~trace:tr ~init ~emit ~merge ()
   in
+  (* The clock counts broadcast rounds only (fault verdict coordinates);
+     catch-up replay by recovering nodes is charged to the rounds meter on
+     top — the phase honestly costs its length plus the longest replay. *)
   t.clock <- t.clock + rounds;
-  charge t rounds;
+  charge t (rounds + catchup);
   (match tr with
   | Some s ->
       Trace.emit s
@@ -351,13 +484,13 @@ let run_broadcast t ~rounds ?size ?corrupt ?carry ?(label = "broadcast") ?trace
            {
              label;
              clock = t.clock;
-             rounds;
+             rounds = rounds + catchup;
              bits = t.bits - bits0;
              messages = t.msgs - msgs0;
            })
   | None -> ());
   if metrics then
-    Metrics.record_phase ~rounds ~bits:(t.bits - bits0)
+    Metrics.record_phase ~rounds:(rounds + catchup) ~bits:(t.bits - bits0)
       ~messages:(t.msgs - msgs0);
   states
 
@@ -371,6 +504,23 @@ let flood_carrier t =
       t.flood_carry <- Some c;
       c
 
+(* Order-sensitive digest of a flood message's adjacency data (vertex ids
+   and neighbor lists; inputs are caller-typed and our corruption model
+   only garbles adjacency).  Imap.fold visits keys in sorted order, so the
+   digest is deterministic. *)
+let flood_digest m =
+  let mix h x = h lxor (x + 0x9e3779b9 + (h lsl 6) + (h lsr 2)) in
+  Imap.fold
+    (fun v (_, nbrs) h -> List.fold_left mix (mix (mix h v) (List.length nbrs)) nbrs)
+    m 0
+
+(* Deterministic garbling: splice a phantom (negative, hence impossible)
+   neighbor id into the sender's own record. *)
+let flood_corrupt ~round ~src ~dst:_ m =
+  match Imap.find_opt src m with
+  | Some (inp, nbrs) -> Imap.add src (inp, (-(round + 1)) :: nbrs) m
+  | None -> m
+
 let flood_views ?trace t ~radius =
   let n = Graph.n t.graph in
   let record v = (t.inputs.(v), Array.to_list (Graph.neighbors t.graph v)) in
@@ -379,8 +529,12 @@ let flood_views ?trace t ~radius =
   let size m =
     Imap.fold (fun _ (_, nbrs) acc -> acc + (64 * (1 + List.length nbrs))) m 0
   in
+  (* Flood state and message types coincide, so the shared flood carrier
+     doubles as the checkpoint witness: a node that crashes mid-flood and
+     recovers resumes from everything it had learned. *)
   let states =
-    run_broadcast t ~rounds:radius ~size ~carry:(flood_carrier t)
+    run_broadcast t ~rounds:radius ~size ~corrupt:flood_corrupt
+      ~digest:flood_digest ~ckpt:(flood_carrier t) ~carry:(flood_carrier t)
       ~label:(Printf.sprintf "flood(radius=%d)" radius)
       ?trace
       ~init:(fun v -> Imap.singleton v (record v))

@@ -15,14 +15,25 @@
 
     {b Fault injection.}  A network can carry a {!Faults} plan: messages on
     the {!run_broadcast} path are then dropped, duplicated, delayed or
-    corrupted per the plan's deterministic verdicts, and nodes crash-stop
-    at their sampled rounds.  Verdicts are keyed by the network's
-    monotonically advancing {!clock}, so a retried phase faces fresh faults
-    while the whole execution stays a pure function of the seeds.  The
-    zero-fault plan runs the pre-fault executor verbatim — bit-identical
-    behaviour.  {!gather} is fault-oblivious by design: it is the
-    information-theoretic primitive, whereas faults model the physical
-    message-passing realization. *)
+    corrupted per the plan's deterministic verdicts, partition intervals
+    cut the graph into sides, and nodes crash at their sampled rounds —
+    either forever (crash-stop) or for a bounded interval
+    (crash-{e recovery}): the runtime snapshots a crashing node's phase
+    state into a per-node checkpoint store and restores it at the
+    recovery round, charging the rounds the node was dark as catch-up.
+    Verdicts are keyed by the network's monotonically advancing {!clock},
+    so a retried phase faces fresh faults while the whole execution stays
+    a pure function of the seeds.  The zero-fault plan runs the pre-fault
+    executor verbatim — bit-identical behaviour.  {!gather} is
+    fault-oblivious by design: it is the information-theoretic primitive,
+    whereas faults model the physical message-passing realization.
+
+    {b Integrity.}  When a phase supplies both a [corrupt] hook and a
+    [digest], corrupted copies whose digest no longer matches are
+    {e quarantined}: billed (they hit the wire) but never delivered, so
+    corruption surfaces to the supervision layer as extra loss rather
+    than as silently wrong payloads.  Every transmitted copy is accounted
+    for: [messages = delivered + pending + quarantined + dead letters]. *)
 
 type 'input t
 
@@ -54,7 +65,28 @@ val clock : _ t -> int
     fresh (but deterministic) faults. *)
 
 val crashed : _ t -> int -> bool
-(** Has node [v] crash-stopped by the current {!clock}? *)
+(** Is node [v] down at the current {!clock}?  A node is down for the
+    half-open interval [[crash_at, recover_at)]; under crash-{e stop}
+    (no recovery granted) the interval never ends. *)
+
+val permanently_crashed : _ t -> int -> bool
+(** Has node [v] crashed with no recovery scheduled?  Implies {!crashed};
+    the distinction is what {!Resilient} spends its retry budget on —
+    permanent failures cannot be waited out. *)
+
+val quarantined_count : _ t -> int
+(** Corrupted copies caught by an integrity digest so far (billed, never
+    delivered). *)
+
+val dead_letter_count : _ t -> int
+(** Copies that could not be delivered: they arrived at a down node, or
+    fell past their phase's end with no [carry] witness to park on. *)
+
+val delivered_count : _ t -> int
+(** Copies handed to a live node's [merge].  Together with
+    {!pending_count}, {!quarantined_count} and {!dead_letter_count} this
+    accounts for every transmitted copy ({!messages}) — the conservation
+    invariant the chaos harness checks. *)
 
 (** {1 Round accounting} *)
 
@@ -143,6 +175,8 @@ val run_broadcast :
   rounds:int ->
   ?size:('m -> int) ->
   ?corrupt:(round:int -> src:int -> dst:int -> 'm -> 'm) ->
+  ?digest:('m -> int) ->
+  ?ckpt:'s carrier ->
   ?carry:'m carrier ->
   ?label:string ->
   ?trace:Ls_obs.Trace.t ->
@@ -161,17 +195,32 @@ val run_broadcast :
     delayed (parked until its absolute arrival round), or — when the
     plan's corrupt rate fires {e and} the caller supplied [corrupt] —
     rewritten by that hook (corruption verdicts are per copy: duplicates
-    draw independently).  Crashed nodes neither emit nor merge; their
-    states freeze.  Inbox order is deterministic: (send round, sender id,
-    copy index).  Under the zero-fault plan the pre-fault executor runs
-    verbatim (bit-identical inbox order and metering).
+    draw independently).  When [digest] is also given, a rewritten copy
+    whose digest differs from the original's is quarantined instead of
+    delivered (billed, traced, counted — see {!quarantined_count}); a
+    corruption the digest misses — a genuine collision — is delivered
+    silently.  Down nodes neither emit nor merge; their states freeze,
+    and copies arriving at them become dead letters.  Inbox order is
+    deterministic: (send round, sender id, copy index).  Under the
+    zero-fault plan the pre-fault executor runs verbatim (bit-identical
+    inbox order and metering).
+
+    Crash-recovery: when the plan grants a node a recovery round, the
+    node's state is snapshotted at its crash round (if [ckpt], a witness
+    for the {e state} type ['s], is given) and restored at its recovery
+    round; the rounds it was dark are charged as catch-up on top of the
+    phase length ({!clock} advances by [rounds] only — it keys fault
+    verdicts, not cost).  Without [ckpt] the node restarts from its
+    current phase state (whatever [init] gave it).  A checkpoint taken in
+    one phase is restored in a later phase only if that phase's [ckpt]
+    carrier can project it ({!flood_views} phases all share one carrier).
 
     A delayed copy due {e after} the phase ends is not lost when [carry]
     is given: it is parked keyed by its absolute round and delivered, in
     deterministic order ahead of fresh traffic, at the start of the next
     [run_broadcast] sharing the same carrier (already-due copies arrive in
-    the first round).  Without [carry] such copies are lost (their bits
-    stay billed — they did hit the wire).
+    the first round).  Without [carry] such copies count as dead letters
+    (their bits stay billed — they did hit the wire).
 
     [label] names the phase in trace events; [trace] overrides the
     network's sink for this phase. *)
@@ -181,4 +230,10 @@ val flood_views : ?trace:Ls_obs.Trace.t -> 'i t -> radius:int -> 'i view array
     executable proof that [gather] grants no more information than [t]
     rounds of real communication.  Under faults, views may be partial
     (see {!view_is_complete}).  All floods over one network share a
-    carrier, so copies delayed past one flood's end reach the next. *)
+    carrier, so copies delayed past one flood's end reach the next; the
+    same carrier doubles as the checkpoint witness, so a node that
+    crashes mid-flood and recovers resumes from what it had learned.
+    Flood messages carry an adjacency digest, so the plan's corrupt rate
+    garbles real payloads end-to-end and the corruption is quarantined
+    rather than poisoning views (a quarantined record is just a missed
+    record: the view stays truthful, possibly incomplete). *)

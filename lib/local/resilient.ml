@@ -54,7 +54,11 @@ let describe r =
       r.attempts r.backoff_rounds
       (String.concat "; " r.reasons)
 
-let run ?trace ?(label = "resilient") pol ?(charge = fun _ -> ()) f =
+type failure = Transient of string | Permanent of string
+
+let failure_reason = function Transient w | Permanent w -> w
+
+let run_classified ?trace ?(label = "resilient") pol ?(charge = fun _ -> ()) f =
   let tr = Trace.resolve trace in
   let metrics () = Metrics.enabled () in
   let emit_attempt attempt ok detail =
@@ -76,14 +80,21 @@ let run ?trace ?(label = "resilient") pol ?(charge = fun _ -> ()) f =
             degraded = false;
             reasons = List.rev !reasons;
           } )
-    | Error why ->
+    | Error fl ->
+        let why = failure_reason fl in
+        let permanent = match fl with Permanent _ -> true | Transient _ -> false in
         emit_attempt attempt false why;
         reasons := Printf.sprintf "attempt %d: %s" (attempt + 1) why :: !reasons;
-        if attempt >= pol.retry_budget then begin
+        (* A permanent failure cannot be waited out: stop immediately and
+           keep the remaining budget (and its backoff rounds) unspent. *)
+        if permanent || attempt >= pol.retry_budget then begin
+          let detail =
+            if permanent then Printf.sprintf "permanent: %s" why else why
+          in
           (match tr with
           | Some s ->
               Trace.emit s
-                (Trace.Degraded { label; attempts = attempt + 1; detail = why })
+                (Trace.Degraded { label; attempts = attempt + 1; detail })
           | None -> ());
           if metrics () then Metrics.record_degraded ();
           ( None,
@@ -109,17 +120,25 @@ let run ?trace ?(label = "resilient") pol ?(charge = fun _ -> ()) f =
   in
   go 0 pol.backoff_base
 
+let run ?trace ?label pol ?charge f =
+  run_classified ?trace ?label pol ?charge (fun ~attempt ->
+      match f ~attempt with Ok x -> Ok x | Error why -> Error (Transient why))
+
 let collect_views ?trace ?(label = "collect_views") net ~policy:pol ~radius =
   let tr = Trace.resolve trace in
   let metrics = Metrics.enabled () in
   let n = Graph.n (Network.graph net) in
   let best = Network.flood_views ?trace net ~radius in
   let stalled () =
-    (* Crashed nodes are permanent failures, not stalls: no retry can help
-       them, so they never justify burning budget. *)
+    (* Only permanently crashed nodes are hopeless: no retry can help them,
+       so they never justify burning budget.  A node that is down but has a
+       recovery scheduled is a transient failure — waiting (backoff) and
+       re-flooding can still complete its view. *)
     let count = ref 0 in
     for v = 0 to n - 1 do
-      if (not (Network.crashed net v)) && not (Network.view_is_complete net best.(v))
+      if
+        (not (Network.permanently_crashed net v))
+        && not (Network.view_is_complete net best.(v))
       then incr count
     done;
     !count

@@ -37,6 +37,17 @@ val clean : report
 
 val describe : report -> string
 
+type failure =
+  | Transient of string
+      (** Might succeed on retry: lost messages, a stalled flood, a node
+          that is down but scheduled to recover.  Spends retry budget. *)
+  | Permanent of string
+      (** Cannot be waited out: every relevant node crash-stopped, or the
+          phase is structurally impossible.  The supervisor stops
+          immediately and keeps the remaining budget unspent. *)
+
+val failure_reason : failure -> string
+
 val run :
   ?trace:Ls_obs.Trace.t ->
   ?label:string ->
@@ -49,7 +60,23 @@ val run :
     rounds charged through [charge] before each retry.  Returns the first
     [Ok] (with a non-degraded report) or [None] with a degraded report
     listing every failure reason.  Each attempt, backoff and degradation
-    is emitted to [trace] (or the ambient sink) under [label]. *)
+    is emitted to [trace] (or the ambient sink) under [label].  Every
+    [Error] is treated as {!Transient}; use {!run_classified} when the
+    phase can tell permanent failures apart. *)
+
+val run_classified :
+  ?trace:Ls_obs.Trace.t ->
+  ?label:string ->
+  policy ->
+  ?charge:(int -> unit) ->
+  (attempt:int -> ('a, failure) result) ->
+  'a option * report
+(** Like {!run}, but the phase classifies its failures.  A {!Permanent}
+    failure degrades immediately — no backoff is charged and no further
+    attempt is made (retrying against a crash-stopped node only burns
+    rounds); the [Degraded] trace event's detail is prefixed with
+    ["permanent: "].  {!Transient} failures behave exactly as [Error]
+    does under {!run}. *)
 
 val collect_views :
   ?trace:Ls_obs.Trace.t ->
@@ -60,9 +87,12 @@ val collect_views :
   'i Network.view array * bool array * report
 (** Ball collection with stalled-view supervision: flood, detect nodes
     whose view misses part of their true ball ({!Network.view_is_complete}),
-    and re-flood with backoff while any {e alive} node is stalled and
-    budget remains.  Crashed nodes are permanent failures — they never
-    burn retry budget.  Flooded knowledge is {e union-merged} across
+    and re-flood with backoff while any {e salvageable} node is stalled
+    and budget remains.  Only {e permanently} crashed nodes
+    ({!Network.permanently_crashed}) are hopeless and never burn retry
+    budget; a node inside its crash-recovery interval is a transient
+    failure — backoff plus re-flooding can complete its view after it
+    restores its checkpoint.  Flooded knowledge is {e union-merged} across
     attempts ({!Network.merge_views}), so incomparable partial views
     compose.  Returns [(views, failed, report)]: [failed.(v)] is set iff
     [v] crashed or its final view is still incomplete; [report.degraded]

@@ -11,6 +11,12 @@ type snapshot = {
   delays : int;
   corruptions : int;
   crashes : int;
+  partitions : int;
+  heals : int;
+  checkpoints : int;
+  restores : int;
+  quarantines : int;
+  dead_letters : int;
   attempts : int;
   retries : int;
   backoff_rounds : int;
@@ -36,6 +42,12 @@ let duplicates = Atomic.make 0
 let delays = Atomic.make 0
 let corruptions = Atomic.make 0
 let crashes = Atomic.make 0
+let partitions = Atomic.make 0
+let heals = Atomic.make 0
+let checkpoints = Atomic.make 0
+let restores = Atomic.make 0
+let quarantines = Atomic.make 0
+let dead_letters = Atomic.make 0
 let attempts = Atomic.make 0
 let retries = Atomic.make 0
 let backoff_rounds = Atomic.make 0
@@ -64,6 +76,12 @@ let record_duplicate () = bump duplicates
 let record_delay () = bump delays
 let record_corruption () = bump corruptions
 let record_crash () = bump crashes
+let record_partition () = bump partitions
+let record_heal () = bump heals
+let record_checkpoint () = bump checkpoints
+let record_restore () = bump restores
+let record_quarantine () = bump quarantines
+let record_dead_letters k = add dead_letters k
 
 let record_attempt ~retry =
   if enabled () then begin
@@ -114,6 +132,12 @@ let snapshot () =
     delays = Atomic.get delays;
     corruptions = Atomic.get corruptions;
     crashes = Atomic.get crashes;
+    partitions = Atomic.get partitions;
+    heals = Atomic.get heals;
+    checkpoints = Atomic.get checkpoints;
+    restores = Atomic.get restores;
+    quarantines = Atomic.get quarantines;
+    dead_letters = Atomic.get dead_letters;
     attempts = Atomic.get attempts;
     retries = Atomic.get retries;
     backoff_rounds = Atomic.get backoff_rounds;
@@ -139,6 +163,12 @@ let reset () =
       delays;
       corruptions;
       crashes;
+      partitions;
+      heals;
+      checkpoints;
+      restores;
+      quarantines;
+      dead_letters;
       attempts;
       retries;
       backoff_rounds;
@@ -160,6 +190,10 @@ let print oc s =
     s.messages;
   p "  faults: drop %d  duplicate %d  delay %d  corrupt %d  crash %d\n" s.drops
     s.duplicates s.delays s.corruptions s.crashes;
+  p
+    "  recovery: partitions %d  heals %d  checkpoints %d  restores %d  \
+     quarantines %d  dead_letters %d\n"
+    s.partitions s.heals s.checkpoints s.restores s.quarantines s.dead_letters;
   p "  supervision: attempts %d  retries %d  backoff_rounds %d  degraded %d\n"
     s.attempts s.retries s.backoff_rounds s.degradations;
   p "  decompositions %d (failures %d)\n" s.decompositions

@@ -21,6 +21,12 @@ type snapshot = {
   delays : int;
   corruptions : int;
   crashes : int;
+  partitions : int;  (** Partition intervals that came into force. *)
+  heals : int;  (** Partition intervals that ended. *)
+  checkpoints : int;  (** Node states snapshotted at crash time. *)
+  restores : int;  (** Recovering nodes that restored a checkpoint. *)
+  quarantines : int;  (** Corrupted copies detected by an integrity digest. *)
+  dead_letters : int;  (** Copies that arrived at a crashed receiver. *)
   attempts : int;  (** Supervised attempts, including the first of each run. *)
   retries : int;
   backoff_rounds : int;
@@ -46,6 +52,12 @@ val record_duplicate : unit -> unit
 val record_delay : unit -> unit
 val record_corruption : unit -> unit
 val record_crash : unit -> unit
+val record_partition : unit -> unit
+val record_heal : unit -> unit
+val record_checkpoint : unit -> unit
+val record_restore : unit -> unit
+val record_quarantine : unit -> unit
+val record_dead_letters : int -> unit
 val record_attempt : retry:bool -> unit
 val record_backoff : rounds:int -> unit
 val record_degraded : unit -> unit

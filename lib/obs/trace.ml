@@ -22,6 +22,11 @@ type event =
   | Fault_delay of { round : int; src : int; dst : int; copy : int; delay : int }
   | Fault_corrupt of { round : int; src : int; dst : int; copy : int }
   | Crash of { node : int; round : int }
+  | Partition of { round : int; parts : int }
+  | Heal of { round : int }
+  | Checkpoint of { node : int; round : int }
+  | Restore of { node : int; round : int; missed : int }
+  | Quarantine of { round : int; src : int; dst : int; copy : int }
   | Attempt of { label : string; attempt : int; ok : bool; detail : string }
   | Backoff of { label : string; attempt : int; rounds : int }
   | Degraded of { label : string; attempts : int; detail : string }
@@ -96,6 +101,16 @@ let json_of_event ~ts ev =
         p {|"ev":"corrupt","round":%d,"src":%d,"dst":%d,"copy":%d|} round src
           dst copy
     | Crash { node; round } -> p {|"ev":"crash","node":%d,"round":%d|} node round
+    | Partition { round; parts } ->
+        p {|"ev":"partition","round":%d,"parts":%d|} round parts
+    | Heal { round } -> p {|"ev":"heal","round":%d|} round
+    | Checkpoint { node; round } ->
+        p {|"ev":"checkpoint","node":%d,"round":%d|} node round
+    | Restore { node; round; missed } ->
+        p {|"ev":"restore","node":%d,"round":%d,"missed":%d|} node round missed
+    | Quarantine { round; src; dst; copy } ->
+        p {|"ev":"quarantine","round":%d,"src":%d,"dst":%d,"copy":%d|} round src
+          dst copy
     | Attempt { label; attempt; ok; detail } ->
         p {|"ev":"attempt","label":"%s","attempt":%d,"ok":%b,"detail":"%s"|}
           (json_escape label) attempt ok (json_escape detail)

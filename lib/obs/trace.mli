@@ -36,6 +36,19 @@ type event =
   | Fault_corrupt of { round : int; src : int; dst : int; copy : int }
   | Crash of { node : int; round : int }
       (** Emitted once per node, when its crash round is first reached. *)
+  | Partition of { round : int; parts : int }
+      (** A partition interval came into force at [round], cutting the
+          graph into [parts] sides. *)
+  | Heal of { round : int }  (** The active partition interval ended. *)
+  | Checkpoint of { node : int; round : int }
+      (** The node's state was snapshotted as it crashed. *)
+  | Restore of { node : int; round : int; missed : int }
+      (** A recovering node restored its last checkpoint; it was dark for
+          [missed] rounds (the catch-up cost charged to the phase). *)
+  | Quarantine of { round : int; src : int; dst : int; copy : int }
+      (** An integrity digest exposed a corrupted copy: detected and
+          discarded instead of delivered (surfaces as a drop to the
+          supervision layer). *)
   | Attempt of { label : string; attempt : int; ok : bool; detail : string }
   | Backoff of { label : string; attempt : int; rounds : int }
   | Degraded of { label : string; attempts : int; detail : string }

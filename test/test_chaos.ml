@@ -1,0 +1,91 @@
+(* The chaos harness itself.
+
+   The harness is the robustness layer's own test rig, so these tests play
+   both sides: on the healthy runtime every generated schedule must pass
+   the invariant suite, and when we plant a seeded "failure" through the
+   injected-check hook the harness must catch it, shrink it to a minimal
+   schedule, and replay the whole run bit-identically from its seed. *)
+
+module Chaos = Ls_chaos.Chaos
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_healthy_runtime_passes () =
+  let s = Chaos.run ~schedules:4 ~trials:50 ~seed:2026L () in
+  checkb "zero-fault identity holds" true (s.Chaos.zero_fault = None);
+  checkb "every schedule passes the invariant suite" true (Chaos.ok s);
+  checki "schedules recorded" 4 s.Chaos.schedules;
+  checkb "the report says so" true
+    (contains (Chaos.reproducer s) "all invariants held")
+
+let test_quiet_spec_passes () =
+  checkb "the zero-fault schedule trivially passes" true
+    (Chaos.run_spec ~trials:30 (Chaos.quiet 5L) = [])
+
+let test_replay_is_deterministic () =
+  let a = Chaos.run ~schedules:3 ~trials:40 ~seed:7L () in
+  let b = Chaos.run ~schedules:3 ~trials:40 ~seed:7L () in
+  checkb "whole summaries bit-identical" true (a = b)
+
+let test_injected_failure_is_caught_and_shrunk () =
+  (* Plant a "bug" that fires whenever a schedule combines a positive drop
+     rate with a partition interval.  The harness must catch it, and the
+     shrinker must strip every irrelevant dimension while keeping the two
+     that matter. *)
+  let check spec =
+    if spec.Chaos.drop > 0. && spec.Chaos.partitions <> [] then
+      Some { Chaos.invariant = "injected"; detail = "drop with partition" }
+    else None
+  in
+  let s = Chaos.run ~check ~schedules:8 ~trials:10 ~seed:2026L () in
+  checkb "some schedule trips the planted bug" true (not (Chaos.ok s));
+  List.iter
+    (fun f ->
+      checkb "the original violation is recorded" true
+        (f.Chaos.f_violations <> []);
+      checkb "the shrunk schedule still fails" true
+        (f.Chaos.f_shrunk_violations <> []);
+      let m = f.Chaos.f_shrunk in
+      checkb "shrunk keeps a positive drop" true (m.Chaos.drop > 0.);
+      checki "shrunk keeps exactly one partition" 1
+        (List.length m.Chaos.partitions);
+      checkb "every irrelevant rate zeroed" true
+        (m.Chaos.duplicate = 0. && m.Chaos.delay = 0. && m.Chaos.crash = 0.
+        && m.Chaos.recovery = 0. && m.Chaos.corrupt = 0.
+        && m.Chaos.bursts = []);
+      checki "delay bound collapsed" 1 m.Chaos.max_delay)
+    s.Chaos.failures;
+  let r = Chaos.reproducer s in
+  checkb "reproducer names the violated invariant" true
+    (contains r "injected");
+  checkb "reproducer ends in the replay line" true
+    (contains r "replay: locsample chaos --seed 2026 --schedules 8 --trials 10");
+  (* And the replay line is honest: the same parameters reproduce the same
+     failures, indices and shrunk forms included. *)
+  let s' = Chaos.run ~check ~schedules:8 ~trials:10 ~seed:2026L () in
+  checkb "replaying reproduces the failures exactly" true
+    (s.Chaos.failures = s'.Chaos.failures)
+
+let test_shrink_is_identity_on_passing_specs () =
+  let spec = Chaos.quiet 9L in
+  checkb "nothing to shrink on a passing schedule" true
+    (Chaos.shrink ~trials:20 spec = spec)
+
+let suite =
+  [
+    Alcotest.test_case "healthy runtime passes the suite" `Slow
+      test_healthy_runtime_passes;
+    Alcotest.test_case "quiet spec passes" `Quick test_quiet_spec_passes;
+    Alcotest.test_case "replay is deterministic" `Slow
+      test_replay_is_deterministic;
+    Alcotest.test_case "injected failure caught and shrunk" `Quick
+      test_injected_failure_is_caught_and_shrunk;
+    Alcotest.test_case "shrink is identity on passing specs" `Quick
+      test_shrink_is_identity_on_passing_specs;
+  ]

@@ -12,6 +12,8 @@ let () =
       ("engines", Test_engines.suite);
       ("counting", Test_counting.suite);
       ("robustness", Test_robustness.suite);
+      ("recovery", Test_recovery.suite);
+      ("chaos", Test_chaos.suite);
       ("local", Test_local.suite);
       ("inference", Test_inference.suite);
       ("samplers", Test_samplers.suite);
