@@ -1,8 +1,8 @@
 (* Benchmark harness entry point.
 
-   `dune exec bench/main.exe` prints every experiment table (E1-E10, the
+   `dune exec bench/main.exe` prints every experiment table (E1-E14, the
    paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
-   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e10,
+   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e14,
    micro) to run a subset; `--domains K` pins the parallel engine's domain
    count (default: LOCSAMPLE_DOMAINS or the core count).
 
@@ -28,6 +28,7 @@ let sections =
     ("e11", Experiments.e11);
     ("e12", Experiments.e12);
     ("e13", Experiments.e13);
+    ("e14", Experiments.e14);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]
@@ -36,7 +37,8 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [--domains K] [--fault-rate P] [--crash-rate P] \
      [--retry-budget R] [--max-delay K] [--corrupt-rate P] \
-     [--fault-profile lossy|flaky|partitioned] [--trace FILE] [--metrics] \
+     [--fault-profile lossy|flaky|partitioned] \
+     [--async synchronizer|adaptive] [--trace FILE] [--metrics] \
      [section ...]\n\
      (known sections: %s)\n"
     (String.concat ", " (List.map fst sections));
@@ -62,6 +64,7 @@ let parse_args argv =
     | "--max-delay" :: k :: rest -> set_max_delay k; go acc rest
     | "--corrupt-rate" :: p :: rest -> set_corrupt_rate p; go acc rest
     | "--fault-profile" :: name :: rest -> set_fault_profile name; go acc rest
+    | "--async" :: mode :: rest -> set_async mode; go acc rest
     | "--trace" :: f :: rest -> set_trace f; go acc rest
     | "--metrics" :: rest ->
         metrics_on := true;
@@ -78,6 +81,7 @@ let parse_args argv =
             ("--max-delay", set_max_delay);
             ("--corrupt-rate", set_corrupt_rate);
             ("--fault-profile", set_fault_profile);
+            ("--async", set_async);
             ("--trace", set_trace);
           ]
         in
@@ -140,6 +144,14 @@ let parse_args argv =
     (try ignore (Ls_local.Faults.preset name)
      with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2);
     Experiments.e12_profile := Some name
+  and set_async mode =
+    (* Validation lives in Async.mode_of_string, so the error text matches
+       the locsample CLI's exactly.  E12/E13's supervised runs then flood
+       over the event-driven executor; in synchronizer mode stdout stays
+       byte-identical to the synchronous run. *)
+    (try ignore (Ls_local.Async.mode_of_string mode)
+     with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2);
+    Experiments.async_mode := Some mode
   and set_trace f =
     let t = Ls_obs.Trace.make ~path:f () in
     Ls_obs.Trace.install t;

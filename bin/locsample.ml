@@ -135,7 +135,7 @@ let make_oracle ~engine ~t inst =
    the preset, and invalid explicit values still reach Faults.make, which
    rejects them by name). *)
 let faults_of_flags ~seed ~fault_rate ~crash_rate ~max_delay ~corrupt_rate
-    ~profile =
+    ~skew ~delay_law ~profile =
   try
     let p =
       match profile with
@@ -150,7 +150,9 @@ let faults_of_flags ~seed ~fault_rate ~crash_rate ~max_delay ~corrupt_rate
       ~crash:(over crash_rate 0. p.Faults.pr_crash)
       ~recovery:p.Faults.pr_recovery ~recovery_delay:p.Faults.pr_recovery_delay
       ~corrupt:(over corrupt_rate 0. p.Faults.pr_corrupt)
-      ~partitions:p.Faults.pr_partitions ~bursts:p.Faults.pr_bursts ()
+      ~partitions:p.Faults.pr_partitions ~bursts:p.Faults.pr_bursts
+      ~law:(Faults.law_of_string delay_law)
+      ~skew ()
   with Invalid_argument msg ->
     Printf.eprintf "locsample: %s\n" msg;
     exit 2
@@ -161,15 +163,35 @@ let policy_of_flags ~retry_budget =
     Printf.eprintf "locsample: %s\n" msg;
     exit 2
 
+(* The event-driven executor, when --async asks for it; flag validation
+   funnels through Async.make/mode_of_string like everything else. *)
+let async_of_flags ~async_mode ~timeout_base =
+  match async_mode with
+  | None -> None
+  | Some name -> (
+      try
+        Some
+          (Ls_local.Async.make
+             ~mode:(Ls_local.Async.mode_of_string name)
+             ~timeout_base ())
+      with Invalid_argument msg ->
+        Printf.eprintf "locsample: %s\n" msg;
+        exit 2)
+
 (* --- commands ------------------------------------------------------- *)
 
 let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
-    trials =
+    ~async trials =
   let order = Array.init (Instance.n inst) (fun i -> i) in
-  let faulty = not (Faults.is_none faults) in
+  let faulty = not (Faults.is_none faults) || async <> None in
   if faulty then
-    Printf.printf "fault plan per trial: %s, retry budget %d\n"
-      (Faults.describe faults) policy.Resilient.retry_budget;
+    Printf.printf "fault plan per trial: %s, retry budget %d%s\n"
+      (Faults.describe faults) policy.Resilient.retry_budget
+      (match async with
+      | None -> ""
+      | Some cfg ->
+          Printf.sprintf ", %s executor"
+            (Ls_local.Async.mode_name (Ls_local.Async.mode cfg)));
   let run_one =
     if faulty then begin
       let epsilon =
@@ -184,13 +206,13 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
         let faults = Faults.reseed faults ~seed:fseed in
         if exact_jvv then
           let s =
-            Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
+            Jvv.run_local_resilient oracle ~epsilon ~policy ~faults ?async inst
               ~seed:sseed
           in
           (s.Jvv.sresult.Jvv.success, s.Jvv.sresult.Jvv.y)
         else
           let r =
-            Local_sampler.sample_resilient oracle ~policy ~faults inst
+            Local_sampler.sample_resilient oracle ~policy ~faults ?async inst
               ~seed:sseed
           in
           (r.Local_sampler.success, r.Local_sampler.sigma)
@@ -234,28 +256,32 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
   0
 
 let sample graph model t seed engine exact_jvv epsilon trials fault_rate
-    crash_rate max_delay corrupt_rate profile retry_budget =
+    crash_rate max_delay corrupt_rate skew delay_law async_mode timeout_base
+    profile retry_budget =
   let policy = policy_of_flags ~retry_budget in
   (* Validate the flags up front even when they are all zero. *)
   let faults =
     faults_of_flags ~seed:(Int64.of_int (seed + 1)) ~fault_rate ~crash_rate
-      ~max_delay ~corrupt_rate ~profile
+      ~max_delay ~corrupt_rate ~skew ~delay_law ~profile
   in
-  let faulty = not (Faults.is_none faults) in
+  let async = async_of_flags ~async_mode ~timeout_base in
+  (* --async alone (timing-only plan) still runs the supervised network
+     path: the executor needs a network to flood over. *)
+  let faulty = not (Faults.is_none faults) || async <> None in
   let g, m, inst = make_instance ~graph ~model ~seed in
   Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
     m.describe;
   let oracle = make_oracle ~engine ~t inst in
   if trials > 1 then
     sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
-      trials
+      ~async trials
   else if faulty then begin
     if exact_jvv then begin
       let epsilon =
         match epsilon with Some e -> e | None -> Jvv.theory_epsilon inst
       in
       let s =
-        Jvv.run_local_resilient oracle ~epsilon ~policy ~faults inst
+        Jvv.run_local_resilient oracle ~epsilon ~policy ~faults ?async inst
           ~seed:(Int64.of_int seed)
       in
       Printf.printf "JVV exact sampler under %s\n" (Faults.describe faults);
@@ -268,7 +294,7 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
     end
     else begin
       let r =
-        Local_sampler.sample_resilient oracle ~policy ~faults inst
+        Local_sampler.sample_resilient oracle ~policy ~faults ?async inst
           ~seed:(Int64.of_int seed)
       in
       Printf.printf "chain-rule sampler under %s\n" (Faults.describe faults);
@@ -355,9 +381,24 @@ let count graph model t seed =
   Printf.printf "ln Z ~ %.6f   (Z ~ %.6e)\n" log_z (exp log_z);
   0
 
-let chaos seed schedules trials reproducer_path =
+let chaos seed schedules trials async_mode max_delay corrupt_rate profile
+    partitions reproducer_path =
+  let overrides =
+    {
+      Ls_chaos.Chaos.o_async = async_mode;
+      o_max_delay = max_delay;
+      o_corrupt = corrupt_rate;
+      o_profile = profile;
+      o_partitions = partitions;
+    }
+  in
   let summary =
-    Ls_chaos.Chaos.run ~schedules ~trials ~seed:(Int64.of_int seed) ()
+    try
+      Ls_chaos.Chaos.run ~overrides ~schedules ~trials
+        ~seed:(Int64.of_int seed) ()
+    with Invalid_argument msg ->
+      Printf.eprintf "locsample: %s\n" msg;
+      exit 2
   in
   if Ls_chaos.Chaos.ok summary then begin
     Printf.printf
@@ -499,8 +540,38 @@ let sample_cmd =
          ~doc:"Max retries (with exponential backoff, charged to the round \
                meter) before a faulty run degrades to a partial sample.")
   in
+  let skew =
+    Arg.(value & opt float 0. & info [ "skew" ] ~docv:"S"
+         ~doc:"Max extra per-node clock-rate factor (>= 0): a node's local \
+               round costs 1 to 1+$(docv) virtual time units on the \
+               asynchronous executor.  Timing-only — verdicts, outputs and \
+               round charges are unaffected.")
+  in
+  let delay_law =
+    Arg.(value & opt string "uniform" & info [ "delay-law" ] ~docv:"LAW"
+         ~doc:"Virtual link-latency law of the asynchronous executor: \
+               'uniform', 'exp'/'exponential', or 'heavy'/'pareto' — all \
+               mean 1.0, so laws change delay tails, not average load.  \
+               Timing-only, like --skew.")
+  in
+  let async_mode =
+    Arg.(value & opt (some string) None & info [ "async" ] ~docv:"MODE"
+         ~doc:"Flood over the event-driven executor instead of lockstep \
+               rounds: 'synchronizer' (alpha-synchronizer; bit-identical \
+               outputs, rounds and traces under any delay law or skew) or \
+               'adaptive' (EWMA timeouts + capped retransmissions; a \
+               misfired timeout degrades to a retry, never a wrong \
+               sample).")
+  in
+  let timeout_base =
+    Arg.(value & opt float 3.0 & info [ "timeout-base" ] ~docv:"T"
+         ~doc:"Initial per-neighbor latency estimate of the adaptive \
+               executor, in virtual time units (a fault-free link averages \
+               1.0).  Lower values misfire more timeouts — costing retries, \
+               never correctness.")
+  in
   Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
-    Term.(const (fun () a b c d e f g h i j k l m n -> sample a b c d e f g h i j k l m n) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ profile $ retry_budget)
+    Term.(const (fun () a b c d e f g h i j k l m n o p q r -> sample a b c d e f g h i j k l m n o p q r) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ skew $ delay_law $ async_mode $ timeout_base $ profile $ retry_budget)
 
 let infer_cmd =
   let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in
@@ -541,14 +612,53 @@ let chaos_cmd =
          ~docv:"FILE"
          ~doc:"Where to write the shrunk reproducer on failure.")
   in
+  let async_mode =
+    Arg.(value & opt (some string) None & info [ "async" ] ~docv:"MODE"
+         ~doc:"Run every trial batch over the event-driven executor: \
+               'synchronizer' or 'adaptive'.  The sync-vs-async identity \
+               invariant is checked either way.")
+  in
+  let max_delay =
+    Arg.(value & opt (some int) None & info [ "max-delay" ] ~docv:"D"
+         ~doc:"Force this delay bound onto every generated schedule.")
+  in
+  let corrupt_rate =
+    Arg.(value & opt (some float) None & info [ "corrupt-rate" ] ~docv:"P"
+         ~doc:"Force this corruption rate onto every generated schedule.")
+  in
+  let profile =
+    Arg.(value & opt (some string) None & info [ "fault-profile" ] ~docv:"NAME"
+         ~doc:"Replace every generated schedule's rates with this preset \
+               ('lossy', 'flaky', 'partitioned') before the other override \
+               flags apply — the same precedence as the sample command.")
+  in
+  let partition_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ a; u; k ] -> (
+          try Ok (int_of_string a, int_of_string u, int_of_string k)
+          with _ -> Error (`Msg "partition wants FROM:UNTIL:PARTS"))
+      | _ -> Error (`Msg "partition wants FROM:UNTIL:PARTS")
+    in
+    let print ppf (a, u, k) = Format.fprintf ppf "%d:%d:%d" a u k in
+    Arg.conv (parse, print)
+  in
+  let partitions =
+    Arg.(value & opt_all partition_conv [] & info [ "partition" ]
+         ~docv:"FROM:UNTIL:PARTS"
+         ~doc:"Force this partition interval onto every generated schedule \
+               (repeatable; replaces the generated intervals).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run the chaos harness: random fault schedules, an invariant \
-             suite (zero-fault bit-identity, message conservation, \
-             domain-count determinism, Las Vegas exactness), and greedy \
-             shrinking of failures to minimal reproducers.  Exits 1 on any \
-             violation, after writing the reproducer file.")
-    Term.(const (fun () a b c d -> chaos a b c d) $ setup_log_term $ seed_arg $ schedules $ trials $ reproducer)
+             suite (zero-fault bit-identity, conservation at teardown, \
+             domain-count determinism, sync-vs-async executor identity, \
+             Las Vegas exactness), and greedy shrinking of failures to \
+             minimal reproducers.  Exits 1 on any violation, after writing \
+             the reproducer file — whose replay line carries every flag of \
+             this command.")
+    Term.(const (fun () a b c d e f g h i -> chaos a b c d e f g h i) $ setup_log_term $ seed_arg $ schedules $ trials $ async_mode $ max_delay $ corrupt_rate $ profile $ partitions $ reproducer)
 
 let main_cmd =
   Cmd.group

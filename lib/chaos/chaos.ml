@@ -17,6 +17,7 @@ module Models = Ls_gibbs.Models
 module Network = Ls_local.Network
 module Faults = Ls_local.Faults
 module Resilient = Ls_local.Resilient
+module Async = Ls_local.Async
 module Par = Ls_par.Par
 open Ls_core
 
@@ -34,6 +35,9 @@ type spec = {
   corrupt : float;
   partitions : (int * int * int) list;
   bursts : (int * int * float) list;
+  law : Faults.law;
+  skew : float;
+  reorder : float;
 }
 
 let quiet plan_seed =
@@ -49,13 +53,17 @@ let quiet plan_seed =
     corrupt = 0.;
     partitions = [];
     bursts = [];
+    law = Faults.Uniform;
+    skew = 0.;
+    reorder = 0.;
   }
 
 let to_faults s =
   Faults.make ~seed:s.plan_seed ~drop:s.drop ~duplicate:s.duplicate
     ~delay:s.delay ~max_delay:s.max_delay ~crash:s.crash ~recovery:s.recovery
     ~recovery_delay:s.recovery_delay ~corrupt:s.corrupt
-    ~partitions:s.partitions ~bursts:s.bursts ()
+    ~partitions:s.partitions ~bursts:s.bursts ~law:s.law ~skew:s.skew
+    ~reorder:s.reorder ()
 
 let describe s = Faults.describe (to_faults s)
 
@@ -73,6 +81,17 @@ let gen rng =
   let recovery = if Rng.bernoulli rng 0.6 then 0.5 +. (Rng.float rng *. 0.5) else 0. in
   let recovery_delay = 1 + Rng.int rng 6 in
   let corrupt = rate 0.4 0.05 in
+  (* Timing dimensions: only the asynchronous executor consults them, so
+     the sync-vs-async identity invariant gets exercised under every tail
+     shape, not just the uniform one. *)
+  let law =
+    match Rng.int rng 3 with
+    | 0 -> Faults.Uniform
+    | 1 -> Faults.Exponential
+    | _ -> Faults.Heavy
+  in
+  let skew = rate 0.4 0.5 in
+  let reorder = rate 0.4 0.25 in
   let intervals k gen_one =
     List.init (Rng.int rng (k + 1)) (fun _ -> gen_one ())
   in
@@ -98,7 +117,61 @@ let gen rng =
     corrupt;
     partitions;
     bursts;
+    law;
+    skew;
+    reorder;
   }
+
+(* --- overrides (the CLI flag surface, as data) ------------------------- *)
+
+(* `locsample chaos` can force chosen dimensions onto every generated
+   schedule — the same precedence story as the sample command's flags over
+   --fault-profile — and the reproducer line carries them, so a replay is
+   one copy-paste regardless of which flags produced the run. *)
+type overrides = {
+  o_async : string option;  (* executor mode name, None = synchronous *)
+  o_max_delay : int option;
+  o_corrupt : float option;
+  o_profile : string option;
+  o_partitions : (int * int * int) list;  (* [] = keep generated ones *)
+}
+
+let no_overrides =
+  {
+    o_async = None;
+    o_max_delay = None;
+    o_corrupt = None;
+    o_profile = None;
+    o_partitions = [];
+  }
+
+let apply_overrides o s =
+  let s =
+    match o.o_profile with
+    | None -> s
+    | Some name ->
+        let p = Faults.preset name in
+        {
+          s with
+          drop = p.Faults.pr_drop;
+          duplicate = p.Faults.pr_duplicate;
+          delay = p.Faults.pr_delay;
+          max_delay = p.Faults.pr_max_delay;
+          crash = p.Faults.pr_crash;
+          recovery = p.Faults.pr_recovery;
+          recovery_delay = p.Faults.pr_recovery_delay;
+          corrupt = p.Faults.pr_corrupt;
+          partitions = p.Faults.pr_partitions;
+          bursts = p.Faults.pr_bursts;
+        }
+  in
+  let s =
+    match o.o_max_delay with None -> s | Some d -> { s with max_delay = d }
+  in
+  let s =
+    match o.o_corrupt with None -> s | Some c -> { s with corrupt = c }
+  in
+  match o.o_partitions with [] -> s | ps -> { s with partitions = ps }
 
 (* --- the workload ----------------------------------------------------- *)
 
@@ -128,16 +201,18 @@ let chi_square_critical ~df =
 (* One supervised sampling trial.  Per-trial fault and payload seeds are
    split off the trial stream, so trials are independent replicas of the
    same schedule SHAPE (rates and intervals) — exactly how E12/E13 sample
-   fault space. *)
-let one_trial spec inst oracle policy rng =
+   fault space.  [async] is the executor mode; a fresh config per trial
+   keeps its mutable stats out of the cross-domain determinism story. *)
+let one_trial ?async spec inst oracle policy rng =
   let faults = to_faults { spec with plan_seed = Rng.bits64 rng } in
+  let async = Option.map (fun mode -> Async.make ~mode ()) async in
   let r =
-    Local_sampler.sample_resilient oracle ~policy ~faults inst
+    Local_sampler.sample_resilient oracle ~policy ~faults ?async inst
       ~seed:(Rng.bits64 rng)
   in
   (r.Local_sampler.success, r.Local_sampler.sigma, r.Local_sampler.rounds)
 
-let run_spec ?check ?(trials = 80) spec =
+let run_spec ?check ?async ?(trials = 80) spec =
   let violations = ref [] in
   let push v = violations := v :: !violations in
   (match check with Some f -> Option.iter push (f spec) | None -> ());
@@ -145,17 +220,27 @@ let run_spec ?check ?(trials = 80) spec =
   let oracle = Inference.ssm_oracle ~t:2 inst in
   let policy = Resilient.policy ~retry_budget:3 () in
   let faults = to_faults spec in
-  (* Invariant: conservation.  Drive supervised ball collection directly
-     on a network we hold, then account for every transmitted copy. *)
+  (* Invariant: conservation at teardown.  Drive supervised ball collection
+     directly on a network we hold, finish it, then account for every
+     transmitted copy — pending must be zero once the network is finished
+     (parked copies settle as dead letters), not just balanced mid-run. *)
   let g = Generators.cycle workload_n in
   let net =
     Network.create ~faults g
       ~inputs:(Array.make workload_n ())
       ~seed:spec.plan_seed
   in
+  let exec = Option.map (fun mode -> Async.make ~mode ()) async in
   let _views, _failed, _report =
-    Resilient.collect_views net ~policy ~radius:2
+    Resilient.collect_views ?async:exec net ~policy ~radius:2
   in
+  Network.finish net;
+  if Network.pending_count net <> 0 then
+    push
+      (violation "conservation"
+         "%d copies still pending after Network.finish (teardown must settle \
+          every copy)"
+         (Network.pending_count net));
   let sent = Network.messages net in
   let accounted =
     Network.delivered_count net + Network.pending_count net
@@ -170,22 +255,34 @@ let run_spec ?check ?(trials = 80) spec =
          (Network.pending_count net)
          (Network.quarantined_count net)
          (Network.dead_letter_count net));
-  (* Trial batch, used by the three remaining invariants.  Domain count 1
-     here; the determinism invariant reruns the same batch on 2 domains
-     and demands bit-identical results. *)
+  (* Trial batch, used by the remaining invariants.  Domain count 1 here;
+     the determinism invariant reruns the same batch on 2 domains and
+     demands bit-identical results. *)
   let batch_seed = Int64.logxor spec.plan_seed 0x5DEECE66DL in
-  let batch ~domains =
+  let batch ?async ~domains () =
     Par.run_trials ~domains ~n:trials ~seed:batch_seed
-      (one_trial spec inst oracle policy)
+      (one_trial ?async spec inst oracle policy)
   in
-  let results = batch ~domains:1 in
+  let results = batch ?async ~domains:1 () in
   (* Invariant: domain-count invariance (verdicts, outputs and round
      charges must not depend on scheduling). *)
-  let results2 = batch ~domains:2 in
+  let results2 = batch ?async ~domains:2 () in
   if results <> results2 then
     push
       (violation "domain-determinism"
          "trial batch differs between --domains 1 and --domains 2");
+  (* Invariant: sync-vs-async identity.  The synchronizer-mode executor
+     must reproduce the synchronous runtime bit-for-bit — outputs, success
+     verdicts and round charges — under EVERY schedule, whatever delay
+     law, skew or reordering the spec carries. *)
+  let sync_results =
+    match async with None -> results | Some _ -> batch ~domains:1 ()
+  in
+  let synchro_results = batch ~async:Async.Synchronizer ~domains:1 () in
+  if sync_results <> synchro_results then
+    push
+      (violation "sync-async-identity"
+         "synchronizer-mode executor diverged from the synchronous runtime");
   (* Invariant: Las Vegas samplers never lie — every success lies in the
      support of the exact joint distribution. *)
   let exact = Lazy.force exact_joint in
@@ -219,11 +316,12 @@ let run_spec ?check ?(trials = 80) spec =
    must produce exactly the unsupervised sampler's output (the pristine
    executor runs verbatim, and attempt 0's payload seed is the first
    split of the master stream). *)
-let zero_fault_identity ~seed =
+let zero_fault_identity ?async ~seed () =
   let inst = workload_instance () in
   let oracle = Inference.ssm_oracle ~t:2 inst in
+  let async = Option.map (fun mode -> Async.make ~mode ()) async in
   let resilient =
-    Local_sampler.sample_resilient oracle ~faults:Faults.none inst ~seed
+    Local_sampler.sample_resilient oracle ~faults:Faults.none ?async inst ~seed
   in
   let payload_seed = Rng.bits64 (Rng.create seed) in
   let plain = Local_sampler.sample oracle inst ~seed:payload_seed in
@@ -251,6 +349,10 @@ let shrink_candidates s =
       (if s.delay > 0. then [ { s with delay = 0.; max_delay = 1 } ] else []);
       (if s.duplicate > 0. then [ { s with duplicate = 0. } ] else []);
       (if s.drop > 0. then [ { s with drop = 0. } ] else []);
+      (if s.skew > 0. then [ { s with skew = 0. } ] else []);
+      (if s.reorder > 0. then [ { s with reorder = 0. } ] else []);
+      (if s.law <> Faults.Uniform then [ { s with law = Faults.Uniform } ]
+       else []);
       (if s.max_delay > 1 then [ { s with max_delay = 1 } ] else []);
       (if s.recovery_delay > 1 then [ { s with recovery_delay = 1 } ] else []);
     ]
@@ -259,8 +361,8 @@ let shrink_candidates s =
    that still violates some invariant, until none does.  Deterministic,
    and every accepted step strictly shrinks the schedule, so it
    terminates. *)
-let shrink ?check ?trials s0 =
-  let still_fails c = run_spec ?check ?trials c <> [] in
+let shrink ?check ?async ?trials s0 =
+  let still_fails c = run_spec ?check ?async ?trials c <> [] in
   let rec go s =
     match List.find_opt still_fails (shrink_candidates s) with
     | Some c -> go c
@@ -282,28 +384,54 @@ type summary = {
   seed : int64;
   schedules : int;
   trials : int;
+  overrides : overrides;
   zero_fault : violation option;
   failures : failure list;
 }
 
-let run ?check ?(schedules = 10) ?(trials = 80) ~seed () =
+let run ?check ?(overrides = no_overrides) ?(schedules = 10) ?(trials = 80)
+    ~seed () =
+  (* Validate the mode name before any work: the CLI funnels --async
+     through the same constructor as the API. *)
+  let async = Option.map Async.mode_of_string overrides.o_async in
+  Option.iter (fun m -> ignore (Async.make ~mode:m ())) async;
   let rng = Rng.create seed in
-  let zero_fault = zero_fault_identity ~seed in
+  let zero_fault = zero_fault_identity ?async ~seed () in
   let failures = ref [] in
   for index = 0 to schedules - 1 do
-    let s = gen rng in
-    match run_spec ?check ~trials s with
+    let s = apply_overrides overrides (gen rng) in
+    match run_spec ?check ?async ~trials s with
     | [] -> ()
     | f_violations ->
-        let f_shrunk = shrink ?check ~trials s in
-        let f_shrunk_violations = run_spec ?check ~trials f_shrunk in
+        let f_shrunk = shrink ?check ?async ~trials s in
+        let f_shrunk_violations = run_spec ?check ?async ~trials f_shrunk in
         failures :=
           { index; f_spec = s; f_violations; f_shrunk; f_shrunk_violations }
           :: !failures
   done;
-  { seed; schedules; trials; zero_fault; failures = List.rev !failures }
+  {
+    seed;
+    schedules;
+    trials;
+    overrides;
+    zero_fault;
+    failures = List.rev !failures;
+  }
 
 let ok summary = summary.zero_fault = None && summary.failures = []
+
+(* The override flags, rendered exactly as `locsample chaos` accepts them —
+   the replay line must round-trip through parse_reproducer AND through the
+   real CLI. *)
+let override_flags o =
+  let b = Buffer.create 64 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  Option.iter (p " --async %s") o.o_async;
+  Option.iter (p " --max-delay %d") o.o_max_delay;
+  Option.iter (p " --corrupt-rate %g") o.o_corrupt;
+  Option.iter (p " --fault-profile %s") o.o_profile;
+  List.iter (fun (a, u, k) -> p " --partition %d:%d:%d" a u k) o.o_partitions;
+  Buffer.contents b
 
 let reproducer summary =
   let b = Buffer.create 256 in
@@ -323,6 +451,52 @@ let reproducer summary =
         f.f_shrunk_violations)
     summary.failures;
   if ok summary then p "all invariants held\n";
-  p "replay: locsample chaos --seed %Ld --schedules %d --trials %d\n"
-    summary.seed summary.schedules summary.trials;
+  p "replay: locsample chaos --seed %Ld --schedules %d --chaos-trials %d%s\n"
+    summary.seed summary.schedules summary.trials
+    (override_flags summary.overrides);
   Buffer.contents b
+
+let parse_reproducer text =
+  let prefix = "replay: locsample chaos" in
+  let is_replay l =
+    String.length l >= String.length prefix
+    && String.sub l 0 (String.length prefix) = prefix
+  in
+  match List.find_opt is_replay (String.split_on_char '\n' text) with
+  | None -> None
+  | Some line -> (
+      let toks =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+      in
+      let partition_of v =
+        match String.split_on_char ':' v with
+        | [ a; u; k ] -> (int_of_string a, int_of_string u, int_of_string k)
+        | _ -> failwith "partition wants FROM:UNTIL:PARTS"
+      in
+      let rec go seed schedules trials o = function
+        | [] -> (seed, schedules, trials, o)
+        | "--seed" :: v :: rest ->
+            go (Int64.of_string v) schedules trials o rest
+        | "--schedules" :: v :: rest ->
+            go seed (int_of_string v) trials o rest
+        | ("--chaos-trials" | "--trials") :: v :: rest ->
+            go seed schedules (int_of_string v) o rest
+        | "--async" :: v :: rest ->
+            go seed schedules trials { o with o_async = Some v } rest
+        | "--max-delay" :: v :: rest ->
+            go seed schedules trials
+              { o with o_max_delay = Some (int_of_string v) }
+              rest
+        | "--corrupt-rate" :: v :: rest ->
+            go seed schedules trials
+              { o with o_corrupt = Some (float_of_string v) }
+              rest
+        | "--fault-profile" :: v :: rest ->
+            go seed schedules trials { o with o_profile = Some v } rest
+        | "--partition" :: v :: rest ->
+            go seed schedules trials
+              { o with o_partitions = o.o_partitions @ [ partition_of v ] }
+              rest
+        | _ :: rest -> go seed schedules trials o rest
+      in
+      try Some (go 0L 10 80 no_overrides toks) with _ -> None)

@@ -7,13 +7,17 @@
 
     {b The invariant suite}, per schedule:
 
-    - {e conservation}: every transmitted copy is accounted for —
-      [messages = delivered + pending + quarantined + dead letters]
-      ({!Ls_local.Network});
+    - {e conservation} (at teardown): after {!Ls_local.Network.finish}
+      every transmitted copy is accounted for with nothing pending —
+      [messages = delivered + 0 + quarantined + dead letters];
     - {e domain-determinism}: the trial batch is bit-identical at 1 and 2
       domains (verdicts, outputs, round charges);
+    - {e sync-async-identity}: the synchronizer-mode event-driven executor
+      ({!Ls_local.Async}) reproduces the synchronous runtime bit-for-bit
+      under the schedule's delay law, clock skew and reordering;
     - {e las-vegas}: every success lies in the support of the exact joint
-      — faults may cost availability, never correctness;
+      — faults may cost availability, never correctness (under adaptive
+      timeouts too: a misfired timeout may cost a retry, never exactness);
     - {e gof}: conditioned on success the output is exactly [mu]
       (chi-square at significance 0.001, skipped when successes are too
       few for meaningful expected cell counts).
@@ -37,9 +41,13 @@ type spec = {
   corrupt : float;
   partitions : (int * int * int) list;
   bursts : (int * int * float) list;
+  law : Ls_local.Faults.law;
+  skew : float;
+  reorder : float;
 }
 (** A fault schedule in shrinkable form: the arguments of
-    {!Ls_local.Faults.make}, as data. *)
+    {!Ls_local.Faults.make}, as data.  The last three are the timing
+    dimensions only the asynchronous executor consults. *)
 
 val quiet : int64 -> spec
 (** The zero-fault schedule with the given plan seed (the shrinker's
@@ -52,23 +60,53 @@ val describe : spec -> string
 
 val gen : Ls_rng.Rng.t -> spec
 (** Draw a random schedule: moderate i.i.d. rates plus 0–2 partition
-    intervals and 0–2 bursts, every fault dimension exercised with
-    positive probability. *)
+    intervals and 0–2 bursts, every fault dimension — timing included —
+    exercised with positive probability. *)
+
+type overrides = {
+  o_async : string option;
+      (** Executor mode name ({!Ls_local.Async.mode_of_string});
+          [None] = synchronous. *)
+  o_max_delay : int option;
+  o_corrupt : float option;
+  o_profile : string option;
+  o_partitions : (int * int * int) list;  (** [[]] = keep generated ones. *)
+}
+(** The `locsample chaos` flag surface, as data: dimensions forced onto
+    every generated schedule (explicit values override the profile's
+    fields, mirroring the sample command's precedence).  Carried by the
+    {!summary} so {!reproducer}'s replay line reproduces them. *)
+
+val no_overrides : overrides
+
+val apply_overrides : overrides -> spec -> spec
 
 type violation = { invariant : string; detail : string }
 
 val run_spec :
-  ?check:(spec -> violation option) -> ?trials:int -> spec -> violation list
+  ?check:(spec -> violation option) ->
+  ?async:Ls_local.Async.mode ->
+  ?trials:int ->
+  spec ->
+  violation list
 (** Run the workload under one schedule and return every invariant
     violation (empty = schedule passed).  [check] injects an extra
     caller-supplied invariant — the hook the shrinker tests (and the CI
-    self-test) use to plant a seeded failure.  Default [trials] is 80. *)
+    self-test) use to plant a seeded failure.  [async] floods the trial
+    batch over the event-driven executor in the given mode (the
+    sync-vs-async identity invariant is checked either way).  Default
+    [trials] is 80. *)
 
-val zero_fault_identity : seed:int64 -> violation option
+val zero_fault_identity :
+  ?async:Ls_local.Async.mode -> seed:int64 -> unit -> violation option
 (** The once-per-run bit-identity check (see module doc). *)
 
 val shrink :
-  ?check:(spec -> violation option) -> ?trials:int -> spec -> spec
+  ?check:(spec -> violation option) ->
+  ?async:Ls_local.Async.mode ->
+  ?trials:int ->
+  spec ->
+  spec
 (** Greedy minimization of a failing schedule: repeatedly apply the first
     one-step simplification (drop an interval, zero a rate, collapse a
     bound) that still violates some invariant.  Returns its fixed point —
@@ -87,24 +125,33 @@ type summary = {
   seed : int64;
   schedules : int;
   trials : int;
+  overrides : overrides;
   zero_fault : violation option;
   failures : failure list;
 }
 
 val run :
   ?check:(spec -> violation option) ->
+  ?overrides:overrides ->
   ?schedules:int ->
   ?trials:int ->
   seed:int64 ->
   unit ->
   summary
 (** The full harness: zero-fault identity, then [schedules] generated
-    schedules (default 10) of [trials] trials each, shrinking every
-    failure. *)
+    schedules (default 10) of [trials] trials each — with [overrides]
+    applied to each — shrinking every failure.  Raises [Invalid_argument]
+    on an invalid [o_async] mode name or [o_profile] preset (the CLI's
+    rejection path). *)
 
 val ok : summary -> bool
 
 val reproducer : summary -> string
 (** Human-readable run report — violations and shrunk reproducers on
     failure, ["all invariants held"] otherwise — ending in the exact CLI
-    line that replays the run. *)
+    line that replays the run, override flags included. *)
+
+val parse_reproducer : string -> (int64 * int * int * overrides) option
+(** Parse a {!reproducer} report (or any text containing its replay line)
+    back into [(seed, schedules, trials, overrides)] — the round-trip
+    guarantee that the printed one-liner really replays the run. *)

@@ -434,6 +434,7 @@ let run_local (oracle : Inference.oracle) ~epsilon ?trace inst ~seed =
 module Network = Ls_local.Network
 module Faults = Ls_local.Faults
 module Resilient = Ls_local.Resilient
+module Async = Ls_local.Async
 
 type supervised = {
   sresult : result;
@@ -446,7 +447,8 @@ let count_failed failed =
   Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed
 
 let run_local_resilient (oracle : Inference.oracle) ~epsilon
-    ?(policy = Resilient.default) ?(faults = Faults.none) ?trace inst ~seed =
+    ?(policy = Resilient.default) ?(faults = Faults.none) ?trace ?async inst
+    ~seed =
   let g = Instance.graph inst in
   let n = Instance.n inst in
   (* Ball collection for JVV happens per pass: radii t, t, 3t + l
@@ -473,7 +475,11 @@ let run_local_resilient (oracle : Inference.oracle) ~epsilon
     let comm_failed = Array.make n false in
     List.iter
       (fun radius ->
-        let views = Network.flood_views net ~radius in
+        let views =
+          match async with
+          | None -> Network.flood_views net ~radius
+          | Some cfg -> Async.flood_views cfg net ~radius
+        in
         for v = 0 to n - 1 do
           if
             Network.crashed net v
@@ -511,6 +517,8 @@ let run_local_resilient (oracle : Inference.oracle) ~epsilon
       ~charge:(Network.charge net) run_attempt
   in
   let sresult, sstats = match ok with Some rs -> rs | None -> Option.get !best in
+  (* Teardown accounting: no further phase will collect parked copies. *)
+  Network.finish net;
   {
     sresult;
     sstats;

@@ -121,6 +121,7 @@ val run_local_resilient :
   ?policy:Ls_local.Resilient.policy ->
   ?faults:Ls_local.Faults.t ->
   ?trace:Ls_obs.Trace.t ->
+  ?async:Ls_local.Async.t ->
   Instance.t ->
   seed:int64 ->
   supervised
@@ -136,7 +137,9 @@ val run_local_resilient :
     Conditional exactness survives faults: communication failures are
     independent of the payload's randomness (the fault plan has its own
     seed), so conditioned on success the output law is still exactly
-    [μ^τ]. *)
+    [μ^τ].  [async] floods over the event-driven executor, exactly as in
+    {!Local_sampler.sample_resilient}; the network is finished before
+    returning. *)
 
 val run_local_certified :
   Inference.oracle ->

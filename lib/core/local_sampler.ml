@@ -4,6 +4,7 @@ module Scheduler = Ls_local.Scheduler
 module Network = Ls_local.Network
 module Faults = Ls_local.Faults
 module Resilient = Ls_local.Resilient
+module Async = Ls_local.Async
 
 type result = {
   sigma : int array;
@@ -52,7 +53,8 @@ let count_failed failed =
   Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed
 
 let sample_resilient (oracle : Inference.oracle)
-    ?(policy = Resilient.default) ?(faults = Faults.none) ?trace inst ~seed =
+    ?(policy = Resilient.default) ?(faults = Faults.none) ?trace ?async inst
+    ~seed =
   let g = Instance.graph inst in
   let n = Instance.n inst in
   (* The physical network carrying the fault plan.  Each attempt first runs
@@ -75,7 +77,11 @@ let sample_resilient (oracle : Inference.oracle)
     (* Fresh payload randomness per attempt, deterministically derived:
        attempts are sequential, so the draw order is reproducible. *)
     let payload_seed = Rng.bits64 master in
-    let views = Network.flood_views net ~radius in
+    let views =
+      match async with
+      | None -> Network.flood_views net ~radius
+      | Some cfg -> Async.flood_views cfg net ~radius
+    in
     let comm_failed =
       Array.init n (fun v ->
           Network.crashed net v
@@ -114,6 +120,10 @@ let sample_resilient (oracle : Inference.oracle)
       ~charge:(Network.charge net) run_attempt
   in
   let r = match ok with Some r -> r | None -> Option.get !best in
+  (* Teardown: the network runs no further phases, so copies still parked
+     across a phase boundary settle as dead letters — conservation holds
+     with pending = 0 when the supervisor hands the result back. *)
+  Network.finish net;
   (* Honest meter: every attempt's scheduler rounds, every flood, every
      backoff round — nothing is charged to a discarded attempt for free. *)
   {

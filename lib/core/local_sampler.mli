@@ -38,6 +38,7 @@ val sample_resilient :
   ?policy:Ls_local.Resilient.policy ->
   ?faults:Ls_local.Faults.t ->
   ?trace:Ls_obs.Trace.t ->
+  ?async:Ls_local.Async.t ->
   Instance.t ->
   seed:int64 ->
   result
@@ -50,4 +51,12 @@ val sample_resilient :
     out the best partial sample is returned with [resilience] marked
     degraded — graceful degradation, not an exception.  Under
     [Faults.none] the attempt succeeds immediately and the output law is
-    that of {!sample}. *)
+    that of {!sample}.
+
+    [async] floods over the event-driven executor ({!Ls_local.Async})
+    instead of the synchronous one: in synchronizer mode the execution is
+    bit-identical; in adaptive mode a misfired timeout surfaces as an
+    incomplete view — one more transient communication failure to retry,
+    never a wrong answer, so the Las Vegas guarantee is preserved.  The
+    network is {!Ls_local.Network.finish}ed before returning, so the
+    conservation identity holds with no pending copies at teardown. *)

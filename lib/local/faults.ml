@@ -25,6 +25,11 @@ type burst = {
   b_drop : float;  (* elevated drop rate while the burst is active *)
 }
 
+(* Latency law for the asynchronous executor's virtual link delays.  All
+   three are normalized to mean 1.0 virtual time unit, so switching laws
+   changes the SHAPE of delay tails, never the average load. *)
+type law = Uniform | Exponential | Heavy
+
 type t = {
   seed : int64;
   drop : float;
@@ -38,6 +43,9 @@ type t = {
   corrupt : float;
   partitions : partition list;
   bursts : burst list;
+  law : law;  (* virtual link-latency law (async executor only) *)
+  skew : float;  (* max extra per-node clock-rate factor, >= 0 *)
+  reorder : float;  (* probability of a latency spike forcing reordering *)
 }
 
 let none =
@@ -54,8 +62,14 @@ let none =
     corrupt = 0.;
     partitions = [];
     bursts = [];
+    law = Uniform;
+    skew = 0.;
+    reorder = 0.;
   }
 
+(* Timing knobs (law, skew, reorder) deliberately do NOT make a plan
+   faulty: they shape the asynchronous executor's virtual time, never a
+   verdict, so a timing-only plan still runs the pristine path. *)
 let is_none t =
   t.drop = 0. && t.duplicate = 0. && t.delay = 0. && t.crash = 0.
   && t.corrupt = 0. && t.partitions = [] && t.bursts = []
@@ -66,15 +80,36 @@ let check_rate name x =
       (Printf.sprintf "Faults.make: %s must be a probability in [0,1], got %g"
          name x)
 
+let law_name = function
+  | Uniform -> "uniform"
+  | Exponential -> "exp"
+  | Heavy -> "heavy"
+
+let law_of_string = function
+  | "uniform" -> Uniform
+  | "exp" | "exponential" -> Exponential
+  | "heavy" | "pareto" -> Heavy
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "Faults.law_of_string: unknown latency law %S (--delay-law takes \
+            uniform|exp|heavy)"
+           other)
+
 let make ?(seed = 1L) ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.)
     ?(max_delay = 1) ?(crash = 0.) ?(crash_horizon = 64) ?(recovery = 0.)
-    ?(recovery_delay = 4) ?(corrupt = 0.) ?(partitions = []) ?(bursts = []) () =
+    ?(recovery_delay = 4) ?(corrupt = 0.) ?(partitions = []) ?(bursts = [])
+    ?(law = Uniform) ?(skew = 0.) ?(reorder = 0.) () =
   check_rate "drop (--fault-rate)" drop;
   check_rate "duplicate" duplicate;
   check_rate "delay" delay;
   check_rate "crash (--crash-rate)" crash;
   check_rate "recovery" recovery;
   check_rate "corrupt (--corrupt-rate)" corrupt;
+  check_rate "reorder" reorder;
+  if not (skew >= 0.) then
+    invalid_arg
+      (Printf.sprintf "Faults.make: skew (--skew) must be >= 0, got %g" skew);
   if max_delay < 1 then
     invalid_arg
       (Printf.sprintf "Faults.make: max_delay (--max-delay) must be >= 1, got %d"
@@ -129,6 +164,9 @@ let make ?(seed = 1L) ?(drop = 0.) ?(duplicate = 0.) ?(delay = 0.)
     corrupt;
     partitions;
     bursts;
+    law;
+    skew;
+    reorder;
   }
 
 (* Coordinate-indexed uniform variate: chain the bijective finalizer over
@@ -152,6 +190,12 @@ let salt_partition_side = 8
 let salt_burst = 9
 let salt_recover_coin = 10
 let salt_recover_len = 11
+let salt_latency = 12
+let salt_skew = 13
+let salt_reorder = 14
+let salt_jitter = 15
+let salt_retransmit = 16
+let salt_control = 17
 
 (* Which side of partition interval [idx] node [v] lands on: a pure hash
    of (seed, interval index, node), so sides never depend on when or how
@@ -242,6 +286,53 @@ let crash_interval t ~node =
       in
       Some (c, recover)
 
+(* --- virtual-time draws (async executor) ------------------------------ *)
+
+(* Latency of a transmitted copy in virtual time units, mean 1.0 under
+   every law.  Only the asynchronous executor consults these: they order
+   events on its virtual clock and never touch a fault verdict, so the
+   logical outcome under the synchronizer is law-invariant. *)
+let link_latency t ~round ~src ~dst ~copy =
+  let u = u01 t ~salt:salt_latency ~round ~a:src ~b:(dst + (copy lsl 16)) in
+  let base =
+    match t.law with
+    | Uniform -> 0.5 +. u
+    | Exponential -> -.log (1. -. u)
+    | Heavy ->
+        (* Pareto(x_m = 0.5, alpha = 2): mean 1.0, heavy right tail. *)
+        0.5 /. sqrt (1. -. u)
+  in
+  let spiked =
+    t.reorder > 0.
+    && u01 t ~salt:salt_reorder ~round ~a:src ~b:(dst + (copy lsl 16))
+       < t.reorder
+  in
+  if spiked then base *. 4. else base
+
+(* Control-plane traffic (acks, safes, nacks) is small and fast: a short
+   uniform latency, keyed by its own salt so payload and control draws
+   never collide.  [kind] separates the control message families. *)
+let control_latency t ~round ~src ~dst ~kind =
+  0.1
+  +. (0.2 *. u01 t ~salt:salt_control ~round ~a:src ~b:(dst + (kind lsl 16)))
+
+(* Per-node clock-rate factor in [1, 1 + skew]: how much virtual time one
+   local round costs the node. *)
+let node_skew t ~node =
+  1. +. (t.skew *. u01 t ~salt:salt_skew ~round:0 ~a:node ~b:0)
+
+let timeout_jitter t ~round ~src ~dst ~attempt =
+  u01 t ~salt:salt_jitter ~round ~a:src ~b:(dst + (attempt lsl 16))
+
+(* A retransmitted copy is a fresh link-layer trial: it fails through an
+   active partition (the link is cut) or with the plan's base drop rate,
+   under a verdict of its own. *)
+let retransmit_dropped t ~round ~src ~dst ~attempt =
+  partitioned t ~round ~src ~dst
+  || t.drop > 0.
+     && u01 t ~salt:salt_retransmit ~round ~a:src ~b:(dst + (attempt lsl 16))
+        < t.drop
+
 (* Same shape, fresh verdict stream: how per-trial sweeps replicate one
    schedule independently. *)
 let reseed t ~seed = { t with seed }
@@ -250,7 +341,8 @@ let reseed t ~seed = { t with seed }
    a rate) field appears exactly once, so a plan's one-line summary never
    hides part of the schedule. *)
 let describe t =
-  if is_none t then "no faults"
+  if is_none t && t.law = Uniform && t.skew = 0. && t.reorder = 0. then
+    "no faults"
   else begin
     let buf = Buffer.create 64 in
     let add fmt = Printf.ksprintf (fun s ->
@@ -272,6 +364,9 @@ let describe t =
       (fun p -> add "partition[%d,%d)x%d" p.p_from p.p_until p.p_parts)
       t.partitions;
     List.iter (fun b -> add "burst[%d,%d)@%g" b.b_from b.b_until b.b_drop) t.bursts;
+    if t.law <> Uniform then add "law=%s" (law_name t.law);
+    if t.skew > 0. then add "skew=%g" t.skew;
+    if t.reorder > 0. then add "reorder=%g" t.reorder;
     Printf.sprintf "faults(%s)" (Buffer.contents buf)
   end
 

@@ -32,6 +32,15 @@ type partition = private { p_from : int; p_until : int; p_parts : int }
 
 type burst = private { b_from : int; b_until : int; b_drop : float }
 
+type law = Uniform | Exponential | Heavy
+(** Virtual link-latency law for the asynchronous executor
+    ({!Ls_local.Async}): uniform on [[0.5, 1.5)], exponential of mean 1,
+    or Pareto([x_m] = 0.5, [alpha] = 2) — all normalized to mean 1.0
+    virtual time unit, so laws change delay {e tails}, not average load.
+    Timing knobs never touch a fault verdict: the synchronous executor
+    ignores them entirely, and the synchronizer-mode async executor
+    produces bit-identical logical results under every law. *)
+
 type t = private {
   seed : int64;
   drop : float;  (** Per-(round, directed edge) message loss probability. *)
@@ -49,6 +58,13 @@ type t = private {
   corrupt : float;  (** Per-(round, edge, copy) payload-corruption probability. *)
   partitions : partition list;
   bursts : burst list;
+  law : law;
+  skew : float;
+      (** Max extra per-node clock-rate factor (a node's local round costs
+          [1 .. 1 + skew] virtual time units); ≥ 0, async executor only. *)
+  reorder : float;
+      (** Probability a copy's virtual latency spikes 4×, forcing event
+          reordering on the async executor's clock. *)
 }
 
 val none : t
@@ -69,6 +85,9 @@ val make :
   ?corrupt:float ->
   ?partitions:(int * int * int) list ->
   ?bursts:(int * int * float) list ->
+  ?law:law ->
+  ?skew:float ->
+  ?reorder:float ->
   unit ->
   t
 (** Build a validated plan.  All rates must lie in [\[0,1]]; [max_delay],
@@ -127,6 +146,40 @@ val partitioned : t -> round:int -> src:int -> dst:int -> bool
 val burst_rate : t -> round:int -> float
 (** The elevated drop rate in force at [round] (0 outside bursts; the max
     over overlapping bursts). *)
+
+(** {1 Virtual-time draws}
+
+    Consulted only by the asynchronous executor ({!Ls_local.Async}).
+    Like every verdict they are pure functions of (seed, coordinates), so
+    an async schedule replays exactly; unlike the verdicts above they
+    shape {e when} events happen on the virtual clock, never {e what}
+    happens — which is why timing-only plans still count as {!is_none}. *)
+
+val law_name : law -> string
+val law_of_string : string -> law
+(** ["uniform"] | ["exp"]/["exponential"] | ["heavy"]/["pareto"]; raises
+    [Invalid_argument] naming the [--delay-law] flag otherwise. *)
+
+val link_latency : t -> round:int -> src:int -> dst:int -> copy:int -> float
+(** Virtual transit time of copy [copy], drawn from the plan's [law]
+    (mean 1.0), multiplied by 4 when the [reorder] spike verdict fires. *)
+
+val control_latency : t -> round:int -> src:int -> dst:int -> kind:int -> float
+(** Transit time of a control message (ack/safe/nack — distinguished by
+    [kind]): uniform on [[0.1, 0.3)], its own salt. *)
+
+val node_skew : t -> node:int -> float
+(** The node's clock-rate factor in [[1, 1 + skew]]: virtual time one of
+    its local rounds costs. *)
+
+val timeout_jitter : t -> round:int -> src:int -> dst:int -> attempt:int -> float
+(** Uniform [[0, 1)] jitter folded into adaptive-timeout deadlines so
+    synchronized timeout storms decorrelate deterministically. *)
+
+val retransmit_dropped : t -> round:int -> src:int -> dst:int -> attempt:int -> bool
+(** Does retransmission [attempt] of the round-[round] copy fail?  A fresh
+    link-layer verdict: cut by an active partition, or lost with the
+    plan's base drop rate. *)
 
 val reseed : t -> seed:int64 -> t
 (** The same plan shape (rates, bounds, schedules) under a fresh seed —

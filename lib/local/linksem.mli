@@ -1,0 +1,65 @@
+(** Shared link-layer semantics for the two executors.
+
+    One directed (round, edge) transmission under a {!Faults} plan has a
+    {e fate}: a raw copy count (0 = dropped, 2 = duplicated) and, per
+    surviving copy, a delay, a possibly corrupted payload, and a
+    quarantine flag.  {!Network}'s synchronous executor and
+    {!Async}'s event-driven one both compute fates here and report them
+    through {!record}, so fault verdicts, meter bumps and the payload
+    trace stream cannot drift apart between executors.  Sharing is sound
+    because verdicts are pure functions of (seed, coordinates) — the
+    execution order in which fates are computed is irrelevant. *)
+
+type 'm copy = {
+  c_index : int;  (** 1-based copy index within the transmission. *)
+  c_delay : int;  (** Extra logical rounds before the copy is due. *)
+  c_msg : 'm;  (** Payload, after the [corrupt] hook if its verdict fired. *)
+  c_corrupted : bool;
+  c_quarantined : bool;
+      (** Corrupted {e and} caught by the digest: billed, never delivered. *)
+}
+
+type 'm fate = { f_raw : int; f_copies : 'm copy list }
+
+val fate :
+  Faults.t ->
+  round:int ->
+  src:int ->
+  dst:int ->
+  ?corrupt:(round:int -> src:int -> dst:int -> 'm -> 'm) ->
+  ?digest:('m -> int) ->
+  'm ->
+  'm fate
+(** The fate of [msg] sent from [src] to [dst] at absolute round [round]:
+    drop/duplicate verdict, then per copy the delay, corruption (via the
+    caller's [corrupt] hook) and quarantine ([digest] mismatch) verdicts —
+    exactly the pipeline {!Network.run_broadcast} applies. *)
+
+val record :
+  ?trace:Ls_obs.Trace.t ->
+  metrics:bool ->
+  round:int ->
+  src:int ->
+  dst:int ->
+  'm fate ->
+  unit
+(** Emit the fate's fault events and metric bumps in the synchronous
+    executor's order: drop/duplicate first, then per copy delay, corrupt,
+    quarantine.  Both executors report through here — the byte-identity
+    of their payload traces depends on it. *)
+
+val alive : crash_at:int array -> recover_at:int array -> abs:int -> int -> bool
+(** Is the node up at absolute round [abs]?  Down for the half-open
+    interval [[crash_at, recover_at)]. *)
+
+(** {1 Slot ordering}
+
+    Comparators over [(send round, sender id, copy index)] keys fixing the
+    deterministic merge order of an inbox slot: parked carry-in copies
+    first in {e descending} key order, then fresh copies in {e ascending}
+    order.  The descending leg reproduces the synchronous executor's
+    historical cons-then-reverse delivery; the bit-identity contract
+    between executors pins it down. *)
+
+val compare_fresh : int * int * int -> int * int * int -> int
+val compare_parked : int * int * int -> int * int * int -> int

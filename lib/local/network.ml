@@ -120,6 +120,19 @@ let messages t = t.msgs
 
 let pending_count t = List.length t.pending
 
+(* Teardown accounting: a network being finished has no later phase for
+   its parked copies to reach, so they migrate to dead letters — the
+   conservation identity [messages = delivered + pending + quarantined +
+   dead] then holds at teardown with pending = 0.  Idempotent. *)
+let finish t =
+  match t.pending with
+  | [] -> ()
+  | ps ->
+      let k = List.length ps in
+      t.pending <- [];
+      t.dead_letters <- t.dead_letters + k;
+      if Metrics.enabled () then Metrics.record_dead_letters k
+
 (* Explicit sink wins, then the network's own, then the ambient one. *)
 let sink t trace =
   match trace with
@@ -273,7 +286,7 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
       t.pending <- !future);
   for round = 0 to rounds - 1 do
     let abs = base + round in
-    let alive v = abs < t.crash_at.(v) || abs >= t.recover_at.(v) in
+    let alive v = Linksem.alive ~crash_at:t.crash_at ~recover_at:t.recover_at ~abs v in
     (* Partition boundary events: emitted when the interval in force at
        this absolute round differs from the one at the previous round. *)
     if fp.Faults.partitions <> [] then begin
@@ -346,90 +359,42 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
       | Some msg ->
           Array.iter
             (fun u ->
-              let copies = Faults.copies fp ~round:abs ~src:v ~dst:u in
-              (match tr with
-              | Some s when copies = 0 ->
-                  Trace.emit s (Trace.Fault_drop { round = abs; src = v; dst = u })
-              | Some s when copies > 1 ->
-                  Trace.emit s
-                    (Trace.Fault_duplicate { round = abs; src = v; dst = u; copies })
-              | _ -> ());
-              if metrics then
-                if copies = 0 then Metrics.record_drop ()
-                else if copies > 1 then Metrics.record_duplicate ();
-              for copy = 1 to copies do
-                let d = Faults.delay_of fp ~round:abs ~src:v ~dst:u ~copy in
-                let corrupted_now =
-                  match corrupt with
-                  | Some _ -> Faults.corrupted fp ~round:abs ~src:v ~dst:u ~copy
-                  | None -> false
-                in
-                let original = msg in
-                let msg =
-                  match corrupt with
-                  | Some f when corrupted_now -> f ~round:abs ~src:v ~dst:u msg
-                  | _ -> msg
-                in
-                (* Integrity check at the receiver: a caller-supplied digest
-                   that no longer matches exposes the corruption.  Equal
-                   digests (a genuine collision, or no digest at all) let
-                   the corrupted copy through silently. *)
-                let quarantined_now =
-                  corrupted_now
-                  &&
-                  match digest with
-                  | Some dg -> dg msg <> dg original
-                  | None -> false
-                in
-                (match tr with
-                | Some s ->
-                    if d > 0 then
-                      Trace.emit s
-                        (Trace.Fault_delay
-                           { round = abs; src = v; dst = u; copy; delay = d });
-                    if corrupted_now then
-                      Trace.emit s
-                        (Trace.Fault_corrupt { round = abs; src = v; dst = u; copy });
-                    if quarantined_now then
-                      Trace.emit s
-                        (Trace.Quarantine { round = abs; src = v; dst = u; copy })
-                | None -> ());
-                if metrics then begin
-                  if d > 0 then Metrics.record_delay ();
-                  if corrupted_now then Metrics.record_corruption ();
-                  if quarantined_now then Metrics.record_quarantine ()
-                end;
-                (* Bits are metered per transmitted copy: dropped messages
-                   never hit the wire, duplicates pay twice, and quarantined
-                   copies stay billed — they did hit the wire. *)
-                (match size with
-                | Some size -> t.bits <- t.bits + size msg
-                | None -> ());
-                t.msgs <- t.msgs + 1;
-                if quarantined_now then t.quarantined <- t.quarantined + 1
-                else begin
-                  let slot = round + d in
-                  if slot < rounds then
-                    inboxes.(slot).(u) <- msg :: inboxes.(slot).(u)
-                  else
-                    match carry with
-                    | Some c ->
-                        t.pending <-
-                          {
-                            sent = abs;
-                            arrive = base + slot;
-                            p_src = v;
-                            p_dst = u;
-                            p_copy = copy;
-                            payload = c.inj msg;
-                          }
-                          :: t.pending
-                    | None ->
-                        (* No carrier to park on: lost in transit. *)
-                        t.dead_letters <- t.dead_letters + 1;
-                        if metrics then Metrics.record_dead_letters 1
-                end
-              done)
+              let f = Linksem.fate fp ~round:abs ~src:v ~dst:u ?corrupt ?digest msg in
+              Linksem.record ?trace:tr ~metrics ~round:abs ~src:v ~dst:u f;
+              List.iter
+                (fun (c : _ Linksem.copy) ->
+                  (* Bits are metered per transmitted copy: dropped messages
+                     never hit the wire, duplicates pay twice, and quarantined
+                     copies stay billed — they did hit the wire. *)
+                  (match size with
+                  | Some size -> t.bits <- t.bits + size c.Linksem.c_msg
+                  | None -> ());
+                  t.msgs <- t.msgs + 1;
+                  if c.Linksem.c_quarantined then
+                    t.quarantined <- t.quarantined + 1
+                  else begin
+                    let slot = round + c.Linksem.c_delay in
+                    if slot < rounds then
+                      inboxes.(slot).(u) <- c.Linksem.c_msg :: inboxes.(slot).(u)
+                    else
+                      match carry with
+                      | Some cr ->
+                          t.pending <-
+                            {
+                              sent = abs;
+                              arrive = base + slot;
+                              p_src = v;
+                              p_dst = u;
+                              p_copy = c.Linksem.c_index;
+                              payload = cr.inj c.Linksem.c_msg;
+                            }
+                            :: t.pending
+                      | None ->
+                          (* No carrier to park on: lost in transit. *)
+                          t.dead_letters <- t.dead_letters + 1;
+                          if metrics then Metrics.record_dead_letters 1
+                  end)
+                f.Linksem.f_copies)
             (Graph.neighbors t.graph v)
     done;
     for v = 0 to n - 1 do
@@ -521,7 +486,10 @@ let flood_corrupt ~round ~src ~dst:_ m =
   | Some (inp, nbrs) -> Imap.add src (inp, (-(round + 1)) :: nbrs) m
   | None -> m
 
-let flood_views ?trace t ~radius =
+(* Flood logic parameterized over the broadcast runner, so the
+   asynchronous executor reuses the record/digest/corrupt/BFS pipeline
+   verbatim: only the message-passing engine underneath differs. *)
+let flood_views_with ~run t ~radius =
   let n = Graph.n t.graph in
   let record v = (t.inputs.(v), Array.to_list (Graph.neighbors t.graph v)) in
   (* Message size: 64 bits per id (the vertex and each of its neighbors);
@@ -533,17 +501,15 @@ let flood_views ?trace t ~radius =
      doubles as the checkpoint witness: a node that crashes mid-flood and
      recovers resumes from everything it had learned. *)
   let states =
-    run_broadcast t ~rounds:radius ~size ~corrupt:flood_corrupt
-      ~digest:flood_digest ~ckpt:(flood_carrier t) ~carry:(flood_carrier t)
+    run ~rounds:radius ~size ~corrupt:flood_corrupt ~digest:flood_digest
+      ~ckpt:(flood_carrier t) ~carry:(flood_carrier t)
       ~label:(Printf.sprintf "flood(radius=%d)" radius)
-      ?trace
       ~init:(fun v -> Imap.singleton v (record v))
       ~emit:(fun _ s -> s)
       ~merge:(fun _ s inbox ->
         List.fold_left
           (fun acc m -> Imap.union (fun _ a _ -> Some a) acc m)
           s inbox)
-      ()
   in
   Array.init n (fun v ->
       let known = states.(v) in
@@ -581,3 +547,46 @@ let flood_views ?trace t ~radius =
       let dist_arr = Array.make n max_int in
       Hashtbl.iter (fun u d -> dist_arr.(u) <- d) dist;
       view_of_ball t ~v ~radius ~ball ~dist:dist_arr)
+
+let flood_views ?trace t ~radius =
+  flood_views_with t ~radius
+    ~run:(fun ~rounds ~size ~corrupt ~digest ~ckpt ~carry ~label ~init ~emit
+              ~merge ->
+      run_broadcast t ~rounds ~size ~corrupt ~digest ~ckpt ~carry ~label
+        ?trace ~init ~emit ~merge ())
+
+(* Accessors for the sibling executor (Ls_local.Async) only: hidden from
+   the documented surface, not from the module system. *)
+module Internal = struct
+  type nonrec packet = packet = {
+    sent : int;
+    arrive : int;
+    p_src : int;
+    p_dst : int;
+    p_copy : int;
+    payload : univ;
+  }
+
+  type nonrec 'i flood_msg = 'i flood_msg
+
+  let inject c m = c.inj m
+  let project c u = c.prj u
+  let pending t = t.pending
+  let set_pending t ps = t.pending <- ps
+  let crash_at t = t.crash_at
+  let recover_at t = t.recover_at
+  let crash_seen t v = t.crash_seen.(v)
+  let set_crash_seen t v = t.crash_seen.(v) <- true
+  let ckpt t v = t.ckpt_store.(v)
+  let set_ckpt t v u = t.ckpt_store.(v) <- u
+  let partition_active t = t.partition_active
+  let set_partition_active t a = t.partition_active <- a
+  let add_bits t k = t.bits <- t.bits + k
+  let add_msgs t k = t.msgs <- t.msgs + k
+  let add_quarantined t k = t.quarantined <- t.quarantined + k
+  let add_dead_letters t k = t.dead_letters <- t.dead_letters + k
+  let add_delivered t k = t.delivered <- t.delivered + k
+  let advance_clock t r = t.clock <- t.clock + r
+  let sink = sink
+  let flood_views_via = flood_views_with
+end

@@ -121,6 +121,14 @@ val pending_count : _ t -> int
 (** Delayed copies currently parked across a phase boundary, awaiting a
     later {!run_broadcast} of their message type (see [carry]). *)
 
+val finish : _ t -> unit
+(** End-of-simulation accounting: copies still parked when the network is
+    finished (no later phase will ever collect them — e.g. a node never
+    recovered, or the workload simply ended) migrate to dead letters, so
+    [messages = delivered + pending + quarantined + dead letters] holds at
+    teardown with [pending = 0].  Idempotent; call it before reading final
+    meters from a network that will run no further phases. *)
+
 (** {1 Local views} *)
 
 type 'input view = {
@@ -224,6 +232,69 @@ val run_broadcast :
 
     [label] names the phase in trace events; [trace] overrides the
     network's sink for this phase. *)
+
+(**/**)
+
+(** Plumbing for the sibling event-driven executor {!Async} — the one
+    module entitled to a network's internals.  Not part of the documented
+    surface; everything here preserves the invariants the public API
+    states (conservation, clock monotonicity, checkpoint ownership). *)
+module Internal : sig
+  type packet = {
+    sent : int;  (** Absolute round the copy was transmitted. *)
+    arrive : int;  (** Absolute round the copy is due. *)
+    p_src : int;
+    p_dst : int;
+    p_copy : int;
+    payload : univ;
+  }
+
+  type 'i flood_msg
+
+  val inject : 'm carrier -> 'm -> univ
+  val project : 'm carrier -> univ -> 'm option
+  val pending : _ t -> packet list
+  val set_pending : _ t -> packet list -> unit
+  val crash_at : _ t -> int array
+  val recover_at : _ t -> int array
+  val crash_seen : _ t -> int -> bool
+  val set_crash_seen : _ t -> int -> unit
+  val ckpt : _ t -> int -> univ option
+  val set_ckpt : _ t -> int -> univ option -> unit
+  val partition_active : _ t -> int option
+  val set_partition_active : _ t -> int option -> unit
+  val add_bits : _ t -> int -> unit
+  val add_msgs : _ t -> int -> unit
+  val add_quarantined : _ t -> int -> unit
+  val add_dead_letters : _ t -> int -> unit
+  val add_delivered : _ t -> int -> unit
+  val advance_clock : _ t -> int -> unit
+
+  val sink : _ t -> Ls_obs.Trace.t option -> Ls_obs.Trace.t option
+  (** Explicit sink wins, then the network's own, then the ambient one. *)
+
+  val flood_views_via :
+    run:
+      (rounds:int ->
+      size:('i flood_msg -> int) ->
+      corrupt:(round:int -> src:int -> dst:int -> 'i flood_msg -> 'i flood_msg) ->
+      digest:('i flood_msg -> int) ->
+      ckpt:'i flood_msg carrier ->
+      carry:'i flood_msg carrier ->
+      label:string ->
+      init:(int -> 'i flood_msg) ->
+      emit:(int -> 'i flood_msg -> 'i flood_msg) ->
+      merge:(int -> 'i flood_msg -> 'i flood_msg list -> 'i flood_msg) ->
+      'i flood_msg array) ->
+    'i t ->
+    radius:int ->
+    'i view array
+  (** {!flood_views} with the broadcast engine abstracted out: the flood
+      record/digest/corrupt/BFS pipeline runs unchanged over whichever
+      executor [run] supplies. *)
+end
+
+(**/**)
 
 val flood_views : ?trace:Ls_obs.Trace.t -> 'i t -> radius:int -> 'i view array
 (** Build every node's radius-[t] view using only {!run_broadcast} — the

@@ -124,11 +124,35 @@ let run ?trace ?label pol ?charge f =
   run_classified ?trace ?label pol ?charge (fun ~attempt ->
       match f ~attempt with Ok x -> Ok x | Error why -> Error (Transient why))
 
-let collect_views ?trace ?(label = "collect_views") net ~policy:pol ~radius =
+let collect_views ?trace ?async ?(label = "collect_views") net ~policy:pol
+    ~radius =
   let tr = Trace.resolve trace in
   let metrics = Metrics.enabled () in
   let n = Graph.n (Network.graph net) in
-  let best = Network.flood_views ?trace net ~radius in
+  (* Under the adaptive executor a misfired timeout surfaces here as an
+     incomplete view — a transient failure like any other stall, waited
+     out with backoff and re-flooded, never a wrong answer.  The stall
+     reason records the executor's give-ups so degradation reports name
+     the true culprit. *)
+  let flood_note = ref "" in
+  let flood () =
+    match async with
+    | None -> Network.flood_views ?trace net ~radius
+    | Some cfg ->
+        let s0 = Async.stats cfg in
+        let vs = Async.flood_views cfg ?trace net ~radius in
+        let s1 = Async.stats cfg in
+        let dg = s1.Async.gave_up - s0.Async.gave_up
+        and dl = s1.Async.late - s0.Async.late in
+        flood_note :=
+          if dg > 0 || dl > 0 then
+            Printf.sprintf " (async: %d timeout give-up(s), %d late cop%s)" dg
+              dl
+              (if dl = 1 then "y" else "ies")
+          else "";
+        vs
+  in
+  let best = flood () in
   let stalled () =
     (* Only permanently crashed nodes are hopeless: no retry can help them,
        so they never justify burning budget.  A node that is down but has a
@@ -168,8 +192,8 @@ let collect_views ?trace ?(label = "collect_views") net ~policy:pol ~radius =
   emit_attempt 0 !stalled_now;
   while !stalled_now > 0 && !retries < pol.retry_budget do
     reasons :=
-      Printf.sprintf "attempt %d: %d node(s) stalled on ball collection"
-        !attempts !stalled_now
+      Printf.sprintf "attempt %d: %d node(s) stalled on ball collection%s"
+        !attempts !stalled_now !flood_note
       :: !reasons;
     (match tr with
     | Some s ->
@@ -185,7 +209,7 @@ let collect_views ?trace ?(label = "collect_views") net ~policy:pol ~radius =
        attempt draws fresh verdicts.  Union-merge each node's flooded
        knowledge across attempts: two incomparable partial views compose
        instead of the larger one shadowing the smaller. *)
-    let again = Network.flood_views ?trace net ~radius in
+    let again = flood () in
     Array.iteri (fun v w -> best.(v) <- Network.merge_views net best.(v) w) again;
     stalled_now := stalled ();
     emit_attempt (!attempts - 1) !stalled_now

@@ -80,6 +80,7 @@ val run_classified :
 
 val collect_views :
   ?trace:Ls_obs.Trace.t ->
+  ?async:Async.t ->
   ?label:string ->
   'i Network.t ->
   policy:policy ->
@@ -96,4 +97,11 @@ val collect_views :
     attempts ({!Network.merge_views}), so incomparable partial views
     compose.  Returns [(views, failed, report)]: [failed.(v)] is set iff
     [v] crashed or its final view is still incomplete; [report.degraded]
-    iff any node failed. *)
+    iff any node failed.
+
+    [async] floods over the event-driven executor instead of the
+    synchronous one.  Under {!Async.Adaptive} a misfired timeout costs
+    only completeness, so it lands here as an ordinary stall — a
+    {e transient} failure to wait out and retry, never a wrong answer;
+    the stall reasons then record the executor's give-up and late-copy
+    counts. *)

@@ -23,6 +23,13 @@ type snapshot = {
   degradations : int;
   decompositions : int;
   decomposition_failures : int;
+  timeouts : int;
+  retransmits : int;
+  acks : int;
+  barriers : int;
+  control_msgs : int;
+  late_letters : int;
+  latency_hist : int array;
   batches : int;
   items : int;
   max_queue : int;
@@ -54,10 +61,32 @@ let backoff_rounds = Atomic.make 0
 let degradations = Atomic.make 0
 let decompositions = Atomic.make 0
 let decomposition_failures = Atomic.make 0
-let batches = Atomic.make 0
-let items = Atomic.make 0
-let max_queue = Atomic.make 0
-let per_domain_lock = Mutex.create ()
+let timeouts = Atomic.make 0
+let retransmits = Atomic.make 0
+let acks = Atomic.make 0
+let barriers = Atomic.make 0
+let control_msgs = Atomic.make 0
+let late_letters = Atomic.make 0
+
+(* Virtual-latency histogram: exponential buckets doubling from 0.25
+   virtual time units; the last bucket is open-ended. *)
+let latency_bounds =
+  [| 0.25; 0.5; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+
+let latency_buckets = Array.length latency_bounds + 1
+let latency_hist = Array.init latency_buckets (fun _ -> Atomic.make 0)
+
+(* The pool-utilization group is updated, read and reset as ONE unit under
+   [pool_lock]: a batch recorded while a snapshot or reset runs either
+   lands entirely before it or entirely after, so derived invariants
+   (items = sum of per_domain; items consistent with batches) never
+   observe a torn update.  These were separate atomics once — a snapshot
+   taken mid-[record_batch] could see the new [batches] with the old
+   [per_domain]. *)
+let pool_lock = Mutex.create ()
+let batches = ref 0
+let items = ref 0
+let max_queue = ref 0
 let per_domain = ref [||]
 
 let add c k = if enabled () then ignore (Atomic.fetch_and_add c k)
@@ -98,16 +127,29 @@ let record_decomposition ~failures =
     add decomposition_failures failures
   end
 
-let rec raise_max c k =
-  let cur = Atomic.get c in
-  if k > cur && not (Atomic.compare_and_set c cur k) then raise_max c k
+let record_timeout () = bump timeouts
+let record_retransmit () = bump retransmits
+let record_ack () = bump acks
+let record_barrier () = bump barriers
+let record_control k = add control_msgs k
+let record_late_letters k = add late_letters k
+
+let latency_bucket l =
+  let rec go i =
+    if i >= Array.length latency_bounds then Array.length latency_bounds
+    else if l < latency_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let record_latency l = if enabled () then bump latency_hist.(latency_bucket l)
 
 let record_batch ~items:n ~per_worker =
   if enabled () then begin
-    bump batches;
-    add items n;
-    raise_max max_queue n;
-    Mutex.lock per_domain_lock;
+    Mutex.lock pool_lock;
+    incr batches;
+    items := !items + n;
+    if n > !max_queue then max_queue := n;
     let need = Array.length per_worker in
     if Array.length !per_domain < need then begin
       let grown = Array.make need 0 in
@@ -115,13 +157,14 @@ let record_batch ~items:n ~per_worker =
       per_domain := grown
     end;
     Array.iteri (fun i k -> !per_domain.(i) <- !per_domain.(i) + k) per_worker;
-    Mutex.unlock per_domain_lock
+    Mutex.unlock pool_lock
   end
 
 let snapshot () =
-  Mutex.lock per_domain_lock;
+  Mutex.lock pool_lock;
+  let b = !batches and it = !items and mq = !max_queue in
   let pd = Array.copy !per_domain in
-  Mutex.unlock per_domain_lock;
+  Mutex.unlock pool_lock;
   {
     phases = Atomic.get phases;
     rounds = Atomic.get rounds;
@@ -144,9 +187,16 @@ let snapshot () =
     degradations = Atomic.get degradations;
     decompositions = Atomic.get decompositions;
     decomposition_failures = Atomic.get decomposition_failures;
-    batches = Atomic.get batches;
-    items = Atomic.get items;
-    max_queue = Atomic.get max_queue;
+    timeouts = Atomic.get timeouts;
+    retransmits = Atomic.get retransmits;
+    acks = Atomic.get acks;
+    barriers = Atomic.get barriers;
+    control_msgs = Atomic.get control_msgs;
+    late_letters = Atomic.get late_letters;
+    latency_hist = Array.map Atomic.get latency_hist;
+    batches = b;
+    items = it;
+    max_queue = mq;
     per_domain = pd;
   }
 
@@ -175,13 +225,20 @@ let reset () =
       degradations;
       decompositions;
       decomposition_failures;
-      batches;
-      items;
-      max_queue;
+      timeouts;
+      retransmits;
+      acks;
+      barriers;
+      control_msgs;
+      late_letters;
     ];
-  Mutex.lock per_domain_lock;
+  Array.iter (fun c -> Atomic.set c 0) latency_hist;
+  Mutex.lock pool_lock;
+  batches := 0;
+  items := 0;
+  max_queue := 0;
   per_domain := [||];
-  Mutex.unlock per_domain_lock
+  Mutex.unlock pool_lock
 
 let print oc s =
   let p fmt = Printf.fprintf oc fmt in
@@ -198,6 +255,25 @@ let print oc s =
     s.attempts s.retries s.backoff_rounds s.degradations;
   p "  decompositions %d (failures %d)\n" s.decompositions
     s.decomposition_failures;
+  if
+    s.timeouts > 0 || s.retransmits > 0 || s.acks > 0 || s.barriers > 0
+    || s.control_msgs > 0 || s.late_letters > 0
+  then
+    p
+      "  async: timeouts %d  retransmits %d  acks %d  barriers %d  \
+       control_msgs %d  late_letters %d\n"
+      s.timeouts s.retransmits s.acks s.barriers s.control_msgs s.late_letters;
+  if Array.exists (fun k -> k > 0) s.latency_hist then begin
+    p "  latency:";
+    Array.iteri
+      (fun i k ->
+        if k > 0 then
+          if i < Array.length latency_bounds then
+            p " <%g:%d" latency_bounds.(i) k
+          else p " >=%g:%d" latency_bounds.(Array.length latency_bounds - 1) k)
+      s.latency_hist;
+    p "\n"
+  end;
   p "  pool: batches %d  items %d  max_queue %d  per_domain [%s]\n" s.batches
     s.items s.max_queue
     (String.concat "; " (Array.to_list (Array.map string_of_int s.per_domain)))

@@ -33,6 +33,20 @@ type snapshot = {
   degradations : int;
   decompositions : int;
   decomposition_failures : int;
+  timeouts : int;  (** Adaptive-mode async deadlines that fired. *)
+  retransmits : int;  (** Payload copies re-sent after a nack. *)
+  acks : int;  (** Synchronizer-mode per-copy acknowledgements. *)
+  barriers : int;  (** Local round barriers completed. *)
+  control_msgs : int;
+      (** Control-plane messages (acks, safes, nacks) — metered separately
+          from [messages], which counts payload copies only, so the
+          conservation invariant is executor-independent. *)
+  late_letters : int;
+      (** Copies arriving after their slot closed (adaptive mode); a
+          subset of [dead_letters]. *)
+  latency_hist : int array;
+      (** Virtual link-latency histogram over {!latency_bounds} buckets
+          (last bucket open-ended). *)
   batches : int;  (** Parallel fan-outs executed by {!Ls_par}. *)
   items : int;  (** Work items across all batches. *)
   max_queue : int;  (** Largest batch installed (initial queue depth). *)
@@ -62,7 +76,25 @@ val record_attempt : retry:bool -> unit
 val record_backoff : rounds:int -> unit
 val record_degraded : unit -> unit
 val record_decomposition : failures:int -> unit
+val record_timeout : unit -> unit
+val record_retransmit : unit -> unit
+val record_ack : unit -> unit
+val record_barrier : unit -> unit
+val record_control : int -> unit
+val record_late_letters : int -> unit
+
+val latency_bounds : float array
+(** Upper bounds of the latency histogram buckets (exponential, doubling
+    from 0.25 virtual time units); one extra open-ended bucket follows. *)
+
+val record_latency : float -> unit
+(** Bucket a virtual link latency into {!snapshot.latency_hist}. *)
+
 val record_batch : items:int -> per_worker:int array -> unit
+(** Record one {!Ls_par} fan-out.  The whole pool-utilization group
+    (batches, items, max_queue, per_domain) is updated atomically with
+    respect to {!snapshot} and {!reset}: a reader never observes the
+    batch count without its per-domain split. *)
 
 (** {1 Reading} *)
 

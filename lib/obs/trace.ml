@@ -27,6 +27,11 @@ type event =
   | Checkpoint of { node : int; round : int }
   | Restore of { node : int; round : int; missed : int }
   | Quarantine of { round : int; src : int; dst : int; copy : int }
+  | Timeout of { node : int; nbr : int; round : int; attempt : int }
+  | Ack of { round : int; src : int; dst : int; copy : int }
+  | Barrier of { node : int; round : int }
+  | Retransmit of { round : int; src : int; dst : int; attempt : int }
+  | Skew of { node : int; permille : int }
   | Attempt of { label : string; attempt : int; ok : bool; detail : string }
   | Backoff of { label : string; attempt : int; rounds : int }
   | Degraded of { label : string; attempts : int; detail : string }
@@ -111,6 +116,19 @@ let json_of_event ~ts ev =
     | Quarantine { round; src; dst; copy } ->
         p {|"ev":"quarantine","round":%d,"src":%d,"dst":%d,"copy":%d|} round src
           dst copy
+    | Timeout { node; nbr; round; attempt } ->
+        p {|"ev":"timeout","node":%d,"nbr":%d,"round":%d,"attempt":%d|} node nbr
+          round attempt
+    | Ack { round; src; dst; copy } ->
+        p {|"ev":"ack","round":%d,"src":%d,"dst":%d,"copy":%d|} round src dst
+          copy
+    | Barrier { node; round } ->
+        p {|"ev":"barrier","node":%d,"round":%d|} node round
+    | Retransmit { round; src; dst; attempt } ->
+        p {|"ev":"retransmit","round":%d,"src":%d,"dst":%d,"attempt":%d|} round
+          src dst attempt
+    | Skew { node; permille } ->
+        p {|"ev":"skew","node":%d,"permille":%d|} node permille
     | Attempt { label; attempt; ok; detail } ->
         p {|"ev":"attempt","label":"%s","attempt":%d,"ok":%b,"detail":"%s"|}
           (json_escape label) attempt ok (json_escape detail)

@@ -49,6 +49,23 @@ type event =
       (** An integrity digest exposed a corrupted copy: detected and
           discarded instead of delivered (surfaces as a drop to the
           supervision layer). *)
+  | Timeout of { node : int; nbr : int; round : int; attempt : int }
+      (** Adaptive-mode async executor: [node]'s deadline for hearing from
+          [nbr] about round [round] expired ([attempt]-th firing). *)
+  | Ack of { round : int; src : int; dst : int; copy : int }
+      (** Synchronizer mode: [dst] acknowledged copy [copy] of the
+          round-[round] message from [src] (control plane; emitted only to
+          the control sink, never the payload trace). *)
+  | Barrier of { node : int; round : int }
+      (** The node completed its local round barrier: all alive neighbors
+          declared round [round] safe and its own copies were acked. *)
+  | Retransmit of { round : int; src : int; dst : int; attempt : int }
+      (** Adaptive mode: [src] re-sent its round-[round] payload to [dst]
+          after a nack ([attempt]-th retransmission; metered like a fresh
+          transmission). *)
+  | Skew of { node : int; permille : int }
+      (** The node's sampled clock-rate factor, in permille (1000 = no
+          skew), reported once per async execution to the control sink. *)
   | Attempt of { label : string; attempt : int; ok : bool; detail : string }
   | Backoff of { label : string; attempt : int; rounds : int }
   | Degraded of { label : string; attempts : int; detail : string }

@@ -59,13 +59,17 @@ let test_injected_failure_is_caught_and_shrunk () =
         (m.Chaos.duplicate = 0. && m.Chaos.delay = 0. && m.Chaos.crash = 0.
         && m.Chaos.recovery = 0. && m.Chaos.corrupt = 0.
         && m.Chaos.bursts = []);
+      checkb "timing dimensions stripped too" true
+        (m.Chaos.skew = 0. && m.Chaos.reorder = 0.
+        && m.Chaos.law = Ls_local.Faults.Uniform);
       checki "delay bound collapsed" 1 m.Chaos.max_delay)
     s.Chaos.failures;
   let r = Chaos.reproducer s in
   checkb "reproducer names the violated invariant" true
     (contains r "injected");
   checkb "reproducer ends in the replay line" true
-    (contains r "replay: locsample chaos --seed 2026 --schedules 8 --trials 10");
+    (contains r
+       "replay: locsample chaos --seed 2026 --schedules 8 --chaos-trials 10");
   (* And the replay line is honest: the same parameters reproduce the same
      failures, indices and shrunk forms included. *)
   let s' = Chaos.run ~check ~schedules:8 ~trials:10 ~seed:2026L () in
@@ -76,6 +80,60 @@ let test_shrink_is_identity_on_passing_specs () =
   let spec = Chaos.quiet 9L in
   checkb "nothing to shrink on a passing schedule" true
     (Chaos.shrink ~trials:20 spec = spec)
+
+let test_async_executors_pass_the_suite () =
+  (* The tentpole's two modes, end to end under random schedules: the
+     synchronizer must be invisible (identity invariant) and the adaptive
+     executor must keep every Las Vegas invariant — misfired timeouts cost
+     retries, never exactness. *)
+  let sync = Chaos.run ~overrides:{ Chaos.no_overrides with o_async = Some "synchronizer" }
+      ~schedules:3 ~trials:40 ~seed:2027L ()
+  in
+  checkb "synchronizer mode passes every invariant" true (Chaos.ok sync);
+  let adaptive =
+    Chaos.run ~overrides:{ Chaos.no_overrides with o_async = Some "adaptive" }
+      ~schedules:3 ~trials:40 ~seed:2028L ()
+  in
+  checkb "adaptive mode passes every invariant" true (Chaos.ok adaptive)
+
+let test_reproducer_round_trip () =
+  (* Satellite: the replay line carries the whole flag surface, and
+     parsing it back then re-running yields the identical violations. *)
+  let overrides =
+    {
+      Chaos.o_async = Some "synchronizer";
+      o_max_delay = Some 3;
+      o_corrupt = Some 0.02;
+      o_profile = Some "lossy";
+      o_partitions = [ (1, 4, 2); (6, 8, 3) ];
+    }
+  in
+  let check spec =
+    if spec.Chaos.drop > 0. then
+      Some { Chaos.invariant = "injected"; detail = "any loss at all" }
+    else None
+  in
+  let s = Chaos.run ~check ~overrides ~schedules:2 ~trials:10 ~seed:77L () in
+  checkb "the planted bug fires under the lossy profile" true
+    (not (Chaos.ok s));
+  let text = Chaos.reproducer s in
+  checkb "replay line carries every override flag" true
+    (contains text
+       "--async synchronizer --max-delay 3 --corrupt-rate 0.02 \
+        --fault-profile lossy --partition 1:4:2 --partition 6:8:3");
+  (match Chaos.parse_reproducer text with
+  | None -> Alcotest.fail "reproducer did not parse"
+  | Some (seed, schedules, trials, o) ->
+      checkb "seed round-trips" true (seed = 77L);
+      checki "schedules round-trip" 2 schedules;
+      checki "trials round-trip" 10 trials;
+      checkb "overrides round-trip" true (o = overrides);
+      let s' = Chaos.run ~check ~overrides:o ~schedules ~trials ~seed () in
+      checkb "re-running the parsed line reproduces the violations" true
+        (s'.Chaos.failures = s.Chaos.failures
+        && s'.Chaos.zero_fault = s.Chaos.zero_fault));
+  checkb "junk text does not parse" true
+    (Chaos.parse_reproducer "no replay line here" = None)
 
 let suite =
   [
@@ -88,4 +146,8 @@ let suite =
       test_injected_failure_is_caught_and_shrunk;
     Alcotest.test_case "shrink is identity on passing specs" `Quick
       test_shrink_is_identity_on_passing_specs;
+    Alcotest.test_case "async executors pass the suite" `Slow
+      test_async_executors_pass_the_suite;
+    Alcotest.test_case "reproducer round-trips through its replay line"
+      `Quick test_reproducer_round_trip;
   ]

@@ -14,6 +14,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("recovery", Test_recovery.suite);
       ("chaos", Test_chaos.suite);
+      ("async", Test_async.suite);
       ("local", Test_local.suite);
       ("inference", Test_inference.suite);
       ("samplers", Test_samplers.suite);

@@ -204,6 +204,39 @@ let test_metrics_match_trace_counts () =
     (count (function Trace.Phase_end _ -> true | _ -> false))
     s.Metrics.phases
 
+let test_snapshot_batch_race_hammer () =
+  (* The pool-utilization group (batches / items / max_queue / per_domain)
+     must be updated atomically with respect to snapshot and reset: a
+     reader hammering snapshots against a domain recording batches must
+     never observe a torn group — the batch count without its per-domain
+     split.  Mirrors the PR-3 pool-resize hammer. *)
+  Metrics.set_enabled true;
+  let stop = Atomic.make false in
+  let recorder =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Metrics.record_batch ~items:3 ~per_worker:[| 1; 2 |]
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join recorder;
+      Metrics.reset ();
+      Metrics.set_enabled false)
+    (fun () ->
+      let torn = ref 0 in
+      for i = 1 to 5000 do
+        let s = Metrics.snapshot () in
+        let pd_sum = Array.fold_left ( + ) 0 s.Metrics.per_domain in
+        if pd_sum <> s.Metrics.items then incr torn;
+        if s.Metrics.items <> 3 * s.Metrics.batches then incr torn;
+        if s.Metrics.batches > 0 && s.Metrics.max_queue <> 3 then incr torn;
+        (* Reset mid-flight: the group must zero as one unit too. *)
+        if i mod 1000 = 0 then Metrics.reset ()
+      done;
+      checki "no torn pool-utilization snapshots" 0 !torn)
+
 let suite =
   [
     Alcotest.test_case "ring retention + total" `Quick test_ring_retention;
@@ -220,4 +253,6 @@ let suite =
       test_metrics_disabled_is_inert;
     Alcotest.test_case "metrics agree with trace tallies" `Quick
       test_metrics_match_trace_counts;
+    Alcotest.test_case "snapshot vs record_batch hammer" `Quick
+      test_snapshot_batch_race_hammer;
   ]

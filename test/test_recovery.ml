@@ -310,6 +310,63 @@ let test_sampler_classifies_crash_stop_vs_recovery () =
   checkb "the same crashes with recovery are waited out" true
     r2.Local_sampler.success
 
+let test_budget_exhaustion_spends_everything () =
+  (* Boundary opposite to the permanent case: a failure that stays
+     transient until the budget runs out must spend the whole budget —
+     every retry taken, every backoff round in the geometric schedule
+     charged — before degrading. *)
+  let calls = ref 0 and charged = ref 0 in
+  let x, report =
+    Resilient.run_classified
+      (Resilient.policy ~retry_budget:3 ~backoff_base:1 ~backoff_factor:2 ())
+      ~charge:(fun r -> charged := !charged + r)
+      (fun ~attempt:_ ->
+        incr calls;
+        Error (Resilient.Transient "still raining"))
+  in
+  checkb "no value" true (x = None);
+  checki "budget + 1 attempts executed" 4 !calls;
+  checki "attempts reported" 4 report.Resilient.attempts;
+  checki "full geometric backoff charged (1+2+4)" 7 !charged;
+  checki "report agrees with the charge hook" 7 report.Resilient.backoff_rounds;
+  checkb "degraded" true report.Resilient.degraded;
+  checki "every attempt left a reason" 4 (List.length report.Resilient.reasons)
+
+let test_all_crashed_with_recovery_pending_is_transient () =
+  (* Every node down at once, but each with a recovery scheduled: that is
+     NOT a permanent failure — the supervisor must keep spending budget
+     waiting it out, not stop after one attempt the way crash-stop does. *)
+  let n = 8 in
+  let faults =
+    Faults.make ~seed:93L ~crash:1.0 ~crash_horizon:1 ~recovery:1.0
+      ~recovery_delay:60 ()
+  in
+  let net =
+    Network.create ~faults (Generators.cycle n) ~inputs:(Array.make n ())
+      ~seed:1L
+  in
+  let all_down = ref true and any_hopeless = ref false in
+  for v = 0 to n - 1 do
+    if not (Network.crashed net v) then all_down := false;
+    if Network.permanently_crashed net v then any_hopeless := true
+  done;
+  checkb "every node is down at round 0" true !all_down;
+  checkb "yet none is hopeless: recovery is pending" true (not !any_hopeless);
+  (* End to end: recovery is scheduled but too far out for this budget, so
+     the run degrades — after burning the WHOLE budget (transient all the
+     way), in contrast to the crash-stop case's single attempt above. *)
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.)
+  in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let policy = Resilient.policy ~retry_budget:2 ~backoff_base:1 () in
+  let r = Local_sampler.sample_resilient oracle ~policy ~faults inst ~seed:92L in
+  let rep = Option.get r.Local_sampler.resilience in
+  checkb "recovery beyond the budget still degrades" true
+    rep.Resilient.degraded;
+  checki "but classified transient: full budget spent" 3 rep.Resilient.attempts;
+  checki "with every backoff round charged (1+2)" 3 rep.Resilient.backoff_rounds
+
 (* --- merge_views lattice laws (property tests) ------------------------- *)
 
 let views_equal (a : 'i Network.view) (b : 'i Network.view) =
@@ -486,6 +543,10 @@ let suite =
       test_transient_then_permanent;
     Alcotest.test_case "sampler: crash-stop permanent, recovery waited out"
       `Quick test_sampler_classifies_crash_stop_vs_recovery;
+    Alcotest.test_case "budget exhaustion spends everything" `Quick
+      test_budget_exhaustion_spends_everything;
+    Alcotest.test_case "all crashed with recovery pending is transient" `Quick
+      test_all_crashed_with_recovery_pending_is_transient;
     QCheck_alcotest.to_alcotest qcheck_merge_views_lattice;
     QCheck_alcotest.to_alcotest qcheck_merge_matches_fault_free_flood;
     Alcotest.test_case "describe snapshots" `Quick test_describe_snapshots;
