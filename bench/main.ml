@@ -1,8 +1,8 @@
 (* Benchmark harness entry point.
 
-   `dune exec bench/main.exe` prints every experiment table (E1-E14, the
+   `dune exec bench/main.exe` prints every experiment table (E1-E15, the
    paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
-   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e14,
+   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e15,
    micro) to run a subset; `--domains K` pins the parallel engine's domain
    count (default: LOCSAMPLE_DOMAINS or the core count).
 
@@ -29,6 +29,7 @@ let sections =
     ("e12", Experiments.e12);
     ("e13", Experiments.e13);
     ("e14", Experiments.e14);
+    ("e15", Experiments.e15);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]
@@ -38,8 +39,8 @@ let usage () =
     "usage: main.exe [--domains K] [--fault-rate P] [--crash-rate P] \
      [--retry-budget R] [--max-delay K] [--corrupt-rate P] \
      [--fault-profile lossy|flaky|partitioned] \
-     [--async synchronizer|adaptive] [--trace FILE] [--metrics] \
-     [section ...]\n\
+     [--async synchronizer|adaptive] [--sketch W,D] [--sketch-k K] \
+     [--trace FILE] [--metrics] [section ...]\n\
      (known sections: %s)\n"
     (String.concat ", " (List.map fst sections));
   exit 2
@@ -65,6 +66,8 @@ let parse_args argv =
     | "--corrupt-rate" :: p :: rest -> set_corrupt_rate p; go acc rest
     | "--fault-profile" :: name :: rest -> set_fault_profile name; go acc rest
     | "--async" :: mode :: rest -> set_async mode; go acc rest
+    | "--sketch" :: wd :: rest -> set_sketch wd; go acc rest
+    | "--sketch-k" :: k :: rest -> set_sketch_k k; go acc rest
     | "--trace" :: f :: rest -> set_trace f; go acc rest
     | "--metrics" :: rest ->
         metrics_on := true;
@@ -82,6 +85,8 @@ let parse_args argv =
             ("--corrupt-rate", set_corrupt_rate);
             ("--fault-profile", set_fault_profile);
             ("--async", set_async);
+            ("--sketch", set_sketch);
+            ("--sketch-k", set_sketch_k);
             ("--trace", set_trace);
           ]
         in
@@ -152,6 +157,30 @@ let parse_args argv =
     (try ignore (Ls_local.Async.mode_of_string mode)
      with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2);
     Experiments.async_mode := Some mode
+  and set_sketch wd =
+    (* Pin E15's grid to a single width,depth point.  Validation lives in
+       Cms.create, so the error text matches the locsample CLI's. *)
+    let parts = String.split_on_char ',' wd in
+    match List.map int_of_string_opt parts with
+    | [ Some w; Some d ] -> (
+        try
+          ignore (Ls_sketch.Cms.create ~width:w ~depth:d ~seed:0L);
+          Experiments.e15_grid := [ (w, d) ]
+        with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2)
+    | _ ->
+        Printf.eprintf "--sketch expects WIDTH,DEPTH (two integers), got %S\n"
+          wd;
+        exit 2
+  and set_sketch_k k =
+    match int_of_string_opt k with
+    | Some x -> (
+        try
+          ignore (Ls_sketch.Bottomk.create ~k:x ~seed:0L);
+          Experiments.e15_k := x
+        with Invalid_argument msg -> Printf.eprintf "%s\n" msg; exit 2)
+    | None ->
+        Printf.eprintf "--sketch-k expects an integer >= 1, got %S\n" k;
+        exit 2
   and set_trace f =
     let t = Ls_obs.Trace.make ~path:f () in
     Ls_obs.Trace.install t;

@@ -181,7 +181,7 @@ let async_of_flags ~async_mode ~timeout_base =
 (* --- commands ------------------------------------------------------- *)
 
 let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
-    ~async trials =
+    ~async ~sketch ~sketch_k trials =
   let order = Array.init (Instance.n inst) (fun i -> i) in
   let faulty = not (Faults.is_none faults) || async <> None in
   if faulty then
@@ -238,6 +238,28 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
   let successes = Empirical.total emp in
   Printf.printf "%d/%d trials succeeded; %d distinct configurations\n"
     successes trials (Empirical.distinct emp);
+  (match sketch with
+  | None -> ()
+  | Some (width, depth) ->
+      (* Sketch hash seed derived from the sampling seed through the
+         mixer, so the sketch family is pinned by --seed alone. *)
+      let hseed = Ls_rng.Splitmix.mix64 (Int64.of_int (seed + 2)) in
+      let sk =
+        Empirical.Sketched.create ~width ~depth ~k:sketch_k ~seed:hseed ()
+      in
+      Array.iter
+        (fun (ok, y) -> if ok then Empirical.Sketched.add sk y)
+        results;
+      Printf.printf
+        "sketch(w=%d,d=%d,k=%d): ~%.1f distinct (exact %d), eps=%.2e \
+         delta=%.2e, %d bytes, digest %s\n"
+        width depth sketch_k
+        (Empirical.Sketched.distinct_estimate sk)
+        (Empirical.distinct emp)
+        (Empirical.Sketched.epsilon sk)
+        (Empirical.Sketched.delta sk)
+        (String.length (Empirical.Sketched.serialize sk))
+        (Empirical.Sketched.digest sk));
   (* Timing is a measurement, not an output: stderr, so stdout diffs clean
      across domain counts. *)
   Printf.eprintf "[%.3fs wall on %d domain(s), %.0f trials/s]\n" timing.Par.wall
@@ -257,8 +279,18 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
 
 let sample graph model t seed engine exact_jvv epsilon trials fault_rate
     crash_rate max_delay corrupt_rate skew delay_law async_mode timeout_base
-    profile retry_budget =
+    profile retry_budget sketch sketch_k =
   let policy = policy_of_flags ~retry_budget in
+  (* Validate the sketch dimensions up front, even when --trials is 1 and
+     the sketch would never be built. *)
+  (match sketch with
+  | None -> ()
+  | Some (width, depth) -> (
+      try
+        ignore (Empirical.Sketched.create ~width ~depth ~k:sketch_k ~seed:0L ())
+      with Invalid_argument msg ->
+        Printf.eprintf "locsample: %s\n" msg;
+        exit 2));
   (* Validate the flags up front even when they are all zero. *)
   let faults =
     faults_of_flags ~seed:(Int64.of_int (seed + 1)) ~fault_rate ~crash_rate
@@ -274,7 +306,7 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
   let oracle = make_oracle ~engine ~t inst in
   if trials > 1 then
     sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
-      ~async trials
+      ~async ~sketch ~sketch_k trials
   else if faulty then begin
     if exact_jvv then begin
       let epsilon =
@@ -570,8 +602,23 @@ let sample_cmd =
                1.0).  Lower values misfire more timeouts — costing retries, \
                never correctness.")
   in
+  let sketch =
+    Arg.(value & opt (some (pair ~sep:',' int int)) None
+         & info [ "sketch" ] ~docv:"W,D"
+         ~doc:"With --trials, also aggregate the successful samples into a \
+               mergeable count-min + bottom-k sketch pair of width $(docv) \
+               (eps = e/W, delta = exp(-D)) and print its distinct-count \
+               estimate, serialized size and digest.  The sketch hash \
+               family is derived from --seed, so the digest is \
+               reproducible and --domains invariant.")
+  in
+  let sketch_k =
+    Arg.(value & opt int 256 & info [ "sketch-k" ] ~docv:"K"
+         ~doc:"Bottom-k capacity of the --sketch distinct-count estimator \
+               (relative std error 1/sqrt(K-2)).")
+  in
   Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
-    Term.(const (fun () a b c d e f g h i j k l m n o p q r -> sample a b c d e f g h i j k l m n o p q r) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ skew $ delay_law $ async_mode $ timeout_base $ profile $ retry_budget)
+    Term.(const (fun () a b c d e f g h i j k l m n o p q r s t -> sample a b c d e f g h i j k l m n o p q r s t) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ skew $ delay_law $ async_mode $ timeout_base $ profile $ retry_budget $ sketch $ sketch_k)
 
 let infer_cmd =
   let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in

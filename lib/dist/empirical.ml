@@ -31,6 +31,25 @@ let collect ?domains ~n ~seed sample =
   add_all e (Ls_par.Par.run_trials ?domains ~n ~seed sample);
   e
 
+let merge a b =
+  let m = create () in
+  let feed e =
+    Tbl.iter
+      (fun sigma c ->
+        let prev = try Tbl.find m.counts sigma with Not_found -> 0 in
+        Tbl.replace m.counts sigma (prev + c))
+      e.counts
+  in
+  feed a;
+  feed b;
+  m.total <- a.total + b.total;
+  m
+
+let collect_streaming ?domains ?chunk ~n ~seed sample =
+  Ls_par.Par.fold_trials ?domains ?chunk ~n ~seed ~init:create
+    ~add:(fun e sigma -> add e sigma)
+    ~merge sample
+
 let distinct e = Tbl.length e.counts
 
 let marginal e ~v ~q =
@@ -59,6 +78,95 @@ let tv_against e exact =
       if not (Tbl.mem seen sigma) then acc := !acc +. (float_of_int c /. n))
     e.counts;
   0.5 *. !acc
+
+module Sketched = struct
+  module Cms = Ls_sketch.Cms
+  module Bottomk = Ls_sketch.Bottomk
+  module Codec = Ls_sketch.Codec
+  module Splitmix = Ls_rng.Splitmix
+
+  type t = { cms : Cms.t; bk : Bottomk.t }
+
+  let create ?(width = 1024) ?(depth = 4) ?(k = 256) ~seed () =
+    { cms = Cms.create ~width ~depth ~seed; bk = Bottomk.create ~k ~seed }
+
+  let add t sigma =
+    Cms.add t.cms sigma;
+    Bottomk.add t.bk sigma
+
+  let total t = Cms.total t.cms
+  let count t sigma = Cms.count t.cms sigma
+
+  let freq t sigma =
+    let n = total t in
+    if n = 0 then 0. else float_of_int (count t sigma) /. float_of_int n
+
+  let distinct_estimate t = Bottomk.distinct t.bk
+  let epsilon t = Cms.epsilon t.cms
+  let delta t = Cms.delta t.cms
+  let cms t = t.cms
+  let bottomk t = t.bk
+
+  let merge a b =
+    { cms = Cms.merge a.cms b.cms; bk = Bottomk.merge a.bk b.bk }
+
+  (* Unlike {!tv_against} on exact multisets, this only sums over the
+     given support list: a sketch cannot enumerate off-support keys, so
+     any off-support mass is invisible here (and CMS overestimates make
+     this an upper-biased per-point error, not a true TV distance). *)
+  let tv_against t exact =
+    let n = float_of_int (max (total t) 1) in
+    let acc = ref 0. in
+    List.iter
+      (fun (sigma, p) ->
+        let f = float_of_int (count t sigma) /. n in
+        acc := !acc +. Float.abs (f -. p))
+      exact;
+    0.5 *. !acc
+
+  (* The sketch hash seed is derived from the sampling seed through an
+     independent tag, so sketch cells never correlate with the sampler's
+     own randomness. *)
+  let derive_seed seed = Splitmix.mix64 (Int64.logxor seed 0x534b4554434831L)
+
+  let collect ?domains ?(chunk = 65536) ?width ?depth ?k ~n ~seed sample =
+    let hseed = derive_seed seed in
+    Ls_par.Par.fold_trials ?domains ~chunk ~n ~seed
+      ~init:(fun () -> create ?width ?depth ?k ~seed:hseed ())
+      ~add:(fun t sigma -> add t sigma)
+      ~merge sample
+
+  let magic = "EMPS"
+
+  let serialize t =
+    let c = Cms.to_string t.cms and b = Bottomk.to_string t.bk in
+    let buf = Buffer.create (String.length c + String.length b + 24) in
+    Buffer.add_string buf magic;
+    Codec.add_int buf (String.length c);
+    Buffer.add_string buf c;
+    Codec.add_int buf (String.length b);
+    Buffer.add_string buf b;
+    Buffer.contents buf
+
+  let deserialize s =
+    let cur = ref 0 in
+    Codec.check_magic s cur magic;
+    let take () =
+      let len = Codec.get_int s cur in
+      if len < 0 || !cur + len > String.length s then
+        invalid_arg "Sketched.deserialize: truncated section";
+      let part = String.sub s !cur len in
+      cur := !cur + len;
+      part
+    in
+    let cms = Cms.of_string (take ()) in
+    let bk = Bottomk.of_string (take ()) in
+    if !cur <> String.length s then
+      invalid_arg "Sketched.deserialize: trailing bytes";
+    { cms; bk }
+
+  let digest t = Codec.digest (serialize t)
+end
 
 let chi_square e exact =
   let n = float_of_int e.total in

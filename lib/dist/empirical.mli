@@ -32,6 +32,24 @@ val collect :
     accumulates them in trial order — the resulting multiset, and even
     the internal insertion order, are independent of the domain count. *)
 
+val merge : t -> t -> t
+(** Multiset sum: [count (merge a b) σ = count a σ + count b σ].
+    Commutative and associative with [create ()] as identity. *)
+
+val collect_streaming :
+  ?domains:int ->
+  ?chunk:int ->
+  n:int ->
+  seed:int64 ->
+  (Ls_rng.Rng.t -> int array) ->
+  t
+(** Like {!collect} but via {!Ls_par.Par.fold_trials}: trials are
+    accumulated into per-chunk multisets (default chunk 4096) that are
+    merged in chunk order, so the [n]-element configuration array is
+    never materialized.  Produces the same multiset as {!collect} for
+    the same [(n, seed, sample)], at every domain count and chunk
+    size. *)
+
 val distinct : t -> int
 (** Number of distinct configurations seen. *)
 
@@ -50,3 +68,83 @@ val chi_square : t -> (int array * float) list -> float
 (** Pearson χ² statistic of the empirical counts against expected counts
     [total · μ(σ)]; cells with expected count 0 contribute [infinity] when
     observed, 0 otherwise. *)
+
+(** Sketch-backed empirical distribution: a {!Ls_sketch.Cms} (point
+    frequencies, never underestimating, ε–δ overestimate bound) paired
+    with a {!Ls_sketch.Bottomk} (distinct-count estimate) under one
+    shared hash seed.  Memory is [O(width·depth + k)] — independent of
+    how many samples stream through — and {!Sketched.merge} inherits
+    both components' commutative-monoid structure, so
+    {!Sketched.collect} serializes byte-identically at every domain
+    count and chunk size. *)
+module Sketched : sig
+  type t
+
+  val create : ?width:int -> ?depth:int -> ?k:int -> seed:int64 -> unit -> t
+  (** Empty sketch pair (defaults: width 1024, depth 4, k 256) — the
+      identity of {!merge} for its parameter family.  Raises
+      [Invalid_argument] on non-positive dimensions. *)
+
+  val add : t -> int array -> unit
+  (** Record one sample into both sketches. *)
+
+  val total : t -> int
+  (** Samples recorded (the [N] of the ε–δ bound). *)
+
+  val count : t -> int array -> int
+  (** CMS point estimate: true count ≤ estimate ≤ true count + ε·N with
+      probability ≥ 1 − δ. *)
+
+  val freq : t -> int array -> float
+  (** [count / total] (0 when empty). *)
+
+  val distinct_estimate : t -> float
+  (** Bottom-k distinct-configuration estimate (exact below [k]). *)
+
+  val epsilon : t -> float
+  val delta : t -> float
+
+  val cms : t -> Ls_sketch.Cms.t
+  val bottomk : t -> Ls_sketch.Bottomk.t
+
+  val merge : t -> t -> t
+  (** Component-wise merge.  Raises [Invalid_argument] unless both
+      sides share all sketch parameters and the seed. *)
+
+  val tv_against : t -> (int array * float) list -> float
+  (** Sketched analogue of {!Empirical.tv_against}, summing {e only}
+      over the given support list: a sketch cannot enumerate keys, so
+      off-support sampler mass is invisible here, and CMS overestimates
+      bias each per-point term upward.  Use it as a drift indicator
+      against the exact-histogram TV, not as a true TV distance. *)
+
+  val collect :
+    ?domains:int ->
+    ?chunk:int ->
+    ?width:int ->
+    ?depth:int ->
+    ?k:int ->
+    n:int ->
+    seed:int64 ->
+    (Ls_rng.Rng.t -> int array) ->
+    t
+  (** Streaming collection via {!Ls_par.Par.fold_trials} (default chunk
+      65536): per-chunk sketch pairs are merged in chunk order in
+      [O(width·depth + k)] memory per chunk.  The sketch hash seed is
+      derived from [seed] by an independent SplitMix64 tag, so the same
+      sampling seed always yields the same hash family.  The result —
+      including its {!serialize} bytes — is invariant under the domain
+      count and the chunk size. *)
+
+  val serialize : t -> string
+  (** Canonical bytes (magic ["EMPS"], length-prefixed CMS then
+      bottom-k sections).  Equal sketch states serialize equally — the
+      E15 determinism diff compares exactly this. *)
+
+  val deserialize : string -> t
+  (** Inverse of {!serialize}; raises [Invalid_argument] on malformed
+      input. *)
+
+  val digest : t -> string
+  (** 16-hex fingerprint of {!serialize}. *)
+end

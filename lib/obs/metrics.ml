@@ -29,6 +29,9 @@ type snapshot = {
   barriers : int;
   control_msgs : int;
   late_letters : int;
+  sketch_adds : int;
+  sketch_merges : int;
+  sketch_evictions : int;
   latency_hist : int array;
   batches : int;
   items : int;
@@ -67,6 +70,9 @@ let acks = Atomic.make 0
 let barriers = Atomic.make 0
 let control_msgs = Atomic.make 0
 let late_letters = Atomic.make 0
+let sketch_adds = Atomic.make 0
+let sketch_merges = Atomic.make 0
+let sketch_evictions = Atomic.make 0
 
 (* Virtual-latency histogram: exponential buckets doubling from 0.25
    virtual time units; the last bucket is open-ended. *)
@@ -133,6 +139,9 @@ let record_ack () = bump acks
 let record_barrier () = bump barriers
 let record_control k = add control_msgs k
 let record_late_letters k = add late_letters k
+let record_sketch_add () = bump sketch_adds
+let record_sketch_merge () = bump sketch_merges
+let record_sketch_eviction () = bump sketch_evictions
 
 let latency_bucket l =
   let rec go i =
@@ -193,6 +202,9 @@ let snapshot () =
     barriers = Atomic.get barriers;
     control_msgs = Atomic.get control_msgs;
     late_letters = Atomic.get late_letters;
+    sketch_adds = Atomic.get sketch_adds;
+    sketch_merges = Atomic.get sketch_merges;
+    sketch_evictions = Atomic.get sketch_evictions;
     latency_hist = Array.map Atomic.get latency_hist;
     batches = b;
     items = it;
@@ -231,6 +243,9 @@ let reset () =
       barriers;
       control_msgs;
       late_letters;
+      sketch_adds;
+      sketch_merges;
+      sketch_evictions;
     ];
   Array.iter (fun c -> Atomic.set c 0) latency_hist;
   Mutex.lock pool_lock;
@@ -263,6 +278,9 @@ let print oc s =
       "  async: timeouts %d  retransmits %d  acks %d  barriers %d  \
        control_msgs %d  late_letters %d\n"
       s.timeouts s.retransmits s.acks s.barriers s.control_msgs s.late_letters;
+  if s.sketch_adds > 0 || s.sketch_merges > 0 || s.sketch_evictions > 0 then
+    p "  sketch: adds %d  merges %d  evictions %d\n" s.sketch_adds
+      s.sketch_merges s.sketch_evictions;
   if Array.exists (fun k -> k > 0) s.latency_hist then begin
     p "  latency:";
     Array.iteri

@@ -44,6 +44,10 @@ type snapshot = {
   late_letters : int;
       (** Copies arriving after their slot closed (adaptive mode); a
           subset of [dead_letters]. *)
+  sketch_adds : int;  (** Items recorded into {!Ls_sketch} sketches. *)
+  sketch_merges : int;  (** Sketch merge operations (CMS and bottom-k). *)
+  sketch_evictions : int;
+      (** Bottom-k keys displaced after admission — a saturation signal. *)
   latency_hist : int array;
       (** Virtual link-latency histogram over {!latency_bounds} buckets
           (last bucket open-ended). *)
@@ -82,6 +86,9 @@ val record_ack : unit -> unit
 val record_barrier : unit -> unit
 val record_control : int -> unit
 val record_late_letters : int -> unit
+val record_sketch_add : unit -> unit
+val record_sketch_merge : unit -> unit
+val record_sketch_eviction : unit -> unit
 
 val latency_bounds : float array
 (** Upper bounds of the latency histogram buckets (exponential, doubling

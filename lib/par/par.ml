@@ -112,6 +112,26 @@ let run_trials ?domains ~n ~seed f =
   let rngs = Rng.streams seed n in
   fst (collect ?domains n (fun i -> f rngs.(i)))
 
+let fold_trials ?domains ?(chunk = 4096) ~n ~seed ~init ~add ~merge f =
+  if n < 0 then invalid_arg "Par.fold_trials: n must be non-negative";
+  if chunk < 1 then invalid_arg "Par.fold_trials: chunk must be >= 1";
+  let rngs = Rng.streams seed n in
+  (* Chunk boundaries are fixed by [chunk] alone — never by the domain
+     count — and the final fold walks chunks in index order, so the
+     result is a pure function of (n, seed, chunk, f) provided
+     [add]/[merge] form the advertised commutative monoid. *)
+  let chunks = (n + chunk - 1) / chunk in
+  let accs, _ =
+    collect ?domains chunks (fun c ->
+        let acc = init () in
+        let hi = min n ((c + 1) * chunk) in
+        for i = c * chunk to hi - 1 do
+          add acc (f rngs.(i))
+        done;
+        acc)
+  in
+  Array.fold_left merge (init ()) accs
+
 let run_trials_timed ?domains ~n ~seed f =
   if n < 0 then invalid_arg "Par.run_trials_timed: n must be non-negative";
   let rngs = Rng.streams seed n in

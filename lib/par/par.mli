@@ -53,6 +53,34 @@ val run_trials : ?domains:int -> n:int -> seed:int64 -> (Ls_rng.Rng.t -> 'a) -> 
     seed-split streams of [seed], computed in parallel under the
     determinism contract above. *)
 
+val fold_trials :
+  ?domains:int ->
+  ?chunk:int ->
+  n:int ->
+  seed:int64 ->
+  init:(unit -> 'acc) ->
+  add:('acc -> 'a -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  (Ls_rng.Rng.t -> 'a) ->
+  'acc
+(** Chunked bounded-memory trial reduction: trial [i] still computes
+    [f s_i] from its seed-split stream, but results are accumulated into
+    one ['acc] per chunk of [chunk] consecutive trials (default 4096)
+    and the per-chunk accumulators are folded with [merge], in chunk
+    order, starting from a fresh [init ()].  Peak memory is
+    [O(chunks · |acc|)] instead of [O(n · |result|)].
+
+    Determinism: chunk boundaries derive from [chunk] alone — {e never}
+    from the domain count — each chunk accumulates its trials in index
+    order, and the final fold is sequential in chunk order, so the
+    result is a pure function of [(n, seed, chunk, f)] when [add] and
+    [merge] respect the accumulator's merge monoid (as
+    {!Ls_sketch.Cms} / {!Ls_sketch.Bottomk} do).  With such a monoid
+    the result is also [chunk]-invariant; accumulators that merely
+    tolerate an arbitrary but fixed order (float sums) remain
+    deterministic at fixed [chunk].  Raises [Invalid_argument] if
+    [n < 0] or [chunk < 1]. *)
+
 val run_trials_timed :
   ?domains:int -> n:int -> seed:int64 -> (Ls_rng.Rng.t -> 'a) -> 'a array * timing
 (** {!run_trials} plus per-trial and whole-batch wall-clock capture. *)

@@ -1,0 +1,102 @@
+(** Bottom-k sketch over configuration keys (KMV / order-statistics
+    distinct counting, the deterministic-mergeable face of the
+    bottom-k/PPSWOR family).
+
+    Every key is assigned a {e rank} in (0,1] by a hash derived
+    deterministically from the [seed] — the same key always draws the
+    same rank, in every sketch of the family, so ranks behave like the
+    "uniform random tag per distinct key" of the classical scheme while
+    consuming no stream randomness.  The sketch retains the [k] keys of
+    smallest rank together with their {b exact} multiplicities.
+
+    {2 Why retained counts are exact}
+
+    A key that ends up retained has one of the [k] smallest ranks among
+    all distinct keys seen; since ranks are fixed per key, it also has
+    one of the [k] smallest ranks in every prefix of the stream that
+    contains it — so it is admitted on first sight and never evicted.
+    Every later occurrence therefore lands on its live counter: the
+    retained multiset is a pure function of the {e set} of (key, count)
+    stream contents, independent of arrival order.  The same argument
+    makes {!merge} exact: a key retained in the merge was retained in
+    every input sketch whose stream contained it, so summing input
+    counters reconstructs its full stream count.
+
+    {2 Merge monoid}
+
+    {!merge} (union, counter sum per key, keep the [k] smallest ranks) is
+    commutative and associative with the empty sketch as identity, and
+    commutes with {!add} — the same contract as {!Cms}, so the two ride
+    the same {!Ls_par.Par.fold_trials} reduction and serialize
+    byte-identically at every domain count.
+
+    {2 Distinct-count estimate}
+
+    With fewer than [k] distinct keys the sketch is exhaustive and
+    {!distinct} is exact.  Once saturated, [distinct = (k-1) / r_k] where
+    [r_k] is the largest retained rank — the standard KMV estimator,
+    unbiased with relative standard error [1/sqrt(k-2)]
+    (Beyer et al., SIGMOD 2007). *)
+
+type t
+
+val create : k:int -> seed:int64 -> t
+(** Fresh empty sketch retaining at most [k] keys ([k] ≥ 1) — the
+    identity of {!merge} for its [(k, seed)] family. *)
+
+val k : t -> int
+val seed : t -> int64
+
+val add : ?count:int -> t -> int array -> unit
+(** Record [count] (default 1, must be ≥ 0) occurrences of a key.  The
+    key array is copied if the sketch retains it. *)
+
+val total : t -> int
+(** Stream length fed in, including occurrences of non-retained keys. *)
+
+val size : t -> int
+(** Retained distinct keys, ≤ [k]. *)
+
+val mem : t -> int array -> bool
+
+val count : t -> int array -> int option
+(** [Some] exact multiplicity for a retained key, [None] otherwise. *)
+
+val rank : t -> int array -> float
+(** The key's deterministic rank in (0,1] — a pure function of
+    [(seed, key)], exposed for tests. *)
+
+val threshold : t -> float
+(** The largest retained rank when saturated, [1.0] otherwise: a new key
+    enters the sketch iff its rank beats this. *)
+
+val distinct : t -> float
+(** Estimated number of distinct keys in the stream (exact below
+    saturation, KMV estimate above). *)
+
+val rel_std_error : t -> float
+(** The estimator's relative standard error, [1/sqrt(k-2)] (∞ for
+    k ≤ 2): the yardstick the guarantee tests measure against. *)
+
+val entries : t -> (int array * int) list
+(** Retained (key, exact count) pairs in rank order (deterministic). *)
+
+val evictions : t -> int
+(** Keys displaced after admission — a saturation diagnostic, not part
+    of the abstract state ({!to_string} excludes it). *)
+
+val merge : t -> t -> t
+(** Union keeping the [k] smallest ranks, counters summed per key.
+    Raises [Invalid_argument] unless both sketches share [(k, seed)]. *)
+
+val to_string : t -> string
+(** Canonical byte serialization (magic ["BKS1"]; entries in rank
+    order).  Ranks are recomputed on load, not stored.  Equal abstract
+    states serialize to equal bytes. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on malformed
+    input. *)
+
+val digest : t -> string
+(** 16-hex fingerprint of {!to_string}. *)

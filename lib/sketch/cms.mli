@@ -1,0 +1,74 @@
+(** Count-min sketch over configuration keys.
+
+    A [depth × width] counter matrix estimating the multiplicity of every
+    key (a configuration, [int array]) ever added, in [O(width · depth)]
+    memory regardless of how many items stream through.  Each of the
+    [depth] rows hashes the key with its own salt and bumps one counter;
+    a point query reads the minimum across rows.
+
+    {2 Determinism and the merge monoid}
+
+    The hash family is derived {e deterministically} from the [seed]
+    (SplitMix64 finalizer chains, one salt per row — never from a stream
+    position), so a key lands in the same cells no matter which domain,
+    shard, or chunk processes it.  Two sketches built from the same
+    [(width, depth, seed)] are therefore {b mergeable}: {!merge} is
+    pointwise counter addition — commutative and associative, with the
+    empty sketch ({!create}) as identity — and adding items commutes with
+    merging ([add]-then-[merge] ≡ [merge]-then-[add]).  The table contents
+    are a pure function of the {e multiset} of added keys, independent of
+    arrival order and of how the stream was split across sketches, which
+    is what lets {!Ls_par.Par.fold_trials} reduce per-chunk sketches into
+    a byte-identical result at every domain count.
+
+    {2 Accuracy (the ε–δ contract)}
+
+    With [N = total] items, a point query {e never underestimates} (hard
+    invariant: the true count is in every cell the key touches), and for
+    each key the overestimate exceeds [ε·N] with probability at most [δ],
+    where [ε = e/width] and [δ = e^(-depth)] (Cormode–Muthukrishnan).
+    Bench E15 measures both sides against exact histograms. *)
+
+type t
+
+val create : width:int -> depth:int -> seed:int64 -> t
+(** Fresh empty sketch — the identity of {!merge} for its
+    [(width, depth, seed)] family.  Both dimensions must be ≥ 1. *)
+
+val width : t -> int
+val depth : t -> int
+val seed : t -> int64
+
+val epsilon : t -> float
+(** The guarantee's additive-error factor, [e / width]. *)
+
+val delta : t -> float
+(** The guarantee's per-key failure probability, [e^(-depth)]. *)
+
+val add : ?count:int -> t -> int array -> unit
+(** Record [count] (default 1, must be ≥ 0) occurrences of a key.  The
+    key is hashed, never stored — the sketch holds no reference to it. *)
+
+val total : t -> int
+(** Number of items recorded (the [N] of the ε–δ bound). *)
+
+val count : t -> int array -> int
+(** Estimated multiplicity: an upper bound on the true count, within
+    [ε·N] of it with probability ≥ 1 − δ. *)
+
+val merge : t -> t -> t
+(** Pointwise sum.  Raises [Invalid_argument] unless both sketches share
+    [(width, depth, seed)] — sketches from different hash families do not
+    speak about the same cells. *)
+
+val to_string : t -> string
+(** Canonical byte serialization (magic ["CMS1"], little-endian 64-bit
+    fields, row-major counters).  Equal sketches serialize to equal
+    bytes — the CI determinism diffs compare exactly this. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on malformed
+    input. *)
+
+val digest : t -> string
+(** 16-hex fingerprint of {!to_string}, for table cells and logs. *)

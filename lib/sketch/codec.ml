@@ -1,0 +1,33 @@
+module Splitmix = Ls_rng.Splitmix
+
+let add_i64 = Buffer.add_int64_le
+let add_int buf n = add_i64 buf (Int64.of_int n)
+
+let get_i64 s cur =
+  if !cur + 8 > String.length s then
+    invalid_arg "Sketch codec: truncated serialization";
+  let v = String.get_int64_le s !cur in
+  cur := !cur + 8;
+  v
+
+let get_int s cur =
+  let v = get_i64 s cur in
+  let n = Int64.to_int v in
+  if Int64.of_int n <> v then invalid_arg "Sketch codec: field exceeds int";
+  n
+
+let check_magic s cur magic =
+  let l = String.length magic in
+  if
+    !cur + l > String.length s
+    || String.sub s !cur l <> magic
+  then invalid_arg (Printf.sprintf "Sketch codec: expected %S header" magic);
+  cur := !cur + l
+
+let digest s =
+  let h = ref 0x5345454BL in
+  String.iter
+    (fun c ->
+      h := Splitmix.mix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    s;
+  Printf.sprintf "%016Lx" !h

@@ -136,6 +136,36 @@ let test_empirical_converges () =
   let exact = List.init 3 (fun c -> ([| c |], Dist.prob d c)) in
   checkb "empirical close to exact" true (Empirical.tv_against e exact < 0.01)
 
+let test_empirical_empty () =
+  (* Edge cases pinned down: an empty multiset answers every query with
+     zero and keeps the TV helpers finite. *)
+  let e = Empirical.create () in
+  Alcotest.check Alcotest.int "total" 0 (Empirical.total e);
+  Alcotest.check Alcotest.int "count" 0 (Empirical.count e [| 0 |]);
+  Alcotest.check Alcotest.int "distinct" 0 (Empirical.distinct e);
+  checkf "freq is 0, not NaN" 0. (Empirical.freq e [| 0 |]);
+  (* tv_against an exact point mass: the max(total,1) guard makes the
+     empty empirical behave as all-zero frequencies, so TV = 1/2·Σ|0−p|. *)
+  checkf "tv vs point mass" 0.5 (Empirical.tv_against e [ ([| 0 |], 1.0) ]);
+  checkf "chi-square is 0 on no observations" 0.
+    (Empirical.chi_square e [ ([| 0 |], 1.0) ]);
+  Array.iter (checkf "marginal all zero" 0.) (Empirical.marginal e ~v:0 ~q:3)
+
+let test_empirical_add_all_empty () =
+  let e = Empirical.create () in
+  Empirical.add_all e [||];
+  Alcotest.check Alcotest.int "no-op batch" 0 (Empirical.total e);
+  Empirical.add_all e [| [| 1 |]; [| 1 |] |];
+  Alcotest.check Alcotest.int "then a real batch" 2 (Empirical.total e)
+
+let test_empirical_disjoint_support () =
+  (* Sampler mass entirely off the exact support: TV must saturate at 1. *)
+  let e = Empirical.create () in
+  Empirical.add e [| 5 |];
+  Empirical.add e [| 6 |];
+  let exact = [ ([| 0 |], 0.5); ([| 1 |], 0.5) ] in
+  checkf "tv on disjoint support" 1.0 (Empirical.tv_against e exact)
+
 let qcheck_tv_bounds =
   QCheck.Test.make ~name:"tv in [0,1]" ~count:500
     QCheck.(
@@ -176,6 +206,11 @@ let suite =
     Alcotest.test_case "empirical tv" `Quick test_empirical_tv;
     Alcotest.test_case "empirical off-support" `Quick test_empirical_off_support;
     Alcotest.test_case "empirical converges" `Quick test_empirical_converges;
+    Alcotest.test_case "empirical empty multiset" `Quick test_empirical_empty;
+    Alcotest.test_case "empirical add_all [||]" `Quick
+      test_empirical_add_all_empty;
+    Alcotest.test_case "empirical disjoint support" `Quick
+      test_empirical_disjoint_support;
     QCheck_alcotest.to_alcotest qcheck_tv_bounds;
     QCheck_alcotest.to_alcotest qcheck_mult_err_vs_tv;
   ]

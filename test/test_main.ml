@@ -6,6 +6,7 @@ let () =
       ("obs", Test_obs.suite);
       ("statistics", Test_statistics.suite);
       ("dist", Test_dist.suite);
+      ("sketch", Test_sketch.suite);
       ("graph", Test_graph.suite);
       ("gibbs", Test_gibbs.suite);
       ("matching_dp", Test_matching_dp.suite);

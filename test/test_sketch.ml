@@ -1,0 +1,523 @@
+(* Tests for the mergeable sketch layer (lib/sketch) and its wiring:
+   merge-monoid laws for both sketch types (QCheck), the CMS ε–δ
+   guarantee and never-underestimate invariant, bottom-k distinct-count
+   accuracy, serialization round-trips, Par.fold_trials determinism, and
+   the Empirical.Sketched streaming path's domain/chunk invariance.
+
+   Law tests compare sketches through their canonical bytes
+   (to_string/serialize): byte equality is exactly the relation the CI
+   determinism diffs rely on, so the laws are checked in the same metric
+   they are consumed in. *)
+
+module Cms = Ls_sketch.Cms
+module Bottomk = Ls_sketch.Bottomk
+module Empirical = Ls_dist.Empirical
+module Par = Ls_par.Par
+module Rng = Ls_rng.Rng
+module Generators = Ls_graph.Generators
+module Models = Ls_gibbs.Models
+module Async = Ls_local.Async
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- stream generators ------------------------------------------------ *)
+
+(* A key is a short int array (a small configuration); a stream is a list
+   of keys, with repeats likely thanks to the tiny alphabet. *)
+let key_gen = QCheck.(array_of_size (Gen.int_range 0 3) (int_range 0 3))
+let stream_gen = QCheck.(list_of_size (Gen.int_range 0 60) key_gen)
+
+let random_key rng = Array.init (Rng.int rng 4) (fun _ -> Rng.int rng 4)
+
+let random_stream rng n = List.init n (fun _ -> random_key rng)
+
+(* Exact histogram of a stream, the referee for every accuracy test. *)
+let exact_counts stream =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun key ->
+      Hashtbl.replace h key (1 + Option.value ~default:0 (Hashtbl.find_opt h key)))
+    stream;
+  h
+
+let cms_of ?(width = 16) ?(depth = 3) ~seed stream =
+  let t = Cms.create ~width ~depth ~seed in
+  List.iter (Cms.add t) stream;
+  t
+
+let bk_of ?(k = 8) ~seed stream =
+  let t = Bottomk.create ~k ~seed in
+  List.iter (Bottomk.add t) stream;
+  t
+
+(* --- CMS merge-monoid laws (QCheck) ----------------------------------- *)
+
+let qcheck_cms_merge_laws =
+  QCheck.Test.make ~name:"cms merge is commutative/associative with identity"
+    ~count:100
+    QCheck.(quad small_int stream_gen stream_gen stream_gen)
+    (fun (seed, sa, sb, sc) ->
+      let seed = Int64.of_int seed in
+      let a = cms_of ~seed sa and b = cms_of ~seed sb and c = cms_of ~seed sc in
+      let bytes t = Cms.to_string t in
+      bytes (Cms.merge a b) = bytes (Cms.merge b a)
+      && bytes (Cms.merge (Cms.merge a b) c) = bytes (Cms.merge a (Cms.merge b c))
+      && bytes (Cms.merge a (Cms.create ~width:16 ~depth:3 ~seed)) = bytes a)
+
+let qcheck_cms_add_then_merge =
+  QCheck.Test.make
+    ~name:"cms add-then-merge equals merge-then-add (any stream split)"
+    ~count:100
+    QCheck.(triple small_int stream_gen small_int)
+    (fun (seed, stream, cut) ->
+      let seed = Int64.of_int seed in
+      let n = List.length stream in
+      let cut = if n = 0 then 0 else cut mod (n + 1) in
+      let head = List.filteri (fun i _ -> i < cut) stream in
+      let tail = List.filteri (fun i _ -> i >= cut) stream in
+      let split = Cms.merge (cms_of ~seed head) (cms_of ~seed tail) in
+      Cms.to_string split = Cms.to_string (cms_of ~seed stream))
+
+let qcheck_cms_order_invariant =
+  QCheck.Test.make ~name:"cms bytes are arrival-order invariant" ~count:100
+    QCheck.(pair small_int stream_gen)
+    (fun (seed, stream) ->
+      let seed = Int64.of_int seed in
+      let shuffled =
+        let arr = Array.of_list stream in
+        Rng.shuffle (Rng.create seed) arr;
+        Array.to_list arr
+      in
+      Cms.to_string (cms_of ~seed stream)
+      = Cms.to_string (cms_of ~seed shuffled))
+
+let qcheck_cms_roundtrip =
+  QCheck.Test.make ~name:"cms serialization round-trips" ~count:100
+    QCheck.(pair small_int stream_gen)
+    (fun (seed, stream) ->
+      let t = cms_of ~seed:(Int64.of_int seed) stream in
+      let s = Cms.to_string t in
+      Cms.to_string (Cms.of_string s) = s
+      && Cms.digest (Cms.of_string s) = Cms.digest t)
+
+(* --- CMS statistical guarantees --------------------------------------- *)
+
+let test_cms_never_underestimates () =
+  (* Hard invariant, checked over many seeds and a deliberately cramped
+     sketch (width 4) where collisions are everywhere. *)
+  for seed = 0 to 39 do
+    let rng = Rng.create (Int64.of_int (7000 + seed)) in
+    let stream = random_stream rng 500 in
+    let t = cms_of ~width:4 ~depth:2 ~seed:(Int64.of_int seed) stream in
+    Hashtbl.iter
+      (fun key true_c ->
+        if Cms.count t key < true_c then
+          Alcotest.failf "seed %d: count %d < true %d" seed (Cms.count t key)
+            true_c)
+      (exact_counts stream)
+  done
+
+let test_cms_epsilon_delta () =
+  (* Per-key failure (overestimate > ε·N) across many independent hash
+     families; the observed failure rate must be consistent with δ.  The
+     sketch is sized so collisions are common (width 32 on ~100 distinct
+     keys) but the bound still holds.  All seeds fixed: deterministic. *)
+  let width = 32 and depth = 3 in
+  let queries = ref 0 and failures = ref 0 in
+  for seed = 0 to 39 do
+    let rng = Rng.create (Int64.of_int (8000 + seed)) in
+    let stream = random_stream rng 2000 in
+    let t = cms_of ~width ~depth ~seed:(Int64.of_int seed) stream in
+    let bound =
+      Cms.epsilon t *. float_of_int (Cms.total t)
+    in
+    Hashtbl.iter
+      (fun key true_c ->
+        incr queries;
+        if float_of_int (Cms.count t key - true_c) > bound then incr failures)
+      (exact_counts stream)
+  done;
+  let rate = float_of_int !failures /. float_of_int !queries in
+  let delta = Float.exp (-.float_of_int depth) in
+  checkb "saw a meaningful number of queries" true (!queries > 1000);
+  (* 3δ leaves room for the multinomial noise of a finite sample while
+     still failing loudly if the bound is off by a constant factor. *)
+  if rate > 3. *. delta then
+    Alcotest.failf "failure rate %.4f exceeds 3*delta = %.4f" rate (3. *. delta)
+
+let test_cms_invalid () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Cms.create: width must be >= 1") (fun () ->
+      ignore (Cms.create ~width:0 ~depth:1 ~seed:0L));
+  Alcotest.check_raises "depth 0"
+    (Invalid_argument "Cms.create: depth must be >= 1") (fun () ->
+      ignore (Cms.create ~width:1 ~depth:0 ~seed:0L));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Cms.add: count must be >= 0") (fun () ->
+      Cms.add ~count:(-1) (Cms.create ~width:4 ~depth:2 ~seed:0L) [| 1 |]);
+  Alcotest.check_raises "incompatible merge"
+    (Invalid_argument
+       "Cms.merge: incompatible sketches (width/depth/seed must match)")
+    (fun () ->
+      ignore
+        (Cms.merge
+           (Cms.create ~width:4 ~depth:2 ~seed:0L)
+           (Cms.create ~width:4 ~depth:2 ~seed:1L)))
+
+(* --- bottom-k merge-monoid laws (QCheck) ------------------------------- *)
+
+let qcheck_bk_merge_laws =
+  QCheck.Test.make
+    ~name:"bottom-k merge is commutative/associative with identity" ~count:100
+    QCheck.(quad small_int stream_gen stream_gen stream_gen)
+    (fun (seed, sa, sb, sc) ->
+      let seed = Int64.of_int seed in
+      let a = bk_of ~seed sa and b = bk_of ~seed sb and c = bk_of ~seed sc in
+      let bytes t = Bottomk.to_string t in
+      bytes (Bottomk.merge a b) = bytes (Bottomk.merge b a)
+      && bytes (Bottomk.merge (Bottomk.merge a b) c)
+         = bytes (Bottomk.merge a (Bottomk.merge b c))
+      && bytes (Bottomk.merge a (Bottomk.create ~k:8 ~seed)) = bytes a)
+
+let qcheck_bk_add_then_merge =
+  QCheck.Test.make
+    ~name:"bottom-k add-then-merge equals merge-then-add (any stream split)"
+    ~count:100
+    QCheck.(triple small_int stream_gen small_int)
+    (fun (seed, stream, cut) ->
+      let seed = Int64.of_int seed in
+      let n = List.length stream in
+      let cut = if n = 0 then 0 else cut mod (n + 1) in
+      let head = List.filteri (fun i _ -> i < cut) stream in
+      let tail = List.filteri (fun i _ -> i >= cut) stream in
+      let split = Bottomk.merge (bk_of ~seed head) (bk_of ~seed tail) in
+      Bottomk.to_string split = Bottomk.to_string (bk_of ~seed stream))
+
+let qcheck_bk_order_invariant =
+  QCheck.Test.make ~name:"bottom-k bytes are arrival-order invariant"
+    ~count:100
+    QCheck.(pair small_int stream_gen)
+    (fun (seed, stream) ->
+      let seed = Int64.of_int seed in
+      let shuffled =
+        let arr = Array.of_list stream in
+        Rng.shuffle (Rng.create seed) arr;
+        Array.to_list arr
+      in
+      Bottomk.to_string (bk_of ~seed stream)
+      = Bottomk.to_string (bk_of ~seed shuffled))
+
+let qcheck_bk_roundtrip =
+  QCheck.Test.make ~name:"bottom-k serialization round-trips" ~count:100
+    QCheck.(pair small_int stream_gen)
+    (fun (seed, stream) ->
+      let t = bk_of ~seed:(Int64.of_int seed) stream in
+      let s = Bottomk.to_string t in
+      Bottomk.to_string (Bottomk.of_string s) = s
+      && Bottomk.distinct (Bottomk.of_string s) = Bottomk.distinct t)
+
+let qcheck_bk_retained_counts_exact =
+  QCheck.Test.make ~name:"bottom-k retained counts are exact multiplicities"
+    ~count:100
+    QCheck.(pair small_int stream_gen)
+    (fun (seed, stream) ->
+      let t = bk_of ~k:4 ~seed:(Int64.of_int seed) stream in
+      let exact = exact_counts stream in
+      List.for_all
+        (fun (key, c) -> Hashtbl.find_opt exact key = Some c)
+        (Bottomk.entries t))
+
+(* --- bottom-k statistical guarantees ----------------------------------- *)
+
+let test_bk_exact_below_saturation () =
+  let rng = Rng.create 99L in
+  let stream = random_stream rng 400 in
+  let distinct_true = Hashtbl.length (exact_counts stream) in
+  let t = bk_of ~k:100_000 ~seed:5L stream in
+  checki "exhaustive below k" distinct_true (Bottomk.size t);
+  checkb "distinct exact below k" true
+    (Bottomk.distinct t = float_of_int distinct_true);
+  checki "total is the stream length" (List.length stream) (Bottomk.total t)
+
+let bk_relative_error ~k ~seed stream =
+  let t =
+    let t = Bottomk.create ~k ~seed in
+    List.iter (Bottomk.add t) stream;
+    t
+  in
+  let truth = float_of_int (Hashtbl.length (exact_counts stream)) in
+  (Float.abs (Bottomk.distinct t -. truth) /. truth, Bottomk.rel_std_error t)
+
+let test_bk_distinct_uniform () =
+  (* ~5000 distinct keys, k = 256: the estimate must land within 4 relative
+     standard errors (1/sqrt(254) ≈ 6.3%) of the truth.  Fixed seeds. *)
+  let rng = Rng.create 123L in
+  let stream =
+    List.init 20_000 (fun _ -> [| Rng.int rng 5000; Rng.int rng 2 |])
+  in
+  let err, rse = bk_relative_error ~k:256 ~seed:77L stream in
+  if err > 4. *. rse then
+    Alcotest.failf "uniform: relative error %.4f > 4*rse %.4f" err (4. *. rse)
+
+let test_bk_distinct_skewed () =
+  (* Heavily skewed multiplicities (geometric key frequencies): the
+     estimator sees each distinct key once no matter its count, so skew
+     must not move the estimate. *)
+  let rng = Rng.create 321L in
+  let stream =
+    List.concat_map
+      (fun _ ->
+        let key = [| Rng.geometric rng 0.001 |] in
+        List.init (1 + Rng.int rng 8) (fun _ -> key))
+      (List.init 6000 (fun i -> i))
+  in
+  let err, rse = bk_relative_error ~k:256 ~seed:78L stream in
+  if err > 4. *. rse then
+    Alcotest.failf "skewed: relative error %.4f > 4*rse %.4f" err (4. *. rse)
+
+let test_bk_invalid () =
+  Alcotest.check_raises "k 0" (Invalid_argument "Bottomk.create: k must be >= 1")
+    (fun () -> ignore (Bottomk.create ~k:0 ~seed:0L));
+  Alcotest.check_raises "incompatible merge"
+    (Invalid_argument
+       "Bottomk.merge: incompatible sketches (k and seed must match)")
+    (fun () ->
+      ignore
+        (Bottomk.merge (Bottomk.create ~k:4 ~seed:0L)
+           (Bottomk.create ~k:5 ~seed:0L)))
+
+(* --- Par.fold_trials ---------------------------------------------------- *)
+
+let test_fold_trials_matches_run_trials () =
+  let n = 1000 and seed = 42L in
+  let f rng = Rng.int rng 1000 in
+  let expected = Array.fold_left ( + ) 0 (Par.run_trials ~n ~seed f) in
+  let fold chunk =
+    !(Par.fold_trials ~chunk ~n ~seed
+        ~init:(fun () -> ref 0)
+        ~add:(fun acc x -> acc := !acc + x)
+        ~merge:(fun a b -> ref (!a + !b))
+        f)
+  in
+  checki "chunk 1" expected (fold 1);
+  checki "chunk 7" expected (fold 7);
+  checki "chunk 4096" expected (fold 4096);
+  checki "chunk larger than n" expected (fold 10_000)
+
+let test_fold_trials_domain_invariant () =
+  let run domains =
+    Par.fold_trials ~domains ~chunk:13 ~n:500 ~seed:7L
+      ~init:(fun () -> ref 0L)
+      ~add:(fun acc x -> acc := Int64.add !acc x)
+      ~merge:(fun a b -> ref (Int64.add !a !b))
+      Rng.bits64
+  in
+  checkb "1 vs 4 domains" true (!(run 1) = !(run 4))
+
+let test_fold_trials_edges () =
+  let sum =
+    Par.fold_trials ~n:0 ~seed:1L
+      ~init:(fun () -> ref 0)
+      ~add:(fun acc x -> acc := !acc + x)
+      ~merge:(fun a b -> ref (!a + !b))
+      (fun _ -> 1)
+  in
+  checki "n = 0 folds to init" 0 !sum;
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Par.fold_trials: n must be non-negative") (fun () ->
+      ignore
+        (Par.fold_trials ~n:(-1) ~seed:1L
+           ~init:(fun () -> ())
+           ~add:(fun () () -> ())
+           ~merge:(fun () () -> ())
+           ignore));
+  Alcotest.check_raises "chunk 0"
+    (Invalid_argument "Par.fold_trials: chunk must be >= 1") (fun () ->
+      ignore
+        (Par.fold_trials ~chunk:0 ~n:1 ~seed:1L
+           ~init:(fun () -> ())
+           ~add:(fun () () -> ())
+           ~merge:(fun () () -> ())
+           ignore))
+
+(* --- Empirical.merge / collect_streaming -------------------------------- *)
+
+let empirical_equal a b =
+  Empirical.total a = Empirical.total b
+  && Empirical.distinct a = Empirical.distinct b
+  &&
+  let ok = ref true in
+  Empirical.iter a (fun sigma c -> ok := !ok && Empirical.count b sigma = c);
+  !ok
+
+let test_empirical_merge_laws () =
+  let mk seed n =
+    let rng = Rng.create seed in
+    let e = Empirical.create () in
+    List.iter (Empirical.add e) (random_stream rng n);
+    e
+  in
+  let a = mk 1L 50 and b = mk 2L 80 and c = mk 3L 30 in
+  checkb "commutative" true
+    (empirical_equal (Empirical.merge a b) (Empirical.merge b a));
+  checkb "associative" true
+    (empirical_equal
+       (Empirical.merge (Empirical.merge a b) c)
+       (Empirical.merge a (Empirical.merge b c)));
+  checkb "identity" true
+    (empirical_equal (Empirical.merge a (Empirical.create ())) a);
+  checki "totals add" 130 (Empirical.total (Empirical.merge a b))
+
+let test_collect_streaming_matches_collect () =
+  let sample rng = random_key rng in
+  let batch = Empirical.collect ~n:2000 ~seed:11L sample in
+  let streamed chunk =
+    Empirical.collect_streaming ~chunk ~n:2000 ~seed:11L sample
+  in
+  checkb "chunk 64" true (empirical_equal batch (streamed 64));
+  checkb "chunk 4096" true (empirical_equal batch (streamed 4096))
+
+(* --- Empirical.Sketched -------------------------------------------------- *)
+
+let test_sketched_counts_dominate () =
+  let module S = Empirical.Sketched in
+  let sample rng = random_key rng in
+  let n = 3000 and seed = 13L in
+  let emp = Empirical.collect ~n ~seed sample in
+  let sk = S.collect ~width:64 ~depth:3 ~k:32 ~n ~seed sample in
+  checki "same totals" n (S.total sk);
+  let ok = ref true in
+  Empirical.iter emp (fun sigma c -> ok := !ok && S.count sk sigma >= c);
+  checkb "CMS never under the exact histogram" true !ok
+
+let test_sketched_domain_and_chunk_invariant () =
+  let module S = Empirical.Sketched in
+  let sample rng = random_key rng in
+  let collect ~domains ~chunk =
+    S.serialize
+      (S.collect ~domains ~chunk ~width:64 ~depth:3 ~k:32 ~n:2000 ~seed:17L
+         sample)
+  in
+  let reference = collect ~domains:1 ~chunk:64 in
+  checkb "domains 1 vs 4, byte-identical" true
+    (reference = collect ~domains:4 ~chunk:64);
+  checkb "chunk 64 vs 500, byte-identical" true
+    (reference = collect ~domains:4 ~chunk:500)
+
+let test_sketched_roundtrip_and_merge () =
+  let module S = Empirical.Sketched in
+  let rng = Rng.create 29L in
+  let mk n =
+    let sk = S.create ~width:32 ~depth:2 ~k:8 ~seed:3L () in
+    List.iter (S.add sk) (random_stream rng n);
+    sk
+  in
+  let a = mk 200 and b = mk 300 in
+  let m = S.merge a b in
+  checki "merged total" 500 (S.total m);
+  let s = S.serialize m in
+  checkb "round-trip bytes" true (S.serialize (S.deserialize s) = s);
+  checkb "digest survives" true (S.digest (S.deserialize s) = S.digest m);
+  Alcotest.check_raises "trailing bytes rejected"
+    (Invalid_argument "Sketched.deserialize: trailing bytes") (fun () ->
+      ignore (S.deserialize (s ^ "x")))
+
+let test_sketched_tv_against () =
+  let module S = Empirical.Sketched in
+  (* A wide sketch on a 2-point support reproduces the exact frequencies,
+     so the support-restricted TV agrees with the exact histogram's. *)
+  let sk = S.create ~width:1024 ~depth:4 ~k:8 ~seed:5L () in
+  for _ = 1 to 300 do S.add sk [| 0 |] done;
+  for _ = 1 to 100 do S.add sk [| 1 |] done;
+  let exact = [ ([| 0 |], 0.5); ([| 1 |], 0.5) ] in
+  checkb "tv on support" true
+    (Float.abs (S.tv_against sk exact -. 0.25) < 1e-9);
+  checki "collision-free point count" 300 (S.count sk [| 0 |]);
+  checkb "freq" true (Float.abs (S.freq sk [| 0 |] -. 0.75) < 1e-12);
+  checkb "distinct exact below k" true (S.distinct_estimate sk = 2.)
+
+(* --- sketches fed by the LOCAL sampler under each executor -------------- *)
+
+let test_sketch_under_async_executors () =
+  (* Sketch aggregation sits strictly downstream of the executor: build
+     the same sketch over samples drawn synchronously, over the
+     alpha-synchronizer, and over the adaptive executor.  Synchronizer
+     runs are bit-identical to synchronous ones, so the sketch bytes
+     must be too; the adaptive executor may degrade a trial but its
+     sketch must still dominate the exact histogram of what it drew. *)
+  let open Ls_core in
+  let inst =
+    Instance.unpinned (Models.hardcore (Generators.cycle 8) ~lambda:1.)
+  in
+  let oracle = Inference.ssm_oracle ~t:2 inst in
+  let trials = 40 in
+  let rngs = Rng.streams 4242L trials in
+  let sketch_over mode =
+    let sk = Empirical.Sketched.create ~width:64 ~depth:3 ~k:16 ~seed:9L () in
+    let emp = Empirical.create () in
+    Array.iter
+      (fun rng ->
+        let seed = Rng.bits64 (Rng.copy rng) in
+        let async = Option.map (fun m -> Async.make ~mode:m ()) mode in
+        let r = Local_sampler.sample_resilient oracle ?async inst ~seed in
+        if r.Local_sampler.success then begin
+          Empirical.Sketched.add sk r.Local_sampler.sigma;
+          Empirical.add emp r.Local_sampler.sigma
+        end)
+      rngs;
+    (Empirical.Sketched.serialize sk, sk, emp)
+  in
+  let sync_bytes, _, _ = sketch_over None in
+  let syn_bytes, _, _ = sketch_over (Some Async.Synchronizer) in
+  checkb "synchronizer sketch is byte-identical to sync" true
+    (sync_bytes = syn_bytes);
+  let _, ad_sk, ad_emp = sketch_over (Some Async.Adaptive) in
+  checki "adaptive sketch total = its success count"
+    (Empirical.total ad_emp)
+    (Empirical.Sketched.total ad_sk);
+  let ok = ref true in
+  Empirical.iter ad_emp (fun sigma c ->
+      ok := !ok && Empirical.Sketched.count ad_sk sigma >= c);
+  checkb "adaptive sketch dominates its exact histogram" true !ok
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_cms_merge_laws;
+    QCheck_alcotest.to_alcotest qcheck_cms_add_then_merge;
+    QCheck_alcotest.to_alcotest qcheck_cms_order_invariant;
+    QCheck_alcotest.to_alcotest qcheck_cms_roundtrip;
+    Alcotest.test_case "cms never underestimates" `Quick
+      test_cms_never_underestimates;
+    Alcotest.test_case "cms epsilon-delta bound" `Quick test_cms_epsilon_delta;
+    Alcotest.test_case "cms invalid arguments" `Quick test_cms_invalid;
+    QCheck_alcotest.to_alcotest qcheck_bk_merge_laws;
+    QCheck_alcotest.to_alcotest qcheck_bk_add_then_merge;
+    QCheck_alcotest.to_alcotest qcheck_bk_order_invariant;
+    QCheck_alcotest.to_alcotest qcheck_bk_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_bk_retained_counts_exact;
+    Alcotest.test_case "bottom-k exact below saturation" `Quick
+      test_bk_exact_below_saturation;
+    Alcotest.test_case "bottom-k distinct on uniform stream" `Quick
+      test_bk_distinct_uniform;
+    Alcotest.test_case "bottom-k distinct on skewed stream" `Quick
+      test_bk_distinct_skewed;
+    Alcotest.test_case "bottom-k invalid arguments" `Quick test_bk_invalid;
+    Alcotest.test_case "fold_trials matches run_trials" `Quick
+      test_fold_trials_matches_run_trials;
+    Alcotest.test_case "fold_trials domain invariant" `Quick
+      test_fold_trials_domain_invariant;
+    Alcotest.test_case "fold_trials edge cases" `Quick test_fold_trials_edges;
+    Alcotest.test_case "empirical merge laws" `Quick test_empirical_merge_laws;
+    Alcotest.test_case "collect_streaming matches collect" `Quick
+      test_collect_streaming_matches_collect;
+    Alcotest.test_case "sketched counts dominate exact" `Quick
+      test_sketched_counts_dominate;
+    Alcotest.test_case "sketched domain/chunk invariance" `Quick
+      test_sketched_domain_and_chunk_invariant;
+    Alcotest.test_case "sketched round-trip and merge" `Quick
+      test_sketched_roundtrip_and_merge;
+    Alcotest.test_case "sketched tv on support" `Quick test_sketched_tv_against;
+    Alcotest.test_case "sketch under async executors" `Quick
+      test_sketch_under_async_executors;
+  ]
