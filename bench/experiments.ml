@@ -1326,6 +1326,202 @@ let e15 () =
     ~header:[ "N"; "total"; "bytes"; "distinct"; "kmv"; "digest" ]
     rows_b
 
+(* ------------------------------------------------------------------ *)
+(* E16 — sharded multi-process execution (Ls_shard): bit-identity of   *)
+(* the sharded sweep against the in-process engine, and kill -9        *)
+(* recovery with restart accounting.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e16_trials = ref 48
+let e16_shards = ref [ 1; 2; 4 ]
+
+let e16 () =
+  let module Faults = Ls_local.Faults in
+  let module Resilient = Ls_local.Resilient in
+  let module Exec = Ls_shard.Exec in
+  let module Sweep = Ls_shard.Sweep in
+  let module Supervisor = Ls_shard.Supervisor in
+  let module Metrics = Ls_obs.Metrics in
+  (* Worker processes are forked, and the runtime refuses Unix.fork once
+     a domain has ever been created — probe with a no-op child so a
+     multi-core full-harness run degrades into a deterministic skip line
+     instead of an exception. *)
+  let fork_ok =
+    Par.quiesce ();
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        true
+    | exception Failure _ -> false
+  in
+  if not fork_ok then
+    print_endline
+      "E16  sharded execution: skipped (domains already created; run \
+       section e16 alone or with --domains 1)"
+  else begin
+    let n = 6 in
+    let inst =
+      Instance.unpinned (Models.hardcore (Generators.cycle n) ~lambda:1.)
+    in
+    let oracle = Inference.ssm_oracle ~t:2 inst in
+    let policy = Resilient.policy ~retry_budget:3 () in
+    let trials = !e16_trials in
+    let seed = 1600L in
+    let profiles =
+      [
+        ("none", fun _rng -> Faults.none);
+        ( "flaky",
+          fun rng ->
+            Faults.make ~seed:(Rng.bits64 rng) ~drop:0.05 ~duplicate:0.04
+              ~delay:0.15 ~max_delay:2 ~crash:0.08 ~recovery:0.8
+              ~recovery_delay:2 ~corrupt:0.02
+              ~partitions:[ (1, 3, 2) ]
+              () );
+      ]
+    in
+    let trial faults_of rng =
+      let faults = faults_of rng in
+      let r =
+        Local_sampler.sample_resilient oracle ~policy ~faults inst
+          ~seed:(Rng.bits64 rng)
+      in
+      (r.Local_sampler.success, r.Local_sampler.sigma, r.Local_sampler.rounds)
+    in
+    let digest results =
+      Printf.sprintf "%016Lx"
+        (Ls_shard.Frame.digest64 (Marshal.to_string results []))
+    in
+    let summarize results =
+      let succ = ref 0 and rounds = ref 0 in
+      Array.iter
+        (fun (ok, _, r) ->
+          if ok then incr succ;
+          rounds := !rounds + r)
+        results;
+      (!succ, !rounds)
+    in
+    let ckpt_dir tag =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "locsample-e16-%s-%d" tag (Unix.getpid ()))
+    in
+    let rm_rf d =
+      if Sys.file_exists d then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+        Unix.rmdir d
+      end
+    in
+    let was_metrics = Metrics.enabled () in
+    Metrics.set_enabled true;
+    Fun.protect ~finally:(fun () -> Metrics.set_enabled was_metrics)
+    @@ fun () ->
+    (* Part A: identity grid.  The in-process engine pinned to one domain
+       is the referee; every (profile, shards) cell must reproduce its
+       result array byte-for-byte.  Wall-clock goes to stderr, keeping
+       stdout diffable across shard counts. *)
+    let rows =
+      List.concat_map
+        (fun (pname, faults_of) ->
+          let referee, _ =
+            Par.run_trials_timed ~domains:1 ~n:trials ~seed (trial faults_of)
+          in
+          let succ, rounds = summarize referee in
+          List.map
+            (fun shards ->
+              let dir = ckpt_dir (Printf.sprintf "a-%s-%d" pname shards) in
+              let t0 = Unix.gettimeofday () in
+              let got, _ =
+                Sweep.run_trials_timed
+                  (Exec.config ~shards ~dir ())
+                  ~n:trials ~seed (trial faults_of)
+              in
+              rm_rf dir;
+              Printf.eprintf "[e16 %s shards=%d: %.2fs wall]\n%!" pname shards
+                (Unix.gettimeofday () -. t0);
+              [
+                pname;
+                Table.i shards;
+                Table.i trials;
+                Table.i succ;
+                Table.i rounds;
+                digest got;
+                (if got = referee then "yes" else "NO");
+              ])
+            !e16_shards)
+        profiles
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf
+           "E16  sharded sweep vs in-process engine (hardcore C%d, %d \
+            trials, seed %Ld)"
+           n trials seed)
+      ~note:
+        "Each row runs the same resilient-sampling sweep across K worker\n\
+         OS processes (Ls_shard.Sweep) and byte-compares the result array\n\
+         against the single-domain in-process referee.  succ/rounds\n\
+         summarize the referee; digest is the sharded run's — identical\n\
+         digests across every K (and profile-matched rows of the CI's\n\
+         sharded diff) are the determinism contract.  identical is the\n\
+         full structural comparison, not just the digest."
+      ~header:[ "profile"; "K"; "trials"; "succ"; "rounds"; "digest"; "ident" ]
+      rows;
+    (* Part B: kill -9 recovery.  Workers are killed (or hung) for real at
+       fixed trial coordinates; the supervisor restarts them from their
+       checkpoints and the sweep must still land byte-identical on the
+       referee.  Restart counts come from the metrics deltas. *)
+    let _, flaky = List.nth profiles 1 in
+    let referee, _ =
+      Par.run_trials_timed ~domains:1 ~n:trials ~seed (trial flaky)
+    in
+    let kill_policy =
+      { Supervisor.default_policy with hang_timeout_ms = 500; hang_probes = 2 }
+    in
+    let rows_b =
+      List.map
+        (fun spec ->
+          let kills =
+            match Exec.parse_kill_specs spec with
+            | Ok ks -> ks
+            | Error msg -> failwith msg
+          in
+          let dir = ckpt_dir "b" in
+          let before = Metrics.snapshot () in
+          let t0 = Unix.gettimeofday () in
+          let got, _ =
+            Sweep.run_trials_timed
+              (Exec.config ~shards:2 ~kills ~policy:kill_policy ~dir ())
+              ~n:trials ~seed (trial flaky)
+          in
+          rm_rf dir;
+          Printf.eprintf "[e16 kill %s: %.2fs wall]\n%!" spec
+            (Unix.gettimeofday () -. t0);
+          let after = Metrics.snapshot () in
+          [
+            spec;
+            Table.i 2;
+            Table.i (after.Metrics.shard_spawns - before.Metrics.shard_spawns);
+            Table.i
+              (after.Metrics.shard_restarts - before.Metrics.shard_restarts);
+            digest got;
+            (if got = referee then "yes" else "NO");
+          ])
+        [ "0:0:4:0"; "0:0:4:0,0:0:8:1"; "1:0:30:0:hang" ]
+    in
+    Table.print
+      ~title:"E16b  kill -9 recovery (flaky profile, 2 shards)"
+      ~note:
+        "SHARD:PHASE:TRIAL[:INCARNATION][:hang] specs, executed for real\n\
+         (SIGKILL to self at the trial boundary; hang sleeps until the\n\
+         supervisor's liveness probes SIGKILL it).  spawns counts worker\n\
+         forks, restarts the supervisor's re-forks after each kill; the\n\
+         digest must equal the undisturbed flaky rows above — recovery is\n\
+         observable only in the lifecycle columns."
+      ~header:[ "kill"; "K"; "spawns"; "restarts"; "digest"; "ident" ]
+      rows_b
+  end
+
 let run_all () =
   e1 ();
   e2 ();
@@ -1342,4 +1538,5 @@ let run_all () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   decomp_ablation ()

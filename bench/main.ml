@@ -1,8 +1,8 @@
 (* Benchmark harness entry point.
 
-   `dune exec bench/main.exe` prints every experiment table (E1-E15, the
+   `dune exec bench/main.exe` prints every experiment table (E1-E16, the
    paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
-   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e15,
+   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e16,
    micro) to run a subset; `--domains K` pins the parallel engine's domain
    count (default: LOCSAMPLE_DOMAINS or the core count).
 
@@ -30,6 +30,7 @@ let sections =
     ("e13", Experiments.e13);
     ("e14", Experiments.e14);
     ("e15", Experiments.e15);
+    ("e16", Experiments.e16);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]

@@ -25,6 +25,8 @@ module Models = Ls_gibbs.Models
 module Matching = Ls_gibbs.Matching
 module Faults = Ls_local.Faults
 module Resilient = Ls_local.Resilient
+module Shard = Ls_shard.Exec
+module Sweep = Ls_shard.Sweep
 open Ls_core
 
 let parse_graph rng spec =
@@ -181,7 +183,7 @@ let async_of_flags ~async_mode ~timeout_base =
 (* --- commands ------------------------------------------------------- *)
 
 let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
-    ~async ~sketch ~sketch_k trials =
+    ~async ~sketch ~sketch_k ~shard_cfg trials =
   let order = Array.init (Instance.n inst) (fun i -> i) in
   let faulty = not (Faults.is_none faults) || async <> None in
   if faulty then
@@ -231,7 +233,12 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
         (r.Local_sampler.success, r.Local_sampler.sigma)
   in
   let results, timing =
-    Par.run_trials_timed ~n:trials ~seed:(Int64.of_int seed) run_one
+    match shard_cfg with
+    | Some cfg ->
+        (* Sharded sweep: the same trial partition semantics, across
+           worker OS processes with kill -9 recovery. *)
+        Sweep.run_trials_timed cfg ~n:trials ~seed:(Int64.of_int seed) run_one
+    | None -> Par.run_trials_timed ~n:trials ~seed:(Int64.of_int seed) run_one
   in
   let emp = Empirical.create () in
   Array.iter (fun (ok, y) -> if ok then Empirical.add emp y) results;
@@ -262,8 +269,9 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
         (Empirical.Sketched.digest sk));
   (* Timing is a measurement, not an output: stderr, so stdout diffs clean
      across domain counts. *)
-  Printf.eprintf "[%.3fs wall on %d domain(s), %.0f trials/s]\n" timing.Par.wall
+  Printf.eprintf "[%.3fs wall on %d %s, %.0f trials/s]\n" timing.Par.wall
     timing.Par.domains
+    (if Option.is_some shard_cfg then "shard(s)" else "domain(s)")
     (float_of_int trials /. Float.max timing.Par.wall 1e-9);
   (if successes > 0 then
      let states =
@@ -279,8 +287,41 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
 
 let sample graph model t seed engine exact_jvv epsilon trials fault_rate
     crash_rate max_delay corrupt_rate skew delay_law async_mode timeout_base
-    profile retry_budget sketch sketch_k =
+    profile retry_budget sketch sketch_k shards shard_kill =
   let policy = policy_of_flags ~retry_budget in
+  (* Sharded multi-process execution: validate up front, mirroring
+     --domains.  Fork-based workers require no sibling domains, so
+     --shards pins the domain pool to 1; the event-driven executor is
+     in-process by construction, so --shards + --async is rejected. *)
+  let shard_cfg =
+    match shards with
+    | None ->
+        if shard_kill <> "" then begin
+          Printf.eprintf "locsample: --shard-kill requires --shards\n";
+          exit 2
+        end;
+        None
+    | Some k ->
+        if k < 1 then begin
+          Printf.eprintf "locsample: --shards expects an integer >= 1, got %d\n"
+            k;
+          exit 2
+        end;
+        if async_mode <> None then begin
+          Printf.eprintf
+            "locsample: --shards is synchronous-only (drop --async)\n";
+          exit 2
+        end;
+        let kills =
+          match Shard.parse_kill_specs shard_kill with
+          | Ok ks -> ks
+          | Error msg ->
+              Printf.eprintf "locsample: %s\n" msg;
+              exit 2
+        in
+        Par.set_domains 1;
+        Some (Shard.config ~shards:k ~kills ())
+  in
   (* Validate the sketch dimensions up front, even when --trials is 1 and
      the sketch would never be built. *)
   (match sketch with
@@ -304,9 +345,17 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
   Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
     m.describe;
   let oracle = make_oracle ~engine ~t inst in
+  (* Single runs shard the broadcast phases themselves (the transport
+     hook); sweeps shard the trial range instead, so the transport stays
+     uninstalled there (workers run the in-process executor). *)
+  (match shard_cfg with
+  | Some cfg when trials <= 1 ->
+      Shard.install cfg;
+      at_exit Shard.uninstall
+  | _ -> ());
   if trials > 1 then
     sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
-      ~async ~sketch ~sketch_k trials
+      ~async ~sketch ~sketch_k ~shard_cfg trials
   else if faulty then begin
     if exact_jvv then begin
       let epsilon =
@@ -414,7 +463,7 @@ let count graph model t seed =
   0
 
 let chaos seed schedules trials async_mode max_delay corrupt_rate profile
-    partitions reproducer_path =
+    partitions shards reproducer_path =
   let overrides =
     {
       Ls_chaos.Chaos.o_async = async_mode;
@@ -422,6 +471,7 @@ let chaos seed schedules trials async_mode max_delay corrupt_rate profile
       o_corrupt = corrupt_rate;
       o_profile = profile;
       o_partitions = partitions;
+      o_shards = shards;
     }
   in
   let summary =
@@ -617,8 +667,26 @@ let sample_cmd =
          ~doc:"Bottom-k capacity of the --sketch distinct-count estimator \
                (relative std error 1/sqrt(K-2)).")
   in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"K"
+         ~doc:"Run across $(docv) worker OS processes with kill -9 fault \
+               tolerance: single runs shard the graph's broadcast phases \
+               (deterministic inter-shard routing in virtual-time order), \
+               --trials sweeps shard the trial range.  Output is \
+               bit-identical for every value, including 1 and unsharded; \
+               only the failure domain changes.  Synchronous executor \
+               only (incompatible with --async); forces --domains 1.")
+  in
+  let shard_kill =
+    Arg.(value & opt string "" & info [ "shard-kill" ] ~docv:"SPEC"
+         ~doc:"Comma-separated fault injection for --shards: each spec is \
+               SHARD:PHASE:ROUND[:INCARNATION][:hang] and SIGKILLs (or \
+               hangs, to exercise liveness probes) that worker incarnation \
+               at that coordinate.  The supervisor restarts it from its \
+               last checkpoint; the run's output must be unchanged.")
+  in
   Cmd.v (Cmd.info "sample" ~doc:"Sample a configuration in the LOCAL model")
-    Term.(const (fun () a b c d e f g h i j k l m n o p q r s t -> sample a b c d e f g h i j k l m n o p q r s t) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ skew $ delay_law $ async_mode $ timeout_base $ profile $ retry_budget $ sketch $ sketch_k)
+    Term.(const (fun () a b c d e f g h i j k l m n o p q r s t u v -> sample a b c d e f g h i j k l m n o p q r s t u v) $ setup_log_term $ graph_arg $ model_arg $ t_arg $ seed_arg $ engine_arg $ jvv $ eps $ trials $ fault_rate $ crash_rate $ max_delay $ corrupt_rate $ skew $ delay_law $ async_mode $ timeout_base $ profile $ retry_budget $ sketch $ sketch_k $ shards $ shard_kill)
 
 let infer_cmd =
   let vertex = Arg.(value & opt int 0 & info [ "vertex" ] ~docv:"V" ~doc:"Vertex.") in
@@ -696,6 +764,15 @@ let chaos_cmd =
          ~doc:"Force this partition interval onto every generated schedule \
                (repeatable; replaces the generated intervals).")
   in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"K"
+         ~doc:"Additionally check the sharded invariants at $(docv) worker \
+               processes per schedule: shard-identity (the multi-process \
+               transport reproduces the in-process executor bit-for-bit) \
+               and kill-recovery (a worker kill -9ed before its first \
+               checkpoint recovers to the same verdicts, twice).  \
+               Synchronous-only (incompatible with --async).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run the chaos harness: random fault schedules, an invariant \
@@ -705,7 +782,7 @@ let chaos_cmd =
              minimal reproducers.  Exits 1 on any violation, after writing \
              the reproducer file — whose replay line carries every flag of \
              this command.")
-    Term.(const (fun () a b c d e f g h i -> chaos a b c d e f g h i) $ setup_log_term $ seed_arg $ schedules $ trials $ async_mode $ max_delay $ corrupt_rate $ profile $ partitions $ reproducer)
+    Term.(const (fun () a b c d e f g h i j -> chaos a b c d e f g h i j) $ setup_log_term $ seed_arg $ schedules $ trials $ async_mode $ max_delay $ corrupt_rate $ profile $ partitions $ shards $ reproducer)
 
 let main_cmd =
   Cmd.group

@@ -19,6 +19,7 @@ module Faults = Ls_local.Faults
 module Resilient = Ls_local.Resilient
 module Async = Ls_local.Async
 module Par = Ls_par.Par
+module Exec = Ls_shard.Exec
 open Ls_core
 
 (* --- schedules -------------------------------------------------------- *)
@@ -134,6 +135,7 @@ type overrides = {
   o_corrupt : float option;
   o_profile : string option;
   o_partitions : (int * int * int) list;  (* [] = keep generated ones *)
+  o_shards : int option;  (* run sharded invariants at this worker count *)
 }
 
 let no_overrides =
@@ -143,6 +145,7 @@ let no_overrides =
     o_corrupt = None;
     o_profile = None;
     o_partitions = [];
+    o_shards = None;
   }
 
 let apply_overrides o s =
@@ -212,7 +215,7 @@ let one_trial ?async spec inst oracle policy rng =
   in
   (r.Local_sampler.success, r.Local_sampler.sigma, r.Local_sampler.rounds)
 
-let run_spec ?check ?async ?(trials = 80) spec =
+let run_spec ?check ?async ?shards ?(trials = 80) spec =
   let violations = ref [] in
   let push v = violations := v :: !violations in
   (match check with Some f -> Option.iter push (f spec) | None -> ());
@@ -265,12 +268,17 @@ let run_spec ?check ?async ?(trials = 80) spec =
   in
   let results = batch ?async ~domains:1 () in
   (* Invariant: domain-count invariance (verdicts, outputs and round
-     charges must not depend on scheduling). *)
-  let results2 = batch ?async ~domains:2 () in
-  if results <> results2 then
-    push
-      (violation "domain-determinism"
-         "trial batch differs between --domains 1 and --domains 2");
+     charges must not depend on scheduling).  Skipped under [shards]:
+     the OCaml runtime permanently refuses [Unix.fork] in any process
+     that ever created a domain, and the sharded invariants below need
+     fork.  Sharding replaces in-process domain parallelism, and
+     shard-identity plays the same scheduling-invariance role there. *)
+  (if shards = None then
+     let results2 = batch ?async ~domains:2 () in
+     if results <> results2 then
+       push
+         (violation "domain-determinism"
+            "trial batch differs between --domains 1 and --domains 2"));
   (* Invariant: sync-vs-async identity.  The synchronizer-mode executor
      must reproduce the synchronous runtime bit-for-bit — outputs, success
      verdicts and round charges — under EVERY schedule, whatever delay
@@ -310,6 +318,56 @@ let run_spec ?check ?async ?(trials = 80) spec =
            "chi-square %.2f > critical %.2f on %d successes (df %d)" stat
            critical (Empirical.total emp) (support - 1))
   end;
+  (* Sharded invariants (opt-in via --shards; the sharded transport is
+     synchronous-only, so they are skipped under --async).  Runs stay on
+     one domain: Exec forks worker processes, and fork is only safe while
+     no sibling domains are live. *)
+  (match (shards, async) with
+  | Some k, None ->
+      let sh_trials = min trials 20 in
+      let run_sharded ?(kills = []) () =
+        Exec.reset_phase_counter ();
+        Exec.install (Exec.config ~shards:k ~kills ());
+        Fun.protect ~finally:Exec.uninstall (fun () ->
+            Par.run_trials ~domains:1 ~n:sh_trials ~seed:batch_seed
+              (one_trial spec inst oracle policy))
+      in
+      (* Invariant: shard-identity.  The sharded transport must reproduce
+         the in-process executor bit-for-bit — outputs, verdicts, round
+         charges — under every schedule and shard count. *)
+      let unsharded =
+        Par.run_trials ~domains:1 ~n:sh_trials ~seed:batch_seed
+          (one_trial spec inst oracle policy)
+      in
+      let sharded = run_sharded () in
+      if sharded <> unsharded then
+        push
+          (violation "shard-identity"
+             "--shards %d trial batch diverged from the in-process executor"
+             k);
+      (* Invariant: kill-recovery.  kill -9 a worker mid-phase (round 0 of
+         the first faulty phase — before its first checkpoint), twice: the
+         supervisor's restart-and-replay must land on the same verdicts as
+         the undisturbed sharded run, both times. *)
+      let kills =
+        [ { Exec.k_shard = 0; k_phase = 0; k_round = 0; k_incarnation = 0;
+            k_hang = false } ]
+      in
+      let killed1 = run_sharded ~kills () in
+      let killed2 = run_sharded ~kills () in
+      if killed1 <> sharded then
+        push
+          (violation "kill-recovery"
+             "--shards %d batch with a seeded kill -9 diverged from the \
+              undisturbed sharded run"
+             k);
+      if killed2 <> killed1 then
+        push
+          (violation "kill-recovery"
+             "--shards %d two identical seeded kill -9 runs disagreed with \
+              each other"
+             k)
+  | _ -> ());
   List.rev !violations
 
 (* Zero-fault bit-identity: the supervised sampler under [Faults.none]
@@ -361,8 +419,8 @@ let shrink_candidates s =
    that still violates some invariant, until none does.  Deterministic,
    and every accepted step strictly shrinks the schedule, so it
    terminates. *)
-let shrink ?check ?async ?trials s0 =
-  let still_fails c = run_spec ?check ?async ?trials c <> [] in
+let shrink ?check ?async ?shards ?trials s0 =
+  let still_fails c = run_spec ?check ?async ?shards ?trials c <> [] in
   let rec go s =
     match List.find_opt still_fails (shrink_candidates s) with
     | Some c -> go c
@@ -395,16 +453,23 @@ let run ?check ?(overrides = no_overrides) ?(schedules = 10) ?(trials = 80)
      through the same constructor as the API. *)
   let async = Option.map Async.mode_of_string overrides.o_async in
   Option.iter (fun m -> ignore (Async.make ~mode:m ())) async;
+  (match overrides.o_shards with
+  | Some k when k < 1 ->
+      invalid_arg "Chaos.run: --shards must be >= 1"
+  | Some _ when overrides.o_async <> None ->
+      invalid_arg "Chaos.run: --shards is synchronous-only (drop --async)"
+  | _ -> ());
+  let shards = overrides.o_shards in
   let rng = Rng.create seed in
   let zero_fault = zero_fault_identity ?async ~seed () in
   let failures = ref [] in
   for index = 0 to schedules - 1 do
     let s = apply_overrides overrides (gen rng) in
-    match run_spec ?check ?async ~trials s with
+    match run_spec ?check ?async ?shards ~trials s with
     | [] -> ()
     | f_violations ->
-        let f_shrunk = shrink ?check ?async ~trials s in
-        let f_shrunk_violations = run_spec ?check ?async ~trials f_shrunk in
+        let f_shrunk = shrink ?check ?async ?shards ~trials s in
+        let f_shrunk_violations = run_spec ?check ?async ?shards ~trials f_shrunk in
         failures :=
           { index; f_spec = s; f_violations; f_shrunk; f_shrunk_violations }
           :: !failures
@@ -431,6 +496,7 @@ let override_flags o =
   Option.iter (p " --corrupt-rate %g") o.o_corrupt;
   Option.iter (p " --fault-profile %s") o.o_profile;
   List.iter (fun (a, u, k) -> p " --partition %d:%d:%d" a u k) o.o_partitions;
+  Option.iter (p " --shards %d") o.o_shards;
   Buffer.contents b
 
 let reproducer summary =
@@ -496,6 +562,10 @@ let parse_reproducer text =
         | "--partition" :: v :: rest ->
             go seed schedules trials
               { o with o_partitions = o.o_partitions @ [ partition_of v ] }
+              rest
+        | "--shards" :: v :: rest ->
+            go seed schedules trials
+              { o with o_shards = Some (int_of_string v) }
               rest
         | _ :: rest -> go seed schedules trials o rest
       in

@@ -71,6 +71,10 @@ type overrides = {
   o_corrupt : float option;
   o_profile : string option;
   o_partitions : (int * int * int) list;  (** [[]] = keep generated ones. *)
+  o_shards : int option;
+      (** Run the sharded invariants ({e shard-identity} and
+          {e kill-recovery}) at this {!Ls_shard.Exec} worker count.
+          Synchronous-only; [None] skips them. *)
 }
 (** The `locsample chaos` flag surface, as data: dimensions forced onto
     every generated schedule (explicit values override the profile's
@@ -86,6 +90,7 @@ type violation = { invariant : string; detail : string }
 val run_spec :
   ?check:(spec -> violation option) ->
   ?async:Ls_local.Async.mode ->
+  ?shards:int ->
   ?trials:int ->
   spec ->
   violation list
@@ -94,8 +99,16 @@ val run_spec :
     caller-supplied invariant — the hook the shrinker tests (and the CI
     self-test) use to plant a seeded failure.  [async] floods the trial
     batch over the event-driven executor in the given mode (the
-    sync-vs-async identity invariant is checked either way).  Default
-    [trials] is 80. *)
+    sync-vs-async identity invariant is checked either way).  [shards]
+    additionally checks {e shard-identity} (the {!Ls_shard.Exec}
+    transport reproduces the in-process executor bit-for-bit on a
+    reduced batch) and {e kill-recovery} (a worker [kill -9]ed before
+    its first checkpoint recovers to the same verdicts, twice); ignored
+    under [async].  [shards] also skips {e domain-determinism}: the
+    runtime permanently refuses [Unix.fork] in a process that ever
+    created a domain, so sharded runs stay on one domain throughout
+    (shard-identity plays the same scheduling-invariance role).
+    Default [trials] is 80. *)
 
 val zero_fault_identity :
   ?async:Ls_local.Async.mode -> seed:int64 -> unit -> violation option
@@ -104,6 +117,7 @@ val zero_fault_identity :
 val shrink :
   ?check:(spec -> violation option) ->
   ?async:Ls_local.Async.mode ->
+  ?shards:int ->
   ?trials:int ->
   spec ->
   spec
@@ -141,8 +155,10 @@ val run :
 (** The full harness: zero-fault identity, then [schedules] generated
     schedules (default 10) of [trials] trials each — with [overrides]
     applied to each — shrinking every failure.  Raises [Invalid_argument]
-    on an invalid [o_async] mode name or [o_profile] preset (the CLI's
-    rejection path). *)
+    on an invalid [o_async] mode name or [o_profile] preset, on
+    [o_shards < 1], or on [o_shards] combined with [o_async] (the
+    sharded transport is synchronous-only) — the CLI's rejection
+    paths. *)
 
 val ok : summary -> bool
 

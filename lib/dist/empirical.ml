@@ -148,22 +148,27 @@ module Sketched = struct
     Buffer.add_string buf b;
     Buffer.contents buf
 
+  let decode s =
+    try
+      let cur = ref 0 in
+      Codec.check_magic s cur magic;
+      let take () =
+        let len = Codec.get_int s cur in
+        if len < 0 || len > Codec.remaining s cur then
+          invalid_arg "Sketched.deserialize: truncated section";
+        let part = String.sub s !cur len in
+        cur := !cur + len;
+        part
+      in
+      let cms = Cms.of_string (take ()) in
+      let bk = Bottomk.of_string (take ()) in
+      if !cur <> String.length s then
+        invalid_arg "Sketched.deserialize: trailing bytes";
+      Ok { cms; bk }
+    with Invalid_argument msg -> Error msg
+
   let deserialize s =
-    let cur = ref 0 in
-    Codec.check_magic s cur magic;
-    let take () =
-      let len = Codec.get_int s cur in
-      if len < 0 || !cur + len > String.length s then
-        invalid_arg "Sketched.deserialize: truncated section";
-      let part = String.sub s !cur len in
-      cur := !cur + len;
-      part
-    in
-    let cms = Cms.of_string (take ()) in
-    let bk = Bottomk.of_string (take ()) in
-    if !cur <> String.length s then
-      invalid_arg "Sketched.deserialize: trailing bytes";
-    { cms; bk }
+    match decode s with Ok t -> t | Error msg -> invalid_arg msg
 
   let digest t = Codec.digest (serialize t)
 end

@@ -145,6 +145,13 @@ module Sketched : sig
   (** Inverse of {!serialize}; raises [Invalid_argument] on malformed
       input. *)
 
+  val decode : string -> (t, string) result
+  (** Non-raising {!deserialize}: malformed input — bad magic, a section
+      length exceeding the bytes that remain, corruption inside either
+      sketch section, trailing bytes — returns [Error] with the named
+      reason, never raises, and never allocates from an unvalidated
+      length prefix. *)
+
   val digest : t -> string
   (** 16-hex fingerprint of {!serialize}. *)
 end

@@ -54,40 +54,53 @@ let fate fp ~round ~src ~dst ?corrupt ?digest msg =
   in
   { f_raw = raw; f_copies = copies }
 
-(* Trace/metrics reporting of one fate, in the synchronous executor's
-   historical order: the drop/duplicate event first, then per copy its
-   delay, corrupt and quarantine events.  Both executors route their
-   fault reporting through here, which is what keeps their payload trace
-   streams byte-identical. *)
+(* The fate's fault events in the synchronous executor's historical
+   order: the drop/duplicate event first, then per copy its delay,
+   corrupt and quarantine events.  Pure construction, shared by
+   in-process reporting ({!record}) and by {!Ls_shard} workers, who ship
+   the list across a process boundary for the parent to replay — one
+   source of truth keeps the trace streams byte-identical. *)
+let events_of_fate ~round ~src ~dst f =
+  let head =
+    if f.f_raw = 0 then [ Trace.Fault_drop { round; src; dst } ]
+    else if f.f_raw > 1 then
+      [ Trace.Fault_duplicate { round; src; dst; copies = f.f_raw } ]
+    else []
+  in
+  let per_copy c =
+    (if c.c_delay > 0 then
+       [ Trace.Fault_delay { round; src; dst; copy = c.c_index; delay = c.c_delay } ]
+     else [])
+    @ (if c.c_corrupted then
+         [ Trace.Fault_corrupt { round; src; dst; copy = c.c_index } ]
+       else [])
+    @
+    if c.c_quarantined then
+      [ Trace.Quarantine { round; src; dst; copy = c.c_index } ]
+    else []
+  in
+  head @ List.concat_map per_copy f.f_copies
+
+(* The metric bump matching each fault event — the mapping {!record} uses,
+   exposed so a parent process replaying shipped events bumps exactly the
+   counters the in-process path would have. *)
+let record_event_metrics = function
+  | Trace.Fault_drop _ -> Metrics.record_drop ()
+  | Trace.Fault_duplicate _ -> Metrics.record_duplicate ()
+  | Trace.Fault_delay _ -> Metrics.record_delay ()
+  | Trace.Fault_corrupt _ -> Metrics.record_corruption ()
+  | Trace.Quarantine _ -> Metrics.record_quarantine ()
+  | _ -> ()
+
 let record ?trace ~metrics ~round ~src ~dst f =
-  (match trace with
-  | Some s when f.f_raw = 0 ->
-      Trace.emit s (Trace.Fault_drop { round; src; dst })
-  | Some s when f.f_raw > 1 ->
-      Trace.emit s (Trace.Fault_duplicate { round; src; dst; copies = f.f_raw })
-  | _ -> ());
-  if metrics then
-    if f.f_raw = 0 then Metrics.record_drop ()
-    else if f.f_raw > 1 then Metrics.record_duplicate ();
-  List.iter
-    (fun c ->
-      (match trace with
-      | Some s ->
-          if c.c_delay > 0 then
-            Trace.emit s
-              (Trace.Fault_delay
-                 { round; src; dst; copy = c.c_index; delay = c.c_delay });
-          if c.c_corrupted then
-            Trace.emit s (Trace.Fault_corrupt { round; src; dst; copy = c.c_index });
-          if c.c_quarantined then
-            Trace.emit s (Trace.Quarantine { round; src; dst; copy = c.c_index })
-      | None -> ());
-      if metrics then begin
-        if c.c_delay > 0 then Metrics.record_delay ();
-        if c.c_corrupted then Metrics.record_corruption ();
-        if c.c_quarantined then Metrics.record_quarantine ()
-      end)
-    f.f_copies
+  match (trace, metrics) with
+  | None, false -> ()
+  | _ ->
+      List.iter
+        (fun ev ->
+          (match trace with Some s -> Trace.emit s ev | None -> ());
+          if metrics then record_event_metrics ev)
+        (events_of_fate ~round ~src ~dst f)
 
 (* A node is down for the half-open interval [crash_at, recover_at). *)
 let alive ~crash_at ~recover_at ~abs v =

@@ -35,6 +35,19 @@ val fate :
     caller's [corrupt] hook) and quarantine ([digest] mismatch) verdicts —
     exactly the pipeline {!Network.run_broadcast} applies. *)
 
+val events_of_fate :
+  round:int -> src:int -> dst:int -> 'm fate -> Ls_obs.Trace.event list
+(** The fate's fault events in the synchronous executor's order:
+    drop/duplicate first, then per copy delay, corrupt, quarantine.  Pure
+    construction — {!record} emits exactly this list, and {!Ls_shard}
+    workers ship it across the process boundary for the parent to replay,
+    so sharded and in-process trace streams cannot drift. *)
+
+val record_event_metrics : Ls_obs.Trace.event -> unit
+(** Bump the metric counter matching one fault event (drop, duplicate,
+    delay, corrupt, quarantine; other events are ignored) — the mapping
+    {!record} applies, exposed for replaying shipped events. *)
+
 val record :
   ?trace:Ls_obs.Trace.t ->
   metrics:bool ->

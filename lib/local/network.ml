@@ -416,6 +416,39 @@ let run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
   done;
   (states, !catchup)
 
+(* Pluggable faulty-path executor: {!Ls_shard.Exec} installs a transport
+   that runs the phase across worker processes.  The hook replaces only
+   the interior of the faulty path — the wrapper below keeps phase
+   events, clock advance, round charging and phase metrics, so a
+   transport is responsible for exactly what [run_broadcast_faulty] does:
+   mutate the network's meters/pending/checkpoint state (via
+   {!Internal}), emit interior fault events to [trace], and return the
+   final states with the catch-up round count.
+
+   The field is a polymorphic record so one installed transport serves
+   every (input, message, state) instantiation.  Process-global (an
+   atomic), matching the ambient trace sink's scoping. *)
+type transport = {
+  exec :
+    'i 'm 's.
+    'i t ->
+    rounds:int ->
+    size:('m -> int) option ->
+    corrupt:(round:int -> src:int -> dst:int -> 'm -> 'm) option ->
+    digest:('m -> int) option ->
+    ckpt:'s carrier option ->
+    carry:'m carrier option ->
+    trace:Trace.t option ->
+    init:(int -> 's) ->
+    emit:(int -> 's -> 'm) ->
+    merge:(int -> 's -> 'm list -> 's) ->
+    's array * int;
+}
+
+let transport_cell : transport option Atomic.t = Atomic.make None
+let set_transport tp = Atomic.set transport_cell tp
+let transport () = Atomic.get transport_cell
+
 let run_broadcast t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
     ?(label = "broadcast") ?trace ~init ~emit ~merge () =
   let tr = sink t trace in
@@ -434,8 +467,13 @@ let run_broadcast t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
       (states, 0)
     end
     else
-      run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
-        ~trace:tr ~init ~emit ~merge ()
+      match transport () with
+      | Some tp ->
+          tp.exec t ~rounds ~size ~corrupt ~digest ~ckpt ~carry ~trace:tr
+            ~init ~emit ~merge
+      | None ->
+          run_broadcast_faulty t ~rounds ?size ?corrupt ?digest ?ckpt ?carry
+            ~trace:tr ~init ~emit ~merge ()
   in
   (* The clock counts broadcast rounds only (fault verdict coordinates);
      catch-up replay by recovering nodes is charged to the rounds meter on

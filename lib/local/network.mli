@@ -233,6 +233,48 @@ val run_broadcast :
     [label] names the phase in trace events; [trace] overrides the
     network's sink for this phase. *)
 
+(** {1 Pluggable transport}
+
+    {!Ls_shard.Exec} installs a transport to run faulty broadcast phases
+    across worker OS processes.  The hook replaces only the {e interior}
+    of the faulty path: the {!run_broadcast} wrapper still emits
+    phase-boundary events, advances the clock, charges rounds and records
+    phase metrics.  A transport must therefore do exactly what the
+    in-process faulty executor does — mutate the network's meters,
+    pending copies and checkpoint store (via [Internal]), emit interior
+    fault events to the given sink, and return final states plus the
+    catch-up round count.  The zero-fault path never consults the
+    transport: pristine runs stay bit-identical to the pre-fault
+    runtime no matter what is installed. *)
+
+type transport = {
+  exec :
+    'i 'm 's.
+    'i t ->
+    rounds:int ->
+    size:('m -> int) option ->
+    corrupt:(round:int -> src:int -> dst:int -> 'm -> 'm) option ->
+    digest:('m -> int) option ->
+    ckpt:'s carrier option ->
+    carry:'m carrier option ->
+    trace:Ls_obs.Trace.t option ->
+    init:(int -> 's) ->
+    emit:(int -> 's -> 'm) ->
+    merge:(int -> 's -> 'm list -> 's) ->
+    's array * int;
+}
+(** One polymorphic executor serving every (input, message, state)
+    instantiation — the arguments are {!run_broadcast}'s, with the
+    options made explicit and the trace already resolved to the phase
+    sink. *)
+
+val set_transport : transport option -> unit
+(** Install ([Some]) or remove ([None]) the process-global transport.
+    Workers forked by a transport must clear it immediately after the
+    fork, or their own broadcast phases would recurse into it. *)
+
+val transport : unit -> transport option
+
 (**/**)
 
 (** Plumbing for the sibling event-driven executor {!Async} — the one

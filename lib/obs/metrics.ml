@@ -32,6 +32,9 @@ type snapshot = {
   sketch_adds : int;
   sketch_merges : int;
   sketch_evictions : int;
+  shard_spawns : int;
+  shard_restarts : int;
+  shard_probes : int;
   latency_hist : int array;
   batches : int;
   items : int;
@@ -73,6 +76,9 @@ let late_letters = Atomic.make 0
 let sketch_adds = Atomic.make 0
 let sketch_merges = Atomic.make 0
 let sketch_evictions = Atomic.make 0
+let shard_spawns = Atomic.make 0
+let shard_restarts = Atomic.make 0
+let shard_probes = Atomic.make 0
 
 (* Virtual-latency histogram: exponential buckets doubling from 0.25
    virtual time units; the last bucket is open-ended. *)
@@ -142,6 +148,9 @@ let record_late_letters k = add late_letters k
 let record_sketch_add () = bump sketch_adds
 let record_sketch_merge () = bump sketch_merges
 let record_sketch_eviction () = bump sketch_evictions
+let record_shard_spawn () = bump shard_spawns
+let record_shard_restart () = bump shard_restarts
+let record_shard_probe () = bump shard_probes
 
 let latency_bucket l =
   let rec go i =
@@ -205,6 +214,9 @@ let snapshot () =
     sketch_adds = Atomic.get sketch_adds;
     sketch_merges = Atomic.get sketch_merges;
     sketch_evictions = Atomic.get sketch_evictions;
+    shard_spawns = Atomic.get shard_spawns;
+    shard_restarts = Atomic.get shard_restarts;
+    shard_probes = Atomic.get shard_probes;
     latency_hist = Array.map Atomic.get latency_hist;
     batches = b;
     items = it;
@@ -246,6 +258,9 @@ let reset () =
       sketch_adds;
       sketch_merges;
       sketch_evictions;
+      shard_spawns;
+      shard_restarts;
+      shard_probes;
     ];
   Array.iter (fun c -> Atomic.set c 0) latency_hist;
   Mutex.lock pool_lock;
@@ -254,6 +269,102 @@ let reset () =
   max_queue := 0;
   per_domain := [||];
   Mutex.unlock pool_lock
+
+let empty =
+  {
+    phases = 0;
+    rounds = 0;
+    bits = 0;
+    messages = 0;
+    drops = 0;
+    duplicates = 0;
+    delays = 0;
+    corruptions = 0;
+    crashes = 0;
+    partitions = 0;
+    heals = 0;
+    checkpoints = 0;
+    restores = 0;
+    quarantines = 0;
+    dead_letters = 0;
+    attempts = 0;
+    retries = 0;
+    backoff_rounds = 0;
+    degradations = 0;
+    decompositions = 0;
+    decomposition_failures = 0;
+    timeouts = 0;
+    retransmits = 0;
+    acks = 0;
+    barriers = 0;
+    control_msgs = 0;
+    late_letters = 0;
+    sketch_adds = 0;
+    sketch_merges = 0;
+    sketch_evictions = 0;
+    shard_spawns = 0;
+    shard_restarts = 0;
+    shard_probes = 0;
+    latency_hist = [||];
+    batches = 0;
+    items = 0;
+    max_queue = 0;
+    per_domain = [||];
+  }
+
+(* Merge a worker process's counter delta into this process's counters —
+   the shard runtime resets in the (forked) worker, snapshots at its end,
+   ships the snapshot, and the parent absorbs it here.  Every field is a
+   sum except [max_queue] (a max); [per_domain] adds index-wise. *)
+let absorb (d : snapshot) =
+  if enabled () then begin
+    add phases d.phases;
+    add rounds d.rounds;
+    add bits d.bits;
+    add messages d.messages;
+    add drops d.drops;
+    add duplicates d.duplicates;
+    add delays d.delays;
+    add corruptions d.corruptions;
+    add crashes d.crashes;
+    add partitions d.partitions;
+    add heals d.heals;
+    add checkpoints d.checkpoints;
+    add restores d.restores;
+    add quarantines d.quarantines;
+    add dead_letters d.dead_letters;
+    add attempts d.attempts;
+    add retries d.retries;
+    add backoff_rounds d.backoff_rounds;
+    add degradations d.degradations;
+    add decompositions d.decompositions;
+    add decomposition_failures d.decomposition_failures;
+    add timeouts d.timeouts;
+    add retransmits d.retransmits;
+    add acks d.acks;
+    add barriers d.barriers;
+    add control_msgs d.control_msgs;
+    add late_letters d.late_letters;
+    add sketch_adds d.sketch_adds;
+    add sketch_merges d.sketch_merges;
+    add sketch_evictions d.sketch_evictions;
+    add shard_spawns d.shard_spawns;
+    add shard_restarts d.shard_restarts;
+    add shard_probes d.shard_probes;
+    Array.iteri (fun i k -> add latency_hist.(i) k) d.latency_hist;
+    Mutex.lock pool_lock;
+    batches := !batches + d.batches;
+    items := !items + d.items;
+    if d.max_queue > !max_queue then max_queue := d.max_queue;
+    let need = Array.length d.per_domain in
+    if Array.length !per_domain < need then begin
+      let grown = Array.make need 0 in
+      Array.blit !per_domain 0 grown 0 (Array.length !per_domain);
+      per_domain := grown
+    end;
+    Array.iteri (fun i k -> !per_domain.(i) <- !per_domain.(i) + k) d.per_domain;
+    Mutex.unlock pool_lock
+  end
 
 let print oc s =
   let p fmt = Printf.fprintf oc fmt in
@@ -281,6 +392,9 @@ let print oc s =
   if s.sketch_adds > 0 || s.sketch_merges > 0 || s.sketch_evictions > 0 then
     p "  sketch: adds %d  merges %d  evictions %d\n" s.sketch_adds
       s.sketch_merges s.sketch_evictions;
+  if s.shard_spawns > 0 || s.shard_restarts > 0 then
+    p "  shards: spawns %d  restarts %d  probes %d\n" s.shard_spawns
+      s.shard_restarts s.shard_probes;
   if Array.exists (fun k -> k > 0) s.latency_hist then begin
     p "  latency:";
     Array.iteri

@@ -48,6 +48,12 @@ type snapshot = {
   sketch_merges : int;  (** Sketch merge operations (CMS and bottom-k). *)
   sketch_evictions : int;
       (** Bottom-k keys displaced after admission — a saturation signal. *)
+  shard_spawns : int;  (** Worker processes forked by {!Ls_shard}. *)
+  shard_restarts : int;
+      (** Workers re-forked after a death ([kill -9], crash, hang). *)
+  shard_probes : int;
+      (** Supervisor liveness probes fired on heartbeat silence.  Wall-
+          clock driven, so scheduling-dependent like [per_domain]. *)
   latency_hist : int array;
       (** Virtual link-latency histogram over {!latency_bounds} buckets
           (last bucket open-ended). *)
@@ -89,6 +95,9 @@ val record_late_letters : int -> unit
 val record_sketch_add : unit -> unit
 val record_sketch_merge : unit -> unit
 val record_sketch_eviction : unit -> unit
+val record_shard_spawn : unit -> unit
+val record_shard_restart : unit -> unit
+val record_shard_probe : unit -> unit
 
 val latency_bounds : float array
 (** Upper bounds of the latency histogram buckets (exponential, doubling
@@ -107,5 +116,19 @@ val record_batch : items:int -> per_worker:int array -> unit
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit
+
+val empty : snapshot
+(** The all-zero snapshot ([latency_hist] and [per_domain] empty) — the
+    identity of {!absorb}, and a base for record updates when building a
+    delta by hand. *)
+
+val absorb : snapshot -> unit
+(** Merge a snapshot into the live counters: every field adds, except
+    [max_queue] (pointwise max) and [per_domain]/[latency_hist] (index-
+    wise add).  This is how {!Ls_shard} folds a worker process's counter
+    delta — the worker {!reset}s its (forked, private) copy, runs,
+    {!snapshot}s, and ships the result to the parent.  No-op while
+    disabled. *)
+
 val print : out_channel -> snapshot -> unit
 (** Human-readable summary table (the [--metrics] output). *)

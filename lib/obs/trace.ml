@@ -45,6 +45,8 @@ type event =
       decomposition_rounds : int;
     }
   | Batch of { items : int }
+  | Shard_spawn of { shard : int; incarnation : int }
+  | Shard_restart of { shard : int; incarnation : int; restored_round : int }
   | Mark of { label : string }
 
 type t = {
@@ -153,6 +155,12 @@ let json_of_event ~ts ev =
           locality colors clusters failures max_cluster_radius rounds
           decomposition_rounds
     | Batch { items } -> p {|"ev":"batch","items":%d|} items
+    | Shard_spawn { shard; incarnation } ->
+        p {|"ev":"shard_spawn","shard":%d,"incarnation":%d|} shard incarnation
+    | Shard_restart { shard; incarnation; restored_round } ->
+        p
+          {|"ev":"shard_restart","shard":%d,"incarnation":%d,"restored_round":%d|}
+          shard incarnation restored_round
     | Mark { label } -> p {|"ev":"mark","label":"%s"|} (json_escape label)
   in
   p {|{"ts":%.6f,%s}|} ts body
@@ -228,6 +236,11 @@ let capture f =
     Fun.protect ~finally:(fun () -> Domain.DLS.set scope prev) (fun () -> f ())
   in
   (r, List.rev !buf)
+
+(* Events alone, in emission order: what a worker process ships to its
+   parent (sinks hold channels and mutexes, so a recording itself cannot
+   cross a process boundary — only its event payloads can). *)
+let events_of_recording (r : recording) = List.map (fun (_, _, ev) -> ev) r
 
 let replay recording =
   List.iter

@@ -79,6 +79,13 @@ type event =
       decomposition_rounds : int;
     }
   | Batch of { items : int }  (** One {!Ls_par} fan-out completed. *)
+  | Shard_spawn of { shard : int; incarnation : int }
+      (** A sharded-execution worker process was forked (incarnation 0 at
+          launch; higher after supervisor restarts).  Payloads are
+          deterministic coordinates — never pids or timings. *)
+  | Shard_restart of { shard : int; incarnation : int; restored_round : int }
+      (** The supervisor re-forked a dead worker; [restored_round] is the
+          last round its checkpoint covered (-1 = started fresh). *)
   | Mark of { label : string }  (** Free-form deterministic marker. *)
 
 type t
@@ -134,5 +141,12 @@ val buffering_needed : unit -> bool
 val capture : (unit -> 'a) -> 'a * recording
 (** Run the thunk with all {!emit}s (to any sink) buffered; return them.
     Scopes nest: a {!replay} inside an enclosing scope re-buffers. *)
+
+val events_of_recording : recording -> event list
+(** The captured events in emission order, detached from their sinks —
+    the only part of a recording that can cross a process boundary.
+    {!Ls_shard} workers ship these; the parent re-emits them to its own
+    ambient sink, which collapses per-event sink targeting (one sink is
+    all the CLI ever installs). *)
 
 val replay : recording -> unit

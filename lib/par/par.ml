@@ -62,6 +62,24 @@ let release s =
   Mutex.unlock global_lock;
   if dead then Pool.shutdown s.pool
 
+(* Join the global pool's domains when idle — required before Unix.fork
+   (the runtime refuses to fork alongside live sibling domains).  A pool
+   mid-batch can only be retired; it dies on release. *)
+let quiesce () =
+  Mutex.lock global_lock;
+  let p =
+    match !global with
+    | Some s when s.refs = 0 ->
+        global := None;
+        Some s.pool
+    | Some s ->
+        s.retired <- true;
+        None
+    | None -> None
+  in
+  Mutex.unlock global_lock;
+  match p with Some p -> Pool.shutdown p | None -> ()
+
 let () =
   at_exit (fun () ->
       Mutex.lock global_lock;

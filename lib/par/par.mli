@@ -48,6 +48,12 @@ val set_domains : int -> unit
 (** Override the domain count for the process-global pool (CLI flags call
     this).  Must be ≥ 1.  Takes effect on the next parallel call. *)
 
+val quiesce : unit -> unit
+(** Shut down the process-global pool and join its domains if it is
+    idle (retire it otherwise).  Required before [Unix.fork]: the OCaml
+    runtime refuses to fork while sibling domains are live.  The next
+    parallel call transparently builds a fresh pool. *)
+
 val run_trials : ?domains:int -> n:int -> seed:int64 -> (Ls_rng.Rng.t -> 'a) -> 'a array
 (** [run_trials ~n ~seed f] is [[| f s_0; ...; f s_{n-1} |]] for the [n]
     seed-split streams of [seed], computed in parallel under the

@@ -1,0 +1,111 @@
+(* Per-shard checkpoint files: the durable half of kill -9 recovery.
+
+   A worker writes its phase state after every completed round; a
+   restarted incarnation loads the newest valid checkpoint and replays
+   from the round after it.  Two properties carry the whole recovery
+   story:
+
+   - {b Atomicity.}  The file is written to a [.tmp] sibling and
+     [Unix.rename]d into place, so a reader never observes a torn
+     checkpoint: it sees the previous complete one or the new complete
+     one, even if the writer is SIGKILLed mid-write.
+
+   - {b Self-validation.}  The format carries a magic, a version, the
+     run id, the (shard, phase, round) coordinates and a payload digest;
+     {!load} treats {e any} invalidity — wrong run, wrong shard, torn
+     tail, digest mismatch — as absence.  A stale or corrupt file can
+     delay recovery (the worker replays from scratch), never corrupt it. *)
+
+module Codec = Ls_sketch.Codec
+
+let magic = "LSCK"
+let version = 1
+
+type meta = { run_id : int64; shard : int; phase : int; round : int }
+
+let default_dir () =
+  match Sys.getenv_opt "LOCSAMPLE_SHARD_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> Filename.concat (Filename.get_temp_dir_name ()) "locsample-shard-ckpt"
+
+let path ~dir ~run_id ~shard =
+  Filename.concat dir (Printf.sprintf "shard-%016Lx-%d.ckpt" run_id shard)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let encode meta payload =
+  let buf = Buffer.create (String.length payload + 64) in
+  Buffer.add_string buf magic;
+  Codec.add_int buf version;
+  Codec.add_i64 buf meta.run_id;
+  Codec.add_int buf meta.shard;
+  Codec.add_int buf meta.phase;
+  Codec.add_int buf meta.round;
+  Codec.add_int buf (String.length payload);
+  Codec.add_i64 buf (Frame.digest64 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode s =
+  let ( let* ) = Result.bind in
+  let cur = ref 0 in
+  let* () = Codec.read_magic s cur magic in
+  let* v = Codec.read_int s cur in
+  if v <> version then Error "Ckpt: unknown version"
+  else
+    let* run_id = Codec.read_i64 s cur in
+    let* shard = Codec.read_int s cur in
+    let* phase = Codec.read_int s cur in
+    let* round = Codec.read_int s cur in
+    let* len = Codec.read_int s cur in
+    let* dg = Codec.read_i64 s cur in
+    if len < 0 || len > Codec.remaining s cur then
+      Error "Ckpt: payload length exceeds bytes present"
+    else begin
+      let payload = String.sub s !cur len in
+      cur := !cur + len;
+      if !cur <> String.length s then Error "Ckpt: trailing bytes"
+      else if not (Int64.equal (Frame.digest64 payload) dg) then
+        Error "Ckpt: payload digest mismatch"
+      else Ok ({ run_id; shard; phase; round }, payload)
+    end
+
+let save ~dir meta payload =
+  ensure_dir dir;
+  let final = path ~dir ~run_id:meta.run_id ~shard:meta.shard in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> Frame.write_string fd (encode meta payload));
+  Unix.rename tmp final
+
+let read_file p =
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          Some (really_input_string ic len))
+
+let load ~dir ~run_id ~shard =
+  let p = path ~dir ~run_id ~shard in
+  match read_file p with
+  | None -> None
+  | Some s -> (
+      match decode s with
+      | Error _ -> None
+      | Ok (meta, payload) ->
+          if Int64.equal meta.run_id run_id && meta.shard = shard then
+            Some (meta, payload)
+          else None)
+
+let remove ~dir ~run_id ~shard =
+  let p = path ~dir ~run_id ~shard in
+  (try Sys.remove p with Sys_error _ -> ());
+  try Sys.remove (p ^ ".tmp") with Sys_error _ -> ()

@@ -1,0 +1,34 @@
+(** Per-shard checkpoint files for kill -9 recovery.
+
+    Written atomically (temp file + [rename]), so a reader observes the
+    previous complete checkpoint or the new one — never a torn mix, even
+    when the writer is SIGKILLed mid-write.  The format is
+    self-validating (magic, version, run id, coordinates, payload
+    digest); {!load} treats any invalidity as absence, so corruption can
+    cost a replay from scratch but never poison recovery. *)
+
+type meta = { run_id : int64; shard : int; phase : int; round : int }
+
+val default_dir : unit -> string
+(** [$LOCSAMPLE_SHARD_DIR] when set and non-empty, else a fixed
+    subdirectory of the system temp dir. *)
+
+val path : dir:string -> run_id:int64 -> shard:int -> string
+
+val save : dir:string -> meta -> string -> unit
+(** Atomic write (creates [dir] if missing). *)
+
+val load : dir:string -> run_id:int64 -> shard:int -> (meta * string) option
+(** The shard's checkpoint, if present {e and} valid {e and} belonging
+    to this [run_id]. *)
+
+val remove : dir:string -> run_id:int64 -> shard:int -> unit
+(** Best-effort removal of the checkpoint and any temp sibling. *)
+
+(**/**)
+
+val encode : meta -> string -> string
+val decode : string -> (meta * string, string) result
+(** Pure codec, exposed for torn-file and fuzz tests. *)
+
+(**/**)

@@ -1,0 +1,99 @@
+(* Pure shard geometry and inter-shard message ordering.
+
+   Vertices are partitioned into contiguous blocks (shard 0 takes the
+   first block, and the first [n mod shards] blocks are one vertex
+   larger), so ownership is a closed-form function both parent and
+   every worker compute identically — nothing about the partition is
+   ever communicated.
+
+   Cross-shard traffic is ordered by the same (send round, sender id,
+   copy index) keys as {!Ls_local.Linksem}: an inbox slot merges parked
+   carry-in copies first (descending key order), then fresh copies
+   ascending.  Entry comparison lives here so the Exec worker and the
+   tests share one definition. *)
+
+let check ~shards ~n =
+  if shards < 1 then invalid_arg "Router: shards must be >= 1";
+  if n < 0 then invalid_arg "Router: n must be >= 0"
+
+(* Half-open vertex range [lo, hi) owned by [shard]. *)
+let range ~shards ~n shard =
+  check ~shards ~n;
+  if shard < 0 || shard >= shards then invalid_arg "Router.range: bad shard";
+  let base = n / shards and extra = n mod shards in
+  let lo = (shard * base) + min shard extra in
+  let hi = lo + base + if shard < extra then 1 else 0 in
+  (lo, hi)
+
+let owner ~shards ~n v =
+  check ~shards ~n;
+  if v < 0 || v >= n then invalid_arg "Router.owner: vertex out of range";
+  let base = n / shards and extra = n mod shards in
+  let cut = extra * (base + 1) in
+  if v < cut then v / (base + 1)
+  else if base = 0 then invalid_arg "Router.owner: vertex out of range"
+  else extra + ((v - cut) / base)
+
+(* Trial sharding for the sweep runner: same contiguous-block geometry
+   over trial indices. *)
+let trial_range ~shards ~trials shard = range ~shards ~n:trials shard
+
+(* One cross-shard (or checkpointed local) copy in flight: the payload
+   is opaque bytes (marshaled ['m]); everything else is the deterministic
+   coordinate key. *)
+type entry = {
+  e_slot : int;  (* inbox slot (phase-relative round) the copy is due *)
+  e_sent : int;  (* absolute round it was transmitted *)
+  e_src : int;
+  e_dst : int;
+  e_copy : int;
+  e_bytes : string;
+}
+
+let compare_entry a b =
+  compare
+    (a.e_slot, a.e_sent, a.e_src, a.e_dst, a.e_copy)
+    (b.e_slot, b.e_sent, b.e_src, b.e_dst, b.e_copy)
+
+module Codec = Ls_sketch.Codec
+
+let encode_entries buf es =
+  Codec.add_int buf (List.length es);
+  List.iter
+    (fun e ->
+      Codec.add_int buf e.e_slot;
+      Codec.add_int buf e.e_sent;
+      Codec.add_int buf e.e_src;
+      Codec.add_int buf e.e_dst;
+      Codec.add_int buf e.e_copy;
+      Codec.add_int buf (String.length e.e_bytes);
+      Buffer.add_string buf e.e_bytes)
+    es
+
+let decode_entries s cur =
+  let ( let* ) = Result.bind in
+  let* n = Codec.read_int s cur in
+  if n < 0 then Error "Router: negative entry count"
+  else begin
+    let rec go k acc =
+      if k = 0 then Ok (List.rev acc)
+      else
+        let* slot = Codec.read_int s cur in
+        let* sent = Codec.read_int s cur in
+        let* src = Codec.read_int s cur in
+        let* dst = Codec.read_int s cur in
+        let* copy = Codec.read_int s cur in
+        let* len = Codec.read_int s cur in
+        if len < 0 || len > Codec.remaining s cur then
+          Error "Router: entry payload exceeds bytes present"
+        else begin
+          let bytes = String.sub s !cur len in
+          cur := !cur + len;
+          go (k - 1)
+            ({ e_slot = slot; e_sent = sent; e_src = src; e_dst = dst;
+               e_copy = copy; e_bytes = bytes }
+            :: acc)
+        end
+    in
+    go n []
+  end

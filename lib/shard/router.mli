@@ -1,0 +1,37 @@
+(** Pure shard geometry and inter-shard message ordering.
+
+    Contiguous-block vertex ownership, computed identically (and
+    independently) by parent and workers, plus the wire codec for
+    cross-shard message entries.  Delivery order within an inbox slot
+    follows the same (send round, sender id, copy index) keys as
+    {!Ls_local.Linksem} — that shared keying is what makes a sharded run
+    bit-identical to the in-process executor. *)
+
+val range : shards:int -> n:int -> int -> int * int
+(** [range ~shards ~n s] is the half-open vertex interval [[lo, hi)]
+    owned by shard [s].  Ranges partition [[0, n)]; the first
+    [n mod shards] shards are one vertex larger. *)
+
+val owner : shards:int -> n:int -> int -> int
+(** The shard owning vertex [v] — the inverse of {!range}. *)
+
+val trial_range : shards:int -> trials:int -> int -> int * int
+(** Same geometry over trial indices, for the sweep runner. *)
+
+type entry = {
+  e_slot : int;  (** Inbox slot (phase-relative round) the copy is due. *)
+  e_sent : int;  (** Absolute round it was transmitted. *)
+  e_src : int;
+  e_dst : int;
+  e_copy : int;
+  e_bytes : string;  (** Marshaled payload — opaque at this layer. *)
+}
+
+val compare_entry : entry -> entry -> int
+(** Total order on the deterministic coordinate key
+    [(slot, sent, src, dst, copy)]. *)
+
+val encode_entries : Buffer.t -> entry list -> unit
+val decode_entries : string -> int ref -> (entry list, string) result
+(** Length-prefixed entry list codec; every length is validated against
+    the bytes present before any allocation. *)

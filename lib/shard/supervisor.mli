@@ -1,0 +1,67 @@
+(** Worker-process supervision: fork, watch, restart, classify.
+
+    Owns the generic lifecycle — socketpairs, the select loop, liveness
+    probes, SIGKILL-and-restart, budget accounting — while protocol
+    layers (Exec, Sweep) own frame semantics via [on_frame].  Frames
+    double as heartbeats: any frame resets the sender's silence clock.
+
+    Failure classification mirrors
+    {!Ls_local.Resilient.run_classified}: a single shard dying
+    repeatedly burns its restart budget with deterministic exponential
+    backoff and an exhausted budget raises {!Failed}[ (Transient, _)];
+    the whole fleet dead inside one grace window raises
+    {!Failed}[ (Permanent, _)] with the budgets unspent.  A worker that
+    hangs without dying (silent past [hang_probes] consecutive probes)
+    is SIGKILLed and takes the normal restart path.
+
+    Lifecycle is observable: incarnation 0 emits
+    {!Ls_obs.Trace.Shard_spawn}, restarts emit
+    {!Ls_obs.Trace.Shard_restart} (with the checkpointed round from
+    [restored_round]), and probes bump the [shard_probes] metric. *)
+
+type policy = {
+  restart_budget : int;  (** Restarts per shard before giving up. *)
+  backoff_base_ms : int;
+  backoff_factor : int;  (** Delay before restart k is base·factorᵏ. *)
+  hang_timeout_ms : int;  (** Silence before a liveness probe fires. *)
+  hang_probes : int;  (** Consecutive probes before SIGKILL. *)
+  all_dead_grace_ms : int;  (** Window for the all-dead scan. *)
+}
+
+val default_policy : policy
+(** Budget 3 (matching {!Ls_local.Resilient.default_policy}), 20 ms
+    base backoff doubling, 2 s probe timeout, 3 probes, 50 ms grace. *)
+
+type failure = Transient | Permanent
+
+exception Failed of failure * string
+
+type ctx = {
+  send : shard:int -> Frame.t -> unit;
+      (** Write a frame to a shard; a write to a freshly dead worker is
+          dropped (its death surfaces via the select loop). *)
+  mark_done : shard:int -> unit;
+      (** Declare a shard's protocol complete: its channel closes and
+          its exit is reaped; a later EOF is normal, not a death. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?trace:Ls_obs.Trace.t ->
+  ?restored_round:(shard:int -> int) ->
+  shards:int ->
+  body:(shard:int -> incarnation:int -> Unix.file_descr -> unit) ->
+  on_frame:(ctx -> shard:int -> Frame.t -> unit) ->
+  ?on_restart:(shard:int -> incarnation:int -> unit) ->
+  unit ->
+  unit
+(** Fork [shards] workers and supervise until every one is marked done.
+    [body] runs in the child with the transport cleared and the ambient
+    trace sink uninstalled, and must communicate only through its
+    descriptor (never stdout); it exits via [_exit].  [on_frame] runs in
+    the parent for every received frame.  [on_restart] runs just before
+    a replacement worker forks, so the protocol layer can reset its
+    per-shard state; [restored_round] supplies the round recorded in the
+    shard's checkpoint for the {!Ls_obs.Trace.Shard_restart} event.
+    Raises {!Failed} on budget exhaustion (transient) or fleet-wide
+    death (permanent); always reaps and closes everything it opened. *)

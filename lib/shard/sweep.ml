@@ -1,0 +1,186 @@
+(* Sharded trial sweeps: the multi-process counterpart of
+   {!Ls_par.Par.run_trials_timed}.
+
+   Each worker owns a contiguous trial range ({!Router.trial_range}) and
+   runs it sequentially.  Trial [i] is a pure function of the [i]-th
+   derived RNG stream, so the partition cannot change any result — and
+   per-trial trace events are captured in the worker, shipped back as
+   data, and re-emitted by the parent in trial-index order, exactly the
+   buffering discipline {!Ls_par.Par} uses across domains.  Metrics are
+   a reset/snapshot/absorb round trip per worker.
+
+   Fault tolerance mirrors {!Exec}: workers checkpoint completed trials
+   (results, events, seconds, metrics — all deterministic), a killed
+   worker is re-forked by the {!Supervisor} and resumes after the last
+   checkpointed trial, and every per-trial heartbeat frame doubles as a
+   liveness signal.  Kill specs address sweep trials as phase 0, round =
+   global trial index. *)
+
+module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
+module Trace = Ls_obs.Trace
+module Metrics = Ls_obs.Metrics
+module Splitmix = Ls_rng.Splitmix
+
+let k_hb = 16 (* worker -> parent: a = last completed trial index *)
+let k_done = 17 (* worker -> parent: payload = marshaled summary *)
+
+type 'a summary = {
+  sw_results : 'a array;  (* owned trial block, index i - lo *)
+  sw_events : Trace.event list array;  (* per owned trial *)
+  sw_secs : float array;
+  sw_metrics : Metrics.snapshot;
+}
+
+type 'a wstate = {
+  wt_trial : int;  (* last completed global trial index *)
+  wt_results : 'a option array;
+  wt_events : Trace.event list array;
+  wt_secs : float array;
+  wt_metrics : Metrics.snapshot;
+}
+
+let marshal v = Marshal.to_string v [ Marshal.Closures ]
+let unmarshal s : 'a = Marshal.from_string s 0
+
+let run_trials_timed (cfg : Exec.config) ~n ~seed (f : Rng.t -> 'a) :
+    'a array * Par.timing =
+  if n < 0 then invalid_arg "Sweep.run_trials_timed: n must be non-negative";
+  let t0 = Unix.gettimeofday () in
+  let shards = max 1 (min cfg.Exec.shards (max 1 n)) in
+  if n = 0 then
+    ([||], { Par.wall = Unix.gettimeofday () -. t0; per_trial = [||]; domains = shards })
+  else begin
+    let rngs = Rng.streams seed n in
+    let ship_events = Trace.buffering_needed () in
+    let run_id =
+      Splitmix.mix64
+        (Int64.logxor seed
+           (Int64.of_int ((n * 1_000_003) + Unix.getpid ())))
+    in
+    let body ~shard ~incarnation fd =
+      let lo, hi = Router.trial_range ~shards ~trials:n shard in
+      let nt = hi - lo in
+      (* A private in-memory sink so producers see a reachable sink and
+         capture scopes fill; the parent's sink (and its JSONL file)
+         belongs to the parent alone. *)
+      if ship_events then Trace.install (Trace.make ());
+      Metrics.reset ();
+      let ws =
+        let fresh =
+          {
+            wt_trial = lo - 1;
+            wt_results = Array.make (max nt 1) None;
+            wt_events = Array.make (max nt 1) [];
+            wt_secs = Array.make (max nt 1) 0.;
+            wt_metrics = Metrics.empty;
+          }
+        in
+        if incarnation = 0 then fresh
+        else
+          match Ckpt.load ~dir:cfg.Exec.dir ~run_id ~shard with
+          | Some (meta, payload) when meta.Ckpt.phase = 0 ->
+              (unmarshal payload : 'a wstate)
+          | _ -> fresh
+      in
+      (* Fold the checkpointed counter delta back in, so the final
+         snapshot covers the whole range regardless of incarnation. *)
+      Metrics.absorb ws.wt_metrics;
+      let results = ws.wt_results in
+      let events = ws.wt_events and secs = ws.wt_secs in
+      for i = ws.wt_trial + 1 to hi - 1 do
+        (match
+           Exec.kill_matches cfg.Exec.kills ~shard ~phase:0 ~round:i
+             ~incarnation
+         with
+        | Some k -> Exec.fire_kill k
+        | None -> ());
+        let s = Unix.gettimeofday () in
+        let r, evs =
+          if ship_events then
+            let r, rec_ = Trace.capture (fun () -> f rngs.(i)) in
+            (r, Trace.events_of_recording rec_)
+          else (f rngs.(i), [])
+        in
+        secs.(i - lo) <- Unix.gettimeofday () -. s;
+        results.(i - lo) <- Some r;
+        events.(i - lo) <- evs;
+        Frame.write_fd fd
+          { Frame.kind = k_hb; a = i; b = shard; c = 0; payload = "" };
+        if (i - lo + 1) mod cfg.Exec.ckpt_every = 0 && i < hi - 1 then
+          Ckpt.save ~dir:cfg.Exec.dir
+            { Ckpt.run_id; shard; phase = 0; round = i }
+            (marshal
+               {
+                 wt_trial = i;
+                 wt_results = results;
+                 wt_events = events;
+                 wt_secs = secs;
+                 wt_metrics = Metrics.snapshot ();
+               })
+      done;
+      let summary =
+        {
+          sw_results =
+            Array.init nt (fun i ->
+                match results.(i) with Some r -> r | None -> assert false);
+          sw_events = Array.sub events 0 (max nt 0);
+          sw_secs = Array.sub secs 0 (max nt 0);
+          sw_metrics = Metrics.snapshot ();
+        }
+      in
+      Frame.write_fd fd
+        { Frame.kind = k_done; a = hi - 1; b = shard; c = 0;
+          payload = marshal summary }
+    in
+    let summaries : 'a summary option array = Array.make shards None in
+    let on_frame ctx ~shard (fr : Frame.t) =
+      if fr.Frame.kind = k_done then begin
+        summaries.(shard) <- Some (unmarshal fr.Frame.payload : 'a summary);
+        ctx.Supervisor.mark_done ~shard
+      end
+      else if fr.Frame.kind <> k_hb then
+        raise
+          (Supervisor.Failed
+             (Supervisor.Permanent, "unexpected frame kind from sweep worker"))
+    in
+    let restored_round ~shard =
+      match Ckpt.load ~dir:cfg.Exec.dir ~run_id ~shard with
+      | Some (meta, _) when meta.Ckpt.phase = 0 -> meta.Ckpt.round
+      | _ -> -1
+    in
+    Supervisor.run ~policy:cfg.Exec.policy ~restored_round ~shards ~body
+      ~on_frame ();
+    for s = 0 to shards - 1 do
+      Ckpt.remove ~dir:cfg.Exec.dir ~run_id ~shard:s
+    done;
+    let summaries =
+      Array.map (function Some s -> s | None -> assert false) summaries
+    in
+    (* Reassemble in trial-index order: blocks are contiguous ascending. *)
+    let results =
+      Array.concat (Array.to_list (Array.map (fun s -> s.sw_results) summaries))
+    in
+    let per_trial =
+      Array.concat (Array.to_list (Array.map (fun s -> s.sw_secs) summaries))
+    in
+    (* Flush events in trial-index order, then close the batch — the
+       same stream {!Ls_par.Par.collect} would have produced. *)
+    if ship_events then begin
+      Array.iter
+        (fun s -> Array.iter (List.iter Trace.to_ambient) s.sw_events)
+        summaries;
+      Trace.to_ambient (Trace.Batch { items = n })
+    end;
+    if Metrics.enabled () then begin
+      Array.iter (fun s -> Metrics.absorb s.sw_metrics) summaries;
+      Metrics.record_batch ~items:n
+        ~per_worker:(Array.map (fun s -> Array.length s.sw_results) summaries)
+    end;
+    ( results,
+      {
+        Par.wall = Unix.gettimeofday () -. t0;
+        per_trial;
+        domains = shards;
+      } )
+  end

@@ -1,0 +1,22 @@
+(** Sharded trial sweeps: {!Ls_par.Par.run_trials_timed} across worker
+    OS processes with [kill -9] fault tolerance.
+
+    Each worker runs a contiguous trial block sequentially.  Trial [i]
+    is a pure function of the [i]-th derived RNG stream, so the
+    partition cannot change results; per-trial trace events are shipped
+    back and re-emitted in trial-index order (the {!Ls_par.Par}
+    buffering discipline), and metrics travel as snapshot deltas folded
+    in with {!Ls_obs.Metrics.absorb} — making sweep output bit-identical
+    to the in-process runner for any shard count.
+
+    Workers checkpoint completed trials every
+    [config.ckpt_every] trials; a worker killed mid-sweep is re-forked
+    and resumes after its last checkpoint.  Kill specs address sweep
+    trials as phase [0], round = global trial index. *)
+
+val run_trials_timed :
+  Exec.config -> n:int -> seed:int64 -> (Ls_rng.Rng.t -> 'a) -> 'a array * Ls_par.Par.timing
+(** Drop-in for {!Ls_par.Par.run_trials_timed} (the [domains] field of
+    the returned timing reports the shard count).  Raises
+    {!Supervisor.Failed} when the fleet cannot complete within its
+    restart budgets. *)

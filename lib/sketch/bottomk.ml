@@ -24,12 +24,14 @@ type t = {
   mutable worst : (float * int array) option;
 }
 
+let salt_of_seed seed = Splitmix.mix64 (Int64.logxor seed 0xB0770B0770B0770BL)
+
 let create ~k ~seed =
   if k < 1 then invalid_arg "Bottomk.create: k must be >= 1";
   {
     k;
     seed;
-    salt = Splitmix.mix64 (Int64.logxor seed 0xB0770B0770B0770BL);
+    salt = salt_of_seed seed;
     entries = Tbl.create (2 * k);
     total = 0;
     evictions = 0;
@@ -170,26 +172,50 @@ let to_string t =
     (sorted_entries t);
   Buffer.contents buf
 
+let decode s =
+  try
+    let cur = ref 0 in
+    Codec.check_magic s cur magic;
+    let k = Codec.get_int s cur in
+    let seed = Codec.get_i64 s cur in
+    let total = Codec.get_int s cur in
+    let n = Codec.get_int s cur in
+    if k < 1 then invalid_arg "Bottomk.create: k must be >= 1";
+    if n < 0 then invalid_arg "Bottomk.of_string: negative entry count";
+    if n > k then invalid_arg "Bottomk.of_string: more entries than k";
+    if total < 0 then invalid_arg "Bottomk.of_string: negative total";
+    (* Size the table by the entries actually present, never by the
+       declared k: a crafted 40-byte header cannot force a 2k-slot
+       allocation.  (Hashtbl grows on demand if a legitimate sketch later
+       admits more keys.) *)
+    let t =
+      {
+        k;
+        seed;
+        salt = salt_of_seed seed;
+        entries = Tbl.create (2 * min k (n + 1));
+        total = 0;
+        evictions = 0;
+        worst = None;
+      }
+    in
+    for _ = 1 to n do
+      let len = Codec.get_int s cur in
+      if len < 0 then invalid_arg "Bottomk.of_string: negative key length";
+      if len > Codec.remaining s cur / 8 then
+        invalid_arg "Bottomk.of_string: declared key exceeds remaining bytes";
+      let key = Array.init len (fun _ -> Codec.get_int s cur) in
+      let count = Codec.get_int s cur in
+      Tbl.replace t.entries key { rank = rank t key; count }
+    done;
+    if !cur <> String.length s then
+      invalid_arg "Bottomk.of_string: trailing bytes after entries";
+    if Tbl.length t.entries = k then t.worst <- find_worst t;
+    t.total <- total;
+    Ok t
+  with Invalid_argument msg -> Error msg
+
 let of_string s =
-  let cur = ref 0 in
-  Codec.check_magic s cur magic;
-  let k = Codec.get_int s cur in
-  let seed = Codec.get_i64 s cur in
-  let total = Codec.get_int s cur in
-  let n = Codec.get_int s cur in
-  let t = create ~k ~seed in
-  if n > k then invalid_arg "Bottomk.of_string: more entries than k";
-  for _ = 1 to n do
-    let len = Codec.get_int s cur in
-    if len < 0 then invalid_arg "Bottomk.of_string: negative key length";
-    let key = Array.init len (fun _ -> Codec.get_int s cur) in
-    let count = Codec.get_int s cur in
-    Tbl.replace t.entries key { rank = rank t key; count }
-  done;
-  if !cur <> String.length s then
-    invalid_arg "Bottomk.of_string: trailing bytes after entries";
-  if Tbl.length t.entries = k then t.worst <- find_worst t;
-  t.total <- total;
-  t
+  match decode s with Ok t -> t | Error msg -> invalid_arg msg
 
 let digest t = Codec.digest (to_string t)

@@ -98,5 +98,11 @@ val of_string : string -> t
 (** Inverse of {!to_string}; raises [Invalid_argument] on malformed
     input. *)
 
+val decode : string -> (t, string) result
+(** Non-raising {!of_string}: malformed input (truncated fields, entry
+    count exceeding [k], a key length larger than the bytes that remain)
+    returns [Error] with the named reason.  The retained-key table is
+    sized by the entries actually present, never by the declared [k]. *)
+
 val digest : t -> string
 (** 16-hex fingerprint of {!to_string}. *)

@@ -98,22 +98,37 @@ let to_string t =
   Array.iter (fun row -> Array.iter (Codec.add_int buf) row) t.rows;
   Buffer.contents buf
 
+let decode s =
+  try
+    let cur = ref 0 in
+    Codec.check_magic s cur magic;
+    let width = Codec.get_int s cur in
+    let depth = Codec.get_int s cur in
+    let seed = Codec.get_i64 s cur in
+    let total = Codec.get_int s cur in
+    if width < 1 || depth < 1 then
+      invalid_arg "Cms.of_string: width and depth must be >= 1";
+    if total < 0 then invalid_arg "Cms.of_string: negative total";
+    (* The declared width x depth table must actually be present before
+       any allocation is sized by it: a crafted header cannot force a
+       giant table out of a short string.  (Divide, don't multiply —
+       width * depth * 8 could overflow.) *)
+    let rem = Codec.remaining s cur in
+    if depth > rem / 8 || width > rem / (8 * depth) then
+      invalid_arg "Cms.of_string: declared table exceeds remaining bytes";
+    let t = create ~width ~depth ~seed in
+    for row = 0 to depth - 1 do
+      for i = 0 to width - 1 do
+        t.rows.(row).(i) <- Codec.get_int s cur
+      done
+    done;
+    if !cur <> String.length s then
+      invalid_arg "Cms.of_string: trailing bytes after table";
+    t.total <- total;
+    Ok t
+  with Invalid_argument msg -> Error msg
+
 let of_string s =
-  let cur = ref 0 in
-  Codec.check_magic s cur magic;
-  let width = Codec.get_int s cur in
-  let depth = Codec.get_int s cur in
-  let seed = Codec.get_i64 s cur in
-  let total = Codec.get_int s cur in
-  let t = create ~width ~depth ~seed in
-  for row = 0 to depth - 1 do
-    for i = 0 to width - 1 do
-      t.rows.(row).(i) <- Codec.get_int s cur
-    done
-  done;
-  if !cur <> String.length s then
-    invalid_arg "Cms.of_string: trailing bytes after table";
-  t.total <- total;
-  t
+  match decode s with Ok t -> t | Error msg -> invalid_arg msg
 
 let digest t = Codec.digest (to_string t)

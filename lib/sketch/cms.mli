@@ -70,5 +70,11 @@ val of_string : string -> t
 (** Inverse of {!to_string}; raises [Invalid_argument] on malformed
     input. *)
 
+val decode : string -> (t, string) result
+(** Non-raising {!of_string}: truncated, oversized, bad-magic, or
+    trailing-byte input returns [Error] with the named reason, and no
+    allocation is ever sized by an unvalidated length prefix.  This is
+    the entry point for bytes that crossed a process or file boundary. *)
+
 val digest : t -> string
 (** 16-hex fingerprint of {!to_string}, for table cells and logs. *)

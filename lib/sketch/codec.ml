@@ -24,6 +24,37 @@ let check_magic s cur magic =
   then invalid_arg (Printf.sprintf "Sketch codec: expected %S header" magic);
   cur := !cur + l
 
+(* Result-returning readers for decoders that must never raise (the
+   hardened [decode] entry points and the shard frame/checkpoint codecs).
+   Same wire format and error wording as the raising readers above. *)
+let read_i64 s cur =
+  if !cur + 8 > String.length s then
+    Error "Sketch codec: truncated serialization"
+  else begin
+    let v = String.get_int64_le s !cur in
+    cur := !cur + 8;
+    Ok v
+  end
+
+let read_int s cur =
+  match read_i64 s cur with
+  | Error _ as e -> e
+  | Ok v ->
+      let n = Int64.to_int v in
+      if Int64.of_int n <> v then Error "Sketch codec: field exceeds int"
+      else Ok n
+
+let read_magic s cur magic =
+  let l = String.length magic in
+  if !cur + l > String.length s || String.sub s !cur l <> magic then
+    Error (Printf.sprintf "Sketch codec: expected %S header" magic)
+  else begin
+    cur := !cur + l;
+    Ok ()
+  end
+
+let remaining s cur = String.length s - !cur
+
 let digest s =
   let h = ref 0x5345454BL in
   String.iter

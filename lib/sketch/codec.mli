@@ -24,6 +24,21 @@ val check_magic : string -> int ref -> string -> unit
 (** [check_magic s cur magic] consumes [magic] at the cursor or raises
     [Invalid_argument] naming the expected magic. *)
 
+(** {1 Non-raising readers}
+
+    The same wire format through [result]: what the hardened sketch
+    [decode] functions and the {!Ls_shard} frame/checkpoint codecs build
+    on, so malformed bytes from a socket or a torn file surface as a
+    named [Error], never an exception — and never an allocation sized by
+    an unvalidated length prefix (callers check {!remaining} first). *)
+
+val read_i64 : string -> int ref -> (int64, string) result
+val read_int : string -> int ref -> (int, string) result
+val read_magic : string -> int ref -> string -> (unit, string) result
+val remaining : string -> int ref -> int
+(** Bytes left after the cursor — the bound every length-prefixed
+    allocation must be validated against before it happens. *)
+
 val digest : string -> string
 (** 16-hex-digit digest of a byte string (a SplitMix64 fold): the
     fingerprint the benches print so a stdout diff across domain counts

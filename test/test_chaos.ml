@@ -106,6 +106,7 @@ let test_reproducer_round_trip () =
       o_corrupt = Some 0.02;
       o_profile = Some "lossy";
       o_partitions = [ (1, 4, 2); (6, 8, 3) ];
+      o_shards = None;
     }
   in
   let check spec =

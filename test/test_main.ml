@@ -1,6 +1,10 @@
 let () =
   Alcotest.run "locsample"
     [
+      (* The shard suite forks worker processes, and the runtime refuses
+         Unix.fork in a process that has ever created a domain — so it
+         must run before any suite that touches the domain pool. *)
+      ("shard", Test_shard.suite);
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);

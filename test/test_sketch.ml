@@ -423,6 +423,48 @@ let test_sketched_roundtrip_and_merge () =
     (Invalid_argument "Sketched.deserialize: trailing bytes") (fun () ->
       ignore (S.deserialize (s ^ "x")))
 
+let test_decode_fuzz_mutations () =
+  (* Satellite of the sharded-execution PR: every non-raising decoder
+     must map arbitrary single-byte mutations and truncations of valid
+     bytes to Ok or a named Error — never an exception, never an
+     allocation sized by an unvalidated length.  (The raising
+     [of_string]/[deserialize] wrappers stay for trusted round-trips;
+     frames arriving off a socketpair funnel through [decode].) *)
+  let rng = Rng.create 8081L in
+  let fuzz name enc decode =
+    let n = String.length enc in
+    (match decode enc with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: pristine bytes rejected: %s" name e);
+    for _ = 1 to 1_500 do
+      let b = Bytes.of_string enc in
+      Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256));
+      (match decode (Bytes.to_string b) with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "%s: mutation raised %s" name (Printexc.to_string e));
+      match decode (String.sub (Bytes.to_string b) 0 (Rng.int rng (n + 1))) with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "%s: truncation raised %s" name (Printexc.to_string e)
+    done;
+    match decode (enc ^ "x") with
+    | Ok _ -> Alcotest.failf "%s: trailing bytes accepted" name
+    | Error e -> checkb (name ^ " names the trailing-byte error") true
+        (String.length e > 0)
+  in
+  let rngs = Rng.create 7L in
+  let cms = Cms.create ~width:32 ~depth:3 ~seed:11L in
+  List.iter (Cms.add cms) (random_stream rngs 200);
+  fuzz "Cms" (Cms.to_string cms) Cms.decode;
+  let bk = Bottomk.create ~k:16 ~seed:11L in
+  List.iter (Bottomk.add bk) (random_stream rngs 200);
+  fuzz "Bottomk" (Bottomk.to_string bk) Bottomk.decode;
+  let module S = Empirical.Sketched in
+  let sk = S.create ~width:32 ~depth:2 ~k:8 ~seed:3L () in
+  List.iter (S.add sk) (random_stream rngs 200);
+  fuzz "Sketched" (S.serialize sk) S.decode
+
 let test_sketched_tv_against () =
   let module S = Empirical.Sketched in
   (* A wide sketch on a 2-point support reproduces the exact frequencies,
@@ -515,6 +557,8 @@ let suite =
       test_sketched_counts_dominate;
     Alcotest.test_case "sketched domain/chunk invariance" `Quick
       test_sketched_domain_and_chunk_invariant;
+    Alcotest.test_case "decode fuzz (mutated bytes)" `Quick
+      test_decode_fuzz_mutations;
     Alcotest.test_case "sketched round-trip and merge" `Quick
       test_sketched_roundtrip_and_merge;
     Alcotest.test_case "sketched tv on support" `Quick test_sketched_tv_against;
