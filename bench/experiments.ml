@@ -1522,6 +1522,305 @@ let e16 () =
       rows_b
   end
 
+(* ------------------------------------------------------------------ *)
+(* E17 — the serving daemon (Ls_serve): batch coalescing and cache     *)
+(* effectiveness in-process (deterministic), then request latency,     *)
+(* throughput and admission control against a live daemon.             *)
+(* ------------------------------------------------------------------ *)
+
+let e17_requests = ref 96
+
+(* The same deterministic mixed workload the CLI's `locsample query`
+   generates: sample/infer/count over a handful of small instances, with
+   request seeds drawn from a 4-seed pool so repeats hit the plan cache. *)
+let e17_stream ~seed ~n =
+  let module Protocol = Ls_serve.Protocol in
+  let rng = Rng.create seed in
+  let graphs = [| "cycle:24"; "path:16"; "grid:3x4"; "tree:2x3" |] in
+  let models = [| "hardcore:0.8"; "ising:0.3"; "coloring:5" |] in
+  let seed_pool = Array.init 4 (fun _ -> Rng.bits64 rng) in
+  let pick arr = arr.(Rng.int rng (Array.length arr)) in
+  List.init n (fun i ->
+      let draw = Rng.int rng 10 in
+      let op =
+        if draw < 6 then Protocol.Sample
+        else if draw < 8 then Protocol.Infer
+        else Protocol.Count
+      in
+      {
+        Protocol.id = i;
+        op;
+        seed = pick seed_pool;
+        graph = pick graphs;
+        model = pick models;
+        t = 1;
+        engine = "ball";
+        trials = (match op with Protocol.Sample -> 1 + Rng.int rng 4 | _ -> 1);
+        vertex = Rng.int rng 8;
+      })
+
+let e17 () =
+  let module Protocol = Ls_serve.Protocol in
+  let module Engine = Ls_serve.Engine in
+  let module Server = Ls_serve.Server in
+  let module Client = Ls_serve.Client in
+  let module Metrics = Ls_obs.Metrics in
+  let n = !e17_requests in
+  let stream = e17_stream ~seed:1700L ~n in
+  (* The daemon parts run the server IN THIS PROCESS (so its cache-hit and
+     rejection counters flow through Ls_obs here) and fork the load
+     clients — which must happen before anything creates a domain, the
+     same constraint E16 probes for. *)
+  let fork_ok =
+    Par.quiesce ();
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        true
+    | exception Failure _ -> false
+  in
+  let sock tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "locsample-e17-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  let addr_b = Server.Unix_path (sock "b") in
+  let addr_c = Server.Unix_path (sock "c") in
+  (* Client B: the mixed stream, pipeline 8, per-window latency.  Clients
+     write measurements to stderr only — stdout belongs to the parent. *)
+  let fork_client_b () =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (match Client.connect_retry ~attempts:600 ~delay_ms:100 addr_b with
+        | Error msg ->
+            Printf.eprintf "[e17 client b: connect failed: %s]\n%!" msg;
+            Unix._exit 1
+        | Ok c ->
+            let reqs = Array.of_list stream in
+            let lat = Array.make n 0. in
+            let pipeline = 8 in
+            let i = ref 0 in
+            let failed = ref false in
+            while !i < n do
+              let k = min pipeline (n - !i) in
+              let t0 = Unix.gettimeofday () in
+              for j = !i to !i + k - 1 do
+                Client.send c reqs.(j)
+              done;
+              for _ = 1 to k do
+                match Client.recv c with
+                | Error msg ->
+                    Printf.eprintf "[e17 client b: recv failed: %s]\n%!" msg;
+                    failed := true;
+                    i := n
+                | Ok resp ->
+                    let idx = resp.Protocol.rid in
+                    if idx >= 0 && idx < n then
+                      lat.(idx) <- Unix.gettimeofday () -. t0
+              done;
+              i := !i + k
+            done;
+            Client.close c;
+            if !failed then Unix._exit 1;
+            Array.sort compare lat;
+            let pct p = lat.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+            Printf.eprintf "[e17 daemon: p50 %.1f ms, p99 %.1f ms]\n%!"
+              (1000. *. pct 0.5) (1000. *. pct 0.99);
+            Unix._exit 0)
+    | pid -> pid
+  in
+  (* Client C: a 32-deep burst into a queue bound of 2 — the admission
+     smoke.  Overload verdicts are counted by the parent's Ls_obs
+     metrics; the client only checks every request is answered. *)
+  let burst = 32 in
+  let fork_client_c () =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (match Client.connect_retry ~attempts:1200 ~delay_ms:100 addr_c with
+        | Error msg ->
+            Printf.eprintf "[e17 client c: connect failed: %s]\n%!" msg;
+            Unix._exit 1
+        | Ok c ->
+            let reqs =
+              List.init burst (fun i ->
+                  {
+                    Protocol.id = i;
+                    op = Protocol.Sample;
+                    seed = 17L;
+                    graph = "cycle:24";
+                    model = "hardcore:0.8";
+                    t = 1;
+                    engine = "ball";
+                    trials = 2;
+                    vertex = 0;
+                  })
+            in
+            List.iter (fun r -> Client.send c r) reqs;
+            let ok = ref 0 in
+            for _ = 1 to burst do
+              match Client.recv c with Ok _ -> incr ok | Error _ -> ()
+            done;
+            Client.close c;
+            Unix._exit (if !ok = burst then 0 else 1))
+    | pid -> pid
+  in
+  (* Fork both load clients NOW, before part A touches the engine: once
+     the pool has created a domain the runtime refuses Unix.fork for the
+     rest of the process.  The clients retry connecting for minutes, so
+     they simply wait out part A. *)
+  let clients =
+    if fork_ok then Some (fork_client_b (), fork_client_c ()) else None
+  in
+  let was_metrics = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled was_metrics)
+  @@ fun () ->
+  (* Part A — in-process engine, fixed batch sizes: every column is a
+     pure function of the request stream (the batching the daemon applies
+     depends on arrival timing, so it is measured in part B instead). *)
+  let rows_a =
+    List.map
+      (fun batch_size ->
+        let e = Engine.create () in
+        let before = Metrics.snapshot () in
+        let t0 = Unix.gettimeofday () in
+        let rec go = function
+          | [] -> ()
+          | reqs ->
+              let k = min batch_size (List.length reqs) in
+              let batch = List.filteri (fun i _ -> i < k) reqs in
+              let rest = List.filteri (fun i _ -> i >= k) reqs in
+              ignore (Engine.submit_batch e batch);
+              go rest
+        in
+        go stream;
+        let wall = Unix.gettimeofday () -. t0 in
+        Printf.eprintf "[e17 batch=%d: %.2fs wall, %.0f req/s]\n%!" batch_size
+          wall
+          (float_of_int n /. Float.max wall 1e-9);
+        let after = Metrics.snapshot () in
+        let d f = f after - f before in
+        let hits = d (fun m -> m.Metrics.serve_cache_hits) in
+        let misses = d (fun m -> m.Metrics.serve_cache_misses) in
+        [
+          Table.i batch_size;
+          Table.i (d (fun m -> m.Metrics.serve_requests));
+          Table.i (d (fun m -> m.Metrics.serve_batches));
+          Table.i (d (fun m -> m.Metrics.serve_coalesced));
+          Table.i hits;
+          Table.i misses;
+          Table.f ~digits:3
+            (float_of_int hits /. Float.max (float_of_int (hits + misses)) 1.);
+        ])
+      [ 1; 8; 32 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E17  serving engine: batching and cache effect (%d-request mixed \
+          stream, seed 1700)"
+         n)
+    ~note:
+      "The same request stream submitted through Ls_serve.Engine at fixed\n\
+       batch sizes.  Larger batches coalesce same-instance requests onto\n\
+       one compiled model and share one parallel fan-out; the plan/instance\n\
+       LRUs absorb the 4-seed request pool.  Counters flow through\n\
+       Ls_obs.Metrics; every column is a pure function of the stream, so\n\
+       this table is domain-count invariant."
+    ~header:[ "batch"; "req"; "batches"; "coalesced"; "hits"; "miss"; "hitrate" ]
+    rows_a;
+  (* Parts B and C need the forked clients. *)
+  match clients with
+  | None ->
+      print_endline
+        "E17b serving daemon: skipped (domains already created; run section \
+         e17 alone)"
+  | Some (pid_b, pid_c) ->
+    (* Part B — live daemon, ample queue: latency/throughput measured by
+       the client (stderr); the daemon's own counters land here because
+       the server loop runs in this process. *)
+    let before = Metrics.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let stats_b =
+      Server.run
+        ~cfg:
+          (Server.config ~address:addr_b ~queue_bound:64 ~batch_max:32
+             ~max_requests:n ())
+        ()
+    in
+    let wall_b = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "[e17 daemon: %.2fs wall, %.0f req/s, %d batches]\n%!"
+      wall_b
+      (float_of_int n /. Float.max wall_b 1e-9)
+      stats_b.Protocol.st_batches;
+    let after = Metrics.snapshot () in
+    let hits = after.Metrics.serve_cache_hits - before.Metrics.serve_cache_hits in
+    let misses =
+      after.Metrics.serve_cache_misses - before.Metrics.serve_cache_misses
+    in
+    (* Part C — tiny queue, deep burst: admission control must reject. *)
+    let before_c = Metrics.snapshot () in
+    let stats_c =
+      Server.run
+        ~cfg:
+          (Server.config ~address:addr_c ~queue_bound:2 ~batch_max:2
+             ~max_requests:burst ())
+        ()
+    in
+    let after_c = Metrics.snapshot () in
+    let rejected_obs =
+      after_c.Metrics.serve_rejections - before_c.Metrics.serve_rejections
+    in
+    Printf.eprintf "[e17 admission: %d/%d rejected (queue bound 2)]\n%!"
+      stats_c.Protocol.st_rejected burst;
+    (match Unix.waitpid [] pid_b with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> Printf.eprintf "[e17 client b: nonzero exit]\n%!");
+    (match Unix.waitpid [] pid_c with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> Printf.eprintf "[e17 client c: nonzero exit]\n%!");
+    Table.print
+      ~title:"E17b  live daemon (unix socket, forked load clients)"
+      ~note:
+        "One daemon per row, serving in this process so its counters flow\n\
+         through Ls_obs.Metrics.  `mixed` answers the part-A stream from a\n\
+         pipelining client (p50/p99/throughput on stderr — they are\n\
+         measurements); `burst` pushes 32 requests into a queue bound of 2\n\
+         and must see Overloaded verdicts.  Batching columns depend on\n\
+         arrival timing, so only the admission verdict columns are\n\
+         deterministic here."
+      ~header:[ "phase"; "req"; "answered"; "rejected"; "hits"; "miss"; "ok" ]
+      [
+        [
+          "mixed";
+          Table.i n;
+          Table.i stats_b.Protocol.st_requests;
+          Table.i stats_b.Protocol.st_rejected;
+          Table.i hits;
+          Table.i misses;
+          (if stats_b.Protocol.st_rejected = 0 then "yes" else "NO");
+        ];
+        [
+          "burst";
+          Table.i burst;
+          Table.i stats_c.Protocol.st_requests;
+          Table.i stats_c.Protocol.st_rejected;
+          Table.i
+            (after_c.Metrics.serve_cache_hits - before_c.Metrics.serve_cache_hits);
+          Table.i
+            (after_c.Metrics.serve_cache_misses
+            - before_c.Metrics.serve_cache_misses);
+          (if rejected_obs >= 1 && rejected_obs = stats_c.Protocol.st_rejected
+           then "yes"
+           else "NO");
+        ];
+      ]
+
 let run_all () =
   e1 ();
   e2 ();
@@ -1539,4 +1838,5 @@ let run_all () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   decomp_ablation ()

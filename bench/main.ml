@@ -1,8 +1,8 @@
 (* Benchmark harness entry point.
 
-   `dune exec bench/main.exe` prints every experiment table (E1-E16, the
+   `dune exec bench/main.exe` prints every experiment table (E1-E17, the
    paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
-   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e16,
+   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e17,
    micro) to run a subset; `--domains K` pins the parallel engine's domain
    count (default: LOCSAMPLE_DOMAINS or the core count).
 
@@ -31,6 +31,7 @@ let sections =
     ("e14", Experiments.e14);
     ("e15", Experiments.e15);
     ("e16", Experiments.e16);
+    ("e17", Experiments.e17);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]
@@ -190,6 +191,14 @@ let parse_args argv =
   go [] (List.tl (Array.to_list argv))
 
 let () =
+  (* Same env contract as bin/locsample: malformed LOCSAMPLE_* values are
+     named errors at startup, not backtraces from the first parallel call. *)
+  List.iter
+    (fun check ->
+      match check () with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "%s\n" msg; exit 2)
+    [ Ls_par.Par.env_check; Ls_shard.Ckpt.env_check ];
   let requested =
     match parse_args Sys.argv with [] -> List.map fst sections | ids -> ids
   in

@@ -27,106 +27,29 @@ module Faults = Ls_local.Faults
 module Resilient = Ls_local.Resilient
 module Shard = Ls_shard.Exec
 module Sweep = Ls_shard.Sweep
+module Engine = Ls_serve.Engine
+module Server = Ls_serve.Server
+module Client = Ls_serve.Client
+module Protocol = Ls_serve.Protocol
 open Ls_core
 
-let parse_graph rng spec =
-  match String.split_on_char ':' spec with
-  | [ "cycle"; n ] -> Generators.cycle (int_of_string n)
-  | [ "path"; n ] -> Generators.path (int_of_string n)
-  | [ "tree-rand"; n ] -> Generators.random_tree rng (int_of_string n)
-  | [ "grid"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ r; c ] -> Generators.grid (int_of_string r) (int_of_string c)
-      | _ -> failwith "grid wants ROWSxCOLS")
-  | [ "tree"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ b; d ] ->
-          Generators.complete_tree ~branching:(int_of_string b)
-            ~depth:(int_of_string d)
-      | _ -> failwith "tree wants BRANCHINGxDEPTH")
-  | [ "regular"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ n; d ] ->
-          Generators.random_regular rng ~n:(int_of_string n) ~d:(int_of_string d)
-      | _ -> failwith "regular wants NxDEGREE")
-  | _ -> failwith (Printf.sprintf "cannot parse graph %S" spec)
+(* Spec parsing lives in the serving engine (Ls_serve.Engine) so the
+   daemon and the CLI reject exactly the same values with the same words;
+   here an [Error] becomes the CLI's named-error exit-2 contract. *)
 
-type model_instance = {
-  spec : Ls_gibbs.Spec.t;
-  describe : string;
-  render : int array -> string;
-}
+let die msg : 'a =
+  Printf.eprintf "locsample: %s\n" msg;
+  exit 2
 
-let parse_model g spec =
-  let render_binary sigma =
-    String.concat ""
-      (List.map string_of_int (Array.to_list sigma |> List.map (fun c -> c)))
-  in
-  match String.split_on_char ':' spec with
-  | [ "hardcore"; l ] ->
-      let lambda = float_of_string l in
-      {
-        spec = Models.hardcore g ~lambda;
-        describe = Printf.sprintf "hardcore(lambda=%g)" lambda;
-        render = render_binary;
-      }
-  | [ "ising"; b ] | [ "ising"; b; _ ] ->
-      let beta = float_of_string b in
-      let field =
-        match String.split_on_char ':' spec with
-        | [ _; _; f ] -> float_of_string f
-        | _ -> 1.
-      in
-      {
-        spec = Models.ising g ~beta ~field;
-        describe = Printf.sprintf "ising(beta=%g, field=%g)" beta field;
-        render = render_binary;
-      }
-  | [ "potts"; q; b ] ->
-      let q = int_of_string q and beta = float_of_string b in
-      {
-        spec = Models.potts g ~q ~beta;
-        describe = Printf.sprintf "potts(q=%d, beta=%g)" q beta;
-        render =
-          (fun sigma ->
-            String.concat "," (List.map string_of_int (Array.to_list sigma)));
-      }
-  | [ "coloring"; q ] ->
-      let q = int_of_string q in
-      {
-        spec = Models.coloring g ~q;
-        describe = Printf.sprintf "coloring(q=%d)" q;
-        render =
-          (fun sigma ->
-            String.concat ","
-              (List.map string_of_int (Array.to_list sigma)));
-      }
-  | [ "matching"; l ] ->
-      let lambda = float_of_string l in
-      let m = Matching.make g ~lambda in
-      {
-        spec = m.Matching.spec;
-        describe = Printf.sprintf "matching(lambda=%g) [on the line graph]" lambda;
-        render =
-          (fun sigma ->
-            String.concat " "
-              (List.map
-                 (fun (u, v) -> Printf.sprintf "%d-%d" u v)
-                 (Matching.matching_of_config m sigma)));
-      }
-  | _ -> failwith (Printf.sprintf "cannot parse model %S" spec)
+let or_die = function Ok v -> v | Error msg -> die msg
 
 let make_instance ~graph ~model ~seed =
   let rng = Rng.create (Int64.of_int seed) in
-  let g = parse_graph rng graph in
-  let m = parse_model g model in
-  (g, m, Instance.unpinned m.spec)
+  let g = or_die (Engine.parse_graph rng graph) in
+  let m = or_die (Engine.parse_model g model) in
+  (g, m, Instance.unpinned m.Engine.spec)
 
-let make_oracle ~engine ~t inst =
-  match engine with
-  | "ball" -> Inference.ssm_oracle ~t inst
-  | "saw" -> Inference.saw_oracle ~depth:t inst
-  | other -> failwith (Printf.sprintf "unknown engine %S (ball|saw)" other)
+let make_oracle ~engine ~t inst = or_die (Engine.make_oracle ~engine ~t inst)
 
 (* Flag validation funnels through the library constructors so the CLI and
    the API reject exactly the same values; the rejection path mirrors
@@ -282,7 +205,7 @@ let sample_many ~m ~inst ~oracle ~exact_jvv ~epsilon ~seed ~faults ~policy
          (Empirical.tv_against emp (Exact.joint inst)));
   (if successes > 0 then
      let sigma = snd (Option.get (Array.find_opt fst results)) in
-     Printf.printf "first successful sample: %s\n" (m.render sigma));
+     Printf.printf "first successful sample: %s\n" (m.Engine.render sigma));
   0
 
 let sample graph model t seed engine exact_jvv epsilon trials fault_rate
@@ -343,7 +266,7 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
   let faulty = not (Faults.is_none faults) || async <> None in
   let g, m, inst = make_instance ~graph ~model ~seed in
   Printf.printf "graph: %d vertices, %d edges; model: %s\n" (Graph.n g) (Graph.m g)
-    m.describe;
+    m.Engine.describe;
   let oracle = make_oracle ~engine ~t inst in
   (* Single runs shard the broadcast phases themselves (the transport
      hook); sweeps shard the trial range instead, so the transport stays
@@ -371,7 +294,7 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
          else "DEGRADED (partial sample)")
         (Resilient.describe s.Jvv.resilience)
         s.Jvv.total_rounds;
-      Printf.printf "sample: %s\n" (m.render s.Jvv.sresult.Jvv.y)
+      Printf.printf "sample: %s\n" (m.Engine.render s.Jvv.sresult.Jvv.y)
     end
     else begin
       let r =
@@ -384,7 +307,7 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
          else "degraded (partial sample)")
         (Resilient.describe (Option.get r.Local_sampler.resilience))
         r.Local_sampler.rounds;
-      Printf.printf "sample: %s\n" (m.render r.Local_sampler.sigma)
+      Printf.printf "sample: %s\n" (m.Engine.render r.Local_sampler.sigma)
     end;
     0
   end
@@ -399,7 +322,7 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
     Printf.printf "JVV exact sampler: %s (%d clamps), %d LOCAL rounds\n"
       (if result.Jvv.success then "success" else "LOCAL FAILURE (retry with another seed)")
       result.Jvv.clamped stats.Ls_local.Scheduler.rounds;
-    Printf.printf "sample: %s\n" (m.render result.Jvv.y)
+    Printf.printf "sample: %s\n" (m.Engine.render result.Jvv.y)
   end
   else begin
     let result = Local_sampler.sample oracle inst ~seed:(Int64.of_int seed) in
@@ -407,15 +330,15 @@ let sample graph model t seed engine exact_jvv epsilon trials fault_rate
       (if result.Local_sampler.success then "success" else "partial failure")
       result.Local_sampler.rounds
       result.Local_sampler.stats.Ls_local.Scheduler.colors;
-    Printf.printf "sample: %s\n" (m.render result.Local_sampler.sigma)
+    Printf.printf "sample: %s\n" (m.Engine.render result.Local_sampler.sigma)
   end;
   0
   end
 
 let infer graph model t seed engine vertex boosted =
   let g, m, inst = make_instance ~graph ~model ~seed in
-  if vertex < 0 || vertex >= Graph.n g then failwith "vertex out of range";
-  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.describe;
+  if vertex < 0 || vertex >= Graph.n g then die "vertex out of range";
+  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.Engine.describe;
   let oracle = make_oracle ~engine ~t inst in
   let oracle = if boosted then Boosting.boost oracle inst else oracle in
   let d = oracle.Inference.infer inst vertex in
@@ -426,7 +349,7 @@ let infer graph model t seed engine vertex boosted =
 
 let ssm graph model seed max_d =
   let g, m, inst = make_instance ~graph ~model ~seed in
-  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.describe;
+  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.Engine.describe;
   let rng = Rng.create (Int64.of_int (seed + 1)) in
   let curve = Ssm.decay_curve ~rng inst ~v:0 ~max_d in
   Printf.printf "%-4s %-12s %-12s %s\n" "d" "tv" "mult_err" "boundaries";
@@ -455,7 +378,7 @@ let phase branching depth lambdas =
 
 let count graph model t seed =
   let g, m, inst = make_instance ~graph ~model ~seed in
-  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.describe;
+  Printf.printf "graph: %d vertices; model: %s\n" (Graph.n g) m.Engine.describe;
   let oracle = Inference.ssm_oracle ~t inst in
   let order = Array.init (Instance.n inst) (fun i -> i) in
   let log_z = Reductions.estimate_log_partition oracle inst ~order in
@@ -498,11 +421,208 @@ let chaos seed schedules trials async_mode max_delay corrupt_rate profile
     1
   end
 
+(* --- serve / query ---------------------------------------------------- *)
+
+let parse_listen = function
+  | None -> Server.default_address ()
+  | Some s -> or_die (Server.parse_address s)
+
+let serve listen queue_bound batch_max cache plan_cache max_vertices
+    max_requests =
+  let cfg =
+    try
+      Server.config ~address:(parse_listen listen) ?queue_bound ?batch_max
+        ?instance_cache:cache ?plan_cache ?max_vertices ?max_requests ()
+    with Invalid_argument msg -> die msg
+  in
+  let st =
+    Server.run ~cfg
+      ~on_ready:(fun () ->
+        Printf.printf "serving on %s (queue %d, batch %d, cache %d/%d)\n%!"
+          (Server.address_to_string cfg.Server.address)
+          cfg.Server.queue_bound cfg.Server.batch_max cfg.Server.instance_cache
+          cfg.Server.plan_cache)
+      ()
+  in
+  Printf.printf
+    "served %d request(s) in %d batch(es): coalesced=%d hits=%d misses=%d \
+     evictions=%d rejected=%d max_queue=%d domains=%d\n"
+    st.Protocol.st_requests st.Protocol.st_batches st.Protocol.st_coalesced
+    st.Protocol.st_cache_hits st.Protocol.st_cache_misses
+    st.Protocol.st_evictions st.Protocol.st_rejected st.Protocol.st_max_queue
+    st.Protocol.st_domains;
+  0
+
+(* Deterministic transcript rendering: every float at full precision, so
+   the file byte-diffs clean across --domains counts (the CI smoke job
+   relies on this). *)
+let render_body (b : Protocol.body) =
+  match b with
+  | Protocol.Sample_r { trials; successes; distinct; first } ->
+      Printf.sprintf "sample trials=%d successes=%d distinct=%d first=[%s]"
+        trials successes distinct
+        (String.concat "," (List.map string_of_int (Array.to_list first)))
+  | Protocol.Infer_r { probs } ->
+      Printf.sprintf "infer probs=[%s]"
+        (String.concat ","
+           (List.map (Printf.sprintf "%.17g") (Array.to_list probs)))
+  | Protocol.Count_r { log_z } -> Printf.sprintf "count log_z=%.17g" log_z
+  | Protocol.Stats_r st ->
+      Printf.sprintf
+        "stats requests=%d batches=%d coalesced=%d hits=%d misses=%d \
+         evictions=%d rejected=%d max_queue=%d domains=%d"
+        st.Protocol.st_requests st.Protocol.st_batches st.Protocol.st_coalesced
+        st.Protocol.st_cache_hits st.Protocol.st_cache_misses
+        st.Protocol.st_evictions st.Protocol.st_rejected st.Protocol.st_max_queue
+        st.Protocol.st_domains
+  | Protocol.Error_r { code; message } ->
+      Printf.sprintf "error %s: %s" (Protocol.err_name code) message
+
+(* The query stream is a pure function of (--seed, --requests): a mixed
+   op workload over a handful of small instances, with request seeds
+   drawn from a 4-seed pool so repeated (instance, seed) pairs recur and
+   exercise the plan cache. *)
+let gen_requests ~seed ~n =
+  let rng = Rng.create (Int64.of_int seed) in
+  let graphs = [| "cycle:24"; "path:16"; "grid:3x4"; "tree:2x3" |] in
+  let models = [| "hardcore:0.8"; "ising:0.3"; "coloring:5" |] in
+  let seed_pool = Array.init 4 (fun _ -> Rng.bits64 rng) in
+  let pick arr = arr.(Rng.int rng (Array.length arr)) in
+  List.init n (fun i ->
+      let op_draw = Rng.int rng 10 in
+      let op =
+        if op_draw < 6 then Protocol.Sample
+        else if op_draw < 8 then Protocol.Infer
+        else Protocol.Count
+      in
+      let trials =
+        match op with Protocol.Sample -> 1 + Rng.int rng 4 | _ -> 1
+      in
+      {
+        Protocol.id = i;
+        op;
+        seed = pick seed_pool;
+        graph = pick graphs;
+        model = pick models;
+        t = 1;
+        engine = "ball";
+        trials;
+        vertex = Rng.int rng 8;
+      })
+
+let query connect requests pipeline seed transcript stats_flag =
+  if requests < 1 then die "--requests expects an integer >= 1";
+  if pipeline < 1 then die "--pipeline expects an integer >= 1";
+  let address = parse_listen connect in
+  let c =
+    match Client.connect_retry address with Ok c -> c | Error msg -> die msg
+  in
+  let reqs = Array.of_list (gen_requests ~seed ~n:requests) in
+  let n = Array.length reqs in
+  let responses = Array.make n None in
+  let lat = Array.make n 0. in
+  (* Pipelined windows: push K requests, then read K responses.  The
+     server answers Overloaded verdicts during its socket drain and
+     everything else after the batch runs, so responses can arrive out of
+     request order — the correlation id routes each one home. *)
+  let i = ref 0 in
+  while !i < n do
+    let k = min pipeline (n - !i) in
+    let t0 = Unix.gettimeofday () in
+    for j = !i to !i + k - 1 do
+      Client.send c reqs.(j)
+    done;
+    for _ = 1 to k do
+      match Client.recv c with
+      | Error msg -> die msg
+      | Ok resp ->
+          let idx = resp.Protocol.rid in
+          if idx < 0 || idx >= n then
+            die (Printf.sprintf "response id %d out of range" idx);
+          responses.(idx) <- Some resp;
+          lat.(idx) <- Unix.gettimeofday () -. t0
+    done;
+    i := !i + k
+  done;
+  (match transcript with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Array.iteri
+        (fun idx -> function
+          | Some resp ->
+              Printf.fprintf oc "%d %s\n" idx (render_body resp.Protocol.body)
+          | None -> Printf.fprintf oc "%d MISSING\n" idx)
+        responses;
+      close_out oc);
+  let count p = Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 responses in
+  let overloaded =
+    count (function
+      | Some { Protocol.body = Protocol.Error_r { code = Protocol.Overloaded; _ }; _ } ->
+          true
+      | _ -> false)
+  in
+  let errors =
+    count (function
+      | Some { Protocol.body = Protocol.Error_r _; _ } -> true
+      | _ -> false)
+  in
+  (* Latency is a measurement, not an output: stderr, like the sweep
+     timing line, so stdout and the transcript stay deterministic. *)
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let pct p = sorted.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  Printf.eprintf
+    "[%d request(s): %d ok, %d overloaded, %d other error; p50 %.1f ms, p99 \
+     %.1f ms]\n"
+    n (n - errors) overloaded (errors - overloaded)
+    (1000. *. pct 0.5) (1000. *. pct 0.99);
+  (if stats_flag then
+     let sreq =
+       {
+         Protocol.id = n;
+         op = Protocol.Stats;
+         seed = 0L;
+         graph = "-";
+         model = "-";
+         t = 0;
+         engine = "-";
+         trials = 1;
+         vertex = 0;
+       }
+     in
+     match Client.call c sreq with
+     | Error msg ->
+         Client.close c;
+         die msg
+     | Ok resp -> print_endline (render_body resp.Protocol.body));
+  Client.close c;
+  0
+
 (* --- cmdliner wiring -------------------------------------------------- *)
 
 open Cmdliner
 
+(* Validate every LOCSAMPLE_* environment variable up front, before any
+   subcommand runs.  Without this, a malformed LOCSAMPLE_DOMAINS only
+   surfaces at the first parallel call deep inside a subcommand — as an
+   Invalid_argument backtrace instead of the CLI's named-error exit-2
+   contract. *)
+let env_checks =
+  [ Par.env_check; Ls_shard.Ckpt.env_check; Ls_serve.Server.env_check ]
+
+let validate_env () =
+  List.iter
+    (fun check ->
+      match check () with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "locsample: %s\n" msg;
+          exit 2)
+    env_checks
+
 let setup_log style_renderer level domains trace metrics =
+  validate_env ();
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -784,10 +904,99 @@ let chaos_cmd =
              this command.")
     Term.(const (fun () a b c d e f g h i j -> chaos a b c d e f g h i j) $ setup_log_term $ seed_arg $ schedules $ trials $ async_mode $ max_delay $ corrupt_rate $ profile $ partitions $ shards $ reproducer)
 
+let serve_cmd =
+  let listen =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+         ~doc:"Listen address: unix:PATH, tcp:HOST:PORT, tcp:PORT \
+               (localhost), or a bare unix socket path.  Default: \
+               LOCSAMPLE_SERVE_SOCKET, else a socket under the system temp \
+               dir.")
+  in
+  let queue_bound =
+    Arg.(value & opt (some int) None & info [ "queue-bound" ] ~docv:"N"
+         ~doc:"Admission bound: a request arriving while $(docv) requests \
+               are queued is answered 'overloaded' immediately (default: \
+               LOCSAMPLE_SERVE_QUEUE, else 64).")
+  in
+  let batch_max =
+    Arg.(value & opt (some int) None & info [ "batch-max" ] ~docv:"N"
+         ~doc:"Most requests executed per engine batch (default 32). \
+               Same-instance requests in a batch coalesce onto one compiled \
+               model and one parallel trial fan-out.")
+  in
+  let cache =
+    Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N"
+         ~doc:"LRU capacity for compiled instances (default: \
+               LOCSAMPLE_SERVE_CACHE, else 64).")
+  in
+  let plan_cache =
+    Arg.(value & opt (some int) None & info [ "plan-cache" ] ~docv:"N"
+         ~doc:"LRU capacity for compiled Linial–Saks schedules (default \
+               1024).")
+  in
+  let max_vertices =
+    Arg.(value & opt (some int) None & info [ "max-vertices" ] ~docv:"N"
+         ~doc:"Reject request graphs larger than $(docv) vertices (default \
+               100000).")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N"
+         ~doc:"Exit after answering $(docv) requests (deterministic \
+               termination for tests and CI; default: serve until \
+               SIGTERM/SIGINT).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the batched sampling-as-a-service daemon.  Responses are a \
+             pure function of the request bytes (admission verdicts and \
+             stats aside): a request carries its seed, so the same request \
+             stream produces the same response bytes at any --domains \
+             count.")
+    Term.(const (fun () a b c d e f g -> serve a b c d e f g)
+          $ setup_log_term $ listen $ queue_bound $ batch_max $ cache
+          $ plan_cache $ max_vertices $ max_requests)
+
+let query_cmd =
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+         ~doc:"Daemon address (same syntax and default as serve --listen).")
+  in
+  let requests =
+    Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N"
+         ~doc:"Requests to send: a deterministic mixed sample/infer/count \
+               stream derived from --seed.")
+  in
+  let pipeline =
+    Arg.(value & opt int 8 & info [ "pipeline" ] ~docv:"K"
+         ~doc:"Pipeline depth: push $(docv) requests before reading their \
+               responses.  Depths beyond the daemon's queue bound provoke \
+               'overloaded' verdicts — the admission-control smoke test.")
+  in
+  let transcript =
+    Arg.(value & opt (some string) None & info [ "transcript" ] ~docv:"FILE"
+         ~doc:"Write one line per response to $(docv), ordered by request \
+               id with full-precision floats — byte-identical across \
+               daemon --domains counts when nothing is overloaded.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ]
+         ~doc:"Finish with a stats request and print the daemon's counters \
+               (requests, batches, coalesced, cache hits/misses/evictions, \
+               rejections, queue high-water, domains).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Load-test a running serve daemon with a deterministic request \
+             stream; report latency percentiles on stderr.")
+    Term.(const (fun () a b c d e f -> query a b c d e f)
+          $ setup_log_term $ connect $ requests $ pipeline $ seed_arg
+          $ transcript $ stats_flag)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "locsample" ~version:"1.0.0"
        ~doc:"Local distributed sampling and counting (Feng & Yin, PODC 2018)")
-    [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd; chaos_cmd ]
+    [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd; chaos_cmd;
+      serve_cmd; query_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -15,13 +15,22 @@ type result = {
   resilience : Resilient.report option;
 }
 
-let sample (oracle : Inference.oracle) ?trace inst ~seed =
+(* Randomness discipline shared by [plan] / [sample_planned] / [sample]:
+   [Rng.streams seed (n+1)] is pure per (seed, index), stream 0 drives the
+   decomposition and streams 1..n drive the nodes — so failures are
+   independent of the payload output, as Lemma 3.1 requires, and a plan
+   compiled once for [seed] composes with the node streams re-derived from
+   the same [seed] to reproduce [sample] bit for bit. *)
+
+let plan (oracle : Inference.oracle) inst ~seed =
   let n = Instance.n inst in
-  (* Independent randomness: stream 0 drives the decomposition, streams
-     1..n drive the nodes — so failures are independent of the payload
-     output, as Lemma 3.1 requires. *)
   let streams = Rng.streams seed (n + 1) in
-  let decomposition_rng = streams.(0) in
+  Scheduler.compile_plan ~graph:(Instance.graph inst)
+    ~locality:oracle.Inference.radius ~rng:streams.(0) ()
+
+let sample_planned (oracle : Inference.oracle) ~plan ?trace inst ~seed =
+  let n = Instance.n inst in
+  let streams = Rng.streams seed (n + 1) in
   let node_rng v = streams.(v + 1) in
   let sigma = ref [||] in
   let run ~order =
@@ -36,10 +45,7 @@ let sample (oracle : Inference.oracle) ?trace inst ~seed =
       order;
     sigma := Array.copy !current.Instance.pinned
   in
-  let stats =
-    Scheduler.compile ~graph:(Instance.graph inst)
-      ~locality:oracle.Inference.radius ~rng:decomposition_rng ?trace ~run ()
-  in
+  let stats = Scheduler.run_plan plan ?trace ~run () in
   {
     sigma = !sigma;
     failed = stats.Scheduler.failed;
@@ -48,6 +54,10 @@ let sample (oracle : Inference.oracle) ?trace inst ~seed =
     stats;
     resilience = None;
   }
+
+let sample (oracle : Inference.oracle) ?trace inst ~seed =
+  let plan = plan oracle inst ~seed in
+  sample_planned oracle ~plan ?trace inst ~seed
 
 let count_failed failed =
   Array.fold_left (fun a f -> if f then a + 1 else a) 0 failed

@@ -31,7 +31,28 @@ val sample :
 (** One LOCAL execution: fresh decomposition randomness and fresh per-node
     sampling streams, both derived from [seed] but independent of each
     other.  Decomposition stats are emitted to [trace] (or the ambient
-    sink, see {!Ls_obs.Trace}). *)
+    sink, see {!Ls_obs.Trace}).  Equivalent to
+    [sample_planned oracle ~plan:(plan oracle inst ~seed) inst ~seed]. *)
+
+val plan : Inference.oracle -> Instance.t -> seed:int64 -> Ls_local.Scheduler.plan
+(** The compilation half of {!sample} alone: the decomposition and the
+    realized ordering, driven by stream 0 of [seed]'s split — no payload
+    runs, nothing is traced.  The plan is a pure function of
+    (oracle radius, instance graph, seed), so the serving engine caches it
+    keyed on the canonical request hash. *)
+
+val sample_planned :
+  Inference.oracle ->
+  plan:Ls_local.Scheduler.plan ->
+  ?trace:Ls_obs.Trace.t ->
+  Instance.t ->
+  seed:int64 ->
+  result
+(** The execution half of {!sample} against a (possibly cached) plan:
+    re-derives the node streams 1..n from [seed] and runs the chain-rule
+    payload on the plan's ordering.  [sample_planned ~plan:(plan o i ~seed)]
+    is bit-identical to [sample] — streams are pure per (seed, index), so
+    splitting the call in two consumes the same draws in the same order. *)
 
 val sample_resilient :
   Inference.oracle ->

@@ -34,6 +34,43 @@ type stats = {
   failed : bool array;
 }
 
+type plan = {
+  p_locality : int;
+  p_order : int array;
+      (** The realized global ordering [π] (failed vertices appended last). *)
+  p_failed : bool array;
+  p_rounds : int;
+  p_decomposition_rounds : int;
+  p_colors : int;
+  p_clusters : int;
+  p_max_cluster_radius : int;
+  p_failures : int;
+}
+(** A compiled schedule: the expensive half of {!compile} — power graph,
+    Linial–Saks decomposition, realized ordering, round bill — detached
+    from any payload.  A plan is a pure function of
+    [(graph, locality, rng draw sequence, caps)] and holds no reference to
+    the graph, so it can be cached and replayed against many payloads
+    (the serving engine keys an LRU of plans on the canonical request
+    hash). *)
+
+val compile_plan :
+  graph:Ls_graph.Graph.t ->
+  locality:int ->
+  rng:Ls_rng.Rng.t ->
+  ?radius_cap:int ->
+  ?phase_cap:int ->
+  unit ->
+  plan
+(** Build the schedule only; no payload runs, nothing is traced.  Consumes
+    exactly the same draws from [rng] as {!compile} does. *)
+
+val run_plan : plan -> ?trace:Ls_obs.Trace.t -> run:(order:int array -> unit) -> unit -> stats
+(** Execute a payload against a (possibly cached) plan: invokes
+    [run ~order] once, then emits the Decomposition trace event and
+    metrics, exactly as {!compile} would — a cache hit is observationally
+    identical to a fresh compilation. *)
+
 val compile :
   graph:Ls_graph.Graph.t ->
   locality:int ->
@@ -50,4 +87,5 @@ val compile :
     the end of [order] so the payload still produces a total output (their
     outputs are discarded by the failure flags, as in the paper's model
     where failures only gate the conditional guarantee).  The realized
-    decomposition stats are emitted to [trace] (or the ambient sink). *)
+    decomposition stats are emitted to [trace] (or the ambient sink).
+    Equivalent to [run_plan (compile_plan ...) ~trace ~run ()]. *)

@@ -35,6 +35,13 @@ type snapshot = {
   shard_spawns : int;
   shard_restarts : int;
   shard_probes : int;
+  serve_requests : int;
+  serve_batches : int;
+  serve_coalesced : int;
+  serve_cache_hits : int;
+  serve_cache_misses : int;
+  serve_cache_evictions : int;
+  serve_rejections : int;
   latency_hist : int array;
   batches : int;
   items : int;
@@ -79,6 +86,13 @@ let sketch_evictions = Atomic.make 0
 let shard_spawns = Atomic.make 0
 let shard_restarts = Atomic.make 0
 let shard_probes = Atomic.make 0
+let serve_requests = Atomic.make 0
+let serve_batches = Atomic.make 0
+let serve_coalesced = Atomic.make 0
+let serve_cache_hits = Atomic.make 0
+let serve_cache_misses = Atomic.make 0
+let serve_cache_evictions = Atomic.make 0
+let serve_rejections = Atomic.make 0
 
 (* Virtual-latency histogram: exponential buckets doubling from 0.25
    virtual time units; the last bucket is open-ended. *)
@@ -152,6 +166,19 @@ let record_shard_spawn () = bump shard_spawns
 let record_shard_restart () = bump shard_restarts
 let record_shard_probe () = bump shard_probes
 
+let record_serve_batch ~requests ~coalesced =
+  if enabled () then begin
+    add serve_requests requests;
+    bump serve_batches;
+    add serve_coalesced coalesced
+  end
+
+let record_serve_cache ~hit =
+  if hit then bump serve_cache_hits else bump serve_cache_misses
+
+let record_serve_cache_eviction () = bump serve_cache_evictions
+let record_serve_rejection () = bump serve_rejections
+
 let latency_bucket l =
   let rec go i =
     if i >= Array.length latency_bounds then Array.length latency_bounds
@@ -217,6 +244,13 @@ let snapshot () =
     shard_spawns = Atomic.get shard_spawns;
     shard_restarts = Atomic.get shard_restarts;
     shard_probes = Atomic.get shard_probes;
+    serve_requests = Atomic.get serve_requests;
+    serve_batches = Atomic.get serve_batches;
+    serve_coalesced = Atomic.get serve_coalesced;
+    serve_cache_hits = Atomic.get serve_cache_hits;
+    serve_cache_misses = Atomic.get serve_cache_misses;
+    serve_cache_evictions = Atomic.get serve_cache_evictions;
+    serve_rejections = Atomic.get serve_rejections;
     latency_hist = Array.map Atomic.get latency_hist;
     batches = b;
     items = it;
@@ -261,6 +295,13 @@ let reset () =
       shard_spawns;
       shard_restarts;
       shard_probes;
+      serve_requests;
+      serve_batches;
+      serve_coalesced;
+      serve_cache_hits;
+      serve_cache_misses;
+      serve_cache_evictions;
+      serve_rejections;
     ];
   Array.iter (fun c -> Atomic.set c 0) latency_hist;
   Mutex.lock pool_lock;
@@ -305,6 +346,13 @@ let empty =
     shard_spawns = 0;
     shard_restarts = 0;
     shard_probes = 0;
+    serve_requests = 0;
+    serve_batches = 0;
+    serve_coalesced = 0;
+    serve_cache_hits = 0;
+    serve_cache_misses = 0;
+    serve_cache_evictions = 0;
+    serve_rejections = 0;
     latency_hist = [||];
     batches = 0;
     items = 0;
@@ -351,6 +399,13 @@ let absorb (d : snapshot) =
     add shard_spawns d.shard_spawns;
     add shard_restarts d.shard_restarts;
     add shard_probes d.shard_probes;
+    add serve_requests d.serve_requests;
+    add serve_batches d.serve_batches;
+    add serve_coalesced d.serve_coalesced;
+    add serve_cache_hits d.serve_cache_hits;
+    add serve_cache_misses d.serve_cache_misses;
+    add serve_cache_evictions d.serve_cache_evictions;
+    add serve_rejections d.serve_rejections;
     Array.iteri (fun i k -> add latency_hist.(i) k) d.latency_hist;
     Mutex.lock pool_lock;
     batches := !batches + d.batches;
@@ -395,6 +450,13 @@ let print oc s =
   if s.shard_spawns > 0 || s.shard_restarts > 0 then
     p "  shards: spawns %d  restarts %d  probes %d\n" s.shard_spawns
       s.shard_restarts s.shard_probes;
+  if s.serve_requests > 0 || s.serve_rejections > 0 then
+    p
+      "  serve: requests %d  batches %d  coalesced %d  cache %d/%d \
+       (evictions %d)  rejected %d\n"
+      s.serve_requests s.serve_batches s.serve_coalesced s.serve_cache_hits
+      (s.serve_cache_hits + s.serve_cache_misses)
+      s.serve_cache_evictions s.serve_rejections;
   if Array.exists (fun k -> k > 0) s.latency_hist then begin
     p "  latency:";
     Array.iteri

@@ -54,6 +54,17 @@ type snapshot = {
   shard_probes : int;
       (** Supervisor liveness probes fired on heartbeat silence.  Wall-
           clock driven, so scheduling-dependent like [per_domain]. *)
+  serve_requests : int;  (** Requests admitted by the {!Ls_serve} engine. *)
+  serve_batches : int;  (** Engine batch executions. *)
+  serve_coalesced : int;
+      (** Requests that shared a compiled instance with an earlier request
+          in the same batch (same-model coalescing). *)
+  serve_cache_hits : int;  (** Instance/plan LRU hits. *)
+  serve_cache_misses : int;
+  serve_cache_evictions : int;
+  serve_rejections : int;
+      (** Requests rejected [Overloaded] by admission control.  Timing-
+          dependent, so {e not} covered by the determinism contract. *)
   latency_hist : int array;
       (** Virtual link-latency histogram over {!latency_bounds} buckets
           (last bucket open-ended). *)
@@ -98,6 +109,14 @@ val record_sketch_eviction : unit -> unit
 val record_shard_spawn : unit -> unit
 val record_shard_restart : unit -> unit
 val record_shard_probe : unit -> unit
+
+val record_serve_batch : requests:int -> coalesced:int -> unit
+(** One engine batch: [requests] admitted requests executed together, of
+    which [coalesced] shared a compiled instance with an earlier one. *)
+
+val record_serve_cache : hit:bool -> unit
+val record_serve_cache_eviction : unit -> unit
+val record_serve_rejection : unit -> unit
 
 val latency_bounds : float array
 (** Upper bounds of the latency histogram buckets (exponential, doubling

@@ -47,6 +47,7 @@ type event =
   | Batch of { items : int }
   | Shard_spawn of { shard : int; incarnation : int }
   | Shard_restart of { shard : int; incarnation : int; restored_round : int }
+  | Serve_batch of { requests : int; coalesced : int; cache_hits : int }
   | Mark of { label : string }
 
 type t = {
@@ -161,6 +162,9 @@ let json_of_event ~ts ev =
         p
           {|"ev":"shard_restart","shard":%d,"incarnation":%d,"restored_round":%d|}
           shard incarnation restored_round
+    | Serve_batch { requests; coalesced; cache_hits } ->
+        p {|"ev":"serve_batch","requests":%d,"coalesced":%d,"cache_hits":%d|}
+          requests coalesced cache_hits
     | Mark { label } -> p {|"ev":"mark","label":"%s"|} (json_escape label)
   in
   p {|{"ts":%.6f,%s}|} ts body

@@ -86,6 +86,11 @@ type event =
   | Shard_restart of { shard : int; incarnation : int; restored_round : int }
       (** The supervisor re-forked a dead worker; [restored_round] is the
           last round its checkpoint covered (-1 = started fresh). *)
+  | Serve_batch of { requests : int; coalesced : int; cache_hits : int }
+      (** One {!Ls_serve} engine batch: admitted requests executed
+          together, how many shared a compiled instance, and how many
+          cache lookups hit.  All three are pure functions of the request
+          stream, never of timing. *)
   | Mark of { label : string }  (** Free-form deterministic marker. *)
 
 type t

@@ -3,13 +3,26 @@ module Rng = Ls_rng.Rng
 type timing = { wall : float; per_trial : float array; domains : int }
 
 let default_domains () =
+  (* A set-but-empty variable counts as unset, matching the other
+     LOCSAMPLE_* env accessors (`LOCSAMPLE_DOMAINS= locsample ...` must
+     not differ from leaving it out). *)
   match Sys.getenv_opt "LOCSAMPLE_DOMAINS" with
-  | None -> Domain.recommended_domain_count ()
+  | None | Some "" -> Domain.recommended_domain_count ()
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some k when k >= 1 -> k
       | _ ->
           invalid_arg
+            (Printf.sprintf "LOCSAMPLE_DOMAINS=%S: expected an integer >= 1" s))
+
+let env_check () =
+  match Sys.getenv_opt "LOCSAMPLE_DOMAINS" with
+  | None | Some "" -> Ok ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> Ok ()
+      | _ ->
+          Error
             (Printf.sprintf "LOCSAMPLE_DOMAINS=%S: expected an integer >= 1" s))
 
 let override = Atomic.make None

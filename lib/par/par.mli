@@ -40,6 +40,13 @@ val default_domains : unit -> int
 (** [LOCSAMPLE_DOMAINS] when set (must parse as an int ≥ 1, else
     [Invalid_argument]), otherwise [Domain.recommended_domain_count ()]. *)
 
+val env_check : unit -> (unit, string) result
+(** Validate [LOCSAMPLE_DOMAINS] without touching the pool.  CLIs call
+    this at startup so a malformed value (e.g. [LOCSAMPLE_DOMAINS=abc])
+    surfaces as a named error on their exit-2 path instead of an
+    [Invalid_argument] backtrace escaping from the first parallel call
+    deep inside a subcommand. *)
+
 val domains : unit -> int
 (** The current effective domain count: {!set_domains} override when
     present, else {!default_domains}. *)

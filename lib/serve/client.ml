@@ -1,0 +1,66 @@
+(* Minimal blocking client over the frame protocol.  Pipelining is the
+   caller's affair: [send] and [recv] are independent, so a client can
+   push K requests before reading any response (the overload test does
+   exactly this). *)
+
+module Frame = Ls_shard.Frame
+module Supervisor = Ls_shard.Supervisor
+
+type t = { fd : Unix.file_descr }
+
+let connect_fd addr =
+  match addr with
+  | Server.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      fd
+  | Server.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      fd
+
+let connect addr = { fd = connect_fd addr }
+
+(* Daemon startup is asynchronous from the client's point of view; retry
+   the connect over a bounded window (EINTR-safe sleeps). *)
+let connect_retry ?(attempts = 50) ?(delay_ms = 100) addr =
+  let rec go n =
+    match connect addr with
+    | c -> Ok c
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 1 ->
+        Supervisor.sleep_ms delay_ms;
+        go (n - 1)
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "connect %s: %s" (Server.address_to_string addr)
+                 (Unix.error_message e))
+  in
+  go attempts
+
+let send t req = Protocol.write_request t.fd req
+
+let recv t =
+  match Protocol.read_response t.fd with
+  | Ok r -> Ok r
+  | Error Frame.Closed -> Error "server closed the connection"
+  | Error Frame.Truncated -> Error "server died mid-response"
+  | Error (Frame.Malformed msg) -> Error msg
+
+let call t req =
+  send t req;
+  match recv t with
+  | Error _ as e -> e
+  | Ok resp ->
+      if resp.Protocol.rid <> req.Protocol.id then
+        Error
+          (Printf.sprintf "response id %d does not match request id %d"
+             resp.Protocol.rid req.Protocol.id)
+      else Ok resp
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,23 @@
+(** Blocking client for the serving daemon.
+
+    [send]/[recv] are independent so callers can pipeline: push K
+    requests, then read K responses — the server answers a connection's
+    requests in arrival order.  {!call} is the sequential convenience. *)
+
+type t
+
+val connect : Server.address -> t
+(** Raises [Unix.Unix_error] on failure (see {!connect_retry}). *)
+
+val connect_retry :
+  ?attempts:int -> ?delay_ms:int -> Server.address -> (t, string) result
+(** Retry over daemon startup: ECONNREFUSED/ENOENT retries with an
+    EINTR-safe sleep (default 50 × 100 ms); other errors are named. *)
+
+val send : t -> Protocol.request -> unit
+val recv : t -> (Protocol.response, string) result
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv], checking the correlation id. *)
+
+val close : t -> unit

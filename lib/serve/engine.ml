@@ -1,0 +1,463 @@
+(* The serving engine: the stable API split out of the CLI harness.
+
+   Spec parsing (graph, model, oracle) lives here with Result types — the
+   CLI converts an [Error] to its exit-2 path, the daemon to an [Error_r]
+   response; both reject exactly the same values with the same words.
+
+   A batch executes in deterministic stages:
+   1. group requests by compiled-instance key, building or cache-loading
+      each distinct key once, sequentially (so hit/miss counts are a pure
+      function of the request stream);
+   2. derive per-trial sample seeds sequentially (the same seed-split
+      shape as the CLI's sample_many, so `locsample sample` and a serve
+      request with the same seed draw the same trials);
+   3. compile missing plans in parallel over the Ls_par pool (Par.map is
+      order-preserving), then insert them in key order;
+   4. run all sample trials of all requests in ONE Par.map — this is the
+      batching win: k coalesced requests for the same model share one
+      fan-out and the compiled instance;
+   5. assemble bodies sequentially in request order.
+
+   Stages 1, 2, 3-insert and 5 touch the caches and counters from the
+   submitting thread only (the Lru is single-owner by design); stages 3
+   and 4 are pure per-item computations, so the response bodies are a
+   pure function of the request bytes at any domain count. *)
+
+module Graph = Ls_graph.Graph
+module Generators = Ls_graph.Generators
+module Dist = Ls_dist.Dist
+module Empirical = Ls_dist.Empirical
+module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
+module Models = Ls_gibbs.Models
+module Matching = Ls_gibbs.Matching
+module Metrics = Ls_obs.Metrics
+module Trace = Ls_obs.Trace
+open Ls_core
+
+(* --- spec parsing (Result-typed; the CLI front-end wraps these) ------- *)
+
+let int_field name s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s expects an integer, got %S" name s)
+
+let float_field name s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s expects a number, got %S" name s)
+
+let parse_graph rng spec =
+  let ( let* ) = Result.bind in
+  let dims name dims k =
+    match String.split_on_char 'x' dims with
+    | [ a; b ] ->
+        let* a = int_field name a in
+        let* b = int_field name b in
+        k a b
+    | _ -> Error name
+  in
+  match String.split_on_char ':' spec with
+  | [ "cycle"; n ] ->
+      let* n = int_field "cycle" n in
+      Ok (Generators.cycle n)
+  | [ "path"; n ] ->
+      let* n = int_field "path" n in
+      Ok (Generators.path n)
+  | [ "tree-rand"; n ] ->
+      let* n = int_field "tree-rand" n in
+      Ok (Generators.random_tree rng n)
+  | [ "grid"; d ] -> dims "grid wants ROWSxCOLS" d (fun r c -> Ok (Generators.grid r c))
+  | [ "tree"; d ] ->
+      dims "tree wants BRANCHINGxDEPTH" d (fun b depth ->
+          Ok (Generators.complete_tree ~branching:b ~depth))
+  | [ "regular"; d ] ->
+      dims "regular wants NxDEGREE" d (fun n deg ->
+          Ok (Generators.random_regular rng ~n ~d:deg))
+  | _ -> Error (Printf.sprintf "cannot parse graph %S" spec)
+
+type model = {
+  spec : Ls_gibbs.Spec.t;
+  describe : string;
+  render : int array -> string;
+}
+
+let parse_model g spec =
+  let ( let* ) = Result.bind in
+  let render_binary sigma =
+    String.concat "" (List.map string_of_int (Array.to_list sigma))
+  in
+  let render_csv sigma =
+    String.concat "," (List.map string_of_int (Array.to_list sigma))
+  in
+  match String.split_on_char ':' spec with
+  | [ "hardcore"; l ] ->
+      let* lambda = float_field "hardcore" l in
+      Ok
+        {
+          spec = Models.hardcore g ~lambda;
+          describe = Printf.sprintf "hardcore(lambda=%g)" lambda;
+          render = render_binary;
+        }
+  | [ "ising"; b ] | [ "ising"; b; _ ] ->
+      let* beta = float_field "ising" b in
+      let* field =
+        match String.split_on_char ':' spec with
+        | [ _; _; f ] -> float_field "ising field" f
+        | _ -> Ok 1.
+      in
+      Ok
+        {
+          spec = Models.ising g ~beta ~field;
+          describe = Printf.sprintf "ising(beta=%g, field=%g)" beta field;
+          render = render_binary;
+        }
+  | [ "potts"; q; b ] ->
+      let* q = int_field "potts" q in
+      let* beta = float_field "potts" b in
+      Ok
+        {
+          spec = Models.potts g ~q ~beta;
+          describe = Printf.sprintf "potts(q=%d, beta=%g)" q beta;
+          render = render_csv;
+        }
+  | [ "coloring"; q ] ->
+      let* q = int_field "coloring" q in
+      Ok
+        {
+          spec = Models.coloring g ~q;
+          describe = Printf.sprintf "coloring(q=%d)" q;
+          render = render_csv;
+        }
+  | [ "matching"; l ] ->
+      let* lambda = float_field "matching" l in
+      let m = Matching.make g ~lambda in
+      Ok
+        {
+          spec = m.Matching.spec;
+          describe =
+            Printf.sprintf "matching(lambda=%g) [on the line graph]" lambda;
+          render =
+            (fun sigma ->
+              String.concat " "
+                (List.map
+                   (fun (u, v) -> Printf.sprintf "%d-%d" u v)
+                   (Matching.matching_of_config m sigma)));
+        }
+  | _ -> Error (Printf.sprintf "cannot parse model %S" spec)
+
+let make_oracle ~engine ~t inst =
+  match engine with
+  | "ball" -> Ok (Inference.ssm_oracle ~t inst)
+  | "saw" -> Ok (Inference.saw_oracle ~depth:t inst)
+  | other -> Error (Printf.sprintf "unknown engine %S (ball|saw)" other)
+
+(* --- compiled instances ----------------------------------------------- *)
+
+type compiled = {
+  c_graph : Graph.t;
+  c_model : model;
+  c_inst : Instance.t;
+  c_oracle : Inference.oracle;
+}
+
+(* Graph families that consume randomness during construction: their
+   instance (and therefore its cache key) depends on the request seed.
+   Deterministic families share one cache entry across all seeds. *)
+let seed_sensitive spec =
+  let has_prefix p = String.length spec >= String.length p
+                     && String.sub spec 0 (String.length p) = p in
+  has_prefix "tree-rand:" || has_prefix "regular:"
+
+let instance_key (r : Protocol.request) =
+  let base =
+    Printf.sprintf "%s|%s|%d|%s" r.Protocol.graph r.Protocol.model r.Protocol.t
+      r.Protocol.engine
+  in
+  if seed_sensitive r.Protocol.graph then
+    Printf.sprintf "%s|%Lx" base r.Protocol.seed
+  else base
+
+let build_compiled ~max_vertices (r : Protocol.request) =
+  let ( let* ) = Result.bind in
+  (* Same derivation as the CLI's make_instance: the graph rng is seeded
+     by the request seed directly. *)
+  let rng = Rng.create r.Protocol.seed in
+  let* c_graph = parse_graph rng r.Protocol.graph in
+  if Graph.n c_graph > max_vertices then
+    Error
+      (Printf.sprintf "graph has %d vertices, over the per-request cap of %d"
+         (Graph.n c_graph) max_vertices)
+  else
+    let* c_model = parse_model c_graph r.Protocol.model in
+    let c_inst = Instance.unpinned c_model.spec in
+    let* c_oracle = make_oracle ~engine:r.Protocol.engine ~t:r.Protocol.t c_inst in
+    Ok { c_graph; c_model; c_inst; c_oracle }
+
+(* --- the engine ------------------------------------------------------- *)
+
+type error = Bad_request of string | Overloaded | Internal of string
+
+let error_body = function
+  | Bad_request m -> Protocol.Error_r { code = Protocol.Bad_request; message = m }
+  | Overloaded ->
+      Protocol.Error_r { code = Protocol.Overloaded; message = "queue full" }
+  | Internal m -> Protocol.Error_r { code = Protocol.Internal; message = m }
+
+type t = {
+  instances : compiled Lru.t;
+  plans : Ls_local.Scheduler.plan Lru.t;
+  max_vertices : int;
+  mutable requests : int;
+  mutable batches : int;
+  mutable coalesced : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  (* Admission outcomes, owned by the server's accept loop. *)
+  mutable rejected : int;
+  mutable max_queue : int;
+}
+
+let create ?(instance_cache = 64) ?(plan_cache = 1024) ?(max_vertices = 100_000)
+    () =
+  {
+    instances = Lru.create ~capacity:instance_cache;
+    plans = Lru.create ~capacity:plan_cache;
+    max_vertices;
+    requests = 0;
+    batches = 0;
+    coalesced = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    rejected = 0;
+    max_queue = 0;
+  }
+
+let note_rejection t =
+  t.rejected <- t.rejected + 1;
+  Metrics.record_serve_rejection ()
+
+let note_queue_depth t depth = if depth > t.max_queue then t.max_queue <- depth
+
+let stats t =
+  {
+    Protocol.st_requests = t.requests;
+    st_batches = t.batches;
+    st_coalesced = t.coalesced;
+    st_cache_hits = t.cache_hits;
+    st_cache_misses = t.cache_misses;
+    st_evictions = Lru.evictions t.instances + Lru.evictions t.plans;
+    st_rejected = t.rejected;
+    st_max_queue = t.max_queue;
+    st_domains = Par.domains ();
+  }
+
+let cache_lookup t lru key =
+  match Lru.find lru key with
+  | Some v ->
+      t.cache_hits <- t.cache_hits + 1;
+      Metrics.record_serve_cache ~hit:true;
+      Some v
+  | None ->
+      t.cache_misses <- t.cache_misses + 1;
+      Metrics.record_serve_cache ~hit:false;
+      None
+
+let cache_insert _t lru key v =
+  let before = Lru.evictions lru in
+  Lru.add lru key v;
+  for _ = 1 to Lru.evictions lru - before do
+    Metrics.record_serve_cache_eviction ()
+  done
+
+(* Per-trial sample seeds: the same split shape as the CLI's non-faulty
+   sample_many run_one (stream i of the request seed, one bits64 draw). *)
+let trial_seeds seed trials =
+  let rngs = Rng.streams seed trials in
+  Array.map Rng.bits64 rngs
+
+let plan_key ikey sseed = Printf.sprintf "%s|p%Lx" ikey sseed
+
+let run_batch t ?domains ?trace (requests : Protocol.request list) :
+    (Protocol.body, error) result list =
+  let n_requests = List.length requests in
+  t.requests <- t.requests + n_requests;
+  t.batches <- t.batches + 1;
+  let hits0 = t.cache_hits in
+  (* Stage 1: one compiled instance per distinct key, first-occurrence
+     order.  Requests whose build fails carry their error forward. *)
+  let built : (string, (compiled, error) result) Hashtbl.t = Hashtbl.create 16 in
+  let coalesced = ref 0 in
+  let resolved =
+    List.map
+      (fun (r : Protocol.request) ->
+        match r.Protocol.op with
+        | Protocol.Stats -> (r, Ok None)
+        | _ -> (
+            let key = instance_key r in
+            match Hashtbl.find_opt built key with
+            | Some (Ok c) ->
+                incr coalesced;
+                (r, Ok (Some (key, c)))
+            | Some (Error e) -> (r, Error e)
+            | None -> (
+                match cache_lookup t t.instances key with
+                | Some c ->
+                    Hashtbl.replace built key (Ok c);
+                    (r, Ok (Some (key, c)))
+                | None -> (
+                    match build_compiled ~max_vertices:t.max_vertices r with
+                    | Ok c ->
+                        cache_insert t t.instances key c;
+                        Hashtbl.replace built key (Ok c);
+                        (r, Ok (Some (key, c)))
+                    | Error msg ->
+                        let e = Bad_request msg in
+                        Hashtbl.replace built key (Error e);
+                        (r, Error e)))))
+      requests
+  in
+  t.coalesced <- t.coalesced + !coalesced;
+  (* Stage 2: per-trial seeds for every admissible Sample request. *)
+  let sample_jobs =
+    List.filter_map
+      (fun (r, res) ->
+        match (r.Protocol.op, res) with
+        | Protocol.Sample, Ok (Some (key, c)) ->
+            Some (r, key, c, trial_seeds r.Protocol.seed r.Protocol.trials)
+        | _ -> None)
+      resolved
+  in
+  (* Stage 3: plans.  Sequential lookups (deterministic hit counts), one
+     parallel Par.map over the misses, insertions in deduped key order. *)
+  let plan_table : (string, Ls_local.Scheduler.plan) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let missing = ref [] (* (pkey, compiled, sseed), reverse order *) in
+  let pending : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (_r, ikey, c, sseeds) ->
+      Array.iter
+        (fun sseed ->
+          let pkey = plan_key ikey sseed in
+          if not (Hashtbl.mem plan_table pkey || Hashtbl.mem pending pkey)
+          then
+            match cache_lookup t t.plans pkey with
+            | Some p -> Hashtbl.replace plan_table pkey p
+            | None ->
+                (* Reserve so a duplicate trial seed in this batch
+                   compiles once; filled after the parallel map. *)
+                Hashtbl.replace pending pkey ();
+                missing := (pkey, c, sseed) :: !missing)
+        sseeds)
+    sample_jobs;
+  let missing = Array.of_list (List.rev !missing) in
+  let compiled_plans =
+    Par.map ?domains
+      (fun (_pkey, c, sseed) ->
+        Local_sampler.plan c.c_oracle c.c_inst ~seed:sseed)
+      missing
+  in
+  Array.iteri
+    (fun i (pkey, _c, _sseed) ->
+      Hashtbl.replace plan_table pkey compiled_plans.(i);
+      cache_insert t t.plans pkey compiled_plans.(i))
+    missing;
+  (* Stage 4: every trial of every sample request in one fan-out. *)
+  let all_trials =
+    Array.concat
+      (List.map
+         (fun (_r, ikey, c, sseeds) ->
+           Array.map
+             (fun sseed ->
+               (c, Hashtbl.find plan_table (plan_key ikey sseed), sseed))
+             sseeds)
+         sample_jobs)
+  in
+  let trial_results =
+    Par.map ?domains
+      (fun (c, plan, sseed) ->
+        let r = Local_sampler.sample_planned c.c_oracle ~plan c.c_inst ~seed:sseed in
+        (r.Local_sampler.success, r.Local_sampler.sigma))
+      all_trials
+  in
+  (* Stage 5: assemble bodies in request order. *)
+  let cursor = ref 0 in
+  let take k =
+    let out = Array.sub trial_results !cursor k in
+    cursor := !cursor + k;
+    out
+  in
+  let sample_bodies : (int, Protocol.body) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ((r : Protocol.request), _ikey, _c, sseeds) ->
+      let results = take (Array.length sseeds) in
+      let emp = Empirical.create () in
+      Array.iter (fun (ok, y) -> if ok then Empirical.add emp y) results;
+      let first =
+        match Array.find_opt fst results with
+        | Some (_, y) -> y
+        | None -> [||]
+      in
+      Hashtbl.replace sample_bodies r.Protocol.id
+        (Protocol.Sample_r
+           {
+             trials = r.Protocol.trials;
+             successes = Empirical.total emp;
+             distinct = Empirical.distinct emp;
+             first;
+           }))
+    sample_jobs;
+  let bodies =
+    List.map
+      (fun ((r : Protocol.request), res) ->
+        match res with
+        | Error e -> Error e
+        | Ok None -> Ok (Protocol.Stats_r (stats t))
+        | Ok (Some (_key, c)) -> (
+            match r.Protocol.op with
+            | Protocol.Sample -> Ok (Hashtbl.find sample_bodies r.Protocol.id)
+            | Protocol.Infer ->
+                if r.Protocol.vertex >= Graph.n c.c_graph then
+                  Error
+                    (Bad_request
+                       (Printf.sprintf "vertex %d out of range (graph has %d)"
+                          r.Protocol.vertex (Graph.n c.c_graph)))
+                else
+                  let d = c.c_oracle.Inference.infer c.c_inst r.Protocol.vertex in
+                  Ok (Protocol.Infer_r { probs = Array.copy (d :> float array) })
+            | Protocol.Count ->
+                let order = Array.init (Instance.n c.c_inst) (fun i -> i) in
+                let log_z =
+                  Reductions.estimate_log_partition c.c_oracle c.c_inst ~order
+                in
+                Ok (Protocol.Count_r { log_z })
+            | Protocol.Stats -> Ok (Protocol.Stats_r (stats t))))
+      resolved
+  in
+  Metrics.record_serve_batch ~requests:n_requests ~coalesced:!coalesced;
+  (match Trace.resolve trace with
+  | Some s ->
+      Trace.emit s
+        (Trace.Serve_batch
+           {
+             requests = n_requests;
+             coalesced = !coalesced;
+             cache_hits = t.cache_hits - hits0;
+           })
+  | None -> ());
+  bodies
+
+let submit_batch t ?domains ?trace requests =
+  try run_batch t ?domains ?trace requests
+  with exn ->
+    (* A payload exception must not kill the daemon: the whole batch
+       reports Internal (per-request isolation would hide which request
+       poisoned the shared fan-out). *)
+    let e = Internal (Printexc.to_string exn) in
+    List.map (fun _ -> Error e) requests
+
+let submit t ?domains ?trace request =
+  match submit_batch t ?domains ?trace [ request ] with
+  | [ r ] -> r
+  | _ -> Error (Internal "submit: batch arity mismatch")

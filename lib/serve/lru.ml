@@ -1,0 +1,56 @@
+(* Bounded string-keyed LRU.
+
+   Recency is a monotone generation counter stamped on every find/add;
+   eviction scans for the minimum stamp.  The scan is O(capacity), which
+   is fine at serving cache sizes (tens to hundreds of entries holding
+   multi-kilobyte compiled plans — the values dwarf the bookkeeping).
+   Single-owner discipline: the engine touches its caches only from the
+   submitting thread, so there is no lock here by design. *)
+
+type 'a entry = { mutable stamp : int; value : 'a }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); clock = 0; evictions = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+      e.stamp <- tick t;
+      Some e.value
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.table;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_oldest t);
+  Hashtbl.replace t.table key { stamp = tick t; value }
+
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+let capacity t = t.capacity

@@ -1,0 +1,24 @@
+(** Bounded string-keyed LRU cache for compiled instances and plans.
+
+    Not thread-safe by design: the engine is the single owner and touches
+    its caches only from the submitting thread, keeping hit/miss/eviction
+    counts a pure function of the request stream (the determinism the
+    serve CI job byte-checks). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's recency on hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) a binding, evicting the least-recently-used
+    entry when at capacity. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val evictions : 'a t -> int
+(** Total evictions since creation. *)

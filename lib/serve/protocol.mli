@@ -1,0 +1,98 @@
+(** Wire protocol for the serving daemon.
+
+    One request or response per {!Ls_shard.Frame} (which contributes the
+    outer magic, length validation, payload digest and EINTR-safe IO);
+    this module defines the payload layer behind its own 4-byte magic.
+    The codec is pure and total: {!decode_request_bytes} /
+    {!decode_response_bytes} map arbitrary bytes to a value or a named
+    [Error], never an exception, and no allocation is sized by a length
+    field that has not been validated against both a hard cap and the
+    bytes actually present — the same discipline the Frame fuzz suite
+    enforces, and the serve fuzz suite re-checks end to end.
+
+    Determinism contract: a request carries its [seed]; the daemon's
+    response body is a pure function of the request payload (admission
+    verdicts aside), so the same request bytes produce the same response
+    bytes at any domain count. *)
+
+type op =
+  | Sample  (** [trials] chain-rule samples; returns counts + first sample. *)
+  | Infer  (** Marginal at [vertex]; returns the distribution. *)
+  | Count  (** ln Z by self-reduction; returns one float. *)
+  | Stats  (** Engine counters; the only op whose reply is not
+               request-deterministic (it reads server state). *)
+
+val op_name : op -> string
+
+type request = {
+  id : int;  (** Correlation id, echoed in the response ([>= 0]). *)
+  op : op;
+  seed : int64;  (** All randomness derives from this. *)
+  graph : string;  (** Graph spec, e.g. ["cycle:64"] (≤ {!max_spec_len}). *)
+  model : string;  (** Model spec, e.g. ["hardcore:1.0"]. *)
+  t : int;  (** Oracle radius / SAW depth. *)
+  engine : string;  (** ["ball"] or ["saw"]. *)
+  trials : int;  (** Sample trials ([1 .. max_trials]); 1 for other ops. *)
+  vertex : int;  (** Infer target ([>= 0]); ignored by other ops. *)
+}
+
+type err_code = Bad_request | Overloaded | Unsupported | Internal
+
+val err_name : err_code -> string
+
+type stats = {
+  st_requests : int;
+  st_batches : int;
+  st_coalesced : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_evictions : int;
+  st_rejected : int;
+  st_max_queue : int;
+  st_domains : int;
+}
+
+type body =
+  | Sample_r of {
+      trials : int;
+      successes : int;
+      distinct : int;  (** Distinct successful configurations. *)
+      first : int array;  (** First successful configuration ([[||]] if none). *)
+    }
+  | Infer_r of { probs : float array }
+  | Count_r of { log_z : float }
+  | Stats_r of stats
+  | Error_r of { code : err_code; message : string }
+
+type response = { rid : int; body : body }
+
+val max_spec_len : int
+val max_trials : int
+val max_t : int
+
+val validate_request : request -> (unit, string) result
+(** The bounds {!decode_request_bytes} enforces, applied to an in-memory
+    request — clients call it before encoding. *)
+
+(** {1 Pure codec} — the fuzz surface *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+val decode_request_bytes : string -> (request, string) result
+val decode_response_bytes : string -> (response, string) result
+
+(** {1 Frame-level} (for callers that already hold a decoded frame) *)
+
+val kind_request : int
+val kind_response : int
+val request_of_frame : Ls_shard.Frame.t -> (request, string) result
+val response_of_frame : Ls_shard.Frame.t -> (response, string) result
+val request_frame : request -> Ls_shard.Frame.t
+val response_frame : response -> Ls_shard.Frame.t
+
+(** {1 Socket IO} (EINTR-safe, via {!Ls_shard.Frame}) *)
+
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+val read_request : Unix.file_descr -> (request, Ls_shard.Frame.read_error) result
+val read_response : Unix.file_descr -> (response, Ls_shard.Frame.read_error) result

@@ -1,0 +1,279 @@
+(* The serving daemon: a single-threaded accept/select loop in front of
+   the batching engine.
+
+   Concurrency model: the loop thread owns every socket and the engine;
+   parallelism lives inside Engine.submit_batch (the Ls_par domain pool).
+   Admission control is a bounded FIFO — a frame arriving while the queue
+   holds [queue_bound] requests is answered [Overloaded] immediately and
+   never enqueued.  Backpressure is structural: while a batch executes,
+   the loop is not reading sockets, so clients that pipeline past the
+   queue bound accumulate bytes in the kernel buffer and eventually block
+   on write — the daemon's memory stays bounded by
+   [queue_bound + batch_max] requests regardless of client count. *)
+
+module Frame = Ls_shard.Frame
+module Supervisor = Ls_shard.Supervisor
+
+let src = Logs.Src.create "locsample.serve" ~doc:"sampling-as-a-service daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type address = Unix_path of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_path p -> Printf.sprintf "unix:%s" p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let parse_address s =
+  let tcp host port =
+    match int_of_string_opt port with
+    | Some p when p >= 1 && p <= 65535 -> Ok (Tcp (host, p))
+    | _ -> Error (Printf.sprintf "tcp port %S: expected an integer in [1, 65535]" port)
+  in
+  match String.split_on_char ':' s with
+  | [ "tcp"; host; port ] -> tcp host port
+  | [ "tcp"; port ] -> tcp "127.0.0.1" port
+  | "unix" :: rest when rest <> [] -> Ok (Unix_path (String.concat ":" rest))
+  | _ when s <> "" -> Ok (Unix_path s)
+  | _ -> Error "empty listen address"
+
+(* --- environment ------------------------------------------------------ *)
+
+let env_int_check name ~min =
+  match Sys.getenv_opt name with
+  | None | Some "" -> Ok ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= min -> Ok ()
+      | _ ->
+          Error
+            (Printf.sprintf "%s=%S: expected an integer >= %d" name s min))
+
+let env_check () =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Sys.getenv_opt "LOCSAMPLE_SERVE_SOCKET" with
+    | None | Some "" -> Ok ()
+    | Some s -> (
+        match parse_address s with
+        | Ok _ -> Ok ()
+        | Error msg -> Error (Printf.sprintf "LOCSAMPLE_SERVE_SOCKET: %s" msg))
+  in
+  let* () = env_int_check "LOCSAMPLE_SERVE_QUEUE" ~min:1 in
+  env_int_check "LOCSAMPLE_SERVE_CACHE" ~min:1
+
+let env_int name ~default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+                | Some k -> k
+                | None -> default)
+
+let default_address () =
+  match Sys.getenv_opt "LOCSAMPLE_SERVE_SOCKET" with
+  | Some s when s <> "" -> (
+      match parse_address s with Ok a -> a | Error _ -> Unix_path s)
+  | _ ->
+      Unix_path
+        (Filename.concat (Filename.get_temp_dir_name ()) "locsample-serve.sock")
+
+let default_queue () = env_int "LOCSAMPLE_SERVE_QUEUE" ~default:64
+let default_cache () = env_int "LOCSAMPLE_SERVE_CACHE" ~default:64
+
+(* --- configuration ---------------------------------------------------- *)
+
+type config = {
+  address : address;
+  queue_bound : int;
+  batch_max : int;
+  instance_cache : int;
+  plan_cache : int;
+  max_vertices : int;
+  max_requests : int option;
+}
+
+let config ?address ?queue_bound ?(batch_max = 32) ?instance_cache
+    ?(plan_cache = 1024) ?(max_vertices = 100_000) ?max_requests () =
+  let address = match address with Some a -> a | None -> default_address () in
+  let queue_bound =
+    match queue_bound with Some q -> q | None -> default_queue ()
+  in
+  let instance_cache =
+    match instance_cache with Some c -> c | None -> default_cache ()
+  in
+  if queue_bound < 1 then invalid_arg "Server.config: queue bound must be >= 1";
+  if batch_max < 1 then invalid_arg "Server.config: batch max must be >= 1";
+  {
+    address;
+    queue_bound;
+    batch_max;
+    instance_cache;
+    plan_cache;
+    max_vertices;
+    max_requests;
+  }
+
+(* --- the loop --------------------------------------------------------- *)
+
+type conn = { fd : Unix.file_descr; mutable alive : bool }
+
+let close_conn c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_response c resp =
+  if c.alive then
+    try Protocol.write_response c.fd resp
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      close_conn c
+
+let listen_on = function
+  | Unix_path path ->
+      (* A stale socket file from a dead daemon would make bind fail;
+         remove it only if it is a socket (never a user's regular file). *)
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      fd
+
+let stop_flag = ref false
+
+let install_signals () =
+  let stop _ = stop_flag := true in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let run ?(cfg = config ()) ?trace ?on_ready () =
+  stop_flag := false;
+  install_signals ();
+  let engine =
+    Engine.create ~instance_cache:cfg.instance_cache ~plan_cache:cfg.plan_cache
+      ~max_vertices:cfg.max_vertices ()
+  in
+  let listen_fd = listen_on cfg.address in
+  Log.info (fun m -> m "listening on %s" (address_to_string cfg.address));
+  (match on_ready with Some f -> f () | None -> ());
+  let conns : conn list ref = ref [] in
+  let queue : (Protocol.request * conn) Queue.t = Queue.create () in
+  let answered = ref 0 in
+  let budget_left () =
+    match cfg.max_requests with None -> true | Some k -> !answered < k
+  in
+  let reply c resp =
+    send_response c resp;
+    incr answered
+  in
+  (* One inbound frame: admission verdict or a named protocol error. *)
+  let handle_frame c (f : Frame.t) =
+    match Protocol.request_of_frame f with
+    | Error msg ->
+        reply c
+          {
+            Protocol.rid = max f.Frame.a 0;
+            body =
+              Protocol.Error_r { code = Protocol.Bad_request; message = msg };
+          }
+    | Ok req ->
+        if Queue.length queue >= cfg.queue_bound then begin
+          Engine.note_rejection engine;
+          reply c
+            { Protocol.rid = req.Protocol.id; body = Engine.error_body Engine.Overloaded }
+        end
+        else begin
+          Queue.add (req, c) queue;
+          Engine.note_queue_depth engine (Queue.length queue)
+        end
+  in
+  (* Drain every frame already buffered on the connection, so a
+     pipelining client can outrun the queue bound and observe Overloaded
+     rather than being serialized one frame per select round. *)
+  let rec drain c =
+    if c.alive then
+      match Unix.select [ c.fd ] [] [] 0. with
+      | [ _ ], _, _ -> (
+          match Frame.read_fd c.fd with
+          | Ok f ->
+              handle_frame c f;
+              drain c
+          | Error Frame.Closed -> close_conn c
+          | Error Frame.Truncated -> close_conn c
+          | Error (Frame.Malformed reason) ->
+              (* Framing is broken — no request boundary to resynchronize
+                 on, so answer nothing and drop the connection. *)
+              Log.debug (fun m -> m "dropping connection: %s" reason);
+              close_conn c)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let accept_new () =
+    match Unix.accept listen_fd with
+    | fd, _ -> conns := { fd; alive = true } :: !conns
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNABORTED | Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN), _, _)
+      ->
+        (* Transient accept failure: the EINTR-safe backoff shared with
+           the shard supervisor, then retry on the next select round. *)
+        Supervisor.sleep_ms 10
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let run_batches () =
+    while not (Queue.is_empty queue) do
+      let k = min cfg.batch_max (Queue.length queue) in
+      let batch = List.init k (fun _ -> Queue.pop queue) in
+      let bodies =
+        Engine.submit_batch engine ?trace (List.map fst batch)
+      in
+      List.iter2
+        (fun (req, c) body ->
+          let body =
+            match body with Ok b -> b | Error e -> Engine.error_body e
+          in
+          reply c { Protocol.rid = req.Protocol.id; body })
+        batch bodies
+    done
+  in
+  let rec loop () =
+    if (not !stop_flag) && budget_left () then begin
+      conns := List.filter (fun c -> c.alive) !conns;
+      let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+      (match Unix.select fds [] [] 0.5 with
+      | readable, _, _ ->
+          if List.memq listen_fd readable then accept_new ();
+          List.iter
+            (fun c -> if List.memq c.fd readable then drain c)
+            !conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      run_batches ();
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_conn !conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      match cfg.address with
+      | Unix_path path -> ( try Unix.unlink path with _ -> ())
+      | Tcp _ -> ())
+    loop;
+  Engine.stats engine

@@ -1,0 +1,73 @@
+(** The serving daemon: accept/select loop, admission control, batching.
+
+    Single-threaded by design — the loop thread owns every socket and the
+    engine; parallelism lives inside {!Engine.submit_batch} on the
+    {!Ls_par} domain pool.  Admission is a bounded FIFO: a request
+    arriving on a full queue is answered [Overloaded] immediately.
+    Backpressure is structural: during batch execution no socket is read,
+    so daemon memory stays bounded by [queue_bound + batch_max] requests.
+
+    Responses on one connection are written in the arrival order of their
+    requests; response bodies are a pure function of the request bytes
+    (admission verdicts and [Stats] aside), so transcripts byte-diff
+    clean across domain counts. *)
+
+type address = Unix_path of string | Tcp of string * int
+
+val parse_address : string -> (address, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], ["tcp:PORT"] (localhost), or a bare
+    path (unix). *)
+
+val address_to_string : address -> string
+
+val env_check : unit -> (unit, string) result
+(** Validate [LOCSAMPLE_SERVE_SOCKET] (must parse as an address),
+    [LOCSAMPLE_SERVE_QUEUE] and [LOCSAMPLE_SERVE_CACHE] (integers ≥ 1).
+    Called from the CLI's startup validation alongside
+    {!Ls_par.Par.env_check}. *)
+
+val default_address : unit -> address
+(** [LOCSAMPLE_SERVE_SOCKET] when set, else a fixed socket under the
+    system temp dir. *)
+
+val default_queue : unit -> int
+(** [LOCSAMPLE_SERVE_QUEUE] when set, else 64. *)
+
+val default_cache : unit -> int
+(** [LOCSAMPLE_SERVE_CACHE] when set, else 64. *)
+
+type config = {
+  address : address;
+  queue_bound : int;  (** Admission bound on the request queue. *)
+  batch_max : int;  (** Most requests per engine batch. *)
+  instance_cache : int;
+  plan_cache : int;
+  max_vertices : int;  (** Per-request graph size cap. *)
+  max_requests : int option;
+      (** Stop after answering this many requests — deterministic
+          termination for tests and the CI smoke job. *)
+}
+
+val config :
+  ?address:address ->
+  ?queue_bound:int ->
+  ?batch_max:int ->
+  ?instance_cache:int ->
+  ?plan_cache:int ->
+  ?max_vertices:int ->
+  ?max_requests:int ->
+  unit ->
+  config
+(** Defaults from the environment accessors above; [batch_max] 32.
+    Raises [Invalid_argument] on non-positive bounds. *)
+
+val run :
+  ?cfg:config ->
+  ?trace:Ls_obs.Trace.t ->
+  ?on_ready:(unit -> unit) ->
+  unit ->
+  Protocol.stats
+(** Serve until SIGTERM/SIGINT or the [max_requests] budget is spent;
+    [on_ready] fires once the socket is listening.  Always closes every
+    descriptor it opened (and unlinks its unix socket); returns the final
+    engine counters. *)

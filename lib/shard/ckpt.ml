@@ -28,6 +28,19 @@ let default_dir () =
   | Some d when d <> "" -> d
   | _ -> Filename.concat (Filename.get_temp_dir_name ()) "locsample-shard-ckpt"
 
+let env_check () =
+  match Sys.getenv_opt "LOCSAMPLE_SHARD_DIR" with
+  | None | Some "" -> Ok ()
+  | Some d ->
+      (* The dir need not exist yet (ensure_dir creates it), but a path
+         that exists and is not a directory would make every checkpoint
+         write fail with an unhelpful Unix_error much later. *)
+      if Sys.file_exists d && not (Sys.is_directory d) then
+        Error
+          (Printf.sprintf "LOCSAMPLE_SHARD_DIR=%S: exists but is not a directory"
+             d)
+      else Ok ()
+
 let path ~dir ~run_id ~shard =
   Filename.concat dir (Printf.sprintf "shard-%016Lx-%d.ckpt" run_id shard)
 

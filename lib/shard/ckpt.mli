@@ -13,6 +13,11 @@ val default_dir : unit -> string
 (** [$LOCSAMPLE_SHARD_DIR] when set and non-empty, else a fixed
     subdirectory of the system temp dir. *)
 
+val env_check : unit -> (unit, string) result
+(** Validate [$LOCSAMPLE_SHARD_DIR] at CLI startup: a set, non-empty
+    value that exists but is not a directory is a named error (it would
+    otherwise fail deep inside the first checkpoint write). *)
+
 val path : dir:string -> run_id:int64 -> shard:int -> string
 
 val save : dir:string -> meta -> string -> unit

@@ -63,7 +63,24 @@ type worker = {
   mutable w_probes : int;
 }
 
-let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+(* Deterministic sleep under signal pressure.  A bare [Unix.sleepf] may
+   return early (or raise [EINTR] on platforms without nanosleep) when a
+   SIGCHLD from a dying sibling worker lands mid-sleep — which would
+   silently shorten the documented exponential restart backoff.  Loop on
+   the remaining wall time until the full delay has elapsed. *)
+let sleep_ms ms =
+  if ms > 0 then begin
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    let rec go () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0. then begin
+        (try Unix.sleepf remaining
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+    in
+    go ()
+  end
 
 (* Has the worker's process exited?  WNOHANG, reaping if so. *)
 let reaped w =

@@ -32,6 +32,13 @@ val default_policy : policy
 (** Budget 3 (matching {!Ls_local.Resilient.default_policy}), 20 ms
     base backoff doubling, 2 s probe timeout, 3 probes, 50 ms grace. *)
 
+val sleep_ms : int -> unit
+(** Sleep for the full [ms] milliseconds even under signal pressure: a
+    bare [Unix.sleepf] can return early (or raise [EINTR]) when a SIGCHLD
+    from a dying worker lands mid-sleep, which would shorten the
+    deterministic restart backoff.  Loops on the remaining wall time.
+    Also used by the serve accept-loop retry path. *)
+
 type failure = Transient | Permanent
 
 exception Failed of failure * string

@@ -5,6 +5,9 @@ let () =
          Unix.fork in a process that has ever created a domain — so it
          must run before any suite that touches the domain pool. *)
       ("shard", Test_shard.suite);
+      (* The serve suite forks daemon processes (and execs the CLI), so
+         it shares the shard suite's before-any-domain constraint. *)
+      ("serve", Test_serve.suite);
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);

@@ -1,0 +1,605 @@
+(* The serving layer (lib/serve): protocol codec (round trips, named
+   errors, fuzz over mutated bytes — the same discipline as the Frame
+   suite), the LRU cache, the batching engine (cache keys, named spec
+   rejections, parity with the direct library calls, deterministic
+   batches with coalescing and cache hits), the daemon end to end over a
+   unix socket (twice-same-seeds bit-identity, overload verdicts under a
+   tiny queue, malformed input handling), and the validated-environment
+   exit-2 contract of the CLI.
+
+   NOTE: the end-to-end tests fork a server process, and the OCaml
+   runtime permanently refuses [Unix.fork] in a process that ever
+   created a domain — so this suite must run before any suite that
+   touches the domain pool (it is registered right after the shard
+   suite in test_main, and every in-process engine call here pins
+   [~domains:1], which spawns none). *)
+
+module Rng = Ls_rng.Rng
+module Par = Ls_par.Par
+module Graph = Ls_graph.Graph
+module Protocol = Ls_serve.Protocol
+module Engine = Ls_serve.Engine
+module Server = Ls_serve.Server
+module Client = Ls_serve.Client
+module Lru = Ls_serve.Lru
+module Frame = Ls_shard.Frame
+open Ls_core
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let req ?(id = 0) ?(op = Protocol.Sample) ?(seed = 42L) ?(graph = "cycle:12")
+    ?(model = "hardcore:0.8") ?(t = 1) ?(engine = "ball") ?(trials = 1)
+    ?(vertex = 0) () =
+  { Protocol.id; op; seed; graph; model; t; engine; trials; vertex }
+
+let sock_path =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ls-serve-test-%d-%d.sock" (Unix.getpid ()) !ctr)
+
+(* Fork a daemon on a fresh unix socket; returns (address, pid).  The
+   child never returns: it serves its request budget and _exits. *)
+let fork_server ?queue_bound ?batch_max ?instance_cache ~max_requests () =
+  let path = sock_path () in
+  (try Unix.unlink path with _ -> ());
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let cfg =
+        Server.config ~address:(Server.Unix_path path) ?queue_bound ?batch_max
+          ?instance_cache ~max_requests ()
+      in
+      ignore (Server.run ~cfg ());
+      Unix._exit 0
+  | pid -> (Server.Unix_path path, pid)
+
+let connect_or_fail addr =
+  match Client.connect_retry addr with
+  | Ok c -> c
+  | Error msg -> Alcotest.fail ("connect: " ^ msg)
+
+let call_or_fail c r =
+  match Client.call c r with
+  | Ok resp -> resp.Protocol.body
+  | Error msg -> Alcotest.fail ("call: " ^ msg)
+
+(* --- protocol codec --------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let requests =
+    [
+      req ();
+      req ~id:max_int ~op:Protocol.Infer ~seed:(-1L) ~graph:"grid:3x4"
+        ~model:"ising:0.3:0.5" ~t:0 ~engine:"saw" ~vertex:11 ();
+      req ~id:7 ~op:Protocol.Count ~model:"coloring:5" ~t:3 ();
+      req ~op:Protocol.Sample ~trials:Protocol.max_trials ();
+      req ~op:Protocol.Stats ~graph:"-" ~model:"-" ~engine:"-" ~t:0 ();
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_request_bytes (Protocol.encode_request r) with
+      | Ok r' -> checkb "request round-trips" true (r = r')
+      | Error e -> Alcotest.fail ("request round-trip failed: " ^ e))
+    requests;
+  let bodies =
+    [
+      Protocol.Sample_r { trials = 3; successes = 2; distinct = 2; first = [| 1; 0; 1 |] };
+      Protocol.Sample_r { trials = 1; successes = 0; distinct = 0; first = [||] };
+      Protocol.Infer_r { probs = [| 0.25; 0.75 |] };
+      Protocol.Infer_r { probs = [||] };
+      Protocol.Count_r { log_z = -12.3456789012345678 };
+      Protocol.Count_r { log_z = infinity };
+      Protocol.Stats_r
+        {
+          Protocol.st_requests = 1; st_batches = 2; st_coalesced = 3;
+          st_cache_hits = 4; st_cache_misses = 5; st_evictions = 6;
+          st_rejected = 7; st_max_queue = 8; st_domains = 9;
+        };
+      Protocol.Error_r { code = Protocol.Bad_request; message = "nope" };
+      Protocol.Error_r { code = Protocol.Overloaded; message = "queue full" };
+      Protocol.Error_r { code = Protocol.Unsupported; message = "" };
+      Protocol.Error_r { code = Protocol.Internal; message = "boom" };
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let resp = { Protocol.rid = i; body } in
+      match Protocol.decode_response_bytes (Protocol.encode_response resp) with
+      | Ok r' -> checkb "response round-trips" true (resp = r')
+      | Error e -> Alcotest.fail ("response round-trip failed: " ^ e))
+    bodies
+
+let test_protocol_named_errors () =
+  let expect_invalid what r =
+    match Protocol.validate_request r with
+    | Ok () -> Alcotest.fail (what ^ ": expected a validation error")
+    | Error e -> checkb (what ^ " has a named reason") true (String.length e > 0)
+  in
+  expect_invalid "negative id" (req ~id:(-1) ());
+  expect_invalid "zero trials" (req ~trials:0 ());
+  expect_invalid "too many trials" (req ~trials:(Protocol.max_trials + 1) ());
+  expect_invalid "negative t" (req ~t:(-1) ());
+  expect_invalid "oversized t" (req ~t:(Protocol.max_t + 1) ());
+  expect_invalid "negative vertex" (req ~vertex:(-1) ());
+  expect_invalid "empty graph spec" (req ~graph:"" ());
+  expect_invalid "oversized spec"
+    (req ~graph:(String.make (Protocol.max_spec_len + 1) 'x') ());
+  (* A mutated kind byte must not decode as the other message type. *)
+  (match Protocol.decode_response_bytes (Protocol.encode_request (req ())) with
+  | Ok _ -> Alcotest.fail "a request must not decode as a response"
+  | Error e -> checkb "cross-kind decode is named" true (String.length e > 0));
+  (* Correlation ids are carried redundantly (frame header + payload) and
+     cross-checked. *)
+  let f = Protocol.request_frame (req ~id:5 ()) in
+  match Protocol.request_of_frame { f with Frame.a = 6 } with
+  | Ok _ -> Alcotest.fail "id mismatch must not decode"
+  | Error e -> checkb "id mismatch is named" true (contains e "mismatch")
+
+let test_protocol_decode_fuzz () =
+  (* Mirror of the Frame fuzz suite at the serve layer: single-byte
+     mutations and truncations of valid request/response bytes must
+     produce Ok or a named Error — never an exception, never an
+     allocation driven by an unvalidated length. *)
+  let rng = Rng.create 31337L in
+  let fuzz enc decode =
+    let n = String.length enc in
+    for _ = 1 to 2_000 do
+      let b = Bytes.of_string enc in
+      let pos = Rng.int rng n in
+      Bytes.set b pos (Char.chr (Rng.int rng 256));
+      (match decode (Bytes.to_string b) with Ok _ | Error _ -> ());
+      let cut = Rng.int rng (n + 1) in
+      match decode (String.sub (Bytes.to_string b) 0 cut) with
+      | Ok _ | Error _ -> ()
+    done
+  in
+  fuzz
+    (Protocol.encode_request
+       (req ~id:17 ~op:Protocol.Infer ~graph:"grid:3x4" ~model:"ising:0.3"
+          ~trials:5 ~vertex:3 ()))
+    Protocol.decode_request_bytes;
+  fuzz
+    (Protocol.encode_response
+       {
+         Protocol.rid = 17;
+         body =
+           Protocol.Sample_r
+             { trials = 4; successes = 3; distinct = 2; first = [| 1; 0; 1; 1 |] };
+       })
+    Protocol.decode_response_bytes;
+  fuzz
+    (Protocol.encode_response
+       { Protocol.rid = 0; body = Protocol.Infer_r { probs = [| 0.5; 0.5 |] } })
+    Protocol.decode_response_bytes
+
+(* --- lru -------------------------------------------------------------- *)
+
+let test_lru () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  checki "two entries" 2 (Lru.length l);
+  (* Touch "a" so "b" becomes least recent, then overflow. *)
+  checkb "find refreshes" true (Lru.find l "a" = Some 1);
+  Lru.add l "c" 3;
+  checki "capacity held" 2 (Lru.length l);
+  checki "one eviction" 1 (Lru.evictions l);
+  checkb "lru entry evicted" true (Lru.find l "b" = None);
+  checkb "recent entry kept" true (Lru.find l "a" = Some 1);
+  checkb "new entry present" true (Lru.find l "c" = Some 3);
+  (* Re-adding an existing key refreshes, never evicts. *)
+  Lru.add l "a" 10;
+  checki "refresh is not an eviction" 1 (Lru.evictions l);
+  checkb "refresh updates the value" true (Lru.find l "a" = Some 10);
+  match Lru.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+
+(* --- engine ----------------------------------------------------------- *)
+
+let test_engine_cache_keys () =
+  let k r = Engine.instance_key r in
+  checkb "deterministic families share keys across seeds" true
+    (k (req ~seed:1L ()) = k (req ~seed:2L ()));
+  checkb "random families key on the seed" true
+    (k (req ~seed:1L ~graph:"tree-rand:10" ())
+    <> k (req ~seed:2L ~graph:"tree-rand:10" ()));
+  checkb "regular graphs are seed-sensitive" true
+    (Engine.seed_sensitive "regular:16x3");
+  checkb "cycle graphs are not" true (not (Engine.seed_sensitive "cycle:16"));
+  checkb "distinct models get distinct keys" true
+    (k (req ()) <> k (req ~model:"ising:0.3" ()));
+  checkb "distinct radii get distinct keys" true (k (req ~t:1 ()) <> k (req ~t:2 ()))
+
+let test_engine_named_rejections () =
+  let e = Engine.create () in
+  let expect_bad what r expected_msg =
+    match Engine.submit e ~domains:1 r with
+    | Error (Engine.Bad_request msg) ->
+        checkb (what ^ " carries the parser's words") true (msg = expected_msg)
+    | _ -> Alcotest.fail (what ^ ": expected Bad_request")
+  in
+  (* The daemon and the CLI reject the same values with the same words. *)
+  let rng = Rng.create 42L in
+  let graph_err =
+    match Engine.parse_graph rng "blob:9" with Error m -> m | Ok _ -> assert false
+  in
+  expect_bad "unknown graph" (req ~graph:"blob:9" ()) graph_err;
+  let g = match Engine.parse_graph rng "cycle:12" with Ok g -> g | Error _ -> assert false in
+  let model_err =
+    match Engine.parse_model g "nope:1" with Error m -> m | Ok _ -> assert false
+  in
+  expect_bad "unknown model" (req ~model:"nope:1" ()) model_err;
+  let engine_err =
+    let inst =
+      match Engine.parse_model g "hardcore:0.8" with
+      | Ok m -> Instance.unpinned m.Engine.spec
+      | Error _ -> assert false
+    in
+    match Engine.make_oracle ~engine:"warp" ~t:1 inst with
+    | Error m -> m
+    | Ok _ -> assert false
+  in
+  expect_bad "unknown engine" (req ~engine:"warp" ()) engine_err;
+  (match Engine.submit e ~domains:1 (req ~op:Protocol.Infer ~vertex:12 ()) with
+  | Error (Engine.Bad_request msg) ->
+      checkb "vertex range is named" true (contains msg "out of range")
+  | _ -> Alcotest.fail "oversized vertex: expected Bad_request");
+  (* The per-request graph size cap. *)
+  let tiny = Engine.create ~max_vertices:8 () in
+  match Engine.submit tiny ~domains:1 (req ()) with
+  | Error (Engine.Bad_request msg) -> checkb "size cap is named" true (contains msg "cap")
+  | _ -> Alcotest.fail "graph over the cap: expected Bad_request"
+
+let test_engine_parity_with_library () =
+  (* A serve request must compute exactly what the direct library calls
+     compute: same graph/model derivation, same per-trial seed split as
+     the CLI's sample_many, same oracle. *)
+  let seed = 1234L in
+  let rng = Rng.create seed in
+  let g = match Engine.parse_graph rng "cycle:12" with Ok g -> g | Error _ -> assert false in
+  let m = match Engine.parse_model g "hardcore:0.8" with Ok m -> m | Error _ -> assert false in
+  let inst = Instance.unpinned m.Engine.spec in
+  let oracle =
+    match Engine.make_oracle ~engine:"ball" ~t:1 inst with
+    | Ok o -> o
+    | Error _ -> assert false
+  in
+  let trials = 5 in
+  let expected =
+    Array.map
+      (fun r ->
+        let res = Local_sampler.sample oracle inst ~seed:(Rng.bits64 r) in
+        (res.Local_sampler.success, res.Local_sampler.sigma))
+      (Rng.streams seed trials)
+  in
+  let e = Engine.create () in
+  (match Engine.submit e ~domains:1 (req ~seed ~trials ()) with
+  | Ok (Protocol.Sample_r { trials = t'; successes; first; _ }) ->
+      checki "trials echoed" trials t';
+      checki "successes match the direct trials" successes
+        (Array.fold_left (fun acc (ok, _) -> if ok then acc + 1 else acc) 0 expected);
+      let expected_first =
+        match Array.find_opt fst expected with Some (_, y) -> y | None -> [||]
+      in
+      checkb "first sample is bit-identical" true (first = expected_first)
+  | _ -> Alcotest.fail "sample parity: expected Sample_r");
+  (match Engine.submit e ~domains:1 (req ~op:Protocol.Infer ~seed ~vertex:3 ()) with
+  | Ok (Protocol.Infer_r { probs }) ->
+      checkb "marginal is bit-identical" true
+        (probs = Array.copy (oracle.Inference.infer inst 3 :> float array))
+  | _ -> Alcotest.fail "infer parity: expected Infer_r");
+  match Engine.submit e ~domains:1 (req ~op:Protocol.Count ~seed ()) with
+  | Ok (Protocol.Count_r { log_z }) ->
+      let order = Array.init (Instance.n inst) (fun i -> i) in
+      checkb "ln Z is bit-identical" true
+        (log_z = Reductions.estimate_log_partition oracle inst ~order)
+  | _ -> Alcotest.fail "count parity: expected Count_r"
+
+let mixed_batch =
+  [
+    req ~id:0 ~seed:5L ~trials:3 ();
+    req ~id:1 ~op:Protocol.Infer ~seed:9L ~graph:"path:9" ~model:"ising:0.4" ~vertex:2 ();
+    req ~id:2 ~seed:5L ~trials:3 ();  (* coalesces (and shares plans) with id 0 *)
+    req ~id:3 ~op:Protocol.Count ~seed:5L ();
+    req ~id:4 ~model:"nope:1" ();  (* named rejection, isolated to this id *)
+    req ~id:5 ~graph:"tree:2x3" ~model:"coloring:4" ~seed:7L ~trials:2 ();
+  ]
+
+let test_engine_batch_determinism () =
+  (* Two fresh engines, the same batch: identical results, including the
+     error entries and the hit/miss accounting. *)
+  let run () =
+    let e = Engine.create () in
+    let r1 = Engine.submit_batch e ~domains:1 mixed_batch in
+    let r2 = Engine.submit_batch e ~domains:1 mixed_batch in
+    (r1, r2, Engine.stats e)
+  in
+  let a1, a2, sa = run () in
+  let b1, b2, sb = run () in
+  checkb "fresh-engine batches are bit-identical" true (a1 = b1);
+  checkb "warm-engine batches are bit-identical" true (a2 = b2);
+  checkb "warm results equal cold results" true (a1 = a2);
+  checkb "counters are a pure function of the stream" true (sa = sb);
+  checkb "the bad request stays isolated" true
+    (match List.nth a1 4 with Error (Engine.Bad_request _) -> true | _ -> false);
+  checkb "good requests in the same batch still answer" true
+    (match List.nth a1 5 with Ok (Protocol.Sample_r _) -> true | _ -> false);
+  (* Batching accounting: id 2 coalesced onto id 0's compiled instance
+     (and the bad request memoized), and the second submit hit caches. *)
+  checkb "coalescing counted" true (sa.Protocol.st_coalesced >= 2);
+  checkb "warm submit produced cache hits" true (sa.Protocol.st_cache_hits > 0);
+  checki "requests counted" (2 * List.length mixed_batch) sa.Protocol.st_requests;
+  checki "batches counted" 2 sa.Protocol.st_batches
+
+let test_engine_eviction_pressure () =
+  (* An instance cache of 1 under alternating models must evict and the
+     stats must say so — and the answers must not change. *)
+  let e = Engine.create ~instance_cache:1 () in
+  let small = Engine.create () in
+  let alternating =
+    [ req ~id:0 (); req ~id:1 ~model:"ising:0.3" (); req ~id:2 (); req ~id:3 ~model:"ising:0.3" () ]
+  in
+  let tight = List.map (fun r -> Engine.submit e ~domains:1 r) alternating in
+  let roomy = List.map (fun r -> Engine.submit small ~domains:1 r) alternating in
+  checkb "eviction pressure never changes answers" true (tight = roomy);
+  checkb "evictions metered" true ((Engine.stats e).Protocol.st_evictions > 0);
+  checki "no evictions with room" 0 (Engine.stats small).Protocol.st_evictions
+
+(* --- the daemon end to end -------------------------------------------- *)
+
+let e2e_requests =
+  [
+    req ~id:0 ~seed:5L ~trials:3 ();
+    req ~id:1 ~op:Protocol.Infer ~seed:9L ~graph:"path:9" ~model:"ising:0.4" ~vertex:2 ();
+    req ~id:2 ~op:Protocol.Count ~seed:5L ();
+    req ~id:3 ~graph:"tree:2x3" ~model:"coloring:4" ~seed:7L ~trials:2 ();
+  ]
+
+let test_server_end_to_end () =
+  let n = List.length e2e_requests in
+  (* Budget: two identical passes plus one stats probe. *)
+  let addr, pid = fork_server ~max_requests:((2 * n) + 1) () in
+  let c = connect_or_fail addr in
+  let pass () = List.map (fun r -> call_or_fail c r) e2e_requests in
+  let first = pass () in
+  let second = pass () in
+  let stats_body =
+    call_or_fail c
+      (req ~id:99 ~op:Protocol.Stats ~graph:"-" ~model:"-" ~engine:"-" ~t:0 ())
+  in
+  Client.close c;
+  ignore (Unix.waitpid [] pid);
+  checkb "same request bytes, same response bytes" true (first = second);
+  List.iter
+    (fun body ->
+      checkb "every op answered with its body" true
+        (match body with
+        | Protocol.Sample_r _ | Protocol.Infer_r _ | Protocol.Count_r _ -> true
+        | _ -> false))
+    first;
+  match stats_body with
+  | Protocol.Stats_r st ->
+      checki "daemon answered every request" ((2 * n) + 1) st.Protocol.st_requests;
+      checkb "the second pass hit the caches" true (st.Protocol.st_cache_hits >= n);
+      checki "nothing rejected" 0 st.Protocol.st_rejected
+  | _ -> Alcotest.fail "expected Stats_r"
+
+let test_server_overload () =
+  (* A pipelining client must outrun a queue bound of 1 and observe
+     Overloaded verdicts; every request is still answered exactly once. *)
+  let n = 8 in
+  let addr, pid =
+    fork_server ~queue_bound:1 ~batch_max:1 ~max_requests:n ()
+  in
+  let c = connect_or_fail addr in
+  let reqs = List.init n (fun i -> req ~id:i ~seed:5L ~trials:2 ()) in
+  List.iter (fun r -> Client.send c r) reqs;
+  let seen = Array.make n 0 in
+  let overloaded = ref 0 in
+  for _ = 1 to n do
+    match Client.recv c with
+    | Error msg -> Alcotest.fail ("recv: " ^ msg)
+    | Ok resp ->
+        let idx = resp.Protocol.rid in
+        checkb "rid in range" true (idx >= 0 && idx < n);
+        seen.(idx) <- seen.(idx) + 1;
+        (match resp.Protocol.body with
+        | Protocol.Error_r { code = Protocol.Overloaded; _ } -> incr overloaded
+        | Protocol.Sample_r _ -> ()
+        | _ -> Alcotest.fail "unexpected body under overload")
+  done;
+  Client.close c;
+  ignore (Unix.waitpid [] pid);
+  Array.iteri (fun i k -> checki (Printf.sprintf "id %d answered once" i) 1 k) seen;
+  checkb "the tiny queue rejected at least one request" true (!overloaded >= 1);
+  checkb "at least one request was admitted" true (!overloaded < n)
+
+let test_server_malformed_input () =
+  (* Broken framing gives the server no request boundary to resynchronize
+     on: it drops the connection without answering.  A well-framed but
+     malformed payload is answered Bad_request on the frame's id. *)
+  let addr, pid = fork_server ~max_requests:1 () in
+  let path = match addr with Server.Unix_path p -> p | _ -> assert false in
+  let raw () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec retry k =
+      try Unix.connect fd (Unix.ADDR_UNIX path)
+      with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when k > 0 ->
+        Ls_shard.Supervisor.sleep_ms 50;
+        retry (k - 1)
+    in
+    retry 50;
+    fd
+  in
+  (* Connection 1: garbage bytes — expect a silent close.  At least a
+     full frame header's worth, so the blocking header read completes
+     and the magic check fires. *)
+  let fd1 = raw () in
+  let junk = Bytes.make 256 'x' in
+  ignore (Unix.write fd1 junk 0 (Bytes.length junk));
+  let buf = Bytes.create 64 in
+  let rec read_eof () =
+    match Unix.read fd1 buf 0 64 with
+    | 0 -> true
+    | _ -> read_eof ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_eof ()
+  in
+  checkb "broken framing drops the connection" true (read_eof ());
+  Unix.close fd1;
+  (* Connection 2: a valid frame holding a garbage payload — expect a
+     named Bad_request response carrying the frame-header id. *)
+  let fd2 = raw () in
+  Frame.write_fd fd2
+    { Frame.kind = Protocol.kind_request; a = 7; b = 0; c = 0; payload = "junk" };
+  (match Protocol.read_response fd2 with
+  | Ok { Protocol.rid; body = Protocol.Error_r { code = Protocol.Bad_request; message } } ->
+      checki "the reply carries the frame id" 7 rid;
+      checkb "the reason is named" true (String.length message > 0)
+  | Ok _ -> Alcotest.fail "expected a Bad_request reply"
+  | Error _ -> Alcotest.fail "expected a reply, got a read error");
+  Unix.close fd2;
+  ignore (Unix.waitpid [] pid)
+
+(* --- validated environment (the exit-2 contract) ----------------------- *)
+
+let with_env pairs f =
+  let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
+        saved)
+    f
+
+let test_env_checks_unit () =
+  let expect_error what check var =
+    match check () with
+    | Ok () -> Alcotest.fail (what ^ ": expected a validation error")
+    | Error msg -> checkb (what ^ " names the variable") true (contains msg var)
+  in
+  with_env [ ("LOCSAMPLE_DOMAINS", "abc") ] (fun () ->
+      expect_error "malformed domain count" Par.env_check "LOCSAMPLE_DOMAINS");
+  with_env [ ("LOCSAMPLE_DOMAINS", "0") ] (fun () ->
+      expect_error "zero domains" Par.env_check "LOCSAMPLE_DOMAINS");
+  with_env [ ("LOCSAMPLE_DOMAINS", "4") ] (fun () ->
+      checkb "valid domains pass" true (Par.env_check () = Ok ()));
+  with_env [ ("LOCSAMPLE_SERVE_QUEUE", "-3") ] (fun () ->
+      expect_error "negative queue bound" Server.env_check "LOCSAMPLE_SERVE_QUEUE");
+  with_env [ ("LOCSAMPLE_SERVE_CACHE", "zero") ] (fun () ->
+      expect_error "malformed cache size" Server.env_check "LOCSAMPLE_SERVE_CACHE");
+  with_env [ ("LOCSAMPLE_SERVE_SOCKET", "tcp:notaport:xyz") ] (fun () ->
+      expect_error "malformed serve socket" Server.env_check "LOCSAMPLE_SERVE_SOCKET");
+  with_env
+    [ ("LOCSAMPLE_SERVE_SOCKET", "unix:/tmp/x.sock");
+      ("LOCSAMPLE_SERVE_QUEUE", "8"); ("LOCSAMPLE_SERVE_CACHE", "16") ]
+    (fun () -> checkb "valid serve env passes" true (Server.env_check () = Ok ()));
+  let file = Filename.temp_file "ls-serve-notadir" ".txt" in
+  with_env [ ("LOCSAMPLE_SHARD_DIR", file) ] (fun () ->
+      expect_error "shard dir is a file" Ls_shard.Ckpt.env_check
+        "LOCSAMPLE_SHARD_DIR");
+  Sys.remove file
+
+(* Exec the real binary: a malformed LOCSAMPLE_* variable must exit 2
+   with a named message — never escape as an uncaught backtrace (the
+   regression this PR fixes). *)
+let locsample_exe =
+  (* The test binary lives in _build/default/test/; the CLI is a declared
+     dep at _build/default/bin/.  Resolve relative to the test executable
+     so the path holds under both `dune runtest` and `dune exec`. *)
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "locsample.exe")
+
+let run_cli ~extra_env args =
+  let keep s = not (contains s "LOCSAMPLE_") in
+  let env =
+    Array.of_list
+      (List.filter keep (Array.to_list (Unix.environment ())) @ extra_env)
+  in
+  let out_file = Filename.temp_file "ls-serve-cli" ".out" in
+  let err_file = Filename.temp_file "ls-serve-cli" ".err" in
+  let fd_out = Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  let fd_err = Unix.openfile err_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process_env locsample_exe
+      (Array.of_list (locsample_exe :: args))
+      env Unix.stdin fd_out fd_err
+  in
+  Unix.close fd_out;
+  Unix.close fd_err;
+  let _, status = Unix.waitpid [] pid in
+  let slurp path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  let out = slurp out_file in
+  let err = slurp err_file in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, out, err)
+
+let test_cli_env_exit2 () =
+  let cheap = [ "phase"; "--depth"; "1" ] in
+  let expect_named_exit2 what extra_env var =
+    let code, _out, err = run_cli ~extra_env cheap in
+    checki (what ^ " exits 2") 2 code;
+    checkb (what ^ " names the variable") true (contains err var);
+    checkb (what ^ " is not a backtrace") true (not (contains err "Raised at"));
+    checkb (what ^ " uses the CLI prefix") true (contains err "locsample:")
+  in
+  expect_named_exit2 "malformed LOCSAMPLE_DOMAINS"
+    [ "LOCSAMPLE_DOMAINS=abc" ] "LOCSAMPLE_DOMAINS";
+  expect_named_exit2 "zero LOCSAMPLE_DOMAINS"
+    [ "LOCSAMPLE_DOMAINS=0" ] "LOCSAMPLE_DOMAINS";
+  expect_named_exit2 "malformed LOCSAMPLE_SERVE_QUEUE"
+    [ "LOCSAMPLE_SERVE_QUEUE=lots" ] "LOCSAMPLE_SERVE_QUEUE";
+  let file = Filename.temp_file "ls-serve-notadir" ".txt" in
+  expect_named_exit2 "LOCSAMPLE_SHARD_DIR pointing at a file"
+    [ "LOCSAMPLE_SHARD_DIR=" ^ file ] "LOCSAMPLE_SHARD_DIR";
+  Sys.remove file;
+  (* And a well-formed environment still runs. *)
+  let code, out, _err = run_cli ~extra_env:[ "LOCSAMPLE_DOMAINS=2" ] cheap in
+  checki "valid env exits 0" 0 code;
+  checkb "valid env produces output" true (String.length out > 0)
+
+let suite =
+  [
+    Alcotest.test_case "protocol round-trip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol named errors" `Quick test_protocol_named_errors;
+    Alcotest.test_case "protocol decode fuzz (mutated bytes)" `Quick
+      test_protocol_decode_fuzz;
+    Alcotest.test_case "lru eviction order and counters" `Quick test_lru;
+    Alcotest.test_case "engine cache keys" `Quick test_engine_cache_keys;
+    Alcotest.test_case "engine named rejections" `Quick
+      test_engine_named_rejections;
+    Alcotest.test_case "engine parity with direct library calls" `Quick
+      test_engine_parity_with_library;
+    Alcotest.test_case "engine batch determinism + coalescing" `Quick
+      test_engine_batch_determinism;
+    Alcotest.test_case "engine eviction pressure" `Quick
+      test_engine_eviction_pressure;
+    Alcotest.test_case "server end to end (unix socket)" `Quick
+      test_server_end_to_end;
+    Alcotest.test_case "server overload verdicts" `Quick test_server_overload;
+    Alcotest.test_case "server malformed input" `Quick
+      test_server_malformed_input;
+    Alcotest.test_case "env validation (unit)" `Quick test_env_checks_unit;
+    Alcotest.test_case "cli: malformed env exits 2, no backtrace" `Quick
+      test_cli_env_exit2;
+  ]

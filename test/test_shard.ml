@@ -604,6 +604,39 @@ let test_sweep_kill_recovery () =
       checki "three spawns metered" 3 m.Metrics.shard_spawns;
       checki "two restarts metered" 2 m.Metrics.shard_restarts)
 
+let test_supervisor_sleep_signal_storm () =
+  (* Regression: sleep_ms was a single Unix.sleepf call, which a signal
+     delivered mid-sleep can cut short on platforms whose sleep is not
+     auto-resumed — under a SIGCHLD storm a 60 ms backoff returned almost
+     immediately, collapsing the supervisor's restart backoff schedule
+     into a hot loop.  The fix re-sleeps the remaining wall time until
+     the deadline.  Storm: an interval timer fires SIGALRM every 2 ms,
+     whose handler re-delivers SIGCHLD (the signal a reaping supervisor
+     actually receives). *)
+  let old_chld = Sys.signal Sys.sigchld (Sys.Signal_handle (fun _ -> ())) in
+  let old_alrm =
+    Sys.signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> Unix.kill (Unix.getpid ()) Sys.sigchld))
+  in
+  let storm = { Unix.it_interval = 0.002; it_value = 0.002 } in
+  let off = { Unix.it_interval = 0.; it_value = 0. } in
+  ignore (Unix.setitimer Unix.ITIMER_REAL storm);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL off);
+      ignore (Sys.signal Sys.sigalrm old_alrm);
+      ignore (Sys.signal Sys.sigchld old_chld))
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Supervisor.sleep_ms 60;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      checkb
+        (Printf.sprintf
+           "storm-interrupted sleep honors its schedule (%.1f ms)"
+           (1000. *. elapsed))
+        true
+        (elapsed >= 0.055))
+
 let suite =
   [
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
@@ -630,6 +663,8 @@ let suite =
       test_supervisor_all_dead_permanent;
     Alcotest.test_case "supervisor: hang probes SIGKILL and restart" `Quick
       test_supervisor_hang_probe;
+    Alcotest.test_case "supervisor: sleep_ms survives a signal storm" `Quick
+      test_supervisor_sleep_signal_storm;
     Alcotest.test_case "kill spec parsing" `Quick test_parse_kill_specs;
     Alcotest.test_case "sharded phases bit-identical (1/2/3/6 shards)" `Quick
       test_exec_identity;
