@@ -170,9 +170,14 @@ let seed_sensitive spec =
   has_prefix "tree-rand:" || has_prefix "regular:"
 
 let instance_key (r : Protocol.request) =
+  (* Length-prefixing each variable component keeps the key injective
+     even if a future spec syntax admits '|'. *)
   let base =
-    Printf.sprintf "%s|%s|%d|%s" r.Protocol.graph r.Protocol.model r.Protocol.t
-      r.Protocol.engine
+    Printf.sprintf "%d:%s|%d:%s|%d|%d:%s"
+      (String.length r.Protocol.graph) r.Protocol.graph
+      (String.length r.Protocol.model) r.Protocol.model
+      r.Protocol.t
+      (String.length r.Protocol.engine) r.Protocol.engine
   in
   if seed_sensitive r.Protocol.graph then
     Printf.sprintf "%s|%Lx" base r.Protocol.seed
@@ -318,15 +323,18 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
       requests
   in
   t.coalesced <- t.coalesced + !coalesced;
-  (* Stage 2: per-trial seeds for every admissible Sample request. *)
+  (* Stage 2: per-trial seeds for every admissible Sample request.  Jobs
+     carry their batch position: request ids are client-chosen and may
+     collide across the connections batched together, so nothing
+     downstream keys on them. *)
   let sample_jobs =
     List.filter_map
-      (fun (r, res) ->
+      (fun (pos, ((r : Protocol.request), res)) ->
         match (r.Protocol.op, res) with
         | Protocol.Sample, Ok (Some (key, c)) ->
-            Some (r, key, c, trial_seeds r.Protocol.seed r.Protocol.trials)
+            Some (pos, r, key, c, trial_seeds r.Protocol.seed r.Protocol.trials)
         | _ -> None)
-      resolved
+      (List.mapi (fun pos rr -> (pos, rr)) resolved)
   in
   (* Stage 3: plans.  Sequential lookups (deterministic hit counts), one
      parallel Par.map over the misses, insertions in deduped key order. *)
@@ -336,7 +344,7 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
   let missing = ref [] (* (pkey, compiled, sseed), reverse order *) in
   let pending : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
-    (fun (_r, ikey, c, sseeds) ->
+    (fun (_pos, _r, ikey, c, sseeds) ->
       Array.iter
         (fun sseed ->
           let pkey = plan_key ikey sseed in
@@ -367,7 +375,7 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
   let all_trials =
     Array.concat
       (List.map
-         (fun (_r, ikey, c, sseeds) ->
+         (fun (_pos, _r, ikey, c, sseeds) ->
            Array.map
              (fun sseed ->
                (c, Hashtbl.find plan_table (plan_key ikey sseed), sseed))
@@ -388,9 +396,9 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
     cursor := !cursor + k;
     out
   in
-  let sample_bodies : (int, Protocol.body) Hashtbl.t = Hashtbl.create 16 in
+  let sample_bodies : Protocol.body option array = Array.make n_requests None in
   List.iter
-    (fun ((r : Protocol.request), _ikey, _c, sseeds) ->
+    (fun (pos, (r : Protocol.request), _ikey, _c, sseeds) ->
       let results = take (Array.length sseeds) in
       let emp = Empirical.create () in
       Array.iter (fun (ok, y) -> if ok then Empirical.add emp y) results;
@@ -399,24 +407,28 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
         | Some (_, y) -> y
         | None -> [||]
       in
-      Hashtbl.replace sample_bodies r.Protocol.id
-        (Protocol.Sample_r
-           {
-             trials = r.Protocol.trials;
-             successes = Empirical.total emp;
-             distinct = Empirical.distinct emp;
-             first;
-           }))
+      sample_bodies.(pos) <-
+        Some
+          (Protocol.Sample_r
+             {
+               trials = r.Protocol.trials;
+               successes = Empirical.total emp;
+               distinct = Empirical.distinct emp;
+               first;
+             }))
     sample_jobs;
   let bodies =
-    List.map
-      (fun ((r : Protocol.request), res) ->
+    List.mapi
+      (fun pos ((r : Protocol.request), res) ->
         match res with
         | Error e -> Error e
         | Ok None -> Ok (Protocol.Stats_r (stats t))
         | Ok (Some (_key, c)) -> (
             match r.Protocol.op with
-            | Protocol.Sample -> Ok (Hashtbl.find sample_bodies r.Protocol.id)
+            | Protocol.Sample -> (
+                match sample_bodies.(pos) with
+                | Some b -> Ok b
+                | None -> Error (Internal "sample body missing for batch slot"))
             | Protocol.Infer ->
                 if r.Protocol.vertex >= Graph.n c.c_graph then
                   Error

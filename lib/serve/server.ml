@@ -8,8 +8,15 @@
    never enqueued.  Backpressure is structural: while a batch executes,
    the loop is not reading sockets, so clients that pipeline past the
    queue bound accumulate bytes in the kernel buffer and eventually block
-   on write — the daemon's memory stays bounded by
-   [queue_bound + batch_max] requests regardless of client count. *)
+   on write.
+
+   Hostile-peer bounds: inbound bytes are decoded incrementally from a
+   per-connection buffer, so a peer that sends half a frame and stalls
+   parks at most [max_request_frame] bytes and never blocks the loop;
+   responses are written under SO_SNDTIMEO, so a peer that stops reading
+   is dropped after [send_timeout_s] rather than wedging every other
+   connection.  Daemon memory stays bounded by [queue_bound + batch_max]
+   requests plus [max_request_frame + read_chunk] bytes per connection. *)
 
 module Frame = Ls_shard.Frame
 module Supervisor = Ls_shard.Supervisor
@@ -62,12 +69,16 @@ let env_check () =
   let* () = env_int_check "LOCSAMPLE_SERVE_QUEUE" ~min:1 in
   env_int_check "LOCSAMPLE_SERVE_CACHE" ~min:1
 
+(* Same validation as [env_check], so library callers that skip the
+   CLI's startup check get a raised error rather than a silently
+   ignored setting. *)
 let env_int name ~default =
-  match Sys.getenv_opt name with
-  | None | Some "" -> default
-  | Some s -> ( match int_of_string_opt (String.trim s) with
-                | Some k -> k
-                | None -> default)
+  match env_int_check name ~min:1 with
+  | Error msg -> invalid_arg msg
+  | Ok () -> (
+      match Sys.getenv_opt name with
+      | None | Some "" -> default
+      | Some s -> int_of_string (String.trim s))
 
 let default_address () =
   match Sys.getenv_opt "LOCSAMPLE_SERVE_SOCKET" with
@@ -115,19 +126,41 @@ let config ?address ?queue_bound ?(batch_max = 32) ?instance_cache
 
 (* --- the loop --------------------------------------------------------- *)
 
-type conn = { fd : Unix.file_descr; mutable alive : bool }
+(* A request frame is a few hundred bytes (Protocol caps every spec);
+   64 KiB leaves room without letting a hostile length claim park the
+   1 GiB Frame.max_payload per connection. *)
+let max_request_frame = 1 lsl 16
+
+(* Most bytes pulled off a connection per select round. *)
+let read_chunk = 1 lsl 16
+
+(* A peer that keeps a write blocked this long has stopped reading its
+   responses; dropping it is the only way to keep the loop live for
+   everyone else. *)
+let send_timeout_s = 10.
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable alive : bool;
+  (* Bytes received but not yet forming a complete frame. *)
+  mutable pending : string;
+}
 
 let close_conn c =
   if c.alive then begin
     c.alive <- false;
+    c.pending <- "";
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
 let send_response c resp =
   if c.alive then
-    try Protocol.write_response c.fd resp
-    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-      close_conn c
+    try Protocol.write_response c.fd resp with
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn c
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+      ->
+        (* SO_SNDTIMEO expired mid-frame: the peer stopped reading. *)
+        close_conn c
 
 let listen_on = function
   | Unix_path path ->
@@ -204,30 +237,58 @@ let run ?(cfg = config ()) ?trace ?on_ready () =
           Engine.note_queue_depth engine (Queue.length queue)
         end
   in
-  (* Drain every frame already buffered on the connection, so a
+  (* Decode every complete frame accumulated on the connection; a
+     trailing partial frame stays in [pending] until more bytes arrive
+     (the loop never blocks waiting for them). *)
+  let rec decode_pending c =
+    if c.alive then
+      match
+        Frame.decode_prefix ~max_frame_payload:max_request_frame c.pending
+      with
+      | Ok None -> ()
+      | Ok (Some (f, used)) ->
+          c.pending <-
+            String.sub c.pending used (String.length c.pending - used);
+          handle_frame c f;
+          decode_pending c
+      | Error reason ->
+          (* Framing is broken — no request boundary to resynchronize
+             on, so answer nothing and drop the connection. *)
+          Log.debug (fun m -> m "dropping connection: %s" reason);
+          close_conn c
+  in
+  (* Drain every byte already buffered on the connection, so a
      pipelining client can outrun the queue bound and observe Overloaded
-     rather than being serialized one frame per select round. *)
+     rather than being serialized one frame per select round.  Each read
+     takes only what the kernel already holds: select says the first
+     byte is there, and read on a readable socket returns the available
+     bytes without waiting for the count requested. *)
+  let scratch = Bytes.create read_chunk in
   let rec drain c =
     if c.alive then
       match Unix.select [ c.fd ] [] [] 0. with
       | [ _ ], _, _ -> (
-          match Frame.read_fd c.fd with
-          | Ok f ->
-              handle_frame c f;
+          match Unix.read c.fd scratch 0 read_chunk with
+          | 0 ->
+              (* EOF: any partial frame in [pending] is abandoned. *)
+              close_conn c
+          | k ->
+              c.pending <- c.pending ^ Bytes.sub_string scratch 0 k;
+              decode_pending c;
               drain c
-          | Error Frame.Closed -> close_conn c
-          | Error Frame.Truncated -> close_conn c
-          | Error (Frame.Malformed reason) ->
-              (* Framing is broken — no request boundary to resynchronize
-                 on, so answer nothing and drop the connection. *)
-              Log.debug (fun m -> m "dropping connection: %s" reason);
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain c
+          | exception
+              Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
               close_conn c)
       | _ -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
   let accept_new () =
     match Unix.accept listen_fd with
-    | fd, _ -> conns := { fd; alive = true } :: !conns
+    | fd, _ ->
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_s
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        conns := { fd; alive = true; pending = "" } :: !conns
     | exception
         Unix.Unix_error
           ((Unix.ECONNABORTED | Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN), _, _)

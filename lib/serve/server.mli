@@ -5,7 +5,11 @@
     {!Ls_par} domain pool.  Admission is a bounded FIFO: a request
     arriving on a full queue is answered [Overloaded] immediately.
     Backpressure is structural: during batch execution no socket is read,
-    so daemon memory stays bounded by [queue_bound + batch_max] requests.
+    so daemon memory stays bounded by [queue_bound + batch_max] requests
+    plus a small per-connection inbound buffer.  Inbound frames are
+    decoded incrementally, so a peer that stalls mid-frame never blocks
+    the loop; responses are written under a send timeout, so a peer that
+    stops reading is dropped rather than wedging other connections.
 
     Responses on one connection are written in the arrival order of their
     requests; response bodies are a pure function of the request bytes
@@ -31,10 +35,14 @@ val default_address : unit -> address
     system temp dir. *)
 
 val default_queue : unit -> int
-(** [LOCSAMPLE_SERVE_QUEUE] when set, else 64. *)
+(** [LOCSAMPLE_SERVE_QUEUE] when set, else 64.  Raises
+    [Invalid_argument] on a malformed or non-positive value — the same
+    values {!env_check} rejects (the CLI reports them via that check
+    first; library callers are not silently defaulted). *)
 
 val default_cache : unit -> int
-(** [LOCSAMPLE_SERVE_CACHE] when set, else 64. *)
+(** [LOCSAMPLE_SERVE_CACHE] when set, else 64.  Raises
+    [Invalid_argument] exactly as {!default_queue} does. *)
 
 type config = {
   address : address;

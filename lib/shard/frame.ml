@@ -76,6 +76,44 @@ let decode s =
     else Ok { kind; a; b; c; payload }
   end
 
+(* Decode one frame from the front of [s], for callers that accumulate
+   bytes from a non-blocking stream.  [Ok None] means the bytes so far
+   are a valid proper prefix — read more.  [Ok (Some (f, used))] decoded
+   a frame spanning the first [used] bytes.  [Error] names a malformed
+   header or digest: the stream has no frame boundary left to
+   resynchronize on.  [max_frame_payload] lets a server cap hostile
+   length claims below the generous default. *)
+let decode_prefix ?(max_frame_payload = max_payload) s =
+  let avail = String.length s in
+  if avail < header_bytes then Ok None
+  else begin
+    let ( let* ) = Result.bind in
+    let parsed =
+      let cur = ref 0 in
+      let* () = Codec.read_magic s cur magic in
+      let* kind = Codec.read_int s cur in
+      let* a = Codec.read_int s cur in
+      let* b = Codec.read_int s cur in
+      let* c = Codec.read_int s cur in
+      let* len = Codec.read_int s cur in
+      let* dg = Codec.read_i64 s cur in
+      Ok (kind, a, b, c, len, dg)
+    in
+    match parsed with
+    | Error e -> Error e
+    | Ok (kind, a, b, c, len, dg) ->
+        if len < 0 then Error "Frame: negative payload length"
+        else if len > max_frame_payload then
+          Error "Frame: payload length exceeds maximum"
+        else if avail < header_bytes + len then Ok None
+        else begin
+          let payload = String.sub s header_bytes len in
+          if not (Int64.equal (digest64 payload) dg) then
+            Error "Frame: payload digest mismatch"
+          else Ok (Some ({ kind; a; b; c; payload }, header_bytes + len))
+        end
+  end
+
 (* {1 File-descriptor IO}
 
    All loops retry EINTR and handle short reads/writes: a frame streamed

@@ -22,6 +22,16 @@ val decode : string -> (t, string) result
     mode — bad magic, truncation, negative or oversized length, trailing
     bytes, digest mismatch — is a named [Error]. *)
 
+val decode_prefix :
+  ?max_frame_payload:int -> string -> ((t * int) option, string) result
+(** Decode one frame from the front of a byte accumulation: [Ok None]
+    when the bytes are a valid proper prefix (read more), [Ok (Some (f,
+    used))] when a frame spans the first [used] bytes, and a named
+    [Error] when the header or digest is malformed (no frame boundary
+    left to resynchronize on).  [max_frame_payload] (default
+    {!max_payload}) caps the accepted length claim, bounding what a
+    hostile peer can make the caller buffer. *)
+
 val digest64 : string -> int64
 (** The payload digest (a SplitMix64 fold), exposed for tests. *)
 

@@ -220,7 +220,13 @@ let test_engine_cache_keys () =
   checkb "cycle graphs are not" true (not (Engine.seed_sensitive "cycle:16"));
   checkb "distinct models get distinct keys" true
     (k (req ()) <> k (req ~model:"ising:0.3" ()));
-  checkb "distinct radii get distinct keys" true (k (req ~t:1 ()) <> k (req ~t:2 ()))
+  checkb "distinct radii get distinct keys" true (k (req ~t:1 ()) <> k (req ~t:2 ()));
+  (* Injectivity across spec boundaries: a '|' inside one spec must not
+     collide with the key separator (regression: raw concatenation let
+     ("cycle:1|x", "y") and ("cycle:1", "x|y") share a key). *)
+  checkb "keys are injective across spec boundaries" true
+    (k (req ~graph:"cycle:1|x" ~model:"y" ())
+    <> k (req ~graph:"cycle:1" ~model:"x|y" ()))
 
 let test_engine_named_rejections () =
   let e = Engine.create () in
@@ -342,6 +348,18 @@ let test_engine_batch_determinism () =
   checkb "warm submit produced cache hits" true (sa.Protocol.st_cache_hits > 0);
   checki "requests counted" (2 * List.length mixed_batch) sa.Protocol.st_requests;
   checki "batches counted" 2 sa.Protocol.st_batches
+
+let test_engine_duplicate_ids () =
+  (* Each client numbers its requests independently, so one server batch
+     can hold several requests sharing an id; every slot must keep its
+     own body (regression: stage-5 bodies were keyed by the client id,
+     so a duplicate silently overwrote another client's result). *)
+  let a = req ~id:3 ~seed:5L ~trials:3 () in
+  let b = req ~id:3 ~seed:9L ~trials:2 ~model:"ising:0.3" () in
+  let batch = Engine.submit_batch (Engine.create ()) ~domains:1 [ a; b ] in
+  let solo r = Engine.submit (Engine.create ()) ~domains:1 r in
+  checkb "first slot answers its own request" true (List.nth batch 0 = solo a);
+  checkb "second slot answers its own request" true (List.nth batch 1 = solo b)
 
 let test_engine_eviction_pressure () =
   (* An instance cache of 1 under alternating models must evict and the
@@ -473,6 +491,34 @@ let test_server_malformed_input () =
   Unix.close fd2;
   ignore (Unix.waitpid [] pid)
 
+let test_server_stalled_partial_frame () =
+  (* A peer that sends half a frame and stalls must not block the loop:
+     a second connection's request is still answered (regression: the
+     drain path blocked in a full-frame read until the stalled peer
+     finished).  Once the stalled peer completes its frame, it is
+     answered normally too. *)
+  let addr, pid = fork_server ~max_requests:2 () in
+  let path = match addr with Server.Unix_path p -> p | _ -> assert false in
+  let c = connect_or_fail addr in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let enc = Protocol.encode_request (req ~id:1 ~seed:9L ()) in
+  let cut = 10 in
+  ignore (Unix.write_substring fd enc 0 cut);
+  (* Give the loop a select round to pull the partial bytes first: the
+     stalled connection is drained before the healthy one. *)
+  Ls_shard.Supervisor.sleep_ms 100;
+  (match call_or_fail c (req ~id:0 ~seed:5L ()) with
+  | Protocol.Sample_r _ -> ()
+  | _ -> Alcotest.fail "expected a Sample_r past the stalled peer");
+  ignore (Unix.write_substring fd enc cut (String.length enc - cut));
+  (match Protocol.read_response fd with
+  | Ok { Protocol.rid = 1; body = Protocol.Sample_r _ } -> ()
+  | _ -> Alcotest.fail "completed frame must be answered");
+  Unix.close fd;
+  Client.close c;
+  ignore (Unix.waitpid [] pid)
+
 (* --- validated environment (the exit-2 contract) ----------------------- *)
 
 let with_env pairs f =
@@ -501,6 +547,20 @@ let test_env_checks_unit () =
       expect_error "negative queue bound" Server.env_check "LOCSAMPLE_SERVE_QUEUE");
   with_env [ ("LOCSAMPLE_SERVE_CACHE", "zero") ] (fun () ->
       expect_error "malformed cache size" Server.env_check "LOCSAMPLE_SERVE_CACHE");
+  (* The library accessors reject exactly what env_check rejects — no
+     silent fallback to the default (regression). *)
+  with_env [ ("LOCSAMPLE_SERVE_QUEUE", "lots") ] (fun () ->
+      match Server.default_queue () with
+      | exception Invalid_argument msg ->
+          checkb "library accessor names the variable" true
+            (contains msg "LOCSAMPLE_SERVE_QUEUE")
+      | _ -> Alcotest.fail "malformed LOCSAMPLE_SERVE_QUEUE must raise");
+  with_env [ ("LOCSAMPLE_SERVE_CACHE", "-1") ] (fun () ->
+      match Server.default_cache () with
+      | exception Invalid_argument msg ->
+          checkb "non-positive cache size raises" true
+            (contains msg "LOCSAMPLE_SERVE_CACHE")
+      | _ -> Alcotest.fail "non-positive LOCSAMPLE_SERVE_CACHE must raise");
   with_env [ ("LOCSAMPLE_SERVE_SOCKET", "tcp:notaport:xyz") ] (fun () ->
       expect_error "malformed serve socket" Server.env_check "LOCSAMPLE_SERVE_SOCKET");
   with_env
@@ -592,6 +652,8 @@ let suite =
       test_engine_parity_with_library;
     Alcotest.test_case "engine batch determinism + coalescing" `Quick
       test_engine_batch_determinism;
+    Alcotest.test_case "engine duplicate client ids in one batch" `Quick
+      test_engine_duplicate_ids;
     Alcotest.test_case "engine eviction pressure" `Quick
       test_engine_eviction_pressure;
     Alcotest.test_case "server end to end (unix socket)" `Quick
@@ -599,6 +661,8 @@ let suite =
     Alcotest.test_case "server overload verdicts" `Quick test_server_overload;
     Alcotest.test_case "server malformed input" `Quick
       test_server_malformed_input;
+    Alcotest.test_case "server stalled partial frame" `Quick
+      test_server_stalled_partial_frame;
     Alcotest.test_case "env validation (unit)" `Quick test_env_checks_unit;
     Alcotest.test_case "cli: malformed env exits 2, no backtrace" `Quick
       test_cli_env_exit2;

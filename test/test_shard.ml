@@ -116,6 +116,49 @@ let test_frame_fuzz_mutations () =
     | Ok _ | Error _ -> ()
   done
 
+let test_frame_decode_prefix () =
+  let f1 = { Frame.kind = 1; a = 7; b = 0; c = 0; payload = "alpha" } in
+  let f2 = { Frame.kind = 2; a = 8; b = 1; c = 2; payload = String.make 90 'w' } in
+  let enc1 = Frame.encode f1 and enc2 = Frame.encode f2 in
+  (* Every proper prefix asks for more bytes; the full encoding decodes
+     with an exact consumed count. *)
+  for len = 0 to String.length enc1 - 1 do
+    match Frame.decode_prefix (String.sub enc1 0 len) with
+    | Ok None -> ()
+    | Ok (Some _) -> Alcotest.fail "partial frame must not decode"
+    | Error e -> Alcotest.fail ("partial frame must not be malformed: " ^ e)
+  done;
+  (match Frame.decode_prefix (enc1 ^ enc2) with
+  | Ok (Some (f, used)) ->
+      checkb "first frame decoded" true (f = f1);
+      checki "consumed exactly one frame" (String.length enc1) used;
+      let rest = String.sub (enc1 ^ enc2) used (String.length enc2) in
+      (match Frame.decode_prefix rest with
+      | Ok (Some (f', used')) ->
+          checkb "second frame decoded" true (f' = f2);
+          checki "second frame consumed" (String.length enc2) used'
+      | _ -> Alcotest.fail "second frame must decode from the remainder")
+  | _ -> Alcotest.fail "concatenated frames must decode one at a time");
+  (* A caller-imposed payload cap rejects the length claim up front,
+     before the payload bytes (which may never come) are buffered. *)
+  (match Frame.decode_prefix ~max_frame_payload:8 enc2 with
+  | Error e -> checkb "capped length claim is named" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "length over the caller's cap must be malformed");
+  (* Fuzz, same discipline as decode: mutations and truncations never
+     raise. *)
+  let rng = Rng.create 4242L in
+  let n = String.length enc2 in
+  for _ = 1 to 2_000 do
+    let b = Bytes.of_string enc2 in
+    Bytes.set b (Rng.int rng n) (Char.chr (Rng.int rng 256));
+    (match Frame.decode_prefix (Bytes.to_string b) with
+    | Ok _ | Error _ -> ());
+    match
+      Frame.decode_prefix (String.sub (Bytes.to_string b) 0 (Rng.int rng (n + 1)))
+    with
+    | Ok _ | Error _ -> ()
+  done
+
 let test_frame_streaming_byte_at_a_time () =
   (* Regression for the partial-read loops: a peer dribbling one byte at
      a time must still produce whole frames, then a clean EOF. *)
@@ -643,6 +686,8 @@ let suite =
     Alcotest.test_case "frame named errors" `Quick test_frame_named_errors;
     Alcotest.test_case "frame fuzz (mutated bytes)" `Quick
       test_frame_fuzz_mutations;
+    Alcotest.test_case "frame incremental prefix decode" `Quick
+      test_frame_decode_prefix;
     Alcotest.test_case "frame byte-at-a-time streaming" `Quick
       test_frame_streaming_byte_at_a_time;
     Alcotest.test_case "checkpoint round-trip" `Quick test_ckpt_roundtrip;
