@@ -1557,6 +1557,7 @@ let e17_stream ~seed ~n =
         engine = "ball";
         trials = (match op with Protocol.Sample -> 1 + Rng.int rng 4 | _ -> 1);
         vertex = Rng.int rng 8;
+        deadline_ms = 0;
       })
 
 let e17 () =
@@ -1658,6 +1659,7 @@ let e17 () =
                     engine = "ball";
                     trials = 2;
                     vertex = 0;
+                    deadline_ms = 0;
                   })
             in
             List.iter (fun r -> Client.send c r) reqs;
@@ -1821,6 +1823,205 @@ let e17 () =
         ];
       ]
 
+(* ------------------------------------------------------------------ *)
+(* E18 — crash-tolerant serving: a supervised daemon kill -9ed at      *)
+(* different points of a burst.  The resilient client must finish the  *)
+(* burst with a transcript byte-identical to the unkilled row, and the *)
+(* replacement worker must warm-start from the cache snapshot.         *)
+(* ------------------------------------------------------------------ *)
+
+let e18_requests = ref 64
+
+let e18 () =
+  let module Protocol = Ls_serve.Protocol in
+  let module Server = Ls_serve.Server in
+  let module Client = Ls_serve.Client in
+  let n = !e18_requests in
+  let fork_ok =
+    Par.quiesce ();
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        true
+    | exception Failure _ -> false
+  in
+  if not fork_ok then
+    print_endline
+      "E18 crash-tolerant serving: skipped (domains already created; run \
+       section e18 alone)"
+  else begin
+    (* Worker kills reset client connections mid-write. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let reqs = Array.of_list (e17_stream ~seed:1800L ~n) in
+    let tmp tag =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "locsample-e18-%s-%d" tag (Unix.getpid ()))
+    in
+    let enc rid body = Protocol.encode_response { Protocol.rid; body } in
+    (* One grid row: fork a supervised daemon (fresh state dir), run the
+       burst as a reconnect/resend client, kill -9 the worker after
+       [kill_after] harvested responses, finish, pull stats, SIGTERM. *)
+    let run_row kill_after =
+      let dir = tmp (Printf.sprintf "state-k%d" kill_after) in
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let sock = tmp (Printf.sprintf "k%d.sock" kill_after) in
+      let pid_file = tmp (Printf.sprintf "k%d.pid" kill_after) in
+      flush stdout;
+      flush stderr;
+      Par.quiesce ();
+      let dpid =
+        match Unix.fork () with
+        | 0 ->
+            (try
+               let cfg =
+                 Server.config ~address:(Server.Unix_path sock)
+                   ~queue_bound:64 ~batch_max:8 ~snapshot_every:2
+                   ~state_dir:dir ()
+               in
+               ignore (Server.run_supervised ~cfg ~worker_pid_file:pid_file ());
+               Unix._exit 0
+             with _ -> Unix._exit 3)
+        | pid -> pid
+      in
+      let fresh () =
+        match Client.connect_retry ~attempts:600 ~delay_ms:10
+                (Server.Unix_path sock)
+        with
+        | Ok c -> c
+        | Error msg -> failwith ("e18: " ^ msg)
+      in
+      let c = ref (fresh ()) in
+      let bodies = Array.make n "" in
+      let done_ = Array.make n false in
+      let answered = ref 0 in
+      let killed = ref false in
+      let maybe_kill () =
+        if (not !killed) && kill_after > 0 && !answered >= kill_after then begin
+          killed := true;
+          let ic = open_in pid_file in
+          let wpid = int_of_string (String.trim (input_line ic)) in
+          close_in ic;
+          try Unix.kill wpid Sys.sigkill with Unix.Unix_error _ -> ()
+        end
+      in
+      let t0 = Unix.gettimeofday () in
+      let pipeline = 4 in
+      let i = ref 0 in
+      while !i < n do
+        let k = min pipeline (n - !i) in
+        let send_missing () =
+          try
+            for j = !i to !i + k - 1 do
+              if not done_.(j) then Client.send !c reqs.(j)
+            done
+          with Unix.Unix_error _ -> ()
+        in
+        let missing () =
+          let m = ref 0 in
+          for j = !i to !i + k - 1 do
+            if not done_.(j) then incr m
+          done;
+          !m
+        in
+        send_missing ();
+        while missing () > 0 do
+          match Client.recv !c with
+          | Error _ ->
+              Client.close !c;
+              c := fresh ();
+              send_missing ()
+          | Ok resp ->
+              let idx = resp.Protocol.rid in
+              if idx >= 0 && idx < n && not done_.(idx) then begin
+                done_.(idx) <- true;
+                bodies.(idx) <- enc idx resp.Protocol.body;
+                incr answered;
+                maybe_kill ()
+              end
+        done;
+        i := !i + k
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      let stats =
+        let sreq =
+          {
+            Protocol.id = n;
+            op = Protocol.Stats;
+            seed = 0L;
+            graph = "-";
+            model = "-";
+            t = 0;
+            engine = "-";
+            trials = 1;
+            vertex = 0;
+            deadline_ms = 0;
+          }
+        in
+        match Client.call !c sreq with
+        | Ok { Protocol.body = Protocol.Stats_r st; _ } -> Some st
+        | _ -> None
+      in
+      Client.close !c;
+      (try Unix.kill dpid Sys.sigterm with Unix.Unix_error _ -> ());
+      let drained =
+        match Unix.waitpid [] dpid with
+        | _, Unix.WEXITED 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.unlink pid_file with Unix.Unix_error _ -> ());
+      Printf.eprintf "[e18 kill@%d: %.2fs wall, %.0f req/s]\n%!" kill_after
+        wall
+        (float_of_int n /. Float.max wall 1e-9);
+      (bodies, stats, wall, drained)
+    in
+    let kills = [ 0; n / 4; n / 2 ] in
+    let rows = List.map (fun k -> (k, run_row k)) kills in
+    let reference =
+      match rows with (_, (bodies, _, _, _)) :: _ -> bodies | [] -> [||]
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf
+           "E18  crash-tolerant serving: kill -9 vs drain (%d-request burst, \
+            supervised daemon, snapshot every 2 batches)"
+           n)
+      ~note:
+        "One supervised daemon per row, kill -9ed at the given response\n\
+         count (0 = never).  The parent holds the listener, so the client's\n\
+         reconnect/resend loop finishes every burst; `identical` checks the\n\
+         response bytes against the unkilled row (response bodies are pure\n\
+         functions of request bytes), `snap_hits` counts cache hits served\n\
+         from the replacement worker's warm-start snapshot, and `drain`\n\
+         checks SIGTERM still exits 0 after the chaos.  Wall time is a\n\
+         measurement (stderr); every other column is deterministic."
+      ~header:
+        [ "kill@"; "req"; "restarts"; "snap_hits"; "drain"; "identical" ]
+      (List.map
+         (fun (k, (bodies, stats, _wall, drained)) ->
+           let restarts, snap_hits =
+             match stats with
+             | Some st ->
+                 ( Table.i st.Protocol.st_restarts,
+                   Table.i st.Protocol.st_snapshot_hits )
+             | None -> ("?", "?")
+           in
+           [
+             Table.i k;
+             Table.i n;
+             restarts;
+             snap_hits;
+             (if drained then "yes" else "NO");
+             (if k = 0 then "ref"
+              else if bodies = reference then "yes"
+              else "NO");
+           ])
+         rows)
+  end
+
 let run_all () =
   e1 ();
   e2 ();
@@ -1839,4 +2040,5 @@ let run_all () =
   e15 ();
   e16 ();
   e17 ();
+  e18 ();
   decomp_ablation ()

@@ -427,30 +427,45 @@ let parse_listen = function
   | None -> Server.default_address ()
   | Some s -> or_die (Server.parse_address s)
 
+let render_stats (st : Protocol.stats) =
+  Printf.sprintf
+    "requests=%d batches=%d coalesced=%d hits=%d misses=%d evictions=%d \
+     rejected=%d expired=%d snapshot_hits=%d restarts=%d max_queue=%d \
+     domains=%d"
+    st.Protocol.st_requests st.Protocol.st_batches st.Protocol.st_coalesced
+    st.Protocol.st_cache_hits st.Protocol.st_cache_misses
+    st.Protocol.st_evictions st.Protocol.st_rejected st.Protocol.st_expired
+    st.Protocol.st_snapshot_hits st.Protocol.st_restarts
+    st.Protocol.st_max_queue st.Protocol.st_domains
+
 let serve listen queue_bound batch_max cache plan_cache max_vertices
-    max_requests =
+    max_requests send_timeout state_dir snapshot_every supervised
+    worker_pid_file =
   let cfg =
     try
       Server.config ~address:(parse_listen listen) ?queue_bound ?batch_max
-        ?instance_cache:cache ?plan_cache ?max_vertices ?max_requests ()
+        ?instance_cache:cache ?plan_cache ?max_vertices ?max_requests
+        ?send_timeout ?state_dir ?snapshot_every ()
     with Invalid_argument msg -> die msg
   in
-  let st =
-    Server.run ~cfg
-      ~on_ready:(fun () ->
-        Printf.printf "serving on %s (queue %d, batch %d, cache %d/%d)\n%!"
-          (Server.address_to_string cfg.Server.address)
-          cfg.Server.queue_bound cfg.Server.batch_max cfg.Server.instance_cache
-          cfg.Server.plan_cache)
-      ()
+  let on_ready () =
+    Printf.printf "serving on %s (queue %d, batch %d, cache %d/%d)%s\n%!"
+      (Server.address_to_string cfg.Server.address)
+      cfg.Server.queue_bound cfg.Server.batch_max cfg.Server.instance_cache
+      cfg.Server.plan_cache
+      (if supervised then ", supervised" else "")
   in
-  Printf.printf
-    "served %d request(s) in %d batch(es): coalesced=%d hits=%d misses=%d \
-     evictions=%d rejected=%d max_queue=%d domains=%d\n"
-    st.Protocol.st_requests st.Protocol.st_batches st.Protocol.st_coalesced
-    st.Protocol.st_cache_hits st.Protocol.st_cache_misses
-    st.Protocol.st_evictions st.Protocol.st_rejected st.Protocol.st_max_queue
-    st.Protocol.st_domains;
+  let st =
+    if supervised then (
+      try Server.run_supervised ~cfg ~on_ready ?worker_pid_file ()
+      with Ls_shard.Supervisor.Failed (_, msg) ->
+        (* Restart budget spent: a runtime failure, not a usage error. *)
+        Printf.eprintf "locsample: serve: %s\n" msg;
+        exit 1)
+    else Server.run ~cfg ~on_ready ()
+  in
+  Printf.printf "served %d request(s) in %d batch(es): %s\n"
+    st.Protocol.st_requests st.Protocol.st_batches (render_stats st);
   0
 
 (* Deterministic transcript rendering: every float at full precision, so
@@ -467,14 +482,7 @@ let render_body (b : Protocol.body) =
         (String.concat ","
            (List.map (Printf.sprintf "%.17g") (Array.to_list probs)))
   | Protocol.Count_r { log_z } -> Printf.sprintf "count log_z=%.17g" log_z
-  | Protocol.Stats_r st ->
-      Printf.sprintf
-        "stats requests=%d batches=%d coalesced=%d hits=%d misses=%d \
-         evictions=%d rejected=%d max_queue=%d domains=%d"
-        st.Protocol.st_requests st.Protocol.st_batches st.Protocol.st_coalesced
-        st.Protocol.st_cache_hits st.Protocol.st_cache_misses
-        st.Protocol.st_evictions st.Protocol.st_rejected st.Protocol.st_max_queue
-        st.Protocol.st_domains
+  | Protocol.Stats_r st -> "stats " ^ render_stats st
   | Protocol.Error_r { code; message } ->
       Printf.sprintf "error %s: %s" (Protocol.err_name code) message
 
@@ -482,7 +490,7 @@ let render_body (b : Protocol.body) =
    op workload over a handful of small instances, with request seeds
    drawn from a 4-seed pool so repeated (instance, seed) pairs recur and
    exercise the plan cache. *)
-let gen_requests ~seed ~n =
+let gen_requests ~seed ?(deadline_ms = 0) ~n () =
   let rng = Rng.create (Int64.of_int seed) in
   let graphs = [| "cycle:24"; "path:16"; "grid:3x4"; "tree:2x3" |] in
   let models = [| "hardcore:0.8"; "ising:0.3"; "coloring:5" |] in
@@ -508,42 +516,112 @@ let gen_requests ~seed ~n =
         engine = "ball";
         trials;
         vertex = Rng.int rng 8;
+        deadline_ms;
       })
 
-let query connect requests pipeline seed transcript stats_flag =
+let query connect requests pipeline seed transcript stats_flag deadline_ms
+    kill_after worker_pid_file =
   if requests < 1 then die "--requests expects an integer >= 1";
   if pipeline < 1 then die "--pipeline expects an integer >= 1";
+  if deadline_ms < 0 then die "--deadline-ms expects an integer >= 0";
+  if kill_after < 0 then die "--kill-after expects an integer >= 0";
+  if kill_after > 0 && worker_pid_file = None then
+    die "--kill-after needs --worker-pid-file to aim at";
   let address = parse_listen connect in
-  let c =
+  (* Chaos resets and worker kills make EPIPE on send a normal event. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fresh_conn () =
     match Client.connect_retry address with Ok c -> c | Error msg -> die msg
   in
-  let reqs = Array.of_list (gen_requests ~seed ~n:requests) in
+  let c = ref (fresh_conn ()) in
+  let reqs =
+    Array.of_list (gen_requests ~seed ~deadline_ms ~n:requests ())
+  in
   let n = Array.length reqs in
   let responses = Array.make n None in
   let lat = Array.make n 0. in
+  let answered = ref 0 in
+  (* --kill-after: after harvesting that many responses, kill -9 the
+     supervised worker named by its pid file — the deterministic
+     mid-burst crash the CI restart smoke drives.  The client itself
+     survives the kill through the reconnect/resend loop below. *)
+  let killed = ref false in
+  let maybe_kill () =
+    if (not !killed) && kill_after > 0 && !answered >= kill_after then begin
+      killed := true;
+      match worker_pid_file with
+      | None -> ()
+      | Some path -> (
+          match
+            let ic = open_in path in
+            let pid = int_of_string (String.trim (input_line ic)) in
+            close_in ic;
+            pid
+          with
+          | pid -> (
+              try Unix.kill pid Sys.sigkill
+              with Unix.Unix_error _ ->
+                die (Printf.sprintf "--kill-after: cannot kill pid %d" pid))
+          | exception _ ->
+              die (Printf.sprintf "--kill-after: cannot read a pid from %s" path))
+    end
+  in
+  let reconnects = ref 0 in
+  let reconnect () =
+    incr reconnects;
+    if !reconnects > 100 then
+      die "daemon connection failed after 100 reconnects";
+    (try Client.close !c with Unix.Unix_error _ -> ());
+    c := fresh_conn ()
+  in
   (* Pipelined windows: push K requests, then read K responses.  The
      server answers Overloaded verdicts during its socket drain and
      everything else after the batch runs, so responses can arrive out of
-     request order — the correlation id routes each one home. *)
+     request order — the correlation id routes each one home.  A broken
+     connection (worker killed, daemon restarting) is survived by
+     reconnecting and resending the window's unanswered requests:
+     response bodies are pure functions of request bytes, so replayed
+     answers keep the transcript byte-identical. *)
   let i = ref 0 in
   while !i < n do
     let k = min pipeline (n - !i) in
     let t0 = Unix.gettimeofday () in
-    for j = !i to !i + k - 1 do
-      Client.send c reqs.(j)
-    done;
-    for _ = 1 to k do
-      match Client.recv c with
-      | Error msg -> die msg
+    let send_missing () =
+      try
+        for j = !i to !i + k - 1 do
+          if responses.(j) = None then Client.send !c reqs.(j)
+        done
+      with Unix.Unix_error _ -> ()
+      (* a dead connection surfaces as a recv error below *)
+    in
+    let missing () =
+      let m = ref 0 in
+      for j = !i to !i + k - 1 do
+        if responses.(j) = None then incr m
+      done;
+      !m
+    in
+    send_missing ();
+    while missing () > 0 do
+      match Client.recv !c with
+      | Error _ ->
+          reconnect ();
+          send_missing ()
       | Ok resp ->
           let idx = resp.Protocol.rid in
           if idx < 0 || idx >= n then
             die (Printf.sprintf "response id %d out of range" idx);
-          responses.(idx) <- Some resp;
-          lat.(idx) <- Unix.gettimeofday () -. t0
+          if responses.(idx) = None then begin
+            responses.(idx) <- Some resp;
+            lat.(idx) <- Unix.gettimeofday () -. t0;
+            incr answered;
+            maybe_kill ()
+          end
     done;
     i := !i + k
   done;
+  let c = !c in
   (match transcript with
   | None -> ()
   | Some path ->
@@ -589,6 +667,7 @@ let query connect requests pipeline seed transcript stats_flag =
          engine = "-";
          trials = 1;
          vertex = 0;
+         deadline_ms = 0;
        }
      in
      match Client.call c sreq with
@@ -598,6 +677,37 @@ let query connect requests pipeline seed transcript stats_flag =
      | Ok resp -> print_endline (render_body resp.Protocol.body));
   Client.close c;
   0
+
+(* The serve chaos harness: like `locsample chaos`, exit 1 + reproducer
+   file on any violation; a baseline that cannot run at all is exit 1
+   with a named error (broken environment, nothing to shrink). *)
+let serve_chaos seed schedules requests reproducer_path =
+  let summary =
+    try
+      Ls_chaos.Serve_chaos.run ~schedules ~requests ~seed:(Int64.of_int seed)
+        ()
+    with
+    | Invalid_argument msg -> die msg
+    | Failure msg ->
+        Printf.eprintf "locsample: %s\n" msg;
+        exit 1
+  in
+  if Ls_chaos.Serve_chaos.ok summary then begin
+    Printf.printf
+      "serve-chaos: %d schedule(s) x %d request(s) from seed %d — all \
+       invariants held\n"
+      schedules requests seed;
+    0
+  end
+  else begin
+    let text = Ls_chaos.Serve_chaos.reproducer summary in
+    print_string text;
+    let oc = open_out reproducer_path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "reproducer written to %s\n" reproducer_path;
+    1
+  end
 
 (* --- cmdliner wiring -------------------------------------------------- *)
 
@@ -945,6 +1055,41 @@ let serve_cmd =
                termination for tests and CI; default: serve until \
                SIGTERM/SIGINT).")
   in
+  let send_timeout =
+    Arg.(value & opt (some float) None & info [ "send-timeout" ] ~docv:"SECS"
+         ~doc:"SO_SNDTIMEO on client sockets: a peer that keeps a response \
+               write blocked this long is dropped rather than wedging the \
+               loop (default: LOCSAMPLE_SERVE_SEND_TIMEOUT, else 10).")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+         ~doc:"Persist the engine caches to $(docv)/serve-cache.snap — a \
+               self-validating tmp+rename snapshot written on drain and \
+               every --snapshot-every batches, reloaded on boot (torn or \
+               corrupt files read as absence).  Default: \
+               LOCSAMPLE_SERVE_STATE, else no persistence.")
+  in
+  let snapshot_every =
+    Arg.(value & opt (some int) None & info [ "snapshot-every" ] ~docv:"N"
+         ~doc:"Snapshot cadence in executed batches (default 8); only \
+               meaningful with --state-dir.")
+  in
+  let supervised =
+    Arg.(value & flag & info [ "supervised" ]
+         ~doc:"Fork the select loop as a worker under the shard \
+               supervisor's restart-budget/backoff/hang-probe discipline.  \
+               The parent holds the listening socket, so a crashed (even \
+               kill -9ed) worker restarts without dropping it; with \
+               --state-dir each incarnation warm-starts from the latest \
+               cache snapshot.  SIGTERM still drains gracefully.")
+  in
+  let worker_pid_file =
+    Arg.(value & opt (some string) None & info [ "worker-pid-file" ]
+         ~docv:"FILE"
+         ~doc:"With --supervised, publish the current worker's pid to \
+               $(docv) (atomic rewrite on every respawn) so tests and CI \
+               can aim kill -9 at the worker deterministically.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched sampling-as-a-service daemon.  Responses are a \
@@ -952,9 +1097,10 @@ let serve_cmd =
              stats aside): a request carries its seed, so the same request \
              stream produces the same response bytes at any --domains \
              count.")
-    Term.(const (fun () a b c d e f g -> serve a b c d e f g)
+    Term.(const (fun () a b c d e f g h i j k l -> serve a b c d e f g h i j k l)
           $ setup_log_term $ listen $ queue_bound $ batch_max $ cache
-          $ plan_cache $ max_vertices $ max_requests)
+          $ plan_cache $ max_vertices $ max_requests $ send_timeout
+          $ state_dir $ snapshot_every $ supervised $ worker_pid_file)
 
 let query_cmd =
   let connect =
@@ -982,21 +1128,73 @@ let query_cmd =
     Arg.(value & flag & info [ "stats" ]
          ~doc:"Finish with a stats request and print the daemon's counters \
                (requests, batches, coalesced, cache hits/misses/evictions, \
-               rejections, queue high-water, domains).")
+               rejections, expiries, snapshot hits, restarts, queue \
+               high-water, domains).")
+  in
+  let deadline_ms =
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Stamp every generated request with this queue deadline: a \
+               request still queued after $(docv) ms is answered 'expired' \
+               without executing (0 = no deadline).")
+  in
+  let kill_after =
+    Arg.(value & opt int 0 & info [ "kill-after" ] ~docv:"K"
+         ~doc:"After harvesting $(docv) responses, kill -9 the supervised \
+               worker named by --worker-pid-file, then finish the burst \
+               through the reconnect/resend loop (0 = disabled).  The \
+               crash-tolerance smoke: the transcript must stay \
+               byte-identical to an unkilled run.")
+  in
+  let worker_pid_file =
+    Arg.(value & opt (some string) None & info [ "worker-pid-file" ]
+         ~docv:"FILE"
+         ~doc:"Where the daemon's --worker-pid-file publishes the worker \
+               pid (required by --kill-after).")
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Load-test a running serve daemon with a deterministic request \
-             stream; report latency percentiles on stderr.")
-    Term.(const (fun () a b c d e f -> query a b c d e f)
+             stream; report latency percentiles on stderr.  Survives \
+             daemon restarts: a broken connection is reconnected (with \
+             backoff) and the window's unanswered requests are resent.")
+    Term.(const (fun () a b c d e f g h i -> query a b c d e f g h i)
           $ setup_log_term $ connect $ requests $ pipeline $ seed_arg
-          $ transcript $ stats_flag)
+          $ transcript $ stats_flag $ deadline_ms $ kill_after
+          $ worker_pid_file)
+
+let serve_chaos_cmd =
+  let schedules =
+    Arg.(value & opt int 5 & info [ "schedules" ] ~docv:"N"
+         ~doc:"Random proxy fault schedules to generate and check.")
+  in
+  let requests =
+    Arg.(value & opt int 40 & info [ "requests" ] ~docv:"N"
+         ~doc:"Requests per burst (the same deterministic stream as \
+               query).")
+  in
+  let reproducer =
+    Arg.(value & opt string "chaos-reproducer-serve.txt"
+         & info [ "reproducer" ] ~docv:"FILE"
+         ~doc:"Where to write the shrunk reproducer on failure.")
+  in
+  Cmd.v
+    (Cmd.info "serve-chaos"
+       ~doc:"Chaos-test the serving daemon through a deterministic socket \
+             fault proxy (delay, truncation, corruption, resets, duplicate \
+             frames) and check the serve invariants: the daemon never \
+             crashes and drains cleanly on SIGTERM, responses are never \
+             matched to the wrong request, and every accepted response is \
+             byte-identical to a proxy-free run.  Failing schedules shrink \
+             to minimal reproducers; exits 1 on any violation, after \
+             writing the reproducer file.")
+    Term.(const (fun () a b c d -> serve_chaos a b c d)
+          $ setup_log_term $ seed_arg $ schedules $ requests $ reproducer)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "locsample" ~version:"1.0.0"
        ~doc:"Local distributed sampling and counting (Feng & Yin, PODC 2018)")
     [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd; chaos_cmd;
-      serve_cmd; query_cmd ]
+      serve_cmd; query_cmd; serve_chaos_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,271 @@
+(* A deterministic socket chaos proxy for the serving protocol.
+
+   Sits between Client and Server as a frame-aware forwarder: inbound
+   bytes are re-framed with Frame.decode_prefix, and every complete
+   frame draws its fate — pass, corrupt one byte, truncate mid-frame,
+   reset the connection, duplicate, or delay — from a hash of
+   (spec seed, connection serial, direction, frame index).  Nothing is
+   drawn from wall time or a stateful rng, so against a sequential
+   deterministic client the same seed replays the same fault schedule:
+   connection serials follow accept order, which the client's own
+   (deterministic) reconnect behaviour fixes.
+
+   The proxy damages byte streams, never semantics: it is the fault
+   model for the serve chaos invariants (daemon stays up, rids never
+   cross-match, well-formed responses byte-identical to a proxy-free
+   run).  If a stream stops parsing as frames (a corrupted length can
+   desynchronize the framing), the proxy degrades to transparent
+   passthrough for that direction rather than stalling. *)
+
+module Frame = Ls_shard.Frame
+module Supervisor = Ls_shard.Supervisor
+module Server = Ls_serve.Server
+
+type spec = {
+  seed : int64;
+  corrupt : float;  (* flip one byte of the encoded frame *)
+  truncate : float;  (* forward a prefix, then drop the connection *)
+  reset : float;  (* drop the connection, forwarding nothing *)
+  duplicate : float;  (* forward the frame twice *)
+  delay : float;  (* sleep delay_ms before forwarding *)
+  delay_ms : int;
+}
+
+let quiet seed =
+  {
+    seed;
+    corrupt = 0.;
+    truncate = 0.;
+    reset = 0.;
+    duplicate = 0.;
+    delay = 0.;
+    delay_ms = 0;
+  }
+
+let describe s =
+  Printf.sprintf
+    "seed=%Ld corrupt=%.3f truncate=%.3f reset=%.3f duplicate=%.3f \
+     delay=%.3f/%dms"
+    s.seed s.corrupt s.truncate s.reset s.duplicate s.delay s.delay_ms
+
+(* --- deterministic draws ----------------------------------------------- *)
+
+(* One uniform draw per (connection, direction, frame, dimension):
+   digest64 is a SplitMix fold, plenty for fault scheduling. *)
+let draw spec ~conn ~dir ~frame ~dim =
+  let h =
+    Frame.digest64
+      (Printf.sprintf "%Lx|%d|%d|%d|%s" spec.seed conn dir frame dim)
+  in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
+
+type action =
+  | Pass
+  | Corrupt of int * int  (* byte offset, xor mask *)
+  | Truncate
+  | Reset
+  | Duplicate
+  | Delay
+
+let decide spec ~conn ~dir ~frame ~len =
+  let d dim = draw spec ~conn ~dir ~frame ~dim in
+  if d "reset" < spec.reset then Reset
+  else if d "truncate" < spec.truncate then Truncate
+  else if d "corrupt" < spec.corrupt then
+    let pos = int_of_float (d "pos" *. float_of_int len) in
+    let mask = 1 + int_of_float (d "mask" *. 254.) in
+    Corrupt (min pos (len - 1), mask)
+  else if d "duplicate" < spec.duplicate then Duplicate
+  else if d "delay" < spec.delay then Delay
+  else Pass
+
+(* --- plumbing ---------------------------------------------------------- *)
+
+let connect_to = function
+  | Server.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | Server.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+
+let listen_on = function
+  | Server.Unix_path path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+          try Unix.unlink path with _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Server.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      fd
+
+(* One proxied connection: [dir] 0 is client→server, 1 is server→client. *)
+type side = {
+  mutable buf : string;
+  mutable frames : int;  (* frames forwarded on this side so far *)
+  mutable raw : bool;  (* framing lost: degrade to passthrough *)
+}
+
+type session = {
+  sid : int;
+  cfd : Unix.file_descr;
+  sfd : Unix.file_descr;
+  c2s : side;
+  s2c : side;
+  mutable live : bool;
+}
+
+let close_session s =
+  if s.live then begin
+    s.live <- false;
+    (try Unix.close s.cfd with Unix.Unix_error _ -> ());
+    try Unix.close s.sfd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd bytes =
+  try Frame.write_string fd bytes
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+let corrupt_bytes bytes pos mask =
+  let b = Bytes.of_string bytes in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor mask));
+  Bytes.to_string b
+
+let pump spec scratch sess ~dir =
+  let src, dst = if dir = 0 then (sess.cfd, sess.sfd) else (sess.sfd, sess.cfd) in
+  let side = if dir = 0 then sess.c2s else sess.s2c in
+  match Unix.read src scratch 0 (Bytes.length scratch) with
+  | 0 -> close_session sess
+  | k ->
+      side.buf <- side.buf ^ Bytes.sub_string scratch 0 k;
+      if side.raw then begin
+        write_all dst side.buf;
+        side.buf <- ""
+      end
+      else begin
+        let continue = ref true in
+        while !continue && sess.live do
+          match Frame.decode_prefix side.buf with
+          | Ok None -> continue := false
+          | Error _ ->
+              (* Resynchronizing on a broken stream is impossible;
+                 become a wire. *)
+              side.raw <- true;
+              write_all dst side.buf;
+              side.buf <- "";
+              continue := false
+          | Ok (Some (_f, used)) -> (
+              let bytes = String.sub side.buf 0 used in
+              side.buf <-
+                String.sub side.buf used (String.length side.buf - used);
+              let frame = side.frames in
+              side.frames <- side.frames + 1;
+              match decide spec ~conn:sess.sid ~dir ~frame ~len:used with
+              | Pass -> write_all dst bytes
+              | Delay ->
+                  Supervisor.sleep_ms spec.delay_ms;
+                  write_all dst bytes
+              | Duplicate ->
+                  write_all dst bytes;
+                  write_all dst bytes
+              | Corrupt (pos, mask) ->
+                  write_all dst (corrupt_bytes bytes pos mask)
+              | Truncate ->
+                  write_all dst (String.sub bytes 0 (used / 2));
+                  close_session sess
+              | Reset -> close_session sess)
+        done
+      end
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_session sess
+
+let run spec ~listen ~upstream ?on_ready () =
+  let stop = ref false in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let lfd = listen_on listen in
+  (match on_ready with Some f -> f () | None -> ());
+  let sessions = ref [] in
+  let next_sid = ref 0 in
+  let scratch = Bytes.create (1 lsl 16) in
+  let accept_one () =
+    match Unix.accept lfd with
+    | cfd, _ -> (
+        match connect_to upstream with
+        | sfd ->
+            let sid = !next_sid in
+            incr next_sid;
+            sessions :=
+              {
+                sid;
+                cfd;
+                sfd;
+                c2s = { buf = ""; frames = 0; raw = false };
+                s2c = { buf = ""; frames = 0; raw = false };
+                live = true;
+              }
+              :: !sessions
+        | exception Unix.Unix_error _ ->
+            (* Upstream refused (e.g. worker restarting): the client sees
+               an immediate close and retries. *)
+            (try Unix.close cfd with Unix.Unix_error _ -> ()))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNABORTED | Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN), _, _)
+      ->
+        Supervisor.sleep_ms 10
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_session !sessions;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      match listen with
+      | Server.Unix_path path -> ( try Unix.unlink path with _ -> ())
+      | Server.Tcp _ -> ())
+    (fun () ->
+      while not !stop do
+        sessions := List.filter (fun s -> s.live) !sessions;
+        let fds =
+          lfd
+          :: List.concat_map (fun s -> [ s.cfd; s.sfd ]) !sessions
+        in
+        match Unix.select fds [] [] 0.25 with
+        | readable, _, _ ->
+            if List.memq lfd readable then accept_one ();
+            List.iter
+              (fun s ->
+                if s.live && List.memq s.cfd readable then
+                  pump spec scratch s ~dir:0;
+                if s.live && List.memq s.sfd readable then
+                  pump spec scratch s ~dir:1)
+              !sessions
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)

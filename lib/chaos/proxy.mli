@@ -1,0 +1,60 @@
+(** Deterministic socket chaos proxy for the serving protocol.
+
+    A frame-aware forwarder between {!Ls_serve.Client} and
+    {!Ls_serve.Server}: every complete frame crossing it, in either
+    direction, draws its fate — pass, one-byte corruption, truncation
+    mid-frame, connection reset, duplication, or delay — from a hash of
+    [(seed, connection serial, direction, frame index)].  No wall-clock
+    or stateful randomness: against a sequential deterministic client
+    the same seed replays the same fault schedule.  A direction whose
+    byte stream stops parsing as frames degrades to transparent
+    passthrough rather than stalling.
+
+    The fault model the serve chaos invariants run under
+    (see {!Serve_chaos}): byte-level damage only — the proxy never
+    invents well-formed frames, so any well-formed response reaching
+    the client was produced by the daemon. *)
+
+type spec = {
+  seed : int64;
+  corrupt : float;  (** Per-frame probability: flip one byte. *)
+  truncate : float;  (** Forward a prefix, then drop the connection. *)
+  reset : float;  (** Drop the connection, forwarding nothing. *)
+  duplicate : float;  (** Forward the frame twice. *)
+  delay : float;  (** Sleep [delay_ms] before forwarding. *)
+  delay_ms : int;
+}
+
+val quiet : int64 -> spec
+(** All rates zero: a transparent proxy (the shrinker's bottom element,
+    and the transparency invariant's schedule). *)
+
+val describe : spec -> string
+
+val run :
+  spec ->
+  listen:Ls_serve.Server.address ->
+  upstream:Ls_serve.Server.address ->
+  ?on_ready:(unit -> unit) ->
+  unit ->
+  unit
+(** Accept on [listen], forward to [upstream], applying the spec's
+    faults per frame, until SIGTERM.  Runs a single-threaded select
+    loop; a delayed frame briefly stalls the whole proxy (the fault
+    model is adversarial, not fair).  Closes everything it opened and
+    unlinks its unix listen socket on exit. *)
+
+(**/**)
+
+type action =
+  | Pass
+  | Corrupt of int * int
+  | Truncate
+  | Reset
+  | Duplicate
+  | Delay
+
+val decide : spec -> conn:int -> dir:int -> frame:int -> len:int -> action
+(** The per-frame draw, exposed for determinism tests. *)
+
+(**/**)

@@ -1,0 +1,468 @@
+(* Chaos harness for the serving daemon: drive a deterministic request
+   burst through the {!Proxy} fault injector against a live forked
+   daemon, and check the serve invariants under every schedule:
+
+   - daemon-crash: the daemon survives the burst and exits 0 on SIGTERM
+     (byte-level damage may cost connections, never the process);
+   - rid-integrity: no well-formed response is ever matched to the
+     wrong request — everything the client accepts is the awaited rid
+     or a byte-identical duplicate of an already-answered one;
+   - byte-identity: every accepted response is byte-identical to the
+     proxy-free run of the same burst (the determinism contract:
+     response bodies are a pure function of request bytes);
+   - liveness: a bounded resend loop completes the burst (the fault
+     rates are capped well below saturation);
+   - transparency (once per run): under the all-zero schedule the
+     proxied transcript has no violations at all.
+
+   Failing schedules shrink greedily by zeroing whole fault dimensions,
+   mirroring Chaos: a minimal reproducer names the faults that matter,
+   not a fine-tuned magnitude.
+
+   One subtlety fixed by the protocol, exploited here: the frame digest
+   covers the payload only, so a corrupted header can reach the daemon
+   as a valid frame and draw a [Bad_request] reply under an arbitrary
+   rid.  The harness generates only valid requests, so the client
+   treats ANY [Bad_request] as a corruption artifact and resends —
+   whereas a wrong-rid reply with a non-error body has no innocent
+   explanation and is a rid-integrity violation. *)
+
+module Rng = Ls_rng.Rng
+module Supervisor = Ls_shard.Supervisor
+module Protocol = Ls_serve.Protocol
+module Server = Ls_serve.Server
+module Client = Ls_serve.Client
+module Par = Ls_par.Par
+
+type violation = { invariant : string; detail : string }
+
+let violation invariant detail = { invariant; detail }
+
+(* --- workload ---------------------------------------------------------- *)
+
+(* The same shape as `locsample query --requests N`: a deterministic
+   mixed burst over small instances with a shared seed pool.  Every
+   graph has >= 12 vertices and every Infer vertex is < 8, so no
+   generated request can legitimately draw Bad_request — which is what
+   lets the client blame every Bad_request on the proxy.  Deadlines stay
+   0: expiry depends on queue wall time, which chaos delays would turn
+   into baseline-vs-proxied divergence. *)
+let gen_requests ~seed ~n =
+  let rng = Rng.create seed in
+  let graphs = [| "cycle:16"; "path:12"; "grid:3x4"; "tree:2x3" |] in
+  let models = [| "hardcore:0.8"; "ising:0.3"; "coloring:5" |] in
+  let seed_pool = Array.init 4 (fun _ -> Rng.bits64 rng) in
+  let pick arr = arr.(Rng.int rng (Array.length arr)) in
+  Array.init n (fun i ->
+      let draw = Rng.int rng 10 in
+      let op =
+        if draw < 6 then Protocol.Sample
+        else if draw < 8 then Protocol.Infer
+        else Protocol.Count
+      in
+      {
+        Protocol.id = i;
+        op;
+        seed = pick seed_pool;
+        graph = pick graphs;
+        model = pick models;
+        t = 1;
+        engine = "ball";
+        trials = (match op with Protocol.Sample -> 1 + Rng.int rng 4 | _ -> 1);
+        vertex = Rng.int rng 8;
+        deadline_ms = 0;
+      })
+
+(* --- schedule generation ----------------------------------------------- *)
+
+(* Rates capped well below saturation so the bounded resend loop always
+   terminates on a correct daemon: per attempt the pass probability
+   stays comfortably above a half, and every reconnect draws fresh
+   fates under a new connection serial. *)
+let gen rng =
+  {
+    Proxy.seed = Rng.bits64 rng;
+    corrupt = 0.12 *. Rng.float rng;
+    truncate = 0.08 *. Rng.float rng;
+    reset = 0.08 *. Rng.float rng;
+    duplicate = 0.15 *. Rng.float rng;
+    delay = 0.25 *. Rng.float rng;
+    delay_ms = 1 + Rng.int rng 10;
+  }
+
+(* --- forked processes -------------------------------------------------- *)
+
+let path_counter = ref 0
+
+let fresh_path tag =
+  incr path_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "locsample-svchaos-%d-%d-%s.sock" (Unix.getpid ())
+       !path_counter tag)
+
+let fork_child body =
+  flush stdout;
+  flush stderr;
+  Par.quiesce ();
+  match Unix.fork () with
+  | 0 ->
+      (try
+         body ();
+         Unix._exit 0
+       with _ -> Unix._exit 3)
+  | pid -> pid
+
+let fork_daemon ~address =
+  fork_child (fun () ->
+      let cfg =
+        {
+          (Server.config ~address ~queue_bound:64 ~batch_max:8 ()) with
+          Server.state_dir = None;
+        }
+      in
+      ignore (Server.run ~cfg ()))
+
+let fork_proxy spec ~listen ~upstream =
+  fork_child (fun () -> Proxy.run spec ~listen ~upstream ())
+
+let status_name = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+(* Reap with a grace period; [None] = still running (or already reaped). *)
+let wait_exit ~grace_ms pid =
+  let rec go left =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if left <= 0 then None
+        else begin
+          Supervisor.sleep_ms 20;
+          go (left - 20)
+        end
+    | _, st -> Some st
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go left
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> None
+  in
+  go grace_ms
+
+let kill_quiet pid signal =
+  try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* --- one schedule ------------------------------------------------------ *)
+
+(* Canonical bytes for comparing responses: the pure codec over the
+   response as received.  Bit-identical floats are part of the
+   determinism contract, so string equality is exactly the claim. *)
+let enc rid body = Protocol.encode_response { Protocol.rid; body }
+
+exception Abort
+
+let run_spec ?check ~requests ~baseline spec =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let n = Array.length requests in
+  let srv_path = fresh_path "srv" and pxy_path = fresh_path "pxy" in
+  let srv = Server.Unix_path srv_path and pxy = Server.Unix_path pxy_path in
+  let dpid = fork_daemon ~address:srv in
+  let ppid = fork_proxy spec ~listen:pxy ~upstream:srv in
+  let violations = ref [] in
+  let add v = violations := !violations @ [ v ] in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet ppid Sys.sigkill;
+      ignore (wait_exit ~grace_ms:2000 ppid);
+      kill_quiet dpid Sys.sigkill;
+      ignore (wait_exit ~grace_ms:2000 dpid);
+      unlink_quiet srv_path;
+      unlink_quiet pxy_path)
+    (fun () ->
+      let answered = Array.make n None in
+      let conn = ref None in
+      let drop () =
+        match !conn with
+        | Some c ->
+            (try Client.close c with Unix.Unix_error _ -> ());
+            conn := None
+        | None -> ()
+      in
+      let connect () =
+        match !conn with
+        | Some c -> Ok c
+        | None -> (
+            match Client.connect_retry ~attempts:200 ~delay_ms:5 pxy with
+            | Ok c ->
+                conn := Some c;
+                Ok c
+            | Error _ as e -> e)
+      in
+      let max_attempts = 100 in
+      (* The robust sequential client: send request [i], read until its
+         response arrives, treating link damage (read errors, EOF,
+         Bad_request artifacts) as resend triggers.  Duplicates of
+         already-answered rids must match the recorded bytes. *)
+      (try
+         for i = 0 to n - 1 do
+           let req = requests.(i) in
+           let rec attempt k =
+             if k > max_attempts then begin
+               add
+                 (violation "liveness"
+                    (Printf.sprintf
+                       "request %d unanswered after %d attempts under %s" i
+                       max_attempts (Proxy.describe spec)));
+               raise Abort
+             end;
+             match connect () with
+             | Error msg ->
+                 add
+                   (violation "liveness"
+                      (Printf.sprintf "request %d: %s" i msg));
+                 raise Abort
+             | Ok c -> (
+                 match Client.send c req with
+                 | () -> await c k
+                 | exception Unix.Unix_error _ ->
+                     drop ();
+                     attempt (k + 1))
+           and await c k =
+             match Client.recv c with
+             | Error _ ->
+                 drop ();
+                 attempt (k + 1)
+             | Ok resp -> (
+                 match resp.Protocol.body with
+                 | Protocol.Error_r { code = Protocol.Bad_request; _ } ->
+                     (* Only a header-corrupted request frame can draw
+                        this (the burst is all-valid): resend. *)
+                     attempt (k + 1)
+                 | body ->
+                     let rid = resp.Protocol.rid in
+                     if rid = i then answered.(i) <- Some (enc i body)
+                     else if rid >= 0 && rid < i then begin
+                       match answered.(rid) with
+                       | Some bytes when String.equal bytes (enc rid body) ->
+                           await c k (* duplicate of an answered request *)
+                       | _ ->
+                           add
+                             (violation "rid-integrity"
+                                (Printf.sprintf
+                                   "response for rid %d (awaiting %d) does \
+                                    not duplicate its recorded answer"
+                                   rid i));
+                           raise Abort
+                     end
+                     else begin
+                       add
+                         (violation "rid-integrity"
+                            (Printf.sprintf
+                               "response carries rid %d while awaiting %d" rid
+                               i));
+                       raise Abort
+                     end)
+           in
+           attempt 1
+         done
+       with Abort -> ());
+      drop ();
+      if !violations = [] then
+        Array.iteri
+          (fun i recorded ->
+            match recorded with
+            | Some bytes when not (String.equal bytes baseline.(i)) ->
+                add
+                  (violation "byte-identity"
+                     (Printf.sprintf
+                        "response %d differs from the proxy-free run" i))
+            | _ -> ())
+          answered;
+      (* The daemon must have survived the burst, and still honour a
+         graceful drain. *)
+      (match Unix.waitpid [ Unix.WNOHANG ] dpid with
+      | 0, _ -> (
+          kill_quiet dpid Sys.sigterm;
+          match wait_exit ~grace_ms:10_000 dpid with
+          | Some (Unix.WEXITED 0) -> ()
+          | Some st ->
+              add
+                (violation "daemon-crash"
+                   (Printf.sprintf "daemon answered SIGTERM with %s"
+                      (status_name st)))
+          | None ->
+              add
+                (violation "daemon-crash"
+                   "daemon did not exit within 10 s of SIGTERM"))
+      | _, st ->
+          add
+            (violation "daemon-crash"
+               (Printf.sprintf "daemon died during the burst (%s)"
+                  (status_name st)))
+      | exception Unix.Unix_error _ -> ());
+      (match check with
+      | Some f -> ( match f spec with Some v -> add v | None -> ())
+      | None -> ());
+      !violations)
+
+(* --- baseline ---------------------------------------------------------- *)
+
+(* The proxy-free transcript the byte-identity invariant compares
+   against.  Any failure here is a broken environment or workload, not
+   a chaos finding — raise rather than report. *)
+let baseline_run requests =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let srv_path = fresh_path "base" in
+  let srv = Server.Unix_path srv_path in
+  let dpid = fork_daemon ~address:srv in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quiet dpid Sys.sigkill;
+      ignore (wait_exit ~grace_ms:2000 dpid);
+      unlink_quiet srv_path)
+    (fun () ->
+      let c =
+        match Client.connect_retry ~attempts:200 ~delay_ms:5 srv with
+        | Ok c -> c
+        | Error msg -> failwith ("serve-chaos baseline: " ^ msg)
+      in
+      let bodies =
+        Array.map
+          (fun req ->
+            match Client.call c req with
+            | Error msg -> failwith ("serve-chaos baseline: " ^ msg)
+            | Ok { Protocol.body = Protocol.Error_r { message; _ }; _ } ->
+                failwith ("serve-chaos baseline: daemon error: " ^ message)
+            | Ok resp -> enc req.Protocol.id resp.Protocol.body)
+          requests
+      in
+      Client.close c;
+      kill_quiet dpid Sys.sigterm;
+      (match wait_exit ~grace_ms:10_000 dpid with
+      | Some (Unix.WEXITED 0) -> ()
+      | Some st ->
+          failwith ("serve-chaos baseline: daemon " ^ status_name st)
+      | None -> failwith "serve-chaos baseline: daemon hung on SIGTERM");
+      bodies)
+
+(* --- shrinking --------------------------------------------------------- *)
+
+(* Zero one fault dimension at a time, as Chaos does: the minimal
+   reproducer names the dimensions that matter. *)
+let shrink_candidates (s : Proxy.spec) =
+  List.filter
+    (fun c -> c <> s)
+    [
+      { s with Proxy.reset = 0. };
+      { s with Proxy.truncate = 0. };
+      { s with Proxy.corrupt = 0. };
+      { s with Proxy.duplicate = 0. };
+      { s with Proxy.delay = 0.; delay_ms = 0 };
+    ]
+
+let shrink ?check ~requests ~baseline s0 =
+  let still_fails c = run_spec ?check ~requests ~baseline c <> [] in
+  let rec go s =
+    match List.find_opt still_fails (shrink_candidates s) with
+    | Some c -> go c
+    | None -> s
+  in
+  go s0
+
+(* --- top level --------------------------------------------------------- *)
+
+type failure = {
+  index : int;
+  f_spec : Proxy.spec;
+  f_violations : violation list;
+  f_shrunk : Proxy.spec;
+  f_shrunk_violations : violation list;
+}
+
+type summary = {
+  seed : int64;
+  schedules : int;
+  requests : int;
+  zero_fault : violation option;
+  failures : failure list;
+}
+
+let run ?check ?(schedules = 5) ?(requests = 40) ~seed () =
+  if schedules < 1 then invalid_arg "Serve_chaos.run: schedules must be >= 1";
+  if requests < 1 then invalid_arg "Serve_chaos.run: requests must be >= 1";
+  let reqs = gen_requests ~seed ~n:requests in
+  let baseline = baseline_run reqs in
+  (* Transparency first, without the caller's check: a planted failure
+     should be found by a generated schedule, not blamed on the quiet
+     proxy. *)
+  let zero_fault =
+    match run_spec ~requests:reqs ~baseline (Proxy.quiet seed) with
+    | [] -> None
+    | v :: _ -> Some v
+  in
+  let rng = Rng.create seed in
+  let failures = ref [] in
+  for index = 0 to schedules - 1 do
+    let s = gen rng in
+    match run_spec ?check ~requests:reqs ~baseline s with
+    | [] -> ()
+    | f_violations ->
+        let f_shrunk = shrink ?check ~requests:reqs ~baseline s in
+        let f_shrunk_violations =
+          run_spec ?check ~requests:reqs ~baseline f_shrunk
+        in
+        failures :=
+          !failures
+          @ [ { index; f_spec = s; f_violations; f_shrunk; f_shrunk_violations } ]
+  done;
+  { seed; schedules; requests; zero_fault; failures = !failures }
+
+let ok summary = summary.zero_fault = None && summary.failures = []
+
+let reproducer summary =
+  let b = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "serve-chaos: seed=%Ld schedules=%d requests=%d\n" summary.seed
+    summary.schedules summary.requests;
+  (match summary.zero_fault with
+  | Some v -> p "transparency VIOLATED: %s: %s\n" v.invariant v.detail
+  | None -> ());
+  List.iter
+    (fun f ->
+      p "schedule %d FAILED: %s\n" f.index (Proxy.describe f.f_spec);
+      List.iter (fun v -> p "  %s: %s\n" v.invariant v.detail) f.f_violations;
+      p "  shrunk to: %s\n" (Proxy.describe f.f_shrunk);
+      List.iter
+        (fun v -> p "  (shrunk) %s: %s\n" v.invariant v.detail)
+        f.f_shrunk_violations)
+    summary.failures;
+  if ok summary then p "all invariants held\n";
+  p "replay: locsample serve-chaos --seed %Ld --schedules %d --requests %d\n"
+    summary.seed summary.schedules summary.requests;
+  Buffer.contents b
+
+let parse_reproducer text =
+  let prefix = "replay: locsample serve-chaos" in
+  let is_replay l =
+    String.length l >= String.length prefix
+    && String.sub l 0 (String.length prefix) = prefix
+  in
+  match List.find_opt is_replay (String.split_on_char '\n' text) with
+  | None -> None
+  | Some line -> (
+      let toks =
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+      in
+      let rec go seed schedules requests = function
+        | [] -> (seed, schedules, requests)
+        | "--seed" :: v :: rest ->
+            go (Int64.of_string v) schedules requests rest
+        | "--schedules" :: v :: rest ->
+            go seed (int_of_string v) requests rest
+        | "--requests" :: v :: rest ->
+            go seed schedules (int_of_string v) rest
+        | _ :: rest -> go seed schedules requests rest
+      in
+      try Some (go 0L 5 40 toks) with Failure _ -> None)

@@ -1,0 +1,111 @@
+(** Chaos harness for the serving daemon.
+
+    Drives a deterministic request burst through the {!Proxy} fault
+    injector against a live forked daemon and checks the serve
+    invariants under every generated schedule:
+
+    - {b daemon-crash}: the daemon survives the burst and exits 0 on
+      SIGTERM — byte-level damage may cost connections, never the
+      process;
+    - {b rid-integrity}: no well-formed response is matched to the
+      wrong request (everything accepted is the awaited rid or a
+      byte-identical duplicate of an already-answered one);
+    - {b byte-identity}: every accepted response is byte-identical to
+      a proxy-free run of the same burst;
+    - {b liveness}: a bounded resend loop completes the burst;
+    - {b transparency} (once per run): the all-zero schedule yields no
+      violations.
+
+    Everything derives from the harness seed — schedule generation, the
+    workload, and the proxy's per-frame fault draws — so a failure
+    printed with its seed replays exactly.  Failing schedules shrink by
+    zeroing whole fault dimensions to a minimal reproducer, and
+    {!reproducer} ends in a [locsample serve-chaos] line that
+    {!parse_reproducer} (and the real CLI) round-trips.
+
+    The harness forks daemons and proxies, so like the sharded suites it
+    must run before anything creates a domain ({!Ls_par.Par.quiesce} is
+    called before each fork), and it ignores SIGPIPE in the calling
+    process — chaos resets make EPIPE on send a normal event. *)
+
+type violation = { invariant : string; detail : string }
+
+val gen_requests : seed:int64 -> n:int -> Ls_serve.Protocol.request array
+(** The deterministic burst: the same mixed sample/infer/count shape as
+    [locsample query], over instances chosen so that no generated
+    request can legitimately draw [Bad_request] (which lets the chaos
+    client blame every [Bad_request] on proxy corruption — the frame
+    digest covers the payload only, so a corrupted header can reach the
+    daemon as a valid frame) and with all deadlines 0 (expiry depends on
+    wall time, which chaos delays would turn into false
+    byte-identity failures). *)
+
+val gen : Ls_rng.Rng.t -> Proxy.spec
+(** One random schedule, rates capped well below saturation so the
+    bounded resend loop terminates on a correct daemon. *)
+
+val run_spec :
+  ?check:(Proxy.spec -> violation option) ->
+  requests:Ls_serve.Protocol.request array ->
+  baseline:string array ->
+  Proxy.spec ->
+  violation list
+(** Run the burst under one schedule and return every violation (empty
+    = passed).  [baseline] is the proxy-free transcript from
+    {!baseline_run}; [check] injects an extra caller-supplied invariant
+    — the hook the shrinker tests use to plant a seeded failure. *)
+
+val baseline_run : Ls_serve.Protocol.request array -> string array
+(** The proxy-free transcript: one encoded response per request, the
+    byte-identity reference.  Raises [Failure] if the daemon cannot
+    serve the burst cleanly — that is a broken environment, not a chaos
+    finding. *)
+
+val shrink :
+  ?check:(Proxy.spec -> violation option) ->
+  requests:Ls_serve.Protocol.request array ->
+  baseline:string array ->
+  Proxy.spec ->
+  Proxy.spec
+(** Greedily zero fault dimensions while the schedule still fails;
+    fixed point = minimal reproducer. *)
+
+type failure = {
+  index : int;  (** Which generated schedule failed (0-based). *)
+  f_spec : Proxy.spec;
+  f_violations : violation list;
+  f_shrunk : Proxy.spec;
+  f_shrunk_violations : violation list;
+}
+
+type summary = {
+  seed : int64;
+  schedules : int;
+  requests : int;
+  zero_fault : violation option;
+      (** Transparency check under the all-zero schedule (run without
+          [check], so planted failures surface as schedule failures). *)
+  failures : failure list;
+}
+
+val run :
+  ?check:(Proxy.spec -> violation option) ->
+  ?schedules:int ->
+  ?requests:int ->
+  seed:int64 ->
+  unit ->
+  summary
+(** Baseline, transparency, then [schedules] generated schedules
+    (defaults 5 × 40 requests), shrinking each failure.  Raises
+    [Failure] only if the baseline itself cannot run. *)
+
+val ok : summary -> bool
+
+val reproducer : summary -> string
+(** Human-readable report ending in an exact
+    [locsample serve-chaos --seed … --schedules … --requests …] replay
+    line. *)
+
+val parse_reproducer : string -> (int64 * int * int) option
+(** Recover [(seed, schedules, requests)] from a {!reproducer} report —
+    the round-trip the CLI's replay path and its tests rely on. *)

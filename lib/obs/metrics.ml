@@ -42,6 +42,10 @@ type snapshot = {
   serve_cache_misses : int;
   serve_cache_evictions : int;
   serve_rejections : int;
+  serve_expired : int;
+  serve_snapshot_hits : int;
+  serve_drains : int;
+  serve_restarts : int;
   latency_hist : int array;
   batches : int;
   items : int;
@@ -93,6 +97,10 @@ let serve_cache_hits = Atomic.make 0
 let serve_cache_misses = Atomic.make 0
 let serve_cache_evictions = Atomic.make 0
 let serve_rejections = Atomic.make 0
+let serve_expired = Atomic.make 0
+let serve_snapshot_hits = Atomic.make 0
+let serve_drains = Atomic.make 0
+let serve_restarts = Atomic.make 0
 
 (* Virtual-latency histogram: exponential buckets doubling from 0.25
    virtual time units; the last bucket is open-ended. *)
@@ -178,6 +186,10 @@ let record_serve_cache ~hit =
 
 let record_serve_cache_eviction () = bump serve_cache_evictions
 let record_serve_rejection () = bump serve_rejections
+let record_serve_expiry () = bump serve_expired
+let record_serve_snapshot_hit () = bump serve_snapshot_hits
+let record_serve_drain () = bump serve_drains
+let record_serve_restart () = bump serve_restarts
 
 let latency_bucket l =
   let rec go i =
@@ -251,6 +263,10 @@ let snapshot () =
     serve_cache_misses = Atomic.get serve_cache_misses;
     serve_cache_evictions = Atomic.get serve_cache_evictions;
     serve_rejections = Atomic.get serve_rejections;
+    serve_expired = Atomic.get serve_expired;
+    serve_snapshot_hits = Atomic.get serve_snapshot_hits;
+    serve_drains = Atomic.get serve_drains;
+    serve_restarts = Atomic.get serve_restarts;
     latency_hist = Array.map Atomic.get latency_hist;
     batches = b;
     items = it;
@@ -302,6 +318,10 @@ let reset () =
       serve_cache_misses;
       serve_cache_evictions;
       serve_rejections;
+      serve_expired;
+      serve_snapshot_hits;
+      serve_drains;
+      serve_restarts;
     ];
   Array.iter (fun c -> Atomic.set c 0) latency_hist;
   Mutex.lock pool_lock;
@@ -353,6 +373,10 @@ let empty =
     serve_cache_misses = 0;
     serve_cache_evictions = 0;
     serve_rejections = 0;
+    serve_expired = 0;
+    serve_snapshot_hits = 0;
+    serve_drains = 0;
+    serve_restarts = 0;
     latency_hist = [||];
     batches = 0;
     items = 0;
@@ -406,6 +430,10 @@ let absorb (d : snapshot) =
     add serve_cache_misses d.serve_cache_misses;
     add serve_cache_evictions d.serve_cache_evictions;
     add serve_rejections d.serve_rejections;
+    add serve_expired d.serve_expired;
+    add serve_snapshot_hits d.serve_snapshot_hits;
+    add serve_drains d.serve_drains;
+    add serve_restarts d.serve_restarts;
     Array.iteri (fun i k -> add latency_hist.(i) k) d.latency_hist;
     Mutex.lock pool_lock;
     batches := !batches + d.batches;
@@ -457,6 +485,14 @@ let print oc s =
       s.serve_requests s.serve_batches s.serve_coalesced s.serve_cache_hits
       (s.serve_cache_hits + s.serve_cache_misses)
       s.serve_cache_evictions s.serve_rejections;
+  if
+    s.serve_expired > 0 || s.serve_snapshot_hits > 0 || s.serve_drains > 0
+    || s.serve_restarts > 0
+  then
+    p
+      "  serve-robustness: expired %d  snapshot_hits %d  drains %d  \
+       restarts %d\n"
+      s.serve_expired s.serve_snapshot_hits s.serve_drains s.serve_restarts;
   if Array.exists (fun k -> k > 0) s.latency_hist then begin
     p "  latency:";
     Array.iteri

@@ -65,6 +65,14 @@ type snapshot = {
   serve_rejections : int;
       (** Requests rejected [Overloaded] by admission control.  Timing-
           dependent, so {e not} covered by the determinism contract. *)
+  serve_expired : int;
+      (** Requests answered [Expired]: their deadline elapsed in the
+          admission queue.  Timing-dependent, like rejections. *)
+  serve_snapshot_hits : int;
+      (** Cache hits on entries restored from a warm-start snapshot. *)
+  serve_drains : int;  (** Graceful drains completed (SIGTERM path). *)
+  serve_restarts : int;
+      (** Supervised worker respawns after a death or hang. *)
   latency_hist : int array;
       (** Virtual link-latency histogram over {!latency_bounds} buckets
           (last bucket open-ended). *)
@@ -117,6 +125,10 @@ val record_serve_batch : requests:int -> coalesced:int -> unit
 val record_serve_cache : hit:bool -> unit
 val record_serve_cache_eviction : unit -> unit
 val record_serve_rejection : unit -> unit
+val record_serve_expiry : unit -> unit
+val record_serve_snapshot_hit : unit -> unit
+val record_serve_drain : unit -> unit
+val record_serve_restart : unit -> unit
 
 val latency_bounds : float array
 (** Upper bounds of the latency histogram buckets (exponential, doubling

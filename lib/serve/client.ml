@@ -8,6 +8,8 @@ module Supervisor = Ls_shard.Supervisor
 
 type t = { fd : Unix.file_descr }
 
+exception Unknown_host of string
+
 let connect_fd addr =
   match addr with
   | Server.Unix_path path ->
@@ -16,11 +18,18 @@ let connect_fd addr =
        with e -> (try Unix.close fd with _ -> ()); raise e);
       fd
   | Server.Tcp (host, port) ->
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (* Resolve BEFORE opening the socket: gethostbyname signals an
+         unknown host with Not_found, which is both descriptor-leak bait
+         and invisible to a Unix_error-only handler — name it. *)
       let inet =
         try Unix.inet_addr_of_string host
-        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Failure _ -> (
+          match (Unix.gethostbyname host).Unix.h_addr_list with
+          | [||] -> raise (Unknown_host host)
+          | addrs -> addrs.(0)
+          | exception Not_found -> raise (Unknown_host host))
       in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       (try Unix.connect fd (Unix.ADDR_INET (inet, port))
        with e -> (try Unix.close fd with _ -> ()); raise e);
       fd
@@ -28,20 +37,29 @@ let connect_fd addr =
 let connect addr = { fd = connect_fd addr }
 
 (* Daemon startup is asynchronous from the client's point of view; retry
-   the connect over a bounded window (EINTR-safe sleeps). *)
-let connect_retry ?(attempts = 50) ?(delay_ms = 100) addr =
-  let rec go n =
+   the connect over a bounded window (EINTR-safe sleeps) with capped
+   exponential backoff: quick early probes, no 100ms stall when the
+   daemon is already up, bounded pressure when it is not. *)
+let connect_retry ?(attempts = 50) ?(delay_ms = 10) ?(max_delay_ms = 400) addr =
+  let named attempt msg =
+    Error
+      (Printf.sprintf "connect %s after %d attempt(s): %s"
+         (Server.address_to_string addr) attempt msg)
+  in
+  let rec go n delay =
+    let attempt = attempts - n + 1 in
     match connect addr with
     | c -> Ok c
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when n > 1 ->
-        Supervisor.sleep_ms delay_ms;
-        go (n - 1)
+        Supervisor.sleep_ms delay;
+        go (n - 1) (min max_delay_ms (2 * delay))
     | exception Unix.Unix_error (e, _, _) ->
-        Error (Printf.sprintf "connect %s: %s" (Server.address_to_string addr)
-                 (Unix.error_message e))
+        named attempt (Unix.error_message e)
+    | exception Unknown_host host ->
+        named attempt (Printf.sprintf "unknown host %S" host)
   in
-  go attempts
+  go attempts (max 1 delay_ms)
 
 let send t req = Protocol.write_request t.fd req
 
@@ -51,6 +69,11 @@ let recv t =
   | Error Frame.Closed -> Error "server closed the connection"
   | Error Frame.Truncated -> Error "server died mid-response"
   | Error (Frame.Malformed msg) -> Error msg
+  (* A hard reset (the peer kill -9ed mid-response) surfaces from read(2)
+     as ECONNRESET, not EOF — same contract as the named errors above:
+     recv returns a result, it never leaks Unix_error. *)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connection failed: %s" (Unix.error_message e))
 
 let call t req =
   send t req;

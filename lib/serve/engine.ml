@@ -33,6 +33,7 @@ module Models = Ls_gibbs.Models
 module Matching = Ls_gibbs.Matching
 module Metrics = Ls_obs.Metrics
 module Trace = Ls_obs.Trace
+module Codec = Ls_sketch.Codec
 open Ls_core
 
 (* --- spec parsing (Result-typed; the CLI front-end wraps these) ------- *)
@@ -159,6 +160,9 @@ type compiled = {
   c_model : model;
   c_inst : Instance.t;
   c_oracle : Inference.oracle;
+  c_spec : Protocol.request;
+      (* Normalized rebuild spec (graph/model/t/engine/seed only): oracles
+         hold closures, so snapshots persist the spec and recompile. *)
 }
 
 (* Graph families that consume randomness during construction: their
@@ -183,6 +187,23 @@ let instance_key (r : Protocol.request) =
     Printf.sprintf "%s|%Lx" base r.Protocol.seed
   else base
 
+(* The slice of a request a compiled instance actually depends on — two
+   requests with the same instance_key normalize to the same spec, and a
+   snapshot entry rebuilds from it bit-identically. *)
+let normalize_spec (r : Protocol.request) =
+  {
+    Protocol.id = 0;
+    op = Protocol.Sample;
+    seed = (if seed_sensitive r.Protocol.graph then r.Protocol.seed else 0L);
+    graph = r.Protocol.graph;
+    model = r.Protocol.model;
+    t = r.Protocol.t;
+    engine = r.Protocol.engine;
+    trials = 1;
+    vertex = 0;
+    deadline_ms = 0;
+  }
+
 let build_compiled ~max_vertices (r : Protocol.request) =
   let ( let* ) = Result.bind in
   (* Same derivation as the CLI's make_instance: the graph rng is seeded
@@ -197,7 +218,7 @@ let build_compiled ~max_vertices (r : Protocol.request) =
     let* c_model = parse_model c_graph r.Protocol.model in
     let c_inst = Instance.unpinned c_model.spec in
     let* c_oracle = make_oracle ~engine:r.Protocol.engine ~t:r.Protocol.t c_inst in
-    Ok { c_graph; c_model; c_inst; c_oracle }
+    Ok { c_graph; c_model; c_inst; c_oracle; c_spec = normalize_spec r }
 
 (* --- the engine ------------------------------------------------------- *)
 
@@ -220,7 +241,14 @@ type t = {
   mutable cache_misses : int;
   (* Admission outcomes, owned by the server's accept loop. *)
   mutable rejected : int;
+  mutable expired : int;
   mutable max_queue : int;
+  (* Warm-start bookkeeping: keys restored from a snapshot, and the hits
+     they have absorbed since boot. *)
+  restored : (string, unit) Hashtbl.t;
+  mutable snapshot_hits : int;
+  (* Worker incarnation under supervision; 0 when never restarted. *)
+  mutable restarts : int;
 }
 
 let create ?(instance_cache = 64) ?(plan_cache = 1024) ?(max_vertices = 100_000)
@@ -235,13 +263,22 @@ let create ?(instance_cache = 64) ?(plan_cache = 1024) ?(max_vertices = 100_000)
     cache_hits = 0;
     cache_misses = 0;
     rejected = 0;
+    expired = 0;
     max_queue = 0;
+    restored = Hashtbl.create 64;
+    snapshot_hits = 0;
+    restarts = 0;
   }
 
 let note_rejection t =
   t.rejected <- t.rejected + 1;
   Metrics.record_serve_rejection ()
 
+let note_expiry t =
+  t.expired <- t.expired + 1;
+  Metrics.record_serve_expiry ()
+
+let set_restarts t n = t.restarts <- n
 let note_queue_depth t depth = if depth > t.max_queue then t.max_queue <- depth
 
 let stats t =
@@ -253,6 +290,9 @@ let stats t =
     st_cache_misses = t.cache_misses;
     st_evictions = Lru.evictions t.instances + Lru.evictions t.plans;
     st_rejected = t.rejected;
+    st_expired = t.expired;
+    st_snapshot_hits = t.snapshot_hits;
+    st_restarts = t.restarts;
     st_max_queue = t.max_queue;
     st_domains = Par.domains ();
   }
@@ -262,6 +302,10 @@ let cache_lookup t lru key =
   | Some v ->
       t.cache_hits <- t.cache_hits + 1;
       Metrics.record_serve_cache ~hit:true;
+      if Hashtbl.mem t.restored key then begin
+        t.snapshot_hits <- t.snapshot_hits + 1;
+        Metrics.record_serve_snapshot_hit ()
+      end;
       Some v
   | None ->
       t.cache_misses <- t.cache_misses + 1;
@@ -473,3 +517,176 @@ let submit t ?domains ?trace request =
   match submit_batch t ?domains ?trace [ request ] with
   | [ r ] -> r
   | _ -> Error (Internal "submit: batch arity mismatch")
+
+(* --- warm-start snapshots ---------------------------------------------- *)
+
+(* The caches serialized as pure data: plans field by field, compiled
+   instances as their normalized rebuild spec (recompiled on restore).
+   The payload is wrapped in a Ckpt envelope by the server, which
+   contributes atomicity and a digest; the bounds here only keep a
+   corrupt-but-digest-valid payload from sizing absurd allocations. *)
+
+let snapshot_magic = "LSSV"
+let snapshot_version = 1
+let max_snapshot_key = 4096
+let max_snapshot_entries = 1 lsl 20
+
+let add_string buf s =
+  Codec.add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string s cur ~cap =
+  let ( let* ) = Result.bind in
+  let* len = Codec.read_int s cur in
+  if len < 0 || len > cap then
+    Error (Printf.sprintf "Engine: snapshot string length %d outside [0, %d]" len cap)
+  else if len > Codec.remaining s cur then
+    Error "Engine: snapshot string exceeds bytes present"
+  else begin
+    let v = String.sub s !cur len in
+    cur := !cur + len;
+    Ok v
+  end
+
+let read_count s cur ~what =
+  Result.bind (Codec.read_int s cur) (fun n ->
+      if n < 0 || n > max_snapshot_entries then
+        Error (Printf.sprintf "Engine: snapshot %s count %d out of range" what n)
+      else if n > Codec.remaining s cur then
+        Error (Printf.sprintf "Engine: snapshot %s count exceeds bytes present" what)
+      else Ok n)
+
+let add_plan buf (p : Ls_local.Scheduler.plan) =
+  Codec.add_int buf p.Ls_local.Scheduler.p_locality;
+  Codec.add_int buf (Array.length p.p_order);
+  Array.iter (fun v -> Codec.add_int buf v) p.p_order;
+  Codec.add_int buf (Array.length p.p_failed);
+  Array.iter (fun b -> Codec.add_int buf (if b then 1 else 0)) p.p_failed;
+  Codec.add_int buf p.p_rounds;
+  Codec.add_int buf p.p_decomposition_rounds;
+  Codec.add_int buf p.p_colors;
+  Codec.add_int buf p.p_clusters;
+  Codec.add_int buf p.p_max_cluster_radius;
+  Codec.add_int buf p.p_failures
+
+let read_plan s cur =
+  let ( let* ) = Result.bind in
+  let read_array ~of_int =
+    let* len = read_count s cur ~what:"plan array" in
+    let out = Array.make (max len 1) (of_int 0) in
+    let rec go i =
+      if i = len then Ok (Array.sub out 0 len)
+      else
+        let* v = Codec.read_int s cur in
+        out.(i) <- of_int v;
+        go (i + 1)
+    in
+    go 0
+  in
+  let* p_locality = Codec.read_int s cur in
+  let* p_order = read_array ~of_int:Fun.id in
+  let* p_failed = read_array ~of_int:(fun v -> v <> 0) in
+  let* p_rounds = Codec.read_int s cur in
+  let* p_decomposition_rounds = Codec.read_int s cur in
+  let* p_colors = Codec.read_int s cur in
+  let* p_clusters = Codec.read_int s cur in
+  let* p_max_cluster_radius = Codec.read_int s cur in
+  let* p_failures = Codec.read_int s cur in
+  Ok
+    {
+      Ls_local.Scheduler.p_locality;
+      p_order;
+      p_failed;
+      p_rounds;
+      p_decomposition_rounds;
+      p_colors;
+      p_clusters;
+      p_max_cluster_radius;
+      p_failures;
+    }
+
+let snapshot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snapshot_magic;
+  Codec.add_int buf snapshot_version;
+  let instances = Lru.to_list t.instances in
+  Codec.add_int buf (List.length instances);
+  List.iter
+    (fun (key, c) ->
+      add_string buf key;
+      add_string buf c.c_spec.Protocol.graph;
+      add_string buf c.c_spec.Protocol.model;
+      Codec.add_int buf c.c_spec.Protocol.t;
+      add_string buf c.c_spec.Protocol.engine;
+      Codec.add_i64 buf c.c_spec.Protocol.seed)
+    instances;
+  let plans = Lru.to_list t.plans in
+  Codec.add_int buf (List.length plans);
+  List.iter
+    (fun (key, p) ->
+      add_string buf key;
+      add_plan buf p)
+    plans;
+  Buffer.contents buf
+
+let restore t s =
+  let ( let* ) = Result.bind in
+  let cur = ref 0 in
+  let* () = Codec.read_magic s cur snapshot_magic in
+  let* v = Codec.read_int s cur in
+  if v <> snapshot_version then Error "Engine: unknown snapshot version"
+  else begin
+    let restored = ref 0 in
+    let mark key =
+      Hashtbl.replace t.restored key ();
+      incr restored
+    in
+    let* n_inst = read_count s cur ~what:"instance" in
+    let rec load_inst i =
+      if i = n_inst then Ok ()
+      else
+        let* key = read_string s cur ~cap:max_snapshot_key in
+        let* graph = read_string s cur ~cap:Protocol.max_spec_len in
+        let* model = read_string s cur ~cap:Protocol.max_spec_len in
+        let* tt = Codec.read_int s cur in
+        let* engine = read_string s cur ~cap:Protocol.max_spec_len in
+        let* seed = Codec.read_i64 s cur in
+        let spec =
+          {
+            Protocol.id = 0;
+            op = Protocol.Sample;
+            seed;
+            graph;
+            model;
+            t = tt;
+            engine;
+            trials = 1;
+            vertex = 0;
+            deadline_ms = 0;
+          }
+        in
+        (* An entry the current config refuses to rebuild (e.g. a smaller
+           max_vertices) is dropped, not fatal: warm-start is best-effort. *)
+        (match build_compiled ~max_vertices:t.max_vertices spec with
+        | Ok c ->
+            Lru.add t.instances key c;
+            mark key
+        | Error _ -> ());
+        load_inst (i + 1)
+    in
+    let* () = load_inst 0 in
+    let* n_plans = read_count s cur ~what:"plan" in
+    let rec load_plan i =
+      if i = n_plans then Ok ()
+      else
+        let* key = read_string s cur ~cap:max_snapshot_key in
+        let* p = read_plan s cur in
+        Lru.add t.plans key p;
+        mark key;
+        load_plan (i + 1)
+    in
+    let* () = load_plan 0 in
+    if Codec.remaining s cur <> 0 then
+      Error "Engine: trailing bytes after snapshot"
+    else Ok !restored
+  end

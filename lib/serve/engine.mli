@@ -80,9 +80,34 @@ val stats : t -> Protocol.stats
 val note_rejection : t -> unit
 (** The server records each [Overloaded] admission verdict here. *)
 
+val note_expiry : t -> unit
+(** The server records each [Expired] admission verdict here. *)
+
+val set_restarts : t -> int -> unit
+(** The supervised worker's incarnation number, surfaced in {!stats}. *)
+
 val note_queue_depth : t -> int -> unit
 (** The server reports its queue depth after each enqueue; {!stats}
     exposes the high-water mark. *)
+
+(** {1 Warm-start snapshots} *)
+
+val snapshot : t -> string
+(** Serialize both LRU caches as pure data: plans field by field,
+    compiled instances as the normalized spec that rebuilds them.  The
+    result carries its own magic/version but no digest — the server
+    wraps it in a {!Ls_shard.Ckpt} envelope for atomicity and
+    self-validation on disk. *)
+
+val restore : t -> string -> (int, string) result
+(** Load a {!snapshot} payload into the engine's caches, recompiling
+    each instance from its stored spec.  Returns the number of entries
+    restored.  Entries the current configuration refuses to rebuild
+    (e.g. a smaller [max_vertices]) are skipped, never fatal; a
+    malformed payload is a named [Error] and the caches may hold a
+    prefix of its entries (the caller treats this as a cold start).
+    Subsequent cache hits on restored keys count as snapshot hits in
+    {!stats} and {!Ls_obs.Metrics}. *)
 
 (**/**)
 

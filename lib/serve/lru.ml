@@ -54,3 +54,8 @@ let add t key value =
 let length t = Hashtbl.length t.table
 let evictions t = t.evictions
 let capacity t = t.capacity
+
+let to_list t =
+  Hashtbl.fold (fun k e acc -> (e.stamp, k, e.value) :: acc) t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, k, v) -> (k, v))

@@ -22,3 +22,9 @@ val capacity : 'a t -> int
 
 val evictions : 'a t -> int
 (** Total evictions since creation. *)
+
+val to_list : 'a t -> (string * 'a) list
+(** All bindings, least-recently-used first — re-{!add}ing them in order
+    into an empty cache reconstructs the recency order (and evicts the
+    oldest first if the new capacity is smaller).  The snapshot layer
+    serializes caches through this. *)

@@ -23,6 +23,7 @@ let max_spec_len = 256
 let max_trials = 1_000_000
 let max_t = 1_000_000
 let max_vector = 1_000_000
+let max_deadline_ms = 86_400_000
 
 type op = Sample | Infer | Count | Stats
 
@@ -51,27 +52,31 @@ type request = {
   engine : string;
   trials : int;
   vertex : int;
+  deadline_ms : int;
 }
 
-type err_code = Bad_request | Overloaded | Unsupported | Internal
+type err_code = Bad_request | Overloaded | Unsupported | Internal | Expired
 
 let err_name = function
   | Bad_request -> "bad_request"
   | Overloaded -> "overloaded"
   | Unsupported -> "unsupported"
   | Internal -> "internal"
+  | Expired -> "expired"
 
 let err_tag = function
   | Bad_request -> 0
   | Overloaded -> 1
   | Unsupported -> 2
   | Internal -> 3
+  | Expired -> 4
 
 let err_of_tag = function
   | 0 -> Ok Bad_request
   | 1 -> Ok Overloaded
   | 2 -> Ok Unsupported
   | 3 -> Ok Internal
+  | 4 -> Ok Expired
   | n -> Error (Printf.sprintf "Protocol: unknown error code %d" n)
 
 type stats = {
@@ -82,6 +87,9 @@ type stats = {
   st_cache_misses : int;
   st_evictions : int;
   st_rejected : int;
+  st_expired : int;
+  st_snapshot_hits : int;
+  st_restarts : int;
   st_max_queue : int;
   st_domains : int;
 }
@@ -123,6 +131,10 @@ let validate_request r =
     Error
       (Printf.sprintf "Protocol: trials=%d outside [1, %d]" r.trials max_trials)
   else if r.vertex < 0 then Error "Protocol: negative vertex"
+  else if r.deadline_ms < 0 || r.deadline_ms > max_deadline_ms then
+    Error
+      (Printf.sprintf "Protocol: deadline_ms=%d outside [0, %d]" r.deadline_ms
+         max_deadline_ms)
   else Ok ()
 
 (* --- payload codec ---------------------------------------------------- *)
@@ -153,6 +165,7 @@ let request_payload r =
   Codec.add_int buf r.t;
   Codec.add_int buf r.trials;
   Codec.add_int buf r.vertex;
+  Codec.add_int buf r.deadline_ms;
   add_string buf r.graph;
   add_string buf r.model;
   add_string buf r.engine;
@@ -169,13 +182,16 @@ let request_of_payload s =
   let* t = Codec.read_int s cur in
   let* trials = Codec.read_int s cur in
   let* vertex = Codec.read_int s cur in
+  let* deadline_ms = Codec.read_int s cur in
   let* graph = read_string s cur ~cap:max_spec_len in
   let* model = read_string s cur ~cap:max_spec_len in
   let* engine = read_string s cur ~cap:max_spec_len in
   if Codec.remaining s cur <> 0 then
     Error "Protocol: trailing bytes after request"
   else
-    let r = { id; op; seed; graph; model; t; engine; trials; vertex } in
+    let r =
+      { id; op; seed; graph; model; t; engine; trials; vertex; deadline_ms }
+    in
     let* () = validate_request r in
     Ok r
 
@@ -229,6 +245,9 @@ let response_payload { rid; body } =
           st.st_cache_misses;
           st.st_evictions;
           st.st_rejected;
+          st.st_expired;
+          st.st_snapshot_hits;
+          st.st_restarts;
           st.st_max_queue;
           st.st_domains;
         ]
@@ -285,6 +304,9 @@ let response_of_payload s =
         let* st_cache_misses = field () in
         let* st_evictions = field () in
         let* st_rejected = field () in
+        let* st_expired = field () in
+        let* st_snapshot_hits = field () in
+        let* st_restarts = field () in
         let* st_max_queue = field () in
         let* st_domains = field () in
         Ok
@@ -297,6 +319,9 @@ let response_of_payload s =
                st_cache_misses;
                st_evictions;
                st_rejected;
+               st_expired;
+               st_snapshot_hits;
+               st_restarts;
                st_max_queue;
                st_domains;
              })

@@ -34,9 +34,20 @@ type request = {
   engine : string;  (** ["ball"] or ["saw"]. *)
   trials : int;  (** Sample trials ([1 .. max_trials]); 1 for other ops. *)
   vertex : int;  (** Infer target ([>= 0]); ignored by other ops. *)
+  deadline_ms : int;
+      (** Maximum queue wait in milliseconds before the daemon answers
+          {!Expired} instead of executing; [0] means no deadline
+          ([0 .. max_deadline_ms]). *)
 }
 
-type err_code = Bad_request | Overloaded | Unsupported | Internal
+type err_code =
+  | Bad_request
+  | Overloaded
+  | Unsupported
+  | Internal
+  | Expired
+      (** The request out-waited its [deadline_ms] in the admission queue
+          and was answered without executing. *)
 
 val err_name : err_code -> string
 
@@ -48,6 +59,11 @@ type stats = {
   st_cache_misses : int;
   st_evictions : int;
   st_rejected : int;
+  st_expired : int;  (** Requests answered {!Expired} without executing. *)
+  st_snapshot_hits : int;
+      (** Cache hits on entries restored from a warm-start snapshot. *)
+  st_restarts : int;
+      (** Worker incarnation under [--supervised]; 0 = never restarted. *)
   st_max_queue : int;
   st_domains : int;
 }
@@ -69,6 +85,7 @@ type response = { rid : int; body : body }
 val max_spec_len : int
 val max_trials : int
 val max_t : int
+val max_deadline_ms : int
 
 val validate_request : request -> (unit, string) result
 (** The bounds {!decode_request_bytes} enforces, applied to an in-memory

@@ -20,6 +20,8 @@
 
 module Frame = Ls_shard.Frame
 module Supervisor = Ls_shard.Supervisor
+module Ckpt = Ls_shard.Ckpt
+module Metrics = Ls_obs.Metrics
 
 let src = Logs.Src.create "locsample.serve" ~doc:"sampling-as-a-service daemon"
 
@@ -56,6 +58,14 @@ let env_int_check name ~min =
           Error
             (Printf.sprintf "%s=%S: expected an integer >= %d" name s min))
 
+let env_float_check name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> Ok ()
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f when f > 0. -> Ok ()
+      | _ -> Error (Printf.sprintf "%s=%S: expected a number > 0" name s))
+
 let env_check () =
   let ( let* ) = Result.bind in
   let* () =
@@ -67,7 +77,18 @@ let env_check () =
         | Error msg -> Error (Printf.sprintf "LOCSAMPLE_SERVE_SOCKET: %s" msg))
   in
   let* () = env_int_check "LOCSAMPLE_SERVE_QUEUE" ~min:1 in
-  env_int_check "LOCSAMPLE_SERVE_CACHE" ~min:1
+  let* () = env_int_check "LOCSAMPLE_SERVE_CACHE" ~min:1 in
+  let* () = env_float_check "LOCSAMPLE_SERVE_SEND_TIMEOUT" in
+  match Sys.getenv_opt "LOCSAMPLE_SERVE_STATE" with
+  | None | Some "" -> Ok ()
+  | Some d ->
+      (* Same discipline as LOCSAMPLE_SHARD_DIR: the dir is created on
+         first snapshot, but a path that exists and is not a directory
+         would fail deep inside the first cache write. *)
+      if Sys.file_exists d && not (Sys.is_directory d) then
+        Error
+          (Printf.sprintf "LOCSAMPLE_SERVE_STATE=%S: exists but is not a directory" d)
+      else Ok ()
 
 (* Same validation as [env_check], so library callers that skip the
    CLI's startup check get a raised error rather than a silently
@@ -91,6 +112,19 @@ let default_address () =
 let default_queue () = env_int "LOCSAMPLE_SERVE_QUEUE" ~default:64
 let default_cache () = env_int "LOCSAMPLE_SERVE_CACHE" ~default:64
 
+let default_send_timeout () =
+  match env_float_check "LOCSAMPLE_SERVE_SEND_TIMEOUT" with
+  | Error msg -> invalid_arg msg
+  | Ok () -> (
+      match Sys.getenv_opt "LOCSAMPLE_SERVE_SEND_TIMEOUT" with
+      | None | Some "" -> 10.
+      | Some s -> float_of_string (String.trim s))
+
+let default_state_dir () =
+  match Sys.getenv_opt "LOCSAMPLE_SERVE_STATE" with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
 (* --- configuration ---------------------------------------------------- *)
 
 type config = {
@@ -101,10 +135,14 @@ type config = {
   plan_cache : int;
   max_vertices : int;
   max_requests : int option;
+  send_timeout : float;
+  state_dir : string option;
+  snapshot_every : int;
 }
 
 let config ?address ?queue_bound ?(batch_max = 32) ?instance_cache
-    ?(plan_cache = 1024) ?(max_vertices = 100_000) ?max_requests () =
+    ?(plan_cache = 1024) ?(max_vertices = 100_000) ?max_requests ?send_timeout
+    ?state_dir ?(snapshot_every = 8) () =
   let address = match address with Some a -> a | None -> default_address () in
   let queue_bound =
     match queue_bound with Some q -> q | None -> default_queue ()
@@ -112,8 +150,18 @@ let config ?address ?queue_bound ?(batch_max = 32) ?instance_cache
   let instance_cache =
     match instance_cache with Some c -> c | None -> default_cache ()
   in
+  let send_timeout =
+    match send_timeout with Some s -> s | None -> default_send_timeout ()
+  in
+  let state_dir =
+    match state_dir with Some d -> Some d | None -> default_state_dir ()
+  in
   if queue_bound < 1 then invalid_arg "Server.config: queue bound must be >= 1";
   if batch_max < 1 then invalid_arg "Server.config: batch max must be >= 1";
+  if send_timeout <= 0. then
+    invalid_arg "Server.config: send timeout must be > 0";
+  if snapshot_every < 1 then
+    invalid_arg "Server.config: snapshot interval must be >= 1";
   {
     address;
     queue_bound;
@@ -122,6 +170,9 @@ let config ?address ?queue_bound ?(batch_max = 32) ?instance_cache
     plan_cache;
     max_vertices;
     max_requests;
+    send_timeout;
+    state_dir;
+    snapshot_every;
   }
 
 (* --- the loop --------------------------------------------------------- *)
@@ -134,22 +185,26 @@ let max_request_frame = 1 lsl 16
 (* Most bytes pulled off a connection per select round. *)
 let read_chunk = 1 lsl 16
 
-(* A peer that keeps a write blocked this long has stopped reading its
-   responses; dropping it is the only way to keep the loop live for
-   everyone else. *)
-let send_timeout_s = 10.
-
 type conn = {
+  id : int;  (* Accept order: the round-robin scheduling key. *)
   fd : Unix.file_descr;
   mutable alive : bool;
   (* Bytes received but not yet forming a complete frame. *)
   mutable pending : string;
+  (* This connection's admitted requests, stamped with arrival time.
+     Bounded by [queue_bound] per connection: admission is per-client,
+     so one flooding peer fills its own queue and sees Overloaded while
+     everyone else's requests are still admitted. *)
+  queue : (Protocol.request * float) Queue.t;
 }
 
 let close_conn c =
   if c.alive then begin
     c.alive <- false;
     c.pending <- "";
+    (* Requests admitted on a dead connection can never be answered;
+       executing them would only burn batch slots. *)
+    Queue.clear c.queue;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
@@ -185,6 +240,34 @@ let listen_on = function
       Unix.listen fd 64;
       fd
 
+(* --- warm-start snapshots ---------------------------------------------- *)
+
+(* The engine's cache snapshot rides the shard layer's Ckpt envelope:
+   tmp+rename atomicity, magic/version/digest self-validation, any
+   invalidity read as absence.  A fixed run id tags the file as a serve
+   snapshot; the Ckpt round field records the batch count that wrote it. *)
+let snapshot_run_id = 0x4c53_5356L (* "LSSV" *)
+let snapshot_file dir = Filename.concat dir "serve-cache.snap"
+
+let save_snapshot ~dir engine ~batches =
+  try
+    Ckpt.save_path ~path:(snapshot_file dir)
+      { Ckpt.run_id = snapshot_run_id; shard = 0; phase = 1; round = batches }
+      (Engine.snapshot engine)
+  with Unix.Unix_error _ | Sys_error _ ->
+    (* Persistence is best-effort: a full disk must not kill serving. *)
+    Log.warn (fun m -> m "cache snapshot write to %s failed" dir)
+
+let load_snapshot ~dir engine =
+  match Ckpt.load_path ~path:(snapshot_file dir) with
+  | Some (meta, payload) when Int64.equal meta.Ckpt.run_id snapshot_run_id -> (
+      match Engine.restore engine payload with
+      | Ok n -> n
+      | Error reason ->
+          Log.warn (fun m -> m "cache snapshot rejected: %s" reason);
+          0)
+  | _ -> 0
+
 let stop_flag = ref false
 
 let install_signals () =
@@ -196,18 +279,36 @@ let install_signals () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
-let run ?(cfg = config ()) ?trace ?on_ready () =
+let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
+    ?heartbeat () =
   stop_flag := false;
   install_signals ();
   let engine =
     Engine.create ~instance_cache:cfg.instance_cache ~plan_cache:cfg.plan_cache
       ~max_vertices:cfg.max_vertices ()
   in
-  let listen_fd = listen_on cfg.address in
+  Engine.set_restarts engine incarnation;
+  (match cfg.state_dir with
+  | Some dir ->
+      let restored = load_snapshot ~dir engine in
+      if restored > 0 then
+        Log.info (fun m -> m "warm start: %d cache entries restored" restored)
+  | None -> ());
+  (* Under supervision the parent owns the listener (so a killed worker
+     restarts without dropping the socket); standalone we open it here
+     and tear it down in the finally. *)
+  let owns_listener = listen_fd = None in
+  let listen_fd =
+    match listen_fd with Some fd -> fd | None -> listen_on cfg.address
+  in
   Log.info (fun m -> m "listening on %s" (address_to_string cfg.address));
   (match on_ready with Some f -> f () | None -> ());
+  let beat () = match heartbeat with Some f -> f () | None -> () in
   let conns : conn list ref = ref [] in
-  let queue : (Protocol.request * conn) Queue.t = Queue.create () in
+  let next_conn_id = ref 0 in
+  let total_queued () =
+    List.fold_left (fun acc c -> acc + Queue.length c.queue) 0 !conns
+  in
   let answered = ref 0 in
   let budget_left () =
     match cfg.max_requests with None -> true | Some k -> !answered < k
@@ -216,7 +317,10 @@ let run ?(cfg = config ()) ?trace ?on_ready () =
     send_response c resp;
     incr answered
   in
-  (* One inbound frame: admission verdict or a named protocol error. *)
+  (* One inbound frame: admission verdict or a named protocol error.
+     Admission is per-connection — the verdict depends only on this
+     connection's own arrival order, so a flooding client cannot push
+     anyone else over the bound. *)
   let handle_frame c (f : Frame.t) =
     match Protocol.request_of_frame f with
     | Error msg ->
@@ -227,14 +331,14 @@ let run ?(cfg = config ()) ?trace ?on_ready () =
               Protocol.Error_r { code = Protocol.Bad_request; message = msg };
           }
     | Ok req ->
-        if Queue.length queue >= cfg.queue_bound then begin
+        if Queue.length c.queue >= cfg.queue_bound then begin
           Engine.note_rejection engine;
           reply c
             { Protocol.rid = req.Protocol.id; body = Engine.error_body Engine.Overloaded }
         end
         else begin
-          Queue.add (req, c) queue;
-          Engine.note_queue_depth engine (Queue.length queue)
+          Queue.add (req, Unix.gettimeofday ()) c.queue;
+          Engine.note_queue_depth engine (total_queued ())
         end
   in
   (* Decode every complete frame accumulated on the connection; a
@@ -286,9 +390,13 @@ let run ?(cfg = config ()) ?trace ?on_ready () =
   let accept_new () =
     match Unix.accept listen_fd with
     | fd, _ ->
-        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_s
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.send_timeout
          with Unix.Unix_error _ | Invalid_argument _ -> ());
-        conns := { fd; alive = true; pending = "" } :: !conns
+        let id = !next_conn_id in
+        incr next_conn_id;
+        conns :=
+          { id; fd; alive = true; pending = ""; queue = Queue.create () }
+          :: !conns
     | exception
         Unix.Unix_error
           ((Unix.ECONNABORTED | Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN), _, _)
@@ -298,24 +406,97 @@ let run ?(cfg = config ()) ?trace ?on_ready () =
         Supervisor.sleep_ms 10
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
+  (* Batch formation: deficit round-robin with a one-request quantum over
+     connections in accept order, the starting connection rotating per
+     batch.  Expired requests are answered at pop time without consuming
+     a batch slot.  Deterministic given each connection's arrival order:
+     within one connection, requests are still answered in FIFO order. *)
+  let rr = ref 0 in
+  let collect_batch now =
+    let live =
+      List.sort (fun a b -> compare a.id b.id)
+        (List.filter (fun c -> c.alive && not (Queue.is_empty c.queue)) !conns)
+    in
+    let arr = Array.of_list live in
+    let n = Array.length arr in
+    let batch = ref [] in
+    let count = ref 0 in
+    if n > 0 then begin
+      let start = !rr mod n in
+      incr rr;
+      let progress = ref true in
+      while !count < cfg.batch_max && !progress do
+        progress := false;
+        for i = 0 to n - 1 do
+          let c = arr.((start + i) mod n) in
+          if !count < cfg.batch_max && c.alive then begin
+            let rec pop () =
+              match Queue.take_opt c.queue with
+              | None -> ()
+              | Some (req, t0) ->
+                  let d = req.Protocol.deadline_ms in
+                  if d > 0 && (now -. t0) *. 1000. > float_of_int d then begin
+                    Engine.note_expiry engine;
+                    reply c
+                      {
+                        Protocol.rid = req.Protocol.id;
+                        body =
+                          Protocol.Error_r
+                            {
+                              code = Protocol.Expired;
+                              message =
+                                Printf.sprintf
+                                  "deadline of %d ms elapsed in queue" d;
+                            };
+                      };
+                    pop ()
+                  end
+                  else begin
+                    batch := (req, c) :: !batch;
+                    incr count;
+                    progress := true
+                  end
+            in
+            pop ()
+          end
+        done
+      done
+    end;
+    List.rev !batch
+  in
+  let batches_since_snapshot = ref 0 in
+  let maybe_snapshot () =
+    match cfg.state_dir with
+    | Some dir when !batches_since_snapshot >= cfg.snapshot_every ->
+        batches_since_snapshot := 0;
+        save_snapshot ~dir engine
+          ~batches:(Engine.stats engine).Protocol.st_batches
+    | _ -> ()
+  in
   let run_batches () =
-    while not (Queue.is_empty queue) do
-      let k = min cfg.batch_max (Queue.length queue) in
-      let batch = List.init k (fun _ -> Queue.pop queue) in
-      let bodies =
-        Engine.submit_batch engine ?trace (List.map fst batch)
-      in
-      List.iter2
-        (fun (req, c) body ->
-          let body =
-            match body with Ok b -> b | Error e -> Engine.error_body e
+    let continue = ref true in
+    while !continue do
+      match collect_batch (Unix.gettimeofday ()) with
+      | [] -> continue := false
+      | batch ->
+          let bodies =
+            Engine.submit_batch engine ?trace (List.map fst batch)
           in
-          reply c { Protocol.rid = req.Protocol.id; body })
-        batch bodies
+          List.iter2
+            (fun (req, c) body ->
+              let body =
+                match body with Ok b -> b | Error e -> Engine.error_body e
+              in
+              reply c { Protocol.rid = req.Protocol.id; body })
+            batch bodies;
+          incr batches_since_snapshot;
+          maybe_snapshot ();
+          beat ()
     done
   in
   let rec loop () =
     if (not !stop_flag) && budget_left () then begin
+      beat ();
       conns := List.filter (fun c -> c.alive) !conns;
       let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
       (match Unix.select fds [] [] 0.5 with
@@ -332,9 +513,226 @@ let run ?(cfg = config ()) ?trace ?on_ready () =
   Fun.protect
     ~finally:(fun () ->
       List.iter close_conn !conns;
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      match cfg.address with
-      | Unix_path path -> ( try Unix.unlink path with _ -> ())
-      | Tcp _ -> ())
-    loop;
+      if owns_listener then begin
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        match cfg.address with
+        | Unix_path path -> ( try Unix.unlink path with _ -> ())
+        | Tcp _ -> ()
+      end)
+    (fun () ->
+      loop ();
+      (* Graceful drain: stop accepting and reading, answer everything
+         already admitted, then persist the caches.  [loop] runs
+         [run_batches] after its last select round, so the queues are
+         normally already empty here — this is the structural guarantee
+         for the SIGTERM-mid-batch case. *)
+      run_batches ();
+      (match cfg.state_dir with
+      | Some dir ->
+          save_snapshot ~dir engine
+            ~batches:(Engine.stats engine).Protocol.st_batches
+      | None -> ());
+      if !stop_flag then begin
+        Metrics.record_serve_drain ();
+        Log.info (fun m -> m "drained: all admitted requests answered")
+      end);
   Engine.stats engine
+
+(* --- supervised mode --------------------------------------------------- *)
+
+(* Control-channel frames from worker to supervisor.  Any frame resets
+   the silence clock (frames double as heartbeats, as in Ls_shard);
+   [kind_done] additionally carries the final stats as a Stats_r
+   response payload and marks a graceful exit. *)
+let kind_heartbeat = 0x48 (* 'H' *)
+let kind_done = 0x44 (* 'D' *)
+
+(* Select-loop rounds are 0.5 s and a batch beats once per execution, so
+   2 s of silence (the shard default) would SIGKILL a worker mid-way
+   through a perfectly healthy large batch; give serving a longer leash. *)
+let default_supervision =
+  { Supervisor.default_policy with Supervisor.hang_timeout_ms = 5000 }
+
+let write_pid_file path pid =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (string_of_int pid ^ "\n");
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ -> Log.warn (fun m -> m "cannot write pid file %s" path)
+
+let zero_stats ~restarts =
+  {
+    Protocol.st_requests = 0;
+    st_batches = 0;
+    st_coalesced = 0;
+    st_cache_hits = 0;
+    st_cache_misses = 0;
+    st_evictions = 0;
+    st_rejected = 0;
+    st_expired = 0;
+    st_snapshot_hits = 0;
+    st_restarts = restarts;
+    st_max_queue = 0;
+    st_domains = 0;
+  }
+
+let run_supervised ?(cfg = config ()) ?(policy = default_supervision) ?trace
+    ?on_ready ?worker_pid_file () =
+  stop_flag := false;
+  install_signals ();
+  (* The parent owns the listener for the whole supervised lifetime:
+     clients connected during a worker's death park in the accept
+     backlog and are picked up by the replacement. *)
+  let listen_fd = listen_on cfg.address in
+  Log.info (fun m ->
+      m "supervising on %s (budget %d)" (address_to_string cfg.address)
+        policy.Supervisor.restart_budget);
+  (match on_ready with Some f -> f () | None -> ());
+  (* The worker forks; any Ls_par domain would make fork refuse. *)
+  Ls_par.Par.quiesce ();
+  let incarnation = ref 0 in
+  let budget = ref policy.Supervisor.restart_budget in
+  let backoff = ref policy.Supervisor.backoff_base_ms in
+  let final = ref None in
+  let term_sent = ref false in
+  let spawn () =
+    let parent_end, child_end =
+      Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+    in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try Unix.close parent_end with Unix.Unix_error _ -> ());
+        let beat () =
+          try
+            Frame.write_fd child_end
+              {
+                Frame.kind = kind_heartbeat;
+                a = !incarnation;
+                b = 0;
+                c = 0;
+                payload = "";
+              }
+          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            (* The supervisor is gone: drain what we have and exit. *)
+            stop_flag := true
+        in
+        let stats =
+          run ~cfg ?trace ~listen_fd ~incarnation:!incarnation ~heartbeat:beat
+            ()
+        in
+        (try
+           Frame.write_fd child_end
+             {
+               Frame.kind = kind_done;
+               a = !incarnation;
+               b = 0;
+               c = 0;
+               payload =
+                 Protocol.encode_response
+                   { Protocol.rid = 0; body = Protocol.Stats_r stats };
+             }
+         with Unix.Unix_error _ -> ());
+        (try Unix.close child_end with Unix.Unix_error _ -> ());
+        Unix._exit 0
+    | pid ->
+        (try Unix.close child_end with Unix.Unix_error _ -> ());
+        (match worker_pid_file with
+        | Some path -> write_pid_file path pid
+        | None -> ());
+        Log.info (fun m -> m "worker %d spawned (incarnation %d)" pid !incarnation);
+        (pid, parent_end)
+  in
+  let reap pid =
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  (* Watch one worker until it finishes (done frame) or dies/hangs. *)
+  let monitor pid parent_end =
+    let rec go last_heard probes =
+      if !stop_flag && not !term_sent then begin
+        term_sent := true;
+        try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()
+      end;
+      match Unix.select [ parent_end ] [] [] 0.2 with
+      | [ _ ], _, _ -> (
+          match Frame.read_fd parent_end with
+          | Ok f when f.Frame.kind = kind_done ->
+              (match Protocol.decode_response_bytes f.Frame.payload with
+              | Ok { Protocol.body = Protocol.Stats_r st; _ } ->
+                  final := Some st
+              | Ok _ | Error _ -> ());
+              reap pid;
+              `Done
+          | Ok _ -> go (Unix.gettimeofday ()) 0
+          | Error _ ->
+              (* EOF or a torn frame: the worker is dead. *)
+              reap pid;
+              `Died)
+      | _ ->
+          let now = Unix.gettimeofday () in
+          if
+            (now -. last_heard) *. 1000.
+            > float_of_int policy.Supervisor.hang_timeout_ms
+          then
+            if probes + 1 >= policy.Supervisor.hang_probes then begin
+              Log.warn (fun m -> m "worker %d hung; killing" pid);
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              reap pid;
+              `Died
+            end
+            else go now (probes + 1)
+          else go last_heard probes
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go last_heard probes
+    in
+    let outcome = go (Unix.gettimeofday ()) 0 in
+    (try Unix.close parent_end with Unix.Unix_error _ -> ());
+    outcome
+  in
+  let rec supervise () =
+    let pid, parent_end = spawn () in
+    match monitor pid parent_end with
+    | `Done -> ()
+    | `Died ->
+        if !stop_flag then
+          (* Drain was requested and the worker died before finishing:
+             nothing left to answer its queue with — exit without the
+             final stats rather than respawn just to stop again. *)
+          Log.warn (fun m -> m "worker died during drain")
+        else if !budget = 0 then
+          raise
+            (Supervisor.Failed
+               ( Supervisor.Transient,
+                 Printf.sprintf
+                   "serve worker exhausted its restart budget after %d respawns"
+                   !incarnation ))
+        else begin
+          decr budget;
+          Supervisor.sleep_ms !backoff;
+          backoff := !backoff * policy.Supervisor.backoff_factor;
+          incr incarnation;
+          term_sent := false;
+          Metrics.record_serve_restart ();
+          Log.warn (fun m ->
+              m "worker died; restarting (incarnation %d, %d restarts left)"
+                !incarnation !budget);
+          supervise ()
+        end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match cfg.address with
+      | Unix_path path -> ( try Unix.unlink path with _ -> ())
+      | Tcp _ -> ());
+      match worker_pid_file with
+      | Some path ->
+          (try Sys.remove path with Sys_error _ -> ());
+          (try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+      | None -> ())
+    supervise;
+  match !final with
+  | Some st -> st
+  | None -> zero_stats ~restarts:!incarnation

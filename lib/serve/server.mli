@@ -1,20 +1,37 @@
-(** The serving daemon: accept/select loop, admission control, batching.
+(** The serving daemon: accept/select loop, admission control, batching,
+    supervision and warm-start persistence.
 
     Single-threaded by design — the loop thread owns every socket and the
     engine; parallelism lives inside {!Engine.submit_batch} on the
-    {!Ls_par} domain pool.  Admission is a bounded FIFO: a request
-    arriving on a full queue is answered [Overloaded] immediately.
-    Backpressure is structural: during batch execution no socket is read,
-    so daemon memory stays bounded by [queue_bound + batch_max] requests
-    plus a small per-connection inbound buffer.  Inbound frames are
-    decoded incrementally, so a peer that stalls mid-frame never blocks
-    the loop; responses are written under a send timeout, so a peer that
-    stops reading is dropped rather than wedging other connections.
+    {!Ls_par} domain pool.  Admission is per-connection: each client owns
+    a bounded FIFO of [queue_bound] requests, so a flooding peer fills
+    its own queue and sees [Overloaded] while everyone else's requests
+    are still admitted (the verdict is deterministic given each
+    connection's arrival order).  Batches form by deficit round-robin
+    with a one-request quantum over connections in accept order, and a
+    request whose [deadline_ms] elapsed in the queue is answered
+    [Expired] without executing.  Backpressure is structural: during
+    batch execution no socket is read, so daemon memory stays bounded by
+    connections × [queue_bound] + [batch_max] requests plus a small
+    per-connection inbound buffer.  Inbound frames are decoded
+    incrementally, so a peer that stalls mid-frame never blocks the
+    loop; responses are written under a configurable send timeout, so a
+    peer that stops reading is dropped rather than wedging other
+    connections.
 
     Responses on one connection are written in the arrival order of their
     requests; response bodies are a pure function of the request bytes
     (admission verdicts and [Stats] aside), so transcripts byte-diff
-    clean across domain counts. *)
+    clean across domain counts, restarts and chaos schedules.
+
+    Crash tolerance: {!run_supervised} forks the loop as a worker under
+    the {!Ls_shard.Supervisor} restart-budget/backoff/hang-probe
+    discipline with the listener held by the parent, and [state_dir]
+    persists the engine caches through a {!Ls_shard.Ckpt}-style
+    self-validating tmp+rename snapshot (written on drain and every
+    [snapshot_every] batches, reloaded on boot; torn or corrupt files
+    read as absence).  SIGTERM triggers a graceful drain: stop
+    accepting, answer every admitted request, snapshot, exit 0. *)
 
 type address = Unix_path of string | Tcp of string * int
 
@@ -26,7 +43,9 @@ val address_to_string : address -> string
 
 val env_check : unit -> (unit, string) result
 (** Validate [LOCSAMPLE_SERVE_SOCKET] (must parse as an address),
-    [LOCSAMPLE_SERVE_QUEUE] and [LOCSAMPLE_SERVE_CACHE] (integers ≥ 1).
+    [LOCSAMPLE_SERVE_QUEUE] and [LOCSAMPLE_SERVE_CACHE] (integers ≥ 1),
+    [LOCSAMPLE_SERVE_SEND_TIMEOUT] (a number > 0) and
+    [LOCSAMPLE_SERVE_STATE] (must not name an existing non-directory).
     Called from the CLI's startup validation alongside
     {!Ls_par.Par.env_check}. *)
 
@@ -44,9 +63,17 @@ val default_cache : unit -> int
 (** [LOCSAMPLE_SERVE_CACHE] when set, else 64.  Raises
     [Invalid_argument] exactly as {!default_queue} does. *)
 
+val default_send_timeout : unit -> float
+(** [LOCSAMPLE_SERVE_SEND_TIMEOUT] when set, else 10 s.  Raises
+    [Invalid_argument] exactly as {!default_queue} does. *)
+
+val default_state_dir : unit -> string option
+(** [LOCSAMPLE_SERVE_STATE] when set and non-empty; [None] disables
+    cache persistence. *)
+
 type config = {
   address : address;
-  queue_bound : int;  (** Admission bound on the request queue. *)
+  queue_bound : int;  (** Admission bound on {e each connection's} queue. *)
   batch_max : int;  (** Most requests per engine batch. *)
   instance_cache : int;
   plan_cache : int;
@@ -54,6 +81,12 @@ type config = {
   max_requests : int option;
       (** Stop after answering this many requests — deterministic
           termination for tests and the CI smoke job. *)
+  send_timeout : float;
+      (** SO_SNDTIMEO on client sockets: a peer that keeps a response
+          write blocked this long is dropped. *)
+  state_dir : string option;
+      (** Where cache snapshots live; [None] disables persistence. *)
+  snapshot_every : int;  (** Snapshot cadence, in executed batches. *)
 }
 
 val config :
@@ -64,18 +97,58 @@ val config :
   ?plan_cache:int ->
   ?max_vertices:int ->
   ?max_requests:int ->
+  ?send_timeout:float ->
+  ?state_dir:string ->
+  ?snapshot_every:int ->
   unit ->
   config
-(** Defaults from the environment accessors above; [batch_max] 32.
-    Raises [Invalid_argument] on non-positive bounds. *)
+(** Defaults from the environment accessors above; [batch_max] 32,
+    [snapshot_every] 8.  Raises [Invalid_argument] on non-positive
+    bounds. *)
 
 val run :
   ?cfg:config ->
   ?trace:Ls_obs.Trace.t ->
   ?on_ready:(unit -> unit) ->
+  ?listen_fd:Unix.file_descr ->
+  ?incarnation:int ->
+  ?heartbeat:(unit -> unit) ->
   unit ->
   Protocol.stats
 (** Serve until SIGTERM/SIGINT or the [max_requests] budget is spent;
-    [on_ready] fires once the socket is listening.  Always closes every
-    descriptor it opened (and unlinks its unix socket); returns the final
+    [on_ready] fires once the socket is listening.  On SIGTERM the loop
+    drains: every admitted request is answered before the final snapshot
+    and return.  Always closes every descriptor it opened — when
+    [listen_fd] is supplied (supervised mode) the caller owns the
+    listener and the socket path.  [incarnation] seeds the [st_restarts]
+    stat; [heartbeat] is invoked once per select round and per executed
+    batch (the supervised worker's liveness signal).  Returns the final
     engine counters. *)
+
+val default_supervision : Ls_shard.Supervisor.policy
+(** {!Ls_shard.Supervisor.default_policy} with a 5 s hang timeout
+    (select rounds are 0.5 s; large healthy batches beat slower than
+    shard workers do). *)
+
+val run_supervised :
+  ?cfg:config ->
+  ?policy:Ls_shard.Supervisor.policy ->
+  ?trace:Ls_obs.Trace.t ->
+  ?on_ready:(unit -> unit) ->
+  ?worker_pid_file:string ->
+  unit ->
+  Protocol.stats
+(** Fork the select loop as a worker and supervise it: the parent holds
+    the listening socket (so a killed worker restarts without dropping
+    it — clients in the accept backlog are picked up by the
+    replacement), watches heartbeat frames, SIGKILLs a worker silent
+    past the policy's hang probes, and respawns after death with
+    exponential backoff until the restart budget is spent (then raises
+    {!Ls_shard.Supervisor.Failed}[ (Transient, _)]).  Each incarnation
+    warm-starts from the latest cache snapshot when [state_dir] is set.
+    SIGTERM/SIGINT are forwarded to the worker, which drains, snapshots
+    and reports its final stats back; those stats are returned.
+    [worker_pid_file] publishes the current worker's pid (atomic
+    tmp+rename rewrite on every spawn) so tests and CI can aim kill -9.
+    Must be called before any domain is created ({!Ls_par.Par.quiesce}
+    is invoked, but a live domain elsewhere makes fork refuse). *)

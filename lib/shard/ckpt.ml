@@ -86,15 +86,17 @@ let decode s =
       else Ok ({ run_id; shard; phase; round }, payload)
     end
 
-let save ~dir meta payload =
-  ensure_dir dir;
-  let final = path ~dir ~run_id:meta.run_id ~shard:meta.shard in
+let save_path ~path:final meta payload =
+  ensure_dir (Filename.dirname final);
   let tmp = final ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> Frame.write_string fd (encode meta payload));
   Unix.rename tmp final
+
+let save ~dir meta payload =
+  save_path ~path:(path ~dir ~run_id:meta.run_id ~shard:meta.shard) meta payload
 
 let read_file p =
   match open_in_bin p with
@@ -106,17 +108,17 @@ let read_file p =
           let len = in_channel_length ic in
           Some (really_input_string ic len))
 
-let load ~dir ~run_id ~shard =
-  let p = path ~dir ~run_id ~shard in
+let load_path ~path:p =
   match read_file p with
   | None -> None
-  | Some s -> (
-      match decode s with
-      | Error _ -> None
-      | Ok (meta, payload) ->
-          if Int64.equal meta.run_id run_id && meta.shard = shard then
-            Some (meta, payload)
-          else None)
+  | Some s -> ( match decode s with Error _ -> None | Ok mp -> Some mp)
+
+let load ~dir ~run_id ~shard =
+  match load_path ~path:(path ~dir ~run_id ~shard) with
+  | Some (meta, payload)
+    when Int64.equal meta.run_id run_id && meta.shard = shard ->
+      Some (meta, payload)
+  | _ -> None
 
 let remove ~dir ~run_id ~shard =
   let p = path ~dir ~run_id ~shard in

@@ -30,6 +30,15 @@ val load : dir:string -> run_id:int64 -> shard:int -> (meta * string) option
 val remove : dir:string -> run_id:int64 -> shard:int -> unit
 (** Best-effort removal of the checkpoint and any temp sibling. *)
 
+val save_path : path:string -> meta -> string -> unit
+(** {!save} to an explicit file path (creates the parent directory if
+    missing) — the same atomic tmp+rename discipline keyed by the
+    caller's own naming scheme (the serve cache snapshot uses this). *)
+
+val load_path : path:string -> (meta * string) option
+(** {!load} from an explicit file path; no run_id/shard cross-check —
+    callers validate the returned [meta] themselves. *)
+
 (**/**)
 
 val encode : meta -> string -> string

@@ -8,6 +8,8 @@ let () =
       (* The serve suite forks daemon processes (and execs the CLI), so
          it shares the shard suite's before-any-domain constraint. *)
       ("serve", Test_serve.suite);
+      (* The serve chaos harness forks daemons and proxies too. *)
+      ("serve-chaos", Test_serve_chaos.suite);
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);

@@ -35,8 +35,8 @@ let contains hay needle =
 
 let req ?(id = 0) ?(op = Protocol.Sample) ?(seed = 42L) ?(graph = "cycle:12")
     ?(model = "hardcore:0.8") ?(t = 1) ?(engine = "ball") ?(trials = 1)
-    ?(vertex = 0) () =
-  { Protocol.id; op; seed; graph; model; t; engine; trials; vertex }
+    ?(vertex = 0) ?(deadline_ms = 0) () =
+  { Protocol.id; op; seed; graph; model; t; engine; trials; vertex; deadline_ms }
 
 let sock_path =
   let ctr = ref 0 in
@@ -104,7 +104,8 @@ let test_protocol_roundtrip () =
         {
           Protocol.st_requests = 1; st_batches = 2; st_coalesced = 3;
           st_cache_hits = 4; st_cache_misses = 5; st_evictions = 6;
-          st_rejected = 7; st_max_queue = 8; st_domains = 9;
+          st_rejected = 7; st_expired = 10; st_snapshot_hits = 11;
+          st_restarts = 12; st_max_queue = 8; st_domains = 9;
         };
       Protocol.Error_r { code = Protocol.Bad_request; message = "nope" };
       Protocol.Error_r { code = Protocol.Overloaded; message = "queue full" };
@@ -519,6 +520,307 @@ let test_server_stalled_partial_frame () =
   Client.close c;
   ignore (Unix.waitpid [] pid)
 
+(* --- client failure naming -------------------------------------------- *)
+
+let test_client_unknown_host () =
+  (* gethostbyname signals an unknown host with Not_found, which used to
+     escape connect as a bare exception; it must surface as Unknown_host
+     from connect and as a named Error from connect_retry. *)
+  let addr = Server.Tcp ("definitely-not-a-real-host.invalid", 4242) in
+  (match Client.connect addr with
+  | exception Client.Unknown_host host ->
+      checkb "the exception names the host" true
+        (contains host "definitely-not-a-real-host.invalid")
+  | exception e ->
+      Alcotest.fail ("expected Unknown_host, got " ^ Printexc.to_string e)
+  | c ->
+      Client.close c;
+      Alcotest.fail "a .invalid hostname must not resolve");
+  match Client.connect_retry ~attempts:1 addr with
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "connect_retry must fail on an unknown host"
+  | Error msg ->
+      checkb "the error names the host" true (contains msg "unknown host");
+      checkb "the error counts attempts" true (contains msg "1 attempt(s)")
+
+let test_client_backoff_attempts () =
+  (* A connect that never succeeds burns the whole budget and says so:
+     ENOENT retries until the last attempt, which reports the count. *)
+  let missing = sock_path () in
+  match
+    Client.connect_retry ~attempts:3 ~delay_ms:1 (Server.Unix_path missing)
+  with
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "connecting to a missing socket must fail"
+  | Error msg ->
+      checkb "the error counts every attempt" true (contains msg "3 attempt(s)");
+      checkb "the error names the address" true (contains msg missing)
+
+(* --- warm-start snapshots ---------------------------------------------- *)
+
+let test_engine_snapshot_roundtrip () =
+  let e = Engine.create ~instance_cache:8 () in
+  let r1 = req ~id:0 ~seed:11L ~trials:3 () in
+  let r2 =
+    req ~id:1 ~op:Protocol.Count ~graph:"grid:3x4" ~model:"ising:0.3" ~t:2 ()
+  in
+  let body1 =
+    match Engine.submit e ~domains:1 r1 with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "submit r1"
+  in
+  (match Engine.submit e ~domains:1 r2 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "submit r2");
+  let snap = Engine.snapshot e in
+  let e2 = Engine.create ~instance_cache:8 () in
+  (match Engine.restore e2 snap with
+  | Ok n -> checkb "restore rebuilds at least one entry" true (n >= 1)
+  | Error msg -> Alcotest.fail ("restore: " ^ msg));
+  let body1' =
+    match Engine.submit e2 ~domains:1 r1 with
+    | Ok b -> b
+    | Error _ -> Alcotest.fail "submit r1 on the restored engine"
+  in
+  checkb "restored caches serve identical bytes" true
+    (Protocol.encode_response { Protocol.rid = 0; body = body1 }
+    = Protocol.encode_response { Protocol.rid = 0; body = body1' });
+  let st = Engine.stats e2 in
+  checkb "hits on restored keys count as snapshot hits" true
+    (st.Protocol.st_snapshot_hits >= 1);
+  checkb "and as ordinary cache hits" true (st.Protocol.st_cache_hits >= 1);
+  match Engine.restore (Engine.create ()) "garbage payload" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a garbage payload must be a named error"
+
+let test_snapshot_corrupt_reads_as_absence () =
+  (* The on-disk contract: a torn or corrupted snapshot file is
+     indistinguishable from no snapshot — the daemon cold-starts, it
+     never crashes or loads damaged caches. *)
+  let module Ckpt = Ls_shard.Ckpt in
+  let path = Filename.temp_file "ls-serve-snap" ".snap" in
+  let meta = { Ckpt.run_id = 77L; shard = 0; phase = 1; round = 3 } in
+  Ckpt.save_path ~path meta "the cache payload";
+  let slurp () =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let rewrite s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let whole = slurp () in
+  (match Ckpt.load_path ~path with
+  | Some (m, payload) ->
+      checkb "an intact snapshot loads" true
+        (m = meta && payload = "the cache payload")
+  | None -> Alcotest.fail "an intact snapshot must load");
+  rewrite (String.sub whole 0 (String.length whole / 2));
+  checkb "a torn snapshot reads as absence" true (Ckpt.load_path ~path = None);
+  let b = Bytes.of_string whole in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x01));
+  rewrite (Bytes.to_string b);
+  checkb "a corrupt snapshot reads as absence" true
+    (Ckpt.load_path ~path = None);
+  rewrite "not a snapshot at all";
+  checkb "garbage reads as absence" true (Ckpt.load_path ~path = None);
+  Sys.remove path
+
+(* --- admission: deadlines and fairness --------------------------------- *)
+
+let test_server_deadline_expired () =
+  (* Two heavy requests ahead in the queue hold the deadline request well
+     past its 1 ms budget (batch_max 1 serializes them); it must be
+     answered Expired without executing. *)
+  let addr, pid =
+    fork_server ~queue_bound:16 ~batch_max:1 ~max_requests:3 ()
+  in
+  let c = connect_or_fail addr in
+  Client.send c (req ~id:0 ~seed:3L ~trials:10_000 ());
+  Client.send c (req ~id:1 ~seed:4L ~trials:10_000 ());
+  Client.send c (req ~id:2 ~seed:5L ~deadline_ms:1 ());
+  (match Client.recv c with
+  | Ok { Protocol.rid = 0; body = Protocol.Sample_r _ } -> ()
+  | _ -> Alcotest.fail "the first heavy request must be answered");
+  (match Client.recv c with
+  | Ok { Protocol.rid = 1; body = Protocol.Sample_r _ } -> ()
+  | _ -> Alcotest.fail "the second heavy request must be answered");
+  (match Client.recv c with
+  | Ok { Protocol.rid = 2; body = Protocol.Error_r { code = Protocol.Expired; message } }
+    ->
+      checkb "the verdict carries a reason" true (String.length message > 0)
+  | Ok { Protocol.rid = 2; body = Protocol.Sample_r _ } ->
+      Alcotest.fail "a 1 ms deadline behind two heavy batches must expire"
+  | _ -> Alcotest.fail "expected the deadline verdict");
+  Client.close c;
+  ignore (Unix.waitpid [] pid)
+
+let test_server_fairness () =
+  (* Admission is per connection: a flooding client fills its own queue
+     and eats the Overloaded verdicts; a quiet client walking in behind
+     the flood is still served. *)
+  let n = 12 in
+  let addr, pid =
+    fork_server ~queue_bound:2 ~batch_max:1 ~max_requests:(n + 1) ()
+  in
+  let a = connect_or_fail addr in
+  let b = connect_or_fail addr in
+  List.iter
+    (fun r -> Client.send a r)
+    (List.init n (fun i -> req ~id:i ~seed:5L ~trials:2 ()));
+  (* Let the daemon pull the flood so A's admission verdicts are fixed
+     before B's request arrives. *)
+  Ls_shard.Supervisor.sleep_ms 100;
+  (match call_or_fail b (req ~id:99 ~seed:6L ()) with
+  | Protocol.Sample_r _ -> ()
+  | Protocol.Error_r { code = Protocol.Overloaded; _ } ->
+      Alcotest.fail "the quiet client must not pay for the flooder's queue"
+  | _ -> Alcotest.fail "unexpected body for the quiet client");
+  let overloaded = ref 0 in
+  for _ = 1 to n do
+    match Client.recv a with
+    | Error msg -> Alcotest.fail ("recv: " ^ msg)
+    | Ok resp -> (
+        match resp.Protocol.body with
+        | Protocol.Error_r { code = Protocol.Overloaded; _ } -> incr overloaded
+        | Protocol.Sample_r _ -> ()
+        | _ -> Alcotest.fail "unexpected body under flood")
+  done;
+  Client.close a;
+  Client.close b;
+  ignore (Unix.waitpid [] pid);
+  checkb "the flooder saw Overloaded" true (!overloaded >= 1);
+  checkb "the flooder still got answers" true (!overloaded < n)
+
+(* --- crash tolerance --------------------------------------------------- *)
+
+let test_server_drain_under_load () =
+  (* SIGTERM mid-burst: the daemon stops accepting, answers every admitted
+     request, and exits 0 — the client sees all n answers, then EOF. *)
+  let path = sock_path () in
+  (try Unix.unlink path with _ -> ());
+  flush stdout;
+  flush stderr;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+        let cfg =
+          Server.config ~address:(Server.Unix_path path) ~queue_bound:32
+            ~batch_max:2 ()
+        in
+        ignore (Server.run ~cfg ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let c = connect_or_fail (Server.Unix_path path) in
+  let n = 10 in
+  List.iter
+    (fun r -> Client.send c r)
+    (List.init n (fun i -> req ~id:i ~seed:21L ~trials:5_000 ()));
+  (* One select round to admit the burst, then interrupt mid-execution. *)
+  Ls_shard.Supervisor.sleep_ms 60;
+  Unix.kill pid Sys.sigterm;
+  let seen = Array.make n 0 in
+  for _ = 1 to n do
+    match Client.recv c with
+    | Error msg -> Alcotest.fail ("the drain must answer first: " ^ msg)
+    | Ok resp ->
+        checkb "rid in range" true (resp.Protocol.rid >= 0 && resp.Protocol.rid < n);
+        seen.(resp.Protocol.rid) <- seen.(resp.Protocol.rid) + 1;
+        (match resp.Protocol.body with
+        | Protocol.Sample_r _ -> ()
+        | _ -> Alcotest.fail "unexpected body during drain")
+  done;
+  (match Client.recv c with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "after the drain: EOF, not extra responses");
+  Client.close c;
+  let _, status = Unix.waitpid [] pid in
+  Array.iteri
+    (fun i k -> checki (Printf.sprintf "id %d answered once" i) 1 k)
+    seen;
+  checkb "the daemon exits 0 after the drain" true (status = Unix.WEXITED 0)
+
+let test_server_supervised_restart () =
+  (* kill -9 on the worker mid-session: the supervisor respawns it under
+     the parent-held listener, the replacement warm-starts from the cache
+     snapshot, and the same request bytes draw the same response bytes. *)
+  let prev = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe prev) @@ fun () ->
+  let path = sock_path () in
+  (try Unix.unlink path with _ -> ());
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ls-serve-state-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let pid_file = Filename.concat dir "worker.pid" in
+  flush stdout;
+  flush stderr;
+  let sup =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           let cfg =
+             Server.config ~address:(Server.Unix_path path) ~queue_bound:16
+               ~batch_max:4 ~state_dir:dir ~snapshot_every:1 ()
+           in
+           ignore (Server.run_supervised ~cfg ~worker_pid_file:pid_file ())
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let read_pid () =
+    match open_in pid_file with
+    | exception Sys_error _ -> None
+    | ic ->
+        let line = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        int_of_string_opt (String.trim line)
+  in
+  let rec wait_pid_file k =
+    match read_pid () with
+    | Some p -> p
+    | None when k > 0 ->
+        Ls_shard.Supervisor.sleep_ms 20;
+        wait_pid_file (k - 1)
+    | None -> Alcotest.fail "the worker pid file never appeared"
+  in
+  let r1 = req ~id:0 ~seed:3L ~trials:3 () in
+  let c1 = connect_or_fail (Server.Unix_path path) in
+  let body1 = call_or_fail c1 r1 in
+  (* Give the worker a beat to finish the post-batch snapshot before the
+     kill lands (snapshot_every=1: the first batch writes it). *)
+  Ls_shard.Supervisor.sleep_ms 150;
+  let worker = wait_pid_file 250 in
+  Unix.kill worker Sys.sigkill;
+  Client.close c1;
+  let c2 = connect_or_fail (Server.Unix_path path) in
+  let body2 = call_or_fail c2 r1 in
+  checkb "same request bytes, same response bytes across the restart" true
+    (Protocol.encode_response { Protocol.rid = 0; body = body1 }
+    = Protocol.encode_response { Protocol.rid = 0; body = body2 });
+  (match
+     call_or_fail c2
+       (req ~id:9 ~op:Protocol.Stats ~graph:"-" ~model:"-" ~engine:"-" ~t:0 ())
+   with
+  | Protocol.Stats_r st ->
+      checkb "the restart is counted" true (st.Protocol.st_restarts >= 1);
+      checkb "the replacement warm-started from the snapshot" true
+        (st.Protocol.st_snapshot_hits >= 1)
+  | _ -> Alcotest.fail "expected Stats_r");
+  Client.close c2;
+  Unix.kill sup Sys.sigterm;
+  let _, status = Unix.waitpid [] sup in
+  checkb "the supervisor exits 0 on SIGTERM" true (status = Unix.WEXITED 0)
+
 (* --- validated environment (the exit-2 contract) ----------------------- *)
 
 let with_env pairs f =
@@ -563,6 +865,25 @@ let test_env_checks_unit () =
       | _ -> Alcotest.fail "non-positive LOCSAMPLE_SERVE_CACHE must raise");
   with_env [ ("LOCSAMPLE_SERVE_SOCKET", "tcp:notaport:xyz") ] (fun () ->
       expect_error "malformed serve socket" Server.env_check "LOCSAMPLE_SERVE_SOCKET");
+  with_env [ ("LOCSAMPLE_SERVE_SEND_TIMEOUT", "abc") ] (fun () ->
+      expect_error "malformed send timeout" Server.env_check
+        "LOCSAMPLE_SERVE_SEND_TIMEOUT");
+  with_env [ ("LOCSAMPLE_SERVE_SEND_TIMEOUT", "0") ] (fun () ->
+      expect_error "zero send timeout" Server.env_check
+        "LOCSAMPLE_SERVE_SEND_TIMEOUT");
+  with_env [ ("LOCSAMPLE_SERVE_SEND_TIMEOUT", "2.5") ] (fun () ->
+      checkb "valid send timeout passes" true (Server.env_check () = Ok ()));
+  with_env [ ("LOCSAMPLE_SERVE_SEND_TIMEOUT", "nope") ] (fun () ->
+      match Server.default_send_timeout () with
+      | exception Invalid_argument msg ->
+          checkb "send-timeout accessor names the variable" true
+            (contains msg "LOCSAMPLE_SERVE_SEND_TIMEOUT")
+      | _ -> Alcotest.fail "malformed LOCSAMPLE_SERVE_SEND_TIMEOUT must raise");
+  let state_file = Filename.temp_file "ls-serve-state-notadir" ".txt" in
+  with_env [ ("LOCSAMPLE_SERVE_STATE", state_file) ] (fun () ->
+      expect_error "state dir is a file" Server.env_check
+        "LOCSAMPLE_SERVE_STATE");
+  Sys.remove state_file;
   with_env
     [ ("LOCSAMPLE_SERVE_SOCKET", "unix:/tmp/x.sock");
       ("LOCSAMPLE_SERVE_QUEUE", "8"); ("LOCSAMPLE_SERVE_CACHE", "16") ]
@@ -633,6 +954,12 @@ let test_cli_env_exit2 () =
   expect_named_exit2 "LOCSAMPLE_SHARD_DIR pointing at a file"
     [ "LOCSAMPLE_SHARD_DIR=" ^ file ] "LOCSAMPLE_SHARD_DIR";
   Sys.remove file;
+  expect_named_exit2 "zero LOCSAMPLE_SERVE_SEND_TIMEOUT"
+    [ "LOCSAMPLE_SERVE_SEND_TIMEOUT=0" ] "LOCSAMPLE_SERVE_SEND_TIMEOUT";
+  let state_file = Filename.temp_file "ls-serve-state-notadir" ".txt" in
+  expect_named_exit2 "LOCSAMPLE_SERVE_STATE pointing at a file"
+    [ "LOCSAMPLE_SERVE_STATE=" ^ state_file ] "LOCSAMPLE_SERVE_STATE";
+  Sys.remove state_file;
   (* And a well-formed environment still runs. *)
   let code, out, _err = run_cli ~extra_env:[ "LOCSAMPLE_DOMAINS=2" ] cheap in
   checki "valid env exits 0" 0 code;
@@ -663,6 +990,22 @@ let suite =
       test_server_malformed_input;
     Alcotest.test_case "server stalled partial frame" `Quick
       test_server_stalled_partial_frame;
+    Alcotest.test_case "client: unknown host is a named error" `Quick
+      test_client_unknown_host;
+    Alcotest.test_case "client: connect backoff counts attempts" `Quick
+      test_client_backoff_attempts;
+    Alcotest.test_case "engine snapshot round-trip (warm start)" `Quick
+      test_engine_snapshot_roundtrip;
+    Alcotest.test_case "snapshot torn/corrupt reads as absence" `Quick
+      test_snapshot_corrupt_reads_as_absence;
+    Alcotest.test_case "server deadline expiry" `Quick
+      test_server_deadline_expired;
+    Alcotest.test_case "server per-connection fairness" `Quick
+      test_server_fairness;
+    Alcotest.test_case "server drain under load (SIGTERM)" `Quick
+      test_server_drain_under_load;
+    Alcotest.test_case "server supervised kill -9 restart" `Quick
+      test_server_supervised_restart;
     Alcotest.test_case "env validation (unit)" `Quick test_env_checks_unit;
     Alcotest.test_case "cli: malformed env exits 2, no backtrace" `Quick
       test_cli_env_exit2;
