@@ -2022,6 +2022,264 @@ let e18 () =
          rows)
   end
 
+(* ------------------------------------------------------------------ *)
+(* E19 — resource-exhaustion tolerance: one daemon per row under a     *)
+(* deterministic syscall fault schedule targeting a single subsystem   *)
+(* (disk ENOSPC, accept EMFILE/ENFILE, transparent EINTR/short         *)
+(* writes, or all at once).  The burst must complete with bytes        *)
+(* identical to the fault-free row, degraded entries must pair with    *)
+(* exits in the daemon's trace, and health must read ok again once     *)
+(* the schedule's budget silences it.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e19_requests = ref 64
+
+let e19 () =
+  let module Protocol = Ls_serve.Protocol in
+  let module Server = Ls_serve.Server in
+  let module Client = Ls_serve.Client in
+  let module Sysfault = Ls_chaos.Sysfault in
+  let module Trace = Ls_obs.Trace in
+  let n = !e19_requests in
+  let fork_ok =
+    Par.quiesce ();
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        true
+    | exception Failure _ -> false
+  in
+  if not fork_ok then
+    print_endline
+      "E19 resource-exhaustion tolerance: skipped (domains already created; \
+       run section e19 alone)"
+  else begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let reqs = Array.of_list (e17_stream ~seed:1900L ~n) in
+    let tmp tag =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "locsample-e19-%s-%d" tag (Unix.getpid ()))
+    in
+    let enc rid body = Protocol.encode_response { Protocol.rid; body } in
+    let count_substring hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      if nn = 0 then 0
+      else begin
+        let k = ref 0 in
+        for i = 0 to nh - nn do
+          if String.sub hay i nn = needle then incr k
+        done;
+        !k
+      end
+    in
+    (* One row: fork a daemon with the row's syscall schedule installed
+       (plus a file trace and an aggressive snapshot cadence), run the
+       burst as a reconnect/resend client, probe health once the budget
+       has silenced the schedule, SIGTERM, then judge the trace. *)
+    let run_row tag spec =
+      let dir = tmp (Printf.sprintf "state-%s" tag) in
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let sock = tmp (tag ^ ".sock") in
+      let trace_path = Filename.concat dir "trace.jsonl" in
+      flush stdout;
+      flush stderr;
+      Par.quiesce ();
+      let dpid =
+        match Unix.fork () with
+        | 0 ->
+            (try
+               let t = Trace.make ~path:trace_path () in
+               Trace.install t;
+               if not (Sysfault.is_quiet spec) then Sysfault.install spec;
+               let cfg =
+                 Server.config ~address:(Server.Unix_path sock)
+                   ~queue_bound:64 ~batch_max:8 ~snapshot_every:2
+                   ~state_dir:dir ()
+               in
+               ignore (Server.run ~cfg ());
+               Trace.close t;
+               Unix._exit 0
+             with _ -> Unix._exit 3)
+        | pid -> pid
+      in
+      let fresh () =
+        match
+          Client.connect_retry ~attempts:600 ~delay_ms:10
+            (Server.Unix_path sock)
+        with
+        | Ok c -> c
+        | Error msg -> failwith ("e19: " ^ msg)
+      in
+      let c = ref (fresh ()) in
+      let bodies = Array.make n "" in
+      let done_ = Array.make n false in
+      let t0 = Unix.gettimeofday () in
+      let pipeline = 4 in
+      let i = ref 0 in
+      while !i < n do
+        let k = min pipeline (n - !i) in
+        let send_missing () =
+          try
+            for j = !i to !i + k - 1 do
+              if not done_.(j) then Client.send !c reqs.(j)
+            done
+          with Unix.Unix_error _ -> ()
+        in
+        let missing () =
+          let m = ref 0 in
+          for j = !i to !i + k - 1 do
+            if not done_.(j) then incr m
+          done;
+          !m
+        in
+        send_missing ();
+        while missing () > 0 do
+          match Client.recv !c with
+          | Error _ ->
+              Client.close !c;
+              c := fresh ();
+              send_missing ()
+          | Ok resp ->
+              let idx = resp.Protocol.rid in
+              if idx >= 0 && idx < n && not done_.(idx) then begin
+                done_.(idx) <- true;
+                bodies.(idx) <- enc idx resp.Protocol.body
+              end
+        done;
+        i := !i + k
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      (* Health probe on a fresh connection: by now the burst has burned
+         well past the schedule's budget, so a correct daemon has cleared
+         every degraded mode it can clear without new work (the accept
+         mark clears on this very connection's accept). *)
+      Client.close !c;
+      let hc = fresh () in
+      let health_end =
+        let hreq =
+          {
+            Protocol.id = n;
+            op = Protocol.Health;
+            seed = 0L;
+            graph = "-";
+            model = "-";
+            t = 0;
+            engine = "-";
+            trials = 1;
+            vertex = 0;
+            deadline_ms = 0;
+          }
+        in
+        match Client.call hc hreq with
+        | Ok { Protocol.body = Protocol.Health_r { reasons = [] }; _ } -> "ok"
+        | Ok { Protocol.body = Protocol.Health_r { reasons }; _ } ->
+            Printf.sprintf "degraded:%d" (List.length reasons)
+        | _ -> "?"
+      in
+      Client.close hc;
+      (try Unix.kill dpid Sys.sigterm with Unix.Unix_error _ -> ());
+      let drained =
+        match Unix.waitpid [] dpid with
+        | _, Unix.WEXITED 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> false
+      in
+      let trace =
+        match open_in trace_path with
+        | ic ->
+            let len = in_channel_length ic in
+            let s = really_input_string ic len in
+            close_in ic;
+            s
+        | exception Sys_error _ -> ""
+      in
+      let enters = count_substring trace {|"ev":"degraded_enter"|} in
+      let exits = count_substring trace {|"ev":"degraded_exit"|} in
+      Printf.eprintf "[e19 %s: %.2fs wall, %.0f req/s]\n%!" tag wall
+        (float_of_int n /. Float.max wall 1e-9);
+      (bodies, health_end, drained, enters, exits)
+    in
+    let budget = 100 in
+    let rows =
+      [
+        ("none", Sysfault.quiet 19L);
+        ( "disk",
+          {
+            (Sysfault.quiet 19L) with
+            Sysfault.write_fail = 0.8;
+            rename_fail = 0.8;
+            open_fail = 0.8;
+            ops_budget = budget;
+          } );
+        ( "accept",
+          {
+            (Sysfault.quiet 19L) with
+            Sysfault.accept_fail = 0.6;
+            ops_budget = budget;
+          } );
+        ( "transparent",
+          {
+            (Sysfault.quiet 19L) with
+            Sysfault.eintr = 0.5;
+            short_write = 0.5;
+            ops_budget = budget;
+          } );
+        ( "mixed",
+          {
+            (Sysfault.quiet 19L) with
+            Sysfault.write_fail = 0.6;
+            rename_fail = 0.6;
+            open_fail = 0.6;
+            eintr = 0.3;
+            short_write = 0.3;
+            accept_fail = 0.3;
+            ops_budget = budget;
+          } );
+      ]
+    in
+    let results = List.map (fun (tag, spec) -> (tag, run_row tag spec)) rows in
+    let reference =
+      match results with (_, (bodies, _, _, _, _)) :: _ -> bodies | [] -> [||]
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf
+           "E19  resource-exhaustion tolerance: syscall faults by subsystem \
+            (%d-request burst, budget %d consultations)"
+           n budget)
+      ~note:
+        "One daemon per row under a deterministic syscall fault schedule\n\
+         (seed 19) aimed at one subsystem: ENOSPC on snapshot/checkpoint\n\
+         disk IO, EMFILE/ENFILE on accept, transparent EINTR/short-write\n\
+         storms, or all at once.  `identical` checks the response bytes\n\
+         against the fault-free row — resource faults may cost snapshots\n\
+         and connections, never answers.  `enters`/`exits` count degraded\n\
+         transitions in the daemon's trace (they must pair by clean\n\
+         shutdown), `health` is the Health op's verdict after the\n\
+         schedule's budget silenced it, and `drain` checks SIGTERM still\n\
+         exits 0."
+      ~header:[ "faults"; "req"; "identical"; "enters"; "exits"; "paired";
+                "health"; "drain" ]
+      (List.map
+         (fun (tag, (bodies, health_end, drained, enters, exits)) ->
+           [
+             tag;
+             Table.i n;
+             (if tag = "none" then "ref"
+              else if bodies = reference then "yes"
+              else "NO");
+             Table.i enters;
+             Table.i exits;
+             (if enters = exits then "yes" else "NO");
+             health_end;
+             (if drained then "yes" else "NO");
+           ])
+         results)
+  end
+
 let run_all () =
   e1 ();
   e2 ();
@@ -2041,4 +2299,5 @@ let run_all () =
   e16 ();
   e17 ();
   e18 ();
+  e19 ();
   decomp_ablation ()

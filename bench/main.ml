@@ -1,8 +1,8 @@
 (* Benchmark harness entry point.
 
-   `dune exec bench/main.exe` prints every experiment table (E1-E18, the
+   `dune exec bench/main.exe` prints every experiment table (E1-E19, the
    paper-shape reproduction indexed in DESIGN.md / EXPERIMENTS.md) followed
-   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e18,
+   by the Bechamel micro-benchmarks.  Pass experiment ids (e1 ... e19,
    micro) to run a subset; `--domains K` pins the parallel engine's domain
    count (default: LOCSAMPLE_DOMAINS or the core count).
 
@@ -33,6 +33,7 @@ let sections =
     ("e16", Experiments.e16);
     ("e17", Experiments.e17);
     ("e18", Experiments.e18);
+    ("e19", Experiments.e19);
     ("decomp", Experiments.decomp_ablation);
     ("micro", Micro.run);
   ]

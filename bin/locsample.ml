@@ -440,7 +440,17 @@ let render_stats (st : Protocol.stats) =
 
 let serve listen queue_bound batch_max cache plan_cache max_vertices
     max_requests send_timeout state_dir snapshot_every supervised
-    worker_pid_file =
+    worker_pid_file sysfault =
+  (* --sysfault overrides LOCSAMPLE_SYSFAULT (already installed by
+     setup_log when set): same parser, same words on rejection. *)
+  (match sysfault with
+  | None -> ()
+  | Some s -> (
+      match Ls_chaos.Sysfault.of_string s with
+      | Ok spec ->
+          if Ls_chaos.Sysfault.is_quiet spec then Ls_chaos.Sysfault.uninstall ()
+          else Ls_chaos.Sysfault.install spec
+      | Error msg -> die msg));
   let cfg =
     try
       Server.config ~address:(parse_listen listen) ?queue_bound ?batch_max
@@ -483,6 +493,12 @@ let render_body (b : Protocol.body) =
            (List.map (Printf.sprintf "%.17g") (Array.to_list probs)))
   | Protocol.Count_r { log_z } -> Printf.sprintf "count log_z=%.17g" log_z
   | Protocol.Stats_r st -> "stats " ^ render_stats st
+  | Protocol.Health_r { reasons } -> (
+      match reasons with
+      | [] -> "health ok"
+      | l ->
+          Printf.sprintf "health degraded(%s)"
+            (String.concat ";" (List.map (fun (s, r) -> s ^ "=" ^ r) l)))
   | Protocol.Error_r { code; message } ->
       Printf.sprintf "error %s: %s" (Protocol.err_name code) message
 
@@ -655,7 +671,7 @@ let query connect requests pipeline seed transcript stats_flag deadline_ms
      %.1f ms]\n"
     n (n - errors) overloaded (errors - overloaded)
     (1000. *. pct 0.5) (1000. *. pct 0.99);
-  (if stats_flag then
+  (if stats_flag then begin
      let sreq =
        {
          Protocol.id = n;
@@ -670,22 +686,65 @@ let query connect requests pipeline seed transcript stats_flag deadline_ms
          deadline_ms = 0;
        }
      in
-     match Client.call c sreq with
+     (match Client.call c sreq with
      | Error msg ->
          Client.close c;
          die msg
      | Ok resp -> print_endline (render_body resp.Protocol.body));
+     (* Health rides along with --stats: operators watching counters want
+        to know about degraded modes in the same glance. *)
+     let hreq = { sreq with Protocol.id = n + 1; op = Protocol.Health } in
+     match Client.call c hreq with
+     | Error msg ->
+         Client.close c;
+         die msg
+     | Ok resp -> print_endline (render_body resp.Protocol.body)
+   end);
   Client.close c;
   0
+
+(* `locsample health`: one Health request, one line, and an exit code CI
+   can branch on — 0 healthy, 1 degraded (usage/connection errors keep
+   the CLI's exit-2 contract). *)
+let health connect =
+  let address = parse_listen connect in
+  let c =
+    match Client.connect_retry address with Ok c -> c | Error msg -> die msg
+  in
+  let req =
+    {
+      Protocol.id = 0;
+      op = Protocol.Health;
+      seed = 0L;
+      graph = "-";
+      model = "-";
+      t = 0;
+      engine = "-";
+      trials = 1;
+      vertex = 0;
+      deadline_ms = 0;
+    }
+  in
+  match Client.call c req with
+  | Error msg ->
+      Client.close c;
+      die msg
+  | Ok resp -> (
+      Client.close c;
+      print_endline (render_body resp.Protocol.body);
+      match resp.Protocol.body with
+      | Protocol.Health_r { reasons = [] } -> 0
+      | Protocol.Health_r _ -> 1
+      | _ -> die "unexpected response to a health request")
 
 (* The serve chaos harness: like `locsample chaos`, exit 1 + reproducer
    file on any violation; a baseline that cannot run at all is exit 1
    with a named error (broken environment, nothing to shrink). *)
-let serve_chaos seed schedules requests reproducer_path =
+let serve_chaos seed schedules requests reproducer_path no_sysfault =
   let summary =
     try
-      Ls_chaos.Serve_chaos.run ~schedules ~requests ~seed:(Int64.of_int seed)
-        ()
+      Ls_chaos.Serve_chaos.run ~schedules ~requests
+        ~sysfault:(not no_sysfault) ~seed:(Int64.of_int seed) ()
     with
     | Invalid_argument msg -> die msg
     | Failure msg ->
@@ -719,7 +778,8 @@ open Cmdliner
    Invalid_argument backtrace instead of the CLI's named-error exit-2
    contract. *)
 let env_checks =
-  [ Par.env_check; Ls_shard.Ckpt.env_check; Ls_serve.Server.env_check ]
+  [ Par.env_check; Ls_shard.Ckpt.env_check; Ls_serve.Server.env_check;
+    Ls_chaos.Sysfault.env_check ]
 
 let validate_env () =
   List.iter
@@ -733,6 +793,8 @@ let validate_env () =
 
 let setup_log style_renderer level domains trace metrics =
   validate_env ();
+  (* Validated above, so this cannot raise; quiet or unset is a no-op. *)
+  Ls_chaos.Sysfault.install_from_env ();
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -1090,17 +1152,33 @@ let serve_cmd =
                $(docv) (atomic rewrite on every respawn) so tests and CI \
                can aim kill -9 at the worker deterministically.")
   in
+  let sysfault =
+    Arg.(value & opt (some string) None & info [ "sysfault" ] ~docv:"SPEC"
+         ~doc:"Install a deterministic syscall fault schedule before \
+               serving: \
+               seed=S,write=P,rename=P,open=P,short=P,eintr=P,accept=P,\
+               fork=P,budget=N.  Disk faults (ENOSPC on checkpoint and pid \
+               files) push the daemon into its degraded modes without ever \
+               failing a response; budget=N silences the schedule after N \
+               syscall consultations (0 = never).  Overrides \
+               LOCSAMPLE_SYSFAULT.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched sampling-as-a-service daemon.  Responses are a \
              pure function of the request bytes (admission verdicts and \
              stats aside): a request carries its seed, so the same request \
              stream produces the same response bytes at any --domains \
-             count.")
-    Term.(const (fun () a b c d e f g h i j k l -> serve a b c d e f g h i j k l)
+             count.  Resource exhaustion (ENOSPC, EMFILE, fork EAGAIN) \
+             degrades service — skipped snapshots, shed connections — \
+             without killing it; `locsample health` reports the current \
+             degraded modes.")
+    Term.(const (fun () a b c d e f g h i j k l m ->
+              serve a b c d e f g h i j k l m)
           $ setup_log_term $ listen $ queue_bound $ batch_max $ cache
           $ plan_cache $ max_vertices $ max_requests $ send_timeout
-          $ state_dir $ snapshot_every $ supervised $ worker_pid_file)
+          $ state_dir $ snapshot_every $ supervised $ worker_pid_file
+          $ sysfault)
 
 let query_cmd =
   let connect =
@@ -1177,24 +1255,50 @@ let serve_chaos_cmd =
          & info [ "reproducer" ] ~docv:"FILE"
          ~doc:"Where to write the shrunk reproducer on failure.")
   in
+  let no_sysfault =
+    Arg.(value & flag & info [ "no-sysfault" ]
+         ~doc:"Disable the syscall fault dimension (ENOSPC, EMFILE, EINTR, \
+               short writes inside the daemon) and chaos-test through the \
+               socket proxy alone.  The socket schedules are identical \
+               either way, so a failure that vanishes under this flag is \
+               localized to the syscall dimension.")
+  in
   Cmd.v
     (Cmd.info "serve-chaos"
        ~doc:"Chaos-test the serving daemon through a deterministic socket \
              fault proxy (delay, truncation, corruption, resets, duplicate \
-             frames) and check the serve invariants: the daemon never \
-             crashes and drains cleanly on SIGTERM, responses are never \
-             matched to the wrong request, and every accepted response is \
-             byte-identical to a proxy-free run.  Failing schedules shrink \
-             to minimal reproducers; exits 1 on any violation, after \
-             writing the reproducer file.")
-    Term.(const (fun () a b c d -> serve_chaos a b c d)
-          $ setup_log_term $ seed_arg $ schedules $ requests $ reproducer)
+             frames) plus an in-daemon syscall fault schedule (ENOSPC, \
+             EMFILE, EINTR, short writes), and check the serve invariants: \
+             the daemon never crashes and drains cleanly on SIGTERM, \
+             responses are never matched to the wrong request, every \
+             accepted response is byte-identical to a fault-free run, and \
+             every degraded-mode entry in the daemon's trace is paired \
+             with its exit.  Failing schedules shrink to minimal \
+             reproducers; exits 1 on any violation, after writing the \
+             reproducer file.")
+    Term.(const (fun () a b c d e -> serve_chaos a b c d e)
+          $ setup_log_term $ seed_arg $ schedules $ requests $ reproducer
+          $ no_sysfault)
+
+let health_cmd =
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+         ~doc:"Daemon address (same syntax and default as serve --listen).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Ask a running serve daemon for its degraded-mode report.  \
+             Prints 'health ok' or 'health degraded(subsystem=reason;...)' \
+             — snapshot circuit-breaker open, checkpoint-free operation \
+             after ENOSPC, connection shedding under EMFILE.  Exits 0 when \
+             healthy, 1 when degraded, 2 on usage or connection errors.")
+    Term.(const (fun () a -> health a) $ setup_log_term $ connect)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "locsample" ~version:"1.0.0"
        ~doc:"Local distributed sampling and counting (Feng & Yin, PODC 2018)")
     [ sample_cmd; infer_cmd; ssm_cmd; phase_cmd; count_cmd; chaos_cmd;
-      serve_cmd; query_cmd; serve_chaos_cmd ]
+      serve_cmd; query_cmd; serve_chaos_cmd; health_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

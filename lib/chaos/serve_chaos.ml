@@ -75,11 +75,22 @@ let gen_requests ~seed ~n =
 
 (* --- schedule generation ----------------------------------------------- *)
 
+(* One schedule = socket damage (through the proxy) + syscall faults
+   (through the Sysio hook, installed inside the daemon).  The two
+   dimensions are independent seeds off the same generator stream. *)
+type schedule = { net : Proxy.spec; sys : Sysfault.spec }
+
+let quiet_schedule seed = { net = Proxy.quiet seed; sys = Sysfault.quiet seed }
+
+let describe_schedule sch =
+  Printf.sprintf "%s sysfault[%s]" (Proxy.describe sch.net)
+    (Sysfault.describe sch.sys)
+
 (* Rates capped well below saturation so the bounded resend loop always
    terminates on a correct daemon: per attempt the pass probability
    stays comfortably above a half, and every reconnect draws fresh
    fates under a new connection serial. *)
-let gen rng =
+let gen_net rng =
   {
     Proxy.seed = Rng.bits64 rng;
     corrupt = 0.12 *. Rng.float rng;
@@ -89,6 +100,34 @@ let gen rng =
     delay = 0.25 *. Rng.float rng;
     delay_ms = 1 + Rng.int rng 10;
   }
+
+(* Syscall-fault rates: disk faults can run hot (they cost snapshots,
+   never answers), transparent faults (short writes, EINTR) and accept
+   shedding stay at half so the loop keeps moving.  Fork faults stay
+   zero here — this harness runs the daemon unsupervised, so no fork
+   site is ever consulted; the fork dimension is exercised by the
+   supervisor unit tests.  The bounded ops budget silences the schedule
+   mid-burst, making the recovery half of the degraded story (exits
+   paired with enters, health back to ok) deterministic. *)
+let gen_sys rng =
+  {
+    Sysfault.seed = Rng.bits64 rng;
+    write_fail = 0.9 *. Rng.float rng;
+    rename_fail = 0.9 *. Rng.float rng;
+    open_fail = 0.5 *. Rng.float rng;
+    short_write = 0.5 *. Rng.float rng;
+    eintr = 0.5 *. Rng.float rng;
+    accept_fail = 0.5 *. Rng.float rng;
+    fork_fail = 0.;
+    ops_budget = 48 + Rng.int rng 64;
+  }
+
+(* Both dimensions are always drawn, so the net schedules are identical
+   whether or not the sysfault dimension is enabled. *)
+let gen ?(sysfault = true) rng =
+  let net = gen_net rng in
+  let sys = gen_sys rng in
+  { net; sys = (if sysfault then sys else Sysfault.quiet sys.Sysfault.seed) }
 
 (* --- forked processes -------------------------------------------------- *)
 
@@ -113,15 +152,34 @@ let fork_child body =
        with _ -> Unix._exit 3)
   | pid -> pid
 
-let fork_daemon ~address =
+(* The daemon child: optionally with a file trace (so the parent can
+   check degraded enter/exit pairing from the JSONL), a sysfault
+   schedule installed before the loop starts, and a state dir with an
+   aggressive snapshot cadence (so disk-fault sites actually get
+   consulted during a short burst).  [Trace.close] runs before [_exit]
+   — fork_child's [_exit] skips at_exit handlers by design. *)
+let fork_daemon ?sys ?trace_path ?state_dir ~address () =
   fork_child (fun () ->
-      let cfg =
-        {
-          (Server.config ~address ~queue_bound:64 ~batch_max:8 ()) with
-          Server.state_dir = None;
-        }
+      let t =
+        Option.map (fun p -> Ls_obs.Trace.make ~path:p ()) trace_path
       in
-      ignore (Server.run ~cfg ()))
+      Option.iter Ls_obs.Trace.install t;
+      (match sys with
+      | Some s when not (Sysfault.is_quiet s) -> Sysfault.install s
+      | _ -> ());
+      let cfg =
+        match state_dir with
+        | Some dir ->
+            Server.config ~address ~queue_bound:64 ~batch_max:8 ~state_dir:dir
+              ~snapshot_every:2 ()
+        | None ->
+            {
+              (Server.config ~address ~queue_bound:64 ~batch_max:8 ()) with
+              Server.state_dir = None;
+            }
+      in
+      ignore (Server.run ~cfg ());
+      Option.iter Ls_obs.Trace.close t)
 
 let fork_proxy spec ~listen ~upstream =
   fork_child (fun () -> Proxy.run spec ~listen ~upstream ())
@@ -152,6 +210,43 @@ let kill_quiet pid signal =
 
 let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
+let fresh_dir tag =
+  incr path_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "locsample-svchaos-%d-%d-%s" (Unix.getpid ())
+         !path_counter tag)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ());
+  d
+
+let remove_dir_quiet d =
+  (try
+     Array.iter
+       (fun f -> unlink_quiet (Filename.concat d f))
+       (Sys.readdir d)
+   with Sys_error _ -> ());
+  try Unix.rmdir d with Unix.Unix_error _ -> ()
+
+let read_file_opt p =
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          Some (really_input_string ic len))
+
+let count_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let c = ref 0 in
+  for i = 0 to hl - nl do
+    if String.sub hay i nl = needle then incr c
+  done;
+  !c
+
 (* --- one schedule ------------------------------------------------------ *)
 
 (* Canonical bytes for comparing responses: the pure codec over the
@@ -161,14 +256,24 @@ let enc rid body = Protocol.encode_response { Protocol.rid; body }
 
 exception Abort
 
-let run_spec ?check ~requests ~baseline spec =
+let run_spec ?check ~requests ~baseline (sch : schedule) =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let n = Array.length requests in
   let srv_path = fresh_path "srv" and pxy_path = fresh_path "pxy" in
   let srv = Server.Unix_path srv_path and pxy = Server.Unix_path pxy_path in
-  let dpid = fork_daemon ~address:srv in
-  let ppid = fork_proxy spec ~listen:pxy ~upstream:srv in
+  (* The sysfault dimension needs a state dir (to give disk-fault sites
+     something to hit) and a daemon-side trace file (the degraded
+     enter/exit pairing witness). *)
+  let sys_on = not (Sysfault.is_quiet sch.sys) in
+  let state_dir = if sys_on then Some (fresh_dir "state") else None in
+  let trace_path =
+    Option.map (fun d -> Filename.concat d "trace.jsonl") state_dir
+  in
+  let dpid =
+    fork_daemon ~sys:sch.sys ?trace_path ?state_dir ~address:srv ()
+  in
+  let ppid = fork_proxy sch.net ~listen:pxy ~upstream:srv in
   let violations = ref [] in
   let add v = violations := !violations @ [ v ] in
   Fun.protect
@@ -178,7 +283,8 @@ let run_spec ?check ~requests ~baseline spec =
       kill_quiet dpid Sys.sigkill;
       ignore (wait_exit ~grace_ms:2000 dpid);
       unlink_quiet srv_path;
-      unlink_quiet pxy_path)
+      unlink_quiet pxy_path;
+      Option.iter remove_dir_quiet state_dir)
     (fun () ->
       let answered = Array.make n None in
       let conn = ref None in
@@ -213,7 +319,7 @@ let run_spec ?check ~requests ~baseline spec =
                  (violation "liveness"
                     (Printf.sprintf
                        "request %d unanswered after %d attempts under %s" i
-                       max_attempts (Proxy.describe spec)));
+                       max_attempts (describe_schedule sch)));
                raise Abort
              end;
              match connect () with
@@ -301,8 +407,36 @@ let run_spec ?check ~requests ~baseline spec =
                (Printf.sprintf "daemon died during the burst (%s)"
                   (status_name st)))
       | exception Unix.Unix_error _ -> ());
+      (* Degraded enter/exit pairing, read from the daemon's own trace:
+         every enter must have its exit by clean shutdown (the server
+         closes its brackets at drain).  Only judged when the run is
+         otherwise clean — a crashed daemon leaves a truncated trace,
+         and that is already reported as daemon-crash. *)
+      (if !violations = [] then
+         match trace_path with
+         | None -> ()
+         | Some p -> (
+             match read_file_opt p with
+             | None ->
+                 add
+                   (violation "degraded-pairing"
+                      "daemon trace file missing after a clean run")
+             | Some text ->
+                 let enters =
+                   count_substring text "\"ev\":\"degraded_enter\""
+                 in
+                 let exits =
+                   count_substring text "\"ev\":\"degraded_exit\""
+                 in
+                 if enters <> exits then
+                   add
+                     (violation "degraded-pairing"
+                        (Printf.sprintf
+                           "%d degraded enter(s) vs %d exit(s) in the daemon \
+                            trace"
+                           enters exits))));
       (match check with
-      | Some f -> ( match f spec with Some v -> add v | None -> ())
+      | Some f -> ( match f sch with Some v -> add v | None -> ())
       | None -> ());
       !violations)
 
@@ -316,7 +450,7 @@ let baseline_run requests =
    with Invalid_argument _ | Sys_error _ -> ());
   let srv_path = fresh_path "base" in
   let srv = Server.Unix_path srv_path in
-  let dpid = fork_daemon ~address:srv in
+  let dpid = fork_daemon ~address:srv () in
   Fun.protect
     ~finally:(fun () ->
       kill_quiet dpid Sys.sigkill;
@@ -350,16 +484,27 @@ let baseline_run requests =
 (* --- shrinking --------------------------------------------------------- *)
 
 (* Zero one fault dimension at a time, as Chaos does: the minimal
-   reproducer names the dimensions that matter. *)
-let shrink_candidates (s : Proxy.spec) =
+   reproducer names the dimensions that matter — socket and syscall
+   dimensions shrink through the same greedy fixpoint. *)
+let shrink_candidates (sch : schedule) =
+  let net n = { sch with net = n } in
+  let sys s = { sch with sys = s } in
+  let p = sch.net and q = sch.sys in
   List.filter
-    (fun c -> c <> s)
+    (fun c -> c <> sch)
     [
-      { s with Proxy.reset = 0. };
-      { s with Proxy.truncate = 0. };
-      { s with Proxy.corrupt = 0. };
-      { s with Proxy.duplicate = 0. };
-      { s with Proxy.delay = 0.; delay_ms = 0 };
+      net { p with Proxy.reset = 0. };
+      net { p with Proxy.truncate = 0. };
+      net { p with Proxy.corrupt = 0. };
+      net { p with Proxy.duplicate = 0. };
+      net { p with Proxy.delay = 0.; delay_ms = 0 };
+      sys { q with Sysfault.write_fail = 0. };
+      sys { q with Sysfault.rename_fail = 0. };
+      sys { q with Sysfault.open_fail = 0. };
+      sys { q with Sysfault.short_write = 0. };
+      sys { q with Sysfault.eintr = 0. };
+      sys { q with Sysfault.accept_fail = 0. };
+      sys { q with Sysfault.fork_fail = 0. };
     ]
 
 let shrink ?check ~requests ~baseline s0 =
@@ -375,9 +520,9 @@ let shrink ?check ~requests ~baseline s0 =
 
 type failure = {
   index : int;
-  f_spec : Proxy.spec;
+  f_spec : schedule;
   f_violations : violation list;
-  f_shrunk : Proxy.spec;
+  f_shrunk : schedule;
   f_shrunk_violations : violation list;
 }
 
@@ -385,11 +530,12 @@ type summary = {
   seed : int64;
   schedules : int;
   requests : int;
+  sysfault : bool;
   zero_fault : violation option;
   failures : failure list;
 }
 
-let run ?check ?(schedules = 5) ?(requests = 40) ~seed () =
+let run ?check ?(schedules = 5) ?(requests = 40) ?(sysfault = true) ~seed () =
   if schedules < 1 then invalid_arg "Serve_chaos.run: schedules must be >= 1";
   if requests < 1 then invalid_arg "Serve_chaos.run: requests must be >= 1";
   let reqs = gen_requests ~seed ~n:requests in
@@ -398,14 +544,14 @@ let run ?check ?(schedules = 5) ?(requests = 40) ~seed () =
      should be found by a generated schedule, not blamed on the quiet
      proxy. *)
   let zero_fault =
-    match run_spec ~requests:reqs ~baseline (Proxy.quiet seed) with
+    match run_spec ~requests:reqs ~baseline (quiet_schedule seed) with
     | [] -> None
     | v :: _ -> Some v
   in
   let rng = Rng.create seed in
   let failures = ref [] in
   for index = 0 to schedules - 1 do
-    let s = gen rng in
+    let s = gen ~sysfault rng in
     match run_spec ?check ~requests:reqs ~baseline s with
     | [] -> ()
     | f_violations ->
@@ -417,30 +563,31 @@ let run ?check ?(schedules = 5) ?(requests = 40) ~seed () =
           !failures
           @ [ { index; f_spec = s; f_violations; f_shrunk; f_shrunk_violations } ]
   done;
-  { seed; schedules; requests; zero_fault; failures = !failures }
+  { seed; schedules; requests; sysfault; zero_fault; failures = !failures }
 
 let ok summary = summary.zero_fault = None && summary.failures = []
 
 let reproducer summary =
   let b = Buffer.create 256 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  p "serve-chaos: seed=%Ld schedules=%d requests=%d\n" summary.seed
-    summary.schedules summary.requests;
+  p "serve-chaos: seed=%Ld schedules=%d requests=%d sysfault=%b\n" summary.seed
+    summary.schedules summary.requests summary.sysfault;
   (match summary.zero_fault with
   | Some v -> p "transparency VIOLATED: %s: %s\n" v.invariant v.detail
   | None -> ());
   List.iter
     (fun f ->
-      p "schedule %d FAILED: %s\n" f.index (Proxy.describe f.f_spec);
+      p "schedule %d FAILED: %s\n" f.index (describe_schedule f.f_spec);
       List.iter (fun v -> p "  %s: %s\n" v.invariant v.detail) f.f_violations;
-      p "  shrunk to: %s\n" (Proxy.describe f.f_shrunk);
+      p "  shrunk to: %s\n" (describe_schedule f.f_shrunk);
       List.iter
         (fun v -> p "  (shrunk) %s: %s\n" v.invariant v.detail)
         f.f_shrunk_violations)
     summary.failures;
   if ok summary then p "all invariants held\n";
-  p "replay: locsample serve-chaos --seed %Ld --schedules %d --requests %d\n"
-    summary.seed summary.schedules summary.requests;
+  p "replay: locsample serve-chaos --seed %Ld --schedules %d --requests %d%s\n"
+    summary.seed summary.schedules summary.requests
+    (if summary.sysfault then "" else " --no-sysfault");
   Buffer.contents b
 
 let parse_reproducer text =
@@ -455,14 +602,15 @@ let parse_reproducer text =
       let toks =
         List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
       in
-      let rec go seed schedules requests = function
-        | [] -> (seed, schedules, requests)
+      let rec go seed schedules requests sysfault = function
+        | [] -> (seed, schedules, requests, sysfault)
         | "--seed" :: v :: rest ->
-            go (Int64.of_string v) schedules requests rest
+            go (Int64.of_string v) schedules requests sysfault rest
         | "--schedules" :: v :: rest ->
-            go seed (int_of_string v) requests rest
+            go seed (int_of_string v) requests sysfault rest
         | "--requests" :: v :: rest ->
-            go seed schedules (int_of_string v) rest
-        | _ :: rest -> go seed schedules requests rest
+            go seed schedules (int_of_string v) sysfault rest
+        | "--no-sysfault" :: rest -> go seed schedules requests false rest
+        | _ :: rest -> go seed schedules requests sysfault rest
       in
-      try Some (go 0L 5 40 toks) with Failure _ -> None)
+      try Some (go 0L 5 40 true toks) with Failure _ -> None)

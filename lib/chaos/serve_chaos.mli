@@ -1,27 +1,32 @@
 (** Chaos harness for the serving daemon.
 
     Drives a deterministic request burst through the {!Proxy} fault
-    injector against a live forked daemon and checks the serve
+    injector against a live forked daemon — with a {!Sysfault} syscall
+    schedule installed inside the daemon — and checks the serve
     invariants under every generated schedule:
 
     - {b daemon-crash}: the daemon survives the burst and exits 0 on
-      SIGTERM — byte-level damage may cost connections, never the
-      process;
+      SIGTERM — byte-level damage and resource faults may cost
+      connections or snapshots, never the process;
     - {b rid-integrity}: no well-formed response is matched to the
       wrong request (everything accepted is the awaited rid or a
       byte-identical duplicate of an already-answered one);
     - {b byte-identity}: every accepted response is byte-identical to
-      a proxy-free run of the same burst;
+      a proxy-free, fault-free run of the same burst;
     - {b liveness}: a bounded resend loop completes the burst;
+    - {b degraded-pairing}: in the daemon's own trace, every
+      [degraded_enter] has its [degraded_exit] by clean shutdown
+      (checked whenever the sysfault dimension is live);
     - {b transparency} (once per run): the all-zero schedule yields no
       violations.
 
     Everything derives from the harness seed — schedule generation, the
-    workload, and the proxy's per-frame fault draws — so a failure
-    printed with its seed replays exactly.  Failing schedules shrink by
-    zeroing whole fault dimensions to a minimal reproducer, and
-    {!reproducer} ends in a [locsample serve-chaos] line that
-    {!parse_reproducer} (and the real CLI) round-trips.
+    workload, the proxy's per-frame fault draws and the syscall
+    verdicts — so a failure printed with its seed replays exactly.
+    Failing schedules shrink by zeroing whole fault dimensions (socket
+    and syscall alike) to a minimal reproducer, and {!reproducer} ends
+    in a [locsample serve-chaos] line that {!parse_reproducer} (and the
+    real CLI) round-trips.
 
     The harness forks daemons and proxies, so like the sharded suites it
     must run before anything creates a domain ({!Ls_par.Par.quiesce} is
@@ -29,6 +34,13 @@
     process — chaos resets make EPIPE on send a normal event. *)
 
 type violation = { invariant : string; detail : string }
+
+type schedule = { net : Proxy.spec; sys : Sysfault.spec }
+(** One chaos schedule: socket damage through the proxy plus syscall
+    faults through the {!Ls_shard.Sysio} hook inside the daemon. *)
+
+val quiet_schedule : int64 -> schedule
+val describe_schedule : schedule -> string
 
 val gen_requests : seed:int64 -> n:int -> Ls_serve.Protocol.request array
 (** The deterministic burst: the same mixed sample/infer/count shape as
@@ -40,41 +52,55 @@ val gen_requests : seed:int64 -> n:int -> Ls_serve.Protocol.request array
     wall time, which chaos delays would turn into false
     byte-identity failures). *)
 
-val gen : Ls_rng.Rng.t -> Proxy.spec
-(** One random schedule, rates capped well below saturation so the
-    bounded resend loop terminates on a correct daemon. *)
+val gen_net : Ls_rng.Rng.t -> Proxy.spec
+(** One random socket schedule, rates capped well below saturation so
+    the bounded resend loop terminates on a correct daemon. *)
+
+val gen_sys : Ls_rng.Rng.t -> Sysfault.spec
+(** One random syscall schedule: disk faults run hot (they cost
+    snapshots, never answers), transparent and accept faults stay at
+    half, fork faults stay zero (the harness daemon never forks), and
+    a bounded ops budget makes recovery deterministic. *)
+
+val gen : ?sysfault:bool -> Ls_rng.Rng.t -> schedule
+(** Both dimensions off one generator stream; [~sysfault:false]
+    (default [true]) zeroes the syscall half without perturbing the
+    socket draws. *)
 
 val run_spec :
-  ?check:(Proxy.spec -> violation option) ->
+  ?check:(schedule -> violation option) ->
   requests:Ls_serve.Protocol.request array ->
   baseline:string array ->
-  Proxy.spec ->
+  schedule ->
   violation list
 (** Run the burst under one schedule and return every violation (empty
-    = passed).  [baseline] is the proxy-free transcript from
+    = passed).  [baseline] is the fault-free transcript from
     {!baseline_run}; [check] injects an extra caller-supplied invariant
-    — the hook the shrinker tests use to plant a seeded failure. *)
+    — the hook the shrinker tests use to plant a seeded failure.  When
+    the sysfault half is non-quiet the daemon runs with a state dir, an
+    aggressive snapshot cadence and a file trace, and the
+    degraded-pairing invariant is judged from that trace. *)
 
 val baseline_run : Ls_serve.Protocol.request array -> string array
-(** The proxy-free transcript: one encoded response per request, the
+(** The fault-free transcript: one encoded response per request, the
     byte-identity reference.  Raises [Failure] if the daemon cannot
     serve the burst cleanly — that is a broken environment, not a chaos
     finding. *)
 
 val shrink :
-  ?check:(Proxy.spec -> violation option) ->
+  ?check:(schedule -> violation option) ->
   requests:Ls_serve.Protocol.request array ->
   baseline:string array ->
-  Proxy.spec ->
-  Proxy.spec
+  schedule ->
+  schedule
 (** Greedily zero fault dimensions while the schedule still fails;
     fixed point = minimal reproducer. *)
 
 type failure = {
   index : int;  (** Which generated schedule failed (0-based). *)
-  f_spec : Proxy.spec;
+  f_spec : schedule;
   f_violations : violation list;
-  f_shrunk : Proxy.spec;
+  f_shrunk : schedule;
   f_shrunk_violations : violation list;
 }
 
@@ -82,6 +108,7 @@ type summary = {
   seed : int64;
   schedules : int;
   requests : int;
+  sysfault : bool;  (** Was the syscall dimension enabled? *)
   zero_fault : violation option;
       (** Transparency check under the all-zero schedule (run without
           [check], so planted failures surface as schedule failures). *)
@@ -89,23 +116,26 @@ type summary = {
 }
 
 val run :
-  ?check:(Proxy.spec -> violation option) ->
+  ?check:(schedule -> violation option) ->
   ?schedules:int ->
   ?requests:int ->
+  ?sysfault:bool ->
   seed:int64 ->
   unit ->
   summary
 (** Baseline, transparency, then [schedules] generated schedules
-    (defaults 5 × 40 requests), shrinking each failure.  Raises
-    [Failure] only if the baseline itself cannot run. *)
+    (defaults 5 × 40 requests, sysfault dimension on), shrinking each
+    failure.  Raises [Failure] only if the baseline itself cannot
+    run. *)
 
 val ok : summary -> bool
 
 val reproducer : summary -> string
 (** Human-readable report ending in an exact
-    [locsample serve-chaos --seed … --schedules … --requests …] replay
-    line. *)
+    [locsample serve-chaos --seed … --schedules … --requests …]
+    (plus [--no-sysfault] when the dimension was off) replay line. *)
 
-val parse_reproducer : string -> (int64 * int * int) option
-(** Recover [(seed, schedules, requests)] from a {!reproducer} report —
-    the round-trip the CLI's replay path and its tests rely on. *)
+val parse_reproducer : string -> (int64 * int * int * bool) option
+(** Recover [(seed, schedules, requests, sysfault)] from a
+    {!reproducer} report — the round-trip the CLI's replay path and its
+    tests rely on. *)

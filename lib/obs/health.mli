@@ -1,0 +1,37 @@
+(** Process-global degraded-mode registry.
+
+    Subsystems ("snapshot", "accept", "checkpoint", "fork") register
+    here when a resource fault forces them to shed work, and clear
+    themselves when the operation succeeds again.  Transitions are
+    observable — enter emits {!Trace.Degraded_enter} and bumps the
+    [degraded_enters] metric, exit emits {!Trace.Degraded_exit} and
+    bumps [degraded_exits]; refreshing an already-degraded subsystem
+    is silent, so enters and exits pair one-to-one.  The registry is
+    what the serve [Health] frame and [locsample health] report. *)
+
+type status = Healthy | Degraded of (string * string) list
+    (** [(subsystem, reason)] pairs, sorted by subsystem. *)
+
+val set_degraded : subsystem:string -> reason:string -> unit
+(** Enter (or refresh) a degraded mode.  Emits the trace event and
+    metric only on the [ok -> degraded] transition. *)
+
+val clear : subsystem:string -> unit
+(** Exit the subsystem's degraded mode; silent if it was not degraded. *)
+
+val clear_all : unit -> unit
+(** {!clear} every degraded subsystem — called on graceful shutdown so
+    every enter has its paired, traced exit. *)
+
+val status : unit -> status
+val is_degraded : unit -> bool
+
+val degraded : unit -> (string * string) list
+(** Current [(subsystem, reason)] pairs, sorted by subsystem. *)
+
+val describe : unit -> string
+(** ["ok"] or ["degraded(sub=reason;...)"] — the CLI rendering. *)
+
+val reset : unit -> unit
+(** Forget everything {e without} emitting exits: process startup and
+    test isolation, never a recovery path. *)

@@ -46,6 +46,13 @@ type snapshot = {
   serve_snapshot_hits : int;
   serve_drains : int;
   serve_restarts : int;
+  sysfaults : int;
+  degraded_enters : int;
+  degraded_exits : int;
+  fork_retries : int;
+  ckpt_skips : int;
+  serve_snapshot_failures : int;
+  serve_shed : int;
   latency_hist : int array;
   batches : int;
   items : int;
@@ -101,6 +108,13 @@ let serve_expired = Atomic.make 0
 let serve_snapshot_hits = Atomic.make 0
 let serve_drains = Atomic.make 0
 let serve_restarts = Atomic.make 0
+let sysfaults = Atomic.make 0
+let degraded_enters = Atomic.make 0
+let degraded_exits = Atomic.make 0
+let fork_retries = Atomic.make 0
+let ckpt_skips = Atomic.make 0
+let serve_snapshot_failures = Atomic.make 0
+let serve_shed = Atomic.make 0
 
 (* Virtual-latency histogram: exponential buckets doubling from 0.25
    virtual time units; the last bucket is open-ended. *)
@@ -190,6 +204,13 @@ let record_serve_expiry () = bump serve_expired
 let record_serve_snapshot_hit () = bump serve_snapshot_hits
 let record_serve_drain () = bump serve_drains
 let record_serve_restart () = bump serve_restarts
+let record_sysfault () = bump sysfaults
+let record_degraded_enter () = bump degraded_enters
+let record_degraded_exit () = bump degraded_exits
+let record_fork_retry () = bump fork_retries
+let record_ckpt_skip () = bump ckpt_skips
+let record_serve_snapshot_failure () = bump serve_snapshot_failures
+let record_serve_shed () = bump serve_shed
 
 let latency_bucket l =
   let rec go i =
@@ -267,6 +288,13 @@ let snapshot () =
     serve_snapshot_hits = Atomic.get serve_snapshot_hits;
     serve_drains = Atomic.get serve_drains;
     serve_restarts = Atomic.get serve_restarts;
+    sysfaults = Atomic.get sysfaults;
+    degraded_enters = Atomic.get degraded_enters;
+    degraded_exits = Atomic.get degraded_exits;
+    fork_retries = Atomic.get fork_retries;
+    ckpt_skips = Atomic.get ckpt_skips;
+    serve_snapshot_failures = Atomic.get serve_snapshot_failures;
+    serve_shed = Atomic.get serve_shed;
     latency_hist = Array.map Atomic.get latency_hist;
     batches = b;
     items = it;
@@ -322,6 +350,13 @@ let reset () =
       serve_snapshot_hits;
       serve_drains;
       serve_restarts;
+      sysfaults;
+      degraded_enters;
+      degraded_exits;
+      fork_retries;
+      ckpt_skips;
+      serve_snapshot_failures;
+      serve_shed;
     ];
   Array.iter (fun c -> Atomic.set c 0) latency_hist;
   Mutex.lock pool_lock;
@@ -377,6 +412,13 @@ let empty =
     serve_snapshot_hits = 0;
     serve_drains = 0;
     serve_restarts = 0;
+    sysfaults = 0;
+    degraded_enters = 0;
+    degraded_exits = 0;
+    fork_retries = 0;
+    ckpt_skips = 0;
+    serve_snapshot_failures = 0;
+    serve_shed = 0;
     latency_hist = [||];
     batches = 0;
     items = 0;
@@ -434,6 +476,13 @@ let absorb (d : snapshot) =
     add serve_snapshot_hits d.serve_snapshot_hits;
     add serve_drains d.serve_drains;
     add serve_restarts d.serve_restarts;
+    add sysfaults d.sysfaults;
+    add degraded_enters d.degraded_enters;
+    add degraded_exits d.degraded_exits;
+    add fork_retries d.fork_retries;
+    add ckpt_skips d.ckpt_skips;
+    add serve_snapshot_failures d.serve_snapshot_failures;
+    add serve_shed d.serve_shed;
     Array.iteri (fun i k -> add latency_hist.(i) k) d.latency_hist;
     Mutex.lock pool_lock;
     batches := !batches + d.batches;
@@ -493,6 +542,15 @@ let print oc s =
       "  serve-robustness: expired %d  snapshot_hits %d  drains %d  \
        restarts %d\n"
       s.serve_expired s.serve_snapshot_hits s.serve_drains s.serve_restarts;
+  if
+    s.sysfaults > 0 || s.degraded_enters > 0 || s.fork_retries > 0
+    || s.ckpt_skips > 0 || s.serve_snapshot_failures > 0 || s.serve_shed > 0
+  then
+    p
+      "  resource-faults: injected %d  degraded %d/%d  fork_retries %d  \
+       ckpt_skips %d  snapshot_failures %d  shed %d\n"
+      s.sysfaults s.degraded_enters s.degraded_exits s.fork_retries
+      s.ckpt_skips s.serve_snapshot_failures s.serve_shed;
   if Array.exists (fun k -> k > 0) s.latency_hist then begin
     p "  latency:";
     Array.iteri

@@ -73,6 +73,27 @@ type snapshot = {
   serve_drains : int;  (** Graceful drains completed (SIGTERM path). *)
   serve_restarts : int;
       (** Supervised worker respawns after a death or hang. *)
+  sysfaults : int;
+      (** Syscall faults injected through the {!Ls_shard.Sysio} hook
+          (ENOSPC, EMFILE, EAGAIN, short writes, synthetic EINTR). *)
+  degraded_enters : int;
+      (** Subsystems that entered a degraded mode ({!Health}). *)
+  degraded_exits : int;
+      (** Subsystems that recovered to ok.  At a clean daemon exit,
+          enters = exits — the pairing invariant the chaos suite checks. *)
+  fork_retries : int;
+      (** [fork] attempts retried after [EAGAIN] (consume backoff, not
+          restart budget). *)
+  ckpt_skips : int;
+      (** Checkpoint writes skipped after a disk fault — the shard
+          continued checkpoint-free on its last good checkpoint. *)
+  serve_snapshot_failures : int;
+      (** Serve cache-snapshot writes that failed (circuit-breaks
+          snapshotting with capped retry-after). *)
+  serve_shed : int;
+      (** Accept-backoff windows entered after [EMFILE]/[ENFILE]: new
+          connections wait in the backlog while existing ones are
+          served. *)
   latency_hist : int array;
       (** Virtual link-latency histogram over {!latency_bounds} buckets
           (last bucket open-ended). *)
@@ -129,6 +150,13 @@ val record_serve_expiry : unit -> unit
 val record_serve_snapshot_hit : unit -> unit
 val record_serve_drain : unit -> unit
 val record_serve_restart : unit -> unit
+val record_sysfault : unit -> unit
+val record_degraded_enter : unit -> unit
+val record_degraded_exit : unit -> unit
+val record_fork_retry : unit -> unit
+val record_ckpt_skip : unit -> unit
+val record_serve_snapshot_failure : unit -> unit
+val record_serve_shed : unit -> unit
 
 val latency_bounds : float array
 (** Upper bounds of the latency histogram buckets (exponential, doubling

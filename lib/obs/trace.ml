@@ -48,6 +48,8 @@ type event =
   | Shard_spawn of { shard : int; incarnation : int }
   | Shard_restart of { shard : int; incarnation : int; restored_round : int }
   | Serve_batch of { requests : int; coalesced : int; cache_hits : int }
+  | Degraded_enter of { subsystem : string; reason : string }
+  | Degraded_exit of { subsystem : string }
   | Mark of { label : string }
 
 type t = {
@@ -165,6 +167,11 @@ let json_of_event ~ts ev =
     | Serve_batch { requests; coalesced; cache_hits } ->
         p {|"ev":"serve_batch","requests":%d,"coalesced":%d,"cache_hits":%d|}
           requests coalesced cache_hits
+    | Degraded_enter { subsystem; reason } ->
+        p {|"ev":"degraded_enter","subsystem":"%s","reason":"%s"|}
+          (json_escape subsystem) (json_escape reason)
+    | Degraded_exit { subsystem } ->
+        p {|"ev":"degraded_exit","subsystem":"%s"|} (json_escape subsystem)
     | Mark { label } -> p {|"ev":"mark","label":"%s"|} (json_escape label)
   in
   p {|{"ts":%.6f,%s}|} ts body

@@ -91,6 +91,13 @@ type event =
           together, how many shared a compiled instance, and how many
           cache lookups hit.  All three are pure functions of the request
           stream, never of timing. *)
+  | Degraded_enter of { subsystem : string; reason : string }
+      (** A subsystem (snapshot, accept, checkpoint, fork) entered a
+          degraded mode ({!Health.set_degraded}); [reason] names the
+          triggering fault.  Always paired with a later
+          {!Degraded_exit} for the same subsystem before a clean exit. *)
+  | Degraded_exit of { subsystem : string }
+      (** The subsystem recovered to ok ({!Health.clear}). *)
   | Mark of { label : string }  (** Free-form deterministic marker. *)
 
 type t

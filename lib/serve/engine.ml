@@ -33,6 +33,7 @@ module Models = Ls_gibbs.Models
 module Matching = Ls_gibbs.Matching
 module Metrics = Ls_obs.Metrics
 module Trace = Ls_obs.Trace
+module Health = Ls_obs.Health
 module Codec = Ls_sketch.Codec
 open Ls_core
 
@@ -341,7 +342,7 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
     List.map
       (fun (r : Protocol.request) ->
         match r.Protocol.op with
-        | Protocol.Stats -> (r, Ok None)
+        | Protocol.Stats | Protocol.Health -> (r, Ok None)
         | _ -> (
             let key = instance_key r in
             match Hashtbl.find_opt built key with
@@ -466,7 +467,11 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
       (fun pos ((r : Protocol.request), res) ->
         match res with
         | Error e -> Error e
-        | Ok None -> Ok (Protocol.Stats_r (stats t))
+        | Ok None -> (
+            match r.Protocol.op with
+            | Protocol.Health ->
+                Ok (Protocol.Health_r { reasons = Health.degraded () })
+            | _ -> Ok (Protocol.Stats_r (stats t)))
         | Ok (Some (_key, c)) -> (
             match r.Protocol.op with
             | Protocol.Sample -> (
@@ -488,7 +493,9 @@ let run_batch t ?domains ?trace (requests : Protocol.request list) :
                   Reductions.estimate_log_partition c.c_oracle c.c_inst ~order
                 in
                 Ok (Protocol.Count_r { log_z })
-            | Protocol.Stats -> Ok (Protocol.Stats_r (stats t))))
+            | Protocol.Stats -> Ok (Protocol.Stats_r (stats t))
+            | Protocol.Health ->
+                Ok (Protocol.Health_r { reasons = Health.degraded () })))
       resolved
   in
   Metrics.record_serve_batch ~requests:n_requests ~coalesced:!coalesced;

@@ -25,21 +25,28 @@ let max_t = 1_000_000
 let max_vector = 1_000_000
 let max_deadline_ms = 86_400_000
 
-type op = Sample | Infer | Count | Stats
+type op = Sample | Infer | Count | Stats | Health
 
 let op_name = function
   | Sample -> "sample"
   | Infer -> "infer"
   | Count -> "count"
   | Stats -> "stats"
+  | Health -> "health"
 
-let op_tag = function Sample -> 0 | Infer -> 1 | Count -> 2 | Stats -> 3
+let op_tag = function
+  | Sample -> 0
+  | Infer -> 1
+  | Count -> 2
+  | Stats -> 3
+  | Health -> 4
 
 let op_of_tag = function
   | 0 -> Ok Sample
   | 1 -> Ok Infer
   | 2 -> Ok Count
   | 3 -> Ok Stats
+  | 4 -> Ok Health
   | n -> Error (Printf.sprintf "Protocol: unknown op tag %d" n)
 
 type request = {
@@ -104,6 +111,8 @@ type body =
   | Infer_r of { probs : float array }
   | Count_r of { log_z : float }
   | Stats_r of stats
+  | Health_r of { reasons : (string * string) list }
+      (* (subsystem, reason) pairs, sorted; [] = ok *)
   | Error_r of { code : err_code; message : string }
 
 type response = { rid : int; body : body }
@@ -251,6 +260,14 @@ let response_payload { rid; body } =
           st.st_max_queue;
           st.st_domains;
         ]
+  | Health_r { reasons } ->
+      Codec.add_int buf 5;
+      Codec.add_int buf (List.length reasons);
+      List.iter
+        (fun (sub, reason) ->
+          add_string buf sub;
+          add_string buf reason)
+        reasons
   | Error_r { code; message } ->
       Codec.add_int buf 4;
       Codec.add_int buf (err_tag code);
@@ -330,6 +347,20 @@ let response_of_payload s =
         let* code = err_of_tag code_tag in
         let* message = read_string s cur ~cap:4096 in
         Ok (Error_r { code; message })
+    | 5 ->
+        let* n = Codec.read_int s cur in
+        if n < 0 || n > 64 then
+          Error
+            (Printf.sprintf "Protocol: health entry count %d outside [0, 64]" n)
+        else
+          let rec go i acc =
+            if i = n then Ok (Health_r { reasons = List.rev acc })
+            else
+              let* sub = read_string s cur ~cap:64 in
+              let* reason = read_string s cur ~cap:512 in
+              go (i + 1) ((sub, reason) :: acc)
+          in
+          go 0 []
     | n -> Error (Printf.sprintf "Protocol: unknown response tag %d" n)
   in
   if Codec.remaining s cur <> 0 then

@@ -19,8 +19,12 @@ type op =
   | Sample  (** [trials] chain-rule samples; returns counts + first sample. *)
   | Infer  (** Marginal at [vertex]; returns the distribution. *)
   | Count  (** ln Z by self-reduction; returns one float. *)
-  | Stats  (** Engine counters; the only op whose reply is not
+  | Stats  (** Engine counters; like {!Health}, the reply is not
                request-deterministic (it reads server state). *)
+  | Health
+      (** The daemon's degraded-mode registry ({!Ls_obs.Health});
+          answered by the server loop without queueing, so a degraded
+          daemon still reports its own degradation promptly. *)
 
 val op_name : op -> string
 
@@ -78,6 +82,8 @@ type body =
   | Infer_r of { probs : float array }
   | Count_r of { log_z : float }
   | Stats_r of stats
+  | Health_r of { reasons : (string * string) list }
+      (** [(subsystem, reason)] pairs, sorted by subsystem; [[]] = ok. *)
   | Error_r of { code : err_code; message : string }
 
 type response = { rid : int; body : body }

@@ -21,7 +21,9 @@
 module Frame = Ls_shard.Frame
 module Supervisor = Ls_shard.Supervisor
 module Ckpt = Ls_shard.Ckpt
+module Sysio = Ls_shard.Sysio
 module Metrics = Ls_obs.Metrics
+module Health = Ls_obs.Health
 
 let src = Logs.Src.create "locsample.serve" ~doc:"sampling-as-a-service daemon"
 
@@ -253,10 +255,14 @@ let save_snapshot ~dir engine ~batches =
   try
     Ckpt.save_path ~path:(snapshot_file dir)
       { Ckpt.run_id = snapshot_run_id; shard = 0; phase = 1; round = batches }
-      (Engine.snapshot engine)
+      (Engine.snapshot engine);
+    true
   with Unix.Unix_error _ | Sys_error _ ->
-    (* Persistence is best-effort: a full disk must not kill serving. *)
-    Log.warn (fun m -> m "cache snapshot write to %s failed" dir)
+    (* Persistence is best-effort: a full disk must not kill serving.
+       The caller owns the circuit breaker; this layer just reports. *)
+    Metrics.record_serve_snapshot_failure ();
+    Log.warn (fun m -> m "cache snapshot write to %s failed" dir);
+    false
 
 let load_snapshot ~dir engine =
   match Ckpt.load_path ~path:(snapshot_file dir) with
@@ -283,6 +289,9 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
     ?heartbeat () =
   stop_flag := false;
   install_signals ();
+  (* A fresh loop starts healthy: a restarted worker must not inherit
+     the degraded marks of the incarnation it replaced. *)
+  Health.reset ();
   let engine =
     Engine.create ~instance_cache:cfg.instance_cache ~plan_cache:cfg.plan_cache
       ~max_vertices:cfg.max_vertices ()
@@ -329,6 +338,15 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
             Protocol.rid = max f.Frame.a 0;
             body =
               Protocol.Error_r { code = Protocol.Bad_request; message = msg };
+          }
+    | Ok req when req.Protocol.op = Protocol.Health ->
+        (* Answered by the loop itself, before admission: a daemon that
+           is shedding or backed up still reports its own degradation
+           promptly, without spending a queue slot or a batch slot. *)
+        reply c
+          {
+            Protocol.rid = req.Protocol.id;
+            body = Protocol.Health_r { reasons = Health.degraded () };
           }
     | Ok req ->
         if Queue.length c.queue >= cfg.queue_bound then begin
@@ -387,9 +405,24 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
       | _ -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
+  (* Descriptor exhaustion (EMFILE/ENFILE, or EAGAIN) on accept sheds
+     new connections instead of blocking the loop: the listener leaves
+     the select set for a doubling backoff window (new peers park in the
+     kernel backlog) while existing connections keep being served.  The
+     first successful accept clears the degraded mark and resets the
+     backoff. *)
+  let accept_paused_until = ref 0. in
+  let accept_backoff_ms = ref 10 in
+  let accept_degraded = ref false in
+  let accepting now = now >= !accept_paused_until in
   let accept_new () =
-    match Unix.accept listen_fd with
+    match Sysio.accept ~site:"server.accept" listen_fd with
     | fd, _ ->
+        if !accept_degraded then begin
+          accept_degraded := false;
+          accept_backoff_ms := 10;
+          Health.clear ~subsystem:"accept"
+        end;
         (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.send_timeout
          with Unix.Unix_error _ | Invalid_argument _ -> ());
         let id = !next_conn_id in
@@ -398,12 +431,25 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
           { id; fd; alive = true; pending = ""; queue = Queue.create () }
           :: !conns
     | exception
-        Unix.Unix_error
-          ((Unix.ECONNABORTED | Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN), _, _)
+        Unix.Unix_error (((Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN) as e), _, _)
       ->
-        (* Transient accept failure: the EINTR-safe backoff shared with
-           the shard supervisor, then retry on the next select round. *)
-        Supervisor.sleep_ms 10
+        let name =
+          match e with
+          | Unix.EMFILE -> "EMFILE"
+          | Unix.ENFILE -> "ENFILE"
+          | _ -> "EAGAIN"
+        in
+        Metrics.record_serve_shed ();
+        accept_degraded := true;
+        Health.set_degraded ~subsystem:"accept"
+          ~reason:(name ^ ": shedding new connections");
+        accept_paused_until :=
+          Unix.gettimeofday () +. (float_of_int !accept_backoff_ms /. 1000.);
+        accept_backoff_ms := min 500 (!accept_backoff_ms * 2)
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+        (* The peer hung up between select and accept: their loss, not a
+           resource fault — the next select round carries on. *)
+        ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
   (* Batch formation: deficit round-robin with a one-request quantum over
@@ -464,13 +510,40 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
     end;
     List.rev !batch
   in
+  (* Snapshot circuit breaker: a failed write (disk full, say) marks the
+     "snapshot" subsystem degraded and pushes the next attempt out by
+     min(64, 2^failures) extra batches, so a persistently full disk
+     costs a capped retry cadence instead of one doomed write per
+     interval.  Serving continues on the last good snapshot throughout;
+     the first successful write closes the breaker. *)
   let batches_since_snapshot = ref 0 in
+  let snapshot_failures = ref 0 in
+  let do_snapshot dir =
+    if save_snapshot ~dir engine ~batches:(Engine.stats engine).Protocol.st_batches
+    then begin
+      if !snapshot_failures > 0 then Health.clear ~subsystem:"snapshot";
+      snapshot_failures := 0
+    end
+    else begin
+      snapshot_failures := !snapshot_failures + 1;
+      Health.set_degraded ~subsystem:"snapshot"
+        ~reason:
+          (Printf.sprintf "snapshot write failed (%d consecutive)"
+             !snapshot_failures)
+    end
+  in
+  let snapshot_due () =
+    let extra =
+      if !snapshot_failures = 0 then 0
+      else min 64 (1 lsl min 6 !snapshot_failures)
+    in
+    !batches_since_snapshot >= cfg.snapshot_every + extra
+  in
   let maybe_snapshot () =
     match cfg.state_dir with
-    | Some dir when !batches_since_snapshot >= cfg.snapshot_every ->
+    | Some dir when snapshot_due () ->
         batches_since_snapshot := 0;
-        save_snapshot ~dir engine
-          ~batches:(Engine.stats engine).Protocol.st_batches
+        do_snapshot dir
     | _ -> ()
   in
   let run_batches () =
@@ -498,7 +571,10 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
     if (not !stop_flag) && budget_left () then begin
       beat ();
       conns := List.filter (fun c -> c.alive) !conns;
-      let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+      let fds =
+        (if accepting (Unix.gettimeofday ()) then [ listen_fd ] else [])
+        @ List.map (fun c -> c.fd) !conns
+      in
       (match Unix.select fds [] [] 0.5 with
       | readable, _, _ ->
           if List.memq listen_fd readable then accept_new ();
@@ -528,10 +604,12 @@ let run ?(cfg = config ()) ?trace ?on_ready ?listen_fd ?(incarnation = 0)
          for the SIGTERM-mid-batch case. *)
       run_batches ();
       (match cfg.state_dir with
-      | Some dir ->
-          save_snapshot ~dir engine
-            ~batches:(Engine.stats engine).Protocol.st_batches
+      | Some dir -> do_snapshot dir
       | None -> ());
+      (* Exit-time pairing: every degraded enter gets its exit event,
+         even when the fault never cleared in time — a clean shutdown
+         always closes its own trace brackets. *)
+      Health.clear_all ();
       if !stop_flag then begin
         Metrics.record_serve_drain ();
         Log.info (fun m -> m "drained: all admitted requests answered")
@@ -554,13 +632,15 @@ let default_supervision =
   { Supervisor.default_policy with Supervisor.hang_timeout_ms = 5000 }
 
 let write_pid_file path pid =
+  let tmp = path ^ ".tmp" in
   try
-    let tmp = path ^ ".tmp" in
     let oc = open_out tmp in
     output_string oc (string_of_int pid ^ "\n");
     close_out oc;
-    Sys.rename tmp path
-  with Sys_error _ -> Log.warn (fun m -> m "cannot write pid file %s" path)
+    Sysio.rename ~site:"pidfile.rename" tmp path
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Log.warn (fun m -> m "cannot write pid file %s" path)
 
 let zero_stats ~restarts =
   {
@@ -603,7 +683,17 @@ let run_supervised ?(cfg = config ()) ?(policy = default_supervision) ?trace
     in
     flush stdout;
     flush stderr;
-    match Unix.fork () with
+    let fork () =
+      (* EAGAIN burns the retry helper's own attempt budget (with
+         backoff), never the restart budget: a fork that could not
+         happen is not a worker death. *)
+      try Supervisor.fork_with_retry ~site:"serve.fork" ()
+      with e ->
+        (try Unix.close parent_end with Unix.Unix_error _ -> ());
+        (try Unix.close child_end with Unix.Unix_error _ -> ());
+        raise e
+    in
+    match fork () with
     | 0 ->
         (try Unix.close parent_end with Unix.Unix_error _ -> ());
         let beat () =

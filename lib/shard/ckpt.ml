@@ -86,17 +86,52 @@ let decode s =
       else Ok ({ run_id; shard; phase; round }, payload)
     end
 
+(* All IO goes through {!Sysio} (fault-injectable, EINTR-retried rename
+   and close), and any failure unlinks the [.tmp] sibling before
+   re-raising: a full disk costs this checkpoint, never a leaked temp
+   file next to the last good one. *)
 let save_path ~path:final meta payload =
   ensure_dir (Filename.dirname final);
   let tmp = final ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> Frame.write_string fd (encode meta payload));
-  Unix.rename tmp final
+  let fd =
+    Sysio.openfile ~site:"ckpt.open" tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  try
+    Fun.protect
+      ~finally:(fun () ->
+        try Sysio.close ~site:"ckpt.close" fd
+        with Unix.Unix_error _ -> ())
+      (fun () -> Frame.write_string ~site:"ckpt.write" fd (encode meta payload));
+    Sysio.rename ~site:"ckpt.rename" tmp final
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let save ~dir meta payload =
   save_path ~path:(path ~dir ~run_id:meta.run_id ~shard:meta.shard) meta payload
+
+(* Checkpoint-free continuation: durability is an optimization of
+   recovery time, not a correctness requirement, so a checkpoint that
+   cannot be written (disk full, quota) is skipped — the last good one
+   stays in place and a crash simply replays more rounds.  The skip is
+   observable: the [ckpt_skips] metric bumps and the "checkpoint"
+   subsystem goes degraded (the {!Ls_obs.Trace.Degraded_enter} event is
+   the traced warning); the next successful save clears it. *)
+let save_best_effort ~dir meta payload =
+  try
+    save ~dir meta payload;
+    Ls_obs.Health.clear ~subsystem:"checkpoint"
+  with
+  | Unix.Unix_error (e, _, _) ->
+      Ls_obs.Metrics.record_ckpt_skip ();
+      Ls_obs.Health.set_degraded ~subsystem:"checkpoint"
+        ~reason:("checkpoint write failed: " ^ Unix.error_message e)
+  | Sys_error msg ->
+      Ls_obs.Metrics.record_ckpt_skip ();
+      Ls_obs.Health.set_degraded ~subsystem:"checkpoint"
+        ~reason:("checkpoint write failed: " ^ msg)
 
 let read_file p =
   match open_in_bin p with

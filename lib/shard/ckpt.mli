@@ -21,7 +21,17 @@ val env_check : unit -> (unit, string) result
 val path : dir:string -> run_id:int64 -> shard:int -> string
 
 val save : dir:string -> meta -> string -> unit
-(** Atomic write (creates [dir] if missing). *)
+(** Atomic write (creates [dir] if missing).  Any failure unlinks the
+    [.tmp] sibling before re-raising, so the previous checkpoint is
+    never flanked by a leaked temp file. *)
+
+val save_best_effort : dir:string -> meta -> string -> unit
+(** {!save}, but a write failure ([Unix_error] or [Sys_error]) is
+    absorbed instead of raised: the last good checkpoint stays in
+    place and execution continues checkpoint-free — a crash now replays
+    more rounds, nothing else.  Skips bump the [ckpt_skips] metric and
+    mark the ["checkpoint"] subsystem degraded in {!Ls_obs.Health};
+    the next successful save clears the mark. *)
 
 val load : dir:string -> run_id:int64 -> shard:int -> (meta * string) option
 (** The shard's checkpoint, if present {e and} valid {e and} belonging

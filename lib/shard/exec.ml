@@ -419,7 +419,7 @@ let run_phase cfg (t : 'i Network.t) ~rounds ~(size : ('m -> int) option)
         else dead := !dead + k
       done;
       if (round + 1) mod cfg.ckpt_every = 0 then
-        Ckpt.save ~dir:cfg.dir
+        Ckpt.save_best_effort ~dir:cfg.dir
           { Ckpt.run_id; shard; phase; round }
           (marshal
              {

@@ -122,17 +122,17 @@ let decode_prefix ?(max_frame_payload = max_payload) s =
    uses, so there is exactly one partial-IO implementation to get
    right. *)
 
-let rec write_all fd buf off len =
+let rec write_all ?(site = "frame.write") fd buf off len =
   if len > 0 then begin
     let k =
-      try Unix.write fd buf off len
+      try Sysio.write ~site fd buf off len
       with Unix.Unix_error (Unix.EINTR, _, _) -> 0
     in
-    write_all fd buf (off + k) (len - k)
+    write_all ~site fd buf (off + k) (len - k)
   end
 
-let write_string fd s =
-  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+let write_string ?site fd s =
+  write_all ?site fd (Bytes.unsafe_of_string s) 0 (String.length s)
 
 (* Read exactly [len] bytes unless EOF strikes first; returns the count
    actually read (< [len] only at EOF). *)

@@ -49,9 +49,12 @@ val read_fd : Unix.file_descr -> (t, read_error) result
 
 (**/**)
 
-(** Shared partial-IO loops, reused by the checkpoint writer. *)
+(** Shared partial-IO loops, reused by the checkpoint writer.  [site]
+    (default ["frame.write"]) names the call site for the {!Sysio}
+    fault hook; disk writers pass their own so write faults can target
+    files without touching sockets. *)
 
-val write_string : Unix.file_descr -> string -> unit
+val write_string : ?site:string -> Unix.file_descr -> string -> unit
 val read_exact : Unix.file_descr -> bytes -> int -> int -> int
 
 (**/**)

@@ -23,6 +23,7 @@
 
 module Trace = Ls_obs.Trace
 module Metrics = Ls_obs.Metrics
+module Health = Ls_obs.Health
 
 type policy = {
   restart_budget : int;  (* restarts per shard before giving up *)
@@ -82,6 +83,39 @@ let sleep_ms ms =
     go ()
   end
 
+(* Fork with bounded EAGAIN retry.  A fork that fails with EAGAIN (pid
+   table or rlimit pressure) is a resource fault, not a worker fault: it
+   burns its own small attempt budget with doubling backoff, never the
+   caller's restart budget.  The first EAGAIN marks the "fork" subsystem
+   degraded; a subsequent successful fork clears it — in the parent
+   only, so a child never emits the exit event for an enter it did not
+   observe.  Exhaustion clears the mark (keeping enter/exit paired) and
+   raises {!Failed}[ (Transient, _)]: more attempts might have helped —
+   the environment, not the workload, gave out. *)
+let fork_with_retry ?(attempts = 5) ?(backoff_ms = 20) ~site () =
+  if attempts < 1 then invalid_arg "Supervisor.fork_with_retry: attempts >= 1";
+  let rec go attempt delay retried =
+    match Sysio.fork ~site () with
+    | 0 -> 0
+    | pid ->
+        if retried then Health.clear ~subsystem:"fork";
+        pid
+    | exception Unix.Unix_error (Unix.EAGAIN, _, _) ->
+        Metrics.record_fork_retry ();
+        Health.set_degraded ~subsystem:"fork" ~reason:"fork EAGAIN";
+        if attempt + 1 >= attempts then begin
+          Health.clear ~subsystem:"fork";
+          raise
+            (Failed
+               ( Transient,
+                 Printf.sprintf "fork(%s): EAGAIN persisted through %d attempts"
+                   site attempts ))
+        end;
+        sleep_ms delay;
+        go (attempt + 1) (delay * 2) true
+  in
+  go 0 backoff_ms false
+
 (* Has the worker's process exited?  WNOHANG, reaping if so. *)
 let reaped w =
   if w.w_pid = 0 then true
@@ -134,18 +168,28 @@ let run ?(policy = default_policy) ?trace
     let incarnation = w.w_incarnation in
     flush stdout;
     flush stderr;
-    match Unix.fork () with
+    let fork () =
+      try fork_with_retry ~site:"supervisor.fork" ()
+      with e ->
+        (* A fork that never happened must not leak its socketpair. *)
+        (try Unix.close parent_fd with Unix.Unix_error _ -> ());
+        (try Unix.close child_fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    match fork () with
     | 0 ->
         (* Child: drop every parent-side descriptor (ours and every
            sibling's), neutralize inherited process-global machinery —
-           the transport (no recursive sharding) and the ambient trace
+           the transport (no recursive sharding), the ambient trace
            sink (the parent owns the trace file; events travel back as
-           data) — then run the body and _exit without flushing the
-           inherited stdio buffers. *)
+           data) and the degraded-mode registry (the parent owns those
+           transitions) — then run the body and _exit without flushing
+           the inherited stdio buffers. *)
         (try Unix.close parent_fd with Unix.Unix_error _ -> ());
         Array.iter (fun o -> close_fd o) workers;
         Ls_local.Network.set_transport None;
         Trace.uninstall ();
+        Health.reset ();
         (try body ~shard:w.w_shard ~incarnation child_fd
          with e ->
            Printf.eprintf "locsample shard %d (incarnation %d): %s\n%!"

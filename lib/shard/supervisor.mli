@@ -43,6 +43,18 @@ type failure = Transient | Permanent
 
 exception Failed of failure * string
 
+val fork_with_retry :
+  ?attempts:int -> ?backoff_ms:int -> site:string -> unit -> int
+(** [Unix.fork] through {!Sysio.fork} with bounded EAGAIN retry: up to
+    [attempts] (default 5) tries, sleeping [backoff_ms] (default 20)
+    doubling between them.  EAGAIN is a resource fault, not a worker
+    fault — retries burn this budget, never the caller's restart budget.
+    The first EAGAIN marks the ["fork"] subsystem degraded in
+    {!Ls_obs.Health} and bumps the [fork_retries] metric; a later
+    successful fork clears the mark in the parent.  Exhaustion raises
+    {!Failed}[ (Transient, _)].  Returns the child pid ([0] in the
+    child, as [Unix.fork]). *)
+
 type ctx = {
   send : shard:int -> Frame.t -> unit;
       (** Write a frame to a shard; a write to a freshly dead worker is

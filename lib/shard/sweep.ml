@@ -108,7 +108,7 @@ let run_trials_timed (cfg : Exec.config) ~n ~seed (f : Rng.t -> 'a) :
         Frame.write_fd fd
           { Frame.kind = k_hb; a = i; b = shard; c = 0; payload = "" };
         if (i - lo + 1) mod cfg.Exec.ckpt_every = 0 && i < hi - 1 then
-          Ckpt.save ~dir:cfg.Exec.dir
+          Ckpt.save_best_effort ~dir:cfg.Exec.dir
             { Ckpt.run_id; shard; phase = 0; round = i }
             (marshal
                {

@@ -10,6 +10,8 @@ let () =
       ("serve", Test_serve.suite);
       (* The serve chaos harness forks daemons and proxies too. *)
       ("serve-chaos", Test_serve_chaos.suite);
+      (* Forks fork-retry children, so it shares the constraint. *)
+      ("sysfault", Test_sysfault.suite);
       ("rng", Test_rng.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);

@@ -84,6 +84,7 @@ let test_protocol_roundtrip () =
       req ~id:7 ~op:Protocol.Count ~model:"coloring:5" ~t:3 ();
       req ~op:Protocol.Sample ~trials:Protocol.max_trials ();
       req ~op:Protocol.Stats ~graph:"-" ~model:"-" ~engine:"-" ~t:0 ();
+      req ~op:Protocol.Health ~graph:"-" ~model:"-" ~engine:"-" ~t:0 ();
     ]
   in
   List.iter
@@ -106,6 +107,15 @@ let test_protocol_roundtrip () =
           st_cache_hits = 4; st_cache_misses = 5; st_evictions = 6;
           st_rejected = 7; st_expired = 10; st_snapshot_hits = 11;
           st_restarts = 12; st_max_queue = 8; st_domains = 9;
+        };
+      Protocol.Health_r { reasons = [] };
+      Protocol.Health_r
+        {
+          reasons =
+            [
+              ("accept", "EMFILE: shedding new connections");
+              ("snapshot", "snapshot write failed (3 consecutive)");
+            ];
         };
       Protocol.Error_r { code = Protocol.Bad_request; message = "nope" };
       Protocol.Error_r { code = Protocol.Overloaded; message = "queue full" };
@@ -182,6 +192,15 @@ let test_protocol_decode_fuzz () =
   fuzz
     (Protocol.encode_response
        { Protocol.rid = 0; body = Protocol.Infer_r { probs = [| 0.5; 0.5 |] } })
+    Protocol.decode_response_bytes;
+  fuzz
+    (Protocol.encode_response
+       {
+         Protocol.rid = 3;
+         body =
+           Protocol.Health_r
+             { reasons = [ ("snapshot", "disk full"); ("accept", "EMFILE") ] };
+       })
     Protocol.decode_response_bytes
 
 (* --- lru -------------------------------------------------------------- *)
@@ -414,6 +433,24 @@ let test_server_end_to_end () =
       checkb "the second pass hit the caches" true (st.Protocol.st_cache_hits >= n);
       checki "nothing rejected" 0 st.Protocol.st_rejected
   | _ -> Alcotest.fail "expected Stats_r"
+
+let test_server_health_report () =
+  (* A healthy daemon answers the Health op with an empty reason list —
+     from the loop itself, before admission, so it costs no batch. *)
+  let addr, pid = fork_server ~max_requests:1 () in
+  let c = connect_or_fail addr in
+  let body =
+    call_or_fail c
+      (req ~id:0 ~op:Protocol.Health ~graph:"-" ~model:"-" ~engine:"-" ~t:0 ())
+  in
+  Client.close c;
+  ignore (Unix.waitpid [] pid);
+  match body with
+  | Protocol.Health_r { reasons = [] } -> ()
+  | Protocol.Health_r { reasons } ->
+      Alcotest.failf "fresh daemon reported %d degraded subsystem(s)"
+        (List.length reasons)
+  | _ -> Alcotest.fail "expected Health_r"
 
 let test_server_overload () =
   (* A pipelining client must outrun a queue bound of 1 and observe
@@ -985,6 +1022,7 @@ let suite =
       test_engine_eviction_pressure;
     Alcotest.test_case "server end to end (unix socket)" `Quick
       test_server_end_to_end;
+    Alcotest.test_case "server health report" `Quick test_server_health_report;
     Alcotest.test_case "server overload verdicts" `Quick test_server_overload;
     Alcotest.test_case "server malformed input" `Quick
       test_server_malformed_input;

@@ -66,21 +66,27 @@ let test_gen_requests_deterministic () =
     a
 
 let test_reproducer_roundtrip () =
-  let spec = { (Proxy.quiet 7L) with Proxy.duplicate = 0.1 } in
+  let sch =
+    {
+      (Serve_chaos.quiet_schedule 7L) with
+      Serve_chaos.net = { (Proxy.quiet 7L) with Proxy.duplicate = 0.1 };
+    }
+  in
   let summary =
     {
       Serve_chaos.seed = -13L;
       schedules = 4;
       requests = 17;
+      sysfault = false;
       zero_fault = None;
       failures =
         [
           {
             Serve_chaos.index = 2;
-            f_spec = spec;
+            f_spec = sch;
             f_violations =
               [ { Serve_chaos.invariant = "rid-integrity"; detail = "x" } ];
-            f_shrunk = spec;
+            f_shrunk = sch;
             f_shrunk_violations =
               [ { Serve_chaos.invariant = "rid-integrity"; detail = "x" } ];
           };
@@ -93,10 +99,12 @@ let test_reproducer_roundtrip () =
   checkb "the report names the invariant" true
     (contains report "rid-integrity");
   (match Serve_chaos.parse_reproducer report with
-  | Some (seed, schedules, requests) ->
+  | Some (seed, schedules, requests, sysfault) ->
       checkb "the replay line round-trips the seed" true (seed = -13L);
       checki "the replay line round-trips the schedule count" 4 schedules;
-      checki "the replay line round-trips the request count" 17 requests
+      checki "the replay line round-trips the request count" 17 requests;
+      checkb "the replay line round-trips the sysfault flag" true
+        (sysfault = false)
   | None -> Alcotest.fail "the reproducer must parse back");
   checkb "junk does not parse" true
     (Serve_chaos.parse_reproducer "no replay line here" = None)
@@ -107,7 +115,9 @@ let test_quiet_transparency () =
   let requests = Serve_chaos.gen_requests ~seed:3L ~n:6 in
   let baseline = Serve_chaos.baseline_run requests in
   checki "one baseline response per request" 6 (Array.length baseline);
-  match Serve_chaos.run_spec ~requests ~baseline (Proxy.quiet 3L) with
+  match
+    Serve_chaos.run_spec ~requests ~baseline (Serve_chaos.quiet_schedule 3L)
+  with
   | [] -> ()
   | v :: _ ->
       Alcotest.fail
@@ -120,30 +130,39 @@ let test_planted_failure_shrinks () =
      guilty one. *)
   let requests = Serve_chaos.gen_requests ~seed:5L ~n:4 in
   let baseline = Serve_chaos.baseline_run requests in
-  let check spec =
-    if spec.Proxy.duplicate > 0. then
+  let check sch =
+    if sch.Serve_chaos.net.Proxy.duplicate > 0. then
       Some
         { Serve_chaos.invariant = "planted"; detail = "duplicate dimension live" }
     else None
   in
-  let spec =
+  let sch =
     {
-      (Proxy.quiet 11L) with
-      Proxy.duplicate = 0.05;
-      corrupt = 0.05;
-      delay = 0.1;
-      delay_ms = 2;
+      Serve_chaos.net =
+        {
+          (Proxy.quiet 11L) with
+          Proxy.duplicate = 0.05;
+          corrupt = 0.05;
+          delay = 0.1;
+          delay_ms = 2;
+        };
+      sys =
+        { (Ls_chaos.Sysfault.quiet 11L) with Ls_chaos.Sysfault.eintr = 0.2 };
     }
   in
-  let violations = Serve_chaos.run_spec ~check ~requests ~baseline spec in
+  let violations = Serve_chaos.run_spec ~check ~requests ~baseline sch in
   checkb "the planted invariant fires" true
     (List.exists (fun v -> v.Serve_chaos.invariant = "planted") violations);
-  let shrunk = Serve_chaos.shrink ~check ~requests ~baseline spec in
+  let shrunk = Serve_chaos.shrink ~check ~requests ~baseline sch in
   checkb "shrink keeps the guilty dimension" true
-    (shrunk.Proxy.duplicate > 0.);
+    (shrunk.Serve_chaos.net.Proxy.duplicate > 0.);
   checkb "shrink zeroes the innocent dimensions" true
-    (shrunk.Proxy.corrupt = 0. && shrunk.Proxy.delay = 0.
-    && shrunk.Proxy.truncate = 0. && shrunk.Proxy.reset = 0.)
+    (shrunk.Serve_chaos.net.Proxy.corrupt = 0.
+    && shrunk.Serve_chaos.net.Proxy.delay = 0.
+    && shrunk.Serve_chaos.net.Proxy.truncate = 0.
+    && shrunk.Serve_chaos.net.Proxy.reset = 0.);
+  checkb "shrink zeroes the innocent syscall dimension" true
+    (Ls_chaos.Sysfault.is_quiet shrunk.Serve_chaos.sys)
 
 let test_chaos_run_small () =
   (* A short full run: baseline, transparency, two generated schedules —

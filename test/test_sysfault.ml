@@ -1,0 +1,420 @@
+(* Resource-exhaustion tolerance: the syscall choke point (Ls_shard.Sysio)
+   and its deterministic fault plan (Ls_chaos.Sysfault), the degraded-mode
+   registry (Ls_obs.Health), checkpointing under injected ENOSPC (both the
+   raising [save] and the absorbing [save_best_effort]), and the
+   supervisor's fork-EAGAIN retry discipline.
+
+   NOTE: the fork-retry tests fork real child processes, so this suite
+   shares the shard/serve suites' before-any-domain constraint — it is
+   registered right after the serve-chaos suite in test_main. *)
+
+module Sysio = Ls_shard.Sysio
+module Sysfault = Ls_chaos.Sysfault
+module Ckpt = Ls_shard.Ckpt
+module Frame = Ls_shard.Frame
+module Supervisor = Ls_shard.Supervisor
+module Health = Ls_obs.Health
+module Trace = Ls_obs.Trace
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Whatever a test does to the process-global hook and registry, the
+   next test starts clean. *)
+let isolated f =
+  Fun.protect
+    ~finally:(fun () ->
+      Sysfault.uninstall ();
+      Health.reset ())
+    f
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ls-sysfault-test-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rm_rf dir =
+  Array.iter
+    (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* --- spec string form -------------------------------------------------- *)
+
+let test_spec_string_roundtrip () =
+  let spec =
+    {
+      (Sysfault.quiet 77L) with
+      Sysfault.write_fail = 0.5;
+      rename_fail = 0.25;
+      open_fail = 0.125;
+      short_write = 0.75;
+      eintr = 0.0625;
+      accept_fail = 0.03125;
+      fork_fail = 1.;
+      ops_budget = 96;
+    }
+  in
+  (match Sysfault.of_string (Sysfault.to_string spec) with
+  | Ok s -> checkb "to_string/of_string round-trips" true (s = spec)
+  | Error e -> Alcotest.fail ("round-trip failed: " ^ e));
+  (match Sysfault.of_string "seed=9,write=0.5" with
+  | Ok s ->
+      checkb "omitted keys default to quiet" true
+        (s = { (Sysfault.quiet 9L) with Sysfault.write_fail = 0.5 })
+  | Error e -> Alcotest.fail ("partial spec failed: " ^ e));
+  let expect_error what str =
+    match Sysfault.of_string str with
+    | Ok _ -> Alcotest.fail (what ^ ": expected a parse error")
+    | Error e -> checkb (what ^ " is a named error") true (String.length e > 0)
+  in
+  expect_error "unknown key" "seed=1,fsync=0.5";
+  expect_error "rate above 1" "write=1.5";
+  expect_error "negative rate" "eintr=-0.1";
+  expect_error "non-numeric seed" "seed=banana";
+  expect_error "negative budget" "budget=-3";
+  expect_error "bare token" "write"
+
+(* --- deterministic verdicts -------------------------------------------- *)
+
+let test_decide_deterministic () =
+  let spec =
+    {
+      (Sysfault.quiet 42L) with
+      Sysfault.write_fail = 0.4;
+      rename_fail = 0.4;
+      open_fail = 0.4;
+      short_write = 0.3;
+      eintr = 0.3;
+      accept_fail = 0.4;
+      fork_fail = 0.4;
+    }
+  in
+  let sweep s =
+    List.concat_map
+      (fun op ->
+        List.concat_map
+          (fun site ->
+            List.map
+              (fun count -> Sysfault.decide s ~total:0 ~op ~site ~count)
+              [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+          [ "ckpt.write"; "ckpt.rename"; "pidfile.rename"; "frame.write";
+            "server.accept" ])
+      [ Sysio.Write; Sysio.Rename; Sysio.Open; Sysio.Close; Sysio.Accept;
+        Sysio.Fork ]
+  in
+  checkb "the same seed replays the same schedule" true
+    (sweep spec = sweep spec);
+  checkb "a different seed draws a different schedule" true
+    (sweep { spec with Sysfault.seed = 43L } <> sweep spec);
+  checkb "the quiet spec always passes" true
+    (List.for_all (fun v -> v = Sysio.Pass) (sweep (Sysfault.quiet 42L)))
+
+let test_blast_radius () =
+  (* ENOSPC is confined to disk sites: a socket write can at worst be
+     shortened or interrupted — both transparent to the byte stream —
+     even with the disk-failure dial at maximum. *)
+  let spec =
+    { (Sysfault.quiet 7L) with Sysfault.write_fail = 1.; short_write = 0.5 }
+  in
+  for count = 0 to 63 do
+    (match
+       Sysfault.decide spec ~total:0 ~op:Sysio.Write ~site:"frame.write" ~count
+     with
+    | Sysio.Fail _ -> Alcotest.fail "hard failure injected at a socket site"
+    | Sysio.Pass | Sysio.Short _ | Sysio.Intr -> ());
+    match
+      Sysfault.decide spec ~total:0 ~op:Sysio.Write ~site:"ckpt.write" ~count
+    with
+    | Sysio.Fail Unix.ENOSPC -> ()
+    | _ -> Alcotest.fail "disk write must fail ENOSPC at rate 1"
+  done;
+  checkb "ckpt sites are disk sites" true (Sysfault.disk_site "ckpt.write");
+  checkb "pidfile sites are disk sites" true
+    (Sysfault.disk_site "pidfile.rename");
+  checkb "socket sites are not" true (not (Sysfault.disk_site "frame.write"))
+
+let test_budget_quiets () =
+  let spec =
+    { (Sysfault.quiet 5L) with Sysfault.eintr = 1.; ops_budget = 5 }
+  in
+  for total = 0 to 4 do
+    checkb "within budget the schedule fires" true
+      (Sysfault.decide spec ~total ~op:Sysio.Close ~site:"ckpt.close" ~count:0
+      = Sysio.Intr)
+  done;
+  for total = 5 to 20 do
+    checkb "past budget every verdict is Pass" true
+      (Sysfault.decide spec ~total ~op:Sysio.Close ~site:"ckpt.close" ~count:0
+      = Sysio.Pass)
+  done
+
+(* --- replay through the real wrappers ---------------------------------- *)
+
+(* Drive the actual Sysio wrappers (openfile/write/close/rename) under an
+   installed plan and collect the injected-fault log; two runs from the
+   same install must produce the same log, byte for byte. *)
+let test_install_replays () =
+  isolated @@ fun () ->
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let spec =
+    {
+      (Sysfault.quiet 1234L) with
+      Sysfault.write_fail = 0.3;
+      rename_fail = 0.3;
+      open_fail = 0.3;
+      eintr = 0.3;
+      short_write = 0.3;
+    }
+  in
+  let burst () =
+    Sysfault.install spec;
+    for i = 0 to 19 do
+      let tmp = Filename.concat dir (Printf.sprintf "f%d.tmp" i) in
+      let final = Filename.concat dir (Printf.sprintf "f%d" i) in
+      (try
+         let fd =
+           Sysio.openfile ~site:"ckpt.open" tmp
+             [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+         in
+         let b = Bytes.make 64 'x' in
+         ignore (Sysio.write ~site:"ckpt.write" fd b 0 64);
+         Sysio.close ~site:"ckpt.close" fd;
+         Sysio.rename ~site:"ckpt.rename" tmp final
+       with Unix.Unix_error _ -> ())
+    done;
+    Sysfault.injected ()
+  in
+  let first = burst () in
+  let second = burst () in
+  checkb "the plan injected something" true (List.length first > 0);
+  checkb "reinstalling replays the schedule bit for bit" true
+    (first = second);
+  checkb "the log names ops, sites and verdicts" true
+    (List.for_all
+       (fun line ->
+         contains line "|"
+         && (contains line "ckpt.open" || contains line "ckpt.write"
+            || contains line "ckpt.close" || contains line "ckpt.rename"))
+       first)
+
+let test_transparent_faults_preserve_writes () =
+  (* EINTR storms and short writes are transparent: a checkpoint written
+     through them round-trips exactly. *)
+  isolated @@ fun () ->
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Sysfault.install
+    {
+      (Sysfault.quiet 99L) with
+      Sysfault.eintr = 0.6;
+      short_write = 0.8;
+      ops_budget = 200;
+    };
+  let meta = { Ckpt.run_id = 11L; shard = 0; phase = 1; round = 4 } in
+  let payload = String.init 3000 (fun i -> Char.chr (i mod 251)) in
+  Ckpt.save ~dir meta payload;
+  checkb "the storm actually fired" true (Sysfault.injected () <> []);
+  match Ckpt.load ~dir ~run_id:11L ~shard:0 with
+  | Some (m, p) ->
+      checkb "meta survives the storm" true (m = meta);
+      checkb "payload survives the storm" true (p = payload)
+  | None -> Alcotest.fail "checkpoint must load after transparent faults"
+
+(* --- checkpointing under ENOSPC ---------------------------------------- *)
+
+let no_tmp_files dir =
+  Array.for_all
+    (fun name -> not (Filename.check_suffix name ".tmp"))
+    (Sys.readdir dir)
+
+let test_ckpt_failure_unlinks_tmp () =
+  isolated @@ fun () ->
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let meta round = { Ckpt.run_id = 21L; shard = 0; phase = 0; round } in
+  Ckpt.save ~dir (meta 1) "first";
+  Sysfault.install { (Sysfault.quiet 3L) with Sysfault.write_fail = 1. };
+  (match Ckpt.save ~dir (meta 2) "second" with
+  | () -> Alcotest.fail "save must raise under write_fail=1"
+  | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ()
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e));
+  checkb "the failed write leaves no temp sibling" true (no_tmp_files dir);
+  (match Ckpt.load ~dir ~run_id:21L ~shard:0 with
+  | Some (m, p) ->
+      checki "the previous checkpoint is intact" 1 m.Ckpt.round;
+      checks "with its payload" "first" p
+  | None -> Alcotest.fail "previous checkpoint lost");
+  (* Same discipline when open itself fails. *)
+  Sysfault.install { (Sysfault.quiet 3L) with Sysfault.open_fail = 1. };
+  (match Ckpt.save ~dir (meta 3) "third" with
+  | () -> Alcotest.fail "save must raise under open_fail=1"
+  | exception (Unix.Unix_error _ | Sys_error _) -> ());
+  checkb "a failed open leaves no temp sibling either" true (no_tmp_files dir)
+
+let test_ckpt_best_effort_degrades_and_recovers () =
+  isolated @@ fun () ->
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let meta round = { Ckpt.run_id = 31L; shard = 2; phase = 0; round } in
+  Ckpt.save ~dir (meta 1) "good";
+  Sysfault.install { (Sysfault.quiet 8L) with Sysfault.write_fail = 1. };
+  (* Absorbed: no exception, the checkpoint subsystem goes degraded, the
+     last good file stays. *)
+  Ckpt.save_best_effort ~dir (meta 2) "lost";
+  checkb "the failure marks the checkpoint subsystem" true
+    (List.mem_assoc "checkpoint" (Health.degraded ()));
+  (match Ckpt.load ~dir ~run_id:31L ~shard:2 with
+  | Some (m, _) -> checki "the last good checkpoint survives" 1 m.Ckpt.round
+  | None -> Alcotest.fail "previous checkpoint lost");
+  (* Faults clear, the next save succeeds and clears the mark. *)
+  Sysfault.uninstall ();
+  Ckpt.save_best_effort ~dir (meta 3) "recovered";
+  checkb "a successful save clears the mark" true
+    (not (List.mem_assoc "checkpoint" (Health.degraded ())));
+  match Ckpt.load ~dir ~run_id:31L ~shard:2 with
+  | Some (m, p) ->
+      checki "the new checkpoint landed" 3 m.Ckpt.round;
+      checks "with its payload" "recovered" p
+  | None -> Alcotest.fail "recovered checkpoint missing"
+
+(* --- the degraded-mode registry ---------------------------------------- *)
+
+let degraded_events f =
+  Health.reset ();
+  let t = Trace.make () in
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall f;
+  List.filter
+    (function Trace.Degraded_enter _ | Trace.Degraded_exit _ -> true | _ -> false)
+    (Trace.events t)
+
+let test_health_registry () =
+  isolated @@ fun () ->
+  Health.reset ();
+  checkb "fresh registry is healthy" true (not (Health.is_degraded ()));
+  checks "and describes as ok" "ok" (Health.describe ());
+  let evs =
+    degraded_events (fun () ->
+        Health.set_degraded ~subsystem:"snapshot" ~reason:"disk full";
+        (* Refreshing is silent: one enter per transition, not per call. *)
+        Health.set_degraded ~subsystem:"snapshot" ~reason:"still full";
+        Health.set_degraded ~subsystem:"accept" ~reason:"EMFILE";
+        checkb "degraded pairs are sorted by subsystem" true
+          (List.map fst (Health.degraded ()) = [ "accept"; "snapshot" ]);
+        checkb "refresh keeps the latest reason" true
+          (List.assoc "snapshot" (Health.degraded ()) = "still full");
+        Health.clear ~subsystem:"snapshot";
+        (* Clearing a healthy subsystem is silent too. *)
+        Health.clear ~subsystem:"snapshot";
+        Health.clear_all ())
+  in
+  checkb "registry healthy again" true (not (Health.is_degraded ()));
+  let enters =
+    List.filter (function Trace.Degraded_enter _ -> true | _ -> false) evs
+  in
+  let exits =
+    List.filter (function Trace.Degraded_exit _ -> true | _ -> false) evs
+  in
+  checki "one enter per transition" 2 (List.length enters);
+  checki "every enter has its exit" 2 (List.length exits)
+
+(* --- supervisor fork retry --------------------------------------------- *)
+
+(* A hook that answers EAGAIN for the first [failures] fork consultations
+   at the supervisor site, then passes. *)
+let eagain_hook failures ~op ~site:_ ~count =
+  match op with
+  | Sysio.Fork when count < failures -> Sysio.Fail Unix.EAGAIN
+  | _ -> Sysio.Pass
+
+let test_fork_retry_succeeds () =
+  isolated @@ fun () ->
+  Sysio.set_hook (Some (eagain_hook 3));
+  Sysio.reset_counts ();
+  let t0 = Unix.gettimeofday () in
+  (match Supervisor.fork_with_retry ~attempts:5 ~backoff_ms:5 ~site:"t.fork" () with
+  | 0 -> Unix._exit 0
+  | pid ->
+      let _, status = Unix.waitpid [] pid in
+      checkb "the retried fork produced a live child" true
+        (status = Unix.WEXITED 0));
+  (* Three EAGAINs at 5ms doubling backoff: at least 5+10+20 ms slept. *)
+  checkb "backoff actually waited" true (Unix.gettimeofday () -. t0 >= 0.030);
+  checkb "success clears the fork degraded mark" true
+    (not (List.mem_assoc "fork" (Health.degraded ())))
+
+let test_fork_retry_exhaustion_is_transient () =
+  isolated @@ fun () ->
+  Sysio.set_hook (Some (eagain_hook max_int));
+  Sysio.reset_counts ();
+  match Supervisor.fork_with_retry ~attempts:3 ~backoff_ms:1 ~site:"t.fork" () with
+  | _ -> Alcotest.fail "fork must fail when EAGAIN persists"
+  | exception Supervisor.Failed (Supervisor.Transient, msg) ->
+      checkb "exhaustion names EAGAIN and the attempt count" true
+        (contains msg "EAGAIN" && contains msg "3");
+      checkb "no degraded mark leaks past the failure" true
+        (not (List.mem_assoc "fork" (Health.degraded ())))
+  | exception Supervisor.Failed (Supervisor.Permanent, _) ->
+      Alcotest.fail "EAGAIN exhaustion must classify as Transient"
+
+let test_fork_retry_spares_restart_budget () =
+  (* A worker whose forks need retries must not consume the supervisor's
+     restart budget: with a budget of 0 restarts, a spawn that succeeds
+     only on the third fork attempt still runs to completion. *)
+  isolated @@ fun () ->
+  Sysio.set_hook (Some (eagain_hook 2));
+  Sysio.reset_counts ();
+  let policy =
+    { Supervisor.default_policy with Supervisor.restart_budget = 0 }
+  in
+  let body ~shard ~incarnation:_ fd =
+    Frame.write_fd fd { Frame.kind = 99; a = shard; b = 0; c = 0; payload = "" }
+  in
+  let on_frame ctx ~shard (f : Frame.t) =
+    if f.Frame.kind = 99 then ctx.Supervisor.mark_done ~shard
+  in
+  Supervisor.run ~policy ~shards:1 ~body ~on_frame ();
+  checkb "zero restart budget survived the EAGAIN storm" true true
+
+let suite =
+  [
+    Alcotest.test_case "sysfault spec round-trips its string form" `Quick
+      test_spec_string_roundtrip;
+    Alcotest.test_case "syscall verdicts are deterministic" `Quick
+      test_decide_deterministic;
+    Alcotest.test_case "ENOSPC stays inside its blast radius" `Quick
+      test_blast_radius;
+    Alcotest.test_case "the ops budget silences the schedule" `Quick
+      test_budget_quiets;
+    Alcotest.test_case "an installed plan replays bit for bit" `Quick
+      test_install_replays;
+    Alcotest.test_case "transparent faults never corrupt a checkpoint" `Quick
+      test_transparent_faults_preserve_writes;
+    Alcotest.test_case "a failed checkpoint write unlinks its temp file" `Quick
+      test_ckpt_failure_unlinks_tmp;
+    Alcotest.test_case "best-effort checkpointing degrades and recovers" `Quick
+      test_ckpt_best_effort_degrades_and_recovers;
+    Alcotest.test_case "health transitions pair enters with exits" `Quick
+      test_health_registry;
+    Alcotest.test_case "fork EAGAIN is retried with backoff" `Quick
+      test_fork_retry_succeeds;
+    Alcotest.test_case "fork EAGAIN exhaustion is a transient failure" `Quick
+      test_fork_retry_exhaustion_is_transient;
+    Alcotest.test_case "fork retries never burn the restart budget" `Quick
+      test_fork_retry_spares_restart_budget;
+  ]
